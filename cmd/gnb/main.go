@@ -1,0 +1,174 @@
+// Command gnb runs a WA-RAN gNB: a slot-clocked sliced MAC whose intra-slice
+// schedulers are Wasm plugins, optionally exposing an E2-lite agent so a
+// near-RT RIC (cmd/ric) can observe and control it.
+//
+// Usage:
+//
+//	gnb -slices "mt:3M,rr:12M,pf:15M" -ues-per-slice 3 -duration 10s
+//	gnb -e2 127.0.0.1:36421 -codec binary -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"waran/internal/core"
+	"waran/internal/e2"
+	"waran/internal/metrics"
+	"waran/internal/plugins"
+	"waran/internal/ran"
+	"waran/internal/ric"
+	"waran/internal/wabi"
+)
+
+func main() {
+	slices := flag.String("slices", "mt:3M,rr:12M,pf:15M", "comma list of scheduler:targetRate per slice")
+	uesPerSlice := flag.Int("ues-per-slice", 3, "UEs attached to each slice")
+	duration := flag.Duration("duration", 10*time.Second, "simulated run length")
+	e2Addr := flag.String("e2", "", "RIC address for the E2 agent (empty = standalone)")
+	codecName := flag.String("codec", "binary", "E2 codec: binary, json, varint")
+	shim := flag.Bool("widen-shim", false, "wrap the E2 codec in the 8->12-bit vendor adaptation plugin")
+	realtime := flag.Bool("realtime", false, "pace slots at wall-clock slot duration")
+	flag.Parse()
+
+	if err := run(*slices, *uesPerSlice, *duration, *e2Addr, *codecName, *shim, *realtime); err != nil {
+		fmt.Fprintln(os.Stderr, "gnb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sliceSpec string, uesPerSlice int, duration time.Duration, e2Addr, codecName string, shim, realtime bool) error {
+	gnb, err := core.NewGNB(ran.CellConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cell: %d PRBs, %v slots, peak %.1f Mb/s at MCS 28\n",
+		gnb.Cell.PRBs, gnb.Cell.SlotDuration, gnb.Cell.PeakRateBps(28)/1e6)
+
+	meters := map[uint32]*metrics.RateMeter{}
+	ueID := uint32(1)
+	for i, part := range strings.Split(sliceSpec, ",") {
+		name, rate, err := parseSlice(part)
+		if err != nil {
+			return err
+		}
+		plugin, err := core.NewPluginScheduler(name, wabi.Policy{})
+		if err != nil {
+			return err
+		}
+		id := uint32(i + 1)
+		if _, err := gnb.Slices.AddSlice(id, fmt.Sprintf("slice-%d(%s)", id, name), rate, plugin, nil); err != nil {
+			return err
+		}
+		for k := 0; k < uesPerSlice; k++ {
+			mcs := 22 + (k*6)/max(1, uesPerSlice-1)
+			ue := ran.NewUE(ueID, id, mcs)
+			ue.Traffic = ran.NewCBR(1.4 * rate / float64(uesPerSlice))
+			if err := gnb.AttachUE(ue); err != nil {
+				return err
+			}
+			ueID++
+		}
+		meters[id] = metrics.NewRateMeter(gnb.Cell.SlotDuration, time.Second)
+		fmt.Printf("slice %d: %s scheduler (Wasm plugin), target %.1f Mb/s, %d UEs\n",
+			id, name, rate/1e6, uesPerSlice)
+	}
+
+	var agent *ric.Agent
+	if e2Addr != "" {
+		codec, err := buildCodec(codecName, shim)
+		if err != nil {
+			return err
+		}
+		conn, err := e2.Dial(e2Addr, codec)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		agent = ric.NewAgent(conn, gnb, 1)
+		if _, err := agent.Start(); err != nil {
+			return err
+		}
+		fmt.Printf("E2 agent associated with RIC at %s (codec %s)\n", e2Addr, codec.Name())
+	}
+
+	slots := core.SlotsForDuration(gnb.Cell, duration)
+	start := time.Now()
+	for slot := 0; slot < slots; slot++ {
+		r := gnb.Step()
+		for id, ss := range r.PerSlice {
+			meters[id].AddSlot(ss.Bits)
+		}
+		if agent != nil {
+			if err := agent.Tick(uint64(slot)); err != nil {
+				return fmt.Errorf("e2 agent: %w", err)
+			}
+		}
+		if realtime {
+			next := start.Add(time.Duration(slot+1) * gnb.Cell.SlotDuration)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+
+	fmt.Printf("\nran %d slots in %v\n", slots, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("%-16s %12s %12s %10s\n", "slice", "target Mb/s", "mean Mb/s", "fallbacks")
+	for _, s := range gnb.Slices.Slices() {
+		st := s.Stats()
+		fmt.Printf("%-16s %12.2f %12.2f %10d\n",
+			s.Name, s.TargetRate()/1e6, meters[s.ID].MeanBpsAfter(time.Second)/1e6, st.FallbackSlots)
+	}
+	if agent != nil {
+		ind, ok, fail := agent.Counters()
+		fmt.Printf("e2: %d indications sent, %d controls applied, %d refused\n", ind, ok, fail)
+	}
+	return nil
+}
+
+func parseSlice(part string) (string, float64, error) {
+	name, rateStr, found := strings.Cut(strings.TrimSpace(part), ":")
+	if !found {
+		return "", 0, fmt.Errorf("bad slice spec %q (want scheduler:rate)", part)
+	}
+	rate, err := parseRate(rateStr)
+	if err != nil {
+		return "", 0, err
+	}
+	if _, ok := plugins.SchedulerWAT(name); !ok {
+		return "", 0, fmt.Errorf("unknown scheduler %q (want rr, pf or mt)", name)
+	}
+	return name, rate, nil
+}
+
+func parseRate(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1e9, strings.TrimSuffix(s, "G")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1e6, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "k"), strings.HasSuffix(s, "K"):
+		mult, s = 1e3, strings.TrimSuffix(strings.TrimSuffix(s, "k"), "K")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad rate %q: %w", s, err)
+	}
+	return v * mult, nil
+}
+
+func buildCodec(name string, shim bool) (e2.Codec, error) {
+	codec, ok := e2.CodecByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown codec %q", name)
+	}
+	if !shim {
+		return codec, nil
+	}
+	return ric.NewPluginCodecWAT("widen8to12", plugins.Widen8To12CommWAT, codec)
+}

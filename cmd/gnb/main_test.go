@@ -1,0 +1,67 @@
+package main
+
+import "testing"
+
+func TestParseRate(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"3M", 3e6, true},
+		{"12M", 12e6, true},
+		{"1.5G", 1.5e9, true},
+		{"500k", 5e5, true},
+		{"500K", 5e5, true},
+		{"1000", 1000, true},
+		{"", 0, false},
+		{"abcM", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := parseRate(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("parseRate(%q): err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("parseRate(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseSlice(t *testing.T) {
+	name, rate, err := parseSlice(" pf:15M ")
+	if err != nil || name != "pf" || rate != 15e6 {
+		t.Fatalf("got %q %v %v", name, rate, err)
+	}
+	if _, _, err := parseSlice("pf"); err == nil {
+		t.Fatal("missing rate accepted")
+	}
+	if _, _, err := parseSlice("bogus:1M"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestBuildCodec(t *testing.T) {
+	c, err := buildCodec("binary", false)
+	if err != nil || c.Name() != "binary" {
+		t.Fatalf("got %v %v", c, err)
+	}
+	shimmed, err := buildCodec("varint", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shimmed.Name() != "varint+plugin:widen8to12" {
+		t.Fatalf("shimmed codec = %q", shimmed.Name())
+	}
+	if _, err := buildCodec("asn1", false); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+}
+
+// TestStandaloneRunSmoke drives the whole binary path for a short run.
+func TestStandaloneRunSmoke(t *testing.T) {
+	if err := run("mt:2M,rr:4M", 2, 200_000_000, "", "binary", false, false); err != nil {
+		t.Fatal(err)
+	}
+}

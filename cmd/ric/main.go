@@ -1,0 +1,123 @@
+// Command ric runs a WA-RAN near-Real-Time RIC: it hosts xApps as Wasm
+// plugins and accepts E2-lite associations from gNBs (cmd/gnb -e2 <addr>).
+//
+// Usage:
+//
+//	ric -listen 127.0.0.1:36421 -xapps steer,sla -codec binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"waran/internal/e2"
+	"waran/internal/plugins"
+	"waran/internal/ric"
+	"waran/internal/wabi"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:36421", "address to accept E2 associations on")
+	xapps := flag.String("xapps", "steer,sla", "comma list of xApps: steer, sla, ping, pong")
+	codecName := flag.String("codec", "binary", "E2 codec: binary, json, varint")
+	shim := flag.Bool("widen-shim", false, "wrap the E2 codec in the 8->12-bit vendor adaptation plugin")
+	period := flag.Uint("period", 100, "indication report period in ms")
+	once := flag.Bool("once", false, "exit after the first association ends")
+	nonRT := flag.Bool("nonrt", false, "run the non-RT RIC (SLA-tuner rApp) over the KPM history")
+	flag.Parse()
+
+	if err := run(*listen, *xapps, *codecName, *shim, uint32(*period), *once, *nonRT); err != nil {
+		fmt.Fprintln(os.Stderr, "ric:", err)
+		os.Exit(1)
+	}
+}
+
+var xappSources = map[string]string{
+	"steer": plugins.TrafficSteerXAppWAT,
+	"sla":   plugins.SLAAssureXAppWAT,
+	"ping":  plugins.PingXAppWAT,
+	"pong":  plugins.PongXAppWAT,
+}
+
+func run(listen, xapps, codecName string, shim bool, period uint32, once, nonRT bool) error {
+	r := ric.New()
+	r.ReportPeriodMs = period
+	r.OnFault = func(xapp string, err error) {
+		fmt.Printf("xApp %s fault (contained): %v\n", xapp, err)
+	}
+	r.OnLog = func(xapp, msg string) {
+		fmt.Printf("xApp %s: %s\n", xapp, msg)
+	}
+	for _, name := range strings.Split(xapps, ",") {
+		name = strings.TrimSpace(name)
+		src, ok := xappSources[name]
+		if !ok {
+			return fmt.Errorf("unknown xApp %q (have: steer, sla, ping, pong)", name)
+		}
+		if _, err := r.AddXAppWAT(name, src, wabi.Policy{}); err != nil {
+			return err
+		}
+		fmt.Printf("installed xApp %q (Wasm plugin)\n", name)
+	}
+
+	codec, ok := e2.CodecByName(codecName)
+	if !ok {
+		return fmt.Errorf("unknown codec %q", codecName)
+	}
+	wireCodec := e2.Codec(codec)
+	if shim {
+		// Associations are served one at a time, so a single shim plugin
+		// instance suffices.
+		pc, err := ric.NewPluginCodecWAT("widen8to12", plugins.Widen8To12CommWAT, codec)
+		if err != nil {
+			return err
+		}
+		wireCodec = pc
+	}
+
+	lis, err := e2.Listen(listen, wireCodec)
+	if err != nil {
+		return err
+	}
+	defer lis.Close()
+	fmt.Printf("near-RT RIC listening on %s (codec %s, report period %d ms)\n",
+		lis.Addr(), wireCodec.Name(), period)
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		fmt.Println("E2 association accepted")
+		stopNonRT := make(chan struct{})
+		if nonRT {
+			// Guidance from the slow loop flows back over the same E2
+			// association as regular control requests.
+			var reqID uint32 = 10_000
+			n := ric.NewNonRTRIC(r.KPM, func(c e2.ControlRequest) error {
+				reqID++
+				fmt.Printf("rApp guidance: %s slice=%d value=%.1f\n", c.Action, c.SliceID, c.Value)
+				return conn.Send(&e2.Message{
+					Type: e2.TypeControlRequest, RequestID: reqID,
+					RANFunction: e2.RANFunctionRC, Control: &c,
+				})
+			})
+			n.AddRApp(&ric.SLATuner{})
+			go n.Run(stopNonRT)
+			fmt.Println("non-RT RIC running (sla-tuner rApp, 1 s cadence)")
+		}
+		if err := r.ServeConn(conn, nil); err != nil {
+			fmt.Printf("association ended: %v\n", err)
+		} else {
+			fmt.Println("association closed")
+		}
+		close(stopNonRT)
+		ind, controls := r.Counters()
+		fmt.Printf("totals: %d indications processed, %d control actions emitted\n", ind, controls)
+		if once {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Command waranbench regenerates the paper's evaluation (§5): every figure
+// and the memory-safety matrix, printed as text tables with the paper's
+// qualitative expectation alongside the measured outcome.
+//
+// Usage:
+//
+//	waranbench -fig 5a|5b|5c|5d|safety|all [-duration 10s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"waran/internal/core"
+	"waran/internal/e2"
+	"waran/internal/plugins"
+	"waran/internal/ran"
+	"waran/internal/wabi"
+	"waran/internal/wat"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which experiment: 5a, 5b, 5c, 5d, safety, upload, all")
+	duration := flag.Duration("duration", 0, "override experiment duration (0 = per-figure default)")
+	flag.Parse()
+
+	run := func(name string, f func(time.Duration) error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := f(*duration); err != nil {
+			fmt.Fprintf(os.Stderr, "waranbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	run("5a", fig5a)
+	run("5b", fig5b)
+	run("5c", fig5c)
+	run("5d", fig5d)
+	run("safety", safety)
+	run("upload", upload)
+}
+
+func fig5a(d time.Duration) error {
+	if d == 0 {
+		d = 10 * time.Second
+	}
+	fmt.Printf("== Fig. 5a: Co-existence of MVNOs (duration %v) ==\n", d)
+	fmt.Println("paper: each MVNO reaches its target cumulative DL rate on one gNB")
+	res, err := core.RunFig5a(nil, d)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-6s %12s %12s %8s\n", "MVNO", "sched", "target Mb/s", "achieved", "ratio")
+	for _, m := range res.MVNOs {
+		fmt.Printf("%-8s %-6s %12.2f %12.2f %8.2f\n",
+			m.Spec.Name, m.Spec.Scheduler, m.TargetBps/1e6, m.MeanBps/1e6, m.MeanBps/m.TargetBps)
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig5b(d time.Duration) error {
+	if d == 0 {
+		d = 30 * time.Second
+	}
+	fmt.Printf("== Fig. 5b: Live swap of MVNO scheduler MT -> PF -> RR (duration %v) ==\n", d)
+	fmt.Println("paper: swap on the fly, no gNB restart, no UE disconnect;")
+	fmt.Println("       MT: best-MCS UE hits 22 Mb/s; PF: starved UE prioritized; RR: equal shares")
+	res, err := core.RunFig5b(d, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hot swaps applied: %d, UEs detached: %d\n", res.Swaps, res.UEsDetached)
+	fmt.Printf("%-10s", "t (s)")
+	for _, u := range res.UEs {
+		fmt.Printf("  MCS%-2d Mb/s", u.MCS)
+	}
+	fmt.Println()
+	// All UEs share the same window cadence.
+	for i := range res.UEs[0].Series {
+		fmt.Printf("%-10.1f", res.UEs[0].Series[i].Time.Seconds())
+		for _, u := range res.UEs {
+			fmt.Printf("  %10.2f", u.Series[i].Bps/1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig5c(d time.Duration) error {
+	if d == 0 {
+		d = 100 * time.Second
+	}
+	fmt.Printf("== Fig. 5c: Memory increase, leaky scheduler in plugin vs native (duration %v) ==\n", d)
+	fmt.Println("paper: plugin-sandboxed leak stays flat; same code native grows linearly")
+	res, err := core.RunFig5c(d, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sandbox cap: %.1f MiB\n", float64(res.CapBytes)/(1<<20))
+	fmt.Printf("%-10s %16s %16s\n", "t (s)", "plugin MiB", "native MiB")
+	step := len(res.Points) / 10
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(res.Points); i += step {
+		p := res.Points[i]
+		fmt.Printf("%-10.1f %16.2f %16.2f\n",
+			p.Time.Seconds(), float64(p.PluginBytes)/(1<<20), float64(p.NativeBytes)/(1<<20))
+	}
+	last := res.Points[len(res.Points)-1]
+	fmt.Printf("final: plugin %.2f MiB (capped), native %.2f MiB (unbounded)\n\n",
+		float64(last.PluginBytes)/(1<<20), float64(last.NativeBytes)/(1<<20))
+	return nil
+}
+
+func fig5d(time.Duration) error {
+	fmt.Println("== Fig. 5d: Plugin execution time incl. serialization ==")
+	fmt.Println("paper: P99 well below the 1000 us slot for MT/PF/RR at 1/10/20 UEs")
+	res, err := core.RunFig5d(nil, nil, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %6s %12s %12s %12s %10s\n", "sched", "UEs", "P50 (us)", "P99 (us)", "mean (us)", "deadline")
+	for _, c := range res.Cells {
+		verdict := "OK"
+		if c.P99us >= res.SlotDeadlineUs {
+			verdict = "MISS"
+		}
+		fmt.Printf("%-6s %6d %12.1f %12.1f %12.1f %10s\n",
+			c.Scheduler, c.NumUEs, c.P50us, c.P99us, c.Meanus, verdict)
+	}
+	fmt.Println()
+	return nil
+}
+
+func safety(time.Duration) error {
+	fmt.Println("== §5D: Memory-safety fault matrix ==")
+	fmt.Println("paper: improper code traps in the sandbox; the gNB catches it and keeps running")
+	rows, err := core.RunSafetyMatrix()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %-28s %-14s %-14s\n", "fault", "sandbox verdict", "host survived", "slice rescued")
+	for _, r := range rows {
+		fmt.Printf("%-16s %-28s %-14v %-14v\n", r.Fault, r.TrapCode, r.HostSurvived, r.SliceRescued)
+	}
+	fmt.Println()
+	return nil
+}
+
+// upload demonstrates the Fig. 1 deployment flow: new scheduler bytecode
+// pushed into a running gNB through the E2 control plane.
+func upload(time.Duration) error {
+	fmt.Println("== Fig. 1 flow: push Wasm scheduler bytecode into a running gNB ==")
+	gnb, err := core.NewGNB(ran.CellConfig{})
+	if err != nil {
+		return err
+	}
+	rr, err := core.NewPluginScheduler("rr", wabi.Policy{})
+	if err != nil {
+		return err
+	}
+	s, err := gnb.Slices.AddSlice(1, "tenant", 10e6, rr, nil)
+	if err != nil {
+		return err
+	}
+	ue := ran.NewUE(1, 1, 24)
+	ue.Traffic = ran.NewCBR(5e6)
+	if err := gnb.AttachUE(ue); err != nil {
+		return err
+	}
+	gnb.RunSlots(100, nil)
+	fmt.Printf("before: slice runs %q\n", s.SchedulerName())
+
+	blob, err := wat.CompileToBinary(plugins.ProportionalFairWAT)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	err = gnb.Apply(&e2.ControlRequest{
+		Action: e2.ActionUploadScheduler, SliceID: 1, Text: "pf-v2", Blob: blob,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uploaded %d bytes of bytecode; decode+validate+instantiate+swap in %v\n",
+		len(blob), time.Since(start).Round(time.Microsecond))
+	fmt.Printf("after:  slice runs %q (gNB never stopped; UE stayed attached)\n", s.SchedulerName())
+	gnb.RunSlots(100, nil)
+	if _, ok := gnb.UE(1); !ok {
+		return fmt.Errorf("UE lost")
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,94 @@
+// Command wat2wasm compiles WebAssembly text format to the binary format
+// using WA-RAN's built-in toolchain, optionally validating and invoking an
+// exported function — handy when developing scheduler or xApp plugins.
+//
+// Usage:
+//
+//	wat2wasm [-o out.wasm] [-run entry] [-args "1 2 3"] input.wat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"waran/internal/wasm"
+	"waran/internal/wat"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default: input with .wasm extension)")
+	run := flag.String("run", "", "after compiling, instantiate and call this export")
+	args := flag.String("args", "", "space-separated u64 arguments for -run")
+	dump := flag.Bool("dump", false, "print a disassembly of the compiled module")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wat2wasm [flags] input.wat\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := compile(flag.Arg(0), *out, *run, *args, *dump); err != nil {
+		fmt.Fprintln(os.Stderr, "wat2wasm:", err)
+		os.Exit(1)
+	}
+}
+
+func compile(inPath, outPath, run, argStr string, dump bool) error {
+	src, err := os.ReadFile(inPath)
+	if err != nil {
+		return err
+	}
+	m, err := wat.Compile(string(src))
+	if err != nil {
+		return err
+	}
+	if err := wasm.Validate(m); err != nil {
+		return err
+	}
+	bin, err := wasm.Encode(m)
+	if err != nil {
+		return err
+	}
+	if outPath == "" {
+		outPath = strings.TrimSuffix(inPath, filepath.Ext(inPath)) + ".wasm"
+	}
+	if err := os.WriteFile(outPath, bin, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d bytes, %d functions, %d exports\n", outPath, len(bin), len(m.Funcs), len(m.Exports))
+	if dump {
+		fmt.Print(wasm.Disassemble(m))
+	}
+
+	if run == "" {
+		return nil
+	}
+	cm, err := wasm.Compile(m)
+	if err != nil {
+		return err
+	}
+	inst, err := cm.Instantiate(nil, wasm.Config{})
+	if err != nil {
+		return err
+	}
+	var callArgs []uint64
+	for _, f := range strings.Fields(argStr) {
+		v, err := strconv.ParseUint(f, 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad argument %q: %w", f, err)
+		}
+		callArgs = append(callArgs, v)
+	}
+	res, err := inst.Call(run, callArgs...)
+	if err != nil {
+		return fmt.Errorf("call %s: %w", run, err)
+	}
+	fmt.Printf("%s(%v) = %v\n", run, callArgs, res)
+	return nil
+}

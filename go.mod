@@ -1,0 +1,3 @@
+module waran
+
+go 1.22

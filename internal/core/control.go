@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"waran/internal/e2"
+	"waran/internal/sched"
+	"waran/internal/wabi"
+)
+
+// This file is the gNB's E2 control surface: the host functions the paper
+// describes the gNB exposing to the near-RT RIC via communication plugins
+// (changing slice quotas, triggering handovers, hot-swapping schedulers).
+// GNB implements ric.RANControl.
+
+// Snapshot builds a KPM indication of current per-UE and per-slice state.
+func (g *GNB) Snapshot(cell uint32) *e2.Indication {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ind := &e2.Indication{Slot: g.slot, Cell: cell}
+	for _, u := range g.ues {
+		ind.UEs = append(ind.UEs, e2.UEMeasurement{
+			UEID:        u.ID,
+			SliceID:     u.SliceID,
+			MCS:         int32(u.MCS),
+			BufferBytes: u.BufferBytes(),
+			TputBps:     u.AvgTputBps,
+		})
+	}
+	for _, s := range g.Slices.Slices() {
+		ind.Slices = append(ind.Slices, e2.SliceMeasurement{
+			SliceID:   s.ID,
+			TargetBps: s.TargetRate(),
+			ServedBps: g.sliceRate[s.ID],
+		})
+	}
+	return ind
+}
+
+// Apply executes a control request from the RIC. Unknown slices/UEs and
+// unknown actions are errors so the RIC receives a negative acknowledgment
+// rather than silence.
+func (g *GNB) Apply(c *e2.ControlRequest) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch c.Action {
+	case e2.ActionSetSliceTarget:
+		s, ok := g.Slices.Slice(c.SliceID)
+		if !ok {
+			return fmt.Errorf("core: control: unknown slice %d", c.SliceID)
+		}
+		if c.Value < 0 {
+			return fmt.Errorf("core: control: negative target rate %f", c.Value)
+		}
+		s.SetTargetRate(c.Value)
+		return nil
+	case e2.ActionSetSliceWeight:
+		s, ok := g.Slices.Slice(c.SliceID)
+		if !ok {
+			return fmt.Errorf("core: control: unknown slice %d", c.SliceID)
+		}
+		if c.Value <= 0 {
+			return fmt.Errorf("core: control: non-positive weight %f", c.Value)
+		}
+		s.SetWeight(c.Value)
+		return nil
+	case e2.ActionSwapScheduler:
+		plugin, err := NewPluginScheduler(c.Text, wabi.Policy{})
+		if err != nil {
+			return fmt.Errorf("core: control: %w", err)
+		}
+		return g.Slices.HotSwap(c.SliceID, plugin)
+	case e2.ActionUploadScheduler:
+		// The paper's Fig. 1 path: compiled Wasm bytecode is pushed into
+		// the RAN over the wire and becomes the slice's scheduler, after
+		// the full decode/validate gauntlet.
+		if len(c.Blob) == 0 {
+			return fmt.Errorf("core: control: upload-scheduler without bytecode")
+		}
+		mod, err := wabi.CompileWasm(c.Blob)
+		if err != nil {
+			return fmt.Errorf("core: control: rejected uploaded bytecode: %w", err)
+		}
+		p, err := wabi.NewPlugin(mod, wabi.Policy{MaxMemoryPages: 256, Fuel: 10_000_000}, wabi.Env{})
+		if err != nil {
+			return fmt.Errorf("core: control: uploaded plugin: %w", err)
+		}
+		name := c.Text
+		if name == "" {
+			name = "uploaded"
+		}
+		ps, err := sched.NewPluginScheduler(name, p, nil)
+		if err != nil {
+			return fmt.Errorf("core: control: uploaded plugin: %w", err)
+		}
+		return g.Slices.HotSwap(c.SliceID, ps)
+	case e2.ActionHandover:
+		// In a multi-cell deployment the UE context would transfer to
+		// c.Text's cell; in the single-cell model the UE leaves this gNB.
+		return g.detachLocked(c.UEID)
+	default:
+		return fmt.Errorf("core: control: unsupported action %s", c.Action)
+	}
+}

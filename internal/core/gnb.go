@@ -1,0 +1,311 @@
+// Package core is WA-RAN's top level: it wires the Wasm plugin runtime, the
+// two-level slice scheduler, and the RAN substrate into a runnable gNB, and
+// provides the experiment harness that regenerates every figure of the
+// paper's evaluation (Fig. 5a-5d and the §5D memory-safety matrix).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"waran/internal/plugins"
+	"waran/internal/ran"
+	"waran/internal/sched"
+	"waran/internal/slicing"
+	"waran/internal/wabi"
+)
+
+// GNB is a slot-clocked base station MAC with WA-RAN slicing: per slot it
+// runs the inter-slice scheduler, consults each slice's (possibly
+// plugin-hosted) intra-slice scheduler, and applies the grants to UE queues.
+type GNB struct {
+	Cell   ran.CellConfig
+	Slices *slicing.Manager
+	// Inter divides PRBs among slices; defaults to sched.TargetRate.
+	Inter sched.InterSlice
+	// PFTimeConstant is the EWMA horizon (slots) for long-term throughput.
+	PFTimeConstant float64
+
+	mu        sync.Mutex
+	ues       []*ran.UE
+	byID      map[uint32]*ran.UE
+	slot      uint64
+	sliceRate map[uint32]float64 // served-rate EWMA per slice, for E2 KPM
+}
+
+// sliceRateAlpha is the EWMA weight for per-slice served rate reporting.
+const sliceRateAlpha = 1.0 / 200
+
+// NewGNB creates a gNB for the given cell (defaults applied).
+func NewGNB(cell ran.CellConfig) (*GNB, error) {
+	cell = cell.WithDefaults()
+	if err := cell.Validate(); err != nil {
+		return nil, err
+	}
+	return &GNB{
+		Cell:      cell,
+		Slices:    slicing.NewManager(),
+		Inter:     sched.TargetRate{},
+		byID:      make(map[uint32]*ran.UE),
+		sliceRate: make(map[uint32]float64),
+	}, nil
+}
+
+// AttachUE admits a UE to the cell. The UE's SliceID must name a registered
+// slice (the admission-control role the paper delegates to the AMF).
+func (g *GNB) AttachUE(ue *ran.UE) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.Slices.Slice(ue.SliceID)
+	if !ok {
+		return fmt.Errorf("core: UE %d subscribes to unknown slice %d", ue.ID, ue.SliceID)
+	}
+	if _, dup := g.byID[ue.ID]; dup {
+		return fmt.Errorf("core: UE %d already attached", ue.ID)
+	}
+	if s.MaxUEs > 0 {
+		attached := 0
+		for _, u := range g.ues {
+			if u.SliceID == ue.SliceID {
+				attached++
+			}
+		}
+		if attached >= s.MaxUEs {
+			return fmt.Errorf("core: slice %d is full (%d UEs)", ue.SliceID, s.MaxUEs)
+		}
+	}
+	g.ues = append(g.ues, ue)
+	g.byID[ue.ID] = ue
+	return nil
+}
+
+// DetachUE removes a UE from the cell.
+func (g *GNB) DetachUE(id uint32) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.detachLocked(id)
+}
+
+func (g *GNB) detachLocked(id uint32) error {
+	if _, ok := g.byID[id]; !ok {
+		return fmt.Errorf("core: UE %d not attached", id)
+	}
+	delete(g.byID, id)
+	for i, u := range g.ues {
+		if u.ID == id {
+			g.ues = append(g.ues[:i], g.ues[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// UEs returns a snapshot of the attached UEs in attach order.
+func (g *GNB) UEs() []*ran.UE {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*ran.UE(nil), g.ues...)
+}
+
+// UE looks up an attached UE.
+func (g *GNB) UE(id uint32) (*ran.UE, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	u, ok := g.byID[id]
+	return u, ok
+}
+
+// Slot returns the current slot counter.
+func (g *GNB) Slot() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.slot
+}
+
+// UEGrant is the outcome of one slot for one UE.
+type UEGrant struct {
+	PRBs uint32
+	Bits int64
+}
+
+// SliceSlot aggregates one slot's outcome per slice.
+type SliceSlot struct {
+	BudgetPRBs   uint32
+	GrantedPRBs  uint32
+	Bits         int64
+	UsedFallback bool
+}
+
+// SlotResult reports everything that happened in one slot.
+type SlotResult struct {
+	Slot     uint64
+	PerUE    map[uint32]UEGrant
+	PerSlice map[uint32]SliceSlot
+}
+
+// Step advances the gNB by one slot: traffic and channel evolution,
+// inter-slice division, intra-slice decisions (with fault protection), and
+// grant application.
+func (g *GNB) Step() SlotResult {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	res := SlotResult{
+		Slot:     g.slot,
+		PerUE:    make(map[uint32]UEGrant, len(g.ues)),
+		PerSlice: make(map[uint32]SliceSlot),
+	}
+
+	// 1. Evolve traffic and channels.
+	for _, u := range g.ues {
+		u.StepSlot(g.slot, g.Cell.SlotDuration)
+	}
+
+	// 2. Build per-slice UE views and demands.
+	slices := g.Slices.Slices()
+	ueViews := make(map[uint32][]sched.UEInfo, len(slices))
+	demands := make([]sched.SliceDemand, 0, len(slices))
+	for _, s := range slices {
+		var view []sched.UEInfo
+		var demandPRBs uint64
+		for _, u := range g.ues {
+			if u.SliceID != s.ID {
+				continue
+			}
+			per := uint32(g.Cell.BitsPerPRB(u.MCS))
+			info := sched.UEInfo{
+				ID:          u.ID,
+				MCS:         int32(u.MCS),
+				BitsPerPRB:  per,
+				BufferBytes: u.BufferBytes(),
+				AvgTputBps:  u.AvgTputBps,
+			}
+			view = append(view, info)
+			if per > 0 && u.BufferBits > 0 {
+				demandPRBs += (uint64(u.BufferBits) + uint64(per) - 1) / uint64(per)
+			}
+		}
+		ueViews[s.ID] = view
+		d := sched.SliceDemand{
+			SliceID:       s.ID,
+			TargetRateBps: s.TargetRate(),
+			AchievedBps:   g.sliceRate[s.ID],
+			Weight:        s.Weight(),
+		}
+		if demandPRBs > uint64(g.Cell.PRBs) {
+			demandPRBs = uint64(g.Cell.PRBs)
+		}
+		d.DemandPRBs = uint32(demandPRBs)
+		demands = append(demands, d)
+	}
+
+	// 3. Inter-slice division.
+	inter := g.Inter
+	if inter == nil {
+		inter = sched.TargetRate{}
+	}
+	shares := inter.Divide(g.slot, uint32(g.Cell.PRBs), demands)
+
+	// 4. Intra-slice decisions and grant application.
+	for _, s := range slices {
+		budget := shares[s.ID]
+		ss := SliceSlot{BudgetPRBs: budget}
+		if budget == 0 || len(ueViews[s.ID]) == 0 {
+			res.PerSlice[s.ID] = ss
+			continue
+		}
+		req := &sched.Request{
+			SliceID:   s.ID,
+			Slot:      g.slot,
+			PRBBudget: budget,
+			UEs:       ueViews[s.ID],
+		}
+		before := s.Stats().FallbackSlots
+		resp, err := g.Slices.Schedule(s, req)
+		if err != nil {
+			// Both plugin and fallback failed; skip the slice this slot.
+			res.PerSlice[s.ID] = ss
+			continue
+		}
+		ss.UsedFallback = s.Stats().FallbackSlots > before
+		for _, a := range resp.Allocs {
+			u, ok := g.byID[a.UEID]
+			if !ok {
+				continue
+			}
+			tbs := int64(g.Cell.TransportBlockBits(u.MCS, int(a.PRBs)))
+			served := tbs
+			if served > u.BufferBits {
+				served = u.BufferBits
+			}
+			if u.HARQ != nil {
+				// A failed transport block delivers nothing this slot; the
+				// data stays queued and is rescheduled (retransmission).
+				served = u.HARQ.Transmit(served, u.MCS, u.MCS)
+				if served > 0 {
+					u.HARQ.AckRetx(served)
+				}
+			}
+			u.RecordService(served, g.Cell.SlotDuration, g.PFTimeConstant)
+			res.PerUE[a.UEID] = UEGrant{PRBs: a.PRBs, Bits: served}
+			ss.GrantedPRBs += a.PRBs
+			ss.Bits += served
+		}
+		res.PerSlice[s.ID] = ss
+	}
+
+	// UEs with no grant still update their PF average (toward zero).
+	for _, u := range g.ues {
+		if _, granted := res.PerUE[u.ID]; !granted {
+			u.RecordService(0, g.Cell.SlotDuration, g.PFTimeConstant)
+		}
+	}
+
+	// Track served-rate EWMA per slice for E2 KPM reporting.
+	slotSec := g.Cell.SlotDuration.Seconds()
+	for id, ss := range res.PerSlice {
+		inst := float64(ss.Bits) / slotSec
+		g.sliceRate[id] = (1-sliceRateAlpha)*g.sliceRate[id] + sliceRateAlpha*inst
+	}
+
+	g.slot++
+	return res
+}
+
+// RunSlots advances n slots, invoking observe (if non-nil) per slot.
+func (g *GNB) RunSlots(n int, observe func(SlotResult)) {
+	for i := 0; i < n; i++ {
+		r := g.Step()
+		if observe != nil {
+			observe(r)
+		}
+	}
+}
+
+// NewPluginScheduler compiles-and-instantiates one of the built-in WAT
+// scheduler plugins ("rr", "pf", "mt") under the given policy, ready to be
+// installed into a slice. A zero Policy gets a 16 MiB memory cap and a
+// 10M-instruction fuel budget — comfortable for 20 UEs, small enough to
+// bound slot overruns.
+func NewPluginScheduler(name string, policy wabi.Policy) (*sched.PluginScheduler, error) {
+	mod, err := plugins.CompileScheduler(name)
+	if err != nil {
+		return nil, err
+	}
+	if policy.MaxMemoryPages == 0 {
+		policy.MaxMemoryPages = 256
+	}
+	if policy.Fuel == 0 {
+		policy.Fuel = 10_000_000
+	}
+	p, err := wabi.NewPlugin(mod, policy, wabi.Env{})
+	if err != nil {
+		return nil, err
+	}
+	return sched.NewPluginScheduler(name, p, nil)
+}
+
+// SlotsForDuration converts an experiment duration into a slot count.
+func SlotsForDuration(cell ran.CellConfig, d time.Duration) int {
+	return int(d / cell.SlotDuration)
+}

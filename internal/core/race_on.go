@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; wall-clock
+// timing assertions are skipped under it (the detector slows the
+// interpreter by roughly an order of magnitude).
+const raceEnabled = true

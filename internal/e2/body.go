@@ -1,0 +1,194 @@
+package e2
+
+import "fmt"
+
+// Body-level encoding of indications and control requests in the binary
+// codec's layout. These are the payloads crossing the xApp plugin boundary:
+// the RIC host hands each xApp an encoded indication and receives back an
+// encoded control list, so plugins written in any language parse one
+// documented fixed layout.
+//
+// Indication body layout (little endian):
+//
+//	u64 slot | u32 cell | u16 nUE
+//	per UE:    u32 ueID | u32 sliceID | u32 mcs | u32 bufferBytes | f64 tputBps   (24 B)
+//	u16 nSlice
+//	per slice: u32 sliceID | f64 targetBps | f64 servedBps | u32 usedPRBs        (24 B)
+//
+// Control request body layout:
+//
+//	u8 action | u32 sliceID | u32 ueID | f64 value | u16 len | text |
+//	u32 blobLen | blob
+//
+// Control list layout: u16 count, then count control request bodies.
+
+// AppendIndicationBody appends the encoded indication to b.
+func AppendIndicationBody(b []byte, ind *Indication) []byte {
+	w := &bwriter{b: b}
+	w.u64(ind.Slot)
+	w.u32(ind.Cell)
+	w.u16(uint16(len(ind.UEs)))
+	for _, u := range ind.UEs {
+		w.u32(u.UEID)
+		w.u32(u.SliceID)
+		w.u32(uint32(u.MCS))
+		w.u32(u.BufferBytes)
+		w.f64(u.TputBps)
+	}
+	w.u16(uint16(len(ind.Slices)))
+	for _, s := range ind.Slices {
+		w.u32(s.SliceID)
+		w.f64(s.TargetBps)
+		w.f64(s.ServedBps)
+		w.u32(s.UsedPRBs)
+	}
+	return w.b
+}
+
+// DecodeIndicationBody parses an encoded indication.
+func DecodeIndicationBody(b []byte) (*Indication, error) {
+	r := &breader{b: b}
+	ind, err := readIndicationBody(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.left() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in indication", ErrMalformed, r.left())
+	}
+	return ind, nil
+}
+
+func readIndicationBody(r *breader) (*Indication, error) {
+	ind := &Indication{}
+	var err error
+	if ind.Slot, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if ind.Cell, err = r.u32(); err != nil {
+		return nil, err
+	}
+	nUE, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nUE); i++ {
+		var u UEMeasurement
+		if u.UEID, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if u.SliceID, err = r.u32(); err != nil {
+			return nil, err
+		}
+		mcs, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		u.MCS = int32(mcs)
+		if u.BufferBytes, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if u.TputBps, err = r.f64(); err != nil {
+			return nil, err
+		}
+		ind.UEs = append(ind.UEs, u)
+	}
+	nSl, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nSl); i++ {
+		var s SliceMeasurement
+		if s.SliceID, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if s.TargetBps, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if s.ServedBps, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if s.UsedPRBs, err = r.u32(); err != nil {
+			return nil, err
+		}
+		ind.Slices = append(ind.Slices, s)
+	}
+	return ind, nil
+}
+
+// AppendControlBody appends one encoded control request to b.
+func AppendControlBody(b []byte, c *ControlRequest) []byte {
+	w := &bwriter{b: b}
+	w.u8(uint8(c.Action))
+	w.u32(c.SliceID)
+	w.u32(c.UEID)
+	w.f64(c.Value)
+	w.str(c.Text)
+	w.u32(uint32(len(c.Blob)))
+	w.b = append(w.b, c.Blob...)
+	return w.b
+}
+
+func readControlBody(r *breader) (*ControlRequest, error) {
+	c := &ControlRequest{}
+	a, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	c.Action = ControlAction(a)
+	if c.SliceID, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if c.UEID, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if c.Value, err = r.f64(); err != nil {
+		return nil, err
+	}
+	if c.Text, err = r.str(); err != nil {
+		return nil, err
+	}
+	blobLen, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if r.left() < int(blobLen) {
+		return nil, ErrMalformed
+	}
+	if blobLen > 0 {
+		c.Blob = make([]byte, blobLen)
+		copy(c.Blob, r.b[r.pos:])
+		r.pos += int(blobLen)
+	}
+	return c, nil
+}
+
+// AppendControlList appends an encoded control list to b.
+func AppendControlList(b []byte, list []ControlRequest) []byte {
+	w := &bwriter{b: b}
+	w.u16(uint16(len(list)))
+	for i := range list {
+		w.b = AppendControlBody(w.b, &list[i])
+	}
+	return w.b
+}
+
+// DecodeControlList parses an encoded control list.
+func DecodeControlList(b []byte) ([]ControlRequest, error) {
+	r := &breader{b: b}
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	list := make([]ControlRequest, 0, n)
+	for i := 0; i < int(n); i++ {
+		c, err := readControlBody(r)
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, *c)
+	}
+	if r.left() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in control list", ErrMalformed, r.left())
+	}
+	return list, nil
+}

@@ -1,0 +1,61 @@
+package e2
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+)
+
+// SealedCodec wraps another codec with AES-256-GCM authenticated
+// encryption: the operator-chosen "encrypt the packet in AES" option from
+// §4B. Frames are nonce || ciphertext.
+type SealedCodec struct {
+	inner Codec
+	aead  cipher.AEAD
+}
+
+// NewSealedCodec derives an AES-256 key from the passphrase (SHA-256) and
+// wraps inner.
+func NewSealedCodec(inner Codec, passphrase string) (*SealedCodec, error) {
+	key := sha256.Sum256([]byte(passphrase))
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("e2: sealed codec: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("e2: sealed codec: %w", err)
+	}
+	return &SealedCodec{inner: inner, aead: aead}, nil
+}
+
+// Name implements Codec.
+func (s *SealedCodec) Name() string { return s.inner.Name() + "+aes-gcm" }
+
+// Encode implements Codec.
+func (s *SealedCodec) Encode(m *Message) ([]byte, error) {
+	plain, err := s.inner.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, s.aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("e2: sealed codec: %w", err)
+	}
+	return s.aead.Seal(nonce, nonce, plain, nil), nil
+}
+
+// Decode implements Codec.
+func (s *SealedCodec) Decode(b []byte) (*Message, error) {
+	ns := s.aead.NonceSize()
+	if len(b) < ns {
+		return nil, fmt.Errorf("%w: sealed frame too short", ErrMalformed)
+	}
+	plain, err := s.aead.Open(nil, b[:ns], b[ns:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: authentication failed", ErrMalformed)
+	}
+	return s.inner.Decode(plain)
+}

@@ -1,0 +1,134 @@
+package e2
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxFrameBytes bounds a single E2-lite frame on the wire; oversized frames
+// indicate corruption or abuse and terminate the association.
+const MaxFrameBytes = 4 << 20
+
+// Conn is a framed, codec-aware E2-lite association over a byte stream.
+// Frames are u32 big-endian length prefixes followed by the codec payload.
+// Send is safe for concurrent use; Recv must be called from one goroutine.
+type Conn struct {
+	c      net.Conn
+	codec  Codec
+	br     *bufio.Reader
+	sendMu sync.Mutex
+
+	// Stats (atomic: Stats may be read while Send/Recv run).
+	sent, received atomic.Uint64
+	bytesSent      atomic.Uint64
+	bytesReceived  atomic.Uint64
+}
+
+// NewConn wraps an established net.Conn.
+func NewConn(c net.Conn, codec Codec) *Conn {
+	return &Conn{c: c, codec: codec, br: bufio.NewReaderSize(c, 64<<10)}
+}
+
+// Dial connects to an E2-lite endpoint.
+func Dial(addr string, codec Codec) (*Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("e2: dial %s: %w", addr, err)
+	}
+	return NewConn(c, codec), nil
+}
+
+// Send encodes and writes one message.
+func (c *Conn) Send(m *Message) error {
+	payload, err := c.codec.Encode(m)
+	if err != nil {
+		return err
+	}
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("e2: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return fmt.Errorf("e2: send: %w", err)
+	}
+	if _, err := c.c.Write(payload); err != nil {
+		return fmt.Errorf("e2: send: %w", err)
+	}
+	c.sent.Add(1)
+	c.bytesSent.Add(uint64(len(payload)) + 4)
+	return nil
+}
+
+// Recv reads and decodes one message, blocking until available.
+func (c *Conn) Recv() (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("e2: incoming frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return nil, err
+	}
+	m, err := c.codec.Decode(payload)
+	if err != nil {
+		return nil, err
+	}
+	c.received.Add(1)
+	c.bytesReceived.Add(uint64(n) + 4)
+	return m, nil
+}
+
+// SetDeadline applies to both reads and writes.
+func (c *Conn) SetDeadline(t time.Time) error { return c.c.SetDeadline(t) }
+
+// Close terminates the association.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// Stats reports frame and byte counters: sent, received, bytesSent,
+// bytesReceived.
+func (c *Conn) Stats() (sent, received, bytesSent, bytesReceived uint64) {
+	return c.sent.Load(), c.received.Load(), c.bytesSent.Load(), c.bytesReceived.Load()
+}
+
+// Listener accepts E2-lite associations.
+type Listener struct {
+	l     net.Listener
+	codec Codec
+}
+
+// Listen starts accepting on addr ("host:port", empty host for all).
+func Listen(addr string, codec Codec) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("e2: listen %s: %w", addr, err)
+	}
+	return &Listener{l: l, codec: codec}, nil
+}
+
+// Accept waits for the next association.
+func (l *Listener) Accept() (*Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c, l.codec), nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (l *Listener) Addr() net.Addr { return l.l.Addr() }
+
+// Close stops accepting.
+func (l *Listener) Close() error { return l.l.Close() }

@@ -1,0 +1,186 @@
+package e2
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pair establishes a connected listener/dialer pair over loopback.
+func pair(t *testing.T, codec Codec) (server, client *Conn) {
+	t.Helper()
+	lis, err := Listen("127.0.0.1:0", codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := lis.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		server = c
+	}()
+	client, err = Dial(lis.Addr().String(), codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	t.Cleanup(func() {
+		client.Close()
+		if server != nil {
+			server.Close()
+		}
+	})
+	return server, client
+}
+
+func TestTransportRoundTrip(t *testing.T) {
+	server, client := pair(t, BinaryCodec{})
+	msgs := sampleMessages()
+	go func() {
+		for _, m := range msgs {
+			if err := client.Send(m); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i, want := range msgs {
+		got, err := server.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.RequestID != want.RequestID {
+			t.Fatalf("message %d: got %v/%d want %v/%d", i, got.Type, got.RequestID, want.Type, want.RequestID)
+		}
+	}
+	sent, _, bytesSent, _ := client.Stats()
+	if sent != uint64(len(msgs)) || bytesSent == 0 {
+		t.Fatalf("client stats: sent=%d bytes=%d", sent, bytesSent)
+	}
+	_, received, _, bytesReceived := server.Stats()
+	if received != uint64(len(msgs)) || bytesReceived == 0 {
+		t.Fatalf("server stats: received=%d bytes=%d", received, bytesReceived)
+	}
+}
+
+func TestTransportBidirectional(t *testing.T) {
+	server, client := pair(t, VarintCodec{})
+	done := make(chan error, 1)
+	go func() {
+		m, err := server.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- server.Send(&Message{Type: TypeControlAck, RequestID: m.RequestID,
+			ControlAck: &ControlAck{Accepted: true}})
+	}()
+	if err := client.Send(&Message{Type: TypeControlRequest, RequestID: 5,
+		Control: &ControlRequest{Action: ActionHandover, UEID: 1, Text: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	ack, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Type != TypeControlAck || ack.RequestID != 5 || !ack.ControlAck.Accepted {
+		t.Fatalf("ack = %+v", ack)
+	}
+}
+
+func TestTransportLargeIndication(t *testing.T) {
+	server, client := pair(t, BinaryCodec{})
+	big := &Indication{Slot: 1, Cell: 1}
+	for i := 0; i < 5000; i++ {
+		big.UEs = append(big.UEs, UEMeasurement{UEID: uint32(i), TputBps: float64(i)})
+	}
+	go func() {
+		if err := client.Send(&Message{Type: TypeIndication, Indication: big}); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Indication.UEs) != 5000 {
+		t.Fatalf("UEs = %d", len(got.Indication.UEs))
+	}
+}
+
+func TestTransportRejectsOversizedFrame(t *testing.T) {
+	lis, err := Listen("127.0.0.1:0", BinaryCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		raw, err := net.Dial("tcp", lis.Addr().String())
+		if err != nil {
+			return
+		}
+		defer raw.Close()
+		// Claim a 1 GiB frame.
+		raw.Write([]byte{0x40, 0x00, 0x00, 0x00})
+		time.Sleep(100 * time.Millisecond)
+	}()
+	conn, err := lis.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Recv(); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestTransportConcurrentSenders(t *testing.T) {
+	server, client := pair(t, BinaryCodec{})
+	const perSender, senders = 50, 8
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if err := client.Send(&Message{Type: TypeHeartbeat}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		for i := 0; i < perSender*senders; i++ {
+			if _, err := server.Recv(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case <-recvDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("interleaved frames corrupted the stream")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", BinaryCodec{}); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}

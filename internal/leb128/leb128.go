@@ -1,0 +1,142 @@
+// Package leb128 implements the Little-Endian Base 128 variable-length
+// integer encoding used throughout the WebAssembly binary format.
+//
+// Decoding functions operate on a byte slice and return the decoded value
+// together with the number of bytes consumed so callers can advance a cursor
+// without wrapping readers around slices.
+package leb128
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverflow is returned when an encoded value does not fit the requested
+// integer width, or when the encoding exceeds the maximum legal byte length.
+var ErrOverflow = errors.New("leb128: integer overflow")
+
+// ErrTruncated is returned when the input ends in the middle of a value.
+var ErrTruncated = errors.New("leb128: truncated input")
+
+// Uint32 decodes an unsigned 32-bit LEB128 value from the front of b.
+func Uint32(b []byte) (uint32, int, error) {
+	v, n, err := Uint64(b)
+	if err != nil {
+		return 0, n, err
+	}
+	if v > 0xFFFF_FFFF {
+		return 0, n, fmt.Errorf("%w: %d exceeds uint32", ErrOverflow, v)
+	}
+	if n > 5 {
+		return 0, n, fmt.Errorf("%w: u32 encoding is %d bytes", ErrOverflow, n)
+	}
+	return uint32(v), n, nil
+}
+
+// Uint64 decodes an unsigned 64-bit LEB128 value from the front of b.
+func Uint64(b []byte) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < len(b); i++ {
+		if i >= 10 {
+			return 0, i, fmt.Errorf("%w: u64 encoding exceeds 10 bytes", ErrOverflow)
+		}
+		c := b[i]
+		if shift == 63 && c > 1 {
+			return 0, i + 1, fmt.Errorf("%w: u64 high bits set", ErrOverflow)
+		}
+		v |= uint64(c&0x7F) << shift
+		if c&0x80 == 0 {
+			return v, i + 1, nil
+		}
+		shift += 7
+	}
+	return 0, len(b), ErrTruncated
+}
+
+// Int32 decodes a signed 32-bit LEB128 value from the front of b.
+func Int32(b []byte) (int32, int, error) {
+	v, n, err := decodeSigned(b, 32)
+	return int32(v), n, err
+}
+
+// Int64 decodes a signed 64-bit LEB128 value from the front of b.
+func Int64(b []byte) (int64, int, error) {
+	return decodeSigned(b, 64)
+}
+
+// Int33 decodes the signed 33-bit value used by WebAssembly block types.
+func Int33(b []byte) (int64, int, error) {
+	return decodeSigned(b, 33)
+}
+
+func decodeSigned(b []byte, bits uint) (int64, int, error) {
+	var v int64
+	var shift uint
+	maxBytes := int((bits + 6) / 7)
+	for i := 0; i < len(b); i++ {
+		if i >= maxBytes {
+			return 0, i, fmt.Errorf("%w: s%d encoding exceeds %d bytes", ErrOverflow, bits, maxBytes)
+		}
+		c := b[i]
+		v |= int64(c&0x7F) << shift
+		shift += 7
+		if c&0x80 == 0 {
+			// Sign-extend from the final group.
+			if shift < 64 && c&0x40 != 0 {
+				v |= -1 << shift
+			}
+			// Validate that the value fits in the requested width.
+			if bits < 64 {
+				min := int64(-1) << (bits - 1)
+				max := int64(1)<<(bits-1) - 1
+				if v < min || v > max {
+					return 0, i + 1, fmt.Errorf("%w: %d outside s%d range", ErrOverflow, v, bits)
+				}
+			}
+			return v, i + 1, nil
+		}
+	}
+	return 0, len(b), ErrTruncated
+}
+
+// AppendUint32 appends the unsigned LEB128 encoding of v to dst.
+func AppendUint32(dst []byte, v uint32) []byte {
+	return AppendUint64(dst, uint64(v))
+}
+
+// AppendUint64 appends the unsigned LEB128 encoding of v to dst.
+func AppendUint64(dst []byte, v uint64) []byte {
+	for {
+		c := byte(v & 0x7F)
+		v >>= 7
+		if v != 0 {
+			c |= 0x80
+		}
+		dst = append(dst, c)
+		if v == 0 {
+			return dst
+		}
+	}
+}
+
+// AppendInt32 appends the signed LEB128 encoding of v to dst.
+func AppendInt32(dst []byte, v int32) []byte {
+	return AppendInt64(dst, int64(v))
+}
+
+// AppendInt64 appends the signed LEB128 encoding of v to dst.
+func AppendInt64(dst []byte, v int64) []byte {
+	for {
+		c := byte(v & 0x7F)
+		v >>= 7
+		done := (v == 0 && c&0x40 == 0) || (v == -1 && c&0x40 != 0)
+		if !done {
+			c |= 0x80
+		}
+		dst = append(dst, c)
+		if done {
+			return dst
+		}
+	}
+}

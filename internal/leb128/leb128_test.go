@@ -1,0 +1,164 @@
+package leb128
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint64RoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<32 - 1, 1 << 32, 1<<64 - 1}
+	for _, v := range cases {
+		enc := AppendUint64(nil, v)
+		got, n, err := Uint64(enc)
+		if err != nil {
+			t.Fatalf("decode %d: %v", v, err)
+		}
+		if got != v || n != len(enc) {
+			t.Fatalf("roundtrip %d: got %d, consumed %d of %d", v, got, n, len(enc))
+		}
+	}
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	cases := []int64{0, 1, -1, 63, 64, -64, -65, 127, 128, -9223372036854775808, 9223372036854775807}
+	for _, v := range cases {
+		enc := AppendInt64(nil, v)
+		got, n, err := Int64(enc)
+		if err != nil {
+			t.Fatalf("decode %d: %v", v, err)
+		}
+		if got != v || n != len(enc) {
+			t.Fatalf("roundtrip %d: got %d (%d bytes)", v, got, n)
+		}
+	}
+}
+
+func TestUint32RejectsOverflow(t *testing.T) {
+	enc := AppendUint64(nil, 1<<33)
+	if _, _, err := Uint32(enc); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("want ErrOverflow, got %v", err)
+	}
+}
+
+func TestInt32RejectsOverflow(t *testing.T) {
+	enc := AppendInt64(nil, 1<<40)
+	if _, _, err := Int32(enc); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("want ErrOverflow, got %v", err)
+	}
+	enc = AppendInt64(nil, -(1 << 40))
+	if _, _, err := Int32(enc); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("negative: want ErrOverflow, got %v", err)
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	enc := AppendUint64(nil, 1<<40)
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := Uint64(enc[:i]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix %d: want ErrTruncated, got %v", i, err)
+		}
+	}
+	if _, _, err := Int64(enc[:2]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestUint64RejectsTooLong(t *testing.T) {
+	// 11 continuation bytes exceed the maximal 10-byte u64 encoding.
+	b := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}
+	if _, _, err := Uint64(b); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("want ErrOverflow, got %v", err)
+	}
+}
+
+func TestUint64RejectsHighBits(t *testing.T) {
+	// 10th byte may only contribute one bit.
+	b := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02}
+	if _, _, err := Uint64(b); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("want ErrOverflow, got %v", err)
+	}
+}
+
+func TestInt33Range(t *testing.T) {
+	// Block types use s33: -64 must decode from a single 0x40 byte.
+	v, n, err := Int33([]byte{0x40})
+	if err != nil || v != -64 || n != 1 {
+		t.Fatalf("0x40 => %d (%d bytes), err %v", v, n, err)
+	}
+	// Max s33 value.
+	max := int64(1)<<32 - 1
+	enc := AppendInt64(nil, max)
+	if v, _, err := Int33(enc); err != nil || v != max {
+		t.Fatalf("s33 max: got %d, err %v", v, err)
+	}
+	// One beyond must fail.
+	enc = AppendInt64(nil, max+1)
+	if _, _, err := Int33(enc); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("s33 overflow: got %v", err)
+	}
+}
+
+func TestDecodeConsumesExactly(t *testing.T) {
+	// Decoding must stop at the value boundary even with trailing data.
+	enc := AppendUint32(nil, 624485)
+	enc = append(enc, 0xAA, 0xBB)
+	v, n, err := Uint32(enc)
+	if err != nil || v != 624485 || n != 3 {
+		t.Fatalf("got v=%d n=%d err=%v", v, n, err)
+	}
+}
+
+// Property: every uint64 round-trips.
+func TestQuickUint64(t *testing.T) {
+	f := func(v uint64) bool {
+		got, n, err := Uint64(AppendUint64(nil, v))
+		return err == nil && got == v && n >= 1 && n <= 10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every int64 round-trips.
+func TestQuickInt64(t *testing.T) {
+	f := func(v int64) bool {
+		got, _, err := Int64(AppendInt64(nil, v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every int32 round-trips through the 32-bit codec.
+func TestQuickInt32(t *testing.T) {
+	f := func(v int32) bool {
+		got, _, err := Int32(AppendInt32(nil, v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: unsigned encodings are minimal (re-encoding the decoded value
+// yields identical bytes).
+func TestQuickMinimalEncoding(t *testing.T) {
+	f := func(v uint64) bool {
+		enc := AppendUint64(nil, v)
+		enc2 := AppendUint64(nil, v)
+		if len(enc) != len(enc2) {
+			return false
+		}
+		for i := range enc {
+			if enc[i] != enc2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package ran
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+func mathExp(x float64) float64 { return math.Exp(x) }
+
+// ChannelModel evolves a UE's radio conditions slot by slot.
+type ChannelModel interface {
+	Step(slot uint64, ue *UE)
+}
+
+// StaticChannel pins the UE to a fixed MCS — the configuration used in the
+// paper's Fig. 5b (UEs at MCS 20, 24 and 28).
+type StaticChannel struct {
+	MCS int
+}
+
+// Step implements ChannelModel.
+func (s *StaticChannel) Step(_ uint64, ue *UE) {
+	ue.MCS = s.MCS
+	ue.CQI = mcsToApproxCQI(s.MCS)
+}
+
+// RandomWalkChannel performs a bounded random walk on CQI, modelling slow
+// fading. Each slot the CQI moves -1/0/+1 with the configured probability.
+type RandomWalkChannel struct {
+	MinCQI, MaxCQI int
+	// StepProb is the per-slot probability of a CQI change (default 0.01).
+	StepProb float64
+	rng      *rand.Rand
+}
+
+// NewRandomWalkChannel creates a bounded CQI random walk.
+func NewRandomWalkChannel(minCQI, maxCQI int, stepProb float64, seed int64) *RandomWalkChannel {
+	if minCQI < 1 {
+		minCQI = 1
+	}
+	if maxCQI > MaxCQI {
+		maxCQI = MaxCQI
+	}
+	if stepProb == 0 {
+		stepProb = 0.01
+	}
+	return &RandomWalkChannel{MinCQI: minCQI, MaxCQI: maxCQI, StepProb: stepProb, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Step implements ChannelModel.
+func (w *RandomWalkChannel) Step(_ uint64, ue *UE) {
+	if ue.CQI == 0 {
+		ue.CQI = (w.MinCQI + w.MaxCQI) / 2
+	}
+	if w.rng.Float64() < w.StepProb {
+		if w.rng.Intn(2) == 0 {
+			ue.CQI--
+		} else {
+			ue.CQI++
+		}
+		if ue.CQI < w.MinCQI {
+			ue.CQI = w.MinCQI
+		}
+		if ue.CQI > w.MaxCQI {
+			ue.CQI = w.MaxCQI
+		}
+	}
+	ue.MCS = CQIToMCS(ue.CQI)
+}
+
+// FadingChannel approximates periodic multi-path fading: CQI oscillates
+// sinusoidally between bounds with per-UE phase, giving the scheduler a
+// frequency-selective-like pattern to exploit.
+type FadingChannel struct {
+	MinCQI, MaxCQI int
+	Period         time.Duration
+	Phase          float64
+	slotDur        time.Duration
+}
+
+// NewFadingChannel creates a sinusoidal CQI oscillation.
+func NewFadingChannel(minCQI, maxCQI int, period time.Duration, phase float64, slotDur time.Duration) *FadingChannel {
+	if slotDur == 0 {
+		slotDur = time.Millisecond
+	}
+	return &FadingChannel{MinCQI: minCQI, MaxCQI: maxCQI, Period: period, Phase: phase, slotDur: slotDur}
+}
+
+// Step implements ChannelModel.
+func (f *FadingChannel) Step(slot uint64, ue *UE) {
+	t := float64(slot) * f.slotDur.Seconds()
+	omega := 2 * math.Pi / f.Period.Seconds()
+	x := (math.Sin(omega*t+f.Phase) + 1) / 2
+	cqi := f.MinCQI + int(math.Round(x*float64(f.MaxCQI-f.MinCQI)))
+	ue.CQI = cqi
+	ue.MCS = CQIToMCS(cqi)
+}

@@ -1,0 +1,166 @@
+package ric
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"waran/internal/e2"
+)
+
+// RANControl is the control surface an E2 node exposes to its agent — the
+// "host functions" the gNB makes available to the RIC in the paper's
+// design. core.GNB implements it.
+type RANControl interface {
+	// Snapshot reports current KPM state.
+	Snapshot(cell uint32) *e2.Indication
+	// Apply executes one control action.
+	Apply(c *e2.ControlRequest) error
+}
+
+// Agent is the gNB-side endpoint of the E2-lite association: it answers the
+// RIC's subscription, streams indications at the subscribed cadence (driven
+// by Tick from the MAC slot loop), and applies incoming control actions.
+type Agent struct {
+	conn *e2.Conn
+	ran  RANControl
+	Cell uint32
+
+	subscribed   atomic.Bool
+	periodSlots  atomic.Uint64
+	sliceFilter  []uint32
+	mu           sync.Mutex
+	indications  uint64
+	controlsOK   uint64
+	controlsFail uint64
+}
+
+// NewAgent creates an agent for one association.
+func NewAgent(conn *e2.Conn, ran RANControl, cell uint32) *Agent {
+	return &Agent{conn: conn, ran: ran, Cell: cell}
+}
+
+// Start blocks until the RIC's subscription request arrives, acknowledges
+// it, and spawns the control-receive loop. The returned channel yields the
+// terminal error of the receive loop (nil on clean shutdown).
+func (a *Agent) Start() (<-chan error, error) {
+	m, err := a.conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("ric: agent: waiting for subscription: %w", err)
+	}
+	if m.Type != e2.TypeSubscriptionRequest {
+		refusal := &e2.Message{Type: e2.TypeError, Error: &e2.ErrorBody{Reason: "expected subscription-request"}}
+		_ = a.conn.Send(refusal)
+		return nil, fmt.Errorf("ric: agent: unexpected first message %s", m.Type)
+	}
+	period := uint64(m.Subscription.ReportPeriodMs)
+	if period == 0 {
+		period = 100
+	}
+	a.periodSlots.Store(period) // 1 ms slots: ms == slots
+	a.sliceFilter = m.Subscription.SliceIDs
+	ack := &e2.Message{
+		Type:             e2.TypeSubscriptionResponse,
+		RequestID:        m.RequestID,
+		RANFunction:      m.RANFunction,
+		SubscriptionResp: &e2.SubscriptionResponse{Accepted: true},
+	}
+	if err := a.conn.Send(ack); err != nil {
+		return nil, err
+	}
+	a.subscribed.Store(true)
+
+	done := make(chan error, 1)
+	go func() { done <- a.recvLoop() }()
+	return done, nil
+}
+
+func (a *Agent) recvLoop() error {
+	for {
+		m, err := a.conn.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		switch m.Type {
+		case e2.TypeControlRequest:
+			applyErr := a.ran.Apply(m.Control)
+			ack := &e2.Message{
+				Type:        e2.TypeControlAck,
+				RequestID:   m.RequestID,
+				RANFunction: m.RANFunction,
+				ControlAck:  &e2.ControlAck{Accepted: applyErr == nil},
+			}
+			a.mu.Lock()
+			if applyErr == nil {
+				a.controlsOK++
+			} else {
+				a.controlsFail++
+				ack.ControlAck.Reason = applyErr.Error()
+			}
+			a.mu.Unlock()
+			if err := a.conn.Send(ack); err != nil {
+				return err
+			}
+		case e2.TypeHeartbeat:
+			// Echo heartbeats so both sides can detect liveness.
+			if err := a.conn.Send(&e2.Message{Type: e2.TypeHeartbeat}); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Tick is called by the owner after each MAC slot; at the subscribed
+// cadence it snapshots KPM state and sends an indication.
+func (a *Agent) Tick(slot uint64) error {
+	if !a.subscribed.Load() {
+		return nil
+	}
+	period := a.periodSlots.Load()
+	if period == 0 || slot%period != 0 {
+		return nil
+	}
+	ind := a.ran.Snapshot(a.Cell)
+	if len(a.sliceFilter) > 0 {
+		ind = filterIndication(ind, a.sliceFilter)
+	}
+	a.mu.Lock()
+	a.indications++
+	a.mu.Unlock()
+	return a.conn.Send(&e2.Message{
+		Type:        e2.TypeIndication,
+		RANFunction: e2.RANFunctionKPM,
+		Indication:  ind,
+	})
+}
+
+// Counters reports indication and control outcomes.
+func (a *Agent) Counters() (indications, controlsOK, controlsFail uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.indications, a.controlsOK, a.controlsFail
+}
+
+func filterIndication(ind *e2.Indication, sliceIDs []uint32) *e2.Indication {
+	want := make(map[uint32]bool, len(sliceIDs))
+	for _, id := range sliceIDs {
+		want[id] = true
+	}
+	out := &e2.Indication{Slot: ind.Slot, Cell: ind.Cell}
+	for _, u := range ind.UEs {
+		if want[u.SliceID] {
+			out.UEs = append(out.UEs, u)
+		}
+	}
+	for _, s := range ind.Slices {
+		if want[s.SliceID] {
+			out.Slices = append(out.Slices, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package ric
+
+import (
+	"sync"
+	"time"
+
+	"waran/internal/e2"
+)
+
+// KPMStore is the RIC's measurement database: a bounded ring of indications
+// per cell, with per-UE and per-slice history queries. The non-RT RIC's
+// analytics (rApps) would read from here; in this repo it backs the RIC's
+// observability and tests.
+type KPMStore struct {
+	mu    sync.RWMutex
+	limit int
+	cells map[uint32][]*StampedIndication
+}
+
+// StampedIndication pairs an indication with its arrival time.
+type StampedIndication struct {
+	At         time.Time
+	Indication *e2.Indication
+}
+
+// DefaultKPMHistory is the per-cell ring size when limit is 0.
+const DefaultKPMHistory = 1024
+
+// NewKPMStore creates a store retaining up to limit indications per cell.
+func NewKPMStore(limit int) *KPMStore {
+	if limit <= 0 {
+		limit = DefaultKPMHistory
+	}
+	return &KPMStore{limit: limit, cells: make(map[uint32][]*StampedIndication)}
+}
+
+// Record stores one indication.
+func (k *KPMStore) Record(at time.Time, ind *e2.Indication) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	ring := append(k.cells[ind.Cell], &StampedIndication{At: at, Indication: ind})
+	if len(ring) > k.limit {
+		ring = ring[len(ring)-k.limit:]
+	}
+	k.cells[ind.Cell] = ring
+}
+
+// Cells lists cell IDs with recorded history.
+func (k *KPMStore) Cells() []uint32 {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	out := make([]uint32, 0, len(k.cells))
+	for id := range k.cells {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Latest returns the most recent indication for a cell.
+func (k *KPMStore) Latest(cell uint32) (*StampedIndication, bool) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	ring := k.cells[cell]
+	if len(ring) == 0 {
+		return nil, false
+	}
+	return ring[len(ring)-1], true
+}
+
+// History returns up to n most recent indications for a cell, oldest first.
+func (k *KPMStore) History(cell uint32, n int) []*StampedIndication {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	ring := k.cells[cell]
+	if n <= 0 || n > len(ring) {
+		n = len(ring)
+	}
+	out := make([]*StampedIndication, n)
+	copy(out, ring[len(ring)-n:])
+	return out
+}
+
+// UETputSeries extracts a UE's reported throughput across a cell's history,
+// oldest first.
+func (k *KPMStore) UETputSeries(cell, ueID uint32) []float64 {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	var out []float64
+	for _, si := range k.cells[cell] {
+		for _, u := range si.Indication.UEs {
+			if u.UEID == ueID {
+				out = append(out, u.TputBps)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SliceSLACompliance reports what fraction of a slice's recorded samples
+// met at least frac of its target rate (e.g. frac=0.9 for "within 90%").
+func (k *KPMStore) SliceSLACompliance(cell, sliceID uint32, frac float64) (met, total int) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	for _, si := range k.cells[cell] {
+		for _, s := range si.Indication.Slices {
+			if s.SliceID != sliceID || s.TargetBps <= 0 {
+				continue
+			}
+			total++
+			if s.ServedBps >= frac*s.TargetBps {
+				met++
+			}
+		}
+	}
+	return met, total
+}

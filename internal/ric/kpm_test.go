@@ -1,0 +1,186 @@
+package ric
+
+import (
+	"testing"
+	"time"
+
+	"waran/internal/e2"
+	"waran/internal/plugins"
+	"waran/internal/wabi"
+)
+
+func mkInd(cell uint32, slot uint64, ueTput float64, served float64) *e2.Indication {
+	return &e2.Indication{
+		Cell: cell, Slot: slot,
+		UEs:    []e2.UEMeasurement{{UEID: 1, SliceID: 1, TputBps: ueTput}},
+		Slices: []e2.SliceMeasurement{{SliceID: 1, TargetBps: 10e6, ServedBps: served}},
+	}
+}
+
+func TestKPMStoreBasics(t *testing.T) {
+	k := NewKPMStore(0)
+	now := time.Now()
+	for i := 0; i < 5; i++ {
+		k.Record(now.Add(time.Duration(i)*time.Second), mkInd(7, uint64(i), float64(i)*1e6, 9e6))
+	}
+	if cells := k.Cells(); len(cells) != 1 || cells[0] != 7 {
+		t.Fatalf("cells = %v", cells)
+	}
+	latest, ok := k.Latest(7)
+	if !ok || latest.Indication.Slot != 4 {
+		t.Fatalf("latest = %+v", latest)
+	}
+	if _, ok := k.Latest(9); ok {
+		t.Fatal("latest for unknown cell")
+	}
+	hist := k.History(7, 3)
+	if len(hist) != 3 || hist[0].Indication.Slot != 2 || hist[2].Indication.Slot != 4 {
+		t.Fatalf("history = %v", hist)
+	}
+	if all := k.History(7, 0); len(all) != 5 {
+		t.Fatalf("full history = %d", len(all))
+	}
+	series := k.UETputSeries(7, 1)
+	if len(series) != 5 || series[3] != 3e6 {
+		t.Fatalf("series = %v", series)
+	}
+}
+
+func TestKPMStoreRingBound(t *testing.T) {
+	k := NewKPMStore(10)
+	for i := 0; i < 100; i++ {
+		k.Record(time.Now(), mkInd(1, uint64(i), 0, 0))
+	}
+	hist := k.History(1, 0)
+	if len(hist) != 10 {
+		t.Fatalf("ring holds %d entries, want 10", len(hist))
+	}
+	if hist[0].Indication.Slot != 90 {
+		t.Fatalf("oldest retained slot = %d", hist[0].Indication.Slot)
+	}
+}
+
+func TestKPMSLACompliance(t *testing.T) {
+	k := NewKPMStore(0)
+	// 6 samples above 90% of target, 4 below.
+	for i := 0; i < 6; i++ {
+		k.Record(time.Now(), mkInd(1, uint64(i), 0, 9.5e6))
+	}
+	for i := 0; i < 4; i++ {
+		k.Record(time.Now(), mkInd(1, uint64(10+i), 0, 5e6))
+	}
+	met, total := k.SliceSLACompliance(1, 1, 0.9)
+	if met != 6 || total != 10 {
+		t.Fatalf("compliance = %d/%d", met, total)
+	}
+	// Slices with zero target are excluded.
+	k2 := NewKPMStore(0)
+	ind := mkInd(1, 0, 0, 5e6)
+	ind.Slices[0].TargetBps = 0
+	k2.Record(time.Now(), ind)
+	if _, total := k2.SliceSLACompliance(1, 1, 0.9); total != 0 {
+		t.Fatalf("zero-target slice counted: %d", total)
+	}
+}
+
+func TestRICRecordsIntoKPM(t *testing.T) {
+	r := New()
+	r.HandleIndication(mkInd(3, 42, 1e6, 8e6))
+	latest, ok := r.KPM.Latest(3)
+	if !ok || latest.Indication.Slot != 42 {
+		t.Fatalf("RIC did not record indication: %v %v", latest, ok)
+	}
+}
+
+// faultyXAppWAT traps on every invocation.
+const faultyXAppWAT = `(module
+  (import "waran" "output_write" (func $output_write (param i32 i32)))
+  (memory (export "memory") 1)
+  (func (export "on_indication") (result i32) unreachable))`
+
+func TestXAppQuarantineAfterFaults(t *testing.T) {
+	r := New()
+	var faults int
+	r.OnFault = func(string, error) { faults++ }
+	x, err := r.AddXAppWAT("bad", faultyXAppWAT, wabi.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddXAppWAT("good", plugins.SLAAssureXAppWAT, wabi.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	ind := mkInd(1, 0, 0, 5e6) // under target => SLA xApp emits a boost
+	for i := 0; i < DefaultXAppQuarantine+2; i++ {
+		controls := r.HandleIndication(ind)
+		// The healthy xApp keeps working through its peer's faults.
+		if len(controls) == 0 {
+			t.Fatalf("round %d: healthy xApp silenced", i)
+		}
+	}
+	if !x.Disabled() {
+		t.Fatal("faulty xApp not quarantined")
+	}
+	if faults != DefaultXAppQuarantine {
+		t.Fatalf("fault observer saw %d faults, want %d (quarantined after)", faults, DefaultXAppQuarantine)
+	}
+	inv, xfaults := x.Stats()
+	if inv != DefaultXAppQuarantine || xfaults != DefaultXAppQuarantine {
+		t.Fatalf("stats = %d/%d", inv, xfaults)
+	}
+}
+
+func TestRemoveXApp(t *testing.T) {
+	r := New()
+	if _, err := r.AddXAppWAT("a", plugins.SLAAssureXAppWAT, wabi.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddXAppWAT("a", plugins.SLAAssureXAppWAT, wabi.Policy{}); err == nil {
+		t.Fatal("duplicate xApp accepted")
+	}
+	if err := r.RemoveXApp("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveXApp("a"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if len(r.XApps()) != 0 {
+		t.Fatal("xApp list not empty")
+	}
+}
+
+func TestAddXAppRejectsMissingEntry(t *testing.T) {
+	r := New()
+	src := `(module (memory (export "memory") 1) (func (export "wrong") (result i32) i32.const 0))`
+	if _, err := r.AddXAppWAT("x", src, wabi.Policy{}); err == nil {
+		t.Fatal("xApp without on_indication accepted")
+	}
+}
+
+// TestKPMStoreConcurrentAccess: the store is written by association
+// goroutines and read by rApps concurrently; run with -race.
+func TestKPMStoreConcurrentAccess(t *testing.T) {
+	k := NewKPMStore(64)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k.Record(time.Now(), mkInd(uint32(i%3+1), uint64(i), 1e6, 8e6))
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		for _, cell := range k.Cells() {
+			k.Latest(cell)
+			k.History(cell, 10)
+			k.UETputSeries(cell, 1)
+			k.SliceSLACompliance(cell, 1, 0.9)
+		}
+	}
+	close(stop)
+	<-done
+}

@@ -1,0 +1,182 @@
+package ric
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"waran/internal/e2"
+)
+
+// RApp is a non-real-time analytics application (Fig. 2 of the paper: the
+// non-RT RIC hosts rApps for network optimization and analytics). An rApp
+// inspects measurement history and returns policy guidance as control
+// requests — the A1-policy role, carried here over the same control
+// vocabulary the E2 path uses.
+type RApp interface {
+	Name() string
+	// Analyze inspects the KPM store and returns guidance (may be empty).
+	Analyze(store *KPMStore) []e2.ControlRequest
+}
+
+// NonRTRIC hosts rApps and periodically runs them against a KPM store,
+// pushing the resulting guidance into a sink (typically GNB.Apply directly
+// in-process, or an E2 connection's Send for a remote gNB).
+type NonRTRIC struct {
+	Store *KPMStore
+	// Sink consumes each guidance control request.
+	Sink func(e2.ControlRequest) error
+	// Interval is the analytics cadence for Run (default 1 s — non-RT).
+	Interval time.Duration
+
+	mu      sync.Mutex
+	rapps   []RApp
+	rounds  uint64
+	emitted uint64
+	faults  uint64
+}
+
+// NewNonRTRIC creates a non-RT RIC over the given store and sink.
+func NewNonRTRIC(store *KPMStore, sink func(e2.ControlRequest) error) *NonRTRIC {
+	return &NonRTRIC{Store: store, Sink: sink, Interval: time.Second}
+}
+
+// AddRApp installs an analytics application.
+func (n *NonRTRIC) AddRApp(r RApp) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rapps = append(n.rapps, r)
+}
+
+// RunOnce executes every rApp against the current history and pushes the
+// guidance to the sink. It returns the number of guidance actions emitted.
+func (n *NonRTRIC) RunOnce() (int, error) {
+	n.mu.Lock()
+	rapps := append([]RApp(nil), n.rapps...)
+	n.rounds++
+	n.mu.Unlock()
+
+	emitted := 0
+	var firstErr error
+	for _, r := range rapps {
+		for _, c := range r.Analyze(n.Store) {
+			if err := n.Sink(c); err != nil {
+				n.mu.Lock()
+				n.faults++
+				n.mu.Unlock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("ric: rApp %q guidance rejected: %w", r.Name(), err)
+				}
+				continue
+			}
+			emitted++
+		}
+	}
+	n.mu.Lock()
+	n.emitted += uint64(emitted)
+	n.mu.Unlock()
+	return emitted, firstErr
+}
+
+// Run executes rApps on the configured cadence until stop closes.
+func (n *NonRTRIC) Run(stop <-chan struct{}) {
+	interval := n.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			_, _ = n.RunOnce()
+		}
+	}
+}
+
+// Counters reports analytics rounds, guidance emitted, and sink rejections.
+func (n *NonRTRIC) Counters() (rounds, emitted, faults uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rounds, n.emitted, n.faults
+}
+
+// SLATuner is the built-in rApp: it watches each slice's SLA compliance
+// over the recorded history and retunes inter-slice weights — a persistent
+// under-achiever gets weight 2.0, a comfortable over-achiever is relaxed
+// back to 1.0. This is the slow-timescale complement to the fast SLA xApp.
+type SLATuner struct {
+	// Window is how many recent indications to consider (default 20).
+	Window int
+	// ComplianceFrac is the served/target ratio counted as "met"
+	// (default 0.9).
+	ComplianceFrac float64
+
+	// lastWeight avoids re-sending unchanged guidance.
+	lastWeight map[uint32]float64
+}
+
+// Name implements RApp.
+func (s *SLATuner) Name() string { return "sla-tuner" }
+
+// Analyze implements RApp.
+func (s *SLATuner) Analyze(store *KPMStore) []e2.ControlRequest {
+	window := s.Window
+	if window <= 0 {
+		window = 20
+	}
+	frac := s.ComplianceFrac
+	if frac <= 0 {
+		frac = 0.9
+	}
+	if s.lastWeight == nil {
+		s.lastWeight = make(map[uint32]float64)
+	}
+
+	var out []e2.ControlRequest
+	for _, cell := range store.Cells() {
+		history := store.History(cell, window)
+		if len(history) < window/2 {
+			continue // not enough evidence yet
+		}
+		met := map[uint32]int{}
+		total := map[uint32]int{}
+		for _, si := range history {
+			for _, sl := range si.Indication.Slices {
+				if sl.TargetBps <= 0 {
+					continue
+				}
+				total[sl.SliceID]++
+				if sl.ServedBps >= frac*sl.TargetBps {
+					met[sl.SliceID]++
+				}
+			}
+		}
+		for sliceID, n := range total {
+			compliance := float64(met[sliceID]) / float64(n)
+			want := s.lastWeight[sliceID]
+			if want == 0 {
+				want = 1.0
+			}
+			switch {
+			case compliance < 0.5:
+				want = 2.0
+			case compliance > 0.95:
+				want = 1.0
+			}
+			if want != s.lastWeight[sliceID] || s.lastWeight[sliceID] == 0 {
+				if prev, seen := s.lastWeight[sliceID]; !seen || prev != want {
+					out = append(out, e2.ControlRequest{
+						Action:  e2.ActionSetSliceWeight,
+						SliceID: sliceID,
+						Value:   want,
+					})
+					s.lastWeight[sliceID] = want
+				}
+			}
+		}
+	}
+	return out
+}

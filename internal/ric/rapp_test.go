@@ -1,0 +1,134 @@
+package ric
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"waran/internal/e2"
+)
+
+func fillStore(store *KPMStore, n int, served float64) {
+	for i := 0; i < n; i++ {
+		store.Record(time.Now(), &e2.Indication{
+			Cell: 1, Slot: uint64(i),
+			Slices: []e2.SliceMeasurement{{SliceID: 5, TargetBps: 10e6, ServedBps: served}},
+		})
+	}
+}
+
+func TestSLATunerBoostsUnderachiever(t *testing.T) {
+	store := NewKPMStore(0)
+	fillStore(store, 20, 4e6) // persistently at 40% of target
+
+	var got []e2.ControlRequest
+	n := NewNonRTRIC(store, func(c e2.ControlRequest) error {
+		got = append(got, c)
+		return nil
+	})
+	n.AddRApp(&SLATuner{})
+	emitted, err := n.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 1 || len(got) != 1 {
+		t.Fatalf("emitted %d guidance actions: %v", emitted, got)
+	}
+	c := got[0]
+	if c.Action != e2.ActionSetSliceWeight || c.SliceID != 5 || c.Value != 2.0 {
+		t.Fatalf("guidance = %+v", c)
+	}
+	// Unchanged situation: no duplicate guidance.
+	if emitted, _ := n.RunOnce(); emitted != 0 {
+		t.Fatalf("duplicate guidance emitted: %d", emitted)
+	}
+	// Recovery: compliance returns, weight relaxes to 1.0.
+	fillStore(store, 30, 9.8e6)
+	got = nil
+	if emitted, _ := n.RunOnce(); emitted != 1 || got[0].Value != 1.0 {
+		t.Fatalf("relaxation guidance = %d %v", emitted, got)
+	}
+	rounds, totalEmitted, faults := n.Counters()
+	if rounds != 3 || totalEmitted != 2 || faults != 0 {
+		t.Fatalf("counters = %d/%d/%d", rounds, totalEmitted, faults)
+	}
+}
+
+func TestSLATunerNeedsEvidence(t *testing.T) {
+	store := NewKPMStore(0)
+	fillStore(store, 3, 1e6) // too few samples for a 20-window
+	n := NewNonRTRIC(store, func(e2.ControlRequest) error { return nil })
+	n.AddRApp(&SLATuner{})
+	if emitted, _ := n.RunOnce(); emitted != 0 {
+		t.Fatalf("guidance from insufficient history: %d", emitted)
+	}
+}
+
+func TestNonRTRICSinkFaultsCounted(t *testing.T) {
+	store := NewKPMStore(0)
+	fillStore(store, 20, 1e6)
+	n := NewNonRTRIC(store, func(e2.ControlRequest) error {
+		return errors.New("gNB refused")
+	})
+	n.AddRApp(&SLATuner{})
+	emitted, err := n.RunOnce()
+	if emitted != 0 || err == nil {
+		t.Fatalf("emitted=%d err=%v", emitted, err)
+	}
+	if _, _, faults := n.Counters(); faults != 1 {
+		t.Fatalf("faults = %d", faults)
+	}
+}
+
+func TestNonRTRICRunLoop(t *testing.T) {
+	store := NewKPMStore(0)
+	fillStore(store, 20, 1e6)
+	var count int
+	n := NewNonRTRIC(store, func(e2.ControlRequest) error {
+		count++
+		return nil
+	})
+	n.Interval = 5 * time.Millisecond
+	n.AddRApp(&SLATuner{})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		n.Run(stop)
+		close(done)
+	}()
+	time.Sleep(40 * time.Millisecond)
+	close(stop)
+	<-done
+	rounds, _, _ := n.Counters()
+	if rounds == 0 {
+		t.Fatal("run loop never ticked")
+	}
+	if count != 1 {
+		t.Fatalf("guidance delivered %d times, want 1 (dedup)", count)
+	}
+}
+
+// TestClosedLoopRAppRetunesGNB runs the full non-RT loop in process: gNB
+// history flows into the KPM store; the SLA tuner's guidance is applied
+// back to the gNB.
+func TestClosedLoopRAppRetunesGNB(t *testing.T) {
+	store := NewKPMStore(0)
+	// Simulate a slice persistently missing its SLA in the recorded KPMs.
+	fillStore(store, 20, 2e6)
+
+	applied := map[uint32]float64{}
+	n := NewNonRTRIC(store, func(c e2.ControlRequest) error {
+		if c.Action != e2.ActionSetSliceWeight {
+			return errors.New("unexpected action")
+		}
+		applied[c.SliceID] = c.Value
+		return nil
+	})
+	n.AddRApp(&SLATuner{})
+	if _, err := n.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if applied[5] != 2.0 {
+		t.Fatalf("weights applied = %v", applied)
+	}
+}

@@ -1,0 +1,209 @@
+package ric
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"waran/internal/e2"
+	"waran/internal/wabi"
+	"waran/internal/wasm"
+)
+
+// RIC is the near-RT RIC host: it owns the xApp registry, dispatches
+// indications to every enabled xApp, aggregates their control actions, and
+// drives the E2-lite association with a gNB.
+type RIC struct {
+	mu     sync.Mutex
+	xapps  []*XApp
+	byName map[string]*XApp
+
+	// ReportPeriodMs is the indication cadence requested at subscription
+	// (default 100 ms).
+	ReportPeriodMs uint32
+	// OnFault observes xApp failures.
+	OnFault func(xapp string, err error)
+	// OnLog receives xApp log lines.
+	OnLog func(xapp, msg string)
+
+	// KPM stores the indication history for analytics and tests.
+	KPM *KPMStore
+
+	// Counters.
+	indications uint64
+	controls    uint64
+}
+
+// New creates an empty RIC.
+func New() *RIC {
+	return &RIC{
+		byName:         make(map[string]*XApp),
+		ReportPeriodMs: 100,
+		KPM:            NewKPMStore(0),
+	}
+}
+
+// AddXAppWAT compiles WAT source and installs it as an xApp. The plugin
+// gets the RIC host functions under module "ric" plus the standard wabi
+// ABI; a zero policy receives a 16 MiB cap and 10M-instruction fuel budget.
+func (r *RIC) AddXAppWAT(name, src string, policy wabi.Policy) (*XApp, error) {
+	mod, err := wabi.CompileWAT(src)
+	if err != nil {
+		return nil, fmt.Errorf("ric: compile xApp %q: %w", name, err)
+	}
+	return r.AddXApp(name, mod, policy)
+}
+
+// AddXApp installs a compiled module as an xApp.
+func (r *RIC) AddXApp(name string, mod *wabi.Module, policy wabi.Policy) (*XApp, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		return nil, fmt.Errorf("ric: xApp %q already installed", name)
+	}
+	if policy.MaxMemoryPages == 0 {
+		policy.MaxMemoryPages = 256
+	}
+	if policy.Fuel == 0 {
+		policy.Fuel = 10_000_000
+	}
+	x := &XApp{Name: name}
+	env := wabi.Env{
+		HostFuncs: wasm.Imports{"ric": r.hostFuncs(x)},
+	}
+	if r.OnLog != nil {
+		env.OnLog = func(msg string) { r.OnLog(name, msg) }
+	}
+	plugin, err := wabi.NewPlugin(mod, policy, env)
+	if err != nil {
+		return nil, fmt.Errorf("ric: instantiate xApp %q: %w", name, err)
+	}
+	if !plugin.HasEntry(XAppEntry) {
+		return nil, fmt.Errorf("ric: xApp %q does not export %q with signature () -> i32", name, XAppEntry)
+	}
+	x.plugin = plugin
+	r.xapps = append(r.xapps, x)
+	r.byName[name] = x
+	return x, nil
+}
+
+// XApp looks up an installed xApp by name.
+func (r *RIC) XApp(name string) (*XApp, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	x, ok := r.byName[name]
+	return x, ok
+}
+
+// XApps returns installed xApps in installation order.
+func (r *RIC) XApps() []*XApp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*XApp(nil), r.xapps...)
+}
+
+// RemoveXApp uninstalls an xApp — like slice plugins, xApps come and go
+// without restarting the RIC.
+func (r *RIC) RemoveXApp(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	x, ok := r.byName[name]
+	if !ok {
+		return fmt.Errorf("ric: no xApp %q", name)
+	}
+	delete(r.byName, name)
+	for i, v := range r.xapps {
+		if v == x {
+			r.xapps = append(r.xapps[:i], r.xapps[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// HandleIndication dispatches one indication to every enabled xApp and
+// returns the aggregated control actions. Individual xApp faults are
+// contained (counted, possibly quarantining the xApp) and do not fail the
+// dispatch.
+func (r *RIC) HandleIndication(ind *e2.Indication) []e2.ControlRequest {
+	if r.KPM != nil {
+		r.KPM.Record(time.Now(), ind)
+	}
+	payload := e2.AppendIndicationBody(nil, ind)
+	var out []e2.ControlRequest
+	for _, x := range r.XApps() {
+		list, err := x.invoke(r, payload)
+		if err != nil {
+			continue // fault already recorded
+		}
+		out = append(out, list...)
+	}
+	r.mu.Lock()
+	r.indications++
+	r.controls += uint64(len(out))
+	r.mu.Unlock()
+	return out
+}
+
+// Counters reports processed indication and emitted control counts.
+func (r *RIC) Counters() (indications, controls uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.indications, r.controls
+}
+
+// ServeConn drives one E2-lite association from the RIC side: subscribe,
+// then consume indications and push control actions until the peer closes
+// or stop is closed. Control acks and heartbeats are consumed and counted.
+func (r *RIC) ServeConn(conn *e2.Conn, stop <-chan struct{}) error {
+	sub := &e2.Message{
+		Type:         e2.TypeSubscriptionRequest,
+		RequestID:    1,
+		RANFunction:  e2.RANFunctionKPM,
+		Subscription: &e2.SubscriptionRequest{ReportPeriodMs: r.ReportPeriodMs},
+	}
+	if err := conn.Send(sub); err != nil {
+		return err
+	}
+	reqID := uint32(100)
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		m, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		switch m.Type {
+		case e2.TypeSubscriptionResponse:
+			if !m.SubscriptionResp.Accepted {
+				return fmt.Errorf("ric: subscription refused: %s", m.SubscriptionResp.Reason)
+			}
+		case e2.TypeIndication:
+			controls := r.HandleIndication(m.Indication)
+			for i := range controls {
+				reqID++
+				cm := &e2.Message{
+					Type:        e2.TypeControlRequest,
+					RequestID:   reqID,
+					RANFunction: e2.RANFunctionRC,
+					Control:     &controls[i],
+				}
+				if err := conn.Send(cm); err != nil {
+					return err
+				}
+			}
+		case e2.TypeControlAck, e2.TypeHeartbeat:
+			// Counted implicitly by the transport; nothing to do.
+		case e2.TypeError:
+			return fmt.Errorf("ric: peer error: %s", m.Error.Reason)
+		}
+	}
+}

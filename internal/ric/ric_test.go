@@ -1,0 +1,197 @@
+package ric
+
+import (
+	"testing"
+	"time"
+
+	"waran/internal/core"
+	"waran/internal/e2"
+	"waran/internal/plugins"
+	"waran/internal/ran"
+	"waran/internal/wabi"
+)
+
+// newWidenCodec builds a fresh plugin-wrapped codec instance (each endpoint
+// needs its own sandbox).
+func newWidenCodec(t *testing.T) e2.Codec {
+	t.Helper()
+	c, err := NewPluginCodecWAT("widen8to12", plugins.Widen8To12CommWAT, e2.BinaryCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestEndToEndRICControlsGNB runs the full §4B pipeline over loopback TCP:
+// gNB agent streams KPM indications through a vendor-adaptation
+// communication plugin; the RIC's Wasm xApps decide handovers and SLA
+// boosts; control actions flow back and are applied to the live gNB.
+func TestEndToEndRICControlsGNB(t *testing.T) {
+	gnb, err := core.NewGNB(ran.CellConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slice 1 under-target (tiny weight), slice 2 fine.
+	mt, err := core.NewPluginScheduler("mt", wabi.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := core.NewPluginScheduler("rr", wabi.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := gnb.Slices.AddSlice(1, "under", 20e6, mt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gnb.Slices.AddSlice(2, "fine", 5e6, rr, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// UE 1: healthy. UE 2: at the MCS floor -> traffic steering target.
+	ue1 := ran.NewUE(1, 1, 26)
+	ue1.Traffic = ran.NewCBR(8e6)
+	ue2 := ran.NewUE(2, 2, 2)
+	ue2.Traffic = ran.NewCBR(1e6)
+	for _, u := range []*ran.UE{ue1, ue2} {
+		if err := gnb.AttachUE(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// RIC with both xApps, listening on loopback.
+	r := New()
+	r.ReportPeriodMs = 20
+	if _, err := r.AddXAppWAT("steer", plugins.TrafficSteerXAppWAT, wabi.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddXAppWAT("sla", plugins.SLAAssureXAppWAT, wabi.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+
+	lis, err := e2.Listen("127.0.0.1:0", newWidenCodec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+
+	ricErr := make(chan error, 1)
+	stop := make(chan struct{})
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			ricErr <- err
+			return
+		}
+		ricErr <- r.ServeConn(conn, stop)
+	}()
+
+	conn, err := e2.Dial(lis.Addr().String(), newWidenCodec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	agent := NewAgent(conn, gnb, 7)
+	agentDone, err := agent.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive the MAC loop; the agent reports every 20 slots.
+	deadline := time.After(5 * time.Second)
+	for slot := 0; ; slot++ {
+		gnb.Step()
+		if err := agent.Tick(uint64(slot)); err != nil {
+			t.Fatalf("tick: %v", err)
+		}
+		// Success condition: UE 2 handed over (detached) AND slice 1's
+		// weight boosted by the SLA xApp.
+		_, ue2Present := gnb.UE(2)
+		if !ue2Present && s1.Weight() == 2.0 {
+			break
+		}
+		select {
+		case <-deadline:
+			ind, ok, fail := agent.Counters()
+			t.Fatalf("controls not applied in time: ue2Present=%v weight=%v (ind=%d ok=%d fail=%d)",
+				ue2Present, s1.Weight(), ind, ok, fail)
+		default:
+		}
+		// Pace slightly so the network round trips interleave.
+		if slot%50 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	close(stop)
+	conn.Close()
+	<-agentDone
+	ind, controls := r.Counters()
+	if ind == 0 || controls == 0 {
+		t.Fatalf("RIC processed %d indications, emitted %d controls", ind, controls)
+	}
+}
+
+// TestInterXAppMessaging exercises the ric host functions: the ping xApp
+// posts a counter to the pong xApp's mailbox on every indication.
+func TestInterXAppMessaging(t *testing.T) {
+	r := New()
+	if _, err := r.AddXAppWAT("ping", plugins.PingXAppWAT, wabi.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	pong, err := r.AddXAppWAT("pong", plugins.PongXAppWAT, wabi.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind := &e2.Indication{Slot: 1, Cell: 1}
+	for i := 0; i < 3; i++ {
+		if got := r.HandleIndication(ind); len(got) != 0 {
+			t.Fatalf("unexpected controls: %v", got)
+		}
+	}
+	// ping ran 3 times; pong drained mailbox on invocations 2 and 3, so the
+	// last counter it saw is from ping's 3rd run.
+	last, ok := pong.Plugin().Instance().GlobalValue("last_counter")
+	if !ok {
+		t.Fatal("pong does not export last_counter")
+	}
+	if last != 3 {
+		t.Fatalf("pong last_counter = %d, want 3", last)
+	}
+}
+
+// TestPluginCodecRoundTrip checks the widen shim transforms frames
+// reversibly and that the vendor wire format really is 12-bit-widened.
+func TestPluginCodecRoundTrip(t *testing.T) {
+	codec := newWidenCodec(t)
+	msg := &e2.Message{
+		Type:        e2.TypeControlRequest,
+		RequestID:   9,
+		RANFunction: e2.RANFunctionRC,
+		Control: &e2.ControlRequest{
+			Action: e2.ActionSetSliceTarget, SliceID: 3, Value: 12e6, Text: "x",
+		},
+	}
+	wire, err := codec.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := (e2.BinaryCodec{}).Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 2*len(plain) {
+		t.Fatalf("wire frame %d bytes, want widened %d", len(wire), 2*len(plain))
+	}
+	// Verify the 12-bit widening of the first byte.
+	if got, want := uint16(wire[0])|uint16(wire[1])<<8, uint16(plain[0])<<4; got != want {
+		t.Fatalf("first field = %#x, want %#x", got, want)
+	}
+	back, err := codec.Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Control == nil || back.Control.SliceID != 3 || back.Control.Value != 12e6 {
+		t.Fatalf("round trip mismatch: %+v", back.Control)
+	}
+}

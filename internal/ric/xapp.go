@@ -1,0 +1,163 @@
+// Package ric implements WA-RAN's near-Real-Time RAN Intelligent
+// Controller (§4B of the paper): xApps hosted as Wasm plugins, RIC host
+// functions exposed to them (inter-xApp messaging), communication plugins
+// that wrap the E2-lite wire protocol on both sides, and the gNB-side E2
+// agent.
+package ric
+
+import (
+	"fmt"
+	"sync"
+
+	"waran/internal/e2"
+	"waran/internal/wabi"
+	"waran/internal/wasm"
+)
+
+// XAppEntry is the export every xApp plugin must provide: it receives an
+// encoded e2 indication as call input and returns an encoded control list.
+const XAppEntry = "on_indication"
+
+// DefaultXAppQuarantine is the consecutive-fault limit before an xApp is
+// disabled.
+const DefaultXAppQuarantine = 3
+
+// XApp is one sandboxed control application.
+type XApp struct {
+	Name   string
+	plugin *wabi.Plugin
+
+	// callMu serializes sandbox invocations: one RIC may serve several E2
+	// associations concurrently, but a plugin instance is single-threaded.
+	callMu            sync.Mutex
+	mu                sync.Mutex
+	mailbox           [][]byte
+	consecutiveFaults int
+	totalFaults       uint64
+	disabled          bool
+	invocations       uint64
+}
+
+// Disabled reports whether the xApp has been quarantined after faults.
+func (x *XApp) Disabled() bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.disabled
+}
+
+// Stats reports invocation and fault counters.
+func (x *XApp) Stats() (invocations, faults uint64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.invocations, x.totalFaults
+}
+
+// Plugin exposes the underlying sandbox.
+func (x *XApp) Plugin() *wabi.Plugin { return x.plugin }
+
+// deliver appends a message to the xApp's mailbox (inter-xApp messaging).
+func (x *XApp) deliver(msg []byte) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if len(x.mailbox) < 1024 { // drop on overload rather than grow unbounded
+		x.mailbox = append(x.mailbox, msg)
+	}
+}
+
+// popMail removes and returns the oldest mailbox entry, or nil.
+func (x *XApp) popMail() []byte {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if len(x.mailbox) == 0 {
+		return nil
+	}
+	m := x.mailbox[0]
+	x.mailbox = x.mailbox[1:]
+	return m
+}
+
+// hostFuncs builds the "ric" import namespace for an xApp: the well-defined
+// host functions the paper says the RIC provides (messaging between xApps
+// and diagnostics).
+func (r *RIC) hostFuncs(self *XApp) map[string]*wasm.HostFunc {
+	i32 := wasm.ValI32
+	return map[string]*wasm.HostFunc{
+		// xapp_send(name_ptr, name_len, msg_ptr, msg_len) -> i32 (1 ok, 0 unknown dst)
+		"xapp_send": {
+			Name: "xapp_send",
+			Type: wasm.FuncType{Params: []wasm.ValType{i32, i32, i32, i32}, Results: []wasm.ValType{i32}},
+			Fn: func(ctx *wasm.CallContext, args []uint64) ([]uint64, error) {
+				name, err := ctx.Memory().Read(uint32(args[0]), uint32(args[1]))
+				if err != nil {
+					return nil, err
+				}
+				msg, err := ctx.Memory().Read(uint32(args[2]), uint32(args[3]))
+				if err != nil {
+					return nil, err
+				}
+				dst, ok := r.XApp(string(name))
+				if !ok {
+					return []uint64{0}, nil
+				}
+				dst.deliver(msg)
+				return []uint64{1}, nil
+			},
+		},
+		// xapp_recv(dst_ptr, cap) -> i32 bytes copied (0 = empty mailbox)
+		"xapp_recv": {
+			Name: "xapp_recv",
+			Type: wasm.FuncType{Params: []wasm.ValType{i32, i32}, Results: []wasm.ValType{i32}},
+			Fn: func(ctx *wasm.CallContext, args []uint64) ([]uint64, error) {
+				m := self.popMail()
+				if m == nil {
+					return []uint64{0}, nil
+				}
+				if uint32(len(m)) > uint32(args[1]) {
+					m = m[:uint32(args[1])]
+				}
+				if err := ctx.Memory().Write(uint32(args[0]), m); err != nil {
+					return nil, err
+				}
+				return []uint64{uint64(uint32(len(m)))}, nil
+			},
+		},
+	}
+}
+
+// invoke runs the xApp on an encoded indication, returning its requested
+// control actions. Faults are contained and counted; a quarantined xApp
+// returns no actions.
+func (x *XApp) invoke(r *RIC, indication []byte) ([]e2.ControlRequest, error) {
+	x.mu.Lock()
+	if x.disabled {
+		x.mu.Unlock()
+		return nil, nil
+	}
+	x.invocations++
+	x.mu.Unlock()
+
+	x.callMu.Lock()
+	out, err := x.plugin.Call(XAppEntry, indication)
+	x.callMu.Unlock()
+	if err == nil {
+		var list []e2.ControlRequest
+		list, err = e2.DecodeControlList(out)
+		if err == nil {
+			x.mu.Lock()
+			x.consecutiveFaults = 0
+			x.mu.Unlock()
+			return list, nil
+		}
+	}
+	x.mu.Lock()
+	x.totalFaults++
+	x.consecutiveFaults++
+	if x.consecutiveFaults >= DefaultXAppQuarantine {
+		x.disabled = true
+	}
+	x.mu.Unlock()
+	if r.OnFault != nil {
+		r.OnFault(x.Name, err)
+	}
+	return nil, fmt.Errorf("ric: xApp %q: %w", x.Name, err)
+}

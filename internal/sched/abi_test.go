@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func codecs() []Codec { return []Codec{BinaryCodec{}, JSONCodec{}} }
+
+func TestCodecRequestRoundTrip(t *testing.T) {
+	req := &Request{
+		SliceID:   3,
+		Slot:      1 << 40,
+		PRBBudget: 52,
+		UEs: []UEInfo{
+			{ID: 1, MCS: 28, BitsPerPRB: 802, BufferBytes: 123456, AvgTputBps: 17.5e6},
+			{ID: 2, MCS: 0, BitsPerPRB: 0, BufferBytes: 0, AvgTputBps: 0},
+		},
+	}
+	for _, c := range codecs() {
+		got, err := c.DecodeRequest(c.EncodeRequest(req))
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if got.SliceID != req.SliceID || got.Slot != req.Slot || got.PRBBudget != req.PRBBudget {
+			t.Fatalf("%s header mismatch: %+v", c.Name(), got)
+		}
+		if !reflect.DeepEqual(got.UEs, req.UEs) {
+			t.Fatalf("%s UEs mismatch:\n%+v\n%+v", c.Name(), got.UEs, req.UEs)
+		}
+	}
+}
+
+func TestCodecResponseRoundTrip(t *testing.T) {
+	resp := &Response{Allocs: []Allocation{{UEID: 7, PRBs: 13}, {UEID: 9, PRBs: 0}}}
+	for _, c := range codecs() {
+		got, err := c.DecodeResponse(c.EncodeResponse(resp))
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if !reflect.DeepEqual(got.Allocs, resp.Allocs) {
+			t.Fatalf("%s mismatch: %+v", c.Name(), got.Allocs)
+		}
+	}
+}
+
+func TestCodecEmptyValues(t *testing.T) {
+	for _, c := range codecs() {
+		req, err := c.DecodeRequest(c.EncodeRequest(&Request{}))
+		if err != nil || len(req.UEs) != 0 {
+			t.Fatalf("%s empty request: %+v, %v", c.Name(), req, err)
+		}
+		resp, err := c.DecodeResponse(c.EncodeResponse(&Response{}))
+		if err != nil || len(resp.Allocs) != 0 {
+			t.Fatalf("%s empty response: %+v, %v", c.Name(), resp, err)
+		}
+	}
+}
+
+func TestBinaryCodecRejectsMalformed(t *testing.T) {
+	c := BinaryCodec{}
+	if _, err := c.DecodeRequest([]byte{1, 2, 3}); err == nil {
+		t.Error("short request accepted")
+	}
+	if _, err := c.DecodeResponse([]byte{1}); err == nil {
+		t.Error("short response accepted")
+	}
+	// Claimed UE count inconsistent with the buffer length.
+	good := c.EncodeRequest(&Request{UEs: []UEInfo{{ID: 1}}})
+	if _, err := c.DecodeRequest(good[:len(good)-4]); err == nil {
+		t.Error("truncated request accepted")
+	}
+	// Response claiming 99 allocations in 4 bytes.
+	bad := []byte{99, 0, 0, 0}
+	if _, err := c.DecodeResponse(bad); err == nil {
+		t.Error("inconsistent response accepted")
+	}
+}
+
+func TestBinaryEncodingIsCompact(t *testing.T) {
+	req := &Request{UEs: make([]UEInfo, 20)}
+	bin := BinaryCodec{}.EncodeRequest(req)
+	js := JSONCodec{}.EncodeRequest(req)
+	if len(bin) >= len(js) {
+		t.Fatalf("binary (%d B) not smaller than JSON (%d B)", len(bin), len(js))
+	}
+	if want := 20 + 20*24; len(bin) != want {
+		t.Fatalf("binary request = %d bytes, want %d", len(bin), want)
+	}
+}
+
+// Property: binary codec round-trips arbitrary requests and responses.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := BinaryCodec{}
+	for trial := 0; trial < 500; trial++ {
+		req := randomReq(rng)
+		got, err := c.DecodeRequest(c.EncodeRequest(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.SliceID != req.SliceID || got.Slot != req.Slot || got.PRBBudget != req.PRBBudget || len(got.UEs) != len(req.UEs) {
+			t.Fatalf("request mismatch")
+		}
+		for i := range req.UEs {
+			if got.UEs[i] != req.UEs[i] {
+				t.Fatalf("UE %d mismatch: %+v vs %+v", i, got.UEs[i], req.UEs[i])
+			}
+		}
+	}
+	f := func(allocs []Allocation) bool {
+		resp := &Response{Allocs: allocs}
+		got, err := c.DecodeResponse(c.EncodeResponse(resp))
+		if err != nil {
+			return false
+		}
+		if len(got.Allocs) != len(allocs) {
+			return false
+		}
+		for i := range allocs {
+			if got.Allocs[i] != allocs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

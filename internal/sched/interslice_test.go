@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func demandsFixture() []SliceDemand {
+	return []SliceDemand{
+		{SliceID: 1, TargetRateBps: 3e6, DemandPRBs: 52, Weight: 1},
+		{SliceID: 2, TargetRateBps: 12e6, DemandPRBs: 52, Weight: 2},
+		{SliceID: 3, TargetRateBps: 15e6, DemandPRBs: 52, Weight: 3},
+	}
+}
+
+func sumShares(m map[uint32]uint32) uint32 {
+	var s uint32
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func TestTargetRateProportionalShares(t *testing.T) {
+	shares := TargetRate{}.Divide(0, 52, demandsFixture())
+	if got := sumShares(shares); got != 52 {
+		t.Fatalf("allocated %d of 52", got)
+	}
+	// Proportional to 3:12:15 => 1:4:5 of 52.
+	if !(shares[3] > shares[2] && shares[2] > shares[1]) {
+		t.Fatalf("ordering violated: %v", shares)
+	}
+	if shares[1] < 4 || shares[1] > 7 {
+		t.Fatalf("slice 1 share %d not ~5", shares[1])
+	}
+}
+
+func TestTargetRateCapsAtDemand(t *testing.T) {
+	demands := demandsFixture()
+	demands[2].DemandPRBs = 2 // slice 3 barely needs anything
+	shares := TargetRate{}.Divide(0, 52, demands)
+	if shares[3] != 2 {
+		t.Fatalf("slice 3 got %d, want demand cap 2", shares[3])
+	}
+	// Freed PRBs go to the remaining backlogged slices.
+	if got := sumShares(shares); got != 52 {
+		t.Fatalf("allocated %d of 52 after redistribution", got)
+	}
+}
+
+func TestTargetRateZeroDemand(t *testing.T) {
+	demands := []SliceDemand{
+		{SliceID: 1, TargetRateBps: 5e6, DemandPRBs: 0},
+		{SliceID: 2, TargetRateBps: 5e6, DemandPRBs: 10},
+	}
+	shares := TargetRate{}.Divide(0, 52, demands)
+	if shares[1] != 0 {
+		t.Fatalf("idle slice granted %d PRBs", shares[1])
+	}
+	if shares[2] != 10 {
+		t.Fatalf("backlogged slice got %d, want 10", shares[2])
+	}
+}
+
+func TestTargetRateBestEffortOnly(t *testing.T) {
+	// All targets zero: redistribution loop must still assign by demand.
+	demands := []SliceDemand{
+		{SliceID: 1, DemandPRBs: 30},
+		{SliceID: 2, DemandPRBs: 30},
+	}
+	shares := TargetRate{}.Divide(0, 52, demands)
+	if got := sumShares(shares); got != 52 {
+		t.Fatalf("allocated %d of 52", got)
+	}
+}
+
+func TestFixedShareIgnoresDemand(t *testing.T) {
+	demands := demandsFixture()
+	demands[0].DemandPRBs = 0 // still gets its share
+	shares := FixedShare{}.Divide(0, 60, demands)
+	if got := sumShares(shares); got != 60 {
+		t.Fatalf("allocated %d of 60", got)
+	}
+	// Weights 1:2:3 of 60 => 10/20/30.
+	if shares[1] != 10 || shares[2] != 20 || shares[3] != 30 {
+		t.Fatalf("shares = %v", shares)
+	}
+}
+
+func TestWeightedFairCapsAndRedistributes(t *testing.T) {
+	demands := []SliceDemand{
+		{SliceID: 1, Weight: 3, DemandPRBs: 5},
+		{SliceID: 2, Weight: 1, DemandPRBs: 100},
+	}
+	shares := WeightedFair{}.Divide(0, 52, demands)
+	if shares[1] != 5 {
+		t.Fatalf("slice 1 got %d, want 5 (its demand)", shares[1])
+	}
+	if shares[2] != 47 {
+		t.Fatalf("slice 2 got %d, want the remaining 47", shares[2])
+	}
+}
+
+func TestInterSliceNeverOverAllocates(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	policies := []InterSlice{TargetRate{}, FixedShare{}, WeightedFair{}}
+	for trial := 0; trial < 500; trial++ {
+		budget := uint32(rng.Intn(120))
+		n := rng.Intn(6)
+		var demands []SliceDemand
+		var totalDemand uint64
+		for i := 0; i < n; i++ {
+			d := SliceDemand{
+				SliceID:       uint32(i + 1),
+				TargetRateBps: float64(rng.Intn(30_000_000)),
+				DemandPRBs:    uint32(rng.Intn(80)),
+				Weight:        float64(rng.Intn(5)),
+			}
+			demands = append(demands, d)
+			totalDemand += uint64(d.DemandPRBs)
+		}
+		for _, p := range policies {
+			shares := p.Divide(uint64(trial), budget, demands)
+			if got := sumShares(shares); got > budget {
+				t.Fatalf("%s allocated %d of %d", p.Name(), got, budget)
+			}
+			// Demand-aware policies must also be work conserving.
+			if p.Name() != "fixed-share" {
+				want := uint64(budget)
+				if totalDemand < want {
+					want = totalDemand
+				}
+				if got := uint64(sumShares(shares)); got != want {
+					t.Fatalf("%s allocated %d, want %d (budget %d demand %d)",
+						p.Name(), got, want, budget, totalDemand)
+				}
+			}
+			for id, s := range shares {
+				if p.Name() != "fixed-share" {
+					for _, d := range demands {
+						if d.SliceID == id && s > d.DemandPRBs {
+							t.Fatalf("%s granted %d PRBs to slice %d with demand %d",
+								p.Name(), s, id, d.DemandPRBs)
+						}
+					}
+				}
+			}
+		}
+	}
+}

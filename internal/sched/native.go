@@ -1,0 +1,177 @@
+package sched
+
+import (
+	"sort"
+)
+
+// Native intra-slice schedulers. These are both the fallback policies the
+// fault-tolerant slice manager switches to when a plugin misbehaves and the
+// reference implementations the Wasm plugins are differentially tested
+// against: for identical requests, plugin and native decisions must match.
+
+// RoundRobin serves UEs with pending data in rotating order, one equal share
+// each, cycling the starting UE by slot so no position is permanently
+// favoured. The paper's MVNO 2 (IoT profile) uses this policy.
+type RoundRobin struct{}
+
+// Name implements IntraSlice.
+func (RoundRobin) Name() string { return "rr" }
+
+// Schedule implements IntraSlice.
+func (RoundRobin) Schedule(req *Request) (*Response, error) {
+	active := activeUEs(req)
+	if len(active) == 0 || req.PRBBudget == 0 {
+		return &Response{}, nil
+	}
+	n := uint32(len(active))
+	resp := &Response{Allocs: make([]Allocation, 0, n)}
+	grants := make(map[int]uint32, n)
+
+	remaining := req.PRBBudget
+	// Equal base share, then distribute the remainder one PRB at a time
+	// starting at the rotating offset; capped at each UE's buffer need with
+	// spill to the next UE so the budget is not wasted.
+	start := int(req.Slot % uint64(len(active)))
+	for round := 0; remaining > 0; round++ {
+		progressed := false
+		for i := 0; i < len(active) && remaining > 0; i++ {
+			ix := (start + i) % len(active)
+			u := active[ix]
+			need := prbsNeeded(u)
+			if grants[ix] >= need {
+				continue
+			}
+			grants[ix]++
+			remaining--
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	for i, u := range active {
+		if grants[i] > 0 {
+			resp.Allocs = append(resp.Allocs, Allocation{UEID: u.ID, PRBs: grants[i]})
+		}
+	}
+	return resp, nil
+}
+
+// MaxThroughput greedily serves the best-channel UEs first, maximizing cell
+// throughput at the cost of starving poor channels — the paper's MVNO 1
+// (eMBB profile) and the first phase of Fig. 5b.
+type MaxThroughput struct{}
+
+// Name implements IntraSlice.
+func (MaxThroughput) Name() string { return "mt" }
+
+// Schedule implements IntraSlice.
+func (MaxThroughput) Schedule(req *Request) (*Response, error) {
+	active := activeUEs(req)
+	if len(active) == 0 || req.PRBBudget == 0 {
+		return &Response{}, nil
+	}
+	// Sort by per-PRB capacity descending; tie-break on lower UE ID for
+	// determinism (and so plugins can reproduce the exact decision).
+	sort.SliceStable(active, func(i, j int) bool {
+		if active[i].BitsPerPRB != active[j].BitsPerPRB {
+			return active[i].BitsPerPRB > active[j].BitsPerPRB
+		}
+		return active[i].ID < active[j].ID
+	})
+	return fillInOrder(active, req.PRBBudget), nil
+}
+
+// ProportionalFair ranks UEs by instantaneous-rate over long-term-average
+// throughput, the classic PF metric. With a large averaging time constant
+// the metric is dominated by the denominator, so starved UEs win first —
+// the transient the paper highlights in Fig. 5b.
+type ProportionalFair struct {
+	// MinAvgBps floors the denominator to keep the metric finite for
+	// never-served UEs. Default 1000 (1 kb/s).
+	MinAvgBps float64
+}
+
+// Name implements IntraSlice.
+func (ProportionalFair) Name() string { return "pf" }
+
+// Schedule implements IntraSlice.
+func (p ProportionalFair) Schedule(req *Request) (*Response, error) {
+	minAvg := p.MinAvgBps
+	if minAvg <= 0 {
+		minAvg = 1000
+	}
+	active := activeUEs(req)
+	if len(active) == 0 || req.PRBBudget == 0 {
+		return &Response{}, nil
+	}
+	type scored struct {
+		u      *UEInfo
+		metric float64
+	}
+	scoredUEs := make([]scored, len(active))
+	for i, u := range active {
+		avg := u.AvgTputBps
+		if avg < minAvg {
+			avg = minAvg
+		}
+		scoredUEs[i] = scored{u: u, metric: float64(u.BitsPerPRB) / avg}
+	}
+	sort.SliceStable(scoredUEs, func(i, j int) bool {
+		if scoredUEs[i].metric != scoredUEs[j].metric {
+			return scoredUEs[i].metric > scoredUEs[j].metric
+		}
+		return scoredUEs[i].u.ID < scoredUEs[j].u.ID
+	})
+	ordered := make([]*UEInfo, len(scoredUEs))
+	for i, s := range scoredUEs {
+		ordered[i] = s.u
+	}
+	return fillInOrder(ordered, req.PRBBudget), nil
+}
+
+// activeUEs returns pointers to UEs with queued data, preserving order.
+func activeUEs(req *Request) []*UEInfo {
+	out := make([]*UEInfo, 0, len(req.UEs))
+	for i := range req.UEs {
+		if req.UEs[i].BufferBytes > 0 && req.UEs[i].BitsPerPRB > 0 {
+			out = append(out, &req.UEs[i])
+		}
+	}
+	return out
+}
+
+// fillInOrder grants each UE its buffer need in priority order until the
+// budget is exhausted.
+func fillInOrder(ordered []*UEInfo, budget uint32) *Response {
+	resp := &Response{}
+	for _, u := range ordered {
+		if budget == 0 {
+			break
+		}
+		g := prbsNeeded(u)
+		if g > budget {
+			g = budget
+		}
+		if g == 0 {
+			continue
+		}
+		resp.Allocs = append(resp.Allocs, Allocation{UEID: u.ID, PRBs: g})
+		budget -= g
+	}
+	return resp
+}
+
+// ByName returns a native scheduler by its short name.
+func ByName(name string) (IntraSlice, bool) {
+	switch name {
+	case "rr", "round-robin":
+		return RoundRobin{}, true
+	case "mt", "max-throughput":
+		return MaxThroughput{}, true
+	case "pf", "proportional-fair":
+		return ProportionalFair{}, true
+	default:
+		return nil, false
+	}
+}

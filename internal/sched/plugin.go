@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"waran/internal/wabi"
+)
+
+// EntryPoint is the exported function name intra-slice scheduler plugins
+// must provide.
+const EntryPoint = "schedule"
+
+// PluginScheduler adapts a Wasm plugin to the IntraSlice interface: it
+// serializes the request with the configured codec, invokes the plugin's
+// "schedule" export inside the sandbox, and decodes + validates the
+// response. Serialization time is included in Stats, matching the
+// measurement methodology of Fig. 5d.
+type PluginScheduler struct {
+	name   string
+	plugin *wabi.Plugin
+	codec  Codec
+
+	// Stats over all calls.
+	Calls     uint64
+	Faults    uint64
+	TotalTime time.Duration
+	LastTime  time.Duration
+}
+
+// NewPluginScheduler wraps an instantiated plugin. codec nil means the
+// binary codec.
+func NewPluginScheduler(name string, plugin *wabi.Plugin, codec Codec) (*PluginScheduler, error) {
+	if codec == nil {
+		codec = BinaryCodec{}
+	}
+	if !plugin.HasEntry(EntryPoint) {
+		return nil, fmt.Errorf("sched: plugin %q does not export %q with signature () -> i32", name, EntryPoint)
+	}
+	return &PluginScheduler{name: name, plugin: plugin, codec: codec}, nil
+}
+
+// Name implements IntraSlice.
+func (p *PluginScheduler) Name() string { return "plugin:" + p.name }
+
+// Plugin exposes the underlying sandbox for observation (memory footprint,
+// fuel accounting).
+func (p *PluginScheduler) Plugin() *wabi.Plugin { return p.plugin }
+
+// Schedule implements IntraSlice. The measured span covers encode, sandbox
+// execution, and decode — the full host-side cost of outsourcing the
+// decision to the plugin.
+func (p *PluginScheduler) Schedule(req *Request) (*Response, error) {
+	start := time.Now()
+	defer func() {
+		p.LastTime = time.Since(start)
+		p.TotalTime += p.LastTime
+		p.Calls++
+	}()
+
+	in := p.codec.EncodeRequest(req)
+	out, err := p.plugin.Call(EntryPoint, in)
+	if err != nil {
+		p.Faults++
+		return nil, fmt.Errorf("sched: plugin %q: %w", p.name, err)
+	}
+	resp, err := p.codec.DecodeResponse(out)
+	if err != nil {
+		p.Faults++
+		return nil, fmt.Errorf("sched: plugin %q returned malformed response: %w", p.name, err)
+	}
+	if err := resp.Validate(req); err != nil {
+		p.Faults++
+		return nil, fmt.Errorf("sched: plugin %q: %w", p.name, err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,285 @@
+package slicing
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"waran/internal/sched"
+)
+
+// flakyScheduler fails its first n calls, then behaves like round-robin.
+type flakyScheduler struct {
+	failures  int
+	calls     int
+	misbehave string // "error", "over-budget", "unknown-ue"
+}
+
+func (f *flakyScheduler) Name() string { return "flaky" }
+
+func (f *flakyScheduler) Schedule(req *sched.Request) (*sched.Response, error) {
+	f.calls++
+	if f.calls <= f.failures {
+		switch f.misbehave {
+		case "over-budget":
+			return &sched.Response{Allocs: []sched.Allocation{{UEID: req.UEs[0].ID, PRBs: req.PRBBudget + 1}}}, nil
+		case "unknown-ue":
+			return &sched.Response{Allocs: []sched.Allocation{{UEID: 0xDEAD, PRBs: 1}}}, nil
+		default:
+			return nil, errors.New("synthetic plugin failure")
+		}
+	}
+	return sched.RoundRobin{}.Schedule(req)
+}
+
+func testRequest() *sched.Request {
+	return &sched.Request{
+		PRBBudget: 10,
+		UEs: []sched.UEInfo{
+			{ID: 1, MCS: 20, BitsPerPRB: 500, BufferBytes: 100_000},
+			{ID: 2, MCS: 24, BitsPerPRB: 650, BufferBytes: 100_000},
+		},
+	}
+}
+
+func TestAddRemoveSlices(t *testing.T) {
+	m := NewManager()
+	if _, err := m.AddSlice(1, "a", 1e6, sched.RoundRobin{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddSlice(1, "dup", 1e6, sched.RoundRobin{}, nil); err == nil {
+		t.Fatal("duplicate slice accepted")
+	}
+	if _, err := m.AddSlice(2, "b", 2e6, sched.MaxThroughput{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	slices := m.Slices()
+	if len(slices) != 2 || slices[0].ID != 1 || slices[1].ID != 2 {
+		t.Fatalf("slices = %v", slices)
+	}
+	if err := m.RemoveSlice(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveSlice(1); !errors.Is(err, ErrNoSuchSlice) {
+		t.Fatalf("double remove: %v", err)
+	}
+	if got := m.Slices(); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("after remove: %v", got)
+	}
+}
+
+func TestNilSchedulerRejected(t *testing.T) {
+	m := NewManager()
+	if _, err := m.AddSlice(1, "a", 0, nil, nil); err == nil {
+		t.Fatal("nil scheduler accepted")
+	}
+	if _, err := m.AddSlice(1, "a", 0, sched.RoundRobin{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.HotSwap(1, nil); err == nil {
+		t.Fatal("nil hot swap accepted")
+	}
+}
+
+func TestScheduleHappyPath(t *testing.T) {
+	m := NewManager()
+	s, _ := m.AddSlice(1, "a", 0, sched.RoundRobin{}, nil)
+	resp, err := m.Schedule(s, testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TotalPRBs() != 10 {
+		t.Fatalf("allocated %d PRBs", resp.TotalPRBs())
+	}
+	if st := s.Stats(); st.TotalFaults != 0 || st.FallbackSlots != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFallbackOnError(t *testing.T) {
+	for _, mode := range []string{"error", "over-budget", "unknown-ue"} {
+		t.Run(mode, func(t *testing.T) {
+			m := NewManager()
+			var faults []error
+			m.OnFault = func(_ uint32, err error) { faults = append(faults, err) }
+			s, _ := m.AddSlice(1, "a", 0, &flakyScheduler{failures: 1, misbehave: mode}, nil)
+			resp, err := m.Schedule(s, testRequest())
+			if err != nil {
+				t.Fatalf("fault not absorbed: %v", err)
+			}
+			// The slot is rescued by the fallback: full budget still granted.
+			if resp.TotalPRBs() != 10 {
+				t.Fatalf("fallback allocated %d PRBs", resp.TotalPRBs())
+			}
+			if len(faults) != 1 {
+				t.Fatalf("observed %d faults", len(faults))
+			}
+			st := s.Stats()
+			if st.TotalFaults != 1 || st.FallbackSlots != 1 || st.Quarantined {
+				t.Fatalf("stats = %+v", st)
+			}
+		})
+	}
+}
+
+func TestRecoveryResetsConsecutiveCount(t *testing.T) {
+	m := NewManager()
+	s, _ := m.AddSlice(1, "a", 0, &flakyScheduler{failures: 2}, nil)
+	req := testRequest()
+	// Two faults, then healthy: quarantine (threshold 3) must NOT trigger,
+	// and later isolated faults must not either.
+	for i := 0; i < 5; i++ {
+		if _, err := m.Schedule(s, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Quarantined() {
+		t.Fatal("quarantined despite recovery")
+	}
+	if st := s.Stats(); st.TotalFaults != 2 {
+		t.Fatalf("faults = %d", st.TotalFaults)
+	}
+}
+
+func TestQuarantineAfterConsecutiveFaults(t *testing.T) {
+	m := NewManager()
+	s, _ := m.AddSlice(1, "a", 0, &flakyScheduler{failures: 1000}, nil)
+	req := testRequest()
+	for i := 0; i < DefaultQuarantineThreshold; i++ {
+		if _, err := m.Schedule(s, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Quarantined() {
+		t.Fatal("not quarantined after threshold")
+	}
+	if name := s.SchedulerName(); name != "rr (quarantine)" {
+		t.Fatalf("scheduler name = %q", name)
+	}
+	// While quarantined, the plugin is not called anymore.
+	flaky := s.Scheduler().(*flakyScheduler)
+	callsBefore := flaky.calls
+	if _, err := m.Schedule(s, req); err != nil {
+		t.Fatal(err)
+	}
+	if flaky.calls != callsBefore {
+		t.Fatal("quarantined plugin still invoked")
+	}
+	// Hot swap (re-upload) clears the quarantine.
+	if err := m.HotSwap(1, sched.MaxThroughput{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Quarantined() {
+		t.Fatal("quarantine survived hot swap")
+	}
+	if s.SchedulerName() != "mt" {
+		t.Fatalf("scheduler = %q", s.SchedulerName())
+	}
+}
+
+func TestCustomQuarantineThreshold(t *testing.T) {
+	m := NewManager()
+	m.QuarantineThreshold = 1
+	s, _ := m.AddSlice(1, "a", 0, &flakyScheduler{failures: 1000}, nil)
+	if _, err := m.Schedule(s, testRequest()); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Quarantined() {
+		t.Fatal("threshold 1 did not quarantine after first fault")
+	}
+}
+
+func TestHotSwapUnknownSlice(t *testing.T) {
+	m := NewManager()
+	if err := m.HotSwap(7, sched.RoundRobin{}); !errors.Is(err, ErrNoSuchSlice) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSwapCountTracked(t *testing.T) {
+	m := NewManager()
+	s, _ := m.AddSlice(1, "a", 0, sched.RoundRobin{}, nil)
+	for i := 0; i < 3; i++ {
+		if err := m.HotSwap(1, sched.ProportionalFair{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Swaps != 3 {
+		t.Fatalf("swaps = %d", st.Swaps)
+	}
+}
+
+// TestConcurrentSwapWhileScheduling is the live-swap race: one goroutine
+// schedules every slot while another hot-swaps policies. Run with -race.
+func TestConcurrentSwapWhileScheduling(t *testing.T) {
+	m := NewManager()
+	s, _ := m.AddSlice(1, "a", 0, sched.RoundRobin{}, nil)
+	req := testRequest()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		policies := []sched.IntraSlice{sched.RoundRobin{}, sched.MaxThroughput{}, sched.ProportionalFair{}}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := m.HotSwap(1, policies[i%3]); err != nil {
+				t.Errorf("swap: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		resp, err := m.Schedule(s, req)
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+		if err := resp.Validate(req); err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFallbackFailureSurfaces(t *testing.T) {
+	m := NewManager()
+	bad := &flakyScheduler{failures: 1 << 30}
+	s, _ := m.AddSlice(1, "a", 0, bad, badFallback{})
+	if _, err := m.Schedule(s, testRequest()); err == nil {
+		t.Fatal("fallback failure swallowed")
+	}
+}
+
+type badFallback struct{}
+
+func (badFallback) Name() string { return "bad" }
+func (badFallback) Schedule(*sched.Request) (*sched.Response, error) {
+	return nil, fmt.Errorf("fallback also broken")
+}
+
+func TestAdmissionControl(t *testing.T) {
+	m := NewManager()
+	m.CapacityBps = 30e6
+	if _, err := m.AddSlice(1, "a", 20e6, sched.RoundRobin{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddSlice(2, "b", 15e6, sched.RoundRobin{}, nil); !errors.Is(err, ErrAdmissionDenied) {
+		t.Fatalf("overcommit accepted: %v", err)
+	}
+	if _, err := m.AddSlice(2, "b", 10e6, sched.RoundRobin{}, nil); err != nil {
+		t.Fatalf("fitting slice refused: %v", err)
+	}
+	// Removing a slice frees capacity.
+	if err := m.RemoveSlice(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddSlice(3, "c", 20e6, sched.RoundRobin{}, nil); err != nil {
+		t.Fatalf("capacity not released: %v", err)
+	}
+}

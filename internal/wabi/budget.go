@@ -1,0 +1,138 @@
+package wabi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// BudgetPool implements the joint resource-management policy the paper
+// lists as open problem §6B: the host owns one per-slot execution budget
+// (in interpreter instructions, the deterministic proxy for CPU time) and
+// divides it among all registered plugins by weight, so the aggregate
+// plugin workload can never exceed what the slot deadline allows, no matter
+// how many MVNOs or xApps are onboarded.
+//
+// Usage per slot:
+//
+//	pool.BeginSlot()            // distribute shares
+//	... plugin calls happen ...
+//	usage := pool.EndSlot()     // per-plugin instructions consumed
+type BudgetPool struct {
+	mu      sync.Mutex
+	total   int64
+	members map[string]*budgetMember
+}
+
+type budgetMember struct {
+	plugin    *Plugin
+	weight    float64
+	lastStart uint64 // InstrCount at BeginSlot
+	lastUsed  uint64
+}
+
+// ErrNotMetered is returned when a plugin without fuel metering is
+// registered into a pool.
+var ErrNotMetered = errors.New("wabi: plugin has fuel metering disabled (Policy.Fuel == 0)")
+
+// NewBudgetPool creates a pool with the given per-slot instruction budget.
+func NewBudgetPool(totalPerSlot int64) *BudgetPool {
+	return &BudgetPool{total: totalPerSlot, members: make(map[string]*budgetMember)}
+}
+
+// Total returns the per-slot budget.
+func (b *BudgetPool) Total() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// SetTotal adjusts the per-slot budget (effective from the next BeginSlot).
+func (b *BudgetPool) SetTotal(total int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.total = total
+}
+
+// Register adds a plugin with the given share weight (must be positive).
+// The plugin must have been created with fuel metering enabled.
+func (b *BudgetPool) Register(name string, p *Plugin, weight float64) error {
+	if weight <= 0 {
+		return fmt.Errorf("wabi: budget weight must be positive, got %v", weight)
+	}
+	if p.policy.Fuel <= 0 {
+		return fmt.Errorf("%w: %q", ErrNotMetered, name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.members[name]; dup {
+		return fmt.Errorf("wabi: budget member %q already registered", name)
+	}
+	b.members[name] = &budgetMember{plugin: p, weight: weight}
+	return nil
+}
+
+// Unregister removes a plugin from the pool.
+func (b *BudgetPool) Unregister(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.members, name)
+}
+
+// Members returns the registered plugin names, sorted.
+func (b *BudgetPool) Members() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.members))
+	for name := range b.members {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BeginSlot distributes the slot budget: each plugin's per-call fuel is set
+// to total * weight / sum(weights). Call once at the top of every slot.
+func (b *BudgetPool) BeginSlot() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var totalW float64
+	for _, m := range b.members {
+		totalW += m.weight
+	}
+	if totalW == 0 {
+		return
+	}
+	for _, m := range b.members {
+		share := int64(float64(b.total) * m.weight / totalW)
+		if share < 1 {
+			share = 1
+		}
+		m.plugin.policy.Fuel = share
+		m.lastStart = m.plugin.inst.InstrCount
+	}
+}
+
+// EndSlot snapshots per-plugin instruction usage since BeginSlot.
+func (b *BudgetPool) EndSlot() map[string]uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]uint64, len(b.members))
+	for name, m := range b.members {
+		m.lastUsed = m.plugin.inst.InstrCount - m.lastStart
+		out[name] = m.lastUsed
+	}
+	return out
+}
+
+// Share returns the current per-call fuel assigned to the named plugin.
+func (b *BudgetPool) Share(name string) (int64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m, ok := b.members[name]
+	if !ok {
+		return 0, false
+	}
+	return m.plugin.policy.Fuel, true
+}

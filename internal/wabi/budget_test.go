@@ -1,0 +1,166 @@
+package wabi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"waran/internal/wasm"
+)
+
+// busyWAT spins for (input length) iterations, then succeeds.
+const busyWAT = `(module
+  (import "waran" "input_length" (func $input_length (result i32)))
+  (import "waran" "output_write" (func $output_write (param i32 i32)))
+  (memory (export "memory") 1)
+  (func (export "run") (result i32)
+    (local $i i32) (local $n i32)
+    (local.set $n (call $input_length))
+    (block $done (loop $top
+      (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $top)))
+    (call $output_write (i32.const 0) (i32.const 0))
+    (i32.const 0)))`
+
+func TestBudgetPoolWeightedShares(t *testing.T) {
+	mkPlugin := func() *Plugin { return mustPlugin(t, busyWAT, Policy{Fuel: 1}, Env{}) }
+	heavy, light := mkPlugin(), mkPlugin()
+	pool := NewBudgetPool(1_000_000)
+	if err := pool.Register("heavy", heavy, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Register("light", light, 1); err != nil {
+		t.Fatal(err)
+	}
+	pool.BeginSlot()
+	if s, _ := pool.Share("heavy"); s != 750_000 {
+		t.Fatalf("heavy share = %d", s)
+	}
+	if s, _ := pool.Share("light"); s != 250_000 {
+		t.Fatalf("light share = %d", s)
+	}
+
+	// A workload needing ~600k instructions fits the heavy share but
+	// exhausts the light one.
+	work := make([]byte, 50_000) // ~9 instructions per loop iteration => ~450k total
+	if _, err := heavy.Call("run", work); err != nil {
+		t.Fatalf("heavy plugin should fit its share: %v", err)
+	}
+	_, err := light.Call("run", work)
+	var ce *CallError
+	if !errors.As(err, &ce) || ce.Trap == nil || ce.Trap.Code != wasm.TrapFuelExhausted {
+		t.Fatalf("light plugin should exhaust its share, got %v", err)
+	}
+
+	usage := pool.EndSlot()
+	if usage["heavy"] == 0 || usage["light"] == 0 {
+		t.Fatalf("usage accounting: %v", usage)
+	}
+	if usage["light"] > 260_000 {
+		t.Fatalf("light used %d instructions, above its 250k share", usage["light"])
+	}
+}
+
+func TestBudgetPoolValidation(t *testing.T) {
+	p := mustPlugin(t, busyWAT, Policy{Fuel: 100}, Env{})
+	pool := NewBudgetPool(1000)
+	if err := pool.Register("a", p, 0); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	unmetered := mustPlugin(t, busyWAT, Policy{}, Env{})
+	if err := pool.Register("a", unmetered, 1); !errors.Is(err, ErrNotMetered) {
+		t.Fatalf("got %v", err)
+	}
+	if err := pool.Register("a", p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Register("a", p, 1); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if got := pool.Members(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("members = %v", got)
+	}
+	pool.Unregister("a")
+	if len(pool.Members()) != 0 {
+		t.Fatal("unregister failed")
+	}
+	if _, ok := pool.Share("a"); ok {
+		t.Fatal("share of removed member")
+	}
+}
+
+func TestBudgetPoolRebalancesOnMembershipChange(t *testing.T) {
+	a := mustPlugin(t, busyWAT, Policy{Fuel: 1}, Env{})
+	b := mustPlugin(t, busyWAT, Policy{Fuel: 1}, Env{})
+	pool := NewBudgetPool(1000)
+	if err := pool.Register("a", a, 1); err != nil {
+		t.Fatal(err)
+	}
+	pool.BeginSlot()
+	if s, _ := pool.Share("a"); s != 1000 {
+		t.Fatalf("solo share = %d", s)
+	}
+	if err := pool.Register("b", b, 1); err != nil {
+		t.Fatal(err)
+	}
+	pool.BeginSlot()
+	sa, _ := pool.Share("a")
+	sb, _ := pool.Share("b")
+	if sa != 500 || sb != 500 {
+		t.Fatalf("shares after join = %d/%d", sa, sb)
+	}
+	pool.SetTotal(2000)
+	pool.BeginSlot()
+	if sa, _ := pool.Share("a"); sa != 1000 {
+		t.Fatalf("share after SetTotal = %d", sa)
+	}
+	if pool.Total() != 2000 {
+		t.Fatalf("total = %d", pool.Total())
+	}
+}
+
+// Property: shares are conserved — the sum of assigned per-call budgets
+// never exceeds the pool total (plus one unit of rounding per member).
+func TestQuickBudgetShares(t *testing.T) {
+	mod, err := CompileWAT(busyWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(rawWeights []uint8, rawTotal uint32) bool {
+		total := int64(rawTotal%1_000_000) + 1
+		pool := NewBudgetPool(total)
+		n := 0
+		for i, w := range rawWeights {
+			if n >= 6 {
+				break
+			}
+			weight := float64(w%16) + 1
+			p, err := NewPlugin(mod, Policy{Fuel: 1}, Env{})
+			if err != nil {
+				return false
+			}
+			if err := pool.Register(fmt.Sprintf("m%d", i), p, weight); err != nil {
+				return false
+			}
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		pool.BeginSlot()
+		var sum int64
+		for _, name := range pool.Members() {
+			s, ok := pool.Share(name)
+			if !ok || s < 1 {
+				return false
+			}
+			sum += s
+		}
+		return sum <= total+int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

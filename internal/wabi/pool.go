@@ -1,0 +1,100 @@
+package wabi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool hands out Plugin instances of one compiled module to concurrent
+// callers. A Plugin is single-threaded by design (one linear memory, one
+// I/O buffer pair); a multi-cell gNB or a RIC serving several E2
+// associations checks instances out per call instead of serializing on one
+// sandbox. Instances are created lazily up to Max and reused afterwards.
+type Pool struct {
+	mod    *Module
+	policy Policy
+	env    Env
+
+	mu      sync.Mutex
+	idle    []*Plugin
+	created int
+	max     int
+	waiters []chan *Plugin
+}
+
+// NewPool creates a pool bounded to max concurrent instances (0 means 16).
+func NewPool(mod *Module, policy Policy, env Env, max int) *Pool {
+	if max <= 0 {
+		max = 16
+	}
+	return &Pool{mod: mod, policy: policy, env: env, max: max}
+}
+
+// Get checks out an instance, instantiating one if under the limit and
+// blocking when the pool is exhausted.
+func (p *Pool) Get() (*Plugin, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		pl := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return pl, nil
+	}
+	if p.created < p.max {
+		p.created++
+		p.mu.Unlock()
+		pl, err := NewPlugin(p.mod, p.policy, p.env)
+		if err != nil {
+			p.mu.Lock()
+			p.created--
+			p.mu.Unlock()
+			return nil, err
+		}
+		return pl, nil
+	}
+	// Exhausted: wait for a Put.
+	ch := make(chan *Plugin, 1)
+	p.waiters = append(p.waiters, ch)
+	p.mu.Unlock()
+	return <-ch, nil
+}
+
+// Put returns an instance to the pool.
+func (p *Pool) Put(pl *Plugin) {
+	if pl == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.waiters) > 0 {
+		ch := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.mu.Unlock()
+		ch <- pl
+		return
+	}
+	p.idle = append(p.idle, pl)
+	p.mu.Unlock()
+}
+
+// Call is the checkout-call-return convenience wrapper.
+func (p *Pool) Call(entry string, input []byte) ([]byte, error) {
+	pl, err := p.Get()
+	if err != nil {
+		return nil, err
+	}
+	defer p.Put(pl)
+	return pl.Call(entry, input)
+}
+
+// Stats reports pool occupancy: instances created and currently idle.
+func (p *Pool) Stats() (created, idle int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.created, len(p.idle)
+}
+
+// String implements fmt.Stringer.
+func (p *Pool) String() string {
+	created, idle := p.Stats()
+	return fmt.Sprintf("wabi.Pool{created=%d idle=%d max=%d}", created, idle, p.max)
+}

@@ -1,0 +1,106 @@
+package wabi
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolReusesInstances(t *testing.T) {
+	mod, err := CompileWAT(echoWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(mod, Policy{}, Env{}, 4)
+	a, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(a)
+	b, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("idle instance not reused")
+	}
+	pool.Put(b)
+	if created, idle := pool.Stats(); created != 1 || idle != 1 {
+		t.Fatalf("stats = %d/%d", created, idle)
+	}
+}
+
+func TestPoolConcurrentCalls(t *testing.T) {
+	mod, err := CompileWAT(echoWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(mod, Policy{}, Env{}, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			msg := []byte{byte(g), byte(g + 1), byte(g + 2)}
+			for i := 0; i < 50; i++ {
+				out, err := pool.Call("run", msg)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if string(out) != string(msg) {
+					t.Errorf("goroutine %d: cross-talk: %v != %v", g, out, msg)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	created, idle := pool.Stats()
+	if created > 4 {
+		t.Fatalf("pool created %d instances, max 4", created)
+	}
+	if idle != created {
+		t.Fatalf("leaked instances: created=%d idle=%d", created, idle)
+	}
+}
+
+func TestPoolBlocksWhenExhausted(t *testing.T) {
+	mod, err := CompileWAT(echoWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(mod, Policy{}, Env{}, 1)
+	only, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan *Plugin)
+	go func() {
+		p, _ := pool.Get()
+		got <- p
+	}()
+	select {
+	case <-got:
+		t.Fatal("Get returned despite exhausted pool")
+	default:
+	}
+	pool.Put(only)
+	if p := <-got; p != only {
+		t.Fatal("waiter did not receive the returned instance")
+	}
+}
+
+func TestPoolBadModulePropagatesError(t *testing.T) {
+	mod, err := CompileWAT(`(module (func (export "run") (result i32) i32.const 0))`) // no memory
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(mod, Policy{}, Env{}, 2)
+	if _, err := pool.Get(); err == nil {
+		t.Fatal("instantiation failure swallowed")
+	}
+	// The failed slot is released: the pool can still try again.
+	if created, _ := pool.Stats(); created != 0 {
+		t.Fatalf("created = %d after failure", created)
+	}
+}

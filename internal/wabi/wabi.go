@@ -1,0 +1,356 @@
+// Package wabi is WA-RAN's plugin application binary interface: the
+// host-side layer that loads untrusted WebAssembly plugins and exchanges
+// byte-oriented requests and responses with them, in the role Extism plays
+// in the paper's prototype.
+//
+// # ABI contract
+//
+// A plugin is a wasm module that:
+//
+//   - exports a linear memory named "memory";
+//
+//   - exports one or more entry functions with signature () -> i32, where 0
+//     means success and any other value is a plugin-defined error code;
+//
+//   - imports its I/O primitives from module "waran":
+//
+//     (import "waran" "input_length" (func (result i32)))
+//     (import "waran" "input_read"   (func (param i32 i32 i32) (result i32)))
+//     (import "waran" "output_write" (func (param i32 i32)))
+//     (import "waran" "error_set"    (func (param i32 i32)))
+//     (import "waran" "log"          (func (param i32 i32)))
+//
+// input_read(dst, off, n) copies up to n bytes of the call input starting at
+// offset off into guest memory at dst and returns the number copied.
+// output_write replaces the call output with the given guest-memory range.
+// error_set records a guest-readable error string surfaced in CallError.
+//
+// Hosts may expose additional domain host functions (gNB control, RIC
+// messaging) under other module names via Env.
+package wabi
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"waran/internal/wasm"
+	"waran/internal/wat"
+)
+
+// Default resource policy values.
+const (
+	DefaultMaxMemoryPages = 256 // 16 MiB
+	DefaultMaxInputBytes  = 1 << 20
+	DefaultMaxOutputBytes = 1 << 20
+)
+
+// Policy bounds the resources one plugin may consume per call and overall.
+type Policy struct {
+	// MaxMemoryPages caps the plugin's linear memory (64 KiB pages).
+	// Zero means DefaultMaxMemoryPages.
+	MaxMemoryPages uint32
+	// Fuel is the per-call instruction budget. Zero disables metering.
+	Fuel int64
+	// CallTimeout is a wall-clock bound per call, enforced inside the
+	// interpreter (checked every 64 Ki instructions; requires Fuel > 0).
+	// Zero disables it. Fuel is the deterministic budget; CallTimeout is
+	// the belt-and-braces bound against slow host functions.
+	CallTimeout time.Duration
+	// MaxInputBytes bounds Call input size. Zero means the default.
+	MaxInputBytes int
+	// MaxOutputBytes bounds what the guest may emit. Zero means the default.
+	MaxOutputBytes int
+	// FreshInstance re-instantiates the module for every call, giving
+	// maximum isolation between invocations at extra cost (ablation:
+	// BenchmarkAblationInstanceReuse).
+	FreshInstance bool
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxMemoryPages == 0 {
+		p.MaxMemoryPages = DefaultMaxMemoryPages
+	}
+	if p.MaxInputBytes == 0 {
+		p.MaxInputBytes = DefaultMaxInputBytes
+	}
+	if p.MaxOutputBytes == 0 {
+		p.MaxOutputBytes = DefaultMaxOutputBytes
+	}
+	return p
+}
+
+// Env supplies optional host extensions and observers.
+type Env struct {
+	// HostFuncs maps module name -> function name -> implementation, merged
+	// with (and unable to override) the "waran" ABI module.
+	HostFuncs wasm.Imports
+	// OnLog receives guest log lines, if set.
+	OnLog func(msg string)
+}
+
+// Module is compiled plugin code, instantiable many times.
+type Module struct {
+	cm *wasm.CompiledModule
+}
+
+// CompileWasm compiles plugin bytecode (decode + validate + flatten).
+func CompileWasm(bin []byte) (*Module, error) {
+	m, err := wasm.Decode(bin)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := wasm.Compile(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Module{cm: cm}, nil
+}
+
+// CompileWAT compiles plugin source in the WebAssembly text format.
+func CompileWAT(src string) (*Module, error) {
+	m, err := wat.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := wasm.Compile(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Module{cm: cm}, nil
+}
+
+// CallError is returned when a plugin invocation fails. It distinguishes
+// sandbox faults (Trap != nil) from plugin-reported errors (Code/Message).
+type CallError struct {
+	Entry   string
+	Trap    *wasm.Trap
+	Code    int32  // non-zero entry function return
+	Message string // guest-set error string
+}
+
+// Error implements the error interface.
+func (e *CallError) Error() string {
+	switch {
+	case e.Trap != nil:
+		return fmt.Sprintf("wabi: plugin %q faulted: %v", e.Entry, e.Trap)
+	case e.Message != "":
+		return fmt.Sprintf("wabi: plugin %q failed (code %d): %s", e.Entry, e.Code, e.Message)
+	default:
+		return fmt.Sprintf("wabi: plugin %q failed with code %d", e.Entry, e.Code)
+	}
+}
+
+// Unwrap exposes the trap for errors.As / errors.Is.
+func (e *CallError) Unwrap() error {
+	if e.Trap != nil {
+		return e.Trap
+	}
+	return nil
+}
+
+// Plugin is an instantiated plugin ready to receive calls. Not safe for
+// concurrent use; callers serialize or use one Plugin per goroutine.
+type Plugin struct {
+	mod    *Module
+	policy Policy
+	env    Env
+	inst   *wasm.Instance
+
+	input    []byte
+	output   []byte
+	guestErr string
+
+	// Stats accumulate across calls.
+	Calls         uint64
+	TotalDuration time.Duration
+	LastDuration  time.Duration
+	Faults        uint64
+}
+
+// NewPlugin instantiates mod under the given policy and environment.
+func NewPlugin(mod *Module, policy Policy, env Env) (*Plugin, error) {
+	p := &Plugin{mod: mod, policy: policy.withDefaults(), env: env}
+	inst, err := p.instantiate()
+	if err != nil {
+		return nil, err
+	}
+	p.inst = inst
+	return p, nil
+}
+
+func (p *Plugin) instantiate() (*wasm.Instance, error) {
+	imports := wasm.Imports{"waran": p.abiModule()}
+	for mod, fns := range p.env.HostFuncs {
+		if mod == "waran" {
+			return nil, errors.New(`wabi: Env.HostFuncs may not define module "waran"`)
+		}
+		imports[mod] = fns
+	}
+	inst, err := p.mod.cm.Instantiate(imports, wasm.Config{
+		MaxMemoryPages: p.policy.MaxMemoryPages,
+		MeterFuel:      p.policy.Fuel > 0,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wabi: instantiate plugin: %w", err)
+	}
+	if inst.Memory() == nil {
+		return nil, errors.New("wabi: plugin must define a linear memory")
+	}
+	inst.HostData = p
+	return inst, nil
+}
+
+// abiModule builds the "waran" import namespace bound to this Plugin.
+func (p *Plugin) abiModule() map[string]*wasm.HostFunc {
+	i32 := wasm.ValI32
+	return map[string]*wasm.HostFunc{
+		"input_length": {
+			Name: "input_length",
+			Type: wasm.FuncType{Results: []wasm.ValType{i32}},
+			Fn: func(ctx *wasm.CallContext, args []uint64) ([]uint64, error) {
+				return []uint64{uint64(uint32(len(p.input)))}, nil
+			},
+		},
+		"input_read": {
+			Name: "input_read",
+			Type: wasm.FuncType{Params: []wasm.ValType{i32, i32, i32}, Results: []wasm.ValType{i32}},
+			Fn: func(ctx *wasm.CallContext, args []uint64) ([]uint64, error) {
+				dst, off, n := uint32(args[0]), uint32(args[1]), uint32(args[2])
+				if off >= uint32(len(p.input)) {
+					return []uint64{0}, nil
+				}
+				src := p.input[off:]
+				if uint32(len(src)) > n {
+					src = src[:n]
+				}
+				if err := ctx.Memory().Write(dst, src); err != nil {
+					return nil, err
+				}
+				return []uint64{uint64(uint32(len(src)))}, nil
+			},
+		},
+		"output_write": {
+			Name: "output_write",
+			Type: wasm.FuncType{Params: []wasm.ValType{i32, i32}},
+			Fn: func(ctx *wasm.CallContext, args []uint64) ([]uint64, error) {
+				ptr, n := uint32(args[0]), uint32(args[1])
+				if int(n) > p.policy.MaxOutputBytes {
+					return nil, fmt.Errorf("wabi: output of %d bytes exceeds limit %d", n, p.policy.MaxOutputBytes)
+				}
+				b, err := ctx.Memory().Read(ptr, n)
+				if err != nil {
+					return nil, err
+				}
+				p.output = b
+				return nil, nil
+			},
+		},
+		"error_set": {
+			Name: "error_set",
+			Type: wasm.FuncType{Params: []wasm.ValType{i32, i32}},
+			Fn: func(ctx *wasm.CallContext, args []uint64) ([]uint64, error) {
+				b, err := ctx.Memory().Read(uint32(args[0]), uint32(args[1]))
+				if err != nil {
+					return nil, err
+				}
+				p.guestErr = string(b)
+				return nil, nil
+			},
+		},
+		"log": {
+			Name: "log",
+			Type: wasm.FuncType{Params: []wasm.ValType{i32, i32}},
+			Fn: func(ctx *wasm.CallContext, args []uint64) ([]uint64, error) {
+				if p.env.OnLog == nil {
+					return nil, nil
+				}
+				b, err := ctx.Memory().Read(uint32(args[0]), uint32(args[1]))
+				if err != nil {
+					return nil, err
+				}
+				p.env.OnLog(string(b))
+				return nil, nil
+			},
+		},
+	}
+}
+
+// HasEntry reports whether the plugin exports entry with the () -> i32
+// signature.
+func (p *Plugin) HasEntry(entry string) bool {
+	ft, ok := p.inst.FuncType(entry)
+	if !ok {
+		return false
+	}
+	return len(ft.Params) == 0 && len(ft.Results) == 1 && ft.Results[0] == wasm.ValI32
+}
+
+// Instance exposes the underlying sandbox, for diagnostics and tests.
+func (p *Plugin) Instance() *wasm.Instance { return p.inst }
+
+// MemoryBytes returns the plugin's current linear memory size in bytes —
+// the quantity plotted in Fig. 5c.
+func (p *Plugin) MemoryBytes() int {
+	if p.inst == nil || p.inst.Memory() == nil {
+		return 0
+	}
+	return p.inst.Memory().Len()
+}
+
+// Call invokes the exported entry function with input, returning the bytes
+// the guest wrote via output_write. All failure modes — traps, fuel
+// exhaustion, non-zero return codes — surface as *CallError; the host and
+// the plugin's module remain usable.
+func (p *Plugin) Call(entry string, input []byte) ([]byte, error) {
+	if len(input) > p.policy.MaxInputBytes {
+		return nil, fmt.Errorf("wabi: input of %d bytes exceeds limit %d", len(input), p.policy.MaxInputBytes)
+	}
+	if p.policy.FreshInstance {
+		inst, err := p.instantiate()
+		if err != nil {
+			return nil, err
+		}
+		p.inst = inst
+	}
+	p.input = input
+	p.output = nil
+	p.guestErr = ""
+	if p.policy.Fuel > 0 {
+		p.inst.SetFuel(p.policy.Fuel)
+		if p.policy.CallTimeout > 0 {
+			p.inst.SetDeadline(time.Now().Add(p.policy.CallTimeout))
+		}
+	}
+
+	start := time.Now()
+	res, err := p.inst.Call(entry)
+	p.LastDuration = time.Since(start)
+	p.TotalDuration += p.LastDuration
+	p.Calls++
+
+	if err != nil {
+		p.Faults++
+		var trap *wasm.Trap
+		if errors.As(err, &trap) {
+			return nil, &CallError{Entry: entry, Trap: trap, Message: p.guestErr}
+		}
+		return nil, err
+	}
+	if code := int32(uint32(res[0])); code != 0 {
+		p.Faults++
+		return nil, &CallError{Entry: entry, Code: code, Message: p.guestErr}
+	}
+	return p.output, nil
+}
+
+// Reset discards the current instance and creates a fresh one, wiping all
+// guest state. Used when quarantining plugins after faults.
+func (p *Plugin) Reset() error {
+	inst, err := p.instantiate()
+	if err != nil {
+		return err
+	}
+	p.inst = inst
+	return nil
+}

@@ -1,0 +1,632 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"waran/internal/leb128"
+)
+
+// Binary format section IDs.
+const (
+	sectionCustom   = 0
+	sectionType     = 1
+	sectionImport   = 2
+	sectionFunction = 3
+	sectionTable    = 4
+	sectionMemory   = 5
+	sectionGlobal   = 6
+	sectionExport   = 7
+	sectionStart    = 8
+	sectionElement  = 9
+	sectionCode     = 10
+	sectionData     = 11
+)
+
+var wasmMagic = []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00}
+
+// ErrBadMagic is returned for inputs that are not WebAssembly binaries.
+var ErrBadMagic = errors.New("wasm: bad magic or unsupported version")
+
+// maxItemsPerSection caps vector lengths to defend against decompression
+// bombs in attacker-supplied plugin bytecode.
+const maxItemsPerSection = 1 << 20
+
+// reader is a cursor over the module bytes.
+type reader struct {
+	b   []byte
+	pos int
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.pos }
+
+func (r *reader) byte() (byte, error) {
+	if r.pos >= len(r.b) {
+		return 0, fmt.Errorf("wasm: unexpected end of input at offset %d", r.pos)
+	}
+	c := r.b[r.pos]
+	r.pos++
+	return c, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, fmt.Errorf("wasm: unexpected end of input at offset %d (need %d bytes)", r.pos, n)
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	v, n, err := leb128.Uint32(r.b[r.pos:])
+	if err != nil {
+		return 0, fmt.Errorf("wasm: at offset %d: %w", r.pos, err)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) s32() (int32, error) {
+	v, n, err := leb128.Int32(r.b[r.pos:])
+	if err != nil {
+		return 0, fmt.Errorf("wasm: at offset %d: %w", r.pos, err)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) s64() (int64, error) {
+	v, n, err := leb128.Int64(r.b[r.pos:])
+	if err != nil {
+		return 0, fmt.Errorf("wasm: at offset %d: %w", r.pos, err)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) name() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *reader) valType() (ValType, error) {
+	c, err := r.byte()
+	if err != nil {
+		return 0, err
+	}
+	switch v := ValType(c); v {
+	case ValI32, ValI64, ValF32, ValF64, ValFuncref:
+		return v, nil
+	default:
+		return 0, fmt.Errorf("wasm: invalid value type 0x%02x at offset %d", c, r.pos-1)
+	}
+}
+
+func (r *reader) limits() (Limits, error) {
+	flag, err := r.byte()
+	if err != nil {
+		return Limits{}, err
+	}
+	var l Limits
+	switch flag {
+	case 0x00:
+		l.Min, err = r.u32()
+		return l, err
+	case 0x01:
+		if l.Min, err = r.u32(); err != nil {
+			return l, err
+		}
+		if l.Max, err = r.u32(); err != nil {
+			return l, err
+		}
+		l.HasMax = true
+		if l.Max < l.Min {
+			return l, fmt.Errorf("wasm: limits max %d < min %d", l.Max, l.Min)
+		}
+		return l, nil
+	default:
+		return l, fmt.Errorf("wasm: invalid limits flag 0x%02x", flag)
+	}
+}
+
+func (r *reader) vecLen() (int, error) {
+	n, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxItemsPerSection {
+		return 0, fmt.Errorf("wasm: vector of %d items exceeds limit", n)
+	}
+	return int(n), nil
+}
+
+// constExpr decodes a constant initializer expression terminated by end.
+func (r *reader) constExpr() (ConstExpr, error) {
+	op, err := r.byte()
+	if err != nil {
+		return ConstExpr{}, err
+	}
+	var ce ConstExpr
+	ce.Op = op
+	switch op {
+	case OpI32Const:
+		v, err := r.s32()
+		if err != nil {
+			return ce, err
+		}
+		ce.Value = uint64(uint32(v))
+	case OpI64Const:
+		v, err := r.s64()
+		if err != nil {
+			return ce, err
+		}
+		ce.Value = uint64(v)
+	case OpF32Const:
+		b, err := r.bytes(4)
+		if err != nil {
+			return ce, err
+		}
+		ce.Value = uint64(binary.LittleEndian.Uint32(b))
+	case OpF64Const:
+		b, err := r.bytes(8)
+		if err != nil {
+			return ce, err
+		}
+		ce.Value = binary.LittleEndian.Uint64(b)
+	case OpGlobalGet:
+		ix, err := r.u32()
+		if err != nil {
+			return ce, err
+		}
+		ce.GlobalIx = ix
+	default:
+		return ce, fmt.Errorf("wasm: unsupported opcode %s in constant expression", OpcodeName(op))
+	}
+	end, err := r.byte()
+	if err != nil {
+		return ce, err
+	}
+	if end != OpEnd {
+		return ce, fmt.Errorf("wasm: constant expression not terminated by end (got %s)", OpcodeName(end))
+	}
+	return ce, nil
+}
+
+// Decode parses a WebAssembly binary module. The returned module references
+// slices of the input buffer; callers must not mutate b afterwards.
+func Decode(b []byte) (*Module, error) {
+	if len(b) < 8 || string(b[:8]) != string(wasmMagic) {
+		return nil, ErrBadMagic
+	}
+	r := &reader{b: b, pos: 8}
+	m := &Module{}
+	lastSection := -1
+
+	for r.remaining() > 0 {
+		id, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		size, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		payload, err := r.bytes(int(size))
+		if err != nil {
+			return nil, err
+		}
+		if id != sectionCustom {
+			if int(id) <= lastSection {
+				return nil, fmt.Errorf("wasm: section %d out of order", id)
+			}
+			lastSection = int(id)
+		}
+		sr := &reader{b: payload}
+		switch id {
+		case sectionCustom:
+			if err := m.decodeCustom(sr); err != nil {
+				return nil, err
+			}
+		case sectionType:
+			if err := m.decodeTypes(sr); err != nil {
+				return nil, err
+			}
+		case sectionImport:
+			if err := m.decodeImports(sr); err != nil {
+				return nil, err
+			}
+		case sectionFunction:
+			if err := m.decodeFuncs(sr); err != nil {
+				return nil, err
+			}
+		case sectionTable:
+			if err := m.decodeTables(sr); err != nil {
+				return nil, err
+			}
+		case sectionMemory:
+			if err := m.decodeMems(sr); err != nil {
+				return nil, err
+			}
+		case sectionGlobal:
+			if err := m.decodeGlobals(sr); err != nil {
+				return nil, err
+			}
+		case sectionExport:
+			if err := m.decodeExports(sr); err != nil {
+				return nil, err
+			}
+		case sectionStart:
+			ix, err := sr.u32()
+			if err != nil {
+				return nil, err
+			}
+			m.Start = &ix
+		case sectionElement:
+			if err := m.decodeElems(sr); err != nil {
+				return nil, err
+			}
+		case sectionCode:
+			if err := m.decodeCodes(sr); err != nil {
+				return nil, err
+			}
+		case sectionData:
+			if err := m.decodeDatas(sr); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("wasm: unknown section id %d", id)
+		}
+		if id != sectionCustom && sr.remaining() != 0 {
+			return nil, fmt.Errorf("wasm: section %d has %d trailing bytes", id, sr.remaining())
+		}
+	}
+	if len(m.Codes) != len(m.Funcs) {
+		return nil, fmt.Errorf("wasm: function section declares %d functions but code section has %d bodies", len(m.Funcs), len(m.Codes))
+	}
+	return m, nil
+}
+
+func (m *Module) decodeCustom(r *reader) error {
+	name, err := r.name()
+	if err != nil {
+		return nil // tolerate malformed custom sections: they carry no semantics
+	}
+	if name == "name" && r.remaining() > 0 {
+		// Parse only the module-name subsection for diagnostics.
+		if sub, err := r.byte(); err == nil && sub == 0 {
+			if _, err := r.u32(); err == nil {
+				if mn, err := r.name(); err == nil {
+					m.Name = mn
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Module) decodeTypes(r *reader) error {
+	n, err := r.vecLen()
+	if err != nil {
+		return err
+	}
+	m.Types = make([]FuncType, 0, n)
+	for i := 0; i < n; i++ {
+		form, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if form != 0x60 {
+			return fmt.Errorf("wasm: type %d has unsupported form 0x%02x", i, form)
+		}
+		var ft FuncType
+		np, err := r.vecLen()
+		if err != nil {
+			return err
+		}
+		for j := 0; j < np; j++ {
+			vt, err := r.valType()
+			if err != nil {
+				return err
+			}
+			ft.Params = append(ft.Params, vt)
+		}
+		nr, err := r.vecLen()
+		if err != nil {
+			return err
+		}
+		for j := 0; j < nr; j++ {
+			vt, err := r.valType()
+			if err != nil {
+				return err
+			}
+			ft.Results = append(ft.Results, vt)
+		}
+		m.Types = append(m.Types, ft)
+	}
+	return nil
+}
+
+func (m *Module) decodeImports(r *reader) error {
+	n, err := r.vecLen()
+	if err != nil {
+		return err
+	}
+	m.Imports = make([]Import, 0, n)
+	for i := 0; i < n; i++ {
+		var im Import
+		if im.Module, err = r.name(); err != nil {
+			return err
+		}
+		if im.Name, err = r.name(); err != nil {
+			return err
+		}
+		kind, err := r.byte()
+		if err != nil {
+			return err
+		}
+		im.Kind = ExternKind(kind)
+		switch im.Kind {
+		case ExternFunc:
+			if im.TypeIx, err = r.u32(); err != nil {
+				return err
+			}
+		case ExternTable:
+			if im.Table.Elem, err = r.valType(); err != nil {
+				return err
+			}
+			if im.Table.Limits, err = r.limits(); err != nil {
+				return err
+			}
+		case ExternMemory:
+			if im.Mem.Limits, err = r.limits(); err != nil {
+				return err
+			}
+		case ExternGlobal:
+			if im.Global.Type, err = r.valType(); err != nil {
+				return err
+			}
+			mut, err := r.byte()
+			if err != nil {
+				return err
+			}
+			if mut > 1 {
+				return fmt.Errorf("wasm: invalid mutability flag 0x%02x", mut)
+			}
+			im.Global.Mutable = mut == 1
+		default:
+			return fmt.Errorf("wasm: import %d has invalid kind 0x%02x", i, kind)
+		}
+		m.Imports = append(m.Imports, im)
+	}
+	return nil
+}
+
+func (m *Module) decodeFuncs(r *reader) error {
+	n, err := r.vecLen()
+	if err != nil {
+		return err
+	}
+	m.Funcs = make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		tix, err := r.u32()
+		if err != nil {
+			return err
+		}
+		m.Funcs = append(m.Funcs, tix)
+	}
+	return nil
+}
+
+func (m *Module) decodeTables(r *reader) error {
+	n, err := r.vecLen()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		var tt TableType
+		if tt.Elem, err = r.valType(); err != nil {
+			return err
+		}
+		if tt.Elem != ValFuncref {
+			return fmt.Errorf("wasm: table %d has non-funcref element type", i)
+		}
+		if tt.Limits, err = r.limits(); err != nil {
+			return err
+		}
+		m.Tables = append(m.Tables, tt)
+	}
+	return nil
+}
+
+func (m *Module) decodeMems(r *reader) error {
+	n, err := r.vecLen()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		var mt MemoryType
+		if mt.Limits, err = r.limits(); err != nil {
+			return err
+		}
+		if mt.Limits.Min > MaxPages || (mt.Limits.HasMax && mt.Limits.Max > MaxPages) {
+			return fmt.Errorf("wasm: memory %d exceeds 4 GiB limit", i)
+		}
+		m.Mems = append(m.Mems, mt)
+	}
+	return nil
+}
+
+func (m *Module) decodeGlobals(r *reader) error {
+	n, err := r.vecLen()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		var g Global
+		if g.Type.Type, err = r.valType(); err != nil {
+			return err
+		}
+		mut, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if mut > 1 {
+			return fmt.Errorf("wasm: invalid mutability flag 0x%02x", mut)
+		}
+		g.Type.Mutable = mut == 1
+		if g.Init, err = r.constExpr(); err != nil {
+			return err
+		}
+		m.Globals = append(m.Globals, g)
+	}
+	return nil
+}
+
+func (m *Module) decodeExports(r *reader) error {
+	n, err := r.vecLen()
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		var e Export
+		if e.Name, err = r.name(); err != nil {
+			return err
+		}
+		if seen[e.Name] {
+			return fmt.Errorf("wasm: duplicate export %q", e.Name)
+		}
+		seen[e.Name] = true
+		kind, err := r.byte()
+		if err != nil {
+			return err
+		}
+		e.Kind = ExternKind(kind)
+		if e.Kind > ExternGlobal {
+			return fmt.Errorf("wasm: export %q has invalid kind 0x%02x", e.Name, kind)
+		}
+		if e.Index, err = r.u32(); err != nil {
+			return err
+		}
+		m.Exports = append(m.Exports, e)
+	}
+	return nil
+}
+
+func (m *Module) decodeElems(r *reader) error {
+	n, err := r.vecLen()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		var es ElemSegment
+		if es.TableIx, err = r.u32(); err != nil {
+			return err
+		}
+		if es.TableIx != 0 {
+			return fmt.Errorf("wasm: element segment %d targets table %d (only table 0 supported)", i, es.TableIx)
+		}
+		if es.Offset, err = r.constExpr(); err != nil {
+			return err
+		}
+		cnt, err := r.vecLen()
+		if err != nil {
+			return err
+		}
+		es.Funcs = make([]uint32, 0, cnt)
+		for j := 0; j < cnt; j++ {
+			fx, err := r.u32()
+			if err != nil {
+				return err
+			}
+			es.Funcs = append(es.Funcs, fx)
+		}
+		m.Elems = append(m.Elems, es)
+	}
+	return nil
+}
+
+func (m *Module) decodeCodes(r *reader) error {
+	n, err := r.vecLen()
+	if err != nil {
+		return err
+	}
+	m.Codes = make([]Code, 0, n)
+	for i := 0; i < n; i++ {
+		size, err := r.u32()
+		if err != nil {
+			return err
+		}
+		body, err := r.bytes(int(size))
+		if err != nil {
+			return err
+		}
+		br := &reader{b: body}
+		var c Code
+		groups, err := br.vecLen()
+		if err != nil {
+			return err
+		}
+		total := 0
+		for j := 0; j < groups; j++ {
+			cnt, err := br.u32()
+			if err != nil {
+				return err
+			}
+			vt, err := br.valType()
+			if err != nil {
+				return err
+			}
+			total += int(cnt)
+			if total > maxItemsPerSection {
+				return fmt.Errorf("wasm: function %d declares too many locals", i)
+			}
+			for k := uint32(0); k < cnt; k++ {
+				c.Locals = append(c.Locals, vt)
+			}
+		}
+		c.Body = body[br.pos:]
+		if len(c.Body) == 0 || c.Body[len(c.Body)-1] != OpEnd {
+			return fmt.Errorf("wasm: function %d body not terminated by end", i)
+		}
+		m.Codes = append(m.Codes, c)
+	}
+	return nil
+}
+
+func (m *Module) decodeDatas(r *reader) error {
+	n, err := r.vecLen()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		var ds DataSegment
+		if ds.MemIx, err = r.u32(); err != nil {
+			return err
+		}
+		if ds.MemIx != 0 {
+			return fmt.Errorf("wasm: data segment %d targets memory %d (only memory 0 supported)", i, ds.MemIx)
+		}
+		if ds.Offset, err = r.constExpr(); err != nil {
+			return err
+		}
+		sz, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if ds.Bytes, err = r.bytes(int(sz)); err != nil {
+			return err
+		}
+		m.Datas = append(m.Datas, ds)
+	}
+	return nil
+}

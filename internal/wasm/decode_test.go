@@ -1,0 +1,214 @@
+package wasm_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"waran/internal/wasm"
+	"waran/internal/wat"
+)
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	if _, err := wasm.Decode([]byte("not a wasm module")); !errors.Is(err, wasm.ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+	if _, err := wasm.Decode(nil); !errors.Is(err, wasm.ErrBadMagic) {
+		t.Fatalf("empty input: want ErrBadMagic, got %v", err)
+	}
+	// Right magic, wrong version.
+	bad := []byte{0x00, 0x61, 0x73, 0x6D, 0x02, 0x00, 0x00, 0x00}
+	if _, err := wasm.Decode(bad); !errors.Is(err, wasm.ErrBadMagic) {
+		t.Fatalf("bad version: want ErrBadMagic, got %v", err)
+	}
+}
+
+const fullFeatureWAT = `(module
+  (type $binop (func (param i32 i32) (result i32)))
+  (import "env" "host" (func $host (param i32) (result i32)))
+  (memory (export "memory") 2 8)
+  (table 4 funcref)
+  (global $g (mut i64) (i64.const -5))
+  (global $c f32 (f32.const 1.5))
+  (export "g" (global $g))
+  (elem (i32.const 1) $add $sub)
+  (data (i32.const 16) "hello\00world")
+  (func $add (type $binop) local.get 0 local.get 1 i32.add)
+  (func $sub (type $binop) local.get 0 local.get 1 i32.sub)
+  (func (export "run") (param i32) (result i32)
+    (local $x i32) (local $y f64)
+    local.get 0 call $host)
+  (start $init)
+  (func $init (global.set $g (i64.const 7)))
+)`
+
+// TestEncodeDecodeRoundTrip checks that encoding a module and decoding the
+// result preserves every section.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m1, err := wat.Compile(fullFeatureWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wasm.Validate(m1); err != nil {
+		t.Fatal(err)
+	}
+	bin1, err := wasm.Encode(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := wasm.Decode(bin1)
+	if err != nil {
+		t.Fatalf("decode of encoded module: %v", err)
+	}
+	if err := wasm.Validate(m2); err != nil {
+		t.Fatalf("re-validate: %v", err)
+	}
+	bin2, err := wasm.Encode(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bin1, bin2) {
+		t.Fatal("encode(decode(encode(m))) differs from encode(m)")
+	}
+	// Structural spot checks.
+	if len(m2.Types) != len(m1.Types) || len(m2.Funcs) != len(m1.Funcs) {
+		t.Fatalf("type/func count mismatch: %d/%d vs %d/%d",
+			len(m2.Types), len(m2.Funcs), len(m1.Types), len(m1.Funcs))
+	}
+	if len(m2.Imports) != 1 || m2.Imports[0].Module != "env" {
+		t.Fatalf("imports: %+v", m2.Imports)
+	}
+	if len(m2.Datas) != 1 || string(m2.Datas[0].Bytes) != "hello\x00world" {
+		t.Fatalf("data: %+v", m2.Datas)
+	}
+	if m2.Start == nil {
+		t.Fatal("start lost")
+	}
+	if len(m2.Elems) != 1 || len(m2.Elems[0].Funcs) != 2 {
+		t.Fatalf("elems: %+v", m2.Elems)
+	}
+}
+
+// TestDecodedModuleRuns instantiates the decoded binary and exercises it.
+func TestDecodedModuleRuns(t *testing.T) {
+	bin, err := wat.CompileToBinary(fullFeatureWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := wasm.Decode(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := wasm.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imports := wasm.Imports{"env": {"host": &wasm.HostFunc{
+		Name: "host",
+		Type: wasm.FuncType{Params: []wasm.ValType{wasm.ValI32}, Results: []wasm.ValType{wasm.ValI32}},
+		Fn: func(ctx *wasm.CallContext, args []uint64) ([]uint64, error) {
+			// Read the data segment through the sandbox boundary.
+			b, err := ctx.Memory().Read(16, 5)
+			if err != nil {
+				return nil, err
+			}
+			if string(b) != "hello" {
+				t.Errorf("data segment = %q", b)
+			}
+			return []uint64{args[0] + 1}, nil
+		},
+	}}}
+	in, err := cm.Instantiate(imports, wasm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Call("run", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 42 {
+		t.Fatalf("run = %d", res[0])
+	}
+	// Start function must have executed.
+	if v, _ := in.GlobalValue("g"); int64(v) != 7 {
+		t.Fatalf("global after start = %d", int64(v))
+	}
+}
+
+func TestDecodeTruncatedSections(t *testing.T) {
+	bin, err := wat.CompileToBinary(fullFeatureWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must fail cleanly, never panic.
+	for i := 8; i < len(bin); i += 7 {
+		if _, err := wasm.Decode(bin[:i]); err == nil {
+			// Some prefixes may be valid modules (ending on a section
+			// boundary); decode deeper correctness via Validate.
+			m, _ := wasm.Decode(bin[:i])
+			if m != nil && len(m.Funcs) != len(m.Codes) {
+				t.Fatalf("prefix %d produced inconsistent module", i)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsSectionOrder(t *testing.T) {
+	// Build: type section after function section.
+	bin := []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00,
+		3, 2, 1, 0, // function section: one func of type 0
+		1, 4, 1, 0x60, 0, 0, // type section (out of order)
+	}
+	if _, err := wasm.Decode(bin); err == nil {
+		t.Fatal("out-of-order sections accepted")
+	}
+}
+
+func TestDecodeRejectsDuplicateExports(t *testing.T) {
+	src := `(module (memory 1) (func))`
+	m, err := wat.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Exports = []wasm.Export{
+		{Name: "x", Kind: wasm.ExternFunc, Index: 0},
+		{Name: "x", Kind: wasm.ExternMemory, Index: 0},
+	}
+	bin, err := wasm.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wasm.Decode(bin); err == nil {
+		t.Fatal("duplicate export names accepted")
+	}
+}
+
+func TestDecodeRejectsCodeCountMismatch(t *testing.T) {
+	// Function section declares one function, no code section.
+	bin := []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00,
+		1, 4, 1, 0x60, 0, 0, // type section
+		3, 2, 1, 0, // function section
+	}
+	if _, err := wasm.Decode(bin); err == nil {
+		t.Fatal("missing code section accepted")
+	}
+}
+
+func TestOpcodeNames(t *testing.T) {
+	if got := wasm.OpcodeName(wasm.OpI32Add); got != "i32.add" {
+		t.Fatalf("OpcodeName = %q", got)
+	}
+	if got := wasm.OpcodeName(0xFE); got == "" {
+		t.Fatal("unknown opcode name empty")
+	}
+}
+
+func TestFuncTypeString(t *testing.T) {
+	ft := wasm.FuncType{
+		Params:  []wasm.ValType{wasm.ValI32, wasm.ValF64},
+		Results: []wasm.ValType{wasm.ValI64},
+	}
+	if got := ft.String(); got != "(i32 f64) -> (i64)" {
+		t.Fatalf("String = %q", got)
+	}
+}

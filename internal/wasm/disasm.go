@@ -1,0 +1,305 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	"waran/internal/leb128"
+)
+
+// Disassemble renders a decoded module as WAT-like text for inspection —
+// the tooling counterpart of the wat compiler, used by cmd/wat2wasm -dump
+// and when debugging third-party plugin uploads.
+func Disassemble(m *Module) string {
+	var b strings.Builder
+	b.WriteString("(module")
+	if m.Name != "" {
+		fmt.Fprintf(&b, " ;; name=%q", m.Name)
+	}
+	b.WriteString("\n")
+
+	for i, t := range m.Types {
+		fmt.Fprintf(&b, "  (type (;%d;) (func%s))\n", i, signatureText(t))
+	}
+	for _, im := range m.Imports {
+		switch im.Kind {
+		case ExternFunc:
+			fmt.Fprintf(&b, "  (import %q %q (func (type %d)))\n", im.Module, im.Name, im.TypeIx)
+		case ExternMemory:
+			fmt.Fprintf(&b, "  (import %q %q (memory %s))\n", im.Module, im.Name, limitsText(im.Mem.Limits))
+		case ExternTable:
+			fmt.Fprintf(&b, "  (import %q %q (table %s funcref))\n", im.Module, im.Name, limitsText(im.Table.Limits))
+		case ExternGlobal:
+			fmt.Fprintf(&b, "  (import %q %q (global %s))\n", im.Module, im.Name, globalTypeText(im.Global))
+		}
+	}
+	for _, tt := range m.Tables {
+		fmt.Fprintf(&b, "  (table %s funcref)\n", limitsText(tt.Limits))
+	}
+	for _, mt := range m.Mems {
+		fmt.Fprintf(&b, "  (memory %s)\n", limitsText(mt.Limits))
+	}
+	for i, g := range m.Globals {
+		fmt.Fprintf(&b, "  (global (;%d;) %s (%s))\n", i, globalTypeText(g.Type), constExprText(g.Init))
+	}
+	for _, e := range m.Exports {
+		fmt.Fprintf(&b, "  (export %q (%s %d))\n", e.Name, e.Kind, e.Index)
+	}
+	if m.Start != nil {
+		fmt.Fprintf(&b, "  (start %d)\n", *m.Start)
+	}
+	for _, es := range m.Elems {
+		fmt.Fprintf(&b, "  (elem (%s) func", constExprText(es.Offset))
+		for _, fx := range es.Funcs {
+			fmt.Fprintf(&b, " %d", fx)
+		}
+		b.WriteString(")\n")
+	}
+	nImp := m.NumImportedFuncs()
+	for i := range m.Funcs {
+		c := &m.Codes[i]
+		fmt.Fprintf(&b, "  (func (;%d;) (type %d)", nImp+i, m.Funcs[i])
+		if len(c.Locals) > 0 {
+			b.WriteString(" (local")
+			for _, l := range c.Locals {
+				fmt.Fprintf(&b, " %s", l)
+			}
+			b.WriteString(")")
+		}
+		b.WriteString("\n")
+		disasmBody(&b, c.Body)
+		b.WriteString("  )\n")
+	}
+	for _, ds := range m.Datas {
+		fmt.Fprintf(&b, "  (data (%s) \"%s\")\n", constExprText(ds.Offset), watEscape(ds.Bytes))
+	}
+	b.WriteString(")\n")
+	return b.String()
+}
+
+// watEscape renders bytes as a WAT string literal body: printable ASCII
+// stays literal, everything else becomes \hh so the output re-parses.
+func watEscape(b []byte) string {
+	var out strings.Builder
+	for _, c := range b {
+		switch {
+		case c == '"':
+			out.WriteString("\\\"")
+		case c == '\\':
+			out.WriteString("\\\\")
+		case c >= 0x20 && c < 0x7F:
+			out.WriteByte(c)
+		default:
+			fmt.Fprintf(&out, "\\%02x", c)
+		}
+	}
+	return out.String()
+}
+
+func signatureText(t FuncType) string {
+	var b strings.Builder
+	if len(t.Params) > 0 {
+		b.WriteString(" (param")
+		for _, p := range t.Params {
+			fmt.Fprintf(&b, " %s", p)
+		}
+		b.WriteString(")")
+	}
+	if len(t.Results) > 0 {
+		b.WriteString(" (result")
+		for _, r := range t.Results {
+			fmt.Fprintf(&b, " %s", r)
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+func limitsText(l Limits) string {
+	if l.HasMax {
+		return fmt.Sprintf("%d %d", l.Min, l.Max)
+	}
+	return fmt.Sprintf("%d", l.Min)
+}
+
+func globalTypeText(g GlobalType) string {
+	if g.Mutable {
+		return fmt.Sprintf("(mut %s)", g.Type)
+	}
+	return g.Type.String()
+}
+
+func constExprText(ce ConstExpr) string {
+	switch ce.Op {
+	case OpI32Const:
+		return fmt.Sprintf("i32.const %d", int32(uint32(ce.Value)))
+	case OpI64Const:
+		return fmt.Sprintf("i64.const %d", int64(ce.Value))
+	case OpF32Const:
+		return fmt.Sprintf("f32.const %v", math.Float32frombits(uint32(ce.Value)))
+	case OpF64Const:
+		return fmt.Sprintf("f64.const %v", math.Float64frombits(ce.Value))
+	case OpGlobalGet:
+		return fmt.Sprintf("global.get %d", ce.GlobalIx)
+	default:
+		return fmt.Sprintf(";; bad const op %#x", ce.Op)
+	}
+}
+
+// disasmBody prints one instruction per line with nesting indentation.
+func disasmBody(b *strings.Builder, body []byte) {
+	r := &reader{b: body}
+	depth := 1
+	for r.remaining() > 0 {
+		op, err := r.byte()
+		if err != nil {
+			fmt.Fprintf(b, "    ;; error: %v\n", err)
+			return
+		}
+		if op == OpEnd || op == OpElse {
+			depth--
+		}
+		if depth < 0 {
+			depth = 0
+		}
+		indent := strings.Repeat("  ", depth+1)
+		text, err := instrText(r, op)
+		if err != nil {
+			fmt.Fprintf(b, "%s;; error: %v\n", indent, err)
+			return
+		}
+		if op == OpEnd && r.remaining() == 0 {
+			return // the function's closing end is implied by the ')' line
+		}
+		fmt.Fprintf(b, "%s%s\n", indent, text)
+		switch op {
+		case OpBlock, OpLoop, OpIf, OpElse:
+			depth++
+		}
+	}
+}
+
+// instrText decodes one instruction's immediates and renders it.
+func instrText(r *reader, op byte) (string, error) {
+	name := OpcodeName(op)
+	switch op {
+	case OpBlock, OpLoop, OpIf:
+		raw, n, err := leb128.Int33(r.b[r.pos:])
+		if err != nil {
+			return "", err
+		}
+		r.pos += n
+		switch {
+		case raw >= 0:
+			return fmt.Sprintf("%s (type %d)", name, raw), nil
+		case byte(raw&0x7F) == 0x40:
+			return name, nil
+		default:
+			return fmt.Sprintf("%s (result %s)", name, ValType(byte(raw&0x7F))), nil
+		}
+	case OpBr, OpBrIf, OpCall, OpLocalGet, OpLocalSet, OpLocalTee, OpGlobalGet, OpGlobalSet:
+		v, err := r.u32()
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s %d", name, v), nil
+	case OpBrTable:
+		n, err := r.vecLen()
+		if err != nil {
+			return "", err
+		}
+		parts := []string{name}
+		for i := 0; i <= n; i++ {
+			v, err := r.u32()
+			if err != nil {
+				return "", err
+			}
+			parts = append(parts, fmt.Sprintf("%d", v))
+		}
+		return strings.Join(parts, " "), nil
+	case OpCallIndirect:
+		tix, err := r.u32()
+		if err != nil {
+			return "", err
+		}
+		if _, err := r.u32(); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s (type %d)", name, tix), nil
+	case OpMemorySize, OpMemoryGrow:
+		if _, err := r.byte(); err != nil {
+			return "", err
+		}
+		return name, nil
+	case OpI32Const:
+		v, err := r.s32()
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s %d", name, v), nil
+	case OpI64Const:
+		v, err := r.s64()
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s %d", name, v), nil
+	case OpF32Const:
+		bs, err := r.bytes(4)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s %v", name, math.Float32frombits(binary.LittleEndian.Uint32(bs))), nil
+	case OpF64Const:
+		bs, err := r.bytes(8)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s %v", name, math.Float64frombits(binary.LittleEndian.Uint64(bs))), nil
+	case OpPrefixMisc:
+		sub, err := r.u32()
+		if err != nil {
+			return "", err
+		}
+		switch sub {
+		case MiscMemoryCopy:
+			if _, err := r.bytes(2); err != nil {
+				return "", err
+			}
+			return "memory.copy", nil
+		case MiscMemoryFill:
+			if _, err := r.byte(); err != nil {
+				return "", err
+			}
+			return "memory.fill", nil
+		default:
+			names := map[uint32]string{
+				0: "i32.trunc_sat_f32_s", 1: "i32.trunc_sat_f32_u",
+				2: "i32.trunc_sat_f64_s", 3: "i32.trunc_sat_f64_u",
+				4: "i64.trunc_sat_f32_s", 5: "i64.trunc_sat_f32_u",
+				6: "i64.trunc_sat_f64_s", 7: "i64.trunc_sat_f64_u",
+			}
+			if n, ok := names[sub]; ok {
+				return n, nil
+			}
+			return "", fmt.Errorf("unknown misc opcode %d", sub)
+		}
+	default:
+		if op >= OpI32Load && op <= OpI64Store32 {
+			align, err := r.u32()
+			if err != nil {
+				return "", err
+			}
+			off, err := r.u32()
+			if err != nil {
+				return "", err
+			}
+			if off != 0 {
+				return fmt.Sprintf("%s offset=%d align=%d", name, off, 1<<align), nil
+			}
+			return name, nil
+		}
+		return name, nil
+	}
+}

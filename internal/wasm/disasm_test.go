@@ -1,0 +1,73 @@
+package wasm_test
+
+import (
+	"strings"
+	"testing"
+
+	"waran/internal/wasm"
+)
+
+func TestDisassembleFullModule(t *testing.T) {
+	m := mustModule(t, fullFeatureWAT)
+	if err := wasm.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	text := wasm.Disassemble(m)
+	for _, want := range []string{
+		`(import "env" "host" (func (type`,
+		"(memory 2 8)",
+		"(table 4 funcref)",
+		"(global (;0;) (mut i64) (i64.const -5))",
+		`(export "memory" (memory 0))`,
+		`(export "run" (func`,
+		"(start",
+		"(elem (i32.const 1) func",
+		"i32.add",
+		"local.get 0",
+		"(data (i32.const 16) \"hello\\00world\")",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDisassembleControlFlowIndentation(t *testing.T) {
+	src := `(module (func (param i32) (result i32)
+	  (if (result i32) (local.get 0)
+	    (then i32.const 1)
+	    (else
+	      block (result i32)
+	        loop
+	          i32.const 5
+	          br 1
+	        end
+	        unreachable
+	      end))))`
+	m := mustModule(t, src)
+	if err := wasm.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	text := wasm.Disassemble(m)
+	for _, want := range []string{"if (result i32)", "else", "block (result i32)", "loop", "br 1", "unreachable"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	// The loop body must be indented deeper than the function body.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasSuffix(line, "br 1") && !strings.HasPrefix(line, "          ") {
+			t.Errorf("br 1 not nested: %q", line)
+		}
+	}
+}
+
+func TestDisassembleMemArgs(t *testing.T) {
+	src := `(module (memory 1) (func (result i32)
+	  i32.const 0 i32.load offset=32))`
+	m := mustModule(t, src)
+	text := wasm.Disassemble(m)
+	if !strings.Contains(text, "i32.load offset=32") {
+		t.Fatalf("memarg lost:\n%s", text)
+	}
+}

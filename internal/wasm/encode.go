@@ -1,0 +1,239 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"waran/internal/leb128"
+)
+
+// Encode serializes the module back to the WebAssembly binary format.
+// Decode(Encode(m)) yields a module equivalent to m.
+func Encode(m *Module) ([]byte, error) {
+	out := append([]byte(nil), wasmMagic...)
+
+	appendSection := func(id byte, payload []byte) {
+		if len(payload) == 0 {
+			return
+		}
+		out = append(out, id)
+		out = leb128.AppendUint32(out, uint32(len(payload)))
+		out = append(out, payload...)
+	}
+
+	// Type section.
+	if len(m.Types) > 0 {
+		p := leb128.AppendUint32(nil, uint32(len(m.Types)))
+		for _, t := range m.Types {
+			p = append(p, 0x60)
+			p = leb128.AppendUint32(p, uint32(len(t.Params)))
+			for _, v := range t.Params {
+				p = append(p, byte(v))
+			}
+			p = leb128.AppendUint32(p, uint32(len(t.Results)))
+			for _, v := range t.Results {
+				p = append(p, byte(v))
+			}
+		}
+		appendSection(sectionType, p)
+	}
+
+	// Import section.
+	if len(m.Imports) > 0 {
+		p := leb128.AppendUint32(nil, uint32(len(m.Imports)))
+		for _, im := range m.Imports {
+			p = appendName(p, im.Module)
+			p = appendName(p, im.Name)
+			p = append(p, byte(im.Kind))
+			switch im.Kind {
+			case ExternFunc:
+				p = leb128.AppendUint32(p, im.TypeIx)
+			case ExternTable:
+				p = append(p, byte(im.Table.Elem))
+				p = appendLimits(p, im.Table.Limits)
+			case ExternMemory:
+				p = appendLimits(p, im.Mem.Limits)
+			case ExternGlobal:
+				p = append(p, byte(im.Global.Type))
+				p = appendBool(p, im.Global.Mutable)
+			default:
+				return nil, fmt.Errorf("wasm: cannot encode import kind %v", im.Kind)
+			}
+		}
+		appendSection(sectionImport, p)
+	}
+
+	// Function section.
+	if len(m.Funcs) > 0 {
+		p := leb128.AppendUint32(nil, uint32(len(m.Funcs)))
+		for _, tix := range m.Funcs {
+			p = leb128.AppendUint32(p, tix)
+		}
+		appendSection(sectionFunction, p)
+	}
+
+	// Table section.
+	if len(m.Tables) > 0 {
+		p := leb128.AppendUint32(nil, uint32(len(m.Tables)))
+		for _, t := range m.Tables {
+			p = append(p, byte(t.Elem))
+			p = appendLimits(p, t.Limits)
+		}
+		appendSection(sectionTable, p)
+	}
+
+	// Memory section.
+	if len(m.Mems) > 0 {
+		p := leb128.AppendUint32(nil, uint32(len(m.Mems)))
+		for _, mm := range m.Mems {
+			p = appendLimits(p, mm.Limits)
+		}
+		appendSection(sectionMemory, p)
+	}
+
+	// Global section.
+	if len(m.Globals) > 0 {
+		p := leb128.AppendUint32(nil, uint32(len(m.Globals)))
+		for _, g := range m.Globals {
+			p = append(p, byte(g.Type.Type))
+			p = appendBool(p, g.Type.Mutable)
+			var err error
+			p, err = appendConstExpr(p, g.Init)
+			if err != nil {
+				return nil, err
+			}
+		}
+		appendSection(sectionGlobal, p)
+	}
+
+	// Export section.
+	if len(m.Exports) > 0 {
+		p := leb128.AppendUint32(nil, uint32(len(m.Exports)))
+		for _, e := range m.Exports {
+			p = appendName(p, e.Name)
+			p = append(p, byte(e.Kind))
+			p = leb128.AppendUint32(p, e.Index)
+		}
+		appendSection(sectionExport, p)
+	}
+
+	// Start section.
+	if m.Start != nil {
+		appendSection(sectionStart, leb128.AppendUint32(nil, *m.Start))
+	}
+
+	// Element section.
+	if len(m.Elems) > 0 {
+		p := leb128.AppendUint32(nil, uint32(len(m.Elems)))
+		for _, es := range m.Elems {
+			p = leb128.AppendUint32(p, es.TableIx)
+			var err error
+			p, err = appendConstExpr(p, es.Offset)
+			if err != nil {
+				return nil, err
+			}
+			p = leb128.AppendUint32(p, uint32(len(es.Funcs)))
+			for _, fx := range es.Funcs {
+				p = leb128.AppendUint32(p, fx)
+			}
+		}
+		appendSection(sectionElement, p)
+	}
+
+	// Code section.
+	if len(m.Codes) > 0 {
+		p := leb128.AppendUint32(nil, uint32(len(m.Codes)))
+		for _, c := range m.Codes {
+			body := encodeLocals(c.Locals)
+			body = append(body, c.Body...)
+			p = leb128.AppendUint32(p, uint32(len(body)))
+			p = append(p, body...)
+		}
+		appendSection(sectionCode, p)
+	}
+
+	// Data section.
+	if len(m.Datas) > 0 {
+		p := leb128.AppendUint32(nil, uint32(len(m.Datas)))
+		for _, ds := range m.Datas {
+			p = leb128.AppendUint32(p, ds.MemIx)
+			var err error
+			p, err = appendConstExpr(p, ds.Offset)
+			if err != nil {
+				return nil, err
+			}
+			p = leb128.AppendUint32(p, uint32(len(ds.Bytes)))
+			p = append(p, ds.Bytes...)
+		}
+		appendSection(sectionData, p)
+	}
+
+	return out, nil
+}
+
+func appendName(dst []byte, s string) []byte {
+	dst = leb128.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendLimits(dst []byte, l Limits) []byte {
+	if l.HasMax {
+		dst = append(dst, 0x01)
+		dst = leb128.AppendUint32(dst, l.Min)
+		return leb128.AppendUint32(dst, l.Max)
+	}
+	dst = append(dst, 0x00)
+	return leb128.AppendUint32(dst, l.Min)
+}
+
+func appendConstExpr(dst []byte, ce ConstExpr) ([]byte, error) {
+	dst = append(dst, ce.Op)
+	switch ce.Op {
+	case OpI32Const:
+		dst = leb128.AppendInt32(dst, int32(uint32(ce.Value)))
+	case OpI64Const:
+		dst = leb128.AppendInt64(dst, int64(ce.Value))
+	case OpF32Const:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(ce.Value))
+		dst = append(dst, b[:]...)
+	case OpF64Const:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], ce.Value)
+		dst = append(dst, b[:]...)
+	case OpGlobalGet:
+		dst = leb128.AppendUint32(dst, ce.GlobalIx)
+	default:
+		return nil, fmt.Errorf("wasm: cannot encode constant expression opcode %s", OpcodeName(ce.Op))
+	}
+	return append(dst, OpEnd), nil
+}
+
+// encodeLocals run-length encodes the expanded locals list.
+func encodeLocals(locals []ValType) []byte {
+	type group struct {
+		count uint32
+		typ   ValType
+	}
+	var groups []group
+	for _, l := range locals {
+		if len(groups) > 0 && groups[len(groups)-1].typ == l {
+			groups[len(groups)-1].count++
+		} else {
+			groups = append(groups, group{1, l})
+		}
+	}
+	out := leb128.AppendUint32(nil, uint32(len(groups)))
+	for _, g := range groups {
+		out = leb128.AppendUint32(out, g.count)
+		out = append(out, byte(g.typ))
+	}
+	return out
+}

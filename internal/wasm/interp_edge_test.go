@@ -1,0 +1,356 @@
+package wasm_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"waran/internal/wasm"
+)
+
+func TestF32Arithmetic(t *testing.T) {
+	ops := []string{"f32.add", "f32.sub", "f32.mul", "f32.div", "f32.min", "f32.max", "f32.copysign"}
+	in := mustInstance(t, binOpModule("f32", "f32", ops))
+	check := func(op string, a, b, want float32) {
+		t.Helper()
+		got := math.Float32frombits(uint32(call1(t, in, op, f32(a), f32(b))))
+		if want != want { // NaN
+			if got == got {
+				t.Errorf("%s(%v, %v) = %v, want NaN", op, a, b, got)
+			}
+			return
+		}
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Errorf("%s(%v, %v) = %v, want %v", op, a, b, got, want)
+		}
+	}
+	nan32 := float32(math.NaN())
+	negZero := float32(math.Copysign(0, -1))
+	check("f32.add", 0.5, 0.25, 0.75)
+	check("f32.sub", 1, 0.5, 0.5)
+	check("f32.mul", 3, -2, -6)
+	check("f32.div", 1, 0, float32(math.Inf(1)))
+	check("f32.div", 0, 0, nan32)
+	check("f32.min", negZero, 0, negZero)
+	check("f32.max", negZero, 0, 0)
+	check("f32.min", nan32, 1, nan32)
+	check("f32.copysign", 2, -0.5, -2)
+	// Single-precision rounding must happen at every step: the f32 sum of
+	// 0.1 and 0.2 differs from the f64 one.
+	sum := math.Float32frombits(uint32(call1(t, in, "f32.add", f32(0.1), f32(0.2))))
+	if sum != float32(0.1)+float32(0.2) {
+		t.Errorf("f32 rounding: got %v", sum)
+	}
+}
+
+func TestF32Unary(t *testing.T) {
+	ops := []string{"f32.abs", "f32.neg", "f32.ceil", "f32.floor", "f32.trunc", "f32.nearest", "f32.sqrt"}
+	in := mustInstance(t, unOpModule("f32", "f32", ops))
+	check := func(op string, a, want float32) {
+		t.Helper()
+		got := math.Float32frombits(uint32(call1(t, in, op, f32(a))))
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Errorf("%s(%v) = %v, want %v", op, a, got, want)
+		}
+	}
+	check("f32.abs", -1.5, 1.5)
+	check("f32.neg", -1.5, 1.5)
+	check("f32.ceil", 1.2, 2)
+	check("f32.floor", -1.2, -2)
+	check("f32.trunc", 1.9, 1)
+	check("f32.nearest", 0.5, 0)
+	check("f32.nearest", 1.5, 2)
+	check("f32.sqrt", 16, 4)
+}
+
+func TestF32Comparisons(t *testing.T) {
+	ops := []string{"f32.eq", "f32.ne", "f32.lt", "f32.gt", "f32.le", "f32.ge"}
+	in := mustInstance(t, binOpModule("f32", "i32", ops))
+	nan := float32(math.NaN())
+	cases := []struct {
+		op   string
+		a, b float32
+		want uint64
+	}{
+		{"f32.eq", 1, 1, 1},
+		{"f32.eq", nan, nan, 0}, // NaN != NaN
+		{"f32.ne", nan, nan, 1},
+		{"f32.lt", -1, 1, 1},
+		{"f32.lt", nan, 1, 0}, // comparisons with NaN are false
+		{"f32.gt", 2, 1, 1},
+		{"f32.le", 1, 1, 1},
+		{"f32.ge", 0, float32(math.Copysign(0, -1)), 1}, // -0 == +0
+	}
+	for _, tc := range cases {
+		if got := call1(t, in, tc.op, f32(tc.a), f32(tc.b)); got != tc.want {
+			t.Errorf("%s(%v, %v) = %d, want %d", tc.op, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestF32Conversions(t *testing.T) {
+	src := `(module
+	  (func (export "c_i32s") (param i32) (result f32) local.get 0 f32.convert_i32_s)
+	  (func (export "c_i32u") (param i32) (result f32) local.get 0 f32.convert_i32_u)
+	  (func (export "c_i64s") (param i64) (result f32) local.get 0 f32.convert_i64_s)
+	  (func (export "t_s") (param f32) (result i32) local.get 0 i32.trunc_f32_s)
+	  (func (export "sat") (param f32) (result i32) local.get 0 i32.trunc_sat_f32_u)
+	  (func (export "reinterp") (param f32) (result i32) local.get 0 i32.reinterpret_f32)
+	)`
+	in := mustInstance(t, src)
+	if got := math.Float32frombits(uint32(call1(t, in, "c_i32s", i32(-7)))); got != -7 {
+		t.Errorf("convert_i32_s = %v", got)
+	}
+	if got := math.Float32frombits(uint32(call1(t, in, "c_i32u", i32(-1)))); got != 4.2949673e9 {
+		t.Errorf("convert_i32_u(0xFFFFFFFF) = %v", got)
+	}
+	if got := math.Float32frombits(uint32(call1(t, in, "c_i64s", i64(1<<40)))); got != float32(1<<40) {
+		t.Errorf("convert_i64_s = %v", got)
+	}
+	if got := int32(call1(t, in, "t_s", f32(-3.7))); got != -3 {
+		t.Errorf("trunc_f32_s = %d", got)
+	}
+	wantTrap(t, in, wasm.TrapIntegerOverflow, "t_s", f32(3e9))
+	if got := call1(t, in, "sat", f32(6e9)); got != math.MaxUint32 {
+		t.Errorf("trunc_sat_f32_u = %d", got)
+	}
+	if got := call1(t, in, "reinterp", f32(1.0)); got != 0x3F800000 {
+		t.Errorf("reinterpret = %#x", got)
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	// 200 nested blocks with a br out of the innermost to the outermost.
+	var b strings.Builder
+	b.WriteString(`(module (func (export "deep") (result i32)` + "\n")
+	const depth = 200
+	for i := 0; i < depth; i++ {
+		b.WriteString("block\n")
+	}
+	fmt.Fprintf(&b, "br %d\n", depth-1)
+	for i := 0; i < depth; i++ {
+		b.WriteString("end\n")
+	}
+	b.WriteString("i32.const 77))")
+	in := mustInstance(t, b.String())
+	if got := call1(t, in, "deep"); got != 77 {
+		t.Fatalf("deep = %d", got)
+	}
+}
+
+func TestNestedIfElseChains(t *testing.T) {
+	src := `(module (func (export "sign") (param i32) (result i32)
+	  (if (result i32) (i32.lt_s (local.get 0) (i32.const 0))
+	    (then (i32.const -1))
+	    (else
+	      (if (result i32) (i32.gt_s (local.get 0) (i32.const 0))
+	        (then (i32.const 1))
+	        (else (i32.const 0)))))))`
+	in := mustInstance(t, src)
+	for arg, want := range map[int32]int32{-5: -1, 0: 0, 9: 1} {
+		if got := int32(call1(t, in, "sign", i32(arg))); got != want {
+			t.Errorf("sign(%d) = %d, want %d", arg, got, want)
+		}
+	}
+}
+
+func TestBrIfToLoopContinues(t *testing.T) {
+	// Collatz step count: loop with conditional back-edge.
+	src := `(module (func (export "collatz") (param $n i32) (result i32)
+	  (local $steps i32)
+	  block $done
+	    loop $top
+	      local.get $n i32.const 1 i32.le_u br_if $done
+	      (if (i32.and (local.get $n) (i32.const 1))
+	        (then (local.set $n (i32.add (i32.mul (local.get $n) (i32.const 3)) (i32.const 1))))
+	        (else (local.set $n (i32.div_u (local.get $n) (i32.const 2)))))
+	      (local.set $steps (i32.add (local.get $steps) (i32.const 1)))
+	      br $top
+	    end
+	  end
+	  local.get $steps))`
+	in := mustInstance(t, src)
+	if got := call1(t, in, "collatz", 27); got != 111 {
+		t.Fatalf("collatz(27) = %d, want 111", got)
+	}
+	if got := call1(t, in, "collatz", 1); got != 0 {
+		t.Fatalf("collatz(1) = %d", got)
+	}
+}
+
+func TestLocalTeeKeepsValue(t *testing.T) {
+	src := `(module (func (export "f") (param i32) (result i32)
+	  (local $x i32)
+	  local.get 0
+	  local.tee $x
+	  local.get $x
+	  i32.add))`
+	in := mustInstance(t, src)
+	if got := call1(t, in, "f", 21); got != 42 {
+		t.Fatalf("tee = %d", got)
+	}
+}
+
+func TestSelectOn64BitValues(t *testing.T) {
+	src := `(module (func (export "sel") (param i32) (result f64)
+	  f64.const 1.5 f64.const 2.5 local.get 0 select))`
+	in := mustInstance(t, src)
+	if got := math.Float64frombits(call1(t, in, "sel", 1)); got != 1.5 {
+		t.Fatalf("select(1) = %v", got)
+	}
+	if got := math.Float64frombits(call1(t, in, "sel", 0)); got != 2.5 {
+		t.Fatalf("select(0) = %v", got)
+	}
+}
+
+func TestBrTableSingleDefault(t *testing.T) {
+	src := `(module (func (export "f") (param i32) (result i32)
+	  block $b
+	    local.get 0
+	    br_table $b
+	  end
+	  i32.const 9))`
+	in := mustInstance(t, src)
+	for _, sel := range []uint64{0, 1, 100} {
+		if got := call1(t, in, "f", sel); got != 9 {
+			t.Fatalf("f(%d) = %d", sel, got)
+		}
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	src := `(module
+	  (func $even (export "even") (param $n i32) (result i32)
+	    (if (result i32) (i32.eqz (local.get $n))
+	      (then (i32.const 1))
+	      (else (call $odd (i32.sub (local.get $n) (i32.const 1))))))
+	  (func $odd (param $n i32) (result i32)
+	    (if (result i32) (i32.eqz (local.get $n))
+	      (then (i32.const 0))
+	      (else (call $even (i32.sub (local.get $n) (i32.const 1)))))))`
+	in := mustInstance(t, src)
+	if got := call1(t, in, "even", 100); got != 1 {
+		t.Fatalf("even(100) = %d", got)
+	}
+	if got := call1(t, in, "even", 101); got != 0 {
+		t.Fatalf("even(101) = %d", got)
+	}
+}
+
+func TestHostFuncCallsBackIntoGuest(t *testing.T) {
+	// Reentrancy: guest calls host, host calls a guest export, result flows
+	// back through both boundaries.
+	src := `(module
+	  (import "env" "boost" (func $boost (param i32) (result i32)))
+	  (memory (export "memory") 1)
+	  (func (export "helper") (param i32) (result i32)
+	    local.get 0 i32.const 10 i32.mul)
+	  (func (export "run") (param i32) (result i32)
+	    local.get 0 call $boost))`
+	m := mustModule(t, src)
+	cm, err := wasm.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inst *wasm.Instance
+	imports := wasm.Imports{"env": {"boost": &wasm.HostFunc{
+		Name: "boost",
+		Type: wasm.FuncType{Params: []wasm.ValType{wasm.ValI32}, Results: []wasm.ValType{wasm.ValI32}},
+		Fn: func(ctx *wasm.CallContext, args []uint64) ([]uint64, error) {
+			res, err := inst.Call("helper", args[0])
+			if err != nil {
+				return nil, err
+			}
+			return []uint64{res[0] + 1}, nil
+		},
+	}}}
+	inst, err = cm.Instantiate(imports, wasm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Call("run", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 41 {
+		t.Fatalf("reentrant call = %d, want 41", res[0])
+	}
+}
+
+func TestMultipleFunctionsShareGlobalsAndMemory(t *testing.T) {
+	src := `(module
+	  (memory (export "memory") 1)
+	  (global $sum (mut i64) (i64.const 0))
+	  (func $accumulate (param $v i64)
+	    (global.set $sum (i64.add (global.get $sum) (local.get $v))))
+	  (func (export "run") (result i64)
+	    (call $accumulate (i64.const 5))
+	    (call $accumulate (i64.const 7))
+	    (i64.store (i32.const 0) (global.get $sum))
+	    (i64.load (i32.const 0))))`
+	in := mustInstance(t, src)
+	if got := int64(call1(t, in, "run")); got != 12 {
+		t.Fatalf("run = %d", got)
+	}
+	// State persists across calls (same instance).
+	if got := int64(call1(t, in, "run")); got != 24 {
+		t.Fatalf("second run = %d", got)
+	}
+}
+
+func TestZeroResultFunctionReturnsNothing(t *testing.T) {
+	src := `(module
+	  (global $g (mut i32) (i32.const 0))
+	  (export "g" (global $g))
+	  (func (export "poke") (global.set $g (i32.const 5))))`
+	in := mustInstance(t, src)
+	res, err := in.Call("poke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("results = %v", res)
+	}
+	if v, _ := in.GlobalValue("g"); v != 5 {
+		t.Fatalf("g = %d", v)
+	}
+}
+
+func TestMultiValueResults(t *testing.T) {
+	// The binary format (and this runtime) supports multi-value results
+	// even though the WAT frontend stays MVP; build the module directly.
+	m := &wasm.Module{
+		Types: []wasm.FuncType{{Results: []wasm.ValType{wasm.ValI32, wasm.ValI64}}},
+		Funcs: []uint32{0},
+		Codes: []wasm.Code{{Body: []byte{
+			0x41, 0x07, // i32.const 7
+			0x42, 0x2A, // i64.const 42
+			0x0B, // end
+		}}},
+		Exports: []wasm.Export{{Name: "pair", Kind: wasm.ExternFunc, Index: 0}},
+	}
+	cm, err := wasm.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := cm.Instantiate(nil, wasm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Call("pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0] != 7 || res[1] != 42 {
+		t.Fatalf("pair = %v", res)
+	}
+	// And it round-trips through the binary encoder.
+	bin, err := wasm.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wasm.Decode(bin); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,285 @@
+package wasm
+
+// Opcode constants for the WebAssembly MVP instruction set plus the
+// sign-extension and bulk/saturating extensions handled by this runtime.
+const (
+	OpUnreachable  byte = 0x00
+	OpNop          byte = 0x01
+	OpBlock        byte = 0x02
+	OpLoop         byte = 0x03
+	OpIf           byte = 0x04
+	OpElse         byte = 0x05
+	OpEnd          byte = 0x0B
+	OpBr           byte = 0x0C
+	OpBrIf         byte = 0x0D
+	OpBrTable      byte = 0x0E
+	OpReturn       byte = 0x0F
+	OpCall         byte = 0x10
+	OpCallIndirect byte = 0x11
+
+	OpDrop   byte = 0x1A
+	OpSelect byte = 0x1B
+
+	OpLocalGet  byte = 0x20
+	OpLocalSet  byte = 0x21
+	OpLocalTee  byte = 0x22
+	OpGlobalGet byte = 0x23
+	OpGlobalSet byte = 0x24
+
+	OpI32Load    byte = 0x28
+	OpI64Load    byte = 0x29
+	OpF32Load    byte = 0x2A
+	OpF64Load    byte = 0x2B
+	OpI32Load8S  byte = 0x2C
+	OpI32Load8U  byte = 0x2D
+	OpI32Load16S byte = 0x2E
+	OpI32Load16U byte = 0x2F
+	OpI64Load8S  byte = 0x30
+	OpI64Load8U  byte = 0x31
+	OpI64Load16S byte = 0x32
+	OpI64Load16U byte = 0x33
+	OpI64Load32S byte = 0x34
+	OpI64Load32U byte = 0x35
+	OpI32Store   byte = 0x36
+	OpI64Store   byte = 0x37
+	OpF32Store   byte = 0x38
+	OpF64Store   byte = 0x39
+	OpI32Store8  byte = 0x3A
+	OpI32Store16 byte = 0x3B
+	OpI64Store8  byte = 0x3C
+	OpI64Store16 byte = 0x3D
+	OpI64Store32 byte = 0x3E
+	OpMemorySize byte = 0x3F
+	OpMemoryGrow byte = 0x40
+
+	OpI32Const byte = 0x41
+	OpI64Const byte = 0x42
+	OpF32Const byte = 0x43
+	OpF64Const byte = 0x44
+
+	OpI32Eqz    byte = 0x45
+	OpI32Eq     byte = 0x46
+	OpI32Ne     byte = 0x47
+	OpI32LtS    byte = 0x48
+	OpI32LtU    byte = 0x49
+	OpI32GtS    byte = 0x4A
+	OpI32GtU    byte = 0x4B
+	OpI32LeS    byte = 0x4C
+	OpI32LeU    byte = 0x4D
+	OpI32GeS    byte = 0x4E
+	OpI32GeU    byte = 0x4F
+	OpI64Eqz    byte = 0x50
+	OpI64Eq     byte = 0x51
+	OpI64Ne     byte = 0x52
+	OpI64LtS    byte = 0x53
+	OpI64LtU    byte = 0x54
+	OpI64GtS    byte = 0x55
+	OpI64GtU    byte = 0x56
+	OpI64LeS    byte = 0x57
+	OpI64LeU    byte = 0x58
+	OpI64GeS    byte = 0x59
+	OpI64GeU    byte = 0x5A
+	OpF32Eq     byte = 0x5B
+	OpF32Ne     byte = 0x5C
+	OpF32Lt     byte = 0x5D
+	OpF32Gt     byte = 0x5E
+	OpF32Le     byte = 0x5F
+	OpF32Ge     byte = 0x60
+	OpF64Eq     byte = 0x61
+	OpF64Ne     byte = 0x62
+	OpF64Lt     byte = 0x63
+	OpF64Gt     byte = 0x64
+	OpF64Le     byte = 0x65
+	OpF64Ge     byte = 0x66
+	OpI32Clz    byte = 0x67
+	OpI32Ctz    byte = 0x68
+	OpI32Popcnt byte = 0x69
+	OpI32Add    byte = 0x6A
+	OpI32Sub    byte = 0x6B
+	OpI32Mul    byte = 0x6C
+	OpI32DivS   byte = 0x6D
+	OpI32DivU   byte = 0x6E
+	OpI32RemS   byte = 0x6F
+	OpI32RemU   byte = 0x70
+	OpI32And    byte = 0x71
+	OpI32Or     byte = 0x72
+	OpI32Xor    byte = 0x73
+	OpI32Shl    byte = 0x74
+	OpI32ShrS   byte = 0x75
+	OpI32ShrU   byte = 0x76
+	OpI32Rotl   byte = 0x77
+	OpI32Rotr   byte = 0x78
+
+	OpI64Clz    byte = 0x79
+	OpI64Ctz    byte = 0x7A
+	OpI64Popcnt byte = 0x7B
+	OpI64Add    byte = 0x7C
+	OpI64Sub    byte = 0x7D
+	OpI64Mul    byte = 0x7E
+	OpI64DivS   byte = 0x7F
+	OpI64DivU   byte = 0x80
+	OpI64RemS   byte = 0x81
+	OpI64RemU   byte = 0x82
+	OpI64And    byte = 0x83
+	OpI64Or     byte = 0x84
+	OpI64Xor    byte = 0x85
+	OpI64Shl    byte = 0x86
+	OpI64ShrS   byte = 0x87
+	OpI64ShrU   byte = 0x88
+	OpI64Rotl   byte = 0x89
+	OpI64Rotr   byte = 0x8A
+
+	OpF32Abs      byte = 0x8B
+	OpF32Neg      byte = 0x8C
+	OpF32Ceil     byte = 0x8D
+	OpF32Floor    byte = 0x8E
+	OpF32Trunc    byte = 0x8F
+	OpF32Nearest  byte = 0x90
+	OpF32Sqrt     byte = 0x91
+	OpF32Add      byte = 0x92
+	OpF32Sub      byte = 0x93
+	OpF32Mul      byte = 0x94
+	OpF32Div      byte = 0x95
+	OpF32Min      byte = 0x96
+	OpF32Max      byte = 0x97
+	OpF32Copysign byte = 0x98
+	OpF64Abs      byte = 0x99
+	OpF64Neg      byte = 0x9A
+	OpF64Ceil     byte = 0x9B
+	OpF64Floor    byte = 0x9C
+	OpF64Trunc    byte = 0x9D
+	OpF64Nearest  byte = 0x9E
+	OpF64Sqrt     byte = 0x9F
+	OpF64Add      byte = 0xA0
+	OpF64Sub      byte = 0xA1
+	OpF64Mul      byte = 0xA2
+	OpF64Div      byte = 0xA3
+	OpF64Min      byte = 0xA4
+	OpF64Max      byte = 0xA5
+	OpF64Copysign byte = 0xA6
+
+	OpI32WrapI64        byte = 0xA7
+	OpI32TruncF32S      byte = 0xA8
+	OpI32TruncF32U      byte = 0xA9
+	OpI32TruncF64S      byte = 0xAA
+	OpI32TruncF64U      byte = 0xAB
+	OpI64ExtendI32S     byte = 0xAC
+	OpI64ExtendI32U     byte = 0xAD
+	OpI64TruncF32S      byte = 0xAE
+	OpI64TruncF32U      byte = 0xAF
+	OpI64TruncF64S      byte = 0xB0
+	OpI64TruncF64U      byte = 0xB1
+	OpF32ConvertI32S    byte = 0xB2
+	OpF32ConvertI32U    byte = 0xB3
+	OpF32ConvertI64S    byte = 0xB4
+	OpF32ConvertI64U    byte = 0xB5
+	OpF32DemoteF64      byte = 0xB6
+	OpF64ConvertI32S    byte = 0xB7
+	OpF64ConvertI32U    byte = 0xB8
+	OpF64ConvertI64S    byte = 0xB9
+	OpF64ConvertI64U    byte = 0xBA
+	OpF64PromoteF32     byte = 0xBB
+	OpI32ReinterpretF32 byte = 0xBC
+	OpI64ReinterpretF64 byte = 0xBD
+	OpF32ReinterpretI32 byte = 0xBE
+	OpF64ReinterpretI64 byte = 0xBF
+
+	OpI32Extend8S  byte = 0xC0
+	OpI32Extend16S byte = 0xC1
+	OpI64Extend8S  byte = 0xC2
+	OpI64Extend16S byte = 0xC3
+	OpI64Extend32S byte = 0xC4
+
+	// OpPrefixMisc introduces two-byte opcodes (saturating truncation and
+	// bulk memory operations).
+	OpPrefixMisc byte = 0xFC
+)
+
+// Sub-opcodes under OpPrefixMisc.
+const (
+	MiscI32TruncSatF32S uint32 = 0
+	MiscI32TruncSatF32U uint32 = 1
+	MiscI32TruncSatF64S uint32 = 2
+	MiscI32TruncSatF64U uint32 = 3
+	MiscI64TruncSatF32S uint32 = 4
+	MiscI64TruncSatF32U uint32 = 5
+	MiscI64TruncSatF64S uint32 = 6
+	MiscI64TruncSatF64U uint32 = 7
+	MiscMemoryCopy      uint32 = 10
+	MiscMemoryFill      uint32 = 11
+)
+
+// opcodeNames maps single-byte opcodes to their textual-format mnemonics,
+// used in error messages and the disassembler.
+var opcodeNames = map[byte]string{
+	OpUnreachable: "unreachable", OpNop: "nop", OpBlock: "block", OpLoop: "loop",
+	OpIf: "if", OpElse: "else", OpEnd: "end", OpBr: "br", OpBrIf: "br_if",
+	OpBrTable: "br_table", OpReturn: "return", OpCall: "call", OpCallIndirect: "call_indirect",
+	OpDrop: "drop", OpSelect: "select",
+	OpLocalGet: "local.get", OpLocalSet: "local.set", OpLocalTee: "local.tee",
+	OpGlobalGet: "global.get", OpGlobalSet: "global.set",
+	OpI32Load: "i32.load", OpI64Load: "i64.load", OpF32Load: "f32.load", OpF64Load: "f64.load",
+	OpI32Load8S: "i32.load8_s", OpI32Load8U: "i32.load8_u", OpI32Load16S: "i32.load16_s", OpI32Load16U: "i32.load16_u",
+	OpI64Load8S: "i64.load8_s", OpI64Load8U: "i64.load8_u", OpI64Load16S: "i64.load16_s", OpI64Load16U: "i64.load16_u",
+	OpI64Load32S: "i64.load32_s", OpI64Load32U: "i64.load32_u",
+	OpI32Store: "i32.store", OpI64Store: "i64.store", OpF32Store: "f32.store", OpF64Store: "f64.store",
+	OpI32Store8: "i32.store8", OpI32Store16: "i32.store16",
+	OpI64Store8: "i64.store8", OpI64Store16: "i64.store16", OpI64Store32: "i64.store32",
+	OpMemorySize: "memory.size", OpMemoryGrow: "memory.grow",
+	OpI32Const: "i32.const", OpI64Const: "i64.const", OpF32Const: "f32.const", OpF64Const: "f64.const",
+	OpI32Eqz: "i32.eqz", OpI32Eq: "i32.eq", OpI32Ne: "i32.ne",
+	OpI32LtS: "i32.lt_s", OpI32LtU: "i32.lt_u", OpI32GtS: "i32.gt_s", OpI32GtU: "i32.gt_u",
+	OpI32LeS: "i32.le_s", OpI32LeU: "i32.le_u", OpI32GeS: "i32.ge_s", OpI32GeU: "i32.ge_u",
+	OpI64Eqz: "i64.eqz", OpI64Eq: "i64.eq", OpI64Ne: "i64.ne",
+	OpI64LtS: "i64.lt_s", OpI64LtU: "i64.lt_u", OpI64GtS: "i64.gt_s", OpI64GtU: "i64.gt_u",
+	OpI64LeS: "i64.le_s", OpI64LeU: "i64.le_u", OpI64GeS: "i64.ge_s", OpI64GeU: "i64.ge_u",
+	OpF32Eq: "f32.eq", OpF32Ne: "f32.ne", OpF32Lt: "f32.lt", OpF32Gt: "f32.gt", OpF32Le: "f32.le", OpF32Ge: "f32.ge",
+	OpF64Eq: "f64.eq", OpF64Ne: "f64.ne", OpF64Lt: "f64.lt", OpF64Gt: "f64.gt", OpF64Le: "f64.le", OpF64Ge: "f64.ge",
+	OpI32Clz: "i32.clz", OpI32Ctz: "i32.ctz", OpI32Popcnt: "i32.popcnt",
+	OpI32Add: "i32.add", OpI32Sub: "i32.sub", OpI32Mul: "i32.mul",
+	OpI32DivS: "i32.div_s", OpI32DivU: "i32.div_u", OpI32RemS: "i32.rem_s", OpI32RemU: "i32.rem_u",
+	OpI32And: "i32.and", OpI32Or: "i32.or", OpI32Xor: "i32.xor",
+	OpI32Shl: "i32.shl", OpI32ShrS: "i32.shr_s", OpI32ShrU: "i32.shr_u", OpI32Rotl: "i32.rotl", OpI32Rotr: "i32.rotr",
+	OpI64Clz: "i64.clz", OpI64Ctz: "i64.ctz", OpI64Popcnt: "i64.popcnt",
+	OpI64Add: "i64.add", OpI64Sub: "i64.sub", OpI64Mul: "i64.mul",
+	OpI64DivS: "i64.div_s", OpI64DivU: "i64.div_u", OpI64RemS: "i64.rem_s", OpI64RemU: "i64.rem_u",
+	OpI64And: "i64.and", OpI64Or: "i64.or", OpI64Xor: "i64.xor",
+	OpI64Shl: "i64.shl", OpI64ShrS: "i64.shr_s", OpI64ShrU: "i64.shr_u", OpI64Rotl: "i64.rotl", OpI64Rotr: "i64.rotr",
+	OpF32Abs: "f32.abs", OpF32Neg: "f32.neg", OpF32Ceil: "f32.ceil", OpF32Floor: "f32.floor",
+	OpF32Trunc: "f32.trunc", OpF32Nearest: "f32.nearest", OpF32Sqrt: "f32.sqrt",
+	OpF32Add: "f32.add", OpF32Sub: "f32.sub", OpF32Mul: "f32.mul", OpF32Div: "f32.div",
+	OpF32Min: "f32.min", OpF32Max: "f32.max", OpF32Copysign: "f32.copysign",
+	OpF64Abs: "f64.abs", OpF64Neg: "f64.neg", OpF64Ceil: "f64.ceil", OpF64Floor: "f64.floor",
+	OpF64Trunc: "f64.trunc", OpF64Nearest: "f64.nearest", OpF64Sqrt: "f64.sqrt",
+	OpF64Add: "f64.add", OpF64Sub: "f64.sub", OpF64Mul: "f64.mul", OpF64Div: "f64.div",
+	OpF64Min: "f64.min", OpF64Max: "f64.max", OpF64Copysign: "f64.copysign",
+	OpI32WrapI64:   "i32.wrap_i64",
+	OpI32TruncF32S: "i32.trunc_f32_s", OpI32TruncF32U: "i32.trunc_f32_u",
+	OpI32TruncF64S: "i32.trunc_f64_s", OpI32TruncF64U: "i32.trunc_f64_u",
+	OpI64ExtendI32S: "i64.extend_i32_s", OpI64ExtendI32U: "i64.extend_i32_u",
+	OpI64TruncF32S: "i64.trunc_f32_s", OpI64TruncF32U: "i64.trunc_f32_u",
+	OpI64TruncF64S: "i64.trunc_f64_s", OpI64TruncF64U: "i64.trunc_f64_u",
+	OpF32ConvertI32S: "f32.convert_i32_s", OpF32ConvertI32U: "f32.convert_i32_u",
+	OpF32ConvertI64S: "f32.convert_i64_s", OpF32ConvertI64U: "f32.convert_i64_u",
+	OpF32DemoteF64:   "f32.demote_f64",
+	OpF64ConvertI32S: "f64.convert_i32_s", OpF64ConvertI32U: "f64.convert_i32_u",
+	OpF64ConvertI64S: "f64.convert_i64_s", OpF64ConvertI64U: "f64.convert_i64_u",
+	OpF64PromoteF32:     "f64.promote_f32",
+	OpI32ReinterpretF32: "i32.reinterpret_f32", OpI64ReinterpretF64: "i64.reinterpret_f64",
+	OpF32ReinterpretI32: "f32.reinterpret_i32", OpF64ReinterpretI64: "f64.reinterpret_i64",
+	OpI32Extend8S: "i32.extend8_s", OpI32Extend16S: "i32.extend16_s",
+	OpI64Extend8S: "i64.extend8_s", OpI64Extend16S: "i64.extend16_s", OpI64Extend32S: "i64.extend32_s",
+}
+
+// OpcodeName returns the mnemonic for op, or a hex fallback.
+func OpcodeName(op byte) string {
+	if n, ok := opcodeNames[op]; ok {
+		return n
+	}
+	return "op(0x" + hexByte(op) + ")"
+}
+
+func hexByte(b byte) string {
+	const digits = "0123456789abcdef"
+	return string([]byte{digits[b>>4], digits[b&0xF]})
+}

@@ -1,0 +1,139 @@
+package wasm_test
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests: the interpreter's numeric semantics must agree with Go's
+// (which implements the same two's-complement and IEEE 754 behaviour the
+// WebAssembly spec requires) on randomly drawn operands.
+
+func TestQuickI32Ops(t *testing.T) {
+	ops := []string{"i32.add", "i32.sub", "i32.mul", "i32.and", "i32.or", "i32.xor",
+		"i32.shl", "i32.shr_s", "i32.shr_u", "i32.rotl", "i32.rotr"}
+	in := mustInstance(t, binOpModule("i32", "i32", ops))
+	ref := map[string]func(a, b uint32) uint32{
+		"i32.add":   func(a, b uint32) uint32 { return a + b },
+		"i32.sub":   func(a, b uint32) uint32 { return a - b },
+		"i32.mul":   func(a, b uint32) uint32 { return a * b },
+		"i32.and":   func(a, b uint32) uint32 { return a & b },
+		"i32.or":    func(a, b uint32) uint32 { return a | b },
+		"i32.xor":   func(a, b uint32) uint32 { return a ^ b },
+		"i32.shl":   func(a, b uint32) uint32 { return a << (b & 31) },
+		"i32.shr_s": func(a, b uint32) uint32 { return uint32(int32(a) >> (b & 31)) },
+		"i32.shr_u": func(a, b uint32) uint32 { return a >> (b & 31) },
+		"i32.rotl":  func(a, b uint32) uint32 { return bits.RotateLeft32(a, int(b&31)) },
+		"i32.rotr":  func(a, b uint32) uint32 { return bits.RotateLeft32(a, -int(b&31)) },
+	}
+	for _, op := range ops {
+		op := op
+		f := func(a, b uint32) bool {
+			got := uint32(call1(t, in, op, uint64(a), uint64(b)))
+			return got == ref[op](a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", op, err)
+		}
+	}
+}
+
+func TestQuickI64Div(t *testing.T) {
+	in := mustInstance(t, binOpModule("i64", "i64", []string{"i64.div_s", "i64.rem_s", "i64.div_u", "i64.rem_u"}))
+	f := func(a, b int64) bool {
+		if b == 0 || (a == math.MinInt64 && b == -1) {
+			return true // trap cases covered elsewhere
+		}
+		ds := int64(call1(t, in, "i64.div_s", i64(a), i64(b)))
+		rs := int64(call1(t, in, "i64.rem_s", i64(a), i64(b)))
+		du := call1(t, in, "i64.div_u", i64(a), i64(b))
+		ru := call1(t, in, "i64.rem_u", i64(a), i64(b))
+		return ds == a/b && rs == a%b &&
+			du == uint64(a)/uint64(b) && ru == uint64(a)%uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickF64Ops(t *testing.T) {
+	ops := []string{"f64.add", "f64.sub", "f64.mul", "f64.div"}
+	in := mustInstance(t, binOpModule("f64", "f64", ops))
+	ref := map[string]func(a, b float64) float64{
+		"f64.add": func(a, b float64) float64 { return a + b },
+		"f64.sub": func(a, b float64) float64 { return a - b },
+		"f64.mul": func(a, b float64) float64 { return a * b },
+		"f64.div": func(a, b float64) float64 { return a / b },
+	}
+	for _, op := range ops {
+		op := op
+		f := func(a, b float64) bool {
+			got := math.Float64frombits(call1(t, in, op, f64(a), f64(b)))
+			want := ref[op](a, b)
+			if math.IsNaN(want) {
+				return math.IsNaN(got)
+			}
+			return math.Float64bits(got) == math.Float64bits(want)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", op, err)
+		}
+	}
+}
+
+// TestQuickMemoryRoundTrip: storing then loading any u64 at any in-bounds
+// aligned-or-not address returns the same value.
+func TestQuickMemoryRoundTrip(t *testing.T) {
+	src := `(module (memory (export "memory") 1)
+	  (func (export "rt") (param i32 i64) (result i64)
+	    local.get 0 local.get 1 i64.store
+	    local.get 0 i64.load))`
+	in := mustInstance(t, src)
+	f := func(addr uint16, v uint64) bool {
+		a := uint64(addr) // 0..65535; i64 needs addr <= 65528
+		if a > 65528 {
+			a = 65528
+		}
+		return call1(t, in, "rt", a, v) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConversionsAgree: i64<->f64 conversions match Go.
+func TestQuickConversionsAgree(t *testing.T) {
+	src := `(module
+	  (func (export "s2f") (param i64) (result f64) local.get 0 f64.convert_i64_s)
+	  (func (export "u2f") (param i64) (result f64) local.get 0 f64.convert_i64_u)
+	  (func (export "sat") (param f64) (result i64) local.get 0 i64.trunc_sat_f64_s))`
+	in := mustInstance(t, src)
+	f := func(v int64) bool {
+		s := math.Float64frombits(call1(t, in, "s2f", i64(v)))
+		u := math.Float64frombits(call1(t, in, "u2f", i64(v)))
+		return s == float64(v) && u == float64(uint64(v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	g := func(x float64) bool {
+		got := int64(call1(t, in, "sat", f64(x)))
+		var want int64
+		switch {
+		case math.IsNaN(x):
+			want = 0
+		case x <= -9223372036854775808:
+			want = math.MinInt64
+		case x >= 9223372036854775808:
+			want = math.MaxInt64
+		default:
+			want = int64(math.Trunc(x))
+		}
+		return got == want
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,277 @@
+// Package wasm implements a self-contained WebAssembly runtime: a binary
+// decoder and encoder, a full stack-type validator, and a sandboxed
+// interpreter with linear memory isolation, trap handling, host functions
+// and fuel metering.
+//
+// The implementation covers the WebAssembly MVP (1.0) instruction set plus
+// the sign-extension operators, the non-trapping float-to-int conversions,
+// and the memory.copy / memory.fill bulk-memory instructions, which is the
+// feature set produced by mainstream compilers targeting plugins.
+//
+// The runtime is the security substrate of WA-RAN: untrusted MVNO and xApp
+// plugin bytecode executes inside an Instance whose linear memory is bounds
+// checked on every access and whose execution is metered, so a misbehaving
+// plugin can trap or exhaust its fuel budget without affecting the host gNB
+// or RIC process.
+package wasm
+
+import "fmt"
+
+// ValType is the type of a WebAssembly value.
+type ValType byte
+
+// Value types, encoded as in the binary format.
+const (
+	ValI32     ValType = 0x7F
+	ValI64     ValType = 0x7E
+	ValF32     ValType = 0x7D
+	ValF64     ValType = 0x7C
+	ValFuncref ValType = 0x70
+)
+
+// String returns the textual-format name of the value type.
+func (v ValType) String() string {
+	switch v {
+	case ValI32:
+		return "i32"
+	case ValI64:
+		return "i64"
+	case ValF32:
+		return "f32"
+	case ValF64:
+		return "f64"
+	case ValFuncref:
+		return "funcref"
+	default:
+		return fmt.Sprintf("valtype(0x%02x)", byte(v))
+	}
+}
+
+// FuncType describes the signature of a function: parameter and result types.
+type FuncType struct {
+	Params  []ValType
+	Results []ValType
+}
+
+// Equal reports whether two function types are structurally identical.
+func (t FuncType) Equal(o FuncType) bool {
+	if len(t.Params) != len(o.Params) || len(t.Results) != len(o.Results) {
+		return false
+	}
+	for i, p := range t.Params {
+		if o.Params[i] != p {
+			return false
+		}
+	}
+	for i, r := range t.Results {
+		if o.Results[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the signature in WAT-like notation, e.g. "(i32 i32) -> (i32)".
+func (t FuncType) String() string {
+	s := "("
+	for i, p := range t.Params {
+		if i > 0 {
+			s += " "
+		}
+		s += p.String()
+	}
+	s += ") -> ("
+	for i, r := range t.Results {
+		if i > 0 {
+			s += " "
+		}
+		s += r.String()
+	}
+	return s + ")"
+}
+
+// Limits bounds the size of a memory or table. Max is only meaningful when
+// HasMax is true.
+type Limits struct {
+	Min    uint32
+	Max    uint32
+	HasMax bool
+}
+
+// MemoryType describes a linear memory: limits in units of 64 KiB pages.
+type MemoryType struct {
+	Limits Limits
+}
+
+// TableType describes a table of references.
+type TableType struct {
+	Elem   ValType // ValFuncref in the MVP
+	Limits Limits
+}
+
+// GlobalType describes a global variable.
+type GlobalType struct {
+	Type    ValType
+	Mutable bool
+}
+
+// Global pairs a global's type with its constant initializer expression.
+type Global struct {
+	Type GlobalType
+	Init ConstExpr
+}
+
+// ConstExpr is a constant initializer: either a numeric constant or a
+// reference to an (imported, hence already initialized) global.
+type ConstExpr struct {
+	Op       byte   // OpI32Const, OpI64Const, OpF32Const, OpF64Const, OpGlobalGet
+	Value    uint64 // raw bits for consts; global index for global.get
+	GlobalIx uint32
+}
+
+// ExternKind discriminates imports and exports.
+type ExternKind byte
+
+// Extern kinds, encoded as in the binary format.
+const (
+	ExternFunc   ExternKind = 0x00
+	ExternTable  ExternKind = 0x01
+	ExternMemory ExternKind = 0x02
+	ExternGlobal ExternKind = 0x03
+)
+
+// String returns the binary-format keyword for the kind.
+func (k ExternKind) String() string {
+	switch k {
+	case ExternFunc:
+		return "func"
+	case ExternTable:
+		return "table"
+	case ExternMemory:
+		return "memory"
+	case ExternGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("externkind(0x%02x)", byte(k))
+	}
+}
+
+// Import names an external value the module requires at instantiation.
+type Import struct {
+	Module string
+	Name   string
+	Kind   ExternKind
+	// One of the following is meaningful, per Kind.
+	TypeIx uint32 // ExternFunc: index into Types
+	Table  TableType
+	Mem    MemoryType
+	Global GlobalType
+}
+
+// Export makes a module-internal value available to the host.
+type Export struct {
+	Name  string
+	Kind  ExternKind
+	Index uint32
+}
+
+// Code is the body of a locally defined function.
+type Code struct {
+	Locals []ValType // expanded declaration list (not run-length encoded)
+	Body   []byte    // the expression, ending in OpEnd
+}
+
+// ElemSegment pre-populates a table with function references.
+type ElemSegment struct {
+	TableIx uint32
+	Offset  ConstExpr
+	Funcs   []uint32
+}
+
+// DataSegment pre-populates linear memory.
+type DataSegment struct {
+	MemIx  uint32
+	Offset ConstExpr
+	Bytes  []byte
+}
+
+// Module is a decoded, structurally valid WebAssembly module. Run Validate
+// before instantiating to ensure the code section is well typed.
+type Module struct {
+	Types   []FuncType
+	Imports []Import
+	Funcs   []uint32 // type index per locally defined function
+	Tables  []TableType
+	Mems    []MemoryType
+	Globals []Global
+	Exports []Export
+	Start   *uint32
+	Elems   []ElemSegment
+	Codes   []Code // parallel to Funcs
+	Datas   []DataSegment
+
+	// Name from the custom "name" section, if present (debugging aid).
+	Name string
+
+	// Populated by Validate; used by the compiler and instantiation.
+	numImportedFuncs   int
+	numImportedTables  int
+	numImportedMems    int
+	numImportedGlobals int
+	validated          bool
+}
+
+// NumImportedFuncs returns the number of imported functions; function index
+// space is imports first, then local definitions.
+func (m *Module) NumImportedFuncs() int {
+	n := 0
+	for _, im := range m.Imports {
+		if im.Kind == ExternFunc {
+			n++
+		}
+	}
+	return n
+}
+
+// FuncTypeAt resolves the signature of the function with the given index in
+// the module's function index space (imports first).
+func (m *Module) FuncTypeAt(idx uint32) (FuncType, error) {
+	n := 0
+	for _, im := range m.Imports {
+		if im.Kind != ExternFunc {
+			continue
+		}
+		if n == int(idx) {
+			if int(im.TypeIx) >= len(m.Types) {
+				return FuncType{}, fmt.Errorf("wasm: import %q.%q has type index %d out of range", im.Module, im.Name, im.TypeIx)
+			}
+			return m.Types[im.TypeIx], nil
+		}
+		n++
+	}
+	local := int(idx) - n
+	if local < 0 || local >= len(m.Funcs) {
+		return FuncType{}, fmt.Errorf("wasm: function index %d out of range", idx)
+	}
+	tix := m.Funcs[local]
+	if int(tix) >= len(m.Types) {
+		return FuncType{}, fmt.Errorf("wasm: function %d has type index %d out of range", idx, tix)
+	}
+	return m.Types[tix], nil
+}
+
+// ExportedFunc returns the function index exported under name.
+func (m *Module) ExportedFunc(name string) (uint32, bool) {
+	for _, e := range m.Exports {
+		if e.Kind == ExternFunc && e.Name == name {
+			return e.Index, true
+		}
+	}
+	return 0, false
+}
+
+// PageSize is the WebAssembly linear memory page size in bytes.
+const PageSize = 65536
+
+// MaxPages is the architectural maximum number of pages (4 GiB).
+const MaxPages = 65536

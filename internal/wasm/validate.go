@@ -1,0 +1,853 @@
+package wasm
+
+import (
+	"fmt"
+
+	"waran/internal/leb128"
+)
+
+// Validate type-checks the module: index spaces, constant expressions, and
+// every function body via the standard operand/control stack algorithm.
+// Instantiation refuses modules that have not been validated.
+func Validate(m *Module) error {
+	// Index-space bookkeeping.
+	m.numImportedFuncs, m.numImportedTables, m.numImportedMems, m.numImportedGlobals = 0, 0, 0, 0
+	for i, im := range m.Imports {
+		switch im.Kind {
+		case ExternFunc:
+			if int(im.TypeIx) >= len(m.Types) {
+				return fmt.Errorf("wasm: import %d (%s.%s): type index %d out of range", i, im.Module, im.Name, im.TypeIx)
+			}
+			m.numImportedFuncs++
+		case ExternTable:
+			m.numImportedTables++
+		case ExternMemory:
+			m.numImportedMems++
+		case ExternGlobal:
+			m.numImportedGlobals++
+		}
+	}
+	for i, tix := range m.Funcs {
+		if int(tix) >= len(m.Types) {
+			return fmt.Errorf("wasm: function %d: type index %d out of range", i, tix)
+		}
+	}
+	if m.numImportedTables+len(m.Tables) > 1 {
+		return fmt.Errorf("wasm: at most one table is supported")
+	}
+	if m.numImportedMems+len(m.Mems) > 1 {
+		return fmt.Errorf("wasm: at most one memory is supported")
+	}
+
+	numFuncs := m.numImportedFuncs + len(m.Funcs)
+	numGlobals := m.numImportedGlobals + len(m.Globals)
+
+	// Global initializers: may only reference imported globals (which are
+	// initialized before local ones) and those must be immutable.
+	for i, g := range m.Globals {
+		if err := m.checkConstExpr(g.Init, g.Type.Type); err != nil {
+			return fmt.Errorf("wasm: global %d: %w", i, err)
+		}
+	}
+
+	// Exports.
+	for _, e := range m.Exports {
+		var limit int
+		switch e.Kind {
+		case ExternFunc:
+			limit = numFuncs
+		case ExternTable:
+			limit = m.numImportedTables + len(m.Tables)
+		case ExternMemory:
+			limit = m.numImportedMems + len(m.Mems)
+		case ExternGlobal:
+			limit = numGlobals
+		}
+		if int(e.Index) >= limit {
+			return fmt.Errorf("wasm: export %q: index %d out of range", e.Name, e.Index)
+		}
+	}
+
+	// Start function: () -> ().
+	if m.Start != nil {
+		ft, err := m.FuncTypeAt(*m.Start)
+		if err != nil {
+			return err
+		}
+		if len(ft.Params) != 0 || len(ft.Results) != 0 {
+			return fmt.Errorf("wasm: start function must have empty signature, has %s", ft)
+		}
+	}
+
+	// Element segments.
+	for i, es := range m.Elems {
+		if m.numImportedTables+len(m.Tables) == 0 {
+			return fmt.Errorf("wasm: element segment %d but module has no table", i)
+		}
+		if err := m.checkConstExpr(es.Offset, ValI32); err != nil {
+			return fmt.Errorf("wasm: element segment %d offset: %w", i, err)
+		}
+		for _, fx := range es.Funcs {
+			if int(fx) >= numFuncs {
+				return fmt.Errorf("wasm: element segment %d references function %d out of range", i, fx)
+			}
+		}
+	}
+
+	// Data segments.
+	for i, ds := range m.Datas {
+		if m.numImportedMems+len(m.Mems) == 0 {
+			return fmt.Errorf("wasm: data segment %d but module has no memory", i)
+		}
+		if err := m.checkConstExpr(ds.Offset, ValI32); err != nil {
+			return fmt.Errorf("wasm: data segment %d offset: %w", i, err)
+		}
+	}
+
+	// Function bodies.
+	for i := range m.Codes {
+		ft := m.Types[m.Funcs[i]]
+		if err := m.validateBody(uint32(m.numImportedFuncs+i), ft, &m.Codes[i]); err != nil {
+			return fmt.Errorf("wasm: function %d: %w", m.numImportedFuncs+i, err)
+		}
+	}
+
+	m.validated = true
+	return nil
+}
+
+func (m *Module) checkConstExpr(ce ConstExpr, want ValType) error {
+	var got ValType
+	switch ce.Op {
+	case OpI32Const:
+		got = ValI32
+	case OpI64Const:
+		got = ValI64
+	case OpF32Const:
+		got = ValF32
+	case OpF64Const:
+		got = ValF64
+	case OpGlobalGet:
+		if int(ce.GlobalIx) >= m.numImportedGlobals {
+			return fmt.Errorf("constant expression may only reference imported globals (index %d)", ce.GlobalIx)
+		}
+		n := 0
+		for _, im := range m.Imports {
+			if im.Kind != ExternGlobal {
+				continue
+			}
+			if n == int(ce.GlobalIx) {
+				if im.Global.Mutable {
+					return fmt.Errorf("constant expression references mutable global %d", ce.GlobalIx)
+				}
+				got = im.Global.Type
+			}
+			n++
+		}
+	default:
+		return fmt.Errorf("invalid constant expression opcode %s", OpcodeName(ce.Op))
+	}
+	if got != want {
+		return fmt.Errorf("constant expression has type %s, want %s", got, want)
+	}
+	return nil
+}
+
+// unknownType is the bottom type used for stack-polymorphic (unreachable)
+// typing; it unifies with every value type.
+const unknownType ValType = 0
+
+type ctrlFrame struct {
+	opcode      byte // OpBlock, OpLoop, OpIf, or 0 for the function frame
+	startTypes  []ValType
+	endTypes    []ValType
+	height      int
+	unreachable bool
+}
+
+type bodyValidator struct {
+	m      *Module
+	locals []ValType
+	vals   []ValType
+	ctrls  []ctrlFrame
+	r      *reader
+}
+
+func (m *Module) validateBody(funcIdx uint32, ft FuncType, c *Code) error {
+	locals := make([]ValType, 0, len(ft.Params)+len(c.Locals))
+	locals = append(locals, ft.Params...)
+	locals = append(locals, c.Locals...)
+	v := &bodyValidator{
+		m:      m,
+		locals: locals,
+		r:      &reader{b: c.Body},
+	}
+	v.pushCtrl(0, nil, ft.Results)
+	for len(v.ctrls) > 0 {
+		if v.r.remaining() == 0 {
+			return fmt.Errorf("body ended with %d unclosed blocks", len(v.ctrls))
+		}
+		op, err := v.r.byte()
+		if err != nil {
+			return err
+		}
+		if err := v.step(op); err != nil {
+			return fmt.Errorf("at body offset %d (%s): %w", v.r.pos-1, OpcodeName(op), err)
+		}
+	}
+	if v.r.remaining() != 0 {
+		return fmt.Errorf("%d trailing bytes after function end", v.r.remaining())
+	}
+	return nil
+}
+
+func (v *bodyValidator) pushVal(t ValType) { v.vals = append(v.vals, t) }
+
+func (v *bodyValidator) popVal() (ValType, error) {
+	frame := &v.ctrls[len(v.ctrls)-1]
+	if len(v.vals) == frame.height {
+		if frame.unreachable {
+			return unknownType, nil
+		}
+		return 0, fmt.Errorf("operand stack underflow")
+	}
+	t := v.vals[len(v.vals)-1]
+	v.vals = v.vals[:len(v.vals)-1]
+	return t, nil
+}
+
+func (v *bodyValidator) popExpect(want ValType) (ValType, error) {
+	got, err := v.popVal()
+	if err != nil {
+		return 0, err
+	}
+	if got != want && got != unknownType && want != unknownType {
+		return 0, fmt.Errorf("type mismatch: expected %s, found %s", want, got)
+	}
+	return got, nil
+}
+
+func (v *bodyValidator) pushCtrl(opcode byte, in, out []ValType) {
+	v.ctrls = append(v.ctrls, ctrlFrame{
+		opcode:     opcode,
+		startTypes: in,
+		endTypes:   out,
+		height:     len(v.vals),
+	})
+	for _, t := range in {
+		v.pushVal(t)
+	}
+}
+
+func (v *bodyValidator) popCtrl() (ctrlFrame, error) {
+	if len(v.ctrls) == 0 {
+		return ctrlFrame{}, fmt.Errorf("control stack underflow")
+	}
+	frame := v.ctrls[len(v.ctrls)-1]
+	for i := len(frame.endTypes) - 1; i >= 0; i-- {
+		if _, err := v.popExpect(frame.endTypes[i]); err != nil {
+			return frame, err
+		}
+	}
+	if len(v.vals) != frame.height {
+		return frame, fmt.Errorf("%d values left on stack at end of block", len(v.vals)-frame.height)
+	}
+	v.ctrls = v.ctrls[:len(v.ctrls)-1]
+	return frame, nil
+}
+
+// labelTypes returns the types a branch to the given frame must provide.
+func labelTypes(f *ctrlFrame) []ValType {
+	if f.opcode == OpLoop {
+		return f.startTypes
+	}
+	return f.endTypes
+}
+
+func (v *bodyValidator) markUnreachable() {
+	frame := &v.ctrls[len(v.ctrls)-1]
+	v.vals = v.vals[:frame.height]
+	frame.unreachable = true
+}
+
+func (v *bodyValidator) frameAt(depth uint32) (*ctrlFrame, error) {
+	if int(depth) >= len(v.ctrls) {
+		return nil, fmt.Errorf("branch depth %d exceeds nesting %d", depth, len(v.ctrls))
+	}
+	return &v.ctrls[len(v.ctrls)-1-int(depth)], nil
+}
+
+// blockType reads a block type immediate and resolves it to a FuncType.
+func (v *bodyValidator) blockType() (FuncType, error) {
+	raw, n, err := leb128.Int33(v.r.b[v.r.pos:])
+	if err != nil {
+		return FuncType{}, err
+	}
+	v.r.pos += n
+	if raw >= 0 {
+		if int(raw) >= len(v.m.Types) {
+			return FuncType{}, fmt.Errorf("block type index %d out of range", raw)
+		}
+		return v.m.Types[raw], nil
+	}
+	switch byte(raw & 0x7F) {
+	case 0x40:
+		return FuncType{}, nil
+	case byte(ValI32):
+		return FuncType{Results: []ValType{ValI32}}, nil
+	case byte(ValI64):
+		return FuncType{Results: []ValType{ValI64}}, nil
+	case byte(ValF32):
+		return FuncType{Results: []ValType{ValF32}}, nil
+	case byte(ValF64):
+		return FuncType{Results: []ValType{ValF64}}, nil
+	default:
+		return FuncType{}, fmt.Errorf("invalid block type %d", raw)
+	}
+}
+
+func (v *bodyValidator) memArg(maxAlign uint32) error {
+	align, err := v.r.u32()
+	if err != nil {
+		return err
+	}
+	if align > maxAlign {
+		return fmt.Errorf("alignment 2^%d exceeds natural alignment 2^%d", align, maxAlign)
+	}
+	if _, err := v.r.u32(); err != nil { // offset
+		return err
+	}
+	if v.m.numImportedMems+len(v.m.Mems) == 0 {
+		return fmt.Errorf("memory instruction but module has no memory")
+	}
+	return nil
+}
+
+func (v *bodyValidator) globalType(ix uint32) (GlobalType, error) {
+	n := 0
+	for _, im := range v.m.Imports {
+		if im.Kind != ExternGlobal {
+			continue
+		}
+		if n == int(ix) {
+			return im.Global, nil
+		}
+		n++
+	}
+	local := int(ix) - n
+	if local < 0 || local >= len(v.m.Globals) {
+		return GlobalType{}, fmt.Errorf("global index %d out of range", ix)
+	}
+	return v.m.Globals[local].Type, nil
+}
+
+func (v *bodyValidator) step(op byte) error {
+	switch op {
+	case OpUnreachable:
+		v.markUnreachable()
+	case OpNop:
+	case OpBlock, OpLoop:
+		bt, err := v.blockType()
+		if err != nil {
+			return err
+		}
+		for i := len(bt.Params) - 1; i >= 0; i-- {
+			if _, err := v.popExpect(bt.Params[i]); err != nil {
+				return err
+			}
+		}
+		v.pushCtrl(op, bt.Params, bt.Results)
+	case OpIf:
+		bt, err := v.blockType()
+		if err != nil {
+			return err
+		}
+		if _, err := v.popExpect(ValI32); err != nil {
+			return err
+		}
+		for i := len(bt.Params) - 1; i >= 0; i-- {
+			if _, err := v.popExpect(bt.Params[i]); err != nil {
+				return err
+			}
+		}
+		v.pushCtrl(op, bt.Params, bt.Results)
+	case OpElse:
+		frame, err := v.popCtrl()
+		if err != nil {
+			return err
+		}
+		if frame.opcode != OpIf {
+			return fmt.Errorf("else without matching if")
+		}
+		v.pushCtrl(OpElse, frame.startTypes, frame.endTypes)
+	case OpEnd:
+		frame, err := v.popCtrl()
+		if err != nil {
+			return err
+		}
+		// An if without else must have matching param/result types, since
+		// the implicit else is a no-op.
+		if frame.opcode == OpIf && !(FuncType{Params: frame.startTypes, Results: frame.endTypes}).Equal(FuncType{Params: frame.startTypes, Results: frame.startTypes}) {
+			return fmt.Errorf("if without else must have identical params and results")
+		}
+		for _, t := range frame.endTypes {
+			v.pushVal(t)
+		}
+	case OpBr:
+		depth, err := v.r.u32()
+		if err != nil {
+			return err
+		}
+		frame, err := v.frameAt(depth)
+		if err != nil {
+			return err
+		}
+		lt := labelTypes(frame)
+		for i := len(lt) - 1; i >= 0; i-- {
+			if _, err := v.popExpect(lt[i]); err != nil {
+				return err
+			}
+		}
+		v.markUnreachable()
+	case OpBrIf:
+		depth, err := v.r.u32()
+		if err != nil {
+			return err
+		}
+		if _, err := v.popExpect(ValI32); err != nil {
+			return err
+		}
+		frame, err := v.frameAt(depth)
+		if err != nil {
+			return err
+		}
+		lt := labelTypes(frame)
+		for i := len(lt) - 1; i >= 0; i-- {
+			if _, err := v.popExpect(lt[i]); err != nil {
+				return err
+			}
+		}
+		for _, t := range lt {
+			v.pushVal(t)
+		}
+	case OpBrTable:
+		n, err := v.r.vecLen()
+		if err != nil {
+			return err
+		}
+		targets := make([]uint32, n+1)
+		for i := 0; i <= n; i++ {
+			if targets[i], err = v.r.u32(); err != nil {
+				return err
+			}
+		}
+		if _, err := v.popExpect(ValI32); err != nil {
+			return err
+		}
+		defFrame, err := v.frameAt(targets[n])
+		if err != nil {
+			return err
+		}
+		defTypes := labelTypes(defFrame)
+		for _, t := range targets[:n] {
+			f, err := v.frameAt(t)
+			if err != nil {
+				return err
+			}
+			lt := labelTypes(f)
+			if len(lt) != len(defTypes) {
+				return fmt.Errorf("br_table targets have inconsistent label arities")
+			}
+			for i := range lt {
+				if lt[i] != defTypes[i] {
+					return fmt.Errorf("br_table targets have inconsistent label types")
+				}
+			}
+		}
+		for i := len(defTypes) - 1; i >= 0; i-- {
+			if _, err := v.popExpect(defTypes[i]); err != nil {
+				return err
+			}
+		}
+		v.markUnreachable()
+	case OpReturn:
+		results := v.ctrls[0].endTypes
+		for i := len(results) - 1; i >= 0; i-- {
+			if _, err := v.popExpect(results[i]); err != nil {
+				return err
+			}
+		}
+		v.markUnreachable()
+	case OpCall:
+		fx, err := v.r.u32()
+		if err != nil {
+			return err
+		}
+		ft, err := v.m.FuncTypeAt(fx)
+		if err != nil {
+			return err
+		}
+		return v.applyCall(ft)
+	case OpCallIndirect:
+		tix, err := v.r.u32()
+		if err != nil {
+			return err
+		}
+		tableIx, err := v.r.u32()
+		if err != nil {
+			return err
+		}
+		if tableIx != 0 {
+			return fmt.Errorf("call_indirect table index must be 0")
+		}
+		if v.m.numImportedTables+len(v.m.Tables) == 0 {
+			return fmt.Errorf("call_indirect but module has no table")
+		}
+		if int(tix) >= len(v.m.Types) {
+			return fmt.Errorf("call_indirect type index %d out of range", tix)
+		}
+		if _, err := v.popExpect(ValI32); err != nil {
+			return err
+		}
+		return v.applyCall(v.m.Types[tix])
+
+	case OpDrop:
+		_, err := v.popVal()
+		return err
+	case OpSelect:
+		if _, err := v.popExpect(ValI32); err != nil {
+			return err
+		}
+		t1, err := v.popVal()
+		if err != nil {
+			return err
+		}
+		t2, err := v.popVal()
+		if err != nil {
+			return err
+		}
+		if t1 != t2 && t1 != unknownType && t2 != unknownType {
+			return fmt.Errorf("select operands have mismatched types %s and %s", t1, t2)
+		}
+		if t1 == unknownType {
+			v.pushVal(t2)
+		} else {
+			v.pushVal(t1)
+		}
+
+	case OpLocalGet, OpLocalSet, OpLocalTee:
+		ix, err := v.r.u32()
+		if err != nil {
+			return err
+		}
+		if int(ix) >= len(v.locals) {
+			return fmt.Errorf("local index %d out of range (have %d)", ix, len(v.locals))
+		}
+		t := v.locals[ix]
+		switch op {
+		case OpLocalGet:
+			v.pushVal(t)
+		case OpLocalSet:
+			_, err = v.popExpect(t)
+			return err
+		case OpLocalTee:
+			if _, err = v.popExpect(t); err != nil {
+				return err
+			}
+			v.pushVal(t)
+		}
+	case OpGlobalGet:
+		ix, err := v.r.u32()
+		if err != nil {
+			return err
+		}
+		gt, err := v.globalType(ix)
+		if err != nil {
+			return err
+		}
+		v.pushVal(gt.Type)
+	case OpGlobalSet:
+		ix, err := v.r.u32()
+		if err != nil {
+			return err
+		}
+		gt, err := v.globalType(ix)
+		if err != nil {
+			return err
+		}
+		if !gt.Mutable {
+			return fmt.Errorf("global.set on immutable global %d", ix)
+		}
+		_, err = v.popExpect(gt.Type)
+		return err
+
+	case OpI32Load, OpF32Load:
+		return v.loadOp(op, 2)
+	case OpI64Load, OpF64Load:
+		return v.loadOp(op, 3)
+	case OpI32Load8S, OpI32Load8U, OpI64Load8S, OpI64Load8U:
+		return v.loadOp(op, 0)
+	case OpI32Load16S, OpI32Load16U, OpI64Load16S, OpI64Load16U:
+		return v.loadOp(op, 1)
+	case OpI64Load32S, OpI64Load32U:
+		return v.loadOp(op, 2)
+	case OpI32Store, OpF32Store:
+		return v.storeOp(op, 2)
+	case OpI64Store, OpF64Store:
+		return v.storeOp(op, 3)
+	case OpI32Store8, OpI64Store8:
+		return v.storeOp(op, 0)
+	case OpI32Store16, OpI64Store16:
+		return v.storeOp(op, 1)
+	case OpI64Store32:
+		return v.storeOp(op, 2)
+
+	case OpMemorySize:
+		if err := v.memIndexZero(); err != nil {
+			return err
+		}
+		v.pushVal(ValI32)
+	case OpMemoryGrow:
+		if err := v.memIndexZero(); err != nil {
+			return err
+		}
+		if _, err := v.popExpect(ValI32); err != nil {
+			return err
+		}
+		v.pushVal(ValI32)
+
+	case OpI32Const:
+		if _, err := v.r.s32(); err != nil {
+			return err
+		}
+		v.pushVal(ValI32)
+	case OpI64Const:
+		if _, err := v.r.s64(); err != nil {
+			return err
+		}
+		v.pushVal(ValI64)
+	case OpF32Const:
+		if _, err := v.r.bytes(4); err != nil {
+			return err
+		}
+		v.pushVal(ValF32)
+	case OpF64Const:
+		if _, err := v.r.bytes(8); err != nil {
+			return err
+		}
+		v.pushVal(ValF64)
+
+	case OpI32Eqz:
+		return v.unOp(ValI32, ValI32)
+	case OpI64Eqz:
+		return v.unOp(ValI64, ValI32)
+	case OpI32Eq, OpI32Ne, OpI32LtS, OpI32LtU, OpI32GtS, OpI32GtU, OpI32LeS, OpI32LeU, OpI32GeS, OpI32GeU:
+		return v.binOp(ValI32, ValI32)
+	case OpI64Eq, OpI64Ne, OpI64LtS, OpI64LtU, OpI64GtS, OpI64GtU, OpI64LeS, OpI64LeU, OpI64GeS, OpI64GeU:
+		return v.binOp(ValI64, ValI32)
+	case OpF32Eq, OpF32Ne, OpF32Lt, OpF32Gt, OpF32Le, OpF32Ge:
+		return v.binOp(ValF32, ValI32)
+	case OpF64Eq, OpF64Ne, OpF64Lt, OpF64Gt, OpF64Le, OpF64Ge:
+		return v.binOp(ValF64, ValI32)
+
+	case OpI32Clz, OpI32Ctz, OpI32Popcnt, OpI32Extend8S, OpI32Extend16S:
+		return v.unOp(ValI32, ValI32)
+	case OpI32Add, OpI32Sub, OpI32Mul, OpI32DivS, OpI32DivU, OpI32RemS, OpI32RemU,
+		OpI32And, OpI32Or, OpI32Xor, OpI32Shl, OpI32ShrS, OpI32ShrU, OpI32Rotl, OpI32Rotr:
+		return v.binOp(ValI32, ValI32)
+	case OpI64Clz, OpI64Ctz, OpI64Popcnt, OpI64Extend8S, OpI64Extend16S, OpI64Extend32S:
+		return v.unOp(ValI64, ValI64)
+	case OpI64Add, OpI64Sub, OpI64Mul, OpI64DivS, OpI64DivU, OpI64RemS, OpI64RemU,
+		OpI64And, OpI64Or, OpI64Xor, OpI64Shl, OpI64ShrS, OpI64ShrU, OpI64Rotl, OpI64Rotr:
+		return v.binOp(ValI64, ValI64)
+	case OpF32Abs, OpF32Neg, OpF32Ceil, OpF32Floor, OpF32Trunc, OpF32Nearest, OpF32Sqrt:
+		return v.unOp(ValF32, ValF32)
+	case OpF32Add, OpF32Sub, OpF32Mul, OpF32Div, OpF32Min, OpF32Max, OpF32Copysign:
+		return v.binOp(ValF32, ValF32)
+	case OpF64Abs, OpF64Neg, OpF64Ceil, OpF64Floor, OpF64Trunc, OpF64Nearest, OpF64Sqrt:
+		return v.unOp(ValF64, ValF64)
+	case OpF64Add, OpF64Sub, OpF64Mul, OpF64Div, OpF64Min, OpF64Max, OpF64Copysign:
+		return v.binOp(ValF64, ValF64)
+
+	case OpI32WrapI64:
+		return v.unOp(ValI64, ValI32)
+	case OpI32TruncF32S, OpI32TruncF32U:
+		return v.unOp(ValF32, ValI32)
+	case OpI32TruncF64S, OpI32TruncF64U:
+		return v.unOp(ValF64, ValI32)
+	case OpI64ExtendI32S, OpI64ExtendI32U:
+		return v.unOp(ValI32, ValI64)
+	case OpI64TruncF32S, OpI64TruncF32U:
+		return v.unOp(ValF32, ValI64)
+	case OpI64TruncF64S, OpI64TruncF64U:
+		return v.unOp(ValF64, ValI64)
+	case OpF32ConvertI32S, OpF32ConvertI32U:
+		return v.unOp(ValI32, ValF32)
+	case OpF32ConvertI64S, OpF32ConvertI64U:
+		return v.unOp(ValI64, ValF32)
+	case OpF32DemoteF64:
+		return v.unOp(ValF64, ValF32)
+	case OpF64ConvertI32S, OpF64ConvertI32U:
+		return v.unOp(ValI32, ValF64)
+	case OpF64ConvertI64S, OpF64ConvertI64U:
+		return v.unOp(ValI64, ValF64)
+	case OpF64PromoteF32:
+		return v.unOp(ValF32, ValF64)
+	case OpI32ReinterpretF32:
+		return v.unOp(ValF32, ValI32)
+	case OpI64ReinterpretF64:
+		return v.unOp(ValF64, ValI64)
+	case OpF32ReinterpretI32:
+		return v.unOp(ValI32, ValF32)
+	case OpF64ReinterpretI64:
+		return v.unOp(ValI64, ValF64)
+
+	case OpPrefixMisc:
+		sub, err := v.r.u32()
+		if err != nil {
+			return err
+		}
+		switch sub {
+		case MiscI32TruncSatF32S, MiscI32TruncSatF32U:
+			return v.unOp(ValF32, ValI32)
+		case MiscI32TruncSatF64S, MiscI32TruncSatF64U:
+			return v.unOp(ValF64, ValI32)
+		case MiscI64TruncSatF32S, MiscI64TruncSatF32U:
+			return v.unOp(ValF32, ValI64)
+		case MiscI64TruncSatF64S, MiscI64TruncSatF64U:
+			return v.unOp(ValF64, ValI64)
+		case MiscMemoryCopy:
+			if v.m.numImportedMems+len(v.m.Mems) == 0 {
+				return fmt.Errorf("memory.copy but module has no memory")
+			}
+			for j := 0; j < 2; j++ { // dst and src memory indices
+				c, err := v.r.byte()
+				if err != nil {
+					return err
+				}
+				if c != 0 {
+					return fmt.Errorf("memory index must be 0")
+				}
+			}
+			for i := 0; i < 3; i++ {
+				if _, err := v.popExpect(ValI32); err != nil {
+					return err
+				}
+			}
+		case MiscMemoryFill:
+			if v.m.numImportedMems+len(v.m.Mems) == 0 {
+				return fmt.Errorf("memory.fill but module has no memory")
+			}
+			c, err := v.r.byte()
+			if err != nil {
+				return err
+			}
+			if c != 0 {
+				return fmt.Errorf("memory index must be 0")
+			}
+			for i := 0; i < 3; i++ {
+				if _, err := v.popExpect(ValI32); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("unsupported misc opcode %d", sub)
+		}
+	default:
+		return fmt.Errorf("unsupported opcode")
+	}
+	return nil
+}
+
+func (v *bodyValidator) memIndexZero() error {
+	if v.m.numImportedMems+len(v.m.Mems) == 0 {
+		return fmt.Errorf("memory instruction but module has no memory")
+	}
+	c, err := v.r.byte()
+	if err != nil {
+		return err
+	}
+	if c != 0 {
+		return fmt.Errorf("memory index must be 0")
+	}
+	return nil
+}
+
+func (v *bodyValidator) applyCall(ft FuncType) error {
+	for i := len(ft.Params) - 1; i >= 0; i-- {
+		if _, err := v.popExpect(ft.Params[i]); err != nil {
+			return err
+		}
+	}
+	for _, t := range ft.Results {
+		v.pushVal(t)
+	}
+	return nil
+}
+
+func (v *bodyValidator) unOp(in, out ValType) error {
+	if _, err := v.popExpect(in); err != nil {
+		return err
+	}
+	v.pushVal(out)
+	return nil
+}
+
+func (v *bodyValidator) binOp(in, out ValType) error {
+	if _, err := v.popExpect(in); err != nil {
+		return err
+	}
+	if _, err := v.popExpect(in); err != nil {
+		return err
+	}
+	v.pushVal(out)
+	return nil
+}
+
+func loadResultType(op byte) ValType {
+	switch op {
+	case OpI32Load, OpI32Load8S, OpI32Load8U, OpI32Load16S, OpI32Load16U:
+		return ValI32
+	case OpI64Load, OpI64Load8S, OpI64Load8U, OpI64Load16S, OpI64Load16U, OpI64Load32S, OpI64Load32U:
+		return ValI64
+	case OpF32Load:
+		return ValF32
+	default:
+		return ValF64
+	}
+}
+
+func storeOperandType(op byte) ValType {
+	switch op {
+	case OpI32Store, OpI32Store8, OpI32Store16:
+		return ValI32
+	case OpI64Store, OpI64Store8, OpI64Store16, OpI64Store32:
+		return ValI64
+	case OpF32Store:
+		return ValF32
+	default:
+		return ValF64
+	}
+}
+
+func (v *bodyValidator) loadOp(op byte, maxAlign uint32) error {
+	if err := v.memArg(maxAlign); err != nil {
+		return err
+	}
+	if _, err := v.popExpect(ValI32); err != nil {
+		return err
+	}
+	v.pushVal(loadResultType(op))
+	return nil
+}
+
+func (v *bodyValidator) storeOp(op byte, maxAlign uint32) error {
+	if err := v.memArg(maxAlign); err != nil {
+		return err
+	}
+	if _, err := v.popExpect(storeOperandType(op)); err != nil {
+		return err
+	}
+	_, err := v.popExpect(ValI32)
+	return err
+}

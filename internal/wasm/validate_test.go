@@ -1,0 +1,237 @@
+package wasm_test
+
+import (
+	"strings"
+	"testing"
+
+	"waran/internal/wasm"
+	"waran/internal/wat"
+)
+
+// wantInvalid asserts that the WAT source parses but fails validation with
+// a message containing substr.
+func wantInvalid(t *testing.T, src, substr string) {
+	t.Helper()
+	m, err := wat.Compile(src)
+	if err != nil {
+		t.Fatalf("wat parse failed (should fail in validation instead): %v", err)
+	}
+	err = wasm.Validate(m)
+	if err == nil {
+		t.Fatalf("validation unexpectedly passed")
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not mention %q", err, substr)
+	}
+}
+
+func TestValidateTypeMismatch(t *testing.T) {
+	wantInvalid(t, `(module (func (result i32) i64.const 1))`, "type mismatch")
+}
+
+func TestValidateStackUnderflow(t *testing.T) {
+	wantInvalid(t, `(module (func (result i32) i32.add))`, "underflow")
+}
+
+func TestValidateExcessValues(t *testing.T) {
+	wantInvalid(t, `(module (func i32.const 1))`, "values left on stack")
+}
+
+func TestValidateBranchDepth(t *testing.T) {
+	wantInvalid(t, `(module (func br 3))`, "depth")
+}
+
+func TestValidateBadLocal(t *testing.T) {
+	wantInvalid(t, `(module (func (result i32) local.get 2))`, "local index")
+}
+
+func TestValidateImmutableGlobalSet(t *testing.T) {
+	wantInvalid(t, `(module
+	  (global $g i32 (i32.const 1))
+	  (func i32.const 2 global.set $g))`, "immutable")
+}
+
+func TestValidateIfWithoutElseNeedsBalance(t *testing.T) {
+	// An if that produces a result without an else is invalid.
+	wantInvalid(t, `(module (func (result i32)
+	  i32.const 1
+	  if (result i32) i32.const 2 end))`, "if without else")
+}
+
+func TestValidateMissingMemory(t *testing.T) {
+	wantInvalid(t, `(module (func (result i32) i32.const 0 i32.load))`, "no memory")
+}
+
+func TestValidateAlignmentTooLarge(t *testing.T) {
+	wantInvalid(t, `(module (memory 1)
+	  (func (result i32) i32.const 0 i32.load align=8))`, "alignment")
+}
+
+func TestValidateCallArity(t *testing.T) {
+	wantInvalid(t, `(module
+	  (func $f (param i32 i32))
+	  (func i32.const 1 call $f))`, "underflow")
+}
+
+func TestValidateSelectTypeMismatch(t *testing.T) {
+	wantInvalid(t, `(module (func (result i32)
+	  i32.const 1 i64.const 2 i32.const 0 select drop i32.const 0))`, "select")
+}
+
+func TestValidateBrTableInconsistentArity(t *testing.T) {
+	wantInvalid(t, `(module (func (result i32)
+	  block $a (result i32)
+	    block $b
+	      i32.const 1
+	      i32.const 0
+	      br_table $a $b
+	    end
+	    i32.const 2
+	  end))`, "br_table")
+}
+
+func TestValidateStartSignature(t *testing.T) {
+	wantInvalid(t, `(module
+	  (func $s (param i32))
+	  (start $s))`, "start")
+}
+
+func TestValidateUnreachableIsPolymorphic(t *testing.T) {
+	// After unreachable the stack is polymorphic: this must validate.
+	src := `(module (func (result i32)
+	  unreachable
+	  i32.add))`
+	m, err := wat.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wasm.Validate(m); err != nil {
+		t.Fatalf("polymorphic stack rejected: %v", err)
+	}
+}
+
+func TestValidateDeadCodeStillTypeChecked(t *testing.T) {
+	// Dead code after br must still be syntactically valid; a bad local
+	// index there is an error.
+	wantInvalid(t, `(module (func
+	  block
+	    br 0
+	    local.get 9 drop
+	  end))`, "local index")
+}
+
+func TestValidateBlockResultPropagation(t *testing.T) {
+	src := `(module (func (export "f") (result i32)
+	  block (result i32)
+	    i32.const 41
+	  end
+	  i32.const 1
+	  i32.add))`
+	in := mustInstance(t, src)
+	if got := call1(t, in, "f"); got != 42 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestValidateLoopResult(t *testing.T) {
+	src := `(module (func (export "f") (result i32)
+	  loop (result i32)
+	    i32.const 7
+	  end))`
+	in := mustInstance(t, src)
+	if got := call1(t, in, "f"); got != 7 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestValidateExportIndexRange(t *testing.T) {
+	m := &wasm.Module{
+		Exports: []wasm.Export{{Name: "f", Kind: wasm.ExternFunc, Index: 0}},
+	}
+	if err := wasm.Validate(m); err == nil {
+		t.Fatal("export of missing function accepted")
+	}
+}
+
+func TestValidateElemSegmentBounds(t *testing.T) {
+	// Out-of-range elem offsets surface at instantiation (runtime table
+	// size check); out-of-range function indices must fail validation.
+	m := &wasm.Module{
+		Types:  []wasm.FuncType{{}},
+		Funcs:  []uint32{0},
+		Codes:  []wasm.Code{{Body: []byte{0x0B}}},
+		Tables: []wasm.TableType{{Elem: wasm.ValFuncref, Limits: wasm.Limits{Min: 4}}},
+		Elems:  []wasm.ElemSegment{{Offset: wasm.ConstExpr{Op: wasm.OpI32Const}, Funcs: []uint32{7}}},
+	}
+	if err := wasm.Validate(m); err == nil {
+		t.Fatal("elem referencing missing function accepted")
+	}
+}
+
+func TestValidateElemOverflowAtInstantiation(t *testing.T) {
+	src := `(module
+	  (table 1 funcref)
+	  (elem (i32.const 0) $f $f)
+	  (func $f))`
+	m, err := wat.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := wasm.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.Instantiate(nil, wasm.Config{}); err == nil {
+		t.Fatal("oversized element segment accepted at instantiation")
+	}
+}
+
+func TestValidateDataSegmentOOBAtInstantiation(t *testing.T) {
+	src := `(module (memory 1) (data (i32.const 65530) "0123456789"))`
+	m, err := wat.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := wasm.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.Instantiate(nil, wasm.Config{}); err == nil {
+		t.Fatal("out-of-bounds data segment accepted")
+	}
+}
+
+func TestInstantiateUnresolvedImport(t *testing.T) {
+	src := `(module (import "env" "f" (func)) (memory 1))`
+	m, err := wat.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := wasm.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.Instantiate(nil, wasm.Config{}); err == nil {
+		t.Fatal("unresolved import accepted")
+	}
+}
+
+func TestInstantiateImportTypeMismatch(t *testing.T) {
+	src := `(module (import "env" "f" (func (param i32))) (memory 1))`
+	m, err := wat.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := wasm.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imports := wasm.Imports{"env": {"f": &wasm.HostFunc{
+		Name: "f",
+		Type: wasm.FuncType{Params: []wasm.ValType{wasm.ValI64}},
+		Fn:   func(*wasm.CallContext, []uint64) ([]uint64, error) { return nil, nil },
+	}}}
+	if _, err := cm.Instantiate(imports, wasm.Config{}); err == nil {
+		t.Fatal("import signature mismatch accepted")
+	}
+}

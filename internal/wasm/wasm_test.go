@@ -1,0 +1,69 @@
+package wasm_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"waran/internal/wasm"
+	"waran/internal/wat"
+)
+
+// mustModule compiles WAT source to a decoded module.
+func mustModule(t *testing.T, src string) *wasm.Module {
+	t.Helper()
+	m, err := wat.Compile(src)
+	if err != nil {
+		t.Fatalf("wat: %v", err)
+	}
+	return m
+}
+
+// mustInstance compiles WAT source and instantiates it.
+func mustInstance(t *testing.T, src string) *wasm.Instance {
+	t.Helper()
+	m, err := wat.Compile(src)
+	if err != nil {
+		t.Fatalf("wat: %v", err)
+	}
+	cm, err := wasm.Compile(m)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	in, err := cm.Instantiate(nil, wasm.Config{})
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	return in
+}
+
+// call1 invokes fn and returns its single result.
+func call1(t *testing.T, in *wasm.Instance, fn string, args ...uint64) uint64 {
+	t.Helper()
+	res, err := in.Call(fn, args...)
+	if err != nil {
+		t.Fatalf("call %s%v: %v", fn, args, err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("call %s: %d results", fn, len(res))
+	}
+	return res[0]
+}
+
+// wantTrap asserts that a call traps with the given code.
+func wantTrap(t *testing.T, in *wasm.Instance, code wasm.TrapCode, fn string, args ...uint64) {
+	t.Helper()
+	_, err := in.Call(fn, args...)
+	var trap *wasm.Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("call %s%v: want trap, got %v", fn, args, err)
+	}
+	if trap.Code != code {
+		t.Fatalf("call %s%v: trap %v, want %v", fn, args, trap.Code, code)
+	}
+}
+
+func f32(v float32) uint64 { return uint64(math.Float32bits(v)) }
+func f64(v float64) uint64 { return math.Float64bits(v) }
+func i32(v int32) uint64   { return uint64(uint32(v)) }
+func i64(v int64) uint64   { return uint64(v) }

@@ -1,0 +1,100 @@
+package wat
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBodyCompilerErrors exercises the immediate-parsing error branches of
+// the function body compiler.
+func TestBodyCompilerErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		substr string
+	}{
+		{"string in body", `(module (func "oops"))`, "string literal"},
+		{"br_table no labels", `(module (func i32.const 0 br_table))`, "br_table"},
+		{"call no target", `(module (func call))`, "function index"},
+		{"local.get no index", `(module (func local.get))`, "needs an index"},
+		{"global.get no index", `(module (func global.get))`, "index"},
+		{"i32.const no value", `(module (func i32.const))`, "value"},
+		{"i64.const no value", `(module (func i64.const))`, "value"},
+		{"f32.const no value", `(module (func f32.const))`, "value"},
+		{"f64.const no value", `(module (func f64.const))`, "value"},
+		{"bad align", `(module (memory 1) (func (result i32) i32.const 0 i32.load align=3))`, "align"},
+		{"bad offset", `(module (memory 1) (func (result i32) i32.const 0 i32.load offset=zz))`, "offset"},
+		{"end without block", `(module (func end))`, "end without"},
+		{"else without if", `(module (func else))`, "else outside"},
+		{"unclosed block", `(module (func block))`, "unclosed"},
+		{"folded else first", `(module (func (i32.add (else))))`, "folded form"},
+		{"folded if no then", `(module (func (if (i32.const 1))))`, "(then ...)"},
+		{"folded if junk after else", `(module (func (if (i32.const 1) (then) (else) (then))))`, "unexpected"},
+		{"folded operand atom", `(module (func (i32.add i32.const 1 (i32.const 2))))`, ""},
+		{"invalid label", `(module (func br zzz))`, "label"},
+		{"bad local index", `(module (func local.get zzz))`, "local index"},
+		{"type clause bad", `(module (type $t (global i32)))`, "signature"},
+		{"elem bad offset", `(module (table 1 funcref) (elem (offset)))`, "offset"},
+		{"data not string", `(module (memory 1) (data (i32.const 0) 42))`, "string"},
+		{"start missing func", `(module (start $nope))`, "unknown function"},
+		{"export desc malformed", `(module (export "x" (func)))`, "descriptor"},
+		{"limits missing", `(module (memory))`, "limits"},
+		{"table elem type", `(module (table 1 externref))`, "funcref"},
+		{"mut malformed", `(module (global $g (mut) (i32.const 0)))`, "(mut"},
+		{"named param multi type", `(module (func (param $a i32 i64)))`, "exactly one"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src)
+			if err == nil {
+				t.Fatalf("Compile(%q) succeeded", tc.src)
+			}
+			if tc.substr != "" && !strings.Contains(err.Error(), tc.substr) {
+				t.Fatalf("error %q does not mention %q", err, tc.substr)
+			}
+		})
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	cases := []string{
+		`(module (; unterminated`,
+		`(module (data (i32.const 0) "unterminated`,
+		`(module (data (i32.const 0) "\q"))`,
+		`(module (data (i32.const 0) "\u{zz}"))`,
+		`(module (data (i32.const 0) "trailing\"`,
+	}
+	for _, src := range cases {
+		if _, err := parseAll(src); err == nil {
+			t.Errorf("parseAll(%q) succeeded", src)
+		}
+	}
+}
+
+func TestBlockResultVariants(t *testing.T) {
+	// Empty (result) is tolerated as no result.
+	src := `(module (func (export "f")
+	  block (result) end))`
+	if _, err := CompileToBinary(src); err != nil {
+		t.Fatalf("empty result clause: %v", err)
+	}
+}
+
+func TestFlatIfElseWithLabelRepetition(t *testing.T) {
+	// The text format allows repeating the label on else/end.
+	src := `(module (func (export "f") (param i32) (result i32)
+	  local.get 0
+	  if $l (result i32)
+	    i32.const 1
+	  else $l
+	    i32.const 2
+	  end $l))`
+	res := run(t, src, "f", 1)
+	if res[0] != 1 {
+		t.Fatalf("then = %d", res[0])
+	}
+	res = run(t, src, "f", 0)
+	if res[0] != 2 {
+		t.Fatalf("else = %d", res[0])
+	}
+}

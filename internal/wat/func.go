@@ -1,0 +1,436 @@
+package wat
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+
+	"waran/internal/leb128"
+	"waran/internal/wasm"
+)
+
+// funcCompiler translates one function body (flat or folded form) into raw
+// WebAssembly bytecode.
+type funcCompiler struct {
+	mb     *modBuilder
+	pf     *pendingFunc
+	labels []string // innermost last; "" for anonymous labels
+	out    []byte
+}
+
+// cursor walks a sibling list of nodes, letting flat-form instructions pull
+// their immediates from the stream.
+type cursor struct {
+	items []node
+	i     int
+}
+
+func (c *cursor) done() bool  { return c.i >= len(c.items) }
+func (c *cursor) peek() *node { return &c.items[c.i] }
+func (c *cursor) take() *node { n := &c.items[c.i]; c.i++; return n }
+
+func (fc *funcCompiler) compileBody() ([]byte, error) {
+	cur := &cursor{items: fc.pf.body}
+	for !cur.done() {
+		if err := fc.compileOne(cur); err != nil {
+			return nil, err
+		}
+	}
+	if len(fc.labels) != 0 {
+		return nil, errAt(fc.pf.node, "unclosed block (missing end)")
+	}
+	fc.emit(wasm.OpEnd)
+	return fc.out, nil
+}
+
+func (fc *funcCompiler) emit(b ...byte)   { fc.out = append(fc.out, b...) }
+func (fc *funcCompiler) emitU32(v uint32) { fc.out = leb128.AppendUint32(fc.out, v) }
+func (fc *funcCompiler) emitS32(v int32)  { fc.out = leb128.AppendInt32(fc.out, v) }
+func (fc *funcCompiler) emitS64(v int64)  { fc.out = leb128.AppendInt64(fc.out, v) }
+
+// compileOne compiles the next item: a flat atom instruction (immediates
+// taken from the cursor) or a folded list expression.
+func (fc *funcCompiler) compileOne(cur *cursor) error {
+	n := cur.take()
+	if n.isStr {
+		return errAt(n, "unexpected string literal in function body")
+	}
+	if !n.isList() {
+		return fc.compileFlat(n, cur)
+	}
+	return fc.compileFolded(n)
+}
+
+// compileFlat handles an atom mnemonic whose immediates follow in the
+// sibling stream.
+func (fc *funcCompiler) compileFlat(n *node, cur *cursor) error {
+	def, ok := instrTable[n.atom]
+	if !ok {
+		return errAt(n, "unknown instruction %q", n.atom)
+	}
+	switch def.kind {
+	case immBlock:
+		label := ""
+		if !cur.done() && strings.HasPrefix(cur.peek().atom, "$") {
+			label = cur.take().atom
+		}
+		bt, err := fc.blockType(cur)
+		if err != nil {
+			return err
+		}
+		fc.emit(def.op...)
+		fc.emit(bt)
+		fc.labels = append(fc.labels, label)
+		return nil
+	case immElse:
+		if len(fc.labels) == 0 {
+			return errAt(n, "else outside block")
+		}
+		// An optional label repetition may follow; skip it.
+		if !cur.done() && strings.HasPrefix(cur.peek().atom, "$") {
+			cur.take()
+		}
+		fc.emit(wasm.OpElse)
+		return nil
+	case immEnd:
+		if len(fc.labels) == 0 {
+			return errAt(n, "end without matching block")
+		}
+		if !cur.done() && strings.HasPrefix(cur.peek().atom, "$") {
+			cur.take()
+		}
+		fc.labels = fc.labels[:len(fc.labels)-1]
+		fc.emit(wasm.OpEnd)
+		return nil
+	default:
+		return fc.emitWithImmediates(n, def, cur)
+	}
+}
+
+// compileFolded handles a parenthesized expression: operands are compiled
+// first, then the operator.
+func (fc *funcCompiler) compileFolded(n *node) error {
+	head := n.head()
+	def, ok := instrTable[head]
+	if !ok {
+		return errAt(n, "unknown instruction %q", head)
+	}
+	items := n.list[1:]
+	switch def.kind {
+	case immBlock:
+		label := ""
+		if len(items) > 0 && strings.HasPrefix(items[0].atom, "$") {
+			label = items[0].atom
+			items = items[1:]
+		}
+		icur := &cursor{items: items}
+		bt, err := fc.blockType(icur)
+		if err != nil {
+			return err
+		}
+		if head == "if" {
+			return fc.compileFoldedIf(n, icur, bt, label)
+		}
+		fc.emit(def.op...)
+		fc.emit(bt)
+		fc.labels = append(fc.labels, label)
+		for !icur.done() {
+			if err := fc.compileOne(icur); err != nil {
+				return err
+			}
+		}
+		fc.labels = fc.labels[:len(fc.labels)-1]
+		fc.emit(wasm.OpEnd)
+		return nil
+	case immElse, immEnd:
+		return errAt(n, "%q cannot be used in folded form", head)
+	default:
+		icur := &cursor{items: items}
+		// Immediates come first inside the list; record the output position
+		// so operand code can be emitted before the operator.
+		var immBuf []byte
+		saved := fc.out
+		fc.out = nil
+		if err := fc.emitWithImmediates(n, def, icur); err != nil {
+			fc.out = saved
+			return err
+		}
+		immBuf = fc.out
+		fc.out = saved
+		// Remaining items are folded operands.
+		for !icur.done() {
+			op := icur.take()
+			if !op.isList() {
+				return errAt(op, "expected folded operand expression")
+			}
+			if err := fc.compileFolded(op); err != nil {
+				return err
+			}
+		}
+		fc.out = append(fc.out, immBuf...)
+		return nil
+	}
+}
+
+// compileFoldedIf compiles (if <label> <bt> <cond>... (then ...) (else ...)).
+func (fc *funcCompiler) compileFoldedIf(n *node, icur *cursor, bt byte, label string) error {
+	// Condition expressions run before the `if` opcode.
+	for !icur.done() && icur.peek().head() != "then" {
+		op := icur.take()
+		if !op.isList() {
+			return errAt(op, "expected folded condition expression before (then ...)")
+		}
+		if err := fc.compileFolded(op); err != nil {
+			return err
+		}
+	}
+	if icur.done() {
+		return errAt(n, "folded if requires a (then ...) clause")
+	}
+	thenNode := icur.take()
+	fc.emit(wasm.OpIf, bt)
+	fc.labels = append(fc.labels, label)
+	tcur := &cursor{items: thenNode.list[1:]}
+	for !tcur.done() {
+		if err := fc.compileOne(tcur); err != nil {
+			return err
+		}
+	}
+	if !icur.done() {
+		elseNode := icur.take()
+		if elseNode.head() != "else" {
+			return errAt(elseNode, "expected (else ...) clause")
+		}
+		fc.emit(wasm.OpElse)
+		ecur := &cursor{items: elseNode.list[1:]}
+		for !ecur.done() {
+			if err := fc.compileOne(ecur); err != nil {
+				return err
+			}
+		}
+	}
+	if !icur.done() {
+		return errAt(n, "unexpected tokens after (else ...)")
+	}
+	fc.labels = fc.labels[:len(fc.labels)-1]
+	fc.emit(wasm.OpEnd)
+	return nil
+}
+
+// blockType parses the optional (result <t>) annotation.
+func (fc *funcCompiler) blockType(cur *cursor) (byte, error) {
+	if cur.done() || cur.peek().head() != "result" {
+		return 0x40, nil
+	}
+	r := cur.take()
+	li := r.list[1:]
+	if len(li) == 0 {
+		return 0x40, nil
+	}
+	if len(li) != 1 {
+		return 0, errAt(r, "multi-value block results are not supported")
+	}
+	vt, err := valTypeOf(&li[0])
+	if err != nil {
+		return 0, err
+	}
+	return byte(vt), nil
+}
+
+// emitWithImmediates encodes def.op plus its immediates drawn from cur.
+func (fc *funcCompiler) emitWithImmediates(n *node, def instrDef, cur *cursor) error {
+	switch def.kind {
+	case immNone:
+		fc.emit(def.op...)
+	case immLabel:
+		depth, err := fc.labelDepth(n, cur)
+		if err != nil {
+			return err
+		}
+		fc.emit(def.op...)
+		fc.emitU32(depth)
+	case immLabelTable:
+		var depths []uint32
+		for !cur.done() && isLabelish(cur.peek()) {
+			d, err := fc.labelDepth(n, cur)
+			if err != nil {
+				return err
+			}
+			depths = append(depths, d)
+		}
+		if len(depths) == 0 {
+			return errAt(n, "br_table needs at least a default label")
+		}
+		fc.emit(def.op...)
+		fc.emitU32(uint32(len(depths) - 1))
+		for _, d := range depths {
+			fc.emitU32(d)
+		}
+	case immFunc:
+		if cur.done() {
+			return errAt(n, "call needs a function index")
+		}
+		ix, err := fc.mb.resolve(cur.take(), fc.mb.funcNames, "function")
+		if err != nil {
+			return err
+		}
+		fc.emit(def.op...)
+		fc.emitU32(ix)
+	case immCallIndirect:
+		tix, _, rest, err := fc.mb.parseTypeUse(cur.items[cur.i:])
+		if err != nil {
+			return err
+		}
+		cur.i = len(cur.items) - len(rest)
+		fc.emit(def.op...)
+		fc.emitU32(tix)
+		fc.emit(0x00) // table index
+	case immLocal:
+		if cur.done() {
+			return errAt(n, "local instruction needs an index")
+		}
+		ln := cur.take()
+		var ix uint32
+		if strings.HasPrefix(ln.atom, "$") {
+			v, ok := fc.pf.names[ln.atom]
+			if !ok {
+				return errAt(ln, "unknown local %s", ln.atom)
+			}
+			ix = v
+		} else {
+			v, err := parseI64(ln.atom, 32)
+			if err != nil {
+				return errAt(ln, "invalid local index %q", ln.atom)
+			}
+			ix = uint32(v)
+		}
+		fc.emit(def.op...)
+		fc.emitU32(ix)
+	case immGlobal:
+		if cur.done() {
+			return errAt(n, "global instruction needs an index")
+		}
+		ix, err := fc.mb.resolve(cur.take(), fc.mb.globalNames, "global")
+		if err != nil {
+			return err
+		}
+		fc.emit(def.op...)
+		fc.emitU32(ix)
+	case immMem:
+		offset, align := uint32(0), def.natAlign
+		for !cur.done() && !cur.peek().isList() {
+			a := cur.peek().atom
+			if v, ok := strings.CutPrefix(a, "offset="); ok {
+				pv, err := parseI64(v, 32)
+				if err != nil {
+					return errAt(cur.peek(), "invalid offset %q", a)
+				}
+				offset = uint32(pv)
+				cur.take()
+				continue
+			}
+			if v, ok := strings.CutPrefix(a, "align="); ok {
+				pv, err := parseI64(v, 32)
+				if err != nil || pv == 0 || pv&(pv-1) != 0 {
+					return errAt(cur.peek(), "invalid align %q", a)
+				}
+				log := uint32(0)
+				for 1<<(log+1) <= pv {
+					log++
+				}
+				align = log
+				cur.take()
+				continue
+			}
+			break
+		}
+		fc.emit(def.op...)
+		fc.emitU32(align)
+		fc.emitU32(offset)
+	case immMemIdx:
+		fc.emit(def.op...)
+		fc.emit(0x00)
+	case immI32:
+		if cur.done() {
+			return errAt(n, "i32.const needs a value")
+		}
+		v, err := parseI64(cur.take().atom, 32)
+		if err != nil {
+			return errAt(n, "%v", err)
+		}
+		fc.emit(def.op...)
+		fc.emitS32(int32(uint32(v)))
+	case immI64:
+		if cur.done() {
+			return errAt(n, "i64.const needs a value")
+		}
+		v, err := parseI64(cur.take().atom, 64)
+		if err != nil {
+			return errAt(n, "%v", err)
+		}
+		fc.emit(def.op...)
+		fc.emitS64(int64(v))
+	case immF32:
+		if cur.done() {
+			return errAt(n, "f32.const needs a value")
+		}
+		v, err := parseF32(cur.take().atom)
+		if err != nil {
+			return errAt(n, "%v", err)
+		}
+		fc.emit(def.op...)
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], f32bits(v))
+		fc.emit(b[:]...)
+	case immF64:
+		if cur.done() {
+			return errAt(n, "f64.const needs a value")
+		}
+		v, err := parseF64(cur.take().atom)
+		if err != nil {
+			return errAt(n, "%v", err)
+		}
+		fc.emit(def.op...)
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], f64bits(v))
+		fc.emit(b[:]...)
+	default:
+		return errAt(n, "internal error: unhandled immediate kind")
+	}
+	return nil
+}
+
+func isLabelish(n *node) bool {
+	if n.isList() || n.isStr {
+		return false
+	}
+	if strings.HasPrefix(n.atom, "$") {
+		return true
+	}
+	_, err := parseI64(n.atom, 32)
+	return err == nil
+}
+
+// labelDepth resolves a label reference (numeric depth or $name).
+func (fc *funcCompiler) labelDepth(n *node, cur *cursor) (uint32, error) {
+	if cur.done() {
+		return 0, errAt(n, "branch needs a label")
+	}
+	ln := cur.take()
+	if strings.HasPrefix(ln.atom, "$") {
+		for d := 0; d < len(fc.labels); d++ {
+			if fc.labels[len(fc.labels)-1-d] == ln.atom {
+				return uint32(d), nil
+			}
+		}
+		return 0, errAt(ln, "unknown label %s", ln.atom)
+	}
+	v, err := parseI64(ln.atom, 32)
+	if err != nil {
+		return 0, errAt(ln, "invalid label %q", ln.atom)
+	}
+	return uint32(v), nil
+}
+
+func f32bits(v float32) uint32 { return math.Float32bits(v) }
+func f64bits(v float64) uint64 { return math.Float64bits(v) }

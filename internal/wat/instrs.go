@@ -1,0 +1,243 @@
+package wat
+
+import "waran/internal/wasm"
+
+// immKind classifies the immediates an instruction mnemonic takes in the
+// text format.
+type immKind int
+
+const (
+	immNone  immKind = iota
+	immBlock         // block / loop / if: optional label and block type
+	immElse
+	immEnd
+	immLabel      // br, br_if: one label
+	immLabelTable // br_table: label vector
+	immFunc       // call: function index
+	immCallIndirect
+	immLocal  // local.get/set/tee
+	immGlobal // global.get/set
+	immMem    // loads/stores: optional offset= and align=
+	immMemIdx // memory.size / memory.grow: implicit memory 0
+	immI32
+	immI64
+	immF32
+	immF64
+)
+
+type instrDef struct {
+	op       []byte // encoded opcode (multi-byte for 0xFC-prefixed)
+	kind     immKind
+	natAlign uint32 // log2 natural alignment for memory ops
+}
+
+func op1(b byte, k immKind) instrDef { return instrDef{op: []byte{b}, kind: k} }
+
+func opMem(b byte, align uint32) instrDef {
+	return instrDef{op: []byte{b}, kind: immMem, natAlign: align}
+}
+
+func opMisc(sub byte) instrDef {
+	return instrDef{op: []byte{wasm.OpPrefixMisc, sub}, kind: immNone}
+}
+
+// instrTable maps text-format mnemonics to their encodings.
+var instrTable = map[string]instrDef{
+	"unreachable":   op1(wasm.OpUnreachable, immNone),
+	"nop":           op1(wasm.OpNop, immNone),
+	"block":         op1(wasm.OpBlock, immBlock),
+	"loop":          op1(wasm.OpLoop, immBlock),
+	"if":            op1(wasm.OpIf, immBlock),
+	"else":          op1(wasm.OpElse, immElse),
+	"end":           op1(wasm.OpEnd, immEnd),
+	"br":            op1(wasm.OpBr, immLabel),
+	"br_if":         op1(wasm.OpBrIf, immLabel),
+	"br_table":      op1(wasm.OpBrTable, immLabelTable),
+	"return":        op1(wasm.OpReturn, immNone),
+	"call":          op1(wasm.OpCall, immFunc),
+	"call_indirect": {op: []byte{wasm.OpCallIndirect}, kind: immCallIndirect},
+
+	"drop":   op1(wasm.OpDrop, immNone),
+	"select": op1(wasm.OpSelect, immNone),
+
+	"local.get":  op1(wasm.OpLocalGet, immLocal),
+	"local.set":  op1(wasm.OpLocalSet, immLocal),
+	"local.tee":  op1(wasm.OpLocalTee, immLocal),
+	"global.get": op1(wasm.OpGlobalGet, immGlobal),
+	"global.set": op1(wasm.OpGlobalSet, immGlobal),
+
+	"i32.load":     opMem(wasm.OpI32Load, 2),
+	"i64.load":     opMem(wasm.OpI64Load, 3),
+	"f32.load":     opMem(wasm.OpF32Load, 2),
+	"f64.load":     opMem(wasm.OpF64Load, 3),
+	"i32.load8_s":  opMem(wasm.OpI32Load8S, 0),
+	"i32.load8_u":  opMem(wasm.OpI32Load8U, 0),
+	"i32.load16_s": opMem(wasm.OpI32Load16S, 1),
+	"i32.load16_u": opMem(wasm.OpI32Load16U, 1),
+	"i64.load8_s":  opMem(wasm.OpI64Load8S, 0),
+	"i64.load8_u":  opMem(wasm.OpI64Load8U, 0),
+	"i64.load16_s": opMem(wasm.OpI64Load16S, 1),
+	"i64.load16_u": opMem(wasm.OpI64Load16U, 1),
+	"i64.load32_s": opMem(wasm.OpI64Load32S, 2),
+	"i64.load32_u": opMem(wasm.OpI64Load32U, 2),
+	"i32.store":    opMem(wasm.OpI32Store, 2),
+	"i64.store":    opMem(wasm.OpI64Store, 3),
+	"f32.store":    opMem(wasm.OpF32Store, 2),
+	"f64.store":    opMem(wasm.OpF64Store, 3),
+	"i32.store8":   opMem(wasm.OpI32Store8, 0),
+	"i32.store16":  opMem(wasm.OpI32Store16, 1),
+	"i64.store8":   opMem(wasm.OpI64Store8, 0),
+	"i64.store16":  opMem(wasm.OpI64Store16, 1),
+	"i64.store32":  opMem(wasm.OpI64Store32, 2),
+	"memory.size":  op1(wasm.OpMemorySize, immMemIdx),
+	"memory.grow":  op1(wasm.OpMemoryGrow, immMemIdx),
+	"memory.copy":  {op: []byte{wasm.OpPrefixMisc, 10, 0x00, 0x00}, kind: immNone},
+	"memory.fill":  {op: []byte{wasm.OpPrefixMisc, 11, 0x00}, kind: immNone},
+
+	"i32.const": op1(wasm.OpI32Const, immI32),
+	"i64.const": op1(wasm.OpI64Const, immI64),
+	"f32.const": op1(wasm.OpF32Const, immF32),
+	"f64.const": op1(wasm.OpF64Const, immF64),
+
+	"i32.eqz":  op1(wasm.OpI32Eqz, immNone),
+	"i32.eq":   op1(wasm.OpI32Eq, immNone),
+	"i32.ne":   op1(wasm.OpI32Ne, immNone),
+	"i32.lt_s": op1(wasm.OpI32LtS, immNone),
+	"i32.lt_u": op1(wasm.OpI32LtU, immNone),
+	"i32.gt_s": op1(wasm.OpI32GtS, immNone),
+	"i32.gt_u": op1(wasm.OpI32GtU, immNone),
+	"i32.le_s": op1(wasm.OpI32LeS, immNone),
+	"i32.le_u": op1(wasm.OpI32LeU, immNone),
+	"i32.ge_s": op1(wasm.OpI32GeS, immNone),
+	"i32.ge_u": op1(wasm.OpI32GeU, immNone),
+	"i64.eqz":  op1(wasm.OpI64Eqz, immNone),
+	"i64.eq":   op1(wasm.OpI64Eq, immNone),
+	"i64.ne":   op1(wasm.OpI64Ne, immNone),
+	"i64.lt_s": op1(wasm.OpI64LtS, immNone),
+	"i64.lt_u": op1(wasm.OpI64LtU, immNone),
+	"i64.gt_s": op1(wasm.OpI64GtS, immNone),
+	"i64.gt_u": op1(wasm.OpI64GtU, immNone),
+	"i64.le_s": op1(wasm.OpI64LeS, immNone),
+	"i64.le_u": op1(wasm.OpI64LeU, immNone),
+	"i64.ge_s": op1(wasm.OpI64GeS, immNone),
+	"i64.ge_u": op1(wasm.OpI64GeU, immNone),
+	"f32.eq":   op1(wasm.OpF32Eq, immNone),
+	"f32.ne":   op1(wasm.OpF32Ne, immNone),
+	"f32.lt":   op1(wasm.OpF32Lt, immNone),
+	"f32.gt":   op1(wasm.OpF32Gt, immNone),
+	"f32.le":   op1(wasm.OpF32Le, immNone),
+	"f32.ge":   op1(wasm.OpF32Ge, immNone),
+	"f64.eq":   op1(wasm.OpF64Eq, immNone),
+	"f64.ne":   op1(wasm.OpF64Ne, immNone),
+	"f64.lt":   op1(wasm.OpF64Lt, immNone),
+	"f64.gt":   op1(wasm.OpF64Gt, immNone),
+	"f64.le":   op1(wasm.OpF64Le, immNone),
+	"f64.ge":   op1(wasm.OpF64Ge, immNone),
+
+	"i32.clz":    op1(wasm.OpI32Clz, immNone),
+	"i32.ctz":    op1(wasm.OpI32Ctz, immNone),
+	"i32.popcnt": op1(wasm.OpI32Popcnt, immNone),
+	"i32.add":    op1(wasm.OpI32Add, immNone),
+	"i32.sub":    op1(wasm.OpI32Sub, immNone),
+	"i32.mul":    op1(wasm.OpI32Mul, immNone),
+	"i32.div_s":  op1(wasm.OpI32DivS, immNone),
+	"i32.div_u":  op1(wasm.OpI32DivU, immNone),
+	"i32.rem_s":  op1(wasm.OpI32RemS, immNone),
+	"i32.rem_u":  op1(wasm.OpI32RemU, immNone),
+	"i32.and":    op1(wasm.OpI32And, immNone),
+	"i32.or":     op1(wasm.OpI32Or, immNone),
+	"i32.xor":    op1(wasm.OpI32Xor, immNone),
+	"i32.shl":    op1(wasm.OpI32Shl, immNone),
+	"i32.shr_s":  op1(wasm.OpI32ShrS, immNone),
+	"i32.shr_u":  op1(wasm.OpI32ShrU, immNone),
+	"i32.rotl":   op1(wasm.OpI32Rotl, immNone),
+	"i32.rotr":   op1(wasm.OpI32Rotr, immNone),
+	"i64.clz":    op1(wasm.OpI64Clz, immNone),
+	"i64.ctz":    op1(wasm.OpI64Ctz, immNone),
+	"i64.popcnt": op1(wasm.OpI64Popcnt, immNone),
+	"i64.add":    op1(wasm.OpI64Add, immNone),
+	"i64.sub":    op1(wasm.OpI64Sub, immNone),
+	"i64.mul":    op1(wasm.OpI64Mul, immNone),
+	"i64.div_s":  op1(wasm.OpI64DivS, immNone),
+	"i64.div_u":  op1(wasm.OpI64DivU, immNone),
+	"i64.rem_s":  op1(wasm.OpI64RemS, immNone),
+	"i64.rem_u":  op1(wasm.OpI64RemU, immNone),
+	"i64.and":    op1(wasm.OpI64And, immNone),
+	"i64.or":     op1(wasm.OpI64Or, immNone),
+	"i64.xor":    op1(wasm.OpI64Xor, immNone),
+	"i64.shl":    op1(wasm.OpI64Shl, immNone),
+	"i64.shr_s":  op1(wasm.OpI64ShrS, immNone),
+	"i64.shr_u":  op1(wasm.OpI64ShrU, immNone),
+	"i64.rotl":   op1(wasm.OpI64Rotl, immNone),
+	"i64.rotr":   op1(wasm.OpI64Rotr, immNone),
+
+	"f32.abs":      op1(wasm.OpF32Abs, immNone),
+	"f32.neg":      op1(wasm.OpF32Neg, immNone),
+	"f32.ceil":     op1(wasm.OpF32Ceil, immNone),
+	"f32.floor":    op1(wasm.OpF32Floor, immNone),
+	"f32.trunc":    op1(wasm.OpF32Trunc, immNone),
+	"f32.nearest":  op1(wasm.OpF32Nearest, immNone),
+	"f32.sqrt":     op1(wasm.OpF32Sqrt, immNone),
+	"f32.add":      op1(wasm.OpF32Add, immNone),
+	"f32.sub":      op1(wasm.OpF32Sub, immNone),
+	"f32.mul":      op1(wasm.OpF32Mul, immNone),
+	"f32.div":      op1(wasm.OpF32Div, immNone),
+	"f32.min":      op1(wasm.OpF32Min, immNone),
+	"f32.max":      op1(wasm.OpF32Max, immNone),
+	"f32.copysign": op1(wasm.OpF32Copysign, immNone),
+	"f64.abs":      op1(wasm.OpF64Abs, immNone),
+	"f64.neg":      op1(wasm.OpF64Neg, immNone),
+	"f64.ceil":     op1(wasm.OpF64Ceil, immNone),
+	"f64.floor":    op1(wasm.OpF64Floor, immNone),
+	"f64.trunc":    op1(wasm.OpF64Trunc, immNone),
+	"f64.nearest":  op1(wasm.OpF64Nearest, immNone),
+	"f64.sqrt":     op1(wasm.OpF64Sqrt, immNone),
+	"f64.add":      op1(wasm.OpF64Add, immNone),
+	"f64.sub":      op1(wasm.OpF64Sub, immNone),
+	"f64.mul":      op1(wasm.OpF64Mul, immNone),
+	"f64.div":      op1(wasm.OpF64Div, immNone),
+	"f64.min":      op1(wasm.OpF64Min, immNone),
+	"f64.max":      op1(wasm.OpF64Max, immNone),
+	"f64.copysign": op1(wasm.OpF64Copysign, immNone),
+
+	"i32.wrap_i64":        op1(wasm.OpI32WrapI64, immNone),
+	"i32.trunc_f32_s":     op1(wasm.OpI32TruncF32S, immNone),
+	"i32.trunc_f32_u":     op1(wasm.OpI32TruncF32U, immNone),
+	"i32.trunc_f64_s":     op1(wasm.OpI32TruncF64S, immNone),
+	"i32.trunc_f64_u":     op1(wasm.OpI32TruncF64U, immNone),
+	"i64.extend_i32_s":    op1(wasm.OpI64ExtendI32S, immNone),
+	"i64.extend_i32_u":    op1(wasm.OpI64ExtendI32U, immNone),
+	"i64.trunc_f32_s":     op1(wasm.OpI64TruncF32S, immNone),
+	"i64.trunc_f32_u":     op1(wasm.OpI64TruncF32U, immNone),
+	"i64.trunc_f64_s":     op1(wasm.OpI64TruncF64S, immNone),
+	"i64.trunc_f64_u":     op1(wasm.OpI64TruncF64U, immNone),
+	"f32.convert_i32_s":   op1(wasm.OpF32ConvertI32S, immNone),
+	"f32.convert_i32_u":   op1(wasm.OpF32ConvertI32U, immNone),
+	"f32.convert_i64_s":   op1(wasm.OpF32ConvertI64S, immNone),
+	"f32.convert_i64_u":   op1(wasm.OpF32ConvertI64U, immNone),
+	"f32.demote_f64":      op1(wasm.OpF32DemoteF64, immNone),
+	"f64.convert_i32_s":   op1(wasm.OpF64ConvertI32S, immNone),
+	"f64.convert_i32_u":   op1(wasm.OpF64ConvertI32U, immNone),
+	"f64.convert_i64_s":   op1(wasm.OpF64ConvertI64S, immNone),
+	"f64.convert_i64_u":   op1(wasm.OpF64ConvertI64U, immNone),
+	"f64.promote_f32":     op1(wasm.OpF64PromoteF32, immNone),
+	"i32.reinterpret_f32": op1(wasm.OpI32ReinterpretF32, immNone),
+	"i64.reinterpret_f64": op1(wasm.OpI64ReinterpretF64, immNone),
+	"f32.reinterpret_i32": op1(wasm.OpF32ReinterpretI32, immNone),
+	"f64.reinterpret_i64": op1(wasm.OpF64ReinterpretI64, immNone),
+
+	"i32.extend8_s":  op1(wasm.OpI32Extend8S, immNone),
+	"i32.extend16_s": op1(wasm.OpI32Extend16S, immNone),
+	"i64.extend8_s":  op1(wasm.OpI64Extend8S, immNone),
+	"i64.extend16_s": op1(wasm.OpI64Extend16S, immNone),
+	"i64.extend32_s": op1(wasm.OpI64Extend32S, immNone),
+
+	"i32.trunc_sat_f32_s": opMisc(0),
+	"i32.trunc_sat_f32_u": opMisc(1),
+	"i32.trunc_sat_f64_s": opMisc(2),
+	"i32.trunc_sat_f64_u": opMisc(3),
+	"i64.trunc_sat_f32_s": opMisc(4),
+	"i64.trunc_sat_f32_u": opMisc(5),
+	"i64.trunc_sat_f64_s": opMisc(6),
+	"i64.trunc_sat_f64_u": opMisc(7),
+}

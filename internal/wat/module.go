@@ -1,0 +1,711 @@
+package wat
+
+import (
+	"fmt"
+	"strings"
+
+	"waran/internal/wasm"
+)
+
+// Compile parses WAT source and assembles a decoded, unvalidated
+// wasm.Module. Callers typically pass the result to wasm.Compile, which
+// validates it.
+func Compile(src string) (*wasm.Module, error) {
+	nodes, err := parseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	var fields []node
+	if len(nodes) == 1 && nodes[0].head() == "module" {
+		fields = nodes[0].list[1:]
+	} else {
+		fields = nodes
+	}
+	b := newModBuilder()
+	if err := b.collect(fields); err != nil {
+		return nil, err
+	}
+	if err := b.assemble(); err != nil {
+		return nil, err
+	}
+	return b.m, nil
+}
+
+// CompileToBinary compiles WAT source directly to the wasm binary format.
+func CompileToBinary(src string) ([]byte, error) {
+	m, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := wasm.Validate(m); err != nil {
+		return nil, err
+	}
+	return wasm.Encode(m)
+}
+
+type pendingFunc struct {
+	node   *node
+	typeIx uint32
+	params []string // param names for local resolution ("" if unnamed)
+	body   []node
+	locals []wasm.ValType
+	names  map[string]uint32 // local name -> index
+}
+
+type modBuilder struct {
+	m           *wasm.Module
+	typeNames   map[string]uint32
+	funcNames   map[string]uint32
+	globalNames map[string]uint32
+	memNames    map[string]uint32
+	tableNames  map[string]uint32
+	numFuncs    int // imports + local, assigned so far
+	sawLocalDef bool
+	pending     []*pendingFunc
+	elemNodes   []*node
+	dataNodes   []*node
+	startNode   *node
+}
+
+func newModBuilder() *modBuilder {
+	return &modBuilder{
+		m:           &wasm.Module{},
+		typeNames:   map[string]uint32{},
+		funcNames:   map[string]uint32{},
+		globalNames: map[string]uint32{},
+		memNames:    map[string]uint32{},
+		tableNames:  map[string]uint32{},
+	}
+}
+
+// internType returns the index of ft in the type section, adding it if new.
+func (b *modBuilder) internType(ft wasm.FuncType) uint32 {
+	for i, t := range b.m.Types {
+		if t.Equal(ft) {
+			return uint32(i)
+		}
+	}
+	b.m.Types = append(b.m.Types, ft)
+	return uint32(len(b.m.Types) - 1)
+}
+
+// collect does the first pass: walk fields in order, assign all indices and
+// names, record bodies/segments for the second pass.
+func (b *modBuilder) collect(fields []node) error {
+	for i := range fields {
+		f := &fields[i]
+		if !f.isList() || len(f.list) == 0 {
+			return errAt(f, "expected module field")
+		}
+		switch f.head() {
+		case "type":
+			if err := b.collectType(f); err != nil {
+				return err
+			}
+		case "import":
+			if err := b.collectImport(f); err != nil {
+				return err
+			}
+		case "func":
+			if err := b.collectFunc(f); err != nil {
+				return err
+			}
+		case "memory":
+			if err := b.collectMemory(f); err != nil {
+				return err
+			}
+		case "table":
+			if err := b.collectTable(f); err != nil {
+				return err
+			}
+		case "global":
+			if err := b.collectGlobal(f); err != nil {
+				return err
+			}
+		case "export":
+			if err := b.collectExport(f); err != nil {
+				return err
+			}
+		case "start":
+			b.startNode = f
+		case "elem":
+			b.elemNodes = append(b.elemNodes, f)
+		case "data":
+			b.dataNodes = append(b.dataNodes, f)
+		default:
+			return errAt(f, "unknown module field %q", f.head())
+		}
+	}
+	return nil
+}
+
+func (b *modBuilder) collectType(f *node) error {
+	items := f.list[1:]
+	name := ""
+	if len(items) > 0 && strings.HasPrefix(items[0].atom, "$") {
+		name = items[0].atom
+		items = items[1:]
+	}
+	if len(items) != 1 || items[0].head() != "func" {
+		return errAt(f, "type must contain a (func ...) signature")
+	}
+	ft, _, err := parseSignature(items[0].list[1:])
+	if err != nil {
+		return err
+	}
+	ix := uint32(len(b.m.Types))
+	b.m.Types = append(b.m.Types, ft) // explicit types are not deduplicated
+	if name != "" {
+		if _, dup := b.typeNames[name]; dup {
+			return errAt(f, "duplicate type name %s", name)
+		}
+		b.typeNames[name] = ix
+	}
+	return nil
+}
+
+func (b *modBuilder) collectImport(f *node) error {
+	if b.sawLocalDef {
+		return errAt(f, "imports must precede function definitions")
+	}
+	if len(f.list) != 4 || !f.list[1].isStr || !f.list[2].isStr {
+		return errAt(f, `import needs "module" "name" (kind ...)`)
+	}
+	desc := &f.list[3]
+	switch desc.head() {
+	case "func":
+		items := desc.list[1:]
+		name := ""
+		if len(items) > 0 && strings.HasPrefix(items[0].atom, "$") {
+			name = items[0].atom
+			items = items[1:]
+		}
+		tix, _, rest, err := b.parseTypeUse(items)
+		if err != nil {
+			return err
+		}
+		if len(rest) != 0 {
+			return errAt(desc, "unexpected tokens after import signature")
+		}
+		ix := uint32(b.numFuncs)
+		b.numFuncs++
+		if name != "" {
+			if _, dup := b.funcNames[name]; dup {
+				return errAt(f, "duplicate function name %s", name)
+			}
+			b.funcNames[name] = ix
+		}
+		b.m.Imports = append(b.m.Imports, wasm.Import{
+			Module: f.list[1].str, Name: f.list[2].str,
+			Kind: wasm.ExternFunc, TypeIx: tix,
+		})
+		return nil
+	default:
+		return errAt(desc, "only function imports are supported, got %q", desc.head())
+	}
+}
+
+func (b *modBuilder) collectFunc(f *node) error {
+	items := f.list[1:]
+	name := ""
+	if len(items) > 0 && strings.HasPrefix(items[0].atom, "$") {
+		name = items[0].atom
+		items = items[1:]
+	}
+	ix := uint32(b.numFuncs)
+	// Inline export abbreviations.
+	for len(items) > 0 && items[0].head() == "export" {
+		e := items[0]
+		if len(e.list) != 2 || !e.list[1].isStr {
+			return errAt(&e, `inline export needs a "name"`)
+		}
+		b.m.Exports = append(b.m.Exports, wasm.Export{Name: e.list[1].str, Kind: wasm.ExternFunc, Index: ix})
+		items = items[1:]
+	}
+	// Inline import abbreviation.
+	if len(items) > 0 && items[0].head() == "import" {
+		if b.sawLocalDef {
+			return errAt(f, "imports must precede function definitions")
+		}
+		im := items[0]
+		if len(im.list) != 3 || !im.list[1].isStr || !im.list[2].isStr {
+			return errAt(&im, `inline import needs "module" "name"`)
+		}
+		tix, _, rest, err := b.parseTypeUse(items[1:])
+		if err != nil {
+			return err
+		}
+		if len(rest) != 0 {
+			return errAt(f, "imported function cannot have a body")
+		}
+		b.numFuncs++
+		if name != "" {
+			if _, dup := b.funcNames[name]; dup {
+				return errAt(f, "duplicate function name %s", name)
+			}
+			b.funcNames[name] = ix
+		}
+		b.m.Imports = append(b.m.Imports, wasm.Import{
+			Module: im.list[1].str, Name: im.list[2].str,
+			Kind: wasm.ExternFunc, TypeIx: tix,
+		})
+		return nil
+	}
+
+	b.sawLocalDef = true
+	b.numFuncs++
+	if name != "" {
+		if _, dup := b.funcNames[name]; dup {
+			return errAt(f, "duplicate function name %s", name)
+		}
+		b.funcNames[name] = ix
+	}
+	tix, paramNames, rest, err := b.parseTypeUse(items)
+	if err != nil {
+		return err
+	}
+	pf := &pendingFunc{node: f, typeIx: tix, params: paramNames, names: map[string]uint32{}}
+	for i, pn := range paramNames {
+		if pn != "" {
+			pf.names[pn] = uint32(i)
+		}
+	}
+	// Locals.
+	nLocals := len(paramNames)
+	for len(rest) > 0 && rest[0].head() == "local" {
+		l := rest[0]
+		li := l.list[1:]
+		if len(li) >= 2 && strings.HasPrefix(li[0].atom, "$") {
+			vt, err := valTypeOf(&li[1])
+			if err != nil {
+				return err
+			}
+			pf.names[li[0].atom] = uint32(nLocals)
+			pf.locals = append(pf.locals, vt)
+			nLocals++
+		} else {
+			for j := range li {
+				vt, err := valTypeOf(&li[j])
+				if err != nil {
+					return err
+				}
+				pf.locals = append(pf.locals, vt)
+				nLocals++
+			}
+		}
+		rest = rest[1:]
+	}
+	pf.body = rest
+	b.m.Funcs = append(b.m.Funcs, tix)
+	b.pending = append(b.pending, pf)
+	return nil
+}
+
+func (b *modBuilder) collectMemory(f *node) error {
+	items := f.list[1:]
+	name := ""
+	if len(items) > 0 && strings.HasPrefix(items[0].atom, "$") {
+		name = items[0].atom
+		items = items[1:]
+	}
+	ix := uint32(len(b.m.Mems))
+	for len(items) > 0 && items[0].head() == "export" {
+		e := items[0]
+		if len(e.list) != 2 || !e.list[1].isStr {
+			return errAt(&e, `inline export needs a "name"`)
+		}
+		b.m.Exports = append(b.m.Exports, wasm.Export{Name: e.list[1].str, Kind: wasm.ExternMemory, Index: ix})
+		items = items[1:]
+	}
+	lim, err := parseLimits(f, items)
+	if err != nil {
+		return err
+	}
+	b.m.Mems = append(b.m.Mems, wasm.MemoryType{Limits: lim})
+	if name != "" {
+		if _, dup := b.memNames[name]; dup {
+			return errAt(f, "duplicate memory name %s", name)
+		}
+		b.memNames[name] = ix
+	}
+	return nil
+}
+
+func (b *modBuilder) collectTable(f *node) error {
+	items := f.list[1:]
+	name := ""
+	if len(items) > 0 && strings.HasPrefix(items[0].atom, "$") {
+		name = items[0].atom
+		items = items[1:]
+	}
+	for len(items) > 0 && items[0].head() == "export" {
+		e := items[0]
+		if len(e.list) != 2 || !e.list[1].isStr {
+			return errAt(&e, `inline export needs a "name"`)
+		}
+		b.m.Exports = append(b.m.Exports, wasm.Export{
+			Name: e.list[1].str, Kind: wasm.ExternTable, Index: uint32(len(b.m.Tables)),
+		})
+		items = items[1:]
+	}
+	if len(items) == 0 || items[len(items)-1].atom != "funcref" {
+		return errAt(f, "table must have element type funcref")
+	}
+	lim, err := parseLimits(f, items[:len(items)-1])
+	if err != nil {
+		return err
+	}
+	ix := uint32(len(b.m.Tables))
+	b.m.Tables = append(b.m.Tables, wasm.TableType{Elem: wasm.ValFuncref, Limits: lim})
+	if name != "" {
+		if _, dup := b.tableNames[name]; dup {
+			return errAt(f, "duplicate table name %s", name)
+		}
+		b.tableNames[name] = ix
+	}
+	return nil
+}
+
+func (b *modBuilder) collectGlobal(f *node) error {
+	items := f.list[1:]
+	name := ""
+	if len(items) > 0 && strings.HasPrefix(items[0].atom, "$") {
+		name = items[0].atom
+		items = items[1:]
+	}
+	ix := uint32(len(b.m.Globals))
+	for len(items) > 0 && items[0].head() == "export" {
+		e := items[0]
+		if len(e.list) != 2 || !e.list[1].isStr {
+			return errAt(&e, `inline export needs a "name"`)
+		}
+		b.m.Exports = append(b.m.Exports, wasm.Export{Name: e.list[1].str, Kind: wasm.ExternGlobal, Index: ix})
+		items = items[1:]
+	}
+	if len(items) != 2 {
+		return errAt(f, "global needs a type and an initializer")
+	}
+	var gt wasm.GlobalType
+	if items[0].head() == "mut" {
+		if len(items[0].list) != 2 {
+			return errAt(&items[0], "(mut <type>)")
+		}
+		vt, err := valTypeOf(&items[0].list[1])
+		if err != nil {
+			return err
+		}
+		gt = wasm.GlobalType{Type: vt, Mutable: true}
+	} else {
+		vt, err := valTypeOf(&items[0])
+		if err != nil {
+			return err
+		}
+		gt = wasm.GlobalType{Type: vt}
+	}
+	init, err := b.parseConstExpr(&items[1])
+	if err != nil {
+		return err
+	}
+	b.m.Globals = append(b.m.Globals, wasm.Global{Type: gt, Init: init})
+	if name != "" {
+		if _, dup := b.globalNames[name]; dup {
+			return errAt(f, "duplicate global name %s", name)
+		}
+		b.globalNames[name] = ix
+	}
+	return nil
+}
+
+func (b *modBuilder) collectExport(f *node) error {
+	if len(f.list) != 3 || !f.list[1].isStr {
+		return errAt(f, `export needs "name" and a descriptor`)
+	}
+	desc := &f.list[2]
+	if !desc.isList() || len(desc.list) != 2 {
+		return errAt(desc, "export descriptor must be (kind index)")
+	}
+	var kind wasm.ExternKind
+	var ix uint32
+	var err error
+	switch desc.head() {
+	case "func":
+		kind = wasm.ExternFunc
+		ix, err = b.resolve(&desc.list[1], b.funcNames, "function")
+	case "memory":
+		kind = wasm.ExternMemory
+		ix, err = b.resolve(&desc.list[1], b.memNames, "memory")
+	case "table":
+		kind = wasm.ExternTable
+		ix, err = b.resolve(&desc.list[1], b.tableNames, "table")
+	case "global":
+		kind = wasm.ExternGlobal
+		ix, err = b.resolve(&desc.list[1], b.globalNames, "global")
+	default:
+		return errAt(desc, "unknown export kind %q", desc.head())
+	}
+	if err != nil {
+		return err
+	}
+	b.m.Exports = append(b.m.Exports, wasm.Export{Name: f.list[1].str, Kind: kind, Index: ix})
+	return nil
+}
+
+// resolve turns a $name or numeric index node into an index.
+func (b *modBuilder) resolve(n *node, names map[string]uint32, what string) (uint32, error) {
+	if n.isStr || n.isList() {
+		return 0, errAt(n, "expected %s index or $name", what)
+	}
+	if strings.HasPrefix(n.atom, "$") {
+		ix, ok := names[n.atom]
+		if !ok {
+			return 0, errAt(n, "unknown %s %s", what, n.atom)
+		}
+		return ix, nil
+	}
+	v, err := parseI64(n.atom, 32)
+	if err != nil {
+		return 0, errAt(n, "invalid %s index %q", what, n.atom)
+	}
+	return uint32(v), nil
+}
+
+// parseTypeUse parses an optional (type ...) reference plus inline
+// (param ...) / (result ...) clauses, returning the resolved type index and
+// ordered parameter names.
+func (b *modBuilder) parseTypeUse(items []node) (uint32, []string, []node, error) {
+	var explicit *uint32
+	if len(items) > 0 && items[0].head() == "type" {
+		t := items[0]
+		if len(t.list) != 2 {
+			return 0, nil, nil, errAt(&t, "(type <index|$name>)")
+		}
+		ix, err := b.resolve(&t.list[1], b.typeNames, "type")
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		explicit = &ix
+		items = items[1:]
+	}
+	ft, names, err := parseSignature(items)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	rest := items
+	for len(rest) > 0 && (rest[0].head() == "param" || rest[0].head() == "result") {
+		rest = rest[1:]
+	}
+	if explicit != nil {
+		if int(*explicit) >= len(b.m.Types) {
+			return 0, nil, nil, fmt.Errorf("wat: type index %d out of range", *explicit)
+		}
+		declared := b.m.Types[*explicit]
+		if len(ft.Params) > 0 || len(ft.Results) > 0 {
+			if !declared.Equal(ft) {
+				return 0, nil, nil, fmt.Errorf("wat: inline signature %s does not match (type %d) %s", ft, *explicit, declared)
+			}
+		}
+		if len(names) == 0 {
+			names = make([]string, len(declared.Params))
+		}
+		return *explicit, names, rest, nil
+	}
+	return b.internType(ft), names, rest, nil
+}
+
+// parseSignature parses leading (param ...) and (result ...) clauses.
+func parseSignature(items []node) (wasm.FuncType, []string, error) {
+	var ft wasm.FuncType
+	var names []string
+	i := 0
+	for ; i < len(items) && items[i].head() == "param"; i++ {
+		li := items[i].list[1:]
+		if len(li) >= 2 && strings.HasPrefix(li[0].atom, "$") {
+			vt, err := valTypeOf(&li[1])
+			if err != nil {
+				return ft, nil, err
+			}
+			if len(li) != 2 {
+				return ft, nil, errAt(&items[i], "named param takes exactly one type")
+			}
+			ft.Params = append(ft.Params, vt)
+			names = append(names, li[0].atom)
+		} else {
+			for j := range li {
+				vt, err := valTypeOf(&li[j])
+				if err != nil {
+					return ft, nil, err
+				}
+				ft.Params = append(ft.Params, vt)
+				names = append(names, "")
+			}
+		}
+	}
+	for ; i < len(items) && items[i].head() == "result"; i++ {
+		li := items[i].list[1:]
+		for j := range li {
+			vt, err := valTypeOf(&li[j])
+			if err != nil {
+				return ft, nil, err
+			}
+			ft.Results = append(ft.Results, vt)
+		}
+	}
+	return ft, names, nil
+}
+
+func valTypeOf(n *node) (wasm.ValType, error) {
+	switch n.atom {
+	case "i32":
+		return wasm.ValI32, nil
+	case "i64":
+		return wasm.ValI64, nil
+	case "f32":
+		return wasm.ValF32, nil
+	case "f64":
+		return wasm.ValF64, nil
+	case "funcref":
+		return wasm.ValFuncref, nil
+	default:
+		return 0, errAt(n, "expected value type, got %q", n.atom)
+	}
+}
+
+func parseLimits(f *node, items []node) (wasm.Limits, error) {
+	if len(items) == 0 || len(items) > 2 {
+		return wasm.Limits{}, errAt(f, "limits need min and optional max")
+	}
+	min, err := parseI64(items[0].atom, 32)
+	if err != nil {
+		return wasm.Limits{}, errAt(&items[0], "invalid limits minimum: %v", err)
+	}
+	l := wasm.Limits{Min: uint32(min)}
+	if len(items) == 2 {
+		max, err := parseI64(items[1].atom, 32)
+		if err != nil {
+			return wasm.Limits{}, errAt(&items[1], "invalid limits maximum: %v", err)
+		}
+		l.Max = uint32(max)
+		l.HasMax = true
+	}
+	return l, nil
+}
+
+// parseConstExpr parses a folded constant initializer.
+func (b *modBuilder) parseConstExpr(n *node) (wasm.ConstExpr, error) {
+	if !n.isList() || len(n.list) < 1 {
+		return wasm.ConstExpr{}, errAt(n, "expected constant expression")
+	}
+	switch n.head() {
+	case "i32.const":
+		v, err := parseI64(n.list[1].atom, 32)
+		if err != nil {
+			return wasm.ConstExpr{}, errAt(n, "%v", err)
+		}
+		return wasm.ConstExpr{Op: wasm.OpI32Const, Value: v}, nil
+	case "i64.const":
+		v, err := parseI64(n.list[1].atom, 64)
+		if err != nil {
+			return wasm.ConstExpr{}, errAt(n, "%v", err)
+		}
+		return wasm.ConstExpr{Op: wasm.OpI64Const, Value: v}, nil
+	case "f32.const":
+		v, err := parseF32(n.list[1].atom)
+		if err != nil {
+			return wasm.ConstExpr{}, errAt(n, "%v", err)
+		}
+		return wasm.ConstExpr{Op: wasm.OpF32Const, Value: uint64(f32bits(v))}, nil
+	case "f64.const":
+		v, err := parseF64(n.list[1].atom)
+		if err != nil {
+			return wasm.ConstExpr{}, errAt(n, "%v", err)
+		}
+		return wasm.ConstExpr{Op: wasm.OpF64Const, Value: f64bits(v)}, nil
+	case "global.get":
+		ix, err := b.resolve(&n.list[1], b.globalNames, "global")
+		if err != nil {
+			return wasm.ConstExpr{}, err
+		}
+		return wasm.ConstExpr{Op: wasm.OpGlobalGet, GlobalIx: ix}, nil
+	default:
+		return wasm.ConstExpr{}, errAt(n, "unsupported constant expression %q", n.head())
+	}
+}
+
+// assemble performs the second pass: compile bodies and segments.
+func (b *modBuilder) assemble() error {
+	for _, pf := range b.pending {
+		fc := &funcCompiler{mb: b, pf: pf}
+		body, err := fc.compileBody()
+		if err != nil {
+			return err
+		}
+		b.m.Codes = append(b.m.Codes, wasm.Code{Locals: pf.locals, Body: body})
+	}
+	if b.startNode != nil {
+		if len(b.startNode.list) != 2 {
+			return errAt(b.startNode, "(start <func>)")
+		}
+		ix, err := b.resolve(&b.startNode.list[1], b.funcNames, "function")
+		if err != nil {
+			return err
+		}
+		b.m.Start = &ix
+	}
+	for _, en := range b.elemNodes {
+		items := en.list[1:]
+		if len(items) < 1 {
+			return errAt(en, "elem needs an offset")
+		}
+		offNode := &items[0]
+		if offNode.head() == "offset" {
+			if len(offNode.list) != 2 {
+				return errAt(offNode, "(offset <const>)")
+			}
+			offNode = &offNode.list[1]
+		}
+		off, err := b.parseConstExpr(offNode)
+		if err != nil {
+			return err
+		}
+		items = items[1:]
+		if len(items) > 0 && items[0].atom == "func" {
+			items = items[1:]
+		}
+		var es wasm.ElemSegment
+		es.Offset = off
+		for i := range items {
+			fx, err := b.resolve(&items[i], b.funcNames, "function")
+			if err != nil {
+				return err
+			}
+			es.Funcs = append(es.Funcs, fx)
+		}
+		b.m.Elems = append(b.m.Elems, es)
+	}
+	for _, dn := range b.dataNodes {
+		items := dn.list[1:]
+		if len(items) < 1 {
+			return errAt(dn, "data needs an offset")
+		}
+		offNode := &items[0]
+		if offNode.head() == "offset" {
+			if len(offNode.list) != 2 {
+				return errAt(offNode, "(offset <const>)")
+			}
+			offNode = &offNode.list[1]
+		}
+		off, err := b.parseConstExpr(offNode)
+		if err != nil {
+			return err
+		}
+		var bytes []byte
+		for _, s := range items[1:] {
+			if !s.isStr {
+				return errAt(&s, "data contents must be string literals")
+			}
+			bytes = append(bytes, s.str...)
+		}
+		b.m.Datas = append(b.m.Datas, wasm.DataSegment{Offset: off, Bytes: bytes})
+	}
+	return nil
+}

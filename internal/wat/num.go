@@ -1,0 +1,127 @@
+package wat
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// parseI64 parses a WAT integer literal (decimal or 0x hex, optional sign,
+// underscores permitted) that must fit in `bits` when interpreted as either
+// signed or unsigned (WAT allows e.g. i32.const 0xFFFFFFFF and -1 alike).
+// The result is the raw two's-complement value sign-extended to 64 bits for
+// signed interpretation.
+func parseI64(s string, bits uint) (uint64, error) {
+	orig := s
+	neg := false
+	if strings.HasPrefix(s, "+") {
+		s = s[1:]
+	} else if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	s = strings.ReplaceAll(s, "_", "")
+	base := 10
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		base = 16
+		s = s[2:]
+	}
+	if s == "" {
+		return 0, fmt.Errorf("invalid integer literal %q", orig)
+	}
+	mag, err := strconv.ParseUint(s, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid integer literal %q: %w", orig, err)
+	}
+	if neg {
+		// Magnitude must fit the signed range.
+		limit := uint64(1) << (bits - 1)
+		if mag > limit {
+			return 0, fmt.Errorf("integer literal %q out of range for %d bits", orig, bits)
+		}
+		v := -int64(mag)
+		if bits == 32 {
+			return uint64(uint32(v)), nil
+		}
+		return uint64(v), nil
+	}
+	if bits < 64 && mag >= 1<<bits {
+		return 0, fmt.Errorf("integer literal %q out of range for %d bits", orig, bits)
+	}
+	return mag, nil
+}
+
+// parseF64 parses a WAT float literal: decimal or hex floats, inf, and nan
+// (with optional payload).
+func parseF64(s string) (float64, error) {
+	orig := s
+	neg := false
+	if strings.HasPrefix(s, "+") {
+		s = s[1:]
+	} else if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	s = strings.ReplaceAll(s, "_", "")
+	var v float64
+	switch {
+	case s == "inf":
+		v = math.Inf(1)
+	case s == "nan":
+		v = math.NaN()
+	case strings.HasPrefix(s, "nan:0x"):
+		payload, err := strconv.ParseUint(s[6:], 16, 64)
+		if err != nil || payload == 0 || payload >= 1<<52 {
+			return 0, fmt.Errorf("invalid nan payload in %q", orig)
+		}
+		bits := uint64(0x7FF0_0000_0000_0000) | payload
+		v = math.Float64frombits(bits)
+	case strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X"):
+		// Go's strconv supports hex floats with a p exponent.
+		h := s
+		if !strings.ContainsAny(h, "pP") {
+			h += "p0"
+		}
+		f, err := strconv.ParseFloat(h, 64)
+		if err != nil {
+			return 0, fmt.Errorf("invalid hex float literal %q: %w", orig, err)
+		}
+		v = f
+	default:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("invalid float literal %q: %w", orig, err)
+		}
+		v = f
+	}
+	if neg {
+		v = -v
+		if math.IsNaN(v) {
+			v = math.Float64frombits(math.Float64bits(v) | (1 << 63))
+		}
+	}
+	return v, nil
+}
+
+// parseF32 parses a float literal and rounds it to float32.
+func parseF32(s string) (float32, error) {
+	if strings.HasPrefix(s, "nan:0x") || strings.HasPrefix(s, "-nan:0x") || strings.HasPrefix(s, "+nan:0x") {
+		neg := strings.HasPrefix(s, "-")
+		t := strings.TrimLeft(s, "+-")
+		payload, err := strconv.ParseUint(t[6:], 16, 32)
+		if err != nil || payload == 0 || payload >= 1<<23 {
+			return 0, fmt.Errorf("invalid f32 nan payload in %q", s)
+		}
+		bits := uint32(0x7F80_0000) | uint32(payload)
+		if neg {
+			bits |= 1 << 31
+		}
+		return math.Float32frombits(bits), nil
+	}
+	v, err := parseF64(s)
+	if err != nil {
+		return 0, err
+	}
+	return float32(v), nil
+}

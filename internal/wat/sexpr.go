@@ -1,0 +1,271 @@
+// Package wat compiles the WebAssembly text format into wasm.Module values.
+//
+// It supports the module constructs needed by WA-RAN plugin development:
+// types, imports, functions (flat and folded instruction forms), memories,
+// tables, globals, element and data segments, exports and start functions,
+// with symbolic $identifiers throughout.
+package wat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// node is one s-expression: either an atom (identifier, keyword, number), a
+// string literal, or a parenthesized list.
+type node struct {
+	atom  string
+	str   string
+	isStr bool
+	list  []node
+	line  int
+	col   int
+}
+
+func (n *node) isList() bool { return !n.isStr && n.atom == "" }
+
+func (n *node) head() string {
+	if n.isList() && len(n.list) > 0 && !n.list[0].isList() && !n.list[0].isStr {
+		return n.list[0].atom
+	}
+	return ""
+}
+
+func (n *node) pos() string { return fmt.Sprintf("%d:%d", n.line, n.col) }
+
+// SyntaxError reports a parse failure with source position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("wat:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(n *node, format string, args ...any) error {
+	return &SyntaxError{Line: n.line, Col: n.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == ';' && l.pos+1 < len(l.src) && l.src[l.pos+1] == ';':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		case c == '(' && l.pos+1 < len(l.src) && l.src[l.pos+1] == ';':
+			depth := 0
+			start := *l
+			for l.pos < len(l.src) {
+				if l.src[l.pos] == '(' && l.pos+1 < len(l.src) && l.src[l.pos+1] == ';' {
+					depth++
+					l.advance()
+					l.advance()
+					continue
+				}
+				if l.src[l.pos] == ';' && l.pos+1 < len(l.src) && l.src[l.pos+1] == ')' {
+					depth--
+					l.advance()
+					l.advance()
+					if depth == 0 {
+						break
+					}
+					continue
+				}
+				l.advance()
+			}
+			if depth != 0 {
+				return start.errf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// parseAll parses the full source into a list of top-level nodes.
+func parseAll(src string) ([]node, error) {
+	l := newLexer(src)
+	var out []node
+	for {
+		if err := l.skipSpace(); err != nil {
+			return nil, err
+		}
+		if l.pos >= len(l.src) {
+			return out, nil
+		}
+		n, err := l.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+}
+
+func (l *lexer) parseNode() (node, error) {
+	if err := l.skipSpace(); err != nil {
+		return node{}, err
+	}
+	if l.pos >= len(l.src) {
+		return node{}, l.errf("unexpected end of input")
+	}
+	line, col := l.line, l.col
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.advance()
+		n := node{line: line, col: col, list: []node{}}
+		for {
+			if err := l.skipSpace(); err != nil {
+				return node{}, err
+			}
+			if l.pos >= len(l.src) {
+				return node{}, l.errf("unterminated list opened at %d:%d", line, col)
+			}
+			if l.src[l.pos] == ')' {
+				l.advance()
+				return n, nil
+			}
+			child, err := l.parseNode()
+			if err != nil {
+				return node{}, err
+			}
+			n.list = append(n.list, child)
+		}
+	case c == ')':
+		return node{}, l.errf("unexpected ')'")
+	case c == '"':
+		s, err := l.parseString()
+		if err != nil {
+			return node{}, err
+		}
+		return node{line: line, col: col, str: s, isStr: true}, nil
+	default:
+		start := l.pos
+		for l.pos < len(l.src) && !isDelim(l.src[l.pos]) {
+			l.advance()
+		}
+		atom := l.src[start:l.pos]
+		if atom == "" {
+			return node{}, l.errf("unexpected character %q", c)
+		}
+		return node{line: line, col: col, atom: atom}, nil
+	}
+}
+
+func isDelim(c byte) bool {
+	switch c {
+	case ' ', '\t', '\r', '\n', '(', ')', '"', ';':
+		return true
+	}
+	return false
+}
+
+// parseString parses a WAT string literal, decoding escape sequences. The
+// result may contain arbitrary bytes.
+func (l *lexer) parseString() (string, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return "", l.errf("unterminated string literal")
+		}
+		c := l.advance()
+		switch c {
+		case '"':
+			return b.String(), nil
+		case '\\':
+			if l.pos >= len(l.src) {
+				return "", l.errf("unterminated escape sequence")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\':
+				b.WriteByte('\\')
+			case '\'':
+				b.WriteByte('\'')
+			case '"':
+				b.WriteByte('"')
+			case 'u':
+				if l.pos >= len(l.src) || l.src[l.pos] != '{' {
+					return "", l.errf(`\u escape requires {...}`)
+				}
+				l.advance()
+				var v rune
+				for l.pos < len(l.src) && l.src[l.pos] != '}' {
+					d := hexVal(l.advance())
+					if d < 0 {
+						return "", l.errf(`invalid hex digit in \u escape`)
+					}
+					v = v*16 + rune(d)
+				}
+				if l.pos >= len(l.src) {
+					return "", l.errf(`unterminated \u escape`)
+				}
+				l.advance() // '}'
+				b.WriteRune(v)
+			default:
+				d1 := hexVal(e)
+				if d1 < 0 || l.pos >= len(l.src) {
+					return "", l.errf("invalid escape sequence \\%c", e)
+				}
+				d2 := hexVal(l.advance())
+				if d2 < 0 {
+					return "", l.errf("invalid hex escape")
+				}
+				b.WriteByte(byte(d1*16 + d2))
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}

@@ -1,0 +1,197 @@
+package wat
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"waran/internal/wasm"
+)
+
+func run(t *testing.T, src, fn string, args ...uint64) []uint64 {
+	t.Helper()
+	m, err := Compile(src)
+	if err != nil {
+		t.Fatalf("wat compile: %v", err)
+	}
+	cm, err := wasm.Compile(m)
+	if err != nil {
+		t.Fatalf("wasm compile: %v", err)
+	}
+	in, err := cm.Instantiate(nil, wasm.Config{})
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	res, err := in.Call(fn, args...)
+	if err != nil {
+		t.Fatalf("call %s: %v", fn, err)
+	}
+	return res
+}
+
+func TestSmokeAdd(t *testing.T) {
+	res := run(t, `(module (func (export "add") (param i32 i32) (result i32)
+		local.get 0 local.get 1 i32.add))`, "add", 2, 3)
+	if res[0] != 5 {
+		t.Fatalf("got %d, want 5", res[0])
+	}
+}
+
+func TestSmokeFoldedFib(t *testing.T) {
+	src := `(module
+	  (func $fib (export "fib") (param $n i32) (result i32)
+	    (if (result i32) (i32.lt_s (local.get $n) (i32.const 2))
+	      (then (local.get $n))
+	      (else
+	        (i32.add
+	          (call $fib (i32.sub (local.get $n) (i32.const 1)))
+	          (call $fib (i32.sub (local.get $n) (i32.const 2))))))))`
+	res := run(t, src, "fib", 10)
+	if res[0] != 55 {
+		t.Fatalf("fib(10) = %d, want 55", res[0])
+	}
+}
+
+func TestSmokeLoopMemory(t *testing.T) {
+	src := `(module
+	  (memory (export "memory") 1)
+	  (func (export "sum_bytes") (param $n i32) (result i32)
+	    (local $i i32) (local $s i32)
+	    block $exit
+	      loop $top
+	        local.get $i local.get $n i32.ge_u
+	        br_if $exit
+	        local.get $s
+	        local.get $i i32.load8_u
+	        i32.add local.set $s
+	        local.get $i i32.const 1 i32.add local.set $i
+	        br $top
+	      end
+	    end
+	    local.get $s)
+	  (data (i32.const 0) "\01\02\03\04\05"))`
+	res := run(t, src, "sum_bytes", 5)
+	if res[0] != 15 {
+		t.Fatalf("sum = %d, want 15", res[0])
+	}
+}
+
+func TestSmokeF64(t *testing.T) {
+	src := `(module (func (export "pf") (param $r f64) (param $avg f64) (result f64)
+	    (f64.div (local.get $r) (f64.max (local.get $avg) (f64.const 0.001)))))`
+	m, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := wasm.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := cm.Instantiate(nil, wasm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Call("pf", f64arg(10.0), f64arg(2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f64val(res[0]); got != 5.0 {
+		t.Fatalf("pf = %v, want 5", got)
+	}
+}
+
+func TestSmokeTrapDivZero(t *testing.T) {
+	src := `(module (func (export "div") (param i32 i32) (result i32)
+	    local.get 0 local.get 1 i32.div_s))`
+	m, _ := Compile(src)
+	cm, err := wasm.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := cm.Instantiate(nil, wasm.Config{})
+	_, err = in.Call("div", 1, 0)
+	var trap *wasm.Trap
+	if !errors.As(err, &trap) || trap.Code != wasm.TrapIntegerDivideByZero {
+		t.Fatalf("want divide-by-zero trap, got %v", err)
+	}
+}
+
+func TestSmokeHostFunc(t *testing.T) {
+	src := `(module
+	  (import "env" "mul2" (func $mul2 (param i32) (result i32)))
+	  (func (export "run") (param i32) (result i32)
+	    local.get 0 call $mul2))`
+	m, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := wasm.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imports := wasm.Imports{"env": {
+		"mul2": &wasm.HostFunc{
+			Name: "mul2",
+			Type: wasm.FuncType{Params: []wasm.ValType{wasm.ValI32}, Results: []wasm.ValType{wasm.ValI32}},
+			Fn: func(ctx *wasm.CallContext, args []uint64) ([]uint64, error) {
+				return []uint64{uint64(uint32(args[0]) * 2)}, nil
+			},
+		},
+	}}
+	in, err := cm.Instantiate(imports, wasm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Call("run", 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 42 {
+		t.Fatalf("got %d, want 42", res[0])
+	}
+}
+
+func TestSmokeBrTable(t *testing.T) {
+	src := `(module (func (export "classify") (param i32) (result i32)
+	  block $b2 block $b1 block $b0
+	    local.get 0
+	    br_table $b0 $b1 $b2
+	  end
+	  i32.const 100 return
+	  end
+	  i32.const 200 return
+	  end
+	  i32.const 300))`
+	for sel, want := range map[uint64]uint64{0: 100, 1: 200, 2: 300, 7: 300} {
+		res := run(t, src, "classify", sel)
+		if res[0] != want {
+			t.Fatalf("classify(%d) = %d, want %d", sel, res[0], want)
+		}
+	}
+}
+
+func TestSmokeCallIndirect(t *testing.T) {
+	src := `(module
+	  (type $binop (func (param i32 i32) (result i32)))
+	  (table 2 funcref)
+	  (elem (i32.const 0) $add $sub)
+	  (func $add (type $binop) local.get 0 local.get 1 i32.add)
+	  (func $sub (type $binop) local.get 0 local.get 1 i32.sub)
+	  (func (export "dispatch") (param $which i32) (param $a i32) (param $b i32) (result i32)
+	    local.get $a local.get $b local.get $which call_indirect (type $binop)))`
+	if res := run(t, src, "dispatch", 0, 7, 3); res[0] != 10 {
+		t.Fatalf("add dispatch got %d", res[0])
+	}
+	if res := run(t, src, "dispatch", 1, 7, 3); res[0] != 4 {
+		t.Fatalf("sub dispatch got %d", res[0])
+	}
+}
+
+func f64arg(v float64) uint64 { return f64bits(v) }
+func f64val(v uint64) float64 {
+	return float64frombits(v)
+}
+
+func float64frombits(v uint64) float64 {
+	return math.Float64frombits(v)
+}

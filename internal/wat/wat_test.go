@@ -1,0 +1,352 @@
+package wat
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"waran/internal/wasm"
+)
+
+func TestNumberParsing(t *testing.T) {
+	cases := []struct {
+		in   string
+		bits uint
+		want uint64
+		ok   bool
+	}{
+		{"0", 32, 0, true},
+		{"42", 32, 42, true},
+		{"-1", 32, 0xFFFFFFFF, true},
+		{"0xFF", 32, 255, true},
+		{"0xFFFFFFFF", 32, 0xFFFFFFFF, true},
+		{"-2147483648", 32, 0x80000000, true},
+		{"2147483648", 32, 0x80000000, true}, // unsigned interpretation
+		{"4294967296", 32, 0, false},
+		{"-2147483649", 32, 0, false},
+		{"1_000_000", 32, 1000000, true},
+		{"0x7FFF_FFFF", 32, 0x7FFFFFFF, true},
+		{"-9223372036854775808", 64, 0x8000000000000000, true},
+		{"18446744073709551615", 64, math.MaxUint64, true},
+		{"", 32, 0, false},
+		{"abc", 32, 0, false},
+	}
+	for _, tc := range cases {
+		got, err := parseI64(tc.in, tc.bits)
+		if tc.ok != (err == nil) {
+			t.Errorf("parseI64(%q, %d): err = %v, want ok=%v", tc.in, tc.bits, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("parseI64(%q, %d) = %#x, want %#x", tc.in, tc.bits, got, tc.want)
+		}
+	}
+}
+
+func TestFloatParsing(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"0", 0},
+		{"1.5", 1.5},
+		{"-2.25", -2.25},
+		{"1e3", 1000},
+		{"-1.5e-2", -0.015},
+		{"inf", math.Inf(1)},
+		{"-inf", math.Inf(-1)},
+		{"0x1.8p3", 12},
+		{"0x10", 16},
+		{"1_0.5", 10.5},
+	}
+	for _, tc := range cases {
+		got, err := parseF64(tc.in)
+		if err != nil {
+			t.Errorf("parseF64(%q): %v", tc.in, err)
+			continue
+		}
+		if math.Float64bits(got) != math.Float64bits(tc.want) {
+			t.Errorf("parseF64(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if v, err := parseF64("nan"); err != nil || !math.IsNaN(v) {
+		t.Errorf("parseF64(nan) = %v, %v", v, err)
+	}
+	if v, err := parseF64("-nan"); err != nil || !math.IsNaN(v) || math.Float64bits(v)>>63 != 1 {
+		t.Errorf("parseF64(-nan) = %v (bits %x), %v", v, math.Float64bits(v), err)
+	}
+	if v, err := parseF64("nan:0x4000"); err != nil || math.Float64bits(v)&0x4000 == 0 {
+		t.Errorf("nan payload lost: %x, %v", math.Float64bits(v), err)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	src := `(module (memory 1) (data (i32.const 0) "a\tb\n\"q\"\5c\u{263A}"))`
+	m, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\tb\n\"q\"\\☺"
+	if string(m.Datas[0].Bytes) != want {
+		t.Fatalf("data = %q, want %q", m.Datas[0].Bytes, want)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `(module
+	  ;; line comment (with parens)
+	  (; block (; nested ;) comment ;)
+	  (func (export "f") (result i32)
+	    i32.const 7 ;; trailing
+	  ))`
+	res := run(t, src, "f")
+	if res[0] != 7 {
+		t.Fatalf("got %d", res[0])
+	}
+}
+
+func TestFlatAndFoldedProduceSameBinary(t *testing.T) {
+	flat := `(module (func (export "f") (param i32) (result i32)
+	  local.get 0
+	  i32.const 3
+	  i32.mul
+	  i32.const 1
+	  i32.add))`
+	folded := `(module (func (export "f") (param i32) (result i32)
+	  (i32.add (i32.mul (local.get 0) (i32.const 3)) (i32.const 1))))`
+	b1, err := CompileToBinary(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := CompileToBinary(folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("flat and folded forms produced different binaries")
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []struct {
+		src    string
+		substr string
+	}{
+		{`(module (func (export "f") unknown.op))`, "unknown instruction"},
+		{`(module (func local.get $nope))`, "unknown local"},
+		{`(module (func call $nope))`, "unknown function"},
+		{`(module (func br $nope))`, "unknown label"},
+		{`(module (blah))`, "unknown module field"},
+		{`(module (func (export 42)))`, "export"},
+		{`(module (func`, "unterminated"},
+		{`(module))`, "unexpected ')'"},
+		{`(module (func (type 9)))`, "out of range"},
+		{`(module "str")`, "module field"},
+		{`(module (global $g i32 (i32.const 1)) (global $g i32 (i32.const 2)) (func))`, "duplicate global"},
+	}
+	for _, tc := range cases {
+		_, err := Compile(tc.src)
+		if err == nil {
+			t.Errorf("Compile(%q) unexpectedly succeeded", tc.src)
+			continue
+		}
+		if tc.substr != "" && !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("Compile(%q) error %q, want mention of %q", tc.src, err, tc.substr)
+		}
+	}
+}
+
+func TestSyntaxErrorHasPosition(t *testing.T) {
+	_, err := Compile("(module\n  (func unknown.op))")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("want *SyntaxError, got %T: %v", err, err)
+	}
+	if se.Line != 2 {
+		t.Fatalf("error line = %d, want 2", se.Line)
+	}
+}
+
+func TestNamedLabelsAndShadowing(t *testing.T) {
+	// Inner $l shadows outer $l; br $l must target the innermost.
+	src := `(module (func (export "f") (result i32)
+	  (local $r i32)
+	  block $l
+	    block $l
+	      br $l  ;; inner
+	    end
+	    local.get $r i32.const 1 i32.add local.set $r
+	  end
+	  local.get $r))`
+	res := run(t, src, "f")
+	if res[0] != 1 {
+		t.Fatalf("inner-label branch skipped wrong block: r = %d", res[0])
+	}
+}
+
+func TestMemArgOffsets(t *testing.T) {
+	src := `(module (memory (export "memory") 1)
+	  (data (i32.const 24) "\2A")
+	  (func (export "f") (result i32)
+	    i32.const 8 i32.load8_u offset=16 align=1))`
+	res := run(t, src, "f")
+	if res[0] != 42 {
+		t.Fatalf("offset load = %d", res[0])
+	}
+}
+
+func TestTypeUseMismatchRejected(t *testing.T) {
+	src := `(module
+	  (type $t (func (param i32) (result i32)))
+	  (func (type $t) (param i64) (result i32) i32.const 0))`
+	if _, err := Compile(src); err == nil {
+		t.Fatal("mismatched inline signature accepted")
+	}
+}
+
+func TestInlineImportExport(t *testing.T) {
+	src := `(module
+	  (func $h (import "env" "h") (param i32) (result i32))
+	  (func (export "f") (export "g") (param i32) (result i32)
+	    local.get 0 call $h))`
+	m, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Imports) != 1 {
+		t.Fatalf("imports = %+v", m.Imports)
+	}
+	names := map[string]bool{}
+	for _, e := range m.Exports {
+		names[e.Name] = true
+	}
+	if !names["f"] || !names["g"] {
+		t.Fatalf("exports = %+v", m.Exports)
+	}
+}
+
+func TestImportAfterFuncRejected(t *testing.T) {
+	src := `(module (func) (import "a" "b" (func)))`
+	if _, err := Compile(src); err == nil {
+		t.Fatal("import after func definition accepted")
+	}
+}
+
+func TestGlobalInitForms(t *testing.T) {
+	src := `(module
+	  (global $a i32 (i32.const -3))
+	  (global $b (mut f64) (f64.const 0.5))
+	  (global $c i64 (i64.const 0xFFFFFFFFFFFFFFFF))
+	  (export "a" (global $a))
+	  (func))`
+	m, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Globals[0].Init.Value != uint64(uint32(0xFFFFFFFD)) {
+		t.Fatalf("global a init = %#x", m.Globals[0].Init.Value)
+	}
+	if !m.Globals[1].Type.Mutable {
+		t.Fatal("global b should be mutable")
+	}
+	if m.Globals[2].Init.Value != math.MaxUint64 {
+		t.Fatalf("global c init = %#x", m.Globals[2].Init.Value)
+	}
+}
+
+func TestBrTableNumericAndNamed(t *testing.T) {
+	src := `(module (func (export "f") (param i32) (result i32)
+	  block $b1 block $b0
+	    local.get 0
+	    br_table 0 $b1
+	  end
+	  i32.const 10 return
+	  end
+	  i32.const 20))`
+	if res := run(t, src, "f", 0); res[0] != 10 {
+		t.Fatalf("f(0) = %d", res[0])
+	}
+	if res := run(t, src, "f", 1); res[0] != 20 {
+		t.Fatalf("f(1) = %d", res[0])
+	}
+}
+
+func TestMultipleResultsRejectedInBlock(t *testing.T) {
+	src := `(module (func (result i32)
+	  block (result i32 i32) i32.const 1 i32.const 2 end
+	  i32.add))`
+	if _, err := Compile(src); err == nil {
+		t.Fatal("multi-value block accepted")
+	}
+}
+
+func TestEmptyModule(t *testing.T) {
+	m, err := Compile("(module)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wasm.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	bin, err := wasm.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin) != 8 {
+		t.Fatalf("empty module is %d bytes, want 8", len(bin))
+	}
+}
+
+func TestTopLevelFieldsWithoutModuleWrapper(t *testing.T) {
+	src := `(func (export "one") (result i32) i32.const 1)`
+	res := run(t, src, "one")
+	if res[0] != 1 {
+		t.Fatalf("got %d", res[0])
+	}
+}
+
+func TestCallIndirectInlineSignature(t *testing.T) {
+	src := `(module
+	  (table (export "tbl") 1 funcref)
+	  (elem (i32.const 0) $sq)
+	  (func $sq (param i32) (result i32) local.get 0 local.get 0 i32.mul)
+	  (func (export "apply") (param i32) (result i32)
+	    local.get 0
+	    i32.const 0
+	    call_indirect (param i32) (result i32)))`
+	res := run(t, src, "apply", 9)
+	if res[0] != 81 {
+		t.Fatalf("apply(9) = %d", res[0])
+	}
+	// The table's inline export must be present.
+	m, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range m.Exports {
+		if e.Kind == wasm.ExternTable && e.Name == "tbl" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("table inline export lost")
+	}
+}
+
+func TestFoldedBlockAndLoop(t *testing.T) {
+	src := `(module (func (export "f") (result i32)
+	  (local $i i32) (local $s i32)
+	  (block $done
+	    (loop $top
+	      (br_if $done (i32.ge_u (local.get $i) (i32.const 5)))
+	      (local.set $s (i32.add (local.get $s) (i32.const 10)))
+	      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+	      (br $top)))
+	  (local.get $s)))`
+	res := run(t, src, "f")
+	if res[0] != 50 {
+		t.Fatalf("folded loop sum = %d", res[0])
+	}
+}
