@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test check bench fuzz
+
+## build: compile every package.
+build:
+	$(GO) build ./...
+
+## test: the tier-1 gate — what CI and the roadmap treat as "green".
+test: build
+	$(GO) test ./...
+
+## check: the deeper tier — vet, the full suite under the race detector,
+## and a 10 s fuzz smoke of the wasm decode/compile/execute gauntlet.
+check: build
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(GO) test -run '^FuzzDecode$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/wasm
+
+## bench: the paper's evaluation benchmarks.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+## fuzz: open-ended fuzzing of the plugin upload path (Ctrl-C to stop).
+fuzz:
+	$(GO) test -run '^FuzzDecode$$' -fuzz '^FuzzDecode$$' ./internal/wasm

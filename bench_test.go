@@ -467,21 +467,131 @@ func benchIndication(nUE int) *e2.Message {
 // ---------------------------------------------------------------------------
 // Extension benchmarks (features beyond the paper's prototype).
 
-// BenchmarkBytecodeUploadPath measures the full plugin upload gauntlet:
-// decode + validate + flatten + instantiate + hot swap — the cost of the
-// paper's Fig. 1 "push software into the RAN" control action.
+// BenchmarkBytecodeUploadPath measures the plugin upload gauntlet — the
+// cost of the paper's Fig. 1 "push software into the RAN" control action.
+// "coldcache" pays decode + validate + flatten + instantiate + hot swap on
+// every upload (the pre-cache behaviour); "cached" resolves the bytecode
+// through the content-addressed module cache, leaving only the hash lookup,
+// instantiation and swap — the steady-state cost of fanning one plugin
+// across a fleet of cells.
 func BenchmarkBytecodeUploadPath(b *testing.B) {
 	blob, err := wat.CompileToBinary(plugins.ProportionalFairWAT)
 	if err != nil {
 		b.Fatal(err)
 	}
-	gnb := buildFig5aGNB(b)
+	for _, mode := range []string{"coldcache", "cached"} {
+		b.Run(mode, func(b *testing.B) {
+			gnb := buildFig5aGNB(b)
+			if mode == "coldcache" {
+				gnb.Modules = nil
+			}
+			b.SetBytes(int64(len(blob)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := gnb.Apply(&e2.ControlRequest{
+					Action: e2.ActionUploadScheduler, SliceID: 1, Text: "v", Blob: blob,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Multi-cell slot engine.
+
+// buildCellGroup assembles a group of Fig. 5a-shaped cells whose slices
+// share pool-backed plugin schedulers, so concurrent cells fan intra-slice
+// decisions across parallel sandboxes of one compiled module.
+func buildCellGroup(b *testing.B, cells, par int) *core.CellGroup {
+	b.Helper()
+	cg, err := core.NewCellGroup(ran.CellConfig{}, core.CellGroupConfig{Cells: cells, Parallelism: par})
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := core.DefaultFig5aSpecs()
+	for c := 0; c < cells; c++ {
+		gnb := cg.Cell(c)
+		ueID := uint32(1)
+		for _, sp := range specs {
+			if _, err := gnb.Slices.AddSlice(sp.ID, sp.Name, sp.TargetBps, sched.RoundRobin{}, nil); err != nil {
+				b.Fatal(err)
+			}
+			for k := 0; k < sp.NumUEs; k++ {
+				ue := ran.NewUE(ueID, sp.ID, 22+2*k)
+				ue.Traffic = ran.NewCBR(1.4 * sp.TargetBps / float64(sp.NumUEs))
+				if err := gnb.AttachUE(ue); err != nil {
+					b.Fatal(err)
+				}
+				ueID++
+			}
+		}
+	}
+	for _, sp := range specs {
+		if _, err := cg.InstallPooledScheduler(sp.ID, sp.Scheduler, wabi.Policy{}, cells); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cg
+}
+
+// BenchmarkMultiCellSlots measures one group slot (all cells stepped) for
+// an 8-cell deployment at parallelism 1 vs GOMAXPROCS, against the
+// single-cell baseline. The scaling claim: at GOMAXPROCS >= 4 the 8-cell
+// group steps in well under 8x the single-cell ns/op.
+func BenchmarkMultiCellSlots(b *testing.B) {
+	b.Run("1cell", func(b *testing.B) {
+		gnb := buildFig5aGNB(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			gnb.Step()
+		}
+	})
+	for _, cfg := range []struct {
+		name string
+		par  int
+	}{
+		{"8cell/par=1", 1},
+		{"8cell/par=max", 0}, // 0 = GOMAXPROCS
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			cg := buildCellGroup(b, 8, cfg.par)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cg.StepAll()
+			}
+			b.StopTimer()
+			st := cg.WatchdogStats()
+			var overruns uint64
+			for _, s := range st {
+				overruns += s.Overruns
+			}
+			b.ReportMetric(float64(overruns)/float64(b.N*8), "overruns/slot")
+		})
+	}
+}
+
+// BenchmarkMultiCellHotSwap measures fanning one plugin upload across a
+// 64-cell group through the shared module cache: one compile, 64 swaps.
+func BenchmarkMultiCellHotSwap(b *testing.B) {
+	blob, err := wat.CompileToBinary(plugins.ProportionalFairWAT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cg, err := core.NewCellGroup(ran.CellConfig{}, core.CellGroupConfig{Cells: 64, Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := cg.Cell(i).Slices.AddSlice(1, "t", 10e6, sched.RoundRobin{}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
 	b.SetBytes(int64(len(blob)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := gnb.Apply(&e2.ControlRequest{
-			Action: e2.ActionUploadScheduler, SliceID: 1, Text: "v", Blob: blob,
-		}); err != nil {
+		if _, err := cg.UploadSchedulerAll(1, "pf", blob, wabi.Policy{}, 8); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,24 +5,35 @@
 // Usage:
 //
 //	waranbench -fig 5a|5b|5c|5d|safety|all [-duration 10s]
+//	waranbench -fig multicell [-cells 8] [-slots 2000] [-par 0]   (JSON output)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"waran/internal/core"
 	"waran/internal/e2"
 	"waran/internal/plugins"
 	"waran/internal/ran"
+	"waran/internal/sched"
 	"waran/internal/wabi"
+	"waran/internal/wasm"
 	"waran/internal/wat"
 )
 
+var (
+	mcCells = flag.Int("cells", 8, "multicell: number of cells in the group")
+	mcSlots = flag.Int("slots", 2000, "multicell: slots to step")
+	mcPar   = flag.Int("par", 0, "multicell: worker parallelism (0 = GOMAXPROCS)")
+)
+
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 5a, 5b, 5c, 5d, safety, upload, all")
+	fig := flag.String("fig", "all", "which experiment: 5a, 5b, 5c, 5d, safety, upload, multicell, all")
 	duration := flag.Duration("duration", 0, "override experiment duration (0 = per-figure default)")
 	flag.Parse()
 
@@ -41,6 +52,7 @@ func main() {
 	run("5d", fig5d)
 	run("safety", safety)
 	run("upload", upload)
+	run("multicell", multicell)
 }
 
 func fig5a(d time.Duration) error {
@@ -197,4 +209,131 @@ func upload(time.Duration) error {
 	}
 	fmt.Println()
 	return nil
+}
+
+// multicellReport is the JSON emitted by -fig multicell: one cell group
+// stepped serially and then with the worker pool, plus a fleet-wide plugin
+// hot swap through the content-addressed module cache.
+type multicellReport struct {
+	Cells               int     `json:"cells"`
+	Slots               int     `json:"slots"`
+	Parallelism         int     `json:"parallelism"`
+	GOMAXPROCS          int     `json:"gomaxprocs"`
+	SerialSlotsPerSec   float64 `json:"serial_slots_per_sec"`
+	ParallelSlotsPerSec float64 `json:"parallel_slots_per_sec"`
+	Speedup             float64 `json:"speedup"`
+	DeadlineUs          float64 `json:"deadline_us"`
+	Overruns            uint64  `json:"overruns"`
+	WorstSlotUs         float64 `json:"worst_slot_us"`
+	P99SlotUs           float64 `json:"p99_slot_us"`
+	HotSwapCells        int     `json:"hot_swap_cells"`
+	HotSwapCompiles     uint64  `json:"hot_swap_compiles"`
+	CacheHits           uint64  `json:"cache_hits"`
+	CacheMisses         uint64  `json:"cache_misses"`
+}
+
+// buildMulticellGroup assembles a group of Fig. 5a-shaped cells whose slices
+// share pool-backed built-in schedulers.
+func buildMulticellGroup(cells, par int) (*core.CellGroup, error) {
+	cg, err := core.NewCellGroup(ran.CellConfig{}, core.CellGroupConfig{Cells: cells, Parallelism: par})
+	if err != nil {
+		return nil, err
+	}
+	specs := core.DefaultFig5aSpecs()
+	for c := 0; c < cells; c++ {
+		gnb := cg.Cell(c)
+		ueID := uint32(1)
+		for _, sp := range specs {
+			if _, err := gnb.Slices.AddSlice(sp.ID, sp.Name, sp.TargetBps, sched.RoundRobin{}, nil); err != nil {
+				return nil, err
+			}
+			for k := 0; k < sp.NumUEs; k++ {
+				ue := ran.NewUE(ueID, sp.ID, 22+2*k)
+				ue.Traffic = ran.NewCBR(1.4 * sp.TargetBps / float64(sp.NumUEs))
+				if err := gnb.AttachUE(ue); err != nil {
+					return nil, err
+				}
+				ueID++
+			}
+		}
+	}
+	for _, sp := range specs {
+		if _, err := cg.InstallPooledScheduler(sp.ID, sp.Scheduler, wabi.Policy{}, cells); err != nil {
+			return nil, err
+		}
+	}
+	return cg, nil
+}
+
+// multicell steps a cell group serially and with the worker pool, then
+// fans one plugin upload across every cell, and prints a JSON report.
+func multicell(time.Duration) error {
+	par := *mcPar
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	rep := multicellReport{
+		Cells:       *mcCells,
+		Slots:       *mcSlots,
+		Parallelism: par,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	timeRun := func(parallelism int) (float64, *core.CellGroup, error) {
+		cg, err := buildMulticellGroup(*mcCells, parallelism)
+		if err != nil {
+			return 0, nil, err
+		}
+		start := time.Now()
+		cg.RunSlots(*mcSlots, nil)
+		elapsed := time.Since(start)
+		return float64(*mcSlots) / elapsed.Seconds(), cg, nil
+	}
+
+	var err error
+	if rep.SerialSlotsPerSec, _, err = timeRun(1); err != nil {
+		return err
+	}
+	parRate, cg, err := timeRun(par)
+	if err != nil {
+		return err
+	}
+	rep.ParallelSlotsPerSec = parRate
+	rep.Speedup = rep.ParallelSlotsPerSec / rep.SerialSlotsPerSec
+
+	for _, st := range cg.WatchdogStats() {
+		rep.DeadlineUs = float64(st.Deadline.Microseconds())
+		rep.Overruns += st.Overruns
+		if w := float64(st.Worst.Nanoseconds()) / 1e3; w > rep.WorstSlotUs {
+			rep.WorstSlotUs = w
+		}
+		if st.P99us > rep.P99SlotUs {
+			rep.P99SlotUs = st.P99us
+		}
+	}
+
+	// Fleet-wide hot swap of one compiled module through the shared cache.
+	blob, err := wat.CompileToBinary(plugins.ProportionalFairWAT)
+	if err != nil {
+		return err
+	}
+	before := wasm.CompileCount()
+	if _, err := cg.UploadSchedulerAll(1, "pf-v2", blob, wabi.Policy{}, par); err != nil {
+		return err
+	}
+	for i := 0; i < *mcCells; i++ {
+		err := cg.Cell(i).Apply(&e2.ControlRequest{
+			Action: e2.ActionUploadScheduler, SliceID: 1, Text: "pf-v2", Blob: blob,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	rep.HotSwapCells = *mcCells
+	rep.HotSwapCompiles = wasm.CompileCount() - before
+	rep.CacheHits, rep.CacheMisses = cg.Modules.Stats()
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"waran/internal/metrics"
+	"waran/internal/plugins"
+	"waran/internal/ran"
+	"waran/internal/sched"
+	"waran/internal/wabi"
+)
+
+// CellGroupConfig shapes a multi-cell slot engine.
+type CellGroupConfig struct {
+	// Cells is the number of gNB cells in the group (at least 1).
+	Cells int
+	// Parallelism bounds concurrent cell steps per slot. 0 means
+	// GOMAXPROCS; 1 reproduces the serial single-cell loop exactly.
+	Parallelism int
+	// SlotDeadline is the per-cell wall-clock budget the watchdog checks
+	// each slot. 0 means the cell's slot duration (the paper's 1 ms).
+	SlotDeadline time.Duration
+	// FallbackOnOverrun pins a cell's slices to their native fallback
+	// schedulers after OverrunThreshold consecutive deadline overruns —
+	// the cell-wide analogue of per-slice plugin quarantine. Off by
+	// default because wall-clock-driven decisions are nondeterministic.
+	FallbackOnOverrun bool
+	// OverrunThreshold is the consecutive-overrun limit before a cell is
+	// pinned (0 means 3, mirroring the slice quarantine default).
+	OverrunThreshold int
+}
+
+// DefaultOverrunThreshold is the consecutive slot-deadline overruns after
+// which a cell falls back to native scheduling (when enabled).
+const DefaultOverrunThreshold = 3
+
+// CellGroup owns N independent gNB cells and steps them concurrently each
+// slot through a bounded worker pool — the multi-cell deployment ORANSlice
+// evaluates, driven by one slot clock. Cells share one content-addressed
+// module cache, so hot-swapping the same plugin bytecode onto every cell
+// compiles it exactly once, and (optionally) share pooled plugin instances
+// via sched.PoolScheduler so intra-slice decisions from different cells
+// execute in parallel sandboxes of one compiled module.
+//
+// Determinism: each cell's UEs, channels and traffic sources are seeded
+// per-cell and never shared, so a group stepped with Parallelism=1 yields
+// byte-identical SlotResults to stepping the same cells serially, and any
+// Parallelism yields identical per-cell sequences (locked in by
+// TestCellGroupDeterminism).
+type CellGroup struct {
+	cfg   CellGroupConfig
+	cells []*GNB
+	// Modules is the group's shared content-addressed compiled-module
+	// cache; every cell's upload path resolves bytecode through it.
+	Modules *wabi.ModuleCache
+
+	watch      []*metrics.DeadlineMeter
+	consecOver []int
+	pinned     []bool
+	slot       uint64
+}
+
+// NewCellGroup creates cfg.Cells identical cells (defaults applied). The
+// caller then populates each cell's slices and UEs via Cell(i), typically
+// with per-cell seeds.
+func NewCellGroup(cell ran.CellConfig, cfg CellGroupConfig) (*CellGroup, error) {
+	if cfg.Cells < 1 {
+		return nil, fmt.Errorf("core: cell group needs at least 1 cell, got %d", cfg.Cells)
+	}
+	cell = cell.WithDefaults()
+	if cfg.SlotDeadline == 0 {
+		cfg.SlotDeadline = cell.SlotDuration
+	}
+	if cfg.OverrunThreshold == 0 {
+		cfg.OverrunThreshold = DefaultOverrunThreshold
+	}
+	cg := &CellGroup{
+		cfg:        cfg,
+		cells:      make([]*GNB, cfg.Cells),
+		Modules:    wabi.NewModuleCache(),
+		watch:      make([]*metrics.DeadlineMeter, cfg.Cells),
+		consecOver: make([]int, cfg.Cells),
+		pinned:     make([]bool, cfg.Cells),
+	}
+	for i := range cg.cells {
+		g, err := NewGNB(cell)
+		if err != nil {
+			return nil, err
+		}
+		g.Modules = cg.Modules
+		cg.cells[i] = g
+		cg.watch[i] = metrics.NewDeadlineMeter(cfg.SlotDeadline)
+	}
+	return cg, nil
+}
+
+// NumCells returns the group size.
+func (cg *CellGroup) NumCells() int { return len(cg.cells) }
+
+// Cell returns the i-th gNB.
+func (cg *CellGroup) Cell(i int) *GNB { return cg.cells[i] }
+
+// Slot returns the group slot counter (slots completed by StepAll).
+func (cg *CellGroup) Slot() uint64 { return cg.slot }
+
+// parallelism resolves the effective worker count for this group.
+func (cg *CellGroup) parallelism() int {
+	p := cg.cfg.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > len(cg.cells) {
+		p = len(cg.cells)
+	}
+	return p
+}
+
+// StepAll advances every cell by one slot, at most Parallelism cells
+// concurrently, and returns the per-cell results indexed by cell. Each
+// cell's step is timed against the slot deadline; overruns are recorded in
+// the cell's DeadlineMeter and, when FallbackOnOverrun is set, pin the cell
+// to native fallback scheduling after OverrunThreshold consecutive misses.
+func (cg *CellGroup) StepAll() []SlotResult {
+	n := len(cg.cells)
+	results := make([]SlotResult, n)
+	par := cg.parallelism()
+
+	if par == 1 {
+		// Serial fast path: no goroutines, identical to the classic loop.
+		for i := 0; i < n; i++ {
+			cg.stepCell(i, results)
+		}
+	} else {
+		work := make(chan int)
+		done := make(chan struct{})
+		for w := 0; w < par; w++ {
+			go func() {
+				for i := range work {
+					cg.stepCell(i, results)
+					done <- struct{}{}
+				}
+			}()
+		}
+		go func() {
+			for i := 0; i < n; i++ {
+				work <- i
+			}
+			close(work)
+		}()
+		for i := 0; i < n; i++ {
+			<-done
+		}
+	}
+	cg.slot++
+	return results
+}
+
+// stepCell runs one cell's slot under the deadline watchdog. Cell i is
+// touched by exactly one worker per slot, so consecOver/pinned accesses
+// race-free by construction.
+func (cg *CellGroup) stepCell(i int, results []SlotResult) {
+	start := time.Now()
+	results[i] = cg.cells[i].Step()
+	overrun := cg.watch[i].Observe(time.Since(start))
+
+	if !cg.cfg.FallbackOnOverrun {
+		return
+	}
+	if overrun {
+		cg.consecOver[i]++
+		if !cg.pinned[i] && cg.consecOver[i] >= cg.cfg.OverrunThreshold {
+			cg.pinned[i] = true
+			cg.cells[i].Slices.SetForceFallback(true)
+		}
+	} else {
+		cg.consecOver[i] = 0
+	}
+}
+
+// RunSlots advances the group n slots, invoking observe (if non-nil) per
+// cell per slot.
+func (cg *CellGroup) RunSlots(n int, observe func(cell int, r SlotResult)) {
+	for i := 0; i < n; i++ {
+		res := cg.StepAll()
+		if observe != nil {
+			for c := range res {
+				observe(c, res[c])
+			}
+		}
+	}
+}
+
+// WatchdogStats snapshots every cell's deadline accounting.
+func (cg *CellGroup) WatchdogStats() []metrics.DeadlineStats {
+	out := make([]metrics.DeadlineStats, len(cg.watch))
+	for i, w := range cg.watch {
+		out[i] = w.Snapshot()
+	}
+	return out
+}
+
+// CellPinned reports whether the watchdog has pinned cell i to native
+// fallback scheduling.
+func (cg *CellGroup) CellPinned(i int) bool { return cg.pinned[i] }
+
+// ReleaseCell lifts a watchdog pin (e.g. after the operator uploaded a
+// faster plugin), re-enabling plugin scheduling on the cell.
+func (cg *CellGroup) ReleaseCell(i int) {
+	cg.pinned[i] = false
+	cg.consecOver[i] = 0
+	cg.cells[i].Slices.SetForceFallback(false)
+}
+
+// InstallPooledScheduler compiles the named built-in scheduler ("rr", "pf",
+// "mt") once and installs one shared pool-backed IntraSlice across every
+// cell that registered sliceID: N cells scheduling concurrently draw from
+// up to poolMax parallel sandboxes of a single compiled module.
+func (cg *CellGroup) InstallPooledScheduler(sliceID uint32, name string, policy wabi.Policy, poolMax int) (*sched.PoolScheduler, error) {
+	mod, err := plugins.CompileScheduler(name)
+	if err != nil {
+		return nil, err
+	}
+	return cg.installPool(sliceID, name, mod, policy, poolMax)
+}
+
+// UploadSchedulerAll is the multi-cell hot-swap path: third-party bytecode
+// is resolved through the group's content-addressed cache (compiling at
+// most once, even if the same bytes were uploaded before), wrapped in one
+// shared instance pool, and swapped onto every cell that has the slice.
+func (cg *CellGroup) UploadSchedulerAll(sliceID uint32, name string, bin []byte, policy wabi.Policy, poolMax int) (*sched.PoolScheduler, error) {
+	mod, err := cg.Modules.Load(bin)
+	if err != nil {
+		return nil, fmt.Errorf("core: cell group rejected uploaded bytecode: %w", err)
+	}
+	return cg.installPool(sliceID, name, mod, policy, poolMax)
+}
+
+func (cg *CellGroup) installPool(sliceID uint32, name string, mod *wabi.Module, policy wabi.Policy, poolMax int) (*sched.PoolScheduler, error) {
+	if policy.MaxMemoryPages == 0 {
+		policy.MaxMemoryPages = 256
+	}
+	if policy.Fuel == 0 {
+		policy.Fuel = 10_000_000
+	}
+	pool := wabi.NewPool(mod, policy, wabi.Env{}, poolMax)
+	ps, err := sched.NewPoolScheduler(name, pool, nil)
+	if err != nil {
+		return nil, err
+	}
+	swapped := 0
+	for _, g := range cg.cells {
+		if _, ok := g.Slices.Slice(sliceID); !ok {
+			continue
+		}
+		if err := g.Slices.HotSwap(sliceID, ps); err != nil {
+			return nil, err
+		}
+		swapped++
+	}
+	if swapped == 0 {
+		return nil, fmt.Errorf("core: no cell in the group has slice %d", sliceID)
+	}
+	return ps, nil
+}

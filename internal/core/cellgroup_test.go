@@ -1,0 +1,243 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"waran/internal/e2"
+	"waran/internal/plugins"
+	"waran/internal/ran"
+	"waran/internal/sched"
+	"waran/internal/wabi"
+	"waran/internal/wasm"
+	"waran/internal/wat"
+)
+
+// populateCell loads one cell with two slices and seeded UEs. Seeds derive
+// from the cell index only, so calling this twice for the same index builds
+// byte-identical cells — the foundation of the determinism tests.
+func populateCell(t testing.TB, g *GNB, cell int) {
+	t.Helper()
+	rr, err := NewPluginScheduler("rr", wabi.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := NewPluginScheduler("pf", wabi.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Slices.AddSlice(1, "embb", 12e6, rr, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Slices.AddSlice(2, "mvno", 8e6, pf, nil); err != nil {
+		t.Fatal(err)
+	}
+	ueID := uint32(1)
+	for s := uint32(1); s <= 2; s++ {
+		for k := 0; k < 3; k++ {
+			seed := int64(1000*cell + 10*int(s) + k)
+			ue := ran.NewUE(ueID, s, 18+2*k)
+			ue.Traffic = ran.NewOnOff(6e6, 40*time.Millisecond, 20*time.Millisecond, seed)
+			ue.Channel = ran.NewRandomWalkChannel(6, 15, 0.3, seed+7)
+			if err := g.AttachUE(ue); err != nil {
+				t.Fatal(err)
+			}
+			ueID++
+		}
+	}
+}
+
+func buildGroup(t testing.TB, cells, parallelism int) *CellGroup {
+	t.Helper()
+	cg, err := NewCellGroup(ran.CellConfig{}, CellGroupConfig{Cells: cells, Parallelism: parallelism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cells; i++ {
+		populateCell(t, cg.Cell(i), i)
+	}
+	return cg
+}
+
+// TestCellGroupSerialMatchesSingleCellLoop: parallelism 1 must be
+// byte-identical to today's serial loop over standalone gNBs.
+func TestCellGroupSerialMatchesSingleCellLoop(t *testing.T) {
+	const cells, slots = 3, 300
+	cg := buildGroup(t, cells, 1)
+
+	standalone := make([]*GNB, cells)
+	for i := range standalone {
+		g, err := NewGNB(ran.CellConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		populateCell(t, g, i)
+		standalone[i] = g
+	}
+
+	for slot := 0; slot < slots; slot++ {
+		group := cg.StepAll()
+		for i, g := range standalone {
+			serial := g.Step()
+			if !reflect.DeepEqual(serial, group[i]) {
+				t.Fatalf("slot %d cell %d: group result diverged from serial loop\nserial: %+v\ngroup:  %+v",
+					slot, i, serial, group[i])
+			}
+		}
+	}
+}
+
+// TestCellGroupDeterminism is the tentpole's safety net: a 4-cell group
+// stepped with parallelism 1 and parallelism NumCPU over 2000 slots must
+// produce identical per-cell SlotResult sequences.
+func TestCellGroupDeterminism(t *testing.T) {
+	const cells = 4
+	slots := 2000
+	if testing.Short() {
+		slots = 300
+	}
+
+	run := func(par int) [][]SlotResult {
+		cg := buildGroup(t, cells, par)
+		// Shared pool-backed schedulers across all cells: the maximally
+		// concurrent configuration, and still deterministic because the
+		// built-in plugins are pure functions of the request.
+		if _, err := cg.InstallPooledScheduler(1, "rr", wabi.Policy{}, 2*cells); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cg.InstallPooledScheduler(2, "pf", wabi.Policy{}, 2*cells); err != nil {
+			t.Fatal(err)
+		}
+		seq := make([][]SlotResult, cells)
+		for s := 0; s < slots; s++ {
+			res := cg.StepAll()
+			for i := range res {
+				seq[i] = append(seq[i], res[i])
+			}
+		}
+		return seq
+	}
+
+	serial := run(1)
+	parallel := run(runtime.NumCPU())
+	for i := 0; i < cells; i++ {
+		for s := range serial[i] {
+			if !reflect.DeepEqual(serial[i][s], parallel[i][s]) {
+				t.Fatalf("cell %d slot %d: parallel result differs\nserial:   %+v\nparallel: %+v",
+					i, s, serial[i][s], parallel[i][s])
+			}
+		}
+	}
+}
+
+// TestCellGroupModuleCacheCompilesOnce: hot-swapping identical bytecode
+// onto 64 cells — via the group path and then again per cell through the
+// E2 control path — must run wasm.Compile exactly once.
+func TestCellGroupModuleCacheCompilesOnce(t *testing.T) {
+	const cells = 64
+	cg, err := NewCellGroup(ran.CellConfig{}, CellGroupConfig{Cells: cells, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cells; i++ {
+		if _, err := cg.Cell(i).Slices.AddSlice(1, "tenant", 10e6, sched.RoundRobin{}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := wat.CompileToBinary(plugins.ProportionalFairWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := wasm.CompileCount()
+	if _, err := cg.UploadSchedulerAll(1, "pf-v2", blob, wabi.Policy{}, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Re-upload the same bytes onto every cell individually through the
+	// E2 control surface; all 64 must hit the shared cache.
+	for i := 0; i < cells; i++ {
+		err := cg.Cell(i).Apply(&e2.ControlRequest{
+			Action: e2.ActionUploadScheduler, SliceID: 1, Text: "pf-up", Blob: blob,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := wasm.CompileCount() - before; got != 1 {
+		t.Fatalf("64-cell hot-swap ran wasm.Compile %d times, want exactly 1", got)
+	}
+	if hits, misses := cg.Modules.Stats(); misses != 1 || hits != cells {
+		t.Fatalf("cache stats = %d hits / %d misses, want %d/1", hits, misses, cells)
+	}
+	for i := 0; i < cells; i++ {
+		if name := cg.Cell(i).Slices.Slices()[0].SchedulerName(); name != "plugin:pf-up" {
+			t.Fatalf("cell %d runs %q after upload", i, name)
+		}
+	}
+}
+
+// TestCellGroupWatchdogPinsSlowCell: consecutive deadline overruns must pin
+// the cell to native fallback scheduling, exactly like the per-slice
+// quarantine path, and ReleaseCell must lift the pin.
+func TestCellGroupWatchdogPinsSlowCell(t *testing.T) {
+	cg, err := NewCellGroup(ran.CellConfig{}, CellGroupConfig{
+		Cells:             2,
+		Parallelism:       2,
+		SlotDeadline:      time.Nanosecond, // everything overruns
+		FallbackOnOverrun: true,
+		OverrunThreshold:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		populateCell(t, cg.Cell(i), i)
+	}
+	cg.RunSlots(5, nil)
+
+	for i := 0; i < 2; i++ {
+		if !cg.CellPinned(i) {
+			t.Fatalf("cell %d not pinned after persistent overruns", i)
+		}
+		st := cg.WatchdogStats()[i]
+		if st.Slots != 5 || st.Overruns != 5 {
+			t.Fatalf("cell %d watchdog = %+v", i, st)
+		}
+	}
+	// Pinned cells schedule natively: the next slot uses fallback.
+	res := cg.StepAll()
+	for i := 0; i < 2; i++ {
+		for sliceID, ss := range res[i].PerSlice {
+			if ss.BudgetPRBs > 0 && !ss.UsedFallback {
+				t.Fatalf("cell %d slice %d still ran its plugin while pinned", i, sliceID)
+			}
+		}
+	}
+	cg.ReleaseCell(0)
+	if cg.CellPinned(0) || cg.Cell(0).Slices.ForceFallback() {
+		t.Fatal("ReleaseCell did not lift the pin")
+	}
+}
+
+// TestCellGroupValidation covers constructor edges.
+func TestCellGroupValidation(t *testing.T) {
+	if _, err := NewCellGroup(ran.CellConfig{}, CellGroupConfig{Cells: 0}); err == nil {
+		t.Fatal("0-cell group accepted")
+	}
+	cg, err := NewCellGroup(ran.CellConfig{}, CellGroupConfig{Cells: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cg.UploadSchedulerAll(9, "x", []byte{1, 2, 3}, wabi.Policy{}, 2); err == nil {
+		t.Fatal("garbage bytecode accepted")
+	}
+	blob, err := wat.CompileToBinary(plugins.RoundRobinWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cg.UploadSchedulerAll(9, "x", blob, wabi.Policy{}, 2); err == nil {
+		t.Fatal("swap onto unknown slice accepted")
+	}
+}

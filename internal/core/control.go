@@ -77,7 +77,16 @@ func (g *GNB) Apply(c *e2.ControlRequest) error {
 		if len(c.Blob) == 0 {
 			return fmt.Errorf("core: control: upload-scheduler without bytecode")
 		}
-		mod, err := wabi.CompileWasm(c.Blob)
+		// Resolve through the content-addressed cache when available:
+		// re-uploads of identical bytecode (64 cells, retries, rollbacks)
+		// skip the decode/validate/flatten gauntlet entirely.
+		var mod *wabi.Module
+		var err error
+		if g.Modules != nil {
+			mod, err = g.Modules.Load(c.Blob)
+		} else {
+			mod, err = wabi.CompileWasm(c.Blob)
+		}
 		if err != nil {
 			return fmt.Errorf("core: control: rejected uploaded bytecode: %w", err)
 		}

@@ -26,6 +26,10 @@ type GNB struct {
 	Inter sched.InterSlice
 	// PFTimeConstant is the EWMA horizon (slots) for long-term throughput.
 	PFTimeConstant float64
+	// Modules, when set, content-addresses uploaded plugin bytecode so
+	// repeated uploads of identical bytes compile once. Cells created via
+	// NewCellGroup share one cache; a standalone gNB gets its own.
+	Modules *wabi.ModuleCache
 
 	mu        sync.Mutex
 	ues       []*ran.UE
@@ -47,6 +51,7 @@ func NewGNB(cell ran.CellConfig) (*GNB, error) {
 		Cell:      cell,
 		Slices:    slicing.NewManager(),
 		Inter:     sched.TargetRate{},
+		Modules:   wabi.NewModuleCache(),
 		byID:      make(map[uint32]*ran.UE),
 		sliceRate: make(map[uint32]float64),
 	}, nil

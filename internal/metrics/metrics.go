@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -258,6 +259,73 @@ func (r *RateMeter) MeanBpsAfter(t time.Duration) float64 {
 		return 0
 	}
 	return s / float64(n)
+}
+
+// DeadlineMeter tracks per-slot execution time against a hard deadline (the
+// paper's 1 ms slot budget, §4A/§5). It is safe for concurrent use — the
+// cell-group slot engine feeds it from its worker goroutines — and keeps
+// O(1) state: counts, the worst observation, and a streaming P99.
+type DeadlineMeter struct {
+	mu       sync.Mutex
+	deadline time.Duration
+	slots    uint64
+	overruns uint64
+	worst    time.Duration
+	p99      *P2 // microseconds
+}
+
+// NewDeadlineMeter creates a meter for the given per-slot deadline.
+func NewDeadlineMeter(deadline time.Duration) *DeadlineMeter {
+	return &DeadlineMeter{deadline: deadline, p99: NewP2(0.99)}
+}
+
+// Deadline returns the configured budget.
+func (m *DeadlineMeter) Deadline() time.Duration { return m.deadline }
+
+// Observe records one slot's execution time and reports whether it overran
+// the deadline.
+func (m *DeadlineMeter) Observe(d time.Duration) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.slots++
+	m.p99.Add(float64(d.Nanoseconds()) / 1e3)
+	if d > m.worst {
+		m.worst = d
+	}
+	if m.deadline > 0 && d > m.deadline {
+		m.overruns++
+		return true
+	}
+	return false
+}
+
+// DeadlineStats is a snapshot of a DeadlineMeter.
+type DeadlineStats struct {
+	Deadline time.Duration
+	Slots    uint64
+	Overruns uint64
+	Worst    time.Duration
+	P99us    float64
+}
+
+// Snapshot returns current accounting.
+func (m *DeadlineMeter) Snapshot() DeadlineStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return DeadlineStats{
+		Deadline: m.deadline,
+		Slots:    m.slots,
+		Overruns: m.overruns,
+		Worst:    m.worst,
+		P99us:    m.p99.Value(),
+	}
+}
+
+// String summarises the meter.
+func (m *DeadlineMeter) String() string {
+	s := m.Snapshot()
+	return fmt.Sprintf("slots=%d overruns=%d worst=%v p99=%.1fus deadline=%v",
+		s.Slots, s.Overruns, s.Worst, s.P99us, s.Deadline)
 }
 
 // Counter is a simple monotonically increasing event counter.

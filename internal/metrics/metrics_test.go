@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -188,5 +189,58 @@ func TestCounter(t *testing.T) {
 	c.Add(4)
 	if c.Value() != 5 {
 		t.Fatalf("counter = %d", c.Value())
+	}
+}
+
+func TestDeadlineMeter(t *testing.T) {
+	m := NewDeadlineMeter(time.Millisecond)
+	if m.Deadline() != time.Millisecond {
+		t.Fatalf("deadline = %v", m.Deadline())
+	}
+	if m.Observe(200 * time.Microsecond) {
+		t.Fatal("under-budget slot reported as overrun")
+	}
+	if !m.Observe(3 * time.Millisecond) {
+		t.Fatal("over-budget slot not reported")
+	}
+	m.Observe(time.Microsecond)
+	s := m.Snapshot()
+	if s.Slots != 3 || s.Overruns != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Worst != 3*time.Millisecond {
+		t.Fatalf("worst = %v", s.Worst)
+	}
+	if s.P99us <= 0 {
+		t.Fatalf("p99 = %v", s.P99us)
+	}
+	if m.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestDeadlineMeterConcurrent(t *testing.T) {
+	m := NewDeadlineMeter(time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Observe(time.Duration(i) * 3 * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Slots != 8000 {
+		t.Fatalf("slots = %d", s.Slots)
+	}
+	// Slots above 1 ms: i in (333, 1000) per goroutine.
+	if s.Overruns != 8*666 {
+		t.Fatalf("overruns = %d, want %d", s.Overruns, 8*666)
+	}
+	if s.Worst != 2997*time.Microsecond {
+		t.Fatalf("worst = %v", s.Worst)
 	}
 }

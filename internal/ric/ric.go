@@ -30,6 +30,10 @@ type RIC struct {
 
 	// KPM stores the indication history for analytics and tests.
 	KPM *KPMStore
+	// Modules content-addresses uploaded xApp bytecode: installing the
+	// same bytes under several names (or re-installing after a remove)
+	// compiles once.
+	Modules *wabi.ModuleCache
 
 	// Counters.
 	indications uint64
@@ -42,6 +46,7 @@ func New() *RIC {
 		byName:         make(map[string]*XApp),
 		ReportPeriodMs: 100,
 		KPM:            NewKPMStore(0),
+		Modules:        wabi.NewModuleCache(),
 	}
 }
 
@@ -52,6 +57,17 @@ func (r *RIC) AddXAppWAT(name, src string, policy wabi.Policy) (*XApp, error) {
 	mod, err := wabi.CompileWAT(src)
 	if err != nil {
 		return nil, fmt.Errorf("ric: compile xApp %q: %w", name, err)
+	}
+	return r.AddXApp(name, mod, policy)
+}
+
+// AddXAppBytecode installs Wasm bytecode as an xApp — the operator upload
+// path. The bytecode is resolved through the RIC's content-addressed
+// module cache, so identical bytes decode/validate/flatten at most once.
+func (r *RIC) AddXAppBytecode(name string, bin []byte, policy wabi.Policy) (*XApp, error) {
+	mod, err := r.Modules.Load(bin)
+	if err != nil {
+		return nil, fmt.Errorf("ric: rejected xApp %q bytecode: %w", name, err)
 	}
 	return r.AddXApp(name, mod, policy)
 }

@@ -1,6 +1,7 @@
 package ric
 
 import (
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -8,8 +9,10 @@ import (
 
 	"waran/internal/core"
 	"waran/internal/e2"
+	"waran/internal/plugins"
 	"waran/internal/ran"
 	"waran/internal/wabi"
+	"waran/internal/wasm"
 	"waran/internal/wat"
 )
 
@@ -220,5 +223,36 @@ func TestControlBlobRoundTripsAllCodecs(t *testing.T) {
 		if !reflect.DeepEqual(got.Control, msg.Control) {
 			t.Fatalf("%s: blob lost: %+v", codec.Name(), got.Control)
 		}
+	}
+}
+
+// TestAddXAppBytecodeUsesModuleCache: the operator upload path resolves
+// identical bytecode through the RIC's content-addressed cache, so
+// installing the same blob under many names compiles it once — and bad
+// bytecode is rejected without poisoning the cache.
+func TestAddXAppBytecodeUsesModuleCache(t *testing.T) {
+	r := New()
+	blob, err := wat.CompileToBinary(plugins.TrafficSteerXAppWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := wasm.CompileCount()
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("steer-%d", i)
+		if _, err := r.AddXAppBytecode(name, append([]byte(nil), blob...), wabi.Policy{}); err != nil {
+			t.Fatalf("install %s: %v", name, err)
+		}
+	}
+	if got := wasm.CompileCount() - before; got != 1 {
+		t.Fatalf("4 uploads of identical bytecode compiled %d times, want 1", got)
+	}
+	if hits, misses := r.Modules.Stats(); hits != 3 || misses != 1 {
+		t.Fatalf("cache stats = %d hits / %d misses, want 3/1", hits, misses)
+	}
+	if _, err := r.AddXAppBytecode("bad", []byte{1, 2, 3}, wabi.Policy{}); err == nil {
+		t.Fatal("garbage bytecode accepted as xApp")
+	}
+	if r.Modules.Contains([]byte{1, 2, 3}) {
+		t.Fatal("failed compile cached")
 	}
 }

@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"waran/internal/wabi"
+)
+
+// PoolScheduler adapts a pool of sandbox instances of one compiled plugin
+// to the IntraSlice interface. Where PluginScheduler serializes every call
+// on a single instance, PoolScheduler checks an instance out per call, so a
+// multi-cell gNB stepping cells concurrently fans intra-slice decisions
+// across up to Pool.max sandboxes of the same module — one upload, one
+// compilation, N parallel executions.
+//
+// PoolScheduler is safe for concurrent use; the plugins it runs should be
+// stateless across calls (pure functions of the request), which all the
+// built-in schedulers are, so decisions do not depend on which instance
+// served a call.
+type PoolScheduler struct {
+	name  string
+	pool  *wabi.Pool
+	codec Codec
+
+	mu        sync.Mutex
+	calls     uint64
+	faults    uint64
+	totalTime time.Duration
+	lastTime  time.Duration
+}
+
+// NewPoolScheduler wraps an instance pool. codec nil means the binary
+// codec. One instance is created eagerly to verify the module exports the
+// scheduling entry point; it is returned to the pool warm.
+func NewPoolScheduler(name string, pool *wabi.Pool, codec Codec) (*PoolScheduler, error) {
+	if codec == nil {
+		codec = BinaryCodec{}
+	}
+	pl, err := pool.Get()
+	if err != nil {
+		return nil, fmt.Errorf("sched: pool plugin %q: %w", name, err)
+	}
+	ok := pl.HasEntry(EntryPoint)
+	pool.Put(pl)
+	if !ok {
+		return nil, fmt.Errorf("sched: plugin %q does not export %q with signature () -> i32", name, EntryPoint)
+	}
+	return &PoolScheduler{name: name, pool: pool, codec: codec}, nil
+}
+
+// Name implements IntraSlice.
+func (p *PoolScheduler) Name() string { return "pool:" + p.name }
+
+// Pool exposes the underlying instance pool for observation.
+func (p *PoolScheduler) Pool() *wabi.Pool { return p.pool }
+
+// Stats reports call accounting across all instances.
+func (p *PoolScheduler) Stats() (calls, faults uint64, total, last time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls, p.faults, p.totalTime, p.lastTime
+}
+
+// Schedule implements IntraSlice: check out an instance, run the decision,
+// return the instance. The measured span matches PluginScheduler (encode +
+// sandbox execution + decode), excluding time spent waiting for a free
+// instance so pool-exhaustion stalls are visible as wall-clock, not
+// mistaken for plugin cost.
+func (p *PoolScheduler) Schedule(req *Request) (*Response, error) {
+	pl, err := p.pool.Get()
+	if err != nil {
+		p.recordCall(0, true)
+		return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, err)
+	}
+	defer p.pool.Put(pl)
+
+	start := time.Now()
+	in := p.codec.EncodeRequest(req)
+	out, err := pl.Call(EntryPoint, in)
+	if err != nil {
+		p.recordCall(time.Since(start), true)
+		return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, err)
+	}
+	resp, err := p.codec.DecodeResponse(out)
+	if err != nil {
+		p.recordCall(time.Since(start), true)
+		return nil, fmt.Errorf("sched: pool plugin %q returned malformed response: %w", p.name, err)
+	}
+	if err := resp.Validate(req); err != nil {
+		p.recordCall(time.Since(start), true)
+		return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, err)
+	}
+	p.recordCall(time.Since(start), false)
+	return resp, nil
+}
+
+func (p *PoolScheduler) recordCall(d time.Duration, fault bool) {
+	p.mu.Lock()
+	p.calls++
+	p.lastTime = d
+	p.totalTime += d
+	if fault {
+		p.faults++
+	}
+	p.mu.Unlock()
+}

@@ -125,6 +125,10 @@ type Manager struct {
 	mu     sync.RWMutex
 	slices map[uint32]*Slice
 	order  []uint32 // deterministic iteration order (registration order)
+	// forceFallback pins every slice to its native fallback scheduler —
+	// the cell-group deadline watchdog's recovery action when plugin
+	// scheduling blows the slot budget.
+	forceFallback bool
 
 	// QuarantineThreshold is the consecutive-fault limit before a slice is
 	// pinned to its fallback (0 means DefaultQuarantineThreshold).
@@ -237,6 +241,23 @@ func (m *Manager) HotSwap(id uint32, scheduler sched.IntraSlice) error {
 	return nil
 }
 
+// SetForceFallback pins (on) or releases (off) every slice to its native
+// fallback scheduler. While pinned, Schedule skips plugins entirely — the
+// same rescue path a faulting plugin takes, applied cell-wide. Fallback
+// slots are counted per slice as usual; fault counters are untouched.
+func (m *Manager) SetForceFallback(on bool) {
+	m.mu.Lock()
+	m.forceFallback = on
+	m.mu.Unlock()
+}
+
+// ForceFallback reports whether the manager is pinned to native fallbacks.
+func (m *Manager) ForceFallback() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.forceFallback
+}
+
 // Schedule runs the slice's intra-slice policy on req with full fault
 // protection: a trap, timeout (fuel), malformed or over-budget response is
 // absorbed — the slot is rescued by the fallback scheduler, and after
@@ -248,13 +269,17 @@ func (m *Manager) Schedule(s *Slice, req *sched.Request) (*sched.Response, error
 		threshold = DefaultQuarantineThreshold
 	}
 
+	m.mu.RLock()
+	forced := m.forceFallback
+	m.mu.RUnlock()
+
 	s.mu.Lock()
 	scheduler := s.scheduler
 	quarantined := s.quarantined
 	fallback := s.fallback
 	s.mu.Unlock()
 
-	if !quarantined {
+	if !quarantined && !forced {
 		resp, err := scheduler.Schedule(req)
 		if err == nil {
 			if verr := resp.Validate(req); verr == nil {

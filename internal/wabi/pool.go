@@ -20,6 +20,10 @@ type Pool struct {
 	created int
 	max     int
 	waiters []chan *Plugin
+
+	// newFn creates one instance; overridable in tests to exercise
+	// creation-failure orderings deterministically.
+	newFn func() (*Plugin, error)
 }
 
 // NewPool creates a pool bounded to max concurrent instances (0 means 16).
@@ -27,36 +31,52 @@ func NewPool(mod *Module, policy Policy, env Env, max int) *Pool {
 	if max <= 0 {
 		max = 16
 	}
-	return &Pool{mod: mod, policy: policy, env: env, max: max}
+	p := &Pool{mod: mod, policy: policy, env: env, max: max}
+	p.newFn = func() (*Plugin, error) { return NewPlugin(p.mod, p.policy, p.env) }
+	return p
 }
 
 // Get checks out an instance, instantiating one if under the limit and
 // blocking when the pool is exhausted.
 func (p *Pool) Get() (*Plugin, error) {
-	p.mu.Lock()
-	if n := len(p.idle); n > 0 {
-		pl := p.idle[n-1]
-		p.idle = p.idle[:n-1]
-		p.mu.Unlock()
-		return pl, nil
-	}
-	if p.created < p.max {
-		p.created++
-		p.mu.Unlock()
-		pl, err := NewPlugin(p.mod, p.policy, p.env)
-		if err != nil {
-			p.mu.Lock()
-			p.created--
+	for {
+		p.mu.Lock()
+		if n := len(p.idle); n > 0 {
+			pl := p.idle[n-1]
+			p.idle = p.idle[:n-1]
 			p.mu.Unlock()
-			return nil, err
+			return pl, nil
 		}
-		return pl, nil
+		if p.created < p.max {
+			p.created++
+			newFn := p.newFn
+			p.mu.Unlock()
+			pl, err := newFn()
+			if err != nil {
+				p.mu.Lock()
+				p.created--
+				// The creation slot just freed. A waiter may have queued
+				// while this Get held the last slot; wake one so it retries
+				// instead of waiting for a Put that may never come.
+				if len(p.waiters) > 0 {
+					ch := p.waiters[0]
+					p.waiters = p.waiters[1:]
+					ch <- nil
+				}
+				p.mu.Unlock()
+				return nil, err
+			}
+			return pl, nil
+		}
+		// Exhausted: wait for a Put (instance delivered) or a failed
+		// creation (nil delivered; loop and retry the slot).
+		ch := make(chan *Plugin, 1)
+		p.waiters = append(p.waiters, ch)
+		p.mu.Unlock()
+		if pl := <-ch; pl != nil {
+			return pl, nil
+		}
 	}
-	// Exhausted: wait for a Put.
-	ch := make(chan *Plugin, 1)
-	p.waiters = append(p.waiters, ch)
-	p.mu.Unlock()
-	return <-ch, nil
 }
 
 // Put returns an instance to the pool.

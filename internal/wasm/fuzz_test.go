@@ -141,3 +141,41 @@ func TestHugeFunctionBody(t *testing.T) {
 		t.Fatalf("big = %d, want %d", got, want)
 	}
 }
+
+// FuzzDecode is the native fuzz target over the plugin upload gauntlet:
+// decode, compile, instantiate and (fuel-bounded) execute arbitrary bytes.
+// Anything but a clean error or a trap is a finding. `make check` runs a
+// 10 s smoke of this; longer campaigns via
+// go test -fuzz=FuzzDecode ./internal/wasm.
+func FuzzDecode(f *testing.F) {
+	seed, err := wat.CompileToBinary(fullFeatureWAT)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00}) // empty module
+	f.Add([]byte{0x00, 0x61, 0x73, 0x6D})                         // truncated magic
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := wasm.Decode(data)
+		if err != nil {
+			return
+		}
+		cm, err := wasm.Compile(m)
+		if err != nil {
+			return
+		}
+		in, err := cm.Instantiate(nil, wasm.Config{MaxMemoryPages: 64, MeterFuel: true})
+		if err != nil {
+			return
+		}
+		in.SetFuel(50_000)
+		for _, e := range in.Module().Exports {
+			if e.Kind != wasm.ExternFunc {
+				continue
+			}
+			ft, _ := in.FuncType(e.Name)
+			args := make([]uint64, len(ft.Params))
+			_, _ = in.Call(e.Name, args...)
+		}
+	})
+}

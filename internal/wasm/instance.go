@@ -2,6 +2,7 @@ package wasm
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -53,9 +54,17 @@ type CompiledModule struct {
 	types []FuncType      // signature per function-space index
 }
 
+// compileCount counts Compile invocations process-wide. The module cache's
+// compile-once guarantee is asserted against it in tests.
+var compileCount atomic.Uint64
+
+// CompileCount reports how many times Compile has run in this process.
+func CompileCount() uint64 { return compileCount.Load() }
+
 // Compile validates m (if not already validated) and flattens all function
 // bodies.
 func Compile(m *Module) (*CompiledModule, error) {
+	compileCount.Add(1)
 	if !m.validated {
 		if err := Validate(m); err != nil {
 			return nil, err

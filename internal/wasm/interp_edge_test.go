@@ -1,6 +1,7 @@
 package wasm_test
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -352,5 +353,213 @@ func TestMultiValueResults(t *testing.T) {
 	}
 	if _, err := wasm.Decode(bin); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Differential numeric-edge suite: the interpreter's behaviour on the
+// spec's nastiest corners — signed division/remainder overflow, trapping vs
+// saturating float->int truncation, and NaN propagation — asserted against
+// precomputed reference values. A scheduler plugin doing PF math hits every
+// one of these domains.
+
+// edgeResult is one expected outcome: either a value or a trap code.
+type edgeResult struct {
+	val    uint64
+	trap   wasm.TrapCode
+	isTrap bool
+}
+
+func v(x uint64) edgeResult              { return edgeResult{val: x} }
+func trapped(c wasm.TrapCode) edgeResult { return edgeResult{trap: c, isTrap: true} }
+
+func checkEdge(t *testing.T, in *wasm.Instance, fn string, want edgeResult, args ...uint64) {
+	t.Helper()
+	res, err := in.Call(fn, args...)
+	if want.isTrap {
+		var tr *wasm.Trap
+		if err == nil {
+			t.Errorf("%s(%#x) = %#x, want trap %v", fn, args, res[0], want.trap)
+			return
+		}
+		if !errors.As(err, &tr) || tr.Code != want.trap {
+			t.Errorf("%s(%#x): err = %v, want trap %v", fn, args, err, want.trap)
+		}
+		return
+	}
+	if err != nil {
+		t.Errorf("%s(%#x): unexpected error %v", fn, args, err)
+		return
+	}
+	if res[0] != want.val {
+		t.Errorf("%s(%#x) = %#x, want %#x", fn, args, res[0], want.val)
+	}
+}
+
+// TestIntegerDivRemOverflowEdges: MinInt / -1 overflows div_s and must
+// trap; the same operands under rem_s are defined and yield 0; anything
+// over zero traps divide-by-zero.
+func TestIntegerDivRemOverflowEdges(t *testing.T) {
+	in := mustInstance(t, binOpModule("i32", "i32", []string{"i32.div_s", "i32.rem_s", "i32.div_u", "i32.rem_u"}))
+	in64 := mustInstance(t, binOpModule("i64", "i64", []string{"i64.div_s", "i64.rem_s", "i64.div_u", "i64.rem_u"}))
+	minI32 := i32(math.MinInt32)
+	minI64 := i64(math.MinInt64)
+
+	cases := []struct {
+		in   *wasm.Instance
+		fn   string
+		a, b uint64
+		want edgeResult
+	}{
+		// Signed overflow: MinInt / -1 has no representable result.
+		{in, "i32.div_s", minI32, i32(-1), trapped(wasm.TrapIntegerOverflow)},
+		{in64, "i64.div_s", minI64, i64(-1), trapped(wasm.TrapIntegerOverflow)},
+		// ...but the remainder is defined: spec says 0.
+		{in, "i32.rem_s", minI32, i32(-1), v(0)},
+		{in64, "i64.rem_s", minI64, i64(-1), v(0)},
+		// Divide by zero traps for every flavour.
+		{in, "i32.div_s", i32(1), i32(0), trapped(wasm.TrapIntegerDivideByZero)},
+		{in, "i32.div_u", i32(1), i32(0), trapped(wasm.TrapIntegerDivideByZero)},
+		{in, "i32.rem_s", i32(1), i32(0), trapped(wasm.TrapIntegerDivideByZero)},
+		{in, "i32.rem_u", i32(1), i32(0), trapped(wasm.TrapIntegerDivideByZero)},
+		{in64, "i64.div_s", i64(1), i64(0), trapped(wasm.TrapIntegerDivideByZero)},
+		{in64, "i64.div_u", i64(1), i64(0), trapped(wasm.TrapIntegerDivideByZero)},
+		{in64, "i64.rem_s", i64(1), i64(0), trapped(wasm.TrapIntegerDivideByZero)},
+		{in64, "i64.rem_u", i64(1), i64(0), trapped(wasm.TrapIntegerDivideByZero)},
+		// Signed semantics: truncation toward zero, remainder takes the
+		// dividend's sign.
+		{in, "i32.div_s", i32(-7), i32(2), v(i32(-3))},
+		{in, "i32.rem_s", i32(-7), i32(2), v(i32(-1))},
+		{in, "i32.rem_s", i32(7), i32(-2), v(i32(1))},
+		{in64, "i64.div_s", i64(-9), i64(4), v(i64(-2))},
+		{in64, "i64.rem_s", i64(-9), i64(4), v(i64(-1))},
+		// Unsigned: the sign bit is magnitude. 0xFFFFFFFF / 2 = 0x7FFFFFFF.
+		{in, "i32.div_u", i32(-1), i32(2), v(0x7FFFFFFF)},
+		{in, "i32.rem_u", i32(-1), i32(2), v(1)},
+		{in64, "i64.div_u", i64(-1), i64(2), v(0x7FFFFFFFFFFFFFFF)},
+		// MinInt / 1 is fine.
+		{in, "i32.div_s", minI32, i32(1), v(minI32)},
+		{in64, "i64.div_s", minI64, i64(1), v(minI64)},
+	}
+	for _, tc := range cases {
+		checkEdge(t, tc.in, tc.fn, tc.want, tc.a, tc.b)
+	}
+}
+
+// TestTruncationTrappingVsSaturating: the trapping i32/i64.trunc_f* family
+// must refuse NaN and out-of-range inputs, while the trunc_sat_f* family
+// clamps them (NaN -> 0), per the nontrapping-conversions spec.
+func TestTruncationTrappingVsSaturating(t *testing.T) {
+	src := `(module
+	  (func (export "i32.trunc_f32_s")     (param f32) (result i32) local.get 0 i32.trunc_f32_s)
+	  (func (export "i32.trunc_f32_u")     (param f32) (result i32) local.get 0 i32.trunc_f32_u)
+	  (func (export "i32.trunc_f64_s")     (param f64) (result i32) local.get 0 i32.trunc_f64_s)
+	  (func (export "i32.trunc_f64_u")     (param f64) (result i32) local.get 0 i32.trunc_f64_u)
+	  (func (export "i64.trunc_f64_s")     (param f64) (result i64) local.get 0 i64.trunc_f64_s)
+	  (func (export "i64.trunc_f64_u")     (param f64) (result i64) local.get 0 i64.trunc_f64_u)
+	  (func (export "i32.trunc_sat_f32_s") (param f32) (result i32) local.get 0 i32.trunc_sat_f32_s)
+	  (func (export "i32.trunc_sat_f32_u") (param f32) (result i32) local.get 0 i32.trunc_sat_f32_u)
+	  (func (export "i32.trunc_sat_f64_s") (param f64) (result i32) local.get 0 i32.trunc_sat_f64_s)
+	  (func (export "i32.trunc_sat_f64_u") (param f64) (result i32) local.get 0 i32.trunc_sat_f64_u)
+	  (func (export "i64.trunc_sat_f64_s") (param f64) (result i64) local.get 0 i64.trunc_sat_f64_s)
+	  (func (export "i64.trunc_sat_f64_u") (param f64) (result i64) local.get 0 i64.trunc_sat_f64_u)
+	)`
+	in := mustInstance(t, src)
+	nan32, nan64 := f32(float32(math.NaN())), f64(math.NaN())
+	inf64 := f64(math.Inf(1))
+
+	cases := []struct {
+		fn   string
+		arg  uint64
+		want edgeResult
+	}{
+		// In-range truncation rounds toward zero.
+		{"i32.trunc_f32_s", f32(-3.9), v(i32(-3))},
+		{"i32.trunc_f64_s", f64(3.9), v(3)},
+		{"i64.trunc_f64_s", f64(-1e15 - 0.5), v(i64(-1_000_000_000_000_000))},
+		{"i64.trunc_f64_u", f64(1.8446744073709550e19), v(0xFFFFFFFFFFFFF800)},
+		// NaN is an invalid conversion for the trapping family...
+		{"i32.trunc_f32_s", nan32, trapped(wasm.TrapInvalidConversion)},
+		{"i32.trunc_f64_u", nan64, trapped(wasm.TrapInvalidConversion)},
+		{"i64.trunc_f64_s", nan64, trapped(wasm.TrapInvalidConversion)},
+		// ...and saturates to 0 for the _sat family.
+		{"i32.trunc_sat_f32_s", nan32, v(0)},
+		{"i32.trunc_sat_f64_u", nan64, v(0)},
+		{"i64.trunc_sat_f64_s", nan64, v(0)},
+		// Out of range: trapping family -> integer overflow.
+		{"i32.trunc_f32_s", f32(2.15e9), trapped(wasm.TrapIntegerOverflow)},
+		{"i32.trunc_f32_u", f32(-1), trapped(wasm.TrapIntegerOverflow)},
+		{"i32.trunc_f64_s", f64(-2.15e9), trapped(wasm.TrapIntegerOverflow)},
+		{"i32.trunc_f64_u", f64(4.3e9), trapped(wasm.TrapIntegerOverflow)},
+		{"i64.trunc_f64_s", f64(9.3e18), trapped(wasm.TrapIntegerOverflow)},
+		{"i64.trunc_f64_u", f64(-0.9999), v(0)}, // truncates to 0, in range
+		{"i64.trunc_f64_u", f64(-1), trapped(wasm.TrapIntegerOverflow)},
+		{"i64.trunc_f64_u", inf64, trapped(wasm.TrapIntegerOverflow)},
+		// Out of range: saturating family clamps to the type bounds.
+		{"i32.trunc_sat_f32_s", f32(2.15e9), v(i32(math.MaxInt32))},
+		{"i32.trunc_sat_f32_s", f32(-2.15e9), v(i32(math.MinInt32))},
+		{"i32.trunc_sat_f32_u", f32(-1), v(0)},
+		{"i32.trunc_sat_f32_u", f32(6e9), v(math.MaxUint32)},
+		{"i32.trunc_sat_f64_s", f64(math.Inf(-1)), v(i32(math.MinInt32))},
+		{"i32.trunc_sat_f64_u", inf64, v(math.MaxUint32)},
+		{"i64.trunc_sat_f64_s", f64(9.3e18), v(i64(math.MaxInt64))},
+		{"i64.trunc_sat_f64_s", f64(-9.3e18), v(i64(math.MinInt64))},
+		{"i64.trunc_sat_f64_u", f64(-2), v(0)},
+		{"i64.trunc_sat_f64_u", f64(2e19), v(math.MaxUint64)},
+		// Exact boundary values that DO fit.
+		{"i32.trunc_f64_s", f64(2147483647), v(i32(math.MaxInt32))},
+		{"i32.trunc_f64_s", f64(-2147483648), v(i32(math.MinInt32))},
+		{"i32.trunc_f64_u", f64(4294967295), v(math.MaxUint32)},
+	}
+	for _, tc := range cases {
+		checkEdge(t, in, tc.fn, tc.want, tc.arg)
+	}
+}
+
+// TestNaNPropagation: arithmetic on NaN yields NaN; min/max are
+// NaN-propagating (unlike x86 semantics); conversions preserve NaN-ness.
+func TestNaNPropagation(t *testing.T) {
+	bin64 := mustInstance(t, binOpModule("f64", "f64", []string{"f64.add", "f64.sub", "f64.mul", "f64.div", "f64.min", "f64.max"}))
+	un := mustInstance(t, `(module
+	  (func (export "sqrtneg") (param f64) (result f64) local.get 0 f64.sqrt)
+	  (func (export "promote") (param f32) (result f64) local.get 0 f64.promote_f32)
+	  (func (export "demote")  (param f64) (result f32) local.get 0 f32.demote_f64)
+	)`)
+	nan64 := f64(math.NaN())
+
+	isNaN64 := func(bits uint64) bool { return math.IsNaN(math.Float64frombits(bits)) }
+	isNaN32 := func(bits uint64) bool {
+		f := math.Float32frombits(uint32(bits))
+		return f != f
+	}
+
+	for _, fn := range []string{"f64.add", "f64.sub", "f64.mul", "f64.div", "f64.min", "f64.max"} {
+		if got := call1(t, bin64, fn, nan64, f64(1.5)); !isNaN64(got) {
+			t.Errorf("%s(NaN, 1.5) = %#x, want NaN", fn, got)
+		}
+		if got := call1(t, bin64, fn, f64(1.5), nan64); !isNaN64(got) {
+			t.Errorf("%s(1.5, NaN) = %#x, want NaN", fn, got)
+		}
+	}
+	// 0/0, inf-inf, 0*inf generate NaN from non-NaN inputs.
+	if got := call1(t, bin64, "f64.div", f64(0), f64(0)); !isNaN64(got) {
+		t.Errorf("0/0 = %#x, want NaN", got)
+	}
+	if got := call1(t, bin64, "f64.sub", f64(math.Inf(1)), f64(math.Inf(1))); !isNaN64(got) {
+		t.Errorf("inf-inf = %#x, want NaN", got)
+	}
+	if got := call1(t, bin64, "f64.mul", f64(0), f64(math.Inf(1))); !isNaN64(got) {
+		t.Errorf("0*inf = %#x, want NaN", got)
+	}
+	// sqrt of a negative number is NaN.
+	if got := call1(t, un, "sqrtneg", f64(-4)); !isNaN64(got) {
+		t.Errorf("sqrt(-4) = %#x, want NaN", got)
+	}
+	// NaN survives promotion and demotion.
+	if got := call1(t, un, "promote", f32(float32(math.NaN()))); !isNaN64(got) {
+		t.Errorf("promote(NaN32) = %#x, want NaN", got)
+	}
+	if got := call1(t, un, "demote", nan64); !isNaN32(got) {
+		t.Errorf("demote(NaN64) = %#x, want NaN", got)
 	}
 }
