@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fuzz
+.PHONY: build test check check-e2 bench fuzz
 
 ## build: compile every package.
 build:
@@ -11,11 +11,17 @@ test: build
 	$(GO) test ./...
 
 ## check: the deeper tier — vet, the full suite under the race detector,
-## and a 10 s fuzz smoke of the wasm decode/compile/execute gauntlet.
-check: build
+## the association-resilience suite, and a 10 s fuzz smoke of the wasm
+## decode/compile/execute gauntlet.
+check: build check-e2
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^FuzzDecode$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/wasm
+
+## check-e2: race-enabled association-resilience suite (E2 transport,
+## fault-injecting conn, RIC/agent sessions, faulty-link e2e recovery).
+check-e2:
+	$(GO) test -race -count=1 ./internal/e2 ./internal/ric
 
 ## bench: the paper's evaluation benchmarks.
 bench:

@@ -32,16 +32,17 @@ func main() {
 	e2Addr := flag.String("e2", "", "RIC address for the E2 agent (empty = standalone)")
 	codecName := flag.String("codec", "binary", "E2 codec: binary, json, varint")
 	shim := flag.Bool("widen-shim", false, "wrap the E2 codec in the 8->12-bit vendor adaptation plugin")
+	liveness := flag.Duration("e2-liveness", 500*time.Millisecond, "declare the RIC dead after this much E2 silence (0 disables)")
 	realtime := flag.Bool("realtime", false, "pace slots at wall-clock slot duration")
 	flag.Parse()
 
-	if err := run(*slices, *uesPerSlice, *duration, *e2Addr, *codecName, *shim, *realtime); err != nil {
+	if err := run(*slices, *uesPerSlice, *duration, *e2Addr, *codecName, *shim, *liveness, *realtime); err != nil {
 		fmt.Fprintln(os.Stderr, "gnb:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sliceSpec string, uesPerSlice int, duration time.Duration, e2Addr, codecName string, shim, realtime bool) error {
+func run(sliceSpec string, uesPerSlice int, duration time.Duration, e2Addr, codecName string, shim bool, liveness time.Duration, realtime bool) error {
 	gnb, err := core.NewGNB(ran.CellConfig{})
 	if err != nil {
 		return err
@@ -78,22 +79,28 @@ func run(sliceSpec string, uesPerSlice int, duration time.Duration, e2Addr, code
 			id, name, rate/1e6, uesPerSlice)
 	}
 
-	var agent *ric.Agent
+	// The E2 side runs under a supervisor: if the RIC is unreachable or
+	// the association dies mid-run, the gNB keeps scheduling on its native
+	// configuration while the session reconnects with backoff.
+	var sess *ric.AgentSession
+	var assoc *ric.AssocMetrics
 	if e2Addr != "" {
 		codec, err := buildCodec(codecName, shim)
 		if err != nil {
 			return err
 		}
-		conn, err := e2.Dial(e2Addr, codec)
-		if err != nil {
-			return err
+		assoc = &ric.AssocMetrics{}
+		sess = &ric.AgentSession{
+			Dial:            func() (*e2.Conn, error) { return e2.Dial(e2Addr, codec) },
+			RAN:             gnb,
+			Cell:            1,
+			LivenessTimeout: liveness,
+			Metrics:         assoc,
 		}
-		defer conn.Close()
-		agent = ric.NewAgent(conn, gnb, 1)
-		if _, err := agent.Start(); err != nil {
-			return err
-		}
-		fmt.Printf("E2 agent associated with RIC at %s (codec %s)\n", e2Addr, codec.Name())
+		sess.Start()
+		defer sess.Stop()
+		fmt.Printf("E2 agent supervising association to RIC at %s (codec %s, liveness %v)\n",
+			e2Addr, codec.Name(), liveness)
 	}
 
 	slots := core.SlotsForDuration(gnb.Cell, duration)
@@ -103,10 +110,8 @@ func run(sliceSpec string, uesPerSlice int, duration time.Duration, e2Addr, code
 		for id, ss := range r.PerSlice {
 			meters[id].AddSlot(ss.Bits)
 		}
-		if agent != nil {
-			if err := agent.Tick(uint64(slot)); err != nil {
-				return fmt.Errorf("e2 agent: %w", err)
-			}
+		if sess != nil {
+			sess.Tick(uint64(slot))
 		}
 		if realtime {
 			next := start.Add(time.Duration(slot+1) * gnb.Cell.SlotDuration)
@@ -123,9 +128,13 @@ func run(sliceSpec string, uesPerSlice int, duration time.Duration, e2Addr, code
 		fmt.Printf("%-16s %12.2f %12.2f %10d\n",
 			s.Name, s.TargetRate()/1e6, meters[s.ID].MeanBpsAfter(time.Second)/1e6, st.FallbackSlots)
 	}
-	if agent != nil {
-		ind, ok, fail := agent.Counters()
-		fmt.Printf("e2: %d indications sent, %d controls applied, %d refused\n", ind, ok, fail)
+	if sess != nil {
+		ind, ok, fail, resub := sess.Counters()
+		fmt.Printf("e2: %d indications sent, %d controls applied, %d refused, %d resubscribes\n",
+			ind, ok, fail, resub)
+		snap := assoc.Snapshot()
+		fmt.Printf("e2: %d associations, %d reconnects, %d dropped indications, degraded %.1f ms\n",
+			sess.Associations(), snap.Reconnects, snap.DroppedIndications, snap.DegradedMs)
 	}
 	return nil
 }

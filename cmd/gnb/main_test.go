@@ -61,7 +61,7 @@ func TestBuildCodec(t *testing.T) {
 
 // TestStandaloneRunSmoke drives the whole binary path for a short run.
 func TestStandaloneRunSmoke(t *testing.T) {
-	if err := run("mt:2M,rr:4M", 2, 200_000_000, "", "binary", false, false); err != nil {
+	if err := run("mt:2M,rr:4M", 2, 200_000_000, "", "binary", false, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"waran/internal/e2"
 	"waran/internal/plugins"
@@ -24,11 +25,12 @@ func main() {
 	codecName := flag.String("codec", "binary", "E2 codec: binary, json, varint")
 	shim := flag.Bool("widen-shim", false, "wrap the E2 codec in the 8->12-bit vendor adaptation plugin")
 	period := flag.Uint("period", 100, "indication report period in ms")
+	hb := flag.Duration("hb", 100*time.Millisecond, "heartbeat interval for association liveness (0 disables)")
 	once := flag.Bool("once", false, "exit after the first association ends")
 	nonRT := flag.Bool("nonrt", false, "run the non-RT RIC (SLA-tuner rApp) over the KPM history")
 	flag.Parse()
 
-	if err := run(*listen, *xapps, *codecName, *shim, uint32(*period), *once, *nonRT); err != nil {
+	if err := run(*listen, *xapps, *codecName, *shim, uint32(*period), *hb, *once, *nonRT); err != nil {
 		fmt.Fprintln(os.Stderr, "ric:", err)
 		os.Exit(1)
 	}
@@ -41,9 +43,12 @@ var xappSources = map[string]string{
 	"pong":  plugins.PongXAppWAT,
 }
 
-func run(listen, xapps, codecName string, shim bool, period uint32, once, nonRT bool) error {
+func run(listen, xapps, codecName string, shim bool, period uint32, hb time.Duration, once, nonRT bool) error {
 	r := ric.New()
 	r.ReportPeriodMs = period
+	r.HeartbeatInterval = hb
+	assoc := &ric.AssocMetrics{}
+	r.Assoc = assoc
 	r.OnFault = func(xapp string, err error) {
 		fmt.Printf("xApp %s fault (contained): %v\n", xapp, err)
 	}
@@ -82,42 +87,69 @@ func run(listen, xapps, codecName string, shim bool, period uint32, once, nonRT 
 		return err
 	}
 	defer lis.Close()
-	fmt.Printf("near-RT RIC listening on %s (codec %s, report period %d ms)\n",
-		lis.Addr(), wireCodec.Name(), period)
+	fmt.Printf("near-RT RIC listening on %s (codec %s, report period %d ms, heartbeat %v)\n",
+		lis.Addr(), wireCodec.Name(), period, hb)
 
-	for {
-		conn, err := lis.Accept()
-		if err != nil {
-			return err
-		}
+	// onAssociation wires the per-association extras (the non-RT RIC's
+	// guidance loop) and returns their teardown.
+	onAssociation := func(conn *e2.Conn) func() {
 		fmt.Println("E2 association accepted")
-		stopNonRT := make(chan struct{})
-		if nonRT {
-			// Guidance from the slow loop flows back over the same E2
-			// association as regular control requests.
-			var reqID uint32 = 10_000
-			n := ric.NewNonRTRIC(r.KPM, func(c e2.ControlRequest) error {
-				reqID++
-				fmt.Printf("rApp guidance: %s slice=%d value=%.1f\n", c.Action, c.SliceID, c.Value)
-				return conn.Send(&e2.Message{
-					Type: e2.TypeControlRequest, RequestID: reqID,
-					RANFunction: e2.RANFunctionRC, Control: &c,
-				})
-			})
-			n.AddRApp(&ric.SLATuner{})
-			go n.Run(stopNonRT)
-			fmt.Println("non-RT RIC running (sla-tuner rApp, 1 s cadence)")
+		if !nonRT {
+			return nil
 		}
-		if err := r.ServeConn(conn, nil); err != nil {
+		// Guidance from the slow loop flows back over the same E2
+		// association as regular control requests.
+		stopNonRT := make(chan struct{})
+		var reqID uint32 = 10_000
+		n := ric.NewNonRTRIC(r.KPM, func(c e2.ControlRequest) error {
+			reqID++
+			fmt.Printf("rApp guidance: %s slice=%d value=%.1f\n", c.Action, c.SliceID, c.Value)
+			return conn.Send(&e2.Message{
+				Type: e2.TypeControlRequest, RequestID: reqID,
+				RANFunction: e2.RANFunctionRC, Control: &c,
+			})
+		})
+		n.AddRApp(&ric.SLATuner{})
+		go n.Run(stopNonRT)
+		fmt.Println("non-RT RIC running (sla-tuner rApp, 1 s cadence)")
+		return func() { close(stopNonRT) }
+	}
+	onEnd := func(err error) {
+		if err != nil {
 			fmt.Printf("association ended: %v\n", err)
 		} else {
 			fmt.Println("association closed")
 		}
-		close(stopNonRT)
 		ind, controls := r.Counters()
-		fmt.Printf("totals: %d indications processed, %d control actions emitted\n", ind, controls)
-		if once {
-			return nil
-		}
+		snap := assoc.Snapshot()
+		fmt.Printf("totals: %d indications processed, %d control actions emitted, %d reconnects, %d missed heartbeats\n",
+			ind, controls, snap.Reconnects, snap.MissedHeartbeats)
 	}
+
+	if once {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		teardown := onAssociation(conn)
+		err = r.ServeConn(conn, nil)
+		conn.Close()
+		if teardown != nil {
+			teardown()
+		}
+		onEnd(err)
+		return nil
+	}
+
+	// The session supervises associations forever: a gNB that reconnects
+	// after a fault is re-subscribed and served by the same xApp state.
+	sess := &ric.Session{
+		RIC:           r,
+		Connect:       lis.Accept,
+		Metrics:       assoc,
+		OnAssociation: onAssociation,
+		OnEnd:         onEnd,
+	}
+	sess.Run(make(chan struct{}))
+	return nil
 }

@@ -6,6 +6,7 @@
 //
 //	waranbench -fig 5a|5b|5c|5d|safety|all [-duration 10s]
 //	waranbench -fig multicell [-cells 8] [-slots 2000] [-par 0]   (JSON output)
+//	waranbench -fig e2faults [-e2f-slots 2000] [-e2f-drop 0.05] [-e2f-reset 25] [-e2f-seed 1]   (JSON output)
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"waran/internal/e2"
 	"waran/internal/plugins"
 	"waran/internal/ran"
+	"waran/internal/ric"
 	"waran/internal/sched"
 	"waran/internal/wabi"
 	"waran/internal/wasm"
@@ -30,10 +32,16 @@ var (
 	mcCells = flag.Int("cells", 8, "multicell: number of cells in the group")
 	mcSlots = flag.Int("slots", 2000, "multicell: slots to step")
 	mcPar   = flag.Int("par", 0, "multicell: worker parallelism (0 = GOMAXPROCS)")
+
+	e2fSlots = flag.Int("e2f-slots", 2000, "e2faults: MAC slots to run")
+	e2fDrop  = flag.Float64("e2f-drop", 0.05, "e2faults: drop probability on the lossy connection")
+	e2fReset = flag.Int("e2f-reset", 25, "e2faults: forced reset after N writes on the lossy connection")
+	e2fSeed  = flag.Int64("e2f-seed", 1, "e2faults: fault schedule seed")
+	e2fHB    = flag.Duration("e2f-hb", 5*time.Millisecond, "e2faults: RIC heartbeat interval")
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 5a, 5b, 5c, 5d, safety, upload, multicell, all")
+	fig := flag.String("fig", "all", "which experiment: 5a, 5b, 5c, 5d, safety, upload, multicell, e2faults, all")
 	duration := flag.Duration("duration", 0, "override experiment duration (0 = per-figure default)")
 	flag.Parse()
 
@@ -53,6 +61,7 @@ func main() {
 	run("safety", safety)
 	run("upload", upload)
 	run("multicell", multicell)
+	run("e2faults", e2faults)
 }
 
 func fig5a(d time.Duration) error {
@@ -336,4 +345,43 @@ func multicell(time.Duration) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// e2faults runs the association-resilience experiment: a gNB and RIC over
+// loopback with faults injected into the agent's transport — a half-open
+// association, then a lossy connection that is forcibly reset — and prints
+// the recovery counters as JSON.
+func e2faults(time.Duration) error {
+	gnb, err := core.NewGNB(ran.CellConfig{})
+	if err != nil {
+		return err
+	}
+	rr, err := core.NewPluginScheduler("rr", wabi.Policy{})
+	if err != nil {
+		return err
+	}
+	// Over-ambitious target keeps the SLA xApp emitting controls, so
+	// control delivery after recovery is observable.
+	if _, err := gnb.Slices.AddSlice(1, "tenant", 100e6, rr, nil); err != nil {
+		return err
+	}
+	ue := ran.NewUE(1, 1, 20)
+	ue.Traffic = ran.NewCBR(3e6)
+	if err := gnb.AttachUE(ue); err != nil {
+		return err
+	}
+
+	res, err := ric.RunE2Faults(ric.E2FaultsConfig{
+		Slots:            *e2fSlots,
+		Drop:             *e2fDrop,
+		ResetAfterWrites: *e2fReset,
+		Seed:             *e2fSeed,
+		Heartbeat:        *e2fHB,
+	}, gnb, func(uint64) { gnb.Step() })
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
 }

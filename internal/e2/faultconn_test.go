@@ -1,0 +1,291 @@
+package e2
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// captureConn is a net.Conn that records writes, so tests can assert
+// exactly which bytes a FaultConn let through.
+type captureConn struct {
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (c *captureConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, net.ErrClosed
+	}
+	return c.buf.Write(b)
+}
+
+func (c *captureConn) Read(b []byte) (int, error) { return 0, io.EOF }
+
+func (c *captureConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+func (c *captureConn) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+func (c *captureConn) bytes() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.buf.Bytes()...)
+}
+
+func (c *captureConn) LocalAddr() net.Addr              { return nil }
+func (c *captureConn) RemoteAddr() net.Addr             { return nil }
+func (c *captureConn) SetDeadline(time.Time) error      { return nil }
+func (c *captureConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *captureConn) SetWriteDeadline(time.Time) error { return nil }
+
+func TestFaultConnClasses(t *testing.T) {
+	payload := []byte("0123456789abcdef")
+	full := len(payload)
+	cases := []struct {
+		name    string
+		cfg     FaultConfig
+		wantErr error
+		// wantN is the expected Write return count; -1 means a non-empty
+		// strict prefix.
+		wantN int
+		// written is what must have reached the inner conn: "all",
+		// "prefix", or "none".
+		written    string
+		wantClosed bool
+		count      func(FaultStats) uint64
+	}{
+		{
+			name: "clean", cfg: FaultConfig{},
+			wantN: full, written: "all",
+			count: func(s FaultStats) uint64 { return 0 },
+		},
+		{
+			name: "delay", cfg: FaultConfig{DelayProb: 1, Delay: 5 * time.Millisecond},
+			wantN: full, written: "all",
+			count: func(s FaultStats) uint64 { return s.Delays },
+		},
+		{
+			name: "drop", cfg: FaultConfig{DropProb: 1},
+			wantN: full, written: "none",
+			count: func(s FaultStats) uint64 { return s.Drops },
+		},
+		{
+			name: "partial", cfg: FaultConfig{PartialProb: 1},
+			wantErr: ErrInjectedPartialWrite,
+			wantN:   -1, written: "prefix", wantClosed: true,
+			count: func(s FaultStats) uint64 { return s.Partials },
+		},
+		{
+			name: "truncate", cfg: FaultConfig{TruncateProb: 1},
+			wantN: full, written: "prefix", wantClosed: true,
+			count: func(s FaultStats) uint64 { return s.Truncates },
+		},
+		{
+			name: "reset", cfg: FaultConfig{ResetProb: 1},
+			wantErr: ErrInjectedReset,
+			wantN:   0, written: "none", wantClosed: true,
+			count: func(s FaultStats) uint64 { return s.Resets },
+		},
+		{
+			name: "blackhole", cfg: FaultConfig{BlackholeAfterWrites: 1},
+			wantN: full, written: "none",
+			count: func(s FaultStats) uint64 { return s.Blackholes },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inner := &captureConn{}
+			fc := NewFaultConn(inner, tc.cfg)
+			start := time.Now()
+			n, err := fc.Write(payload)
+			elapsed := time.Since(start)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Write err = %v, want %v", err, tc.wantErr)
+			}
+			if tc.wantN == -1 {
+				if n <= 0 || n >= full {
+					t.Fatalf("Write n = %d, want non-empty strict prefix of %d", n, full)
+				}
+			} else if n != tc.wantN {
+				t.Fatalf("Write n = %d, want %d", n, tc.wantN)
+			}
+			got := inner.bytes()
+			switch tc.written {
+			case "all":
+				if !bytes.Equal(got, payload) {
+					t.Fatalf("inner got %q, want full payload", got)
+				}
+			case "prefix":
+				if len(got) == 0 || len(got) >= full || !bytes.Equal(got, payload[:len(got)]) {
+					t.Fatalf("inner got %d bytes, want non-empty strict prefix", len(got))
+				}
+			case "none":
+				if len(got) != 0 {
+					t.Fatalf("inner got %d bytes, want none", len(got))
+				}
+			}
+			if inner.isClosed() != tc.wantClosed {
+				t.Fatalf("inner closed = %v, want %v", inner.isClosed(), tc.wantClosed)
+			}
+			if tc.name == "delay" && elapsed < tc.cfg.Delay {
+				t.Fatalf("delayed write took %v, want >= %v", elapsed, tc.cfg.Delay)
+			}
+			if tc.name != "clean" {
+				if c := tc.count(fc.Stats()); c != 1 {
+					t.Fatalf("fault counter = %d, want 1 (stats %+v)", c, fc.Stats())
+				}
+			}
+			if total := fc.Stats().Total(); tc.name == "clean" && total != 0 {
+				t.Fatalf("clean conn injected %d faults", total)
+			}
+		})
+	}
+}
+
+func TestFaultConnResetAfterWrites(t *testing.T) {
+	inner := &captureConn{}
+	fc := NewFaultConn(inner, FaultConfig{ResetAfterWrites: 3})
+	for i := 0; i < 2; i++ {
+		if n, err := fc.Write([]byte("ok")); err != nil || n != 2 {
+			t.Fatalf("write %d: n=%d err=%v", i+1, n, err)
+		}
+	}
+	if _, err := fc.Write([]byte("boom")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write 3 err = %v, want ErrInjectedReset", err)
+	}
+	// Everything after the reset fails the same way, including reads.
+	if _, err := fc.Write([]byte("after")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-reset write err = %v, want ErrInjectedReset", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-reset read err = %v, want ErrInjectedReset", err)
+	}
+	if st := fc.Stats(); st.Resets != 1 {
+		t.Fatalf("Resets = %d, want 1", st.Resets)
+	}
+	if got := inner.bytes(); !bytes.Equal(got, []byte("okok")) {
+		t.Fatalf("inner got %q, want only the pre-reset writes", got)
+	}
+}
+
+// TestFaultConnDeterministic verifies the same seed over the same write
+// sequence reproduces the same fault schedule.
+func TestFaultConnDeterministic(t *testing.T) {
+	run := func(seed int64) []FaultStats {
+		fc := NewFaultConn(&captureConn{}, FaultConfig{
+			Seed:     seed,
+			DropProb: 0.3, DelayProb: 0.3, Delay: time.Microsecond,
+		})
+		var seq []FaultStats
+		for i := 0; i < 64; i++ {
+			fc.Write([]byte("x"))
+			seq = append(seq, fc.Stats())
+		}
+		return seq
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("write %d: schedules diverge: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if last := a[len(a)-1]; last.Total() == 0 {
+		t.Fatalf("schedule injected nothing in 64 writes at p=0.3")
+	}
+}
+
+// tcpFaultPair joins an e2.Conn writing through a FaultConn to a plain
+// server-side e2.Conn over loopback TCP.
+func tcpFaultPair(t *testing.T, cfg FaultConfig) (client, server *Conn) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		raw, err := lis.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		server = NewConn(raw, BinaryCodec{})
+	}()
+	raw, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client = NewConn(NewFaultConn(raw, cfg), BinaryCodec{})
+	wg.Wait()
+	t.Cleanup(func() {
+		client.Close()
+		if server != nil {
+			server.Close()
+		}
+	})
+	return client, server
+}
+
+// TestFaultConnTruncatePeerSeesCutFrame verifies the peer of a truncated
+// write observes a broken frame, the trigger for association teardown.
+func TestFaultConnTruncatePeerSeesCutFrame(t *testing.T) {
+	client, server := tcpFaultPair(t, FaultConfig{TruncateProb: 1})
+	// The truncated write claims success; the peer sees the cut.
+	_ = client.Send(&Message{Type: TypeHeartbeat})
+	if _, err := server.Recv(); err == nil {
+		t.Fatal("peer decoded a message from a truncated frame")
+	}
+}
+
+// TestFaultConnDropDesyncsFraming verifies that dropping one of a frame's
+// two writes desynchronizes the peer, which must fail rather than deliver
+// garbage.
+func TestFaultConnDropDesyncsFraming(t *testing.T) {
+	// Seed 1's first p=0.6 rolls: the schedule is deterministic, so some
+	// prefix of writes drops and some passes; sending enough frames
+	// guarantees a header/payload split.
+	client, server := tcpFaultPair(t, FaultConfig{Seed: 1, DropProb: 0.6})
+	errCh := make(chan error, 1)
+	go func() {
+		for {
+			if _, err := server.Recv(); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	ind := &Indication{Slot: 7, Cell: 1, Slices: []SliceMeasurement{{SliceID: 3, ServedBps: 1e6}}}
+	for i := 0; i < 64; i++ {
+		if err := client.Send(&Message{Type: TypeIndication, RANFunction: RANFunctionKPM, Indication: ind}); err != nil {
+			break
+		}
+	}
+	client.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("peer never saw the desync")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer hung instead of failing on desynced framing")
+	}
+}

@@ -3,6 +3,7 @@ package e2
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -14,6 +15,16 @@ import (
 // MaxFrameBytes bounds a single E2-lite frame on the wire; oversized frames
 // indicate corruption or abuse and terminate the association.
 const MaxFrameBytes = 4 << 20
+
+// recvChunkBytes bounds how much Recv allocates ahead of payload bytes that
+// have actually arrived, so a hostile length prefix cannot reserve
+// MaxFrameBytes with a 4-byte header.
+const recvChunkBytes = 64 << 10
+
+// ErrAssociationDead reports that a peer was declared dead by heartbeat
+// liveness tracking (no inbound traffic for the configured number of
+// heartbeat intervals) and the association was torn down locally.
+var ErrAssociationDead = errors.New("e2: association dead: missed heartbeats")
 
 // Conn is a framed, codec-aware E2-lite association over a byte stream.
 // Frames are u32 big-endian length prefixes followed by the codec payload.
@@ -28,11 +39,16 @@ type Conn struct {
 	sent, received atomic.Uint64
 	bytesSent      atomic.Uint64
 	bytesReceived  atomic.Uint64
+	lastRecv       atomic.Int64 // unix nanos of the last complete frame
 }
 
 // NewConn wraps an established net.Conn.
 func NewConn(c net.Conn, codec Codec) *Conn {
-	return &Conn{c: c, codec: codec, br: bufio.NewReaderSize(c, 64<<10)}
+	conn := &Conn{c: c, codec: codec, br: bufio.NewReaderSize(c, 64<<10)}
+	// A fresh association counts as just-seen so liveness tracking starts
+	// from establishment, not from the epoch.
+	conn.lastRecv.Store(time.Now().UnixNano())
+	return conn
 }
 
 // Dial connects to an E2-lite endpoint.
@@ -78,8 +94,8 @@ func (c *Conn) Recv() (*Message, error) {
 	if n > MaxFrameBytes {
 		return nil, fmt.Errorf("e2: incoming frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(c.br, payload); err != nil {
+	payload, err := readPayload(c.br, int(n))
+	if err != nil {
 		return nil, err
 	}
 	m, err := c.codec.Decode(payload)
@@ -88,11 +104,59 @@ func (c *Conn) Recv() (*Message, error) {
 	}
 	c.received.Add(1)
 	c.bytesReceived.Add(uint64(n) + 4)
+	c.lastRecv.Store(time.Now().UnixNano())
 	return m, nil
+}
+
+// readPayload reads an n-byte frame payload incrementally: at most
+// recvChunkBytes are allocated up front and the buffer doubles only after
+// the bytes already allocated have arrived, so an untrusted length prefix
+// cannot hold MaxFrameBytes per association without sending the data.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	chunk := n
+	if chunk > recvChunkBytes {
+		chunk = recvChunkBytes
+	}
+	payload := make([]byte, chunk)
+	read := 0
+	for read < n {
+		if read == len(payload) {
+			// Everything allocated so far has arrived; double, capped at n.
+			grown := 2 * len(payload)
+			if grown > n {
+				grown = n
+			}
+			next := make([]byte, grown)
+			copy(next, payload)
+			payload = next
+		}
+		m, err := io.ReadFull(r, payload[read:])
+		read += m
+		if err != nil {
+			if err == io.EOF && read > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return payload, nil
+}
+
+// LastRecv reports when the last complete frame arrived (the association's
+// establishment time if none has). Heartbeat liveness checks compare this
+// against the heartbeat cadence.
+func (c *Conn) LastRecv() time.Time {
+	return time.Unix(0, c.lastRecv.Load())
 }
 
 // SetDeadline applies to both reads and writes.
 func (c *Conn) SetDeadline(t time.Time) error { return c.c.SetDeadline(t) }
+
+// SetReadDeadline bounds blocking Recv calls.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.c.SetReadDeadline(t) }
+
+// SetWriteDeadline bounds blocking Send calls.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.c.SetWriteDeadline(t) }
 
 // Close terminates the association.
 func (c *Conn) Close() error { return c.c.Close() }

@@ -1,7 +1,12 @@
 package e2
 
 import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
 	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -182,5 +187,69 @@ func TestTransportConcurrentSenders(t *testing.T) {
 func TestDialFailure(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1", BinaryCodec{}); err == nil {
 		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+// TestReadPayloadShortStream verifies a length prefix claiming more data
+// than arrives fails with ErrUnexpectedEOF instead of blocking or
+// succeeding short.
+func TestReadPayloadShortStream(t *testing.T) {
+	r := bytes.NewReader(make([]byte, 10))
+	if _, err := readPayload(r, 1<<20); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestReadPayloadLarge exercises the incremental growth path with a frame
+// much larger than the initial chunk.
+func TestReadPayloadLarge(t *testing.T) {
+	want := make([]byte, 300<<10)
+	for i := range want {
+		want[i] = byte(i * 31)
+	}
+	got, err := readPayload(bytes.NewReader(want), len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("large payload corrupted by incremental read")
+	}
+}
+
+// TestRecvDoesNotPreallocateFromLengthPrefix is the regression test for
+// the hostile length prefix: a 4-byte header claiming MaxFrameBytes must
+// not commit megabytes of memory before the payload actually arrives.
+func TestRecvDoesNotPreallocateFromLengthPrefix(t *testing.T) {
+	const rounds = 64
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		// Claims the full 4 MiB but delivers 16 bytes.
+		_, err := readPayload(bytes.NewReader(make([]byte, 16)), MaxFrameBytes)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("round %d: err = %v, want ErrUnexpectedEOF", i, err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	total := after.TotalAlloc - before.TotalAlloc
+	// Eager allocation would cost rounds * 4 MiB = 256 MiB; incremental
+	// reads stay near rounds * 64 KiB. Allow generous slack.
+	if limit := uint64(rounds) * (1 << 20); total > limit {
+		t.Fatalf("allocated %d bytes over %d hostile frames (limit %d): length prefix is trusted again", total, rounds, limit)
+	}
+}
+
+// TestRecvRejectsOversizedFrame keeps the frame cap itself enforced.
+func TestRecvRejectsOversizedFrame(t *testing.T) {
+	server, client := pair(t, BinaryCodec{})
+	go func() {
+		raw := make([]byte, 4)
+		binary.BigEndian.PutUint32(raw, MaxFrameBytes+1)
+		// Reach under the framing: write a hostile header directly.
+		client.c.Write(raw)
+	}()
+	if _, err := server.Recv(); err == nil {
+		t.Fatal("oversized frame accepted")
 	}
 }

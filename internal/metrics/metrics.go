@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -328,16 +329,18 @@ func (m *DeadlineMeter) String() string {
 		s.Slots, s.Overruns, s.Worst, s.P99us, s.Deadline)
 }
 
-// Counter is a simple monotonically increasing event counter.
+// Counter is a monotonically increasing event counter, safe for concurrent
+// use: the E2 association layer increments these from supervisor, receive
+// and slot-loop goroutines at once.
 type Counter struct {
-	n uint64
+	n atomic.Uint64
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Add adds delta.
-func (c *Counter) Add(delta uint64) { c.n += delta }
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
 
 // Value returns the count.
-func (c *Counter) Value() uint64 { return c.n }
+func (c *Counter) Value() uint64 { return c.n.Load() }

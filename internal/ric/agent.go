@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"waran/internal/e2"
 )
@@ -21,20 +22,33 @@ type RANControl interface {
 }
 
 // Agent is the gNB-side endpoint of the E2-lite association: it answers the
-// RIC's subscription, streams indications at the subscribed cadence (driven
-// by Tick from the MAC slot loop), and applies incoming control actions.
+// RIC's subscription (including mid-association re-subscriptions), streams
+// indications at the subscribed cadence (driven by Tick from the MAC slot
+// loop), applies incoming control actions, and echoes heartbeats so the
+// RIC can track liveness.
 type Agent struct {
 	conn *e2.Conn
 	ran  RANControl
 	Cell uint32
 
-	subscribed   atomic.Bool
-	periodSlots  atomic.Uint64
-	sliceFilter  []uint32
+	// LivenessTimeout, when > 0, bounds the silence tolerated from the
+	// RIC: if no frame (heartbeats included) arrives for this long, the
+	// agent declares the association dead, closes the conn, and the
+	// Start-returned channel yields e2.ErrAssociationDead. Set it to a
+	// few multiples of the RIC's heartbeat interval. Zero disables
+	// liveness tracking (the pre-resilience behaviour).
+	LivenessTimeout time.Duration
+
+	subscribed  atomic.Bool
+	periodSlots atomic.Uint64
+	dead        atomic.Bool
+
 	mu           sync.Mutex
+	sliceFilter  []uint32
 	indications  uint64
 	controlsOK   uint64
 	controlsFail uint64
+	resubscribes uint64
 }
 
 // NewAgent creates an agent for one association.
@@ -43,24 +57,56 @@ func NewAgent(conn *e2.Conn, ran RANControl, cell uint32) *Agent {
 }
 
 // Start blocks until the RIC's subscription request arrives, acknowledges
-// it, and spawns the control-receive loop. The returned channel yields the
-// terminal error of the receive loop (nil on clean shutdown).
+// it, and spawns the control-receive loop (plus the liveness watchdog when
+// LivenessTimeout is set). The returned channel yields the terminal error
+// of the receive loop (nil on clean shutdown, e2.ErrAssociationDead when
+// liveness failed).
 func (a *Agent) Start() (<-chan error, error) {
+	if a.LivenessTimeout > 0 {
+		// A RIC that never subscribes is as dead as one that stops
+		// heartbeating: bound the subscription wait too.
+		_ = a.conn.SetReadDeadline(time.Now().Add(2 * a.LivenessTimeout))
+	}
 	m, err := a.conn.Recv()
 	if err != nil {
 		return nil, fmt.Errorf("ric: agent: waiting for subscription: %w", err)
+	}
+	if a.LivenessTimeout > 0 {
+		_ = a.conn.SetReadDeadline(time.Time{})
 	}
 	if m.Type != e2.TypeSubscriptionRequest {
 		refusal := &e2.Message{Type: e2.TypeError, Error: &e2.ErrorBody{Reason: "expected subscription-request"}}
 		_ = a.conn.Send(refusal)
 		return nil, fmt.Errorf("ric: agent: unexpected first message %s", m.Type)
 	}
+	if err := a.applySubscription(m); err != nil {
+		return nil, err
+	}
+
+	done := make(chan error, 1)
+	recvDone := make(chan struct{})
+	go func() {
+		err := a.recvLoop()
+		close(recvDone)
+		done <- err
+	}()
+	if a.LivenessTimeout > 0 {
+		go a.watchdog(recvDone)
+	}
+	return done, nil
+}
+
+// applySubscription installs (or replaces) the subscription state and acks
+// it — shared by the initial handshake and mid-association re-subscribes.
+func (a *Agent) applySubscription(m *e2.Message) error {
 	period := uint64(m.Subscription.ReportPeriodMs)
 	if period == 0 {
 		period = 100
 	}
 	a.periodSlots.Store(period) // 1 ms slots: ms == slots
-	a.sliceFilter = m.Subscription.SliceIDs
+	a.mu.Lock()
+	a.sliceFilter = append([]uint32(nil), m.Subscription.SliceIDs...)
+	a.mu.Unlock()
 	ack := &e2.Message{
 		Type:             e2.TypeSubscriptionResponse,
 		RequestID:        m.RequestID,
@@ -68,19 +114,43 @@ func (a *Agent) Start() (<-chan error, error) {
 		SubscriptionResp: &e2.SubscriptionResponse{Accepted: true},
 	}
 	if err := a.conn.Send(ack); err != nil {
-		return nil, err
+		return err
 	}
 	a.subscribed.Store(true)
+	return nil
+}
 
-	done := make(chan error, 1)
-	go func() { done <- a.recvLoop() }()
-	return done, nil
+// watchdog declares the association dead when nothing has arrived for
+// LivenessTimeout, closing the conn so the blocked recvLoop returns
+// promptly instead of hanging on a half-open TCP stream.
+func (a *Agent) watchdog(recvDone <-chan struct{}) {
+	interval := a.LivenessTimeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-recvDone:
+			return
+		case <-ticker.C:
+			if time.Since(a.conn.LastRecv()) > a.LivenessTimeout {
+				a.dead.Store(true)
+				a.conn.Close()
+				return
+			}
+		}
+	}
 }
 
 func (a *Agent) recvLoop() error {
 	for {
 		m, err := a.conn.Recv()
 		if err != nil {
+			if a.dead.Load() {
+				return e2.ErrAssociationDead
+			}
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				return nil
 			}
@@ -111,6 +181,27 @@ func (a *Agent) recvLoop() error {
 			if err := a.conn.Send(&e2.Message{Type: e2.TypeHeartbeat}); err != nil {
 				return err
 			}
+		case e2.TypeSubscriptionRequest:
+			// Mid-association re-subscription: the RIC adjusts cadence or
+			// slice filter (or re-asserts after its own restart). Apply
+			// the new parameters and re-ack instead of dropping it.
+			a.mu.Lock()
+			a.resubscribes++
+			a.mu.Unlock()
+			if err := a.applySubscription(m); err != nil {
+				return err
+			}
+		default:
+			// Unknown or out-of-place message: report it to the peer
+			// instead of silently dropping the frame.
+			reply := &e2.Message{
+				Type:      e2.TypeError,
+				RequestID: m.RequestID,
+				Error:     &e2.ErrorBody{Reason: fmt.Sprintf("agent: unexpected %s", m.Type)},
+			}
+			if err := a.conn.Send(reply); err != nil {
+				return err
+			}
 		}
 	}
 }
@@ -126,12 +217,13 @@ func (a *Agent) Tick(slot uint64) error {
 		return nil
 	}
 	ind := a.ran.Snapshot(a.Cell)
-	if len(a.sliceFilter) > 0 {
-		ind = filterIndication(ind, a.sliceFilter)
-	}
 	a.mu.Lock()
+	filter := a.sliceFilter
 	a.indications++
 	a.mu.Unlock()
+	if len(filter) > 0 {
+		ind = filterIndication(ind, filter)
+	}
 	return a.conn.Send(&e2.Message{
 		Type:        e2.TypeIndication,
 		RANFunction: e2.RANFunctionKPM,
@@ -139,11 +231,23 @@ func (a *Agent) Tick(slot uint64) error {
 	})
 }
 
+// Period returns the subscribed indication cadence in slots (0 before the
+// first subscription).
+func (a *Agent) Period() uint64 { return a.periodSlots.Load() }
+
 // Counters reports indication and control outcomes.
 func (a *Agent) Counters() (indications, controlsOK, controlsFail uint64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.indications, a.controlsOK, a.controlsFail
+}
+
+// Resubscribes reports how many mid-association re-subscriptions were
+// applied (the initial subscription is not counted).
+func (a *Agent) Resubscribes() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.resubscribes
 }
 
 func filterIndication(ind *e2.Indication, sliceIDs []uint32) *e2.Indication {

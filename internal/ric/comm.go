@@ -2,6 +2,7 @@ package ric
 
 import (
 	"fmt"
+	"sync"
 
 	"waran/internal/e2"
 	"waran/internal/wabi"
@@ -17,8 +18,15 @@ import (
 // a shim (e.g. plugins.Widen8To12CommWAT) to adapt vendor A's frames to
 // vendor B's field widths without changing either vendor's stack.
 type PluginCodec struct {
-	name   string
-	inner  e2.Codec
+	name  string
+	inner e2.Codec
+
+	// callMu serializes sandbox invocations: e2.Conn.Send is documented
+	// safe for concurrent use (heartbeats and control pushes come from
+	// different goroutines) and Send/Recv run concurrently, but a plugin
+	// instance is single-threaded — unsynchronized Calls race on its
+	// linear memory and I/O buffers.
+	callMu sync.Mutex
 	plugin *wabi.Plugin
 }
 
@@ -60,7 +68,9 @@ func (p *PluginCodec) Encode(m *e2.Message) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.callMu.Lock()
 	wire, err := p.plugin.Call("encode", host)
+	p.callMu.Unlock()
 	if err != nil {
 		return nil, fmt.Errorf("ric: communication plugin %q encode: %w", p.name, err)
 	}
@@ -69,7 +79,9 @@ func (p *PluginCodec) Encode(m *e2.Message) ([]byte, error) {
 
 // Decode implements e2.Codec.
 func (p *PluginCodec) Decode(b []byte) (*e2.Message, error) {
+	p.callMu.Lock()
 	host, err := p.plugin.Call("decode", b)
+	p.callMu.Unlock()
 	if err != nil {
 		return nil, fmt.Errorf("ric: communication plugin %q decode: %w", p.name, err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"waran/internal/e2"
@@ -23,6 +24,18 @@ type RIC struct {
 	// ReportPeriodMs is the indication cadence requested at subscription
 	// (default 100 ms).
 	ReportPeriodMs uint32
+	// HeartbeatInterval, when > 0, makes ServeConn send heartbeats at
+	// this cadence and track liveness: after MissedHeartbeatLimit
+	// intervals with no inbound frame the association is declared dead,
+	// the conn closed, and ServeConn returns e2.ErrAssociationDead. Zero
+	// disables heartbeats (the pre-resilience behaviour).
+	HeartbeatInterval time.Duration
+	// MissedHeartbeatLimit is how many silent heartbeat intervals kill
+	// the association (default DefaultMissedHeartbeatLimit).
+	MissedHeartbeatLimit int
+	// Assoc, when set, receives association-resilience counters (missed
+	// heartbeats, dead associations) from every ServeConn.
+	Assoc *AssocMetrics
 	// OnFault observes xApp failures.
 	OnFault func(xapp string, err error)
 	// OnLog receives xApp log lines.
@@ -170,9 +183,15 @@ func (r *RIC) Counters() (indications, controls uint64) {
 	return r.indications, r.controls
 }
 
+// DefaultMissedHeartbeatLimit is how many consecutive silent heartbeat
+// intervals declare an association dead when the RIC does not override it.
+const DefaultMissedHeartbeatLimit = 3
+
 // ServeConn drives one E2-lite association from the RIC side: subscribe,
-// then consume indications and push control actions until the peer closes
-// or stop is closed. Control acks and heartbeats are consumed and counted.
+// then consume indications and push control actions until the peer closes,
+// stop is closed, or (with HeartbeatInterval set) liveness fails. Control
+// acks and heartbeat echoes are consumed and counted. Closing stop closes
+// the conn so a Recv blocked on a silent peer returns promptly.
 func (r *RIC) ServeConn(conn *e2.Conn, stop <-chan struct{}) error {
 	sub := &e2.Message{
 		Type:         e2.TypeSubscriptionRequest,
@@ -183,16 +202,26 @@ func (r *RIC) ServeConn(conn *e2.Conn, stop <-chan struct{}) error {
 	if err := conn.Send(sub); err != nil {
 		return err
 	}
+
+	// The supervisor owns every reason to abandon a blocked Recv: stop
+	// closing, and heartbeat liveness. Both act by closing the conn; the
+	// flags tell the receive loop which exit it was.
+	var stopped, dead atomic.Bool
+	recvDone := make(chan struct{})
+	superviseDone := make(chan struct{})
+	go r.supervise(conn, stop, recvDone, superviseDone, &stopped, &dead)
+	defer func() { close(recvDone); <-superviseDone }()
+
 	reqID := uint32(100)
 	for {
-		select {
-		case <-stop:
-			return nil
-		default:
-		}
 		m, err := conn.Recv()
 		if err != nil {
-			if errors.Is(err, io.EOF) {
+			switch {
+			case stopped.Load():
+				return nil
+			case dead.Load():
+				return e2.ErrAssociationDead
+			case errors.Is(err, io.EOF):
 				return nil
 			}
 			return err
@@ -220,6 +249,61 @@ func (r *RIC) ServeConn(conn *e2.Conn, stop <-chan struct{}) error {
 			// Counted implicitly by the transport; nothing to do.
 		case e2.TypeError:
 			return fmt.Errorf("ric: peer error: %s", m.Error.Reason)
+		}
+	}
+}
+
+// supervise watches one association from the side: it closes the conn when
+// stop fires (prompt shutdown even with a silent peer), and when
+// heartbeats are enabled it sends the probe at every interval and declares
+// the association dead after MissedHeartbeatLimit silent intervals.
+func (r *RIC) supervise(conn *e2.Conn, stop <-chan struct{}, recvDone <-chan struct{},
+	done chan<- struct{}, stopped, dead *atomic.Bool) {
+	defer close(done)
+	var tick <-chan time.Time
+	if r.HeartbeatInterval > 0 {
+		ticker := time.NewTicker(r.HeartbeatInterval)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	limit := r.MissedHeartbeatLimit
+	if limit <= 0 {
+		limit = DefaultMissedHeartbeatLimit
+	}
+	misses := 0
+	for {
+		select {
+		case <-stop:
+			stopped.Store(true)
+			conn.Close()
+			return
+		case <-recvDone:
+			return
+		case <-tick:
+			// A healthy peer's echo keeps the age right around one
+			// interval, so allow half an interval of scheduling slack
+			// before calling it a miss.
+			if time.Since(conn.LastRecv()) > r.HeartbeatInterval*3/2 {
+				misses++
+				if r.Assoc != nil {
+					r.Assoc.MissedHeartbeats.Inc()
+				}
+				if misses >= limit {
+					dead.Store(true)
+					if r.Assoc != nil {
+						r.Assoc.DeadAssociations.Inc()
+					}
+					conn.Close()
+					return
+				}
+			} else {
+				misses = 0
+			}
+			// Probe regardless: the agent echoes, refreshing LastRecv on
+			// an otherwise idle but healthy association.
+			if err := conn.Send(&e2.Message{Type: e2.TypeHeartbeat}); err != nil {
+				return
+			}
 		}
 	}
 }

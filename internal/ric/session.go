@@ -1,0 +1,434 @@
+package ric
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waran/internal/e2"
+	"waran/internal/metrics"
+)
+
+// Backoff is an exponential-backoff-with-jitter schedule for reconnect
+// attempts. The zero value gets sensible defaults (50 ms initial, 5 s cap,
+// factor 2, 20 % jitter).
+type Backoff struct {
+	// Initial is the delay before the first retry (default 50 ms).
+	Initial time.Duration
+	// Max caps the delay (default 5 s).
+	Max time.Duration
+	// Factor multiplies the delay per consecutive failure (default 2).
+	Factor float64
+	// Jitter spreads each delay by ±Jitter fraction (default 0.2; set
+	// negative to disable) so a fleet of agents does not thundering-herd
+	// a restarted RIC.
+	Jitter float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Initial <= 0 {
+		b.Initial = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter == 0 {
+		b.Jitter = 0.2
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = 0
+	}
+	return b
+}
+
+// Delay returns the wait before retry number attempt (0-based), jittered
+// from rng (nil disables jitter).
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Initial)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			break
+		}
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 && rng != nil {
+		d *= 1 + b.Jitter*(2*rng.Float64()-1)
+	}
+	return time.Duration(d)
+}
+
+// AssocMetrics aggregates association-resilience counters. All methods and
+// fields are safe for concurrent use; one instance may be shared by a
+// RIC-side Session and the RIC itself (each side increments the events it
+// observes).
+type AssocMetrics struct {
+	// Reconnects counts associations established beyond the first.
+	Reconnects metrics.Counter
+	// MissedHeartbeats counts heartbeat intervals with no inbound frame.
+	MissedHeartbeats metrics.Counter
+	// DeadAssociations counts liveness-declared association deaths.
+	DeadAssociations metrics.Counter
+	// DroppedIndications counts indications not delivered because the
+	// association was down or the send failed mid-flight.
+	DroppedIndications metrics.Counter
+
+	degradedNs atomic.Int64
+}
+
+// AddDegraded accumulates time spent without an association.
+func (m *AssocMetrics) AddDegraded(d time.Duration) { m.degradedNs.Add(int64(d)) }
+
+// Degraded reports total time spent without an association.
+func (m *AssocMetrics) Degraded() time.Duration {
+	return time.Duration(m.degradedNs.Load())
+}
+
+// AssocSnapshot is a point-in-time JSON view of AssocMetrics.
+type AssocSnapshot struct {
+	Reconnects         uint64  `json:"reconnects"`
+	MissedHeartbeats   uint64  `json:"missed_heartbeats"`
+	DeadAssociations   uint64  `json:"dead_associations"`
+	DroppedIndications uint64  `json:"dropped_indications"`
+	DegradedMs         float64 `json:"degraded_ms"`
+}
+
+// Snapshot captures the counters.
+func (m *AssocMetrics) Snapshot() AssocSnapshot {
+	return AssocSnapshot{
+		Reconnects:         m.Reconnects.Value(),
+		MissedHeartbeats:   m.MissedHeartbeats.Value(),
+		DeadAssociations:   m.DeadAssociations.Value(),
+		DroppedIndications: m.DroppedIndications.Value(),
+		DegradedMs:         float64(m.Degraded().Nanoseconds()) / 1e6,
+	}
+}
+
+// sleepOrStop waits d unless stop closes first; it reports whether the
+// caller should continue.
+func sleepOrStop(d time.Duration, stop <-chan struct{}) bool {
+	if d <= 0 {
+		select {
+		case <-stop:
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// Session supervises the RIC side of an association: it obtains connections
+// from Connect (an accept or a dial), serves each until it dies, and goes
+// back for the next one with exponential backoff on Connect failures. The
+// RIC's xApp state persists across associations, so a reconnecting gNB is
+// re-subscribed and controlled by the same policies without operator
+// action.
+type Session struct {
+	RIC *RIC
+	// Connect obtains the next association — typically a Listener's Accept
+	// or an e2.Dial closure. Run returns when stop is closed; a blocked
+	// Connect must be unblocked externally (close the listener).
+	Connect func() (*e2.Conn, error)
+	Backoff Backoff
+	// Metrics, when set, receives the reconnect counter. Share it with
+	// RIC.Assoc to aggregate both sides' observations in one place.
+	Metrics *AssocMetrics
+	// Seed selects the jitter schedule (0 behaves as 1).
+	Seed int64
+	// OnAssociation, when set, observes each established association and
+	// may return a teardown hook run after it ends (either may be nil).
+	OnAssociation func(conn *e2.Conn) func()
+	// OnEnd, when set, observes each association's terminal error.
+	OnEnd func(err error)
+}
+
+// Run supervises associations until stop closes.
+func (s *Session) Run(stop <-chan struct{}) {
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attempt := 0
+	associations := 0
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		conn, err := s.Connect()
+		if err != nil {
+			if !sleepOrStop(s.Backoff.Delay(attempt, rng), stop) {
+				return
+			}
+			attempt++
+			continue
+		}
+		attempt = 0
+		associations++
+		if associations > 1 && s.Metrics != nil {
+			s.Metrics.Reconnects.Inc()
+		}
+		var teardown func()
+		if s.OnAssociation != nil {
+			teardown = s.OnAssociation(conn)
+		}
+		err = s.RIC.ServeConn(conn, stop)
+		conn.Close()
+		if teardown != nil {
+			teardown()
+		}
+		if s.OnEnd != nil {
+			s.OnEnd(err)
+		}
+	}
+}
+
+// AgentSession supervises the gNB side of an association: it dials with
+// exponential backoff, runs an Agent per association, and when the
+// association dies it degrades gracefully — Tick keeps returning instantly
+// (counting the indications that could not be sent) so the MAC slot loop
+// continues on the gNB's native inter-slice configuration instead of
+// stalling, the same escape hatch the slice-plugin quarantine uses.
+type AgentSession struct {
+	// Dial obtains the next connection, e.g. an e2.Dial closure.
+	Dial func() (*e2.Conn, error)
+	RAN  RANControl
+	Cell uint32
+	// Backoff schedules reconnect attempts.
+	Backoff Backoff
+	// LivenessTimeout is handed to each Agent (see Agent.LivenessTimeout).
+	LivenessTimeout time.Duration
+	// Metrics, when set, receives reconnect/drop/degraded-time counters.
+	Metrics *AssocMetrics
+	// Seed selects the jitter schedule (0 behaves as 1).
+	Seed int64
+
+	mu           sync.Mutex
+	agent        *Agent   // live agent, nil while degraded
+	conn         *e2.Conn // live conn, closed by Stop to unblock the agent
+	lastPeriod   uint64   // retained across teardowns for drop accounting
+	degradedAt   time.Time
+	associations uint64
+	// Totals accumulated from dead agents; Counters adds the live one.
+	indications, controlsOK, controlsFail, resubscribes uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start launches the supervisor. Call Stop to shut it down.
+func (s *AgentSession) Start() {
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.run()
+}
+
+// Stop shuts the supervisor down, closing any live association, and waits
+// for it to exit.
+func (s *AgentSession) Stop() {
+	close(s.stop)
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	<-s.done
+}
+
+func (s *AgentSession) run() {
+	defer close(s.done)
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attempt := 0
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		conn, err := s.Dial()
+		if err != nil {
+			if !sleepOrStop(s.Backoff.Delay(attempt, rng), s.stop) {
+				return
+			}
+			attempt++
+			continue
+		}
+		// Publish the conn before the blocking handshake so Stop can
+		// close it; then re-check stop (Stop closes s.stop before it
+		// reads s.conn, so one of the two paths always closes the conn).
+		s.mu.Lock()
+		s.conn = conn
+		s.mu.Unlock()
+		select {
+		case <-s.stop:
+			conn.Close()
+			s.clearConn()
+			return
+		default:
+		}
+
+		agent := NewAgent(conn, s.RAN, s.Cell)
+		agent.LivenessTimeout = s.LivenessTimeout
+		recvErr, err := agent.Start()
+		if err != nil {
+			conn.Close()
+			s.clearConn()
+			if !sleepOrStop(s.Backoff.Delay(attempt, rng), s.stop) {
+				return
+			}
+			attempt++
+			continue
+		}
+
+		// Association established and subscribed.
+		attempt = 0
+		s.mu.Lock()
+		s.associations++
+		reconnect := s.associations > 1
+		s.agent = agent
+		if !s.degradedAt.IsZero() {
+			if s.Metrics != nil {
+				s.Metrics.AddDegraded(time.Since(s.degradedAt))
+			}
+			s.degradedAt = time.Time{}
+		}
+		s.mu.Unlock()
+		if reconnect && s.Metrics != nil {
+			s.Metrics.Reconnects.Inc()
+		}
+
+		var termErr error
+		stopping := false
+		select {
+		case termErr = <-recvErr:
+		case <-s.stop:
+			conn.Close()
+			termErr = <-recvErr
+			stopping = true
+		}
+		if errors.Is(termErr, e2.ErrAssociationDead) && s.Metrics != nil {
+			s.Metrics.DeadAssociations.Inc()
+		}
+		s.teardown(agent, conn)
+		if stopping {
+			return
+		}
+	}
+}
+
+func (s *AgentSession) clearConn() {
+	s.mu.Lock()
+	s.conn = nil
+	s.mu.Unlock()
+}
+
+// teardown folds a finished agent's counters into the session totals and
+// marks the session degraded.
+func (s *AgentSession) teardown(agent *Agent, conn *e2.Conn) {
+	conn.Close()
+	ind, ok, fail := agent.Counters()
+	rs := agent.Resubscribes()
+	s.mu.Lock()
+	s.indications += ind
+	s.controlsOK += ok
+	s.controlsFail += fail
+	s.resubscribes += rs
+	if p := agent.Period(); p > 0 {
+		s.lastPeriod = p
+	}
+	s.agent = nil
+	s.conn = nil
+	s.degradedAt = time.Now()
+	s.mu.Unlock()
+}
+
+// Tick is called by the owner after each MAC slot. While an association is
+// live it forwards to the Agent; while degraded (or when the send fails
+// mid-flight) it counts the indication as dropped and returns immediately —
+// it never stalls or aborts the slot loop.
+func (s *AgentSession) Tick(slot uint64) {
+	s.mu.Lock()
+	agent := s.agent
+	period := s.lastPeriod
+	s.mu.Unlock()
+	if agent != nil {
+		if err := agent.Tick(slot); err != nil && s.Metrics != nil {
+			// The conn died mid-send; the supervisor reconnects shortly.
+			s.Metrics.DroppedIndications.Inc()
+		}
+		return
+	}
+	if period > 0 && slot%period == 0 && s.Metrics != nil {
+		s.Metrics.DroppedIndications.Inc()
+	}
+}
+
+// Connected reports whether an association is currently live.
+func (s *AgentSession) Connected() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agent != nil
+}
+
+// Associations reports how many associations were established in total.
+func (s *AgentSession) Associations() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.associations
+}
+
+// LiveCounters reports the current association's indication and
+// control-success counts, with live=false (and zeros) while degraded. It
+// lets callers prove delivery on the association that survived a fault
+// storm, not just in aggregate.
+func (s *AgentSession) LiveCounters() (indications, controlsOK uint64, live bool) {
+	s.mu.Lock()
+	agent := s.agent
+	s.mu.Unlock()
+	if agent == nil {
+		return 0, 0, false
+	}
+	ind, ok, _ := agent.Counters()
+	return ind, ok, true
+}
+
+// Counters aggregates indication and control outcomes across every
+// association this session has run.
+func (s *AgentSession) Counters() (indications, controlsOK, controlsFail, resubscribes uint64) {
+	s.mu.Lock()
+	agent := s.agent
+	indications, controlsOK, controlsFail, resubscribes =
+		s.indications, s.controlsOK, s.controlsFail, s.resubscribes
+	s.mu.Unlock()
+	if agent != nil {
+		ai, ao, af := agent.Counters()
+		indications += ai
+		controlsOK += ao
+		controlsFail += af
+		resubscribes += agent.Resubscribes()
+	}
+	return indications, controlsOK, controlsFail, resubscribes
+}
