@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check check-e2 bench fuzz
+.PHONY: build test check check-e2 check-obs lint-metrics bench fuzz
 
 ## build: compile every package.
 build:
@@ -13,7 +13,7 @@ test: build
 ## check: the deeper tier — vet, the full suite under the race detector,
 ## the association-resilience suite, and a 10 s fuzz smoke of the wasm
 ## decode/compile/execute gauntlet.
-check: build check-e2
+check: build check-e2 check-obs lint-metrics
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^FuzzDecode$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/wasm
@@ -22,6 +22,27 @@ check: build check-e2
 ## fault-injecting conn, RIC/agent sessions, faulty-link e2e recovery).
 check-e2:
 	$(GO) test -race -count=1 ./internal/e2 ./internal/ric
+
+## check-obs: observability-layer gate — vet plus race-enabled tests over
+## the registry, its instrument sources, and the HTTP exposition e2e
+## (cmd/gnb scrapes its own /metrics and /debug/slots).
+check-obs:
+	$(GO) vet ./internal/obs ./internal/metrics
+	$(GO) test -race -count=1 ./internal/obs ./internal/metrics ./internal/core ./internal/wabi ./cmd/gnb
+
+## lint-metrics: telemetry must go through internal/obs — fail on raw
+## atomic.Uint64 counter fields outside internal/obs and internal/metrics.
+## Deliberate non-metric uses carry a "metric-exempt:" comment.
+lint-metrics:
+	@bad=$$(grep -rn --include='*.go' 'atomic\.Uint64' internal cmd examples \
+		| grep -v '^internal/obs/' | grep -v '^internal/metrics/' | grep -v 'metric-exempt' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-metrics: raw atomic.Uint64 counters outside internal/obs|internal/metrics"; \
+		echo "(register an obs.Counter instead, or annotate the line with 'metric-exempt: <why>'):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi; \
+	echo "lint-metrics: ok"
 
 ## bench: the paper's evaluation benchmarks.
 bench:

@@ -1,16 +1,27 @@
-// Command gnb runs a WA-RAN gNB: a slot-clocked sliced MAC whose intra-slice
-// schedulers are Wasm plugins, optionally exposing an E2-lite agent so a
-// near-RT RIC (cmd/ric) can observe and control it.
+// Command gnb runs a WA-RAN gNB: one or more slot-clocked sliced MAC cells
+// whose intra-slice schedulers are Wasm plugins drawn from a shared
+// instance pool, optionally exposing an E2-lite agent so a near-RT RIC
+// (cmd/ric) can observe and control it, and optionally serving live
+// observability over HTTP.
 //
 // Usage:
 //
 //	gnb -slices "mt:3M,rr:12M,pf:15M" -ues-per-slice 3 -duration 10s
+//	gnb -cells 4 -http 127.0.0.1:9091 -duration 30s
 //	gnb -e2 127.0.0.1:36421 -codec binary -duration 30s
+//
+// With -http set, the gNB serves while it runs:
+//
+//	curl http://127.0.0.1:9091/metrics        # Prometheus text exposition
+//	curl http://127.0.0.1:9091/debug/slots    # last slot traces as JSON
+//	go tool pprof http://127.0.0.1:9091/debug/pprof/profile
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -19,101 +30,159 @@ import (
 	"waran/internal/core"
 	"waran/internal/e2"
 	"waran/internal/metrics"
+	"waran/internal/obs"
 	"waran/internal/plugins"
 	"waran/internal/ran"
 	"waran/internal/ric"
+	"waran/internal/sched"
 	"waran/internal/wabi"
 )
 
 func main() {
-	slices := flag.String("slices", "mt:3M,rr:12M,pf:15M", "comma list of scheduler:targetRate per slice")
-	uesPerSlice := flag.Int("ues-per-slice", 3, "UEs attached to each slice")
-	duration := flag.Duration("duration", 10*time.Second, "simulated run length")
-	e2Addr := flag.String("e2", "", "RIC address for the E2 agent (empty = standalone)")
-	codecName := flag.String("codec", "binary", "E2 codec: binary, json, varint")
-	shim := flag.Bool("widen-shim", false, "wrap the E2 codec in the 8->12-bit vendor adaptation plugin")
-	liveness := flag.Duration("e2-liveness", 500*time.Millisecond, "declare the RIC dead after this much E2 silence (0 disables)")
-	realtime := flag.Bool("realtime", false, "pace slots at wall-clock slot duration")
+	cfg := gnbConfig{}
+	flag.StringVar(&cfg.sliceSpec, "slices", "mt:3M,rr:12M,pf:15M", "comma list of scheduler:targetRate per slice")
+	flag.IntVar(&cfg.uesPerSlice, "ues-per-slice", 3, "UEs attached to each slice (per cell)")
+	flag.IntVar(&cfg.cells, "cells", 1, "number of cells stepped by the shared slot clock")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "simulated run length")
+	flag.StringVar(&cfg.e2Addr, "e2", "", "RIC address for the E2 agent (empty = standalone)")
+	flag.StringVar(&cfg.codecName, "codec", "binary", "E2 codec: binary, json, varint")
+	flag.BoolVar(&cfg.shim, "widen-shim", false, "wrap the E2 codec in the 8->12-bit vendor adaptation plugin")
+	flag.DurationVar(&cfg.liveness, "e2-liveness", 500*time.Millisecond, "declare the RIC dead after this much E2 silence (0 disables)")
+	flag.BoolVar(&cfg.realtime, "realtime", false, "pace slots at wall-clock slot duration")
+	flag.StringVar(&cfg.httpAddr, "http", "", "serve /metrics, /debug/slots and pprof on this address (empty = off)")
 	flag.Parse()
 
-	if err := run(*slices, *uesPerSlice, *duration, *e2Addr, *codecName, *shim, *liveness, *realtime); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "gnb:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sliceSpec string, uesPerSlice int, duration time.Duration, e2Addr, codecName string, shim bool, liveness time.Duration, realtime bool) error {
-	gnb, err := core.NewGNB(ran.CellConfig{})
+// gnbConfig is the binary's full knob set, one struct so tests can drive
+// run() exactly as main does.
+type gnbConfig struct {
+	sliceSpec   string
+	uesPerSlice int
+	cells       int
+	duration    time.Duration
+	e2Addr      string
+	codecName   string
+	shim        bool
+	liveness    time.Duration
+	realtime    bool
+	httpAddr    string
+
+	// onReady (tests) fires once the HTTP listener is serving, with its
+	// resolved address. afterRun (tests) fires after the slot loop and
+	// final report, while the HTTP server is still up.
+	onReady  func(addr string)
+	afterRun func()
+}
+
+// traceDepth is how many slot events the live /debug/slots ring keeps.
+const traceDepth = 512
+
+func run(cfg gnbConfig) error {
+	if cfg.cells <= 0 {
+		cfg.cells = 1
+	}
+	cg, err := core.NewCellGroup(ran.CellConfig{}, core.CellGroupConfig{Cells: cfg.cells})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cell: %d PRBs, %v slots, peak %.1f Mb/s at MCS 28\n",
-		gnb.Cell.PRBs, gnb.Cell.SlotDuration, gnb.Cell.PeakRateBps(28)/1e6)
+	gnb := cg.Cell(0)
+	fmt.Printf("cells: %d x (%d PRBs, %v slots, peak %.1f Mb/s at MCS 28)\n",
+		cfg.cells, gnb.Cell.PRBs, gnb.Cell.SlotDuration, gnb.Cell.PeakRateBps(28)/1e6)
 
+	// Every slice runs a pool-backed Wasm scheduler shared across cells:
+	// one compiled module, up to one sandbox instance per cell.
+	reg := obs.NewRegistry()
+	ring := obs.NewTraceRing(traceDepth)
 	meters := map[uint32]*metrics.RateMeter{}
-	ueID := uint32(1)
-	for i, part := range strings.Split(sliceSpec, ",") {
+	for i, part := range strings.Split(cfg.sliceSpec, ",") {
 		name, rate, err := parseSlice(part)
 		if err != nil {
 			return err
 		}
-		plugin, err := core.NewPluginScheduler(name, wabi.Policy{})
+		id := uint32(i + 1)
+		for c := 0; c < cfg.cells; c++ {
+			cell := cg.Cell(c)
+			sliceName := fmt.Sprintf("slice-%d(%s)", id, name)
+			if _, err := cell.Slices.AddSlice(id, sliceName, rate, sched.RoundRobin{}, nil); err != nil {
+				return err
+			}
+			for k := 0; k < cfg.uesPerSlice; k++ {
+				mcs := 22 + (k*6)/max(1, cfg.uesPerSlice-1)
+				ue := ran.NewUE(uint32(i*cfg.uesPerSlice+k+1), id, mcs)
+				ue.Traffic = ran.NewCBR(1.4 * rate / float64(cfg.uesPerSlice))
+				if err := cell.AttachUE(ue); err != nil {
+					return err
+				}
+			}
+		}
+		ps, err := cg.InstallPooledScheduler(id, name, wabi.Policy{}, cfg.cells)
 		if err != nil {
 			return err
 		}
-		id := uint32(i + 1)
-		if _, err := gnb.Slices.AddSlice(id, fmt.Sprintf("slice-%d(%s)", id, name), rate, plugin, nil); err != nil {
-			return err
-		}
-		for k := 0; k < uesPerSlice; k++ {
-			mcs := 22 + (k*6)/max(1, uesPerSlice-1)
-			ue := ran.NewUE(ueID, id, mcs)
-			ue.Traffic = ran.NewCBR(1.4 * rate / float64(uesPerSlice))
-			if err := gnb.AttachUE(ue); err != nil {
-				return err
-			}
-			ueID++
-		}
+		sliceLabel := obs.L("slice", strconv.FormatUint(uint64(id), 10))
+		ps.Register(reg, sliceLabel)
+		ps.Pool().Register(reg, sliceLabel)
 		meters[id] = metrics.NewRateMeter(gnb.Cell.SlotDuration, time.Second)
-		fmt.Printf("slice %d: %s scheduler (Wasm plugin), target %.1f Mb/s, %d UEs\n",
-			id, name, rate/1e6, uesPerSlice)
+		fmt.Printf("slice %d: %s scheduler (pooled Wasm plugin), target %.1f Mb/s, %d UEs per cell\n",
+			id, name, rate/1e6, cfg.uesPerSlice)
 	}
+	cg.EnableObservability(reg, ring)
 
 	// The E2 side runs under a supervisor: if the RIC is unreachable or
 	// the association dies mid-run, the gNB keeps scheduling on its native
 	// configuration while the session reconnects with backoff.
 	var sess *ric.AgentSession
 	var assoc *ric.AssocMetrics
-	if e2Addr != "" {
-		codec, err := buildCodec(codecName, shim)
+	if cfg.e2Addr != "" {
+		codec, err := buildCodec(cfg.codecName, cfg.shim)
 		if err != nil {
 			return err
 		}
 		assoc = &ric.AssocMetrics{}
+		assoc.Register(reg)
 		sess = &ric.AgentSession{
-			Dial:            func() (*e2.Conn, error) { return e2.Dial(e2Addr, codec) },
+			Dial:            func() (*e2.Conn, error) { return e2.Dial(cfg.e2Addr, codec) },
 			RAN:             gnb,
 			Cell:            1,
-			LivenessTimeout: liveness,
+			LivenessTimeout: cfg.liveness,
 			Metrics:         assoc,
 		}
 		sess.Start()
 		defer sess.Stop()
 		fmt.Printf("E2 agent supervising association to RIC at %s (codec %s, liveness %v)\n",
-			e2Addr, codec.Name(), liveness)
+			cfg.e2Addr, codec.Name(), cfg.liveness)
 	}
 
-	slots := core.SlotsForDuration(gnb.Cell, duration)
+	if cfg.httpAddr != "" {
+		lis, err := net.Listen("tcp", cfg.httpAddr)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: obs.NewMux(reg, ring)}
+		go srv.Serve(lis)
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics /debug/slots /debug/pprof\n", lis.Addr())
+		if cfg.onReady != nil {
+			cfg.onReady(lis.Addr().String())
+		}
+	}
+
+	slots := core.SlotsForDuration(gnb.Cell, cfg.duration)
 	start := time.Now()
 	for slot := 0; slot < slots; slot++ {
-		r := gnb.Step()
-		for id, ss := range r.PerSlice {
+		results := cg.StepAll()
+		for id, ss := range results[0].PerSlice {
 			meters[id].AddSlot(ss.Bits)
 		}
 		if sess != nil {
 			sess.Tick(uint64(slot))
 		}
-		if realtime {
+		if cfg.realtime {
 			next := start.Add(time.Duration(slot+1) * gnb.Cell.SlotDuration)
 			if d := time.Until(next); d > 0 {
 				time.Sleep(d)
@@ -121,10 +190,14 @@ func run(sliceSpec string, uesPerSlice int, duration time.Duration, e2Addr, code
 		}
 	}
 
-	fmt.Printf("\nran %d slots in %v\n", slots, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("%-16s %12s %12s %10s\n", "slice", "target Mb/s", "mean Mb/s", "fallbacks")
+	fmt.Printf("\nran %d slots x %d cells in %v\n", slots, cfg.cells, time.Since(start).Round(time.Millisecond))
+	watch := cg.WatchdogStats()[0]
+	fmt.Printf("cell 0 slot wall time: p99 %.1f us, worst %.1f us, %d overruns of the %v budget\n",
+		watch.P99us, float64(watch.Worst.Nanoseconds())/1e3, watch.Overruns, watch.Deadline)
+	fmt.Printf("%-16s %12s %12s %10s\n", "slice (cell 0)", "target Mb/s", "mean Mb/s", "fallbacks")
 	for _, s := range gnb.Slices.Slices() {
 		st := s.Stats()
+		meters[s.ID].Flush() // close the final partial window before reading
 		fmt.Printf("%-16s %12.2f %12.2f %10d\n",
 			s.Name, s.TargetRate()/1e6, meters[s.ID].MeanBpsAfter(time.Second)/1e6, st.FallbackSlots)
 	}
@@ -132,9 +205,12 @@ func run(sliceSpec string, uesPerSlice int, duration time.Duration, e2Addr, code
 		ind, ok, fail, resub := sess.Counters()
 		fmt.Printf("e2: %d indications sent, %d controls applied, %d refused, %d resubscribes\n",
 			ind, ok, fail, resub)
-		snap := assoc.Snapshot()
+		snap := assoc.Stats()
 		fmt.Printf("e2: %d associations, %d reconnects, %d dropped indications, degraded %.1f ms\n",
 			sess.Associations(), snap.Reconnects, snap.DroppedIndications, snap.DegradedMs)
+	}
+	if cfg.afterRun != nil {
+		cfg.afterRun()
 	}
 	return nil
 }

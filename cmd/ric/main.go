@@ -4,16 +4,20 @@
 // Usage:
 //
 //	ric -listen 127.0.0.1:36421 -xapps steer,sla -codec binary
+//	ric -http 127.0.0.1:9092        # serve /metrics and pprof while running
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"waran/internal/e2"
+	"waran/internal/obs"
 	"waran/internal/plugins"
 	"waran/internal/ric"
 	"waran/internal/wabi"
@@ -28,9 +32,10 @@ func main() {
 	hb := flag.Duration("hb", 100*time.Millisecond, "heartbeat interval for association liveness (0 disables)")
 	once := flag.Bool("once", false, "exit after the first association ends")
 	nonRT := flag.Bool("nonrt", false, "run the non-RT RIC (SLA-tuner rApp) over the KPM history")
+	httpAddr := flag.String("http", "", "serve /metrics and pprof on this address (empty = off)")
 	flag.Parse()
 
-	if err := run(*listen, *xapps, *codecName, *shim, uint32(*period), *hb, *once, *nonRT); err != nil {
+	if err := run(*listen, *xapps, *codecName, *shim, uint32(*period), *hb, *once, *nonRT, *httpAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "ric:", err)
 		os.Exit(1)
 	}
@@ -43,7 +48,7 @@ var xappSources = map[string]string{
 	"pong":  plugins.PongXAppWAT,
 }
 
-func run(listen, xapps, codecName string, shim bool, period uint32, hb time.Duration, once, nonRT bool) error {
+func run(listen, xapps, codecName string, shim bool, period uint32, hb time.Duration, once, nonRT bool, httpAddr string) error {
 	r := ric.New()
 	r.ReportPeriodMs = period
 	r.HeartbeatInterval = hb
@@ -90,6 +95,19 @@ func run(listen, xapps, codecName string, shim bool, period uint32, hb time.Dura
 	fmt.Printf("near-RT RIC listening on %s (codec %s, report period %d ms, heartbeat %v)\n",
 		lis.Addr(), wireCodec.Name(), period, hb)
 
+	if httpAddr != "" {
+		reg := obs.NewRegistry()
+		r.Register(reg)
+		hlis, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: obs.NewMux(reg, nil)}
+		go srv.Serve(hlis)
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics /debug/pprof\n", hlis.Addr())
+	}
+
 	// onAssociation wires the per-association extras (the non-RT RIC's
 	// guidance loop) and returns their teardown.
 	onAssociation := func(conn *e2.Conn) func() {
@@ -121,7 +139,7 @@ func run(listen, xapps, codecName string, shim bool, period uint32, hb time.Dura
 			fmt.Println("association closed")
 		}
 		ind, controls := r.Counters()
-		snap := assoc.Snapshot()
+		snap := assoc.Stats()
 		fmt.Printf("totals: %d indications processed, %d control actions emitted, %d reconnects, %d missed heartbeats\n",
 			ind, controls, snap.Reconnects, snap.MissedHeartbeats)
 	}

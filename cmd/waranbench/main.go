@@ -1,10 +1,14 @@
 // Command waranbench regenerates the paper's evaluation (§5): every figure
-// and the memory-safety matrix, printed as text tables with the paper's
-// qualitative expectation alongside the measured outcome.
+// and the memory-safety matrix. Experiments self-register with
+// internal/core's registry; figures print as text tables with the paper's
+// qualitative expectation alongside the measured outcome, while multi-cell
+// and fault experiments emit JSON (with an embedded metric-registry
+// snapshot under "obs").
 //
 // Usage:
 //
-//	waranbench -fig 5a|5b|5c|5d|safety|all [-duration 10s]
+//	waranbench -list
+//	waranbench -fig 5a|5b|5c|5d|safety|upload|all [-duration 10s]
 //	waranbench -fig multicell [-cells 8] [-slots 2000] [-par 0]   (JSON output)
 //	waranbench -fig e2faults [-e2f-slots 2000] [-e2f-drop 0.05] [-e2f-reset 25] [-e2f-seed 1]   (JSON output)
 package main
@@ -14,18 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
+	"strings"
 	"time"
 
 	"waran/internal/core"
-	"waran/internal/e2"
-	"waran/internal/plugins"
-	"waran/internal/ran"
-	"waran/internal/ric"
-	"waran/internal/sched"
-	"waran/internal/wabi"
-	"waran/internal/wasm"
-	"waran/internal/wat"
+	"waran/internal/obs"
+
+	// Blank import: ric-coupled experiments (e2faults) register themselves.
+	_ "waran/internal/ric"
 )
 
 var (
@@ -41,345 +41,69 @@ var (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 5a, 5b, 5c, 5d, safety, upload, multicell, e2faults, all")
+	fig := flag.String("fig", "all", "which experiment to run (see -list), or all")
 	duration := flag.Duration("duration", 0, "override experiment duration (0 = per-figure default)")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Parse()
 
-	run := func(name string, f func(time.Duration) error) {
-		if *fig != "all" && *fig != name {
-			return
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-10s %s\n", e.Name(), e.Describe())
 		}
-		if err := f(*duration); err != nil {
-			fmt.Fprintf(os.Stderr, "waranbench: %s: %v\n", name, err)
-			os.Exit(1)
-		}
+		return
 	}
-	run("5a", fig5a)
-	run("5b", fig5b)
-	run("5c", fig5c)
-	run("5d", fig5d)
-	run("safety", safety)
-	run("upload", upload)
-	run("multicell", multicell)
-	run("e2faults", e2faults)
+
+	if *fig == "all" {
+		for _, e := range core.Experiments() {
+			runExperiment(e, *duration)
+		}
+		return
+	}
+	e, ok := core.LookupExperiment(*fig)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "waranbench: unknown experiment %q (have: %s, all)\n",
+			*fig, strings.Join(core.ExperimentNames(), ", "))
+		os.Exit(2)
+	}
+	runExperiment(e, *duration)
 }
 
-func fig5a(d time.Duration) error {
-	if d == 0 {
-		d = 10 * time.Second
+// configFor builds one experiment's knob set from the command line. Every
+// experiment gets a fresh metric registry so instrumented runs embed an
+// isolated snapshot.
+func configFor(name string, duration time.Duration) core.ExpConfig {
+	cfg := core.ExpConfig{Duration: duration, Obs: obs.NewRegistry()}
+	switch name {
+	case "multicell":
+		cfg.Cells = *mcCells
+		cfg.Slots = *mcSlots
+		cfg.Parallelism = *mcPar
+	case "e2faults":
+		cfg.Slots = *e2fSlots
+		cfg.Drop = *e2fDrop
+		cfg.ResetAfterWrites = *e2fReset
+		cfg.Seed = *e2fSeed
+		cfg.Heartbeat = *e2fHB
 	}
-	fmt.Printf("== Fig. 5a: Co-existence of MVNOs (duration %v) ==\n", d)
-	fmt.Println("paper: each MVNO reaches its target cumulative DL rate on one gNB")
-	res, err := core.RunFig5a(nil, d)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-8s %-6s %12s %12s %8s\n", "MVNO", "sched", "target Mb/s", "achieved", "ratio")
-	for _, m := range res.MVNOs {
-		fmt.Printf("%-8s %-6s %12.2f %12.2f %8.2f\n",
-			m.Spec.Name, m.Spec.Scheduler, m.TargetBps/1e6, m.MeanBps/1e6, m.MeanBps/m.TargetBps)
-	}
-	fmt.Println()
-	return nil
+	return cfg
 }
 
-func fig5b(d time.Duration) error {
-	if d == 0 {
-		d = 30 * time.Second
+// runExperiment executes one registered experiment and presents the result:
+// text for results that render themselves, indented JSON otherwise.
+func runExperiment(e core.Experiment, duration time.Duration) {
+	res, err := e.Run(configFor(e.Name(), duration))
+	if err == nil {
+		err = present(res)
 	}
-	fmt.Printf("== Fig. 5b: Live swap of MVNO scheduler MT -> PF -> RR (duration %v) ==\n", d)
-	fmt.Println("paper: swap on the fly, no gNB restart, no UE disconnect;")
-	fmt.Println("       MT: best-MCS UE hits 22 Mb/s; PF: starved UE prioritized; RR: equal shares")
-	res, err := core.RunFig5b(d, 0)
 	if err != nil {
-		return err
+		fmt.Fprintf(os.Stderr, "waranbench: %s: %v\n", e.Name(), err)
+		os.Exit(1)
 	}
-	fmt.Printf("hot swaps applied: %d, UEs detached: %d\n", res.Swaps, res.UEsDetached)
-	fmt.Printf("%-10s", "t (s)")
-	for _, u := range res.UEs {
-		fmt.Printf("  MCS%-2d Mb/s", u.MCS)
-	}
-	fmt.Println()
-	// All UEs share the same window cadence.
-	for i := range res.UEs[0].Series {
-		fmt.Printf("%-10.1f", res.UEs[0].Series[i].Time.Seconds())
-		for _, u := range res.UEs {
-			fmt.Printf("  %10.2f", u.Series[i].Bps/1e6)
-		}
-		fmt.Println()
-	}
-	fmt.Println()
-	return nil
 }
 
-func fig5c(d time.Duration) error {
-	if d == 0 {
-		d = 100 * time.Second
-	}
-	fmt.Printf("== Fig. 5c: Memory increase, leaky scheduler in plugin vs native (duration %v) ==\n", d)
-	fmt.Println("paper: plugin-sandboxed leak stays flat; same code native grows linearly")
-	res, err := core.RunFig5c(d, 0)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("sandbox cap: %.1f MiB\n", float64(res.CapBytes)/(1<<20))
-	fmt.Printf("%-10s %16s %16s\n", "t (s)", "plugin MiB", "native MiB")
-	step := len(res.Points) / 10
-	if step == 0 {
-		step = 1
-	}
-	for i := 0; i < len(res.Points); i += step {
-		p := res.Points[i]
-		fmt.Printf("%-10.1f %16.2f %16.2f\n",
-			p.Time.Seconds(), float64(p.PluginBytes)/(1<<20), float64(p.NativeBytes)/(1<<20))
-	}
-	last := res.Points[len(res.Points)-1]
-	fmt.Printf("final: plugin %.2f MiB (capped), native %.2f MiB (unbounded)\n\n",
-		float64(last.PluginBytes)/(1<<20), float64(last.NativeBytes)/(1<<20))
-	return nil
-}
-
-func fig5d(time.Duration) error {
-	fmt.Println("== Fig. 5d: Plugin execution time incl. serialization ==")
-	fmt.Println("paper: P99 well below the 1000 us slot for MT/PF/RR at 1/10/20 UEs")
-	res, err := core.RunFig5d(nil, nil, 0)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-6s %6s %12s %12s %12s %10s\n", "sched", "UEs", "P50 (us)", "P99 (us)", "mean (us)", "deadline")
-	for _, c := range res.Cells {
-		verdict := "OK"
-		if c.P99us >= res.SlotDeadlineUs {
-			verdict = "MISS"
-		}
-		fmt.Printf("%-6s %6d %12.1f %12.1f %12.1f %10s\n",
-			c.Scheduler, c.NumUEs, c.P50us, c.P99us, c.Meanus, verdict)
-	}
-	fmt.Println()
-	return nil
-}
-
-func safety(time.Duration) error {
-	fmt.Println("== §5D: Memory-safety fault matrix ==")
-	fmt.Println("paper: improper code traps in the sandbox; the gNB catches it and keeps running")
-	rows, err := core.RunSafetyMatrix()
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-16s %-28s %-14s %-14s\n", "fault", "sandbox verdict", "host survived", "slice rescued")
-	for _, r := range rows {
-		fmt.Printf("%-16s %-28s %-14v %-14v\n", r.Fault, r.TrapCode, r.HostSurvived, r.SliceRescued)
-	}
-	fmt.Println()
-	return nil
-}
-
-// upload demonstrates the Fig. 1 deployment flow: new scheduler bytecode
-// pushed into a running gNB through the E2 control plane.
-func upload(time.Duration) error {
-	fmt.Println("== Fig. 1 flow: push Wasm scheduler bytecode into a running gNB ==")
-	gnb, err := core.NewGNB(ran.CellConfig{})
-	if err != nil {
-		return err
-	}
-	rr, err := core.NewPluginScheduler("rr", wabi.Policy{})
-	if err != nil {
-		return err
-	}
-	s, err := gnb.Slices.AddSlice(1, "tenant", 10e6, rr, nil)
-	if err != nil {
-		return err
-	}
-	ue := ran.NewUE(1, 1, 24)
-	ue.Traffic = ran.NewCBR(5e6)
-	if err := gnb.AttachUE(ue); err != nil {
-		return err
-	}
-	gnb.RunSlots(100, nil)
-	fmt.Printf("before: slice runs %q\n", s.SchedulerName())
-
-	blob, err := wat.CompileToBinary(plugins.ProportionalFairWAT)
-	if err != nil {
-		return err
-	}
-	start := time.Now()
-	err = gnb.Apply(&e2.ControlRequest{
-		Action: e2.ActionUploadScheduler, SliceID: 1, Text: "pf-v2", Blob: blob,
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("uploaded %d bytes of bytecode; decode+validate+instantiate+swap in %v\n",
-		len(blob), time.Since(start).Round(time.Microsecond))
-	fmt.Printf("after:  slice runs %q (gNB never stopped; UE stayed attached)\n", s.SchedulerName())
-	gnb.RunSlots(100, nil)
-	if _, ok := gnb.UE(1); !ok {
-		return fmt.Errorf("UE lost")
-	}
-	fmt.Println()
-	return nil
-}
-
-// multicellReport is the JSON emitted by -fig multicell: one cell group
-// stepped serially and then with the worker pool, plus a fleet-wide plugin
-// hot swap through the content-addressed module cache.
-type multicellReport struct {
-	Cells               int     `json:"cells"`
-	Slots               int     `json:"slots"`
-	Parallelism         int     `json:"parallelism"`
-	GOMAXPROCS          int     `json:"gomaxprocs"`
-	SerialSlotsPerSec   float64 `json:"serial_slots_per_sec"`
-	ParallelSlotsPerSec float64 `json:"parallel_slots_per_sec"`
-	Speedup             float64 `json:"speedup"`
-	DeadlineUs          float64 `json:"deadline_us"`
-	Overruns            uint64  `json:"overruns"`
-	WorstSlotUs         float64 `json:"worst_slot_us"`
-	P99SlotUs           float64 `json:"p99_slot_us"`
-	HotSwapCells        int     `json:"hot_swap_cells"`
-	HotSwapCompiles     uint64  `json:"hot_swap_compiles"`
-	CacheHits           uint64  `json:"cache_hits"`
-	CacheMisses         uint64  `json:"cache_misses"`
-}
-
-// buildMulticellGroup assembles a group of Fig. 5a-shaped cells whose slices
-// share pool-backed built-in schedulers.
-func buildMulticellGroup(cells, par int) (*core.CellGroup, error) {
-	cg, err := core.NewCellGroup(ran.CellConfig{}, core.CellGroupConfig{Cells: cells, Parallelism: par})
-	if err != nil {
-		return nil, err
-	}
-	specs := core.DefaultFig5aSpecs()
-	for c := 0; c < cells; c++ {
-		gnb := cg.Cell(c)
-		ueID := uint32(1)
-		for _, sp := range specs {
-			if _, err := gnb.Slices.AddSlice(sp.ID, sp.Name, sp.TargetBps, sched.RoundRobin{}, nil); err != nil {
-				return nil, err
-			}
-			for k := 0; k < sp.NumUEs; k++ {
-				ue := ran.NewUE(ueID, sp.ID, 22+2*k)
-				ue.Traffic = ran.NewCBR(1.4 * sp.TargetBps / float64(sp.NumUEs))
-				if err := gnb.AttachUE(ue); err != nil {
-					return nil, err
-				}
-				ueID++
-			}
-		}
-	}
-	for _, sp := range specs {
-		if _, err := cg.InstallPooledScheduler(sp.ID, sp.Scheduler, wabi.Policy{}, cells); err != nil {
-			return nil, err
-		}
-	}
-	return cg, nil
-}
-
-// multicell steps a cell group serially and with the worker pool, then
-// fans one plugin upload across every cell, and prints a JSON report.
-func multicell(time.Duration) error {
-	par := *mcPar
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	rep := multicellReport{
-		Cells:       *mcCells,
-		Slots:       *mcSlots,
-		Parallelism: par,
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-	}
-
-	timeRun := func(parallelism int) (float64, *core.CellGroup, error) {
-		cg, err := buildMulticellGroup(*mcCells, parallelism)
-		if err != nil {
-			return 0, nil, err
-		}
-		start := time.Now()
-		cg.RunSlots(*mcSlots, nil)
-		elapsed := time.Since(start)
-		return float64(*mcSlots) / elapsed.Seconds(), cg, nil
-	}
-
-	var err error
-	if rep.SerialSlotsPerSec, _, err = timeRun(1); err != nil {
-		return err
-	}
-	parRate, cg, err := timeRun(par)
-	if err != nil {
-		return err
-	}
-	rep.ParallelSlotsPerSec = parRate
-	rep.Speedup = rep.ParallelSlotsPerSec / rep.SerialSlotsPerSec
-
-	for _, st := range cg.WatchdogStats() {
-		rep.DeadlineUs = float64(st.Deadline.Microseconds())
-		rep.Overruns += st.Overruns
-		if w := float64(st.Worst.Nanoseconds()) / 1e3; w > rep.WorstSlotUs {
-			rep.WorstSlotUs = w
-		}
-		if st.P99us > rep.P99SlotUs {
-			rep.P99SlotUs = st.P99us
-		}
-	}
-
-	// Fleet-wide hot swap of one compiled module through the shared cache.
-	blob, err := wat.CompileToBinary(plugins.ProportionalFairWAT)
-	if err != nil {
-		return err
-	}
-	before := wasm.CompileCount()
-	if _, err := cg.UploadSchedulerAll(1, "pf-v2", blob, wabi.Policy{}, par); err != nil {
-		return err
-	}
-	for i := 0; i < *mcCells; i++ {
-		err := cg.Cell(i).Apply(&e2.ControlRequest{
-			Action: e2.ActionUploadScheduler, SliceID: 1, Text: "pf-v2", Blob: blob,
-		})
-		if err != nil {
-			return err
-		}
-	}
-	rep.HotSwapCells = *mcCells
-	rep.HotSwapCompiles = wasm.CompileCount() - before
-	rep.CacheHits, rep.CacheMisses = cg.Modules.Stats()
-
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
-}
-
-// e2faults runs the association-resilience experiment: a gNB and RIC over
-// loopback with faults injected into the agent's transport — a half-open
-// association, then a lossy connection that is forcibly reset — and prints
-// the recovery counters as JSON.
-func e2faults(time.Duration) error {
-	gnb, err := core.NewGNB(ran.CellConfig{})
-	if err != nil {
-		return err
-	}
-	rr, err := core.NewPluginScheduler("rr", wabi.Policy{})
-	if err != nil {
-		return err
-	}
-	// Over-ambitious target keeps the SLA xApp emitting controls, so
-	// control delivery after recovery is observable.
-	if _, err := gnb.Slices.AddSlice(1, "tenant", 100e6, rr, nil); err != nil {
-		return err
-	}
-	ue := ran.NewUE(1, 1, 20)
-	ue.Traffic = ran.NewCBR(3e6)
-	if err := gnb.AttachUE(ue); err != nil {
-		return err
-	}
-
-	res, err := ric.RunE2Faults(ric.E2FaultsConfig{
-		Slots:            *e2fSlots,
-		Drop:             *e2fDrop,
-		ResetAfterWrites: *e2fReset,
-		Seed:             *e2fSeed,
-		Heartbeat:        *e2fHB,
-	}, gnb, func(uint64) { gnb.Step() })
-	if err != nil {
-		return err
+func present(res any) error {
+	if tr, ok := res.(core.TextRenderer); ok {
+		return tr.RenderText(os.Stdout)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -60,5 +60,5 @@ func main() {
 		fmt.Printf("  UE %d <- %2d PRBs\n", a.UEID, a.PRBs)
 	}
 	fmt.Printf("(PF prioritizes UE 3: lowest long-term throughput wins first)\n")
-	fmt.Printf("plugin call took %v inside the sandbox\n", scheduler.LastTime)
+	fmt.Printf("plugin call took %v inside the sandbox\n", scheduler.Stats().LastTime)
 }

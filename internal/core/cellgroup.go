@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"time"
 
 	"waran/internal/metrics"
+	"waran/internal/obs"
 	"waran/internal/plugins"
 	"waran/internal/ran"
 	"waran/internal/sched"
@@ -192,11 +194,25 @@ func (cg *CellGroup) RunSlots(n int, observe func(cell int, r SlotResult)) {
 	}
 }
 
+// EnableObservability wires the whole group into the observability layer:
+// each cell's GNB registers slot instruments under its cell label, the
+// per-cell deadline watchdogs and the shared module cache are exposed, and
+// (when ring is non-nil) every slot step appends a trace event. Call after
+// populating slices and before the slot loop starts.
+func (cg *CellGroup) EnableObservability(reg *obs.Registry, ring *obs.TraceRing) {
+	for i, g := range cg.cells {
+		g.EnableObservability(reg, ring, i, cg.cfg.SlotDeadline)
+		reg.MustRegister("waran_cell_deadline", "cell-group slot deadline watchdog",
+			obs.DeadlineInstrument(cg.watch[i]), obs.L("cell", strconv.Itoa(i)))
+	}
+	cg.Modules.Register(reg)
+}
+
 // WatchdogStats snapshots every cell's deadline accounting.
 func (cg *CellGroup) WatchdogStats() []metrics.DeadlineStats {
 	out := make([]metrics.DeadlineStats, len(cg.watch))
 	for i, w := range cg.watch {
-		out[i] = w.Snapshot()
+		out[i] = w.Stats()
 	}
 	return out
 }

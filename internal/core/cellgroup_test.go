@@ -168,8 +168,8 @@ func TestCellGroupModuleCacheCompilesOnce(t *testing.T) {
 	if got := wasm.CompileCount() - before; got != 1 {
 		t.Fatalf("64-cell hot-swap ran wasm.Compile %d times, want exactly 1", got)
 	}
-	if hits, misses := cg.Modules.Stats(); misses != 1 || hits != cells {
-		t.Fatalf("cache stats = %d hits / %d misses, want %d/1", hits, misses, cells)
+	if st := cg.Modules.Stats(); st.Misses != 1 || st.Hits != uint64(cells) {
+		t.Fatalf("cache stats = %d hits / %d misses, want %d/1", st.Hits, st.Misses, cells)
 	}
 	for i := 0; i < cells; i++ {
 		if name := cg.Cell(i).Slices.Slices()[0].SchedulerName(); name != "plugin:pf-up" {

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"waran/internal/obs"
+)
+
+// This file is the experiment registry: the single front door through which
+// cmd/waranbench (and anything else) discovers and runs the paper's
+// evaluation. Each figure self-registers an Experiment at init time, so
+// adding a figure means adding a Run function plus one RegisterExperiment
+// call — no switch statement in any binary to keep in sync.
+
+// ExpConfig is the flat knob set shared by every experiment. Experiments
+// read only the fields they care about; zero values mean "use the figure's
+// published default", so an empty ExpConfig reproduces the paper.
+type ExpConfig struct {
+	// Duration overrides the experiment's simulated duration (figures
+	// 5a-5c). Zero keeps the per-figure default.
+	Duration time.Duration
+	// Cells / Slots / Parallelism shape the multi-cell experiments.
+	Cells       int
+	Slots       int
+	Parallelism int
+	// Seed selects deterministic fault/jitter schedules where applicable.
+	Seed int64
+	// Drop / ResetAfterWrites / Heartbeat parameterize transport-fault
+	// experiments.
+	Drop             float64
+	ResetAfterWrites int
+	Heartbeat        time.Duration
+	// Obs, when non-nil, is the metric registry the experiment should wire
+	// its subsystems into; experiments that support it embed
+	// Obs.Snapshot() in their result. Nil disables instrumentation.
+	Obs *obs.Registry
+	// Trace, when non-nil (and Obs is set), receives per-slot trace events
+	// from experiments that drive an instrumented slot loop.
+	Trace *obs.TraceRing
+}
+
+// Experiment is one self-contained, runnable element of the evaluation.
+type Experiment interface {
+	// Name is the registry key (e.g. "5a", "multicell").
+	Name() string
+	// Describe is a one-line summary for listings.
+	Describe() string
+	// Run executes the experiment and returns its result. Results that
+	// implement TextRenderer print as text tables; anything else is
+	// presented as JSON by callers.
+	Run(cfg ExpConfig) (any, error)
+}
+
+// TextRenderer is implemented by experiment results that render themselves
+// as the human-readable tables waranbench prints. Results without it are
+// JSON-encoded instead.
+type TextRenderer interface {
+	RenderText(w io.Writer) error
+}
+
+// expFunc adapts a plain function to Experiment.
+type expFunc struct {
+	name, desc string
+	run        func(ExpConfig) (any, error)
+}
+
+func (e expFunc) Name() string                   { return e.name }
+func (e expFunc) Describe() string               { return e.desc }
+func (e expFunc) Run(cfg ExpConfig) (any, error) { return e.run(cfg) }
+
+var (
+	expMu     sync.Mutex
+	expByName = make(map[string]Experiment)
+	expOrder  []string // registration order, the canonical "all" order
+)
+
+// RegisterExperiment adds e to the registry; duplicate names panic (they
+// are a programming error, caught at init time).
+func RegisterExperiment(e Experiment) {
+	expMu.Lock()
+	defer expMu.Unlock()
+	name := e.Name()
+	if _, dup := expByName[name]; dup {
+		panic(fmt.Sprintf("core: experiment %q registered twice", name))
+	}
+	expByName[name] = e
+	expOrder = append(expOrder, name)
+}
+
+// RegisterExperimentFunc registers a function-backed experiment.
+func RegisterExperimentFunc(name, desc string, run func(ExpConfig) (any, error)) {
+	RegisterExperiment(expFunc{name: name, desc: desc, run: run})
+}
+
+// LookupExperiment resolves a registered experiment by name.
+func LookupExperiment(name string) (Experiment, bool) {
+	expMu.Lock()
+	defer expMu.Unlock()
+	e, ok := expByName[name]
+	return e, ok
+}
+
+// Experiments returns every registered experiment in registration order —
+// the order "run everything" callers should use, which follows the paper's
+// figure sequence.
+func Experiments() []Experiment {
+	expMu.Lock()
+	defer expMu.Unlock()
+	out := make([]Experiment, 0, len(expOrder))
+	for _, name := range expOrder {
+		out = append(out, expByName[name])
+	}
+	return out
+}
+
+// ExperimentNames returns the registered names sorted alphabetically (for
+// error messages and completion).
+func ExperimentNames() []string {
+	expMu.Lock()
+	defer expMu.Unlock()
+	out := append([]string(nil), expOrder...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"waran/internal/obs"
+)
+
+// TestExperimentRegistry checks that every core-owned figure self-registered
+// in paper order and that lookups behave.
+func TestExperimentRegistry(t *testing.T) {
+	want := []string{"5a", "5b", "5c", "5d", "safety", "upload", "multicell"}
+	var order []string
+	for _, e := range Experiments() {
+		order = append(order, e.Name())
+		if e.Describe() == "" {
+			t.Errorf("experiment %q has no description", e.Name())
+		}
+	}
+	// The core experiments must appear in figure order (other packages may
+	// append theirs after, so compare as a subsequence).
+	i := 0
+	for _, name := range order {
+		if i < len(want) && name == want[i] {
+			i++
+		}
+	}
+	if i != len(want) {
+		t.Fatalf("registration order %v does not contain %v in order", order, want)
+	}
+
+	if _, ok := LookupExperiment("5a"); !ok {
+		t.Fatal("lookup 5a failed")
+	}
+	if _, ok := LookupExperiment("no-such-figure"); ok {
+		t.Fatal("lookup of unknown name succeeded")
+	}
+	if names := ExperimentNames(); !sort.StringsAreSorted(names) {
+		t.Fatalf("ExperimentNames not sorted: %v", names)
+	}
+}
+
+func TestRegisterExperimentDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	RegisterExperimentFunc("5a", "dup", func(ExpConfig) (any, error) { return nil, nil })
+}
+
+// TestUploadExperimentRenders runs the Fig. 1 flow through the registry and
+// checks its result renders the deployment narrative.
+func TestUploadExperimentRenders(t *testing.T) {
+	e, ok := LookupExperiment("upload")
+	if !ok {
+		t.Fatal("upload experiment not registered")
+	}
+	res, err := e.Run(ExpConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := res.(TextRenderer)
+	if !ok {
+		t.Fatalf("upload result %T does not render as text", res)
+	}
+	var buf bytes.Buffer
+	if err := tr.RenderText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, wantS := range []string{"Fig. 1 flow", `"plugin:pf-v2"`, "UE stayed attached"} {
+		if !strings.Contains(out, wantS) {
+			t.Errorf("rendered upload result missing %q:\n%s", wantS, out)
+		}
+	}
+}
+
+// TestRunMulticellEmbedsSnapshot checks the multicell experiment honors
+// ExpConfig.Obs: the instrumented parallel run populates the registry and
+// the report embeds its snapshot alongside the timing figures.
+func TestRunMulticellEmbedsSnapshot(t *testing.T) {
+	cfg := ExpConfig{
+		Cells:       2,
+		Slots:       50,
+		Parallelism: 2,
+		Obs:         obs.NewRegistry(),
+		Trace:       obs.NewTraceRing(64),
+	}
+	rep, err := RunMulticell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SerialSlotsPerSec <= 0 || rep.ParallelSlotsPerSec <= 0 {
+		t.Fatalf("timing figures missing: %+v", rep)
+	}
+	if rep.CacheHits == 0 {
+		t.Fatalf("hot swap through the shared cache recorded no hits: %+v", rep)
+	}
+	if rep.Obs == nil {
+		t.Fatal("report has no registry snapshot")
+	}
+	for _, key := range []string{
+		`waran_slot_latency_us{cell="0"}`,
+		`waran_slot_latency_us{cell="1"}`,
+		`waran_cell_deadline{cell="0"}`,
+		"waran_wabi_module_cache",
+	} {
+		if _, ok := rep.Obs[key]; !ok {
+			t.Errorf("snapshot missing %q", key)
+		}
+	}
+	if cfg.Trace.Len() == 0 {
+		t.Fatal("instrumented run produced no trace events")
+	}
+}

@@ -255,6 +255,7 @@ type Fig5cPoint struct {
 // separately; here the linear growth is the signal).
 type Fig5cResult struct {
 	CapBytes int64
+	Duration time.Duration
 	Points   []Fig5cPoint
 }
 
@@ -284,7 +285,7 @@ func RunFig5c(duration time.Duration, capPages uint32) (*Fig5cResult, error) {
 	if sampleEvery == 0 {
 		sampleEvery = 1
 	}
-	res := &Fig5cResult{CapBytes: int64(capPages) * wasm.PageSize}
+	res := &Fig5cResult{CapBytes: int64(capPages) * wasm.PageSize, Duration: duration}
 	var nativeBytes int64
 	for slot := 0; slot < slots; slot++ {
 		if _, err := p.Call("schedule", nil); err != nil {

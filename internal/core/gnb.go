@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"waran/internal/obs"
 	"waran/internal/plugins"
 	"waran/internal/ran"
 	"waran/internal/sched"
@@ -36,6 +37,7 @@ type GNB struct {
 	byID      map[uint32]*ran.UE
 	slot      uint64
 	sliceRate map[uint32]float64 // served-rate EWMA per slice, for E2 KPM
+	obsv      *gnbObs            // set by EnableObservability, nil otherwise
 }
 
 // sliceRateAlpha is the EWMA weight for per-slice served rate reporting.
@@ -161,6 +163,16 @@ func (g *GNB) Step() SlotResult {
 		PerSlice: make(map[uint32]SliceSlot),
 	}
 
+	o := g.obsv
+	var slotStart time.Time
+	var ev *obs.SlotEvent
+	if o != nil {
+		slotStart = time.Now()
+		if o.ring != nil {
+			ev = &obs.SlotEvent{}
+		}
+	}
+
 	// 1. Evolve traffic and channels.
 	for _, u := range g.ues {
 		u.StepSlot(g.slot, g.Cell.SlotDuration)
@@ -226,6 +238,10 @@ func (g *GNB) Step() SlotResult {
 			UEs:       ueViews[s.ID],
 		}
 		before := s.Stats().FallbackSlots
+		var schedStart time.Time
+		if o != nil {
+			schedStart = time.Now()
+		}
 		resp, err := g.Slices.Schedule(s, req)
 		if err != nil {
 			// Both plugin and fallback failed; skip the slice this slot.
@@ -257,6 +273,9 @@ func (g *GNB) Step() SlotResult {
 			ss.Bits += served
 		}
 		res.PerSlice[s.ID] = ss
+		if o != nil {
+			o.observeSlice(ev, s, ss, time.Since(schedStart))
+		}
 	}
 
 	// UEs with no grant still update their PF average (toward zero).
@@ -273,6 +292,9 @@ func (g *GNB) Step() SlotResult {
 		g.sliceRate[id] = (1-sliceRateAlpha)*g.sliceRate[id] + sliceRateAlpha*inst
 	}
 
+	if o != nil {
+		o.finishSlot(ev, g.slot, time.Since(slotStart))
+	}
 	g.slot++
 	return res
 }

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"waran/internal/obs"
+	"waran/internal/sched"
+	"waran/internal/slicing"
+)
+
+// gnbObs holds one gNB's registered instruments plus the shared trace ring.
+// It is created by EnableObservability and read by Step on the cell's slot
+// goroutine; the lazily created per-slice counters are the only shared
+// mutable state and carry their own lock.
+type gnbObs struct {
+	reg      *obs.Registry
+	ring     *obs.TraceRing
+	cell     int
+	deadline time.Duration
+
+	slotLatency *obs.Histogram
+	overruns    *obs.Counter
+	fallbacks   *obs.Counter
+	fuel        *obs.Histogram
+
+	mu        sync.Mutex
+	prbGrants map[uint32]*obs.Counter
+}
+
+// EnableObservability registers this gNB's slot instruments on reg under
+// the given cell index and streams per-slot trace events into ring (nil
+// disables tracing but keeps the metrics). deadline, when positive, marks
+// slots slower than it as overruns in both the counter and the trace.
+// Call before the slot loop starts; instruments live for the gNB's
+// lifetime.
+func (g *GNB) EnableObservability(reg *obs.Registry, ring *obs.TraceRing, cell int, deadline time.Duration) {
+	cellLabel := obs.L("cell", strconv.Itoa(cell))
+	o := &gnbObs{
+		reg:         reg,
+		ring:        ring,
+		cell:        cell,
+		deadline:    deadline,
+		slotLatency: reg.Histogram("waran_slot_latency_us", "wall time of one MAC slot in microseconds", cellLabel),
+		overruns:    reg.Counter("waran_slot_overruns_total", "slots exceeding the deadline budget", cellLabel),
+		fallbacks:   reg.Counter("waran_slice_fallback_slots_total", "slice-slots served by the native fallback scheduler", cellLabel),
+		fuel:        reg.Histogram("waran_plugin_fuel_per_call", "fuel consumed per intra-slice plugin call", cellLabel),
+		prbGrants:   make(map[uint32]*obs.Counter),
+	}
+	g.mu.Lock()
+	g.obsv = o
+	g.mu.Unlock()
+}
+
+// grantCounter returns the per-slice PRB-grant counter, creating the series
+// on first sight of the slice.
+func (o *gnbObs) grantCounter(sliceID uint32) *obs.Counter {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c, ok := o.prbGrants[sliceID]
+	if !ok {
+		c = o.reg.Counter("waran_sched_granted_prbs_total", "PRBs granted by intra-slice schedulers",
+			obs.L("cell", strconv.Itoa(o.cell)), obs.L("slice", strconv.FormatUint(uint64(sliceID), 10)))
+		o.prbGrants[sliceID] = c
+	}
+	return c
+}
+
+// observeSlice records one slice's outcome: PRB grants, fallback and fuel
+// accounting, plus the trace entry when tracing is on.
+func (o *gnbObs) observeSlice(ev *obs.SlotEvent, s *slicing.Slice, ss SliceSlot, wall time.Duration) {
+	o.grantCounter(s.ID).Add(uint64(ss.GrantedPRBs))
+	if ss.UsedFallback {
+		o.fallbacks.Inc()
+	}
+	var fuelUsed int64
+	if fr, ok := s.Scheduler().(sched.FuelReporter); ok && !ss.UsedFallback {
+		if fuelUsed = fr.LastFuelUsed(); fuelUsed > 0 {
+			o.fuel.Observe(float64(fuelUsed))
+		}
+	}
+	if ev != nil {
+		ev.Slices = append(ev.Slices, obs.SliceTrace{
+			Slice:    strconv.FormatUint(uint64(s.ID), 10),
+			Sched:    s.SchedulerName(),
+			PRBs:     int(ss.GrantedPRBs),
+			Bits:     int(ss.Bits),
+			Fallback: ss.UsedFallback,
+			FuelUsed: fuelUsed,
+			WallUs:   wall.Microseconds(),
+		})
+	}
+}
+
+// finishSlot closes out one slot's accounting and publishes the trace.
+func (o *gnbObs) finishSlot(ev *obs.SlotEvent, slot uint64, wall time.Duration) {
+	o.slotLatency.ObserveDuration(wall)
+	overrun := o.deadline > 0 && wall > o.deadline
+	if overrun {
+		o.overruns.Inc()
+	}
+	if ev != nil && o.ring != nil {
+		ev.Slot = slot
+		ev.Cell = o.cell
+		ev.WallUs = wall.Microseconds()
+		ev.DeadlineUs = o.deadline.Microseconds()
+		ev.Overrun = overrun
+		for _, st := range ev.Slices {
+			if st.Fallback {
+				ev.Fallback = true
+			}
+		}
+		o.ring.Add(*ev)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"waran/internal/obs"
+	"waran/internal/ran"
+	"waran/internal/wabi"
+)
+
+// TestCellGroupObservability drives an instrumented 2-cell group and checks
+// that every instrument class populates: slot latency, PRB grants, fuel,
+// deadline watchdog, module cache, and the trace ring.
+func TestCellGroupObservability(t *testing.T) {
+	cg, err := NewCellGroup(ran.CellConfig{}, CellGroupConfig{Cells: 2, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cg.NumCells(); i++ {
+		g := cg.Cell(i)
+		rr, err := NewPluginScheduler("rr", wabi.Policy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Slices.AddSlice(1, "tenant", 10e6, rr, nil); err != nil {
+			t.Fatal(err)
+		}
+		ue := ran.NewUE(uint32(100*i+1), 1, 15)
+		ue.Traffic = ran.NewCBR(5e6)
+		if err := g.AttachUE(ue); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cg.InstallPooledScheduler(1, "rr", wabi.Policy{}, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	ring := obs.NewTraceRing(256)
+	cg.EnableObservability(reg, ring)
+
+	const slots = 50
+	cg.RunSlots(slots, nil)
+
+	lat := reg.Histogram("waran_slot_latency_us", "", obs.L("cell", "0")).Stats()
+	if lat.Count != slots {
+		t.Fatalf("cell 0 slot latency count = %d, want %d", lat.Count, slots)
+	}
+	grants := reg.Counter("waran_sched_granted_prbs_total", "", obs.L("cell", "1"), obs.L("slice", "1")).Value()
+	if grants == 0 {
+		t.Fatal("no PRB grants recorded for cell 1 slice 1")
+	}
+	fuel := reg.Histogram("waran_plugin_fuel_per_call", "", obs.L("cell", "0")).Stats()
+	if fuel.Count == 0 || fuel.Min <= 0 {
+		t.Fatalf("fuel histogram = %+v, want positive per-call fuel", fuel)
+	}
+	if ring.Len() != 2*slots {
+		t.Fatalf("trace ring has %d events, want %d", ring.Len(), 2*slots)
+	}
+	ev := ring.Last(1)[0]
+	if len(ev.Slices) != 1 || ev.Slices[0].Sched == "" || ev.WallUs <= 0 {
+		t.Fatalf("trace event = %+v", ev)
+	}
+
+	text := reg.PrometheusText()
+	for _, want := range []string{
+		"waran_slot_latency_us_count",
+		"waran_sched_granted_prbs_total",
+		"waran_plugin_fuel_per_call_count",
+		`waran_cell_deadline_slots_total{cell="1"}`,
+		"waran_wabi_module_cache_misses_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if _, ok := snap[`waran_cell_deadline{cell="0"}`]; !ok {
+		t.Fatalf("snapshot missing deadline meter; keys: %v", reg.SeriesNames())
+	}
+}
+
+// TestGNBObservabilityDeadline checks the overrun counter fires against an
+// absurdly small deadline and that parallelism-1 tracing matches slots run.
+func TestGNBObservabilityDeadline(t *testing.T) {
+	g, err := NewGNB(ran.CellConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := NewPluginScheduler("rr", wabi.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Slices.AddSlice(1, "t", 10e6, rr, nil); err != nil {
+		t.Fatal(err)
+	}
+	ue := ran.NewUE(1, 1, 15)
+	ue.Traffic = ran.NewCBR(5e6)
+	if err := g.AttachUE(ue); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ring := obs.NewTraceRing(32)
+	g.EnableObservability(reg, ring, 0, time.Nanosecond)
+	g.RunSlots(20, nil)
+	over := reg.Counter("waran_slot_overruns_total", "", obs.L("cell", "0")).Value()
+	if over != 20 {
+		t.Fatalf("overruns = %d with 1ns deadline, want 20", over)
+	}
+	for _, ev := range ring.Last(0) {
+		if !ev.Overrun {
+			t.Fatalf("event not marked overrun: %+v", ev)
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"waran/internal/obs"
 )
 
 // MaxFrameBytes bounds a single E2-lite frame on the wire; oversized frames
@@ -35,10 +37,11 @@ type Conn struct {
 	br     *bufio.Reader
 	sendMu sync.Mutex
 
-	// Stats (atomic: Stats may be read while Send/Recv run).
-	sent, received atomic.Uint64
-	bytesSent      atomic.Uint64
-	bytesReceived  atomic.Uint64
+	// Counters (obs.Counter is atomic: Stats may be read while Send/Recv
+	// run, or scraped through a registry).
+	sent, received obs.Counter
+	bytesSent      obs.Counter
+	bytesReceived  obs.Counter
 	lastRecv       atomic.Int64 // unix nanos of the last complete frame
 }
 
@@ -79,7 +82,7 @@ func (c *Conn) Send(m *Message) error {
 	if _, err := c.c.Write(payload); err != nil {
 		return fmt.Errorf("e2: send: %w", err)
 	}
-	c.sent.Add(1)
+	c.sent.Inc()
 	c.bytesSent.Add(uint64(len(payload)) + 4)
 	return nil
 }
@@ -102,7 +105,7 @@ func (c *Conn) Recv() (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.received.Add(1)
+	c.received.Inc()
 	c.bytesReceived.Add(uint64(n) + 4)
 	c.lastRecv.Store(time.Now().UnixNano())
 	return m, nil
@@ -161,10 +164,40 @@ func (c *Conn) SetWriteDeadline(t time.Time) error { return c.c.SetWriteDeadline
 // Close terminates the association.
 func (c *Conn) Close() error { return c.c.Close() }
 
-// Stats reports frame and byte counters: sent, received, bytesSent,
-// bytesReceived.
-func (c *Conn) Stats() (sent, received, bytesSent, bytesReceived uint64) {
-	return c.sent.Load(), c.received.Load(), c.bytesSent.Load(), c.bytesReceived.Load()
+// ConnStats is the flat snapshot of an association's frame and byte
+// counters.
+type ConnStats struct {
+	Sent          uint64 `json:"sent"`
+	Received      uint64 `json:"received"`
+	BytesSent     uint64 `json:"bytes_sent"`
+	BytesReceived uint64 `json:"bytes_received"`
+}
+
+// Stats returns current frame and byte counters.
+func (c *Conn) Stats() ConnStats {
+	return ConnStats{
+		Sent:          c.sent.Value(),
+		Received:      c.received.Value(),
+		BytesSent:     c.bytesSent.Value(),
+		BytesReceived: c.bytesReceived.Value(),
+	}
+}
+
+// Register exposes the association on reg under waran_e2_conn_*.
+func (c *Conn) Register(reg *obs.Registry, labels ...obs.Label) {
+	reg.MustRegister("waran_e2_conn", "E2-lite association frame and byte counters", obs.Func{
+		Kind: obs.KindUntyped,
+		Collect: func() []obs.Sample {
+			s := c.Stats()
+			return []obs.Sample{
+				{Suffix: "_sent_total", Value: float64(s.Sent)},
+				{Suffix: "_received_total", Value: float64(s.Received)},
+				{Suffix: "_bytes_sent_total", Value: float64(s.BytesSent)},
+				{Suffix: "_bytes_received_total", Value: float64(s.BytesReceived)},
+			}
+		},
+		JSON: func() any { return c.Stats() },
+	}, labels...)
 }
 
 // Listener accepts E2-lite associations.

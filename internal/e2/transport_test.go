@@ -65,13 +65,11 @@ func TestTransportRoundTrip(t *testing.T) {
 			t.Fatalf("message %d: got %v/%d want %v/%d", i, got.Type, got.RequestID, want.Type, want.RequestID)
 		}
 	}
-	sent, _, bytesSent, _ := client.Stats()
-	if sent != uint64(len(msgs)) || bytesSent == 0 {
-		t.Fatalf("client stats: sent=%d bytes=%d", sent, bytesSent)
+	if st := client.Stats(); st.Sent != uint64(len(msgs)) || st.BytesSent == 0 {
+		t.Fatalf("client stats: sent=%d bytes=%d", st.Sent, st.BytesSent)
 	}
-	_, received, _, bytesReceived := server.Stats()
-	if received != uint64(len(msgs)) || bytesReceived == 0 {
-		t.Fatalf("server stats: received=%d bytes=%d", received, bytesReceived)
+	if st := server.Stats(); st.Received != uint64(len(msgs)) || st.BytesReceived == 0 {
+		t.Fatalf("server stats: received=%d bytes=%d", st.Received, st.BytesReceived)
 	}
 }
 

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// p2Distributions are the shapes the streaming estimator must handle: the
+// uniform and exponential cases bracket light/heavy tails, and the bimodal
+// mixture stresses the parabolic marker adjustment with a density gap.
+var p2Distributions = []struct {
+	name string
+	gen  func(r *rand.Rand) float64
+}{
+	{"uniform", func(r *rand.Rand) float64 { return r.Float64() * 1000 }},
+	{"exponential", func(r *rand.Rand) float64 { return r.ExpFloat64() * 100 }},
+	{"bimodal", func(r *rand.Rand) float64 {
+		if r.Float64() < 0.7 {
+			return 50 + r.NormFloat64()*5
+		}
+		return 500 + r.NormFloat64()*20
+	}},
+}
+
+// TestP2Accuracy compares the O(1) P² estimate against the exact quantile
+// over 50k samples. The bound is relative error against the distribution's
+// spread (p99-p1), which keeps it meaningful for shifted distributions.
+func TestP2Accuracy(t *testing.T) {
+	const n = 50000
+	quantiles := []float64{0.5, 0.9, 0.99}
+	for _, dist := range p2Distributions {
+		for _, p := range quantiles {
+			r := rand.New(rand.NewSource(42))
+			est := NewP2(p)
+			exact := &Quantile{}
+			for i := 0; i < n; i++ {
+				v := dist.gen(r)
+				est.Add(v)
+				exact.Add(v)
+			}
+			want := exact.Value(p)
+			got := est.Value()
+			spread := exact.Value(0.99) - exact.Value(0.01)
+			if spread <= 0 {
+				t.Fatalf("%s: degenerate spread %v", dist.name, spread)
+			}
+			relErr := math.Abs(got-want) / spread
+			// P² is coarse on sharp density gaps; 5% of the spread is
+			// still far more than the deadline plots need.
+			if relErr > 0.05 {
+				t.Errorf("%s p%.0f: P2=%.2f exact=%.2f relative error %.3f > 0.05",
+					dist.name, p*100, got, want, relErr)
+			}
+		}
+	}
+}
+
+// TestRateMeterFlush is the regression test for the partial-window bug:
+// AddSlot only emits completed windows, so a run ending mid-window used to
+// drop those bits entirely and bias MeanBps.
+func TestRateMeterFlush(t *testing.T) {
+	slot := time.Millisecond
+	m := NewRateMeter(slot, 10*time.Millisecond)
+	// One full window at 1000 bits/slot, then half a window at the same rate.
+	for i := 0; i < 15; i++ {
+		m.AddSlot(1000)
+	}
+	if got := len(m.Series()); got != 1 {
+		t.Fatalf("pre-flush series length = %d, want 1 (partial window pending)", got)
+	}
+	m.Flush()
+	series := m.Series()
+	if len(series) != 2 {
+		t.Fatalf("post-flush series length = %d, want 2", len(series))
+	}
+	last := series[1]
+	if last.Time != 15*time.Millisecond {
+		t.Errorf("flushed point time = %v, want 15ms", last.Time)
+	}
+	wantBps := 1000.0 / slot.Seconds() // steady rate, so the partial window matches
+	if math.Abs(last.Bps-wantBps) > 1e-6 {
+		t.Errorf("flushed Bps = %v, want %v", last.Bps, wantBps)
+	}
+	if math.Abs(m.MeanBps()-wantBps) > 1e-6 {
+		t.Errorf("MeanBps = %v, want %v after flush", m.MeanBps(), wantBps)
+	}
+	// Flush is idempotent and a no-op on an empty window.
+	m.Flush()
+	if len(m.Series()) != 2 {
+		t.Fatalf("second Flush appended a point")
+	}
+	m.AddSlot(500)
+	m.Flush()
+	if got := len(m.Series()); got != 3 {
+		t.Fatalf("series length = %d after post-flush slot, want 3", got)
+	}
+}

@@ -230,6 +230,23 @@ func (r *RateMeter) AddSlot(bits int64) {
 	}
 }
 
+// Flush closes the open partial window, if any, emitting it as a final
+// RatePoint averaged over the time actually accumulated. Without this,
+// short runs silently drop up to one window of delivered bits and bias
+// MeanBps. Call once, after the last AddSlot.
+func (r *RateMeter) Flush() {
+	if r.inWin <= 0 {
+		return
+	}
+	t := time.Duration(len(r.series))*r.window + r.inWin
+	r.series = append(r.series, RatePoint{
+		Time: t,
+		Bps:  float64(r.current) / r.inWin.Seconds(),
+	})
+	r.current = 0
+	r.inWin = 0
+}
+
 // Series returns the completed windows so far.
 func (r *RateMeter) Series() []RatePoint { return r.series }
 
@@ -300,17 +317,18 @@ func (m *DeadlineMeter) Observe(d time.Duration) bool {
 	return false
 }
 
-// DeadlineStats is a snapshot of a DeadlineMeter.
+// DeadlineStats is the flat snapshot of a DeadlineMeter. Durations
+// marshal as nanoseconds, matching time.Duration's JSON encoding.
 type DeadlineStats struct {
-	Deadline time.Duration
-	Slots    uint64
-	Overruns uint64
-	Worst    time.Duration
-	P99us    float64
+	Deadline time.Duration `json:"deadline_ns"`
+	Slots    uint64        `json:"slots"`
+	Overruns uint64        `json:"overruns"`
+	Worst    time.Duration `json:"worst_ns"`
+	P99us    float64       `json:"p99_us"`
 }
 
-// Snapshot returns current accounting.
-func (m *DeadlineMeter) Snapshot() DeadlineStats {
+// Stats returns current accounting.
+func (m *DeadlineMeter) Stats() DeadlineStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return DeadlineStats{
@@ -324,7 +342,7 @@ func (m *DeadlineMeter) Snapshot() DeadlineStats {
 
 // String summarises the meter.
 func (m *DeadlineMeter) String() string {
-	s := m.Snapshot()
+	s := m.Stats()
 	return fmt.Sprintf("slots=%d overruns=%d worst=%v p99=%.1fus deadline=%v",
 		s.Slots, s.Overruns, s.Worst, s.P99us, s.Deadline)
 }

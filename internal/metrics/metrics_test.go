@@ -204,7 +204,7 @@ func TestDeadlineMeter(t *testing.T) {
 		t.Fatal("over-budget slot not reported")
 	}
 	m.Observe(time.Microsecond)
-	s := m.Snapshot()
+	s := m.Stats()
 	if s.Slots != 3 || s.Overruns != 1 {
 		t.Fatalf("snapshot = %+v", s)
 	}
@@ -232,7 +232,7 @@ func TestDeadlineMeterConcurrent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	s := m.Snapshot()
+	s := m.Stats()
 	if s.Slots != 8000 {
 		t.Fatalf("slots = %d", s.Slots)
 	}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// NewMux builds the exposition mux served by cmd/gnb and cmd/ric:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/debug/slots  last N slot traces as JSON (?n=, default 64)
+//	/debug/pprof  stdlib profiling endpoints
+//
+// ring may be nil, in which case /debug/slots serves an empty list.
+func NewMux(reg *Registry, ring *TraceRing) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.Handle("/debug/slots", SlotsHandler(ring))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// MetricsHandler serves reg in the Prometheus text exposition format.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+}
+
+// slotsResponse is the /debug/slots payload.
+type slotsResponse struct {
+	Count int         `json:"count"`
+	Slots []SlotEvent `json:"slots"`
+}
+
+// SlotsHandler serves the last N events of ring as JSON. N comes from the
+// ?n= query parameter (default 64, capped by ring size).
+func SlotsHandler(ring *TraceRing) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 64
+		if q := req.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 1 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		var events []SlotEvent
+		if ring != nil {
+			events = ring.Last(n)
+		}
+		if events == nil {
+			events = []SlotEvent{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(slotsResponse{Count: len(events), Slots: events})
+	})
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waran/internal/metrics"
+)
+
+// Counter is a monotonically increasing event counter, safe for concurrent
+// use. The zero value is ready; it may be embedded as a struct field and
+// registered with Registry.Register.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Value returns the count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// InstrumentKind implements Instrument.
+func (c *Counter) InstrumentKind() Kind { return KindCounter }
+
+// Samples implements Instrument.
+func (c *Counter) Samples() []Sample { return []Sample{{Value: float64(c.Value())}} }
+
+// JSONValue implements Instrument.
+func (c *Counter) JSONValue() any { return c.Value() }
+
+// Gauge is a last-value instrument that can also accumulate (Add), safe for
+// concurrent use. The zero value is ready.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add accumulates delta (CAS loop; gauges are updated far less often than
+// counters, so contention is negligible).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// InstrumentKind implements Instrument.
+func (g *Gauge) InstrumentKind() Kind { return KindGauge }
+
+// Samples implements Instrument.
+func (g *Gauge) Samples() []Sample { return []Sample{{Value: g.Value()}} }
+
+// JSONValue implements Instrument.
+func (g *Gauge) JSONValue() any { return g.Value() }
+
+// Histogram is a streaming distribution instrument: O(1) memory regardless
+// of stream length, tracking count, sum, min, max and the P² estimates for
+// p50/p90/p99 (metrics.P2 as the storage layer). It is exposed as a
+// Prometheus summary. Safe for concurrent use.
+type Histogram struct {
+	mu    sync.Mutex
+	count uint64
+	sum   float64
+	min   float64
+	max   float64
+	p50   *metrics.P2
+	p90   *metrics.P2
+	p99   *metrics.P2
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		p50: metrics.NewP2(0.50),
+		p90: metrics.NewP2(0.90),
+		p99: metrics.NewP2(0.99),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.p50.Add(v)
+	h.p90.Add(v)
+	h.p99.Add(v)
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in microseconds, the unit of the
+// paper's latency plots.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d.Nanoseconds()) / 1e3)
+}
+
+// HistogramStats is the flat snapshot of a Histogram.
+type HistogramStats struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Stats returns the current distribution summary.
+func (h *Histogram) Stats() HistogramStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramStats{
+		Count: h.count,
+		Sum:   h.sum,
+		Min:   h.min,
+		Max:   h.max,
+		P50:   h.p50.Value(),
+		P90:   h.p90.Value(),
+		P99:   h.p99.Value(),
+	}
+}
+
+// InstrumentKind implements Instrument.
+func (h *Histogram) InstrumentKind() Kind { return KindSummary }
+
+// Samples implements Instrument: the summary quantiles plus _sum, _count
+// and _max (the last as a suffixed extra the deadline analysis needs).
+func (h *Histogram) Samples() []Sample {
+	s := h.Stats()
+	return []Sample{
+		{Labels: []Label{L("quantile", "0.5")}, Value: s.P50},
+		{Labels: []Label{L("quantile", "0.9")}, Value: s.P90},
+		{Labels: []Label{L("quantile", "0.99")}, Value: s.P99},
+		{Suffix: "_sum", Value: s.Sum},
+		{Suffix: "_count", Value: float64(s.Count)},
+		{Suffix: "_max", Value: s.Max},
+	}
+}
+
+// JSONValue implements Instrument.
+func (h *Histogram) JSONValue() any { return h.Stats() }
+
+// Func adapts externally owned state to the registry: Collect produces the
+// exposition samples and JSON the snapshot value, both invoked at scrape
+// time. Collect and JSON must be safe to call concurrently with the owner's
+// updates (read through the owner's synchronized accessors).
+type Func struct {
+	Kind    Kind
+	Collect func() []Sample
+	JSON    func() any
+}
+
+// InstrumentKind implements Instrument.
+func (f Func) InstrumentKind() Kind { return f.Kind }
+
+// Samples implements Instrument.
+func (f Func) Samples() []Sample { return f.Collect() }
+
+// JSONValue implements Instrument.
+func (f Func) JSONValue() any { return f.JSON() }
+
+// DeadlineInstrument adapts a metrics.DeadlineMeter to the registry, so the
+// cell-group watchdog's accounting (slots, overruns, worst, streaming P99)
+// flows through the same exposition as every other instrument.
+func DeadlineInstrument(m *metrics.DeadlineMeter) Instrument {
+	return Func{
+		Kind: KindUntyped,
+		Collect: func() []Sample {
+			s := m.Stats()
+			return []Sample{
+				{Suffix: "_slots_total", Value: float64(s.Slots)},
+				{Suffix: "_overruns_total", Value: float64(s.Overruns)},
+				{Suffix: "_worst_us", Value: float64(s.Worst.Nanoseconds()) / 1e3},
+				{Suffix: "_p99_us", Value: s.P99us},
+				{Suffix: "_budget_us", Value: float64(s.Deadline.Nanoseconds()) / 1e3},
+			}
+		},
+		JSON: func() any { return m.Stats() },
+	}
+}

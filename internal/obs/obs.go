@@ -1,0 +1,61 @@
+// Package obs is WA-RAN's unified observability layer: a concurrency-safe
+// metric registry (counters, gauges, P²-backed histograms), a fixed-size
+// per-slot trace ring, and live exposition over HTTP (Prometheus text at
+// /metrics, structured slot traces at /debug/slots, pprof).
+//
+// Every stats-bearing subsystem registers its instruments here instead of
+// growing private counter structs: core.GNB/CellGroup register slot latency
+// and deadline accounting, wabi registers pool and module-cache occupancy,
+// sched registers per-call plugin cost (wall time and fuel), and the E2
+// layer registers association-resilience counters. One registry per process
+// (or per experiment) is then exposed live by cmd/gnb and cmd/ric, and
+// embedded as a flat JSON snapshot in every experiment's output by
+// cmd/waranbench.
+//
+// Storage reuses internal/metrics primitives: histograms stream quantiles
+// through metrics.P2, and metrics.DeadlineMeter plugs into the registry via
+// DeadlineInstrument. The package has no dependencies beyond the standard
+// library and internal/metrics, so every layer of the stack may import it.
+package obs
+
+// Label is one key=value dimension attached to an instrument, rendered in
+// Prometheus exposition as name{key="value"} and in snapshot keys verbatim.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind classifies an instrument for the Prometheus TYPE line.
+type Kind string
+
+// Instrument kinds. KindUntyped marks multi-sample adapters whose samples
+// carry their own suffixed names (no single TYPE applies).
+const (
+	KindCounter Kind = "counter"
+	KindGauge   Kind = "gauge"
+	KindSummary Kind = "summary"
+	KindUntyped Kind = "untyped"
+)
+
+// Sample is one exposition line of an instrument: the metric name is the
+// instrument's registered name plus Suffix, labelled with the instrument's
+// labels plus Labels.
+type Sample struct {
+	Suffix string
+	Labels []Label
+	Value  float64
+}
+
+// Instrument is anything the registry can expose. Implementations must be
+// safe for concurrent use: collection runs on the HTTP scrape goroutine
+// while the instrumented subsystem keeps updating.
+type Instrument interface {
+	// InstrumentKind reports the Prometheus type.
+	InstrumentKind() Kind
+	// Samples returns the current exposition lines.
+	Samples() []Sample
+	// JSONValue returns the flat, encoding/json-marshalable snapshot value.
+	JSONValue() any
+}

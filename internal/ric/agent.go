@@ -40,7 +40,7 @@ type Agent struct {
 	LivenessTimeout time.Duration
 
 	subscribed  atomic.Bool
-	periodSlots atomic.Uint64
+	periodSlots atomic.Uint64 // metric-exempt: subscription cadence, not telemetry
 	dead        atomic.Bool
 
 	mu           sync.Mutex

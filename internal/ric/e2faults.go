@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"waran/internal/e2"
+	"waran/internal/obs"
 	"waran/internal/plugins"
 	"waran/internal/wabi"
 )
@@ -42,6 +43,9 @@ type E2FaultsConfig struct {
 	// Pacing is slept after every slot so heartbeat/backoff timers get
 	// wall-clock room (default 200 us).
 	Pacing time.Duration
+	// Obs, when non-nil, receives the RIC's and the shared association
+	// metrics' instruments, and the result embeds its snapshot.
+	Obs *obs.Registry
 }
 
 func (c E2FaultsConfig) withDefaults() E2FaultsConfig {
@@ -93,8 +97,8 @@ type E2FaultsResult struct {
 	FaultResets     uint64  `json:"fault_resets"`
 	FaultBlackholes uint64  `json:"fault_blackholes"`
 
-	Associations uint64        `json:"associations"`
-	Assoc        AssocSnapshot `json:"assoc"`
+	Associations uint64     `json:"associations"`
+	Assoc        AssocStats `json:"assoc"`
 
 	Indications  uint64 `json:"indications_sent"`
 	ControlsOK   uint64 `json:"controls_applied"`
@@ -104,6 +108,10 @@ type E2FaultsResult struct {
 	// association that was live when the run ended — the proof that
 	// control delivery resumed after the fault storm.
 	FinalAssocControlsOK uint64 `json:"final_assoc_controls_ok"`
+
+	// Obs is the metric-registry snapshot taken as the run ended, present
+	// when the experiment was instrumented (E2FaultsConfig.Obs).
+	Obs map[string]any `json:"obs,omitempty"`
 }
 
 // RunE2Faults runs the association-resilience experiment: a RIC with the
@@ -121,6 +129,9 @@ func RunE2Faults(cfg E2FaultsConfig, ran RANControl, step func(slot uint64)) (*E
 	r.HeartbeatInterval = cfg.Heartbeat
 	shared := &AssocMetrics{}
 	r.Assoc = shared
+	if cfg.Obs != nil {
+		r.Register(cfg.Obs)
+	}
 	if _, err := r.AddXAppWAT("sla", plugins.SLAAssureXAppWAT, wabi.Policy{}); err != nil {
 		return nil, err
 	}
@@ -222,7 +233,7 @@ func RunE2Faults(cfg E2FaultsConfig, ran RANControl, step func(slot uint64)) (*E
 	<-ricDone
 
 	res.Associations = sess.Associations()
-	res.Assoc = shared.Snapshot()
+	res.Assoc = shared.Stats()
 	res.Indications, res.ControlsOK, res.ControlsFail, res.Resubscribes = sess.Counters()
 	mu.Lock()
 	for _, fc := range faultConns {
@@ -233,6 +244,9 @@ func RunE2Faults(cfg E2FaultsConfig, ran RANControl, step func(slot uint64)) (*E
 		res.FaultBlackholes += st.Blackholes
 	}
 	mu.Unlock()
+	if cfg.Obs != nil {
+		res.Obs = cfg.Obs.Snapshot()
+	}
 	if res.Associations == 0 {
 		return res, fmt.Errorf("ric: e2faults: no association was ever established")
 	}

@@ -1,0 +1,49 @@
+package ric
+
+import (
+	"waran/internal/core"
+	"waran/internal/ran"
+	"waran/internal/wabi"
+)
+
+// The association-resilience experiment spans both sides of E2, so it
+// registers from here rather than internal/core: core stays free of a ric
+// dependency, and any binary that links ric (cmd/waranbench does, blank
+// import) sees "e2faults" in the experiment registry.
+func init() {
+	core.RegisterExperimentFunc("e2faults",
+		"association resilience under transport faults: drop, reset, half-open (JSON)",
+		runE2FaultsExperiment)
+}
+
+// runE2FaultsExperiment builds the experiment's standard gNB — one tenant
+// slice on the round-robin plugin with a deliberately over-ambitious SLA,
+// so the SLA-assurance xApp keeps emitting controls and control delivery
+// after recovery is observable — and runs the fault storm against it.
+func runE2FaultsExperiment(cfg core.ExpConfig) (any, error) {
+	gnb, err := core.NewGNB(ran.CellConfig{})
+	if err != nil {
+		return nil, err
+	}
+	rr, err := core.NewPluginScheduler("rr", wabi.Policy{})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := gnb.Slices.AddSlice(1, "tenant", 100e6, rr, nil); err != nil {
+		return nil, err
+	}
+	ue := ran.NewUE(1, 1, 20)
+	ue.Traffic = ran.NewCBR(3e6)
+	if err := gnb.AttachUE(ue); err != nil {
+		return nil, err
+	}
+
+	return RunE2Faults(E2FaultsConfig{
+		Slots:            cfg.Slots,
+		Drop:             cfg.Drop,
+		ResetAfterWrites: cfg.ResetAfterWrites,
+		Seed:             cfg.Seed,
+		Heartbeat:        cfg.Heartbeat,
+		Obs:              cfg.Obs,
+	}, gnb, func(uint64) { gnb.Step() })
+}

@@ -1,0 +1,70 @@
+package ric
+
+import (
+	"testing"
+	"time"
+
+	"waran/internal/core"
+	"waran/internal/e2"
+	"waran/internal/obs"
+	"waran/internal/ran"
+	"waran/internal/wabi"
+)
+
+// TestE2FaultsExperimentRegistered checks that linking ric puts the
+// association-resilience experiment into core's registry.
+func TestE2FaultsExperimentRegistered(t *testing.T) {
+	e, ok := core.LookupExperiment("e2faults")
+	if !ok {
+		t.Fatalf("e2faults not registered; have %v", core.ExperimentNames())
+	}
+	if e.Describe() == "" {
+		t.Fatal("e2faults has no description")
+	}
+}
+
+// TestRunE2FaultsEmbedsSnapshot runs a short, single-fault storm with an
+// instrumented config and checks the result carries the registry snapshot
+// with the RIC and association instrument classes populated.
+func TestRunE2FaultsEmbedsSnapshot(t *testing.T) {
+	gnb, err := core.NewGNB(ran.CellConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := core.NewPluginScheduler("rr", wabi.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gnb.Slices.AddSlice(1, "tenant", 100e6, rr, nil); err != nil {
+		t.Fatal(err)
+	}
+	ue := ran.NewUE(1, 1, 20)
+	ue.Traffic = ran.NewCBR(3e6)
+	if err := gnb.AttachUE(ue); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	res, err := RunE2Faults(E2FaultsConfig{
+		Slots:     400,
+		Heartbeat: 3 * time.Millisecond,
+		Pacing:    100 * time.Microsecond,
+		Seed:      3,
+		Faults:    []e2.FaultConfig{{ResetAfterWrites: 25}},
+		Obs:       reg,
+	}, gnb, func(uint64) { gnb.Step() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs == nil {
+		t.Fatal("result has no registry snapshot")
+	}
+	for _, key := range []string{"waran_ric", "waran_e2_assoc"} {
+		if _, ok := res.Obs[key]; !ok {
+			t.Errorf("snapshot missing %q; registry has %v", key, reg.SeriesNames())
+		}
+	}
+	if res.Assoc.Reconnects == 0 {
+		t.Fatalf("no reconnects after a forced reset: %+v", res.Assoc)
+	}
+}

@@ -123,9 +123,8 @@ func TestXAppQuarantineAfterFaults(t *testing.T) {
 	if faults != DefaultXAppQuarantine {
 		t.Fatalf("fault observer saw %d faults, want %d (quarantined after)", faults, DefaultXAppQuarantine)
 	}
-	inv, xfaults := x.Stats()
-	if inv != DefaultXAppQuarantine || xfaults != DefaultXAppQuarantine {
-		t.Fatalf("stats = %d/%d", inv, xfaults)
+	if st := x.Stats(); st.Invocations != DefaultXAppQuarantine || st.Faults != DefaultXAppQuarantine {
+		t.Fatalf("stats = %d/%d", st.Invocations, st.Faults)
 	}
 }
 

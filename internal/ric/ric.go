@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"waran/internal/e2"
+	"waran/internal/obs"
 	"waran/internal/wabi"
 	"waran/internal/wasm"
 )
@@ -181,6 +182,62 @@ func (r *RIC) Counters() (indications, controls uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.indications, r.controls
+}
+
+// RICStats is the flat snapshot of the RIC's dispatch accounting.
+type RICStats struct {
+	Indications uint64 `json:"indications"`
+	Controls    uint64 `json:"controls"`
+}
+
+// Stats returns processed indication and emitted control counts.
+func (r *RIC) Stats() RICStats {
+	ind, ctl := r.Counters()
+	return RICStats{Indications: ind, Controls: ctl}
+}
+
+// Register exposes the RIC on reg: dispatch counters, per-xApp invocation
+// accounting (one labelled series per installed xApp, tracking installs and
+// removals at scrape time), the xApp module cache, and — when Assoc is set —
+// the association-resilience counters.
+func (r *RIC) Register(reg *obs.Registry, labels ...obs.Label) {
+	reg.MustRegister("waran_ric", "near-RT RIC indication/control dispatch counters", obs.Func{
+		Kind: obs.KindUntyped,
+		Collect: func() []obs.Sample {
+			s := r.Stats()
+			return []obs.Sample{
+				{Suffix: "_indications_total", Value: float64(s.Indications)},
+				{Suffix: "_controls_total", Value: float64(s.Controls)},
+			}
+		},
+		JSON: func() any { return r.Stats() },
+	}, labels...)
+	reg.MustRegister("waran_ric_xapp", "per-xApp invocation and fault counters", obs.Func{
+		Kind: obs.KindUntyped,
+		Collect: func() []obs.Sample {
+			var out []obs.Sample
+			for _, x := range r.XApps() {
+				s := x.Stats()
+				lbl := []obs.Label{obs.L("xapp", x.Name)}
+				out = append(out,
+					obs.Sample{Suffix: "_invocations_total", Labels: lbl, Value: float64(s.Invocations)},
+					obs.Sample{Suffix: "_faults_total", Labels: lbl, Value: float64(s.Faults)},
+				)
+			}
+			return out
+		},
+		JSON: func() any {
+			out := make(map[string]XAppStats)
+			for _, x := range r.XApps() {
+				out[x.Name] = x.Stats()
+			}
+			return out
+		},
+	}, labels...)
+	r.Modules.Register(reg, labels...)
+	if r.Assoc != nil {
+		r.Assoc.Register(reg, labels...)
+	}
 }
 
 // DefaultMissedHeartbeatLimit is how many consecutive silent heartbeat

@@ -9,6 +9,7 @@ import (
 
 	"waran/internal/e2"
 	"waran/internal/metrics"
+	"waran/internal/obs"
 )
 
 // Backoff is an exponential-backoff-with-jitter schedule for reconnect
@@ -92,8 +93,8 @@ func (m *AssocMetrics) Degraded() time.Duration {
 	return time.Duration(m.degradedNs.Load())
 }
 
-// AssocSnapshot is a point-in-time JSON view of AssocMetrics.
-type AssocSnapshot struct {
+// AssocStats is the flat snapshot of AssocMetrics.
+type AssocStats struct {
 	Reconnects         uint64  `json:"reconnects"`
 	MissedHeartbeats   uint64  `json:"missed_heartbeats"`
 	DeadAssociations   uint64  `json:"dead_associations"`
@@ -101,15 +102,34 @@ type AssocSnapshot struct {
 	DegradedMs         float64 `json:"degraded_ms"`
 }
 
-// Snapshot captures the counters.
-func (m *AssocMetrics) Snapshot() AssocSnapshot {
-	return AssocSnapshot{
+// Stats captures the counters.
+func (m *AssocMetrics) Stats() AssocStats {
+	return AssocStats{
 		Reconnects:         m.Reconnects.Value(),
 		MissedHeartbeats:   m.MissedHeartbeats.Value(),
 		DeadAssociations:   m.DeadAssociations.Value(),
 		DroppedIndications: m.DroppedIndications.Value(),
 		DegradedMs:         float64(m.Degraded().Nanoseconds()) / 1e6,
 	}
+}
+
+// Register exposes the association-resilience counters on reg under
+// waran_e2_assoc_*.
+func (m *AssocMetrics) Register(reg *obs.Registry, labels ...obs.Label) {
+	reg.MustRegister("waran_e2_assoc", "E2 association resilience counters", obs.Func{
+		Kind: obs.KindUntyped,
+		Collect: func() []obs.Sample {
+			s := m.Stats()
+			return []obs.Sample{
+				{Suffix: "_reconnects_total", Value: float64(s.Reconnects)},
+				{Suffix: "_missed_heartbeats_total", Value: float64(s.MissedHeartbeats)},
+				{Suffix: "_dead_associations_total", Value: float64(s.DeadAssociations)},
+				{Suffix: "_dropped_indications_total", Value: float64(s.DroppedIndications)},
+				{Suffix: "_degraded_ms", Value: s.DegradedMs},
+			}
+		},
+		JSON: func() any { return m.Stats() },
+	}, labels...)
 }
 
 // sleepOrStop waits d unless stop closes first; it reports whether the

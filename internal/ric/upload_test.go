@@ -246,8 +246,8 @@ func TestAddXAppBytecodeUsesModuleCache(t *testing.T) {
 	if got := wasm.CompileCount() - before; got != 1 {
 		t.Fatalf("4 uploads of identical bytecode compiled %d times, want 1", got)
 	}
-	if hits, misses := r.Modules.Stats(); hits != 3 || misses != 1 {
-		t.Fatalf("cache stats = %d hits / %d misses, want 3/1", hits, misses)
+	if st := r.Modules.Stats(); st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("cache stats = %d hits / %d misses, want 3/1", st.Hits, st.Misses)
 	}
 	if _, err := r.AddXAppBytecode("bad", []byte{1, 2, 3}, wabi.Policy{}); err == nil {
 		t.Fatal("garbage bytecode accepted as xApp")

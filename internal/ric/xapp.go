@@ -45,11 +45,18 @@ func (x *XApp) Disabled() bool {
 	return x.disabled
 }
 
-// Stats reports invocation and fault counters.
-func (x *XApp) Stats() (invocations, faults uint64) {
+// XAppStats is the flat snapshot of an xApp's invocation accounting.
+type XAppStats struct {
+	Invocations uint64 `json:"invocations"`
+	Faults      uint64 `json:"faults"`
+	Disabled    bool   `json:"disabled"`
+}
+
+// Stats returns invocation and fault counters.
+func (x *XApp) Stats() XAppStats {
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	return x.invocations, x.totalFaults
+	return XAppStats{Invocations: x.invocations, Faults: x.totalFaults, Disabled: x.disabled}
 }
 
 // Plugin exposes the underlying sandbox.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"waran/internal/obs"
 	"waran/internal/wabi"
 )
 
@@ -21,11 +22,12 @@ type PluginScheduler struct {
 	plugin *wabi.Plugin
 	codec  Codec
 
-	// Stats over all calls.
-	Calls     uint64
-	Faults    uint64
-	TotalTime time.Duration
-	LastTime  time.Duration
+	// Call accounting, read through Stats(). Unsynchronized like the
+	// underlying Plugin: one goroutine at a time.
+	calls     uint64
+	faults    uint64
+	totalTime time.Duration
+	lastTime  time.Duration
 }
 
 // NewPluginScheduler wraps an instantiated plugin. codec nil means the
@@ -47,30 +49,53 @@ func (p *PluginScheduler) Name() string { return "plugin:" + p.name }
 // fuel accounting).
 func (p *PluginScheduler) Plugin() *wabi.Plugin { return p.plugin }
 
+// Stats returns accounting accumulated across calls. Fuel figures come
+// from the underlying sandbox.
+func (p *PluginScheduler) Stats() SchedStats {
+	ps := p.plugin.Stats()
+	return SchedStats{
+		Calls:     p.calls,
+		Faults:    p.faults,
+		TotalTime: p.totalTime,
+		LastTime:  p.lastTime,
+		LastFuel:  ps.LastFuel,
+		TotalFuel: ps.TotalFuel,
+	}
+}
+
+// LastFuelUsed implements FuelReporter.
+func (p *PluginScheduler) LastFuelUsed() int64 { return p.plugin.LastFuelUsed() }
+
+// Register exposes the scheduler on reg under waran_sched_* with the given
+// labels (typically cell and slice).
+func (p *PluginScheduler) Register(reg *obs.Registry, labels ...obs.Label) {
+	registerSched(reg, p.Stats, labels)
+}
+
 // Schedule implements IntraSlice. The measured span covers encode, sandbox
 // execution, and decode — the full host-side cost of outsourcing the
 // decision to the plugin.
 func (p *PluginScheduler) Schedule(req *Request) (*Response, error) {
 	start := time.Now()
 	defer func() {
-		p.LastTime = time.Since(start)
-		p.TotalTime += p.LastTime
-		p.Calls++
+		p.lastTime = time.Since(start)
+		p.totalTime += p.lastTime
+		p.calls++
 	}()
 
 	in := p.codec.EncodeRequest(req)
 	out, err := p.plugin.Call(EntryPoint, in)
 	if err != nil {
-		p.Faults++
+		p.faults++
 		return nil, fmt.Errorf("sched: plugin %q: %w", p.name, err)
 	}
 	resp, err := p.codec.DecodeResponse(out)
 	if err != nil {
-		p.Faults++
+		p.faults++
 		return nil, fmt.Errorf("sched: plugin %q returned malformed response: %w", p.name, err)
 	}
 	if err := resp.Validate(req); err != nil {
-		p.Faults++
+		p.faults++
 		return nil, fmt.Errorf("sched: plugin %q: %w", p.name, err)
 	}
 	return resp, nil

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"waran/internal/obs"
 	"waran/internal/wabi"
 )
 
@@ -29,6 +30,8 @@ type PoolScheduler struct {
 	faults    uint64
 	totalTime time.Duration
 	lastTime  time.Duration
+	lastFuel  int64
+	totalFuel int64
 }
 
 // NewPoolScheduler wraps an instance pool. codec nil means the binary
@@ -56,11 +59,31 @@ func (p *PoolScheduler) Name() string { return "pool:" + p.name }
 // Pool exposes the underlying instance pool for observation.
 func (p *PoolScheduler) Pool() *wabi.Pool { return p.pool }
 
-// Stats reports call accounting across all instances.
-func (p *PoolScheduler) Stats() (calls, faults uint64, total, last time.Duration) {
+// Stats returns call accounting across all instances.
+func (p *PoolScheduler) Stats() SchedStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.calls, p.faults, p.totalTime, p.lastTime
+	return SchedStats{
+		Calls:     p.calls,
+		Faults:    p.faults,
+		TotalTime: p.totalTime,
+		LastTime:  p.lastTime,
+		LastFuel:  p.lastFuel,
+		TotalFuel: p.totalFuel,
+	}
+}
+
+// LastFuelUsed implements FuelReporter.
+func (p *PoolScheduler) LastFuelUsed() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastFuel
+}
+
+// Register exposes the scheduler on reg under waran_sched_* with the given
+// labels (typically cell and slice).
+func (p *PoolScheduler) Register(reg *obs.Registry, labels ...obs.Label) {
+	registerSched(reg, p.Stats, labels)
 }
 
 // Schedule implements IntraSlice: check out an instance, run the decision,
@@ -71,7 +94,7 @@ func (p *PoolScheduler) Stats() (calls, faults uint64, total, last time.Duration
 func (p *PoolScheduler) Schedule(req *Request) (*Response, error) {
 	pl, err := p.pool.Get()
 	if err != nil {
-		p.recordCall(0, true)
+		p.recordCall(0, 0, true)
 		return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, err)
 	}
 	defer p.pool.Put(pl)
@@ -80,27 +103,29 @@ func (p *PoolScheduler) Schedule(req *Request) (*Response, error) {
 	in := p.codec.EncodeRequest(req)
 	out, err := pl.Call(EntryPoint, in)
 	if err != nil {
-		p.recordCall(time.Since(start), true)
+		p.recordCall(time.Since(start), pl.LastFuelUsed(), true)
 		return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, err)
 	}
 	resp, err := p.codec.DecodeResponse(out)
 	if err != nil {
-		p.recordCall(time.Since(start), true)
+		p.recordCall(time.Since(start), pl.LastFuelUsed(), true)
 		return nil, fmt.Errorf("sched: pool plugin %q returned malformed response: %w", p.name, err)
 	}
 	if err := resp.Validate(req); err != nil {
-		p.recordCall(time.Since(start), true)
+		p.recordCall(time.Since(start), pl.LastFuelUsed(), true)
 		return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, err)
 	}
-	p.recordCall(time.Since(start), false)
+	p.recordCall(time.Since(start), pl.LastFuelUsed(), false)
 	return resp, nil
 }
 
-func (p *PoolScheduler) recordCall(d time.Duration, fault bool) {
+func (p *PoolScheduler) recordCall(d time.Duration, fuel int64, fault bool) {
 	p.mu.Lock()
 	p.calls++
 	p.lastTime = d
 	p.totalTime += d
+	p.lastFuel = fuel
+	p.totalFuel += fuel
 	if fault {
 		p.faults++
 	}

@@ -1,0 +1,46 @@
+package sched
+
+import (
+	"time"
+
+	"waran/internal/obs"
+)
+
+// SchedStats is the flat call-accounting snapshot shared by every plugin
+// scheduler adapter. Times marshal as nanoseconds; fuel is in interpreter
+// instructions (zero when metering is disabled).
+type SchedStats struct {
+	Calls     uint64        `json:"calls"`
+	Faults    uint64        `json:"faults"`
+	TotalTime time.Duration `json:"total_time_ns"`
+	LastTime  time.Duration `json:"last_time_ns"`
+	LastFuel  int64         `json:"last_fuel"`
+	TotalFuel int64         `json:"total_fuel"`
+}
+
+// FuelReporter is implemented by schedulers that can report the fuel
+// consumed by their most recent sandbox call. The slot tracer asserts for
+// it when attributing per-slice cost.
+type FuelReporter interface {
+	LastFuelUsed() int64
+}
+
+// registerSched exposes one scheduler's SchedStats on reg as the untyped
+// multi-sample series waran_sched_* with the given labels.
+func registerSched(reg *obs.Registry, stats func() SchedStats, labels []obs.Label) {
+	reg.MustRegister("waran_sched", "intra-slice scheduler plugin call accounting", obs.Func{
+		Kind: obs.KindUntyped,
+		Collect: func() []obs.Sample {
+			s := stats()
+			return []obs.Sample{
+				{Suffix: "_calls_total", Value: float64(s.Calls)},
+				{Suffix: "_faults_total", Value: float64(s.Faults)},
+				{Suffix: "_total_time_us", Value: float64(s.TotalTime.Nanoseconds()) / 1e3},
+				{Suffix: "_last_time_us", Value: float64(s.LastTime.Nanoseconds()) / 1e3},
+				{Suffix: "_last_fuel", Value: float64(s.LastFuel)},
+				{Suffix: "_total_fuel", Value: float64(s.TotalFuel)},
+			}
+		},
+		JSON: func() any { return stats() },
+	}, labels...)
+}

@@ -97,19 +97,19 @@ func (s *Slice) Quarantined() bool {
 	return s.quarantined
 }
 
-// Stats summarizes the slice's fault history.
-type Stats struct {
-	TotalFaults   uint64
-	FallbackSlots uint64
-	Swaps         uint64
-	Quarantined   bool
+// SliceStats summarizes the slice's fault history.
+type SliceStats struct {
+	TotalFaults   uint64 `json:"total_faults"`
+	FallbackSlots uint64 `json:"fallback_slots"`
+	Swaps         uint64 `json:"swaps"`
+	Quarantined   bool   `json:"quarantined"`
 }
 
 // Stats returns a snapshot of fault accounting.
-func (s *Slice) Stats() Stats {
+func (s *Slice) Stats() SliceStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{
+	return SliceStats{
 		TotalFaults:   s.totalFaults,
 		FallbackSlots: s.fallbackSlots,
 		Swaps:         s.swaps,

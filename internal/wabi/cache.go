@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sync"
+
+	"waran/internal/obs"
 )
 
 // ModuleCache is a content-addressed cache of compiled plugin modules:
@@ -91,11 +93,34 @@ func (c *ModuleCache) Len() int {
 	return len(c.entries)
 }
 
-// Stats reports cache hits and misses since creation.
-func (c *ModuleCache) Stats() (hits, misses uint64) {
+// CacheStats is the flat snapshot of a ModuleCache.
+type CacheStats struct {
+	Modules int    `json:"modules"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}
+
+// Stats returns cache occupancy plus hits and misses since creation.
+func (c *ModuleCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return CacheStats{Modules: len(c.entries), Hits: c.hits, Misses: c.misses}
+}
+
+// Register exposes the cache on reg under waran_wabi_module_cache_*.
+func (c *ModuleCache) Register(reg *obs.Registry, labels ...obs.Label) {
+	reg.MustRegister("waran_wabi_module_cache", "content-addressed compiled-module cache", obs.Func{
+		Kind: obs.KindUntyped,
+		Collect: func() []obs.Sample {
+			s := c.Stats()
+			return []obs.Sample{
+				{Suffix: "_modules", Value: float64(s.Modules)},
+				{Suffix: "_hits_total", Value: float64(s.Hits)},
+				{Suffix: "_misses_total", Value: float64(s.Misses)},
+			}
+		},
+		JSON: func() any { return c.Stats() },
+	}, labels...)
 }
 
 // Purge empties the cache (e.g. after a policy change that invalidates

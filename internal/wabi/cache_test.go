@@ -33,8 +33,8 @@ func TestModuleCacheCompilesOnce(t *testing.T) {
 	if a != b {
 		t.Fatal("identical bytecode compiled twice")
 	}
-	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
-		t.Fatalf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1", st.Hits, st.Misses)
 	}
 	if c.Len() != 1 {
 		t.Fatalf("len = %d", c.Len())
@@ -63,8 +63,8 @@ func TestModuleCacheConcurrentLoadSingleflight(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	if _, misses := c.Stats(); misses != 1 {
-		t.Fatalf("concurrent loads compiled %d times, want 1", misses)
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("concurrent loads compiled %d times, want 1", st.Misses)
 	}
 	for i := 1; i < n; i++ {
 		if mods[i] != mods[0] {

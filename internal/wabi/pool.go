@@ -3,6 +3,8 @@ package wabi
 import (
 	"fmt"
 	"sync"
+
+	"waran/internal/obs"
 )
 
 // Pool hands out Plugin instances of one compiled module to concurrent
@@ -20,6 +22,11 @@ type Pool struct {
 	created int
 	max     int
 	waiters []chan *Plugin
+
+	// Occupancy counters, read through Stats(); guarded by mu.
+	gets        uint64
+	waits       uint64
+	createFails uint64
 
 	// newFn creates one instance; overridable in tests to exercise
 	// creation-failure orderings deterministically.
@@ -39,6 +46,9 @@ func NewPool(mod *Module, policy Policy, env Env, max int) *Pool {
 // Get checks out an instance, instantiating one if under the limit and
 // blocking when the pool is exhausted.
 func (p *Pool) Get() (*Plugin, error) {
+	p.mu.Lock()
+	p.gets++
+	p.mu.Unlock()
 	for {
 		p.mu.Lock()
 		if n := len(p.idle); n > 0 {
@@ -55,6 +65,7 @@ func (p *Pool) Get() (*Plugin, error) {
 			if err != nil {
 				p.mu.Lock()
 				p.created--
+				p.createFails++
 				// The creation slot just freed. A waiter may have queued
 				// while this Get held the last slot; wake one so it retries
 				// instead of waiting for a Put that may never come.
@@ -72,6 +83,7 @@ func (p *Pool) Get() (*Plugin, error) {
 		// creation (nil delivered; loop and retry the slot).
 		ch := make(chan *Plugin, 1)
 		p.waiters = append(p.waiters, ch)
+		p.waits++
 		p.mu.Unlock()
 		if pl := <-ch; pl != nil {
 			return pl, nil
@@ -106,15 +118,53 @@ func (p *Pool) Call(entry string, input []byte) ([]byte, error) {
 	return pl.Call(entry, input)
 }
 
-// Stats reports pool occupancy: instances created and currently idle.
-func (p *Pool) Stats() (created, idle int) {
+// PoolStats is the flat snapshot of a Pool: occupancy plus the checkout
+// counters the observability layer exposes.
+type PoolStats struct {
+	Created     int    `json:"created"`
+	Idle        int    `json:"idle"`
+	Max         int    `json:"max"`
+	Gets        uint64 `json:"gets"`
+	Waits       uint64 `json:"waits"`
+	CreateFails uint64 `json:"create_fails"`
+}
+
+// Stats returns current pool accounting.
+func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.created, len(p.idle)
+	return PoolStats{
+		Created:     p.created,
+		Idle:        len(p.idle),
+		Max:         p.max,
+		Gets:        p.gets,
+		Waits:       p.waits,
+		CreateFails: p.createFails,
+	}
+}
+
+// Register exposes the pool on reg under waran_wabi_pool_* with the given
+// labels (typically the cell or slice the pool serves).
+func (p *Pool) Register(reg *obs.Registry, labels ...obs.Label) {
+	reg.MustRegister("waran_wabi_pool", "plugin instance pool occupancy and checkout counters", obs.Func{
+		Kind: obs.KindUntyped,
+		Collect: func() []obs.Sample {
+			s := p.Stats()
+			return []obs.Sample{
+				{Suffix: "_created", Value: float64(s.Created)},
+				{Suffix: "_idle", Value: float64(s.Idle)},
+				{Suffix: "_max", Value: float64(s.Max)},
+				{Suffix: "_gets_total", Value: float64(s.Gets)},
+				{Suffix: "_waits_total", Value: float64(s.Waits)},
+				{Suffix: "_create_fails_total", Value: float64(s.CreateFails)},
+			}
+		},
+		JSON: func() any { return p.Stats() },
+	}, labels...)
 }
 
 // String implements fmt.Stringer.
 func (p *Pool) String() string {
-	created, idle := p.Stats()
-	return fmt.Sprintf("wabi.Pool{created=%d idle=%d max=%d}", created, idle, p.max)
+	s := p.Stats()
+	return fmt.Sprintf("wabi.Pool{created=%d idle=%d max=%d}", s.Created, s.Idle, s.Max)
 }

@@ -27,8 +27,8 @@ func TestPoolReusesInstances(t *testing.T) {
 		t.Fatal("idle instance not reused")
 	}
 	pool.Put(b)
-	if created, idle := pool.Stats(); created != 1 || idle != 1 {
-		t.Fatalf("stats = %d/%d", created, idle)
+	if st := pool.Stats(); st.Created != 1 || st.Idle != 1 {
+		t.Fatalf("stats = %d/%d", st.Created, st.Idle)
 	}
 }
 
@@ -58,7 +58,8 @@ func TestPoolConcurrentCalls(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	created, idle := pool.Stats()
+	st := pool.Stats()
+	created, idle := st.Created, st.Idle
 	if created > 4 {
 		t.Fatalf("pool created %d instances, max 4", created)
 	}
@@ -130,7 +131,8 @@ func TestPoolStressPastExhaustion(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	created, idle := pool.Stats()
+	st := pool.Stats()
+	created, idle := st.Created, st.Idle
 	if created > max {
 		t.Fatalf("created %d instances, max %d", created, max)
 	}
@@ -207,8 +209,8 @@ func TestPoolCreateFailureWakesWaiter(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("waiter stranded after create failure")
 	}
-	if created, idle := pool.Stats(); created != 1 || idle != 1 {
-		t.Fatalf("stats = %d/%d after recovery, want 1/1", created, idle)
+	if st := pool.Stats(); st.Created != 1 || st.Idle != 1 {
+		t.Fatalf("stats = %d/%d after recovery, want 1/1", st.Created, st.Idle)
 	}
 }
 
@@ -242,8 +244,8 @@ func TestPoolAllCreationsFailNobodyHangs(t *testing.T) {
 			t.Fatalf("Get %d hung", i)
 		}
 	}
-	if created, idle := pool.Stats(); created != 0 || idle != 0 {
-		t.Fatalf("stats = %d/%d, want 0/0", created, idle)
+	if st := pool.Stats(); st.Created != 0 || st.Idle != 0 {
+		t.Fatalf("stats = %d/%d, want 0/0", st.Created, st.Idle)
 	}
 }
 
@@ -257,7 +259,7 @@ func TestPoolBadModulePropagatesError(t *testing.T) {
 		t.Fatal("instantiation failure swallowed")
 	}
 	// The failed slot is released: the pool can still try again.
-	if created, _ := pool.Stats(); created != 0 {
-		t.Fatalf("created = %d after failure", created)
+	if st := pool.Stats(); st.Created != 0 {
+		t.Fatalf("created = %d after failure", st.Created)
 	}
 }

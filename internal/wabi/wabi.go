@@ -161,12 +161,43 @@ type Plugin struct {
 	output   []byte
 	guestErr string
 
-	// Stats accumulate across calls.
-	Calls         uint64
-	TotalDuration time.Duration
-	LastDuration  time.Duration
-	Faults        uint64
+	// Per-call accounting, read through Stats(). Unsynchronized like the
+	// rest of the Plugin: one goroutine at a time.
+	calls     uint64
+	totalDur  time.Duration
+	lastDur   time.Duration
+	faults    uint64
+	lastFuel  int64
+	totalFuel int64
 }
+
+// PluginStats is the flat snapshot of a Plugin's per-call accounting.
+// Durations marshal as nanoseconds; fuel is in interpreter instructions
+// (zero when metering is disabled).
+type PluginStats struct {
+	Calls         uint64        `json:"calls"`
+	Faults        uint64        `json:"faults"`
+	TotalDuration time.Duration `json:"total_duration_ns"`
+	LastDuration  time.Duration `json:"last_duration_ns"`
+	LastFuel      int64         `json:"last_fuel"`
+	TotalFuel     int64         `json:"total_fuel"`
+}
+
+// Stats returns accounting accumulated across calls.
+func (p *Plugin) Stats() PluginStats {
+	return PluginStats{
+		Calls:         p.calls,
+		Faults:        p.faults,
+		TotalDuration: p.totalDur,
+		LastDuration:  p.lastDur,
+		LastFuel:      p.lastFuel,
+		TotalFuel:     p.totalFuel,
+	}
+}
+
+// LastFuelUsed reports the instruction budget consumed by the most recent
+// call, or 0 when fuel metering is disabled.
+func (p *Plugin) LastFuelUsed() int64 { return p.lastFuel }
 
 // NewPlugin instantiates mod under the given policy and environment.
 func NewPlugin(mod *Module, policy Policy, env Env) (*Plugin, error) {
@@ -325,12 +356,16 @@ func (p *Plugin) Call(entry string, input []byte) ([]byte, error) {
 
 	start := time.Now()
 	res, err := p.inst.Call(entry)
-	p.LastDuration = time.Since(start)
-	p.TotalDuration += p.LastDuration
-	p.Calls++
+	p.lastDur = time.Since(start)
+	p.totalDur += p.lastDur
+	p.calls++
+	if p.policy.Fuel > 0 {
+		p.lastFuel = p.policy.Fuel - p.inst.Fuel()
+		p.totalFuel += p.lastFuel
+	}
 
 	if err != nil {
-		p.Faults++
+		p.faults++
 		var trap *wasm.Trap
 		if errors.As(err, &trap) {
 			return nil, &CallError{Entry: entry, Trap: trap, Message: p.guestErr}
@@ -338,7 +373,7 @@ func (p *Plugin) Call(entry string, input []byte) ([]byte, error) {
 		return nil, err
 	}
 	if code := int32(uint32(res[0])); code != 0 {
-		p.Faults++
+		p.faults++
 		return nil, &CallError{Entry: entry, Code: code, Message: p.guestErr}
 	}
 	return p.output, nil

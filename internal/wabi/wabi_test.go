@@ -53,8 +53,8 @@ func TestEchoRoundTrip(t *testing.T) {
 	if len(logged) != 1 || logged[0] != "echoing" {
 		t.Fatalf("logs = %v", logged)
 	}
-	if p.Calls != 1 || p.Faults != 0 {
-		t.Fatalf("stats: calls=%d faults=%d", p.Calls, p.Faults)
+	if st := p.Stats(); st.Calls != 1 || st.Faults != 0 {
+		t.Fatalf("stats: calls=%d faults=%d", st.Calls, st.Faults)
 	}
 }
 
@@ -139,8 +139,8 @@ func TestGuestErrorSurfaced(t *testing.T) {
 	if ce.Code != 3 || ce.Message != "bad input" {
 		t.Fatalf("code=%d msg=%q", ce.Code, ce.Message)
 	}
-	if p.Faults != 1 {
-		t.Fatalf("faults = %d", p.Faults)
+	if st := p.Stats(); st.Faults != 1 {
+		t.Fatalf("faults = %d", st.Faults)
 	}
 }
 
@@ -210,8 +210,8 @@ func TestFuelExhaustionIsDeterministic(t *testing.T) {
 			t.Fatalf("call %d: want fuel trap, got %v", i, err)
 		}
 	}
-	if p.Faults != 3 {
-		t.Fatalf("faults = %d", p.Faults)
+	if st := p.Stats(); st.Faults != 3 {
+		t.Fatalf("faults = %d", st.Faults)
 	}
 }
 
