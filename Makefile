@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check check-e2 check-obs lint-metrics bench fuzz
+.PHONY: build test check check-e2 check-obs check-guard lint-metrics bench fuzz
 
 ## build: compile every package.
 build:
@@ -13,7 +13,7 @@ test: build
 ## check: the deeper tier — vet, the full suite under the race detector,
 ## the association-resilience suite, and a 10 s fuzz smoke of the wasm
 ## decode/compile/execute gauntlet.
-check: build check-e2 check-obs lint-metrics
+check: build check-e2 check-obs check-guard lint-metrics
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^FuzzDecode$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/wasm
@@ -29,6 +29,15 @@ check-e2:
 check-obs:
 	$(GO) vet ./internal/obs ./internal/metrics
 	$(GO) test -race -count=1 ./internal/obs ./internal/metrics ./internal/core ./internal/wabi ./cmd/gnb
+
+## check-guard: plugin-lifecycle-supervisor gate — race-enabled tests over
+## the breaker/supervisor, the wabi failure taxonomy and chaos harness, and
+## the hardened scheduler ABI decode, plus a 10 s fuzz smoke of the
+## failure-classification invariant (every plugin failure maps to exactly
+## one stable class).
+check-guard:
+	$(GO) test -race -count=1 ./internal/guard ./internal/wabi ./internal/sched
+	$(GO) test -run '^FuzzClassify$$' -fuzz '^FuzzClassify$$' -fuzztime 10s ./internal/wabi
 
 ## lint-metrics: telemetry must go through internal/obs — fail on raw
 ## atomic.Uint64 counter fields outside internal/obs and internal/metrics.

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"waran/internal/guard"
 	"waran/internal/metrics"
 	"waran/internal/obs"
 	"waran/internal/plugins"
@@ -62,6 +63,11 @@ type CellGroup struct {
 	consecOver []int
 	pinned     []bool
 	slot       uint64
+
+	// sups maps supervised slice IDs to their lifecycle supervisors (one
+	// shared across all cells having the slice). Populated by
+	// InstallSupervisedScheduler; nil when supervision is unused.
+	sups map[uint32]*guard.Supervisor
 }
 
 // NewCellGroup creates cfg.Cells identical cells (defaults applied). The
@@ -206,6 +212,7 @@ func (cg *CellGroup) EnableObservability(reg *obs.Registry, ring *obs.TraceRing)
 			obs.DeadlineInstrument(cg.watch[i]), obs.L("cell", strconv.Itoa(i)))
 	}
 	cg.Modules.Register(reg)
+	cg.registerSupervisors(reg)
 }
 
 // WatchdogStats snapshots every cell's deadline accounting.

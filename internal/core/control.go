@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"waran/internal/e2"
+	"waran/internal/guard"
 	"waran/internal/sched"
 	"waran/internal/wabi"
 )
@@ -69,7 +70,7 @@ func (g *GNB) Apply(c *e2.ControlRequest) error {
 		if err != nil {
 			return fmt.Errorf("core: control: %w", err)
 		}
-		return g.Slices.HotSwap(c.SliceID, plugin)
+		return g.installScheduler(c.SliceID, plugin)
 	case e2.ActionUploadScheduler:
 		// The paper's Fig. 1 path: compiled Wasm bytecode is pushed into
 		// the RAN over the wire and becomes the slice's scheduler, after
@@ -102,7 +103,7 @@ func (g *GNB) Apply(c *e2.ControlRequest) error {
 		if err != nil {
 			return fmt.Errorf("core: control: uploaded plugin: %w", err)
 		}
-		return g.Slices.HotSwap(c.SliceID, ps)
+		return g.installScheduler(c.SliceID, ps)
 	case e2.ActionHandover:
 		// In a multi-cell deployment the UE context would transfer to
 		// c.Text's cell; in the single-cell model the UE leaves this gNB.
@@ -110,4 +111,21 @@ func (g *GNB) Apply(c *e2.ControlRequest) error {
 	default:
 		return fmt.Errorf("core: control: unsupported action %s", c.Action)
 	}
+}
+
+// installScheduler routes a RIC-driven scheduler change onto the slice. A
+// supervised slice never hot-swaps raw: the candidate goes through the
+// supervisor's shadow validation and, on pass, replaces whatever the
+// supervisor currently runs — including a quarantined incumbent, which stays
+// out of the rollback chain. Unsupervised slices keep the direct swap.
+func (g *GNB) installScheduler(sliceID uint32, candidate sched.IntraSlice) error {
+	if s, ok := g.Slices.Slice(sliceID); ok {
+		if sup, ok := s.Scheduler().(*guard.Supervisor); ok {
+			if _, err := sup.Swap(candidate); err != nil {
+				return fmt.Errorf("core: control: %w", err)
+			}
+			return nil
+		}
+	}
+	return g.Slices.HotSwap(sliceID, candidate)
 }

@@ -34,6 +34,11 @@ type ExpConfig struct {
 	Drop             float64
 	ResetAfterWrites int
 	Heartbeat        time.Duration
+	// SlotDeadline overrides the per-cell wall-clock slot budget in
+	// experiments that run a watchdog-timed cell group. Zero keeps the
+	// paper's 1 ms; tests raise it so shared-machine jitter cannot register
+	// as a missed deadline.
+	SlotDeadline time.Duration
 	// Obs, when non-nil, is the metric registry the experiment should wire
 	// its subsystems into; experiments that support it embed
 	// Obs.Snapshot() in their result. Nil disables instrumentation.

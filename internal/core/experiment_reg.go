@@ -24,4 +24,6 @@ func init() {
 		func(cfg ExpConfig) (any, error) { return RunUploadDemo() })
 	RegisterExperimentFunc("multicell", "multi-cell scaling, watchdog and fleet-wide hot swap (JSON)",
 		func(cfg ExpConfig) (any, error) { return RunMulticell(cfg) })
+	RegisterExperimentFunc("pluginfaults", "plugin fault storm: breaker quarantine, shadow-validated recovery, sleeper rollback (JSON)",
+		func(cfg ExpConfig) (any, error) { return RunPluginFaults(cfg) })
 }

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"waran/internal/guard"
+	"waran/internal/obs"
+	"waran/internal/plugins"
+	"waran/internal/sched"
+	"waran/internal/wabi"
+)
+
+// This file wires the plugin lifecycle supervisor (internal/guard) into the
+// multi-cell slot engine: every cell sharing a slice shares one supervisor,
+// so per-class failure metering, breaker state and rollback targets are
+// group-wide — a trap seen by any cell counts once, and a hot-swap promotes
+// (or rolls back) for all cells atomically.
+
+// InstallSupervisedScheduler compiles the named built-in scheduler, wraps it
+// in a shared instance pool under env (hang a wabi.Chaos on env to storm the
+// plugin), and installs a guard.Supervisor over it on every cell that has
+// sliceID. The supervisor falls back to the native round-robin scheduler
+// whenever the plugin fails or its breaker is open.
+func (cg *CellGroup) InstallSupervisedScheduler(sliceID uint32, name string, policy wabi.Policy, env wabi.Env, poolMax int, gcfg guard.Config) (*guard.Supervisor, error) {
+	mod, err := plugins.CompileScheduler(name)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := cg.buildPool(name, mod, policy, env, poolMax)
+	if err != nil {
+		return nil, err
+	}
+	sup := guard.New(name, ps, sched.RoundRobin{}, gcfg)
+	if err := cg.hotSwapAll(sliceID, sup); err != nil {
+		return nil, err
+	}
+	if cg.sups == nil {
+		cg.sups = make(map[uint32]*guard.Supervisor)
+	}
+	cg.sups[sliceID] = sup
+	return sup, nil
+}
+
+// Supervisor returns the supervisor installed on sliceID, or nil.
+func (cg *CellGroup) Supervisor(sliceID uint32) *guard.Supervisor { return cg.sups[sliceID] }
+
+// BuildPooledCandidate resolves uploaded bytecode through the group's
+// content-addressed module cache and wraps it in a pool-backed scheduler
+// without installing it anywhere — the candidate half of a supervised
+// hot-swap. Because the cache retains every compiled module by hash, the
+// incumbent it may replace stays available as the rollback target.
+func (cg *CellGroup) BuildPooledCandidate(name string, bin []byte, policy wabi.Policy, env wabi.Env, poolMax int) (*sched.PoolScheduler, error) {
+	mod, err := cg.Modules.Load(bin)
+	if err != nil {
+		return nil, fmt.Errorf("core: cell group rejected uploaded bytecode: %w", err)
+	}
+	return cg.buildPool(name, mod, policy, env, poolMax)
+}
+
+// UploadSupervisedAll is the supervised multi-cell hot-swap path: the
+// uploaded bytecode becomes a pooled candidate, the slice's supervisor
+// shadow-validates it against recorded slot inputs, and only on pass does it
+// replace the incumbent (which is retained as the rollback target while the
+// candidate serves its probation). The returned report says what the shadow
+// run saw either way.
+func (cg *CellGroup) UploadSupervisedAll(sliceID uint32, name string, bin []byte, policy wabi.Policy, poolMax int) (*guard.ShadowReport, error) {
+	sup := cg.sups[sliceID]
+	if sup == nil {
+		return nil, fmt.Errorf("core: slice %d has no supervisor; use UploadSchedulerAll", sliceID)
+	}
+	ps, err := cg.BuildPooledCandidate(name, bin, policy, wabi.Env{}, poolMax)
+	if err != nil {
+		return nil, err
+	}
+	return sup.Swap(ps)
+}
+
+// buildPool applies the group's default sandbox policy and wraps mod in a
+// pool-backed scheduler.
+func (cg *CellGroup) buildPool(name string, mod *wabi.Module, policy wabi.Policy, env wabi.Env, poolMax int) (*sched.PoolScheduler, error) {
+	if policy.MaxMemoryPages == 0 {
+		policy.MaxMemoryPages = 256
+	}
+	if policy.Fuel == 0 {
+		policy.Fuel = 10_000_000
+	}
+	pool := wabi.NewPool(mod, policy, env, poolMax)
+	return sched.NewPoolScheduler(name, pool, nil)
+}
+
+// hotSwapAll swaps scheduler onto every cell that has sliceID.
+func (cg *CellGroup) hotSwapAll(sliceID uint32, scheduler sched.IntraSlice) error {
+	swapped := 0
+	for _, g := range cg.cells {
+		if _, ok := g.Slices.Slice(sliceID); !ok {
+			continue
+		}
+		if err := g.Slices.HotSwap(sliceID, scheduler); err != nil {
+			return err
+		}
+		swapped++
+	}
+	if swapped == 0 {
+		return fmt.Errorf("core: no cell in the group has slice %d", sliceID)
+	}
+	return nil
+}
+
+// registerSupervisors exposes every installed supervisor on reg, one series
+// set per supervised slice.
+func (cg *CellGroup) registerSupervisors(reg *obs.Registry) {
+	ids := make([]uint32, 0, len(cg.sups))
+	for id := range cg.sups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		cg.sups[id].Register(reg, obs.L("slice", strconv.FormatUint(uint64(id), 10)))
+	}
+}

@@ -1,0 +1,458 @@
+package guard_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"waran/internal/guard"
+	"waran/internal/sched"
+	"waran/internal/wabi"
+	"waran/internal/wasm"
+)
+
+// vclock is a manually advanced clock so breaker timing is deterministic.
+type vclock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newVclock() *vclock { return &vclock{t: time.Unix(0, 0)} }
+
+func (c *vclock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *vclock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// errTrap builds the classed error a trapped plugin call produces.
+func errTrap() error {
+	return &wabi.CallError{Entry: "schedule", Trap: &wasm.Trap{Code: wasm.TrapUnreachable}}
+}
+
+func errFuel() error {
+	return &wabi.CallError{Entry: "schedule", Trap: &wasm.Trap{Code: wasm.TrapFuelExhausted}}
+}
+
+// fakeSched is a scriptable IntraSlice: script decides per call (1-based)
+// whether it fails and how.
+type fakeSched struct {
+	name   string
+	script func(call int, req *sched.Request) error
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (f *fakeSched) Name() string { return f.name }
+
+func (f *fakeSched) Schedule(req *sched.Request) (*sched.Response, error) {
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	f.mu.Unlock()
+	if f.script != nil {
+		if err := f.script(n, req); err != nil {
+			return nil, err
+		}
+	}
+	return &sched.Response{}, nil
+}
+
+func (f *fakeSched) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func alwaysFail(err error) func(int, *sched.Request) error {
+	return func(int, *sched.Request) error { return err }
+}
+
+func testReq(slot uint64) *sched.Request {
+	return &sched.Request{SliceID: 1, Slot: slot, PRBBudget: 10, UEs: []sched.UEInfo{
+		{ID: 1, MCS: 10, BitsPerPRB: 100, BufferBytes: 1000},
+		{ID: 2, MCS: 12, BitsPerPRB: 120, BufferBytes: 1000},
+	}}
+}
+
+func breakerCfg(clock *vclock) guard.BreakerConfig {
+	return guard.BreakerConfig{
+		Window:         8,
+		MinSamples:     4,
+		FailureRate:    0.5,
+		Backoff:        10 * time.Millisecond,
+		MaxBackoff:     80 * time.Millisecond,
+		ProbeSuccesses: 2,
+		Now:            clock.Now,
+	}
+}
+
+func TestBreakerOpensAtFailureRate(t *testing.T) {
+	clock := newVclock()
+	br := guard.NewBreaker(breakerCfg(clock))
+	// Three failures among four samples: rate 0.75 ≥ 0.5 at MinSamples.
+	br.Record(wabi.FailNone)
+	br.Record(wabi.FailTrap)
+	br.Record(wabi.FailTrap)
+	if br.State() != guard.Closed {
+		t.Fatalf("opened before MinSamples: %v", br.State())
+	}
+	br.Record(wabi.FailTrap)
+	if br.State() != guard.Open {
+		t.Fatalf("state = %v, want open", br.State())
+	}
+	if br.Allow() {
+		t.Fatal("open breaker admitted a call before backoff")
+	}
+	st := br.Stats()
+	if st.Opens != 1 || st.FailuresByClass["trap"] != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	clock := newVclock()
+	br := guard.NewBreaker(breakerCfg(clock))
+	for i := 0; i < 4; i++ {
+		br.Record(wabi.FailFuel)
+	}
+	if br.State() != guard.Open {
+		t.Fatal("not open")
+	}
+	clock.Advance(10 * time.Millisecond)
+	if !br.Allow() {
+		t.Fatal("probe not admitted after backoff")
+	}
+	if br.State() != guard.HalfOpen {
+		t.Fatalf("state = %v, want half-open", br.State())
+	}
+	br.Record(wabi.FailNone)
+	if !br.Allow() {
+		t.Fatal("second probe not admitted")
+	}
+	br.Record(wabi.FailNone) // ProbeSuccesses=2 → close
+	if br.State() != guard.Closed {
+		t.Fatalf("state = %v, want closed after %d probe successes", br.State(), 2)
+	}
+	if !br.Allow() {
+		t.Fatal("closed breaker rejected a call")
+	}
+}
+
+// TestBreakerProbeFailureDoublesBackoff is the satellite edge case: each
+// failed half-open probe re-opens with a doubled backoff, capped.
+func TestBreakerProbeFailureDoublesBackoff(t *testing.T) {
+	clock := newVclock()
+	br := guard.NewBreaker(breakerCfg(clock)) // 10ms initial, 80ms cap
+	for i := 0; i < 4; i++ {
+		br.Record(wabi.FailTrap)
+	}
+	wantBackoffs := []time.Duration{
+		10 * time.Millisecond, // first open
+		20 * time.Millisecond, // after 1st failed probe
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+	}
+	for i, backoff := range wantBackoffs[:len(wantBackoffs)-1] {
+		// Just before the backoff elapses: still rejected.
+		clock.Advance(backoff - time.Millisecond)
+		if br.Allow() {
+			t.Fatalf("round %d: admitted %v before backoff %v", i, backoff-time.Millisecond, backoff)
+		}
+		clock.Advance(time.Millisecond)
+		if !br.Allow() {
+			t.Fatalf("round %d: probe rejected after backoff %v", i, backoff)
+		}
+		br.Record(wabi.FailTrap) // probe fails → reopen, doubled
+		next := wantBackoffs[i+1]
+		if got := time.Duration(br.Stats().BackoffMs * float64(time.Millisecond)); got != next {
+			t.Fatalf("round %d: backoff = %v, want %v", i, got, next)
+		}
+	}
+	st := br.Stats()
+	if st.Reopens != 4 || st.ProbeFails != 4 {
+		t.Fatalf("reopens=%d probeFails=%d, want 4/4", st.Reopens, st.ProbeFails)
+	}
+}
+
+func TestBreakerSingleProbeInFlight(t *testing.T) {
+	clock := newVclock()
+	br := guard.NewBreaker(breakerCfg(clock))
+	for i := 0; i < 4; i++ {
+		br.Record(wabi.FailTrap)
+	}
+	clock.Advance(10 * time.Millisecond)
+	if !br.Allow() {
+		t.Fatal("first probe rejected")
+	}
+	// Probe in flight: parallel cells must not pile onto a sick plugin.
+	if br.Allow() || br.Allow() {
+		t.Fatal("second probe admitted while first is in flight")
+	}
+	br.Record(wabi.FailNone)
+	if !br.Allow() {
+		t.Fatal("next probe rejected after first resolved")
+	}
+}
+
+func TestSupervisorFallsBackAndContains(t *testing.T) {
+	clock := newVclock()
+	hostile := &fakeSched{name: "hostile", script: alwaysFail(errTrap())}
+	sup := guard.New("s1", hostile, sched.RoundRobin{}, guard.Config{Breaker: breakerCfg(clock)})
+
+	for slot := uint64(0); slot < 100; slot++ {
+		resp, err := sup.Schedule(testReq(slot))
+		if err != nil {
+			t.Fatalf("slot %d: supervised schedule errored: %v", slot, err)
+		}
+		if resp == nil {
+			t.Fatalf("slot %d: nil response", slot)
+		}
+	}
+	st := sup.Stats()
+	if st.Breaker.State != "open" {
+		t.Fatalf("breaker = %s, want open", st.Breaker.State)
+	}
+	// Containment: after the window filled (MinSamples=4 failures) the
+	// breaker opened and the hostile plugin stopped being called.
+	if hostile.Calls() != 4 {
+		t.Fatalf("hostile plugin called %d times, want 4 (then quarantined)", hostile.Calls())
+	}
+	// Every slot ended on the fallback: the 4 the plugin failed plus the 96
+	// the open breaker rejected outright.
+	if st.FallbackSlots != 100 {
+		t.Fatalf("fallback slots = %d, want 100", st.FallbackSlots)
+	}
+	if st.Breaker.FailuresByClass["trap"] != 4 {
+		t.Fatalf("trap count = %d, want 4", st.Breaker.FailuresByClass["trap"])
+	}
+}
+
+func TestSupervisorRecoversThroughProbes(t *testing.T) {
+	clock := newVclock()
+	// Fails its first 4 calls, then recovers for good.
+	flaky := &fakeSched{name: "flaky", script: func(call int, _ *sched.Request) error {
+		if call <= 4 {
+			return errFuel()
+		}
+		return nil
+	}}
+	sup := guard.New("s1", flaky, sched.RoundRobin{}, guard.Config{Breaker: breakerCfg(clock)})
+	for slot := uint64(0); slot < 10; slot++ {
+		if _, err := sup.Schedule(testReq(slot)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sup.Breaker().State() != guard.Open {
+		t.Fatal("breaker did not open")
+	}
+	clock.Advance(10 * time.Millisecond)
+	// Two successful probes (ProbeSuccesses=2) close the breaker.
+	for slot := uint64(10); slot < 12; slot++ {
+		if _, err := sup.Schedule(testReq(slot)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sup.Breaker().State(); got != guard.Closed {
+		t.Fatalf("breaker = %v after probes, want closed", got)
+	}
+	before := flaky.Calls()
+	if _, err := sup.Schedule(testReq(99)); err != nil {
+		t.Fatal(err)
+	}
+	if flaky.Calls() != before+1 {
+		t.Fatal("re-admitted plugin not serving calls")
+	}
+}
+
+// TestSupervisorSharedAcrossCellsNoDoubleCount is the satellite edge case:
+// parallel cells sharing one supervisor record each plugin failure exactly
+// once — the breaker's class counters equal the plugin's own call count.
+func TestSupervisorSharedAcrossCellsNoDoubleCount(t *testing.T) {
+	clock := newVclock()
+	hostile := &fakeSched{name: "hostile", script: alwaysFail(errTrap())}
+	cfg := breakerCfg(clock)
+	cfg.Window = 1024
+	cfg.MinSamples = 1024 // never opens: every call reaches the plugin
+	sup := guard.New("s1", hostile, sched.RoundRobin{}, guard.Config{Breaker: cfg})
+
+	const cells, slots = 4, 50
+	var wg sync.WaitGroup
+	for c := 0; c < cells; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for s := 0; s < slots; s++ {
+				if _, err := sup.Schedule(testReq(uint64(c*slots + s))); err != nil {
+					t.Errorf("cell %d: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	traps := sup.Breaker().FailureCount(wabi.FailTrap)
+	if got := uint64(hostile.Calls()); traps != got {
+		t.Fatalf("breaker counted %d traps, plugin failed %d times (double counting)", traps, got)
+	}
+	if traps != cells*slots {
+		t.Fatalf("traps = %d, want %d", traps, cells*slots)
+	}
+}
+
+func TestSwapRejectsBadCandidate(t *testing.T) {
+	clock := newVclock()
+	good := &fakeSched{name: "good"}
+	sup := guard.New("s1", good, sched.RoundRobin{}, guard.Config{Breaker: breakerCfg(clock)})
+	for slot := uint64(0); slot < 16; slot++ {
+		if _, err := sup.Schedule(testReq(slot)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad := &fakeSched{name: "bad", script: alwaysFail(errTrap())}
+	rep, err := sup.Swap(bad)
+	if err == nil {
+		t.Fatal("hostile candidate promoted")
+	}
+	if rep.Promoted || rep.Failures == 0 || rep.Runs != 16 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if sup.Active() != sched.IntraSlice(good) {
+		t.Fatal("incumbent displaced by failed shadow run")
+	}
+	if st := sup.Stats(); st.ShadowFail != 1 || st.Promotions != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSwapPromotesAndRollsBackDuringProbation(t *testing.T) {
+	clock := newVclock()
+	good := &fakeSched{name: "good"}
+	cfg := guard.Config{Breaker: breakerCfg(clock), ProbationCalls: 64}
+	sup := guard.New("s1", good, sched.RoundRobin{}, cfg)
+	for slot := uint64(0); slot < 8; slot++ {
+		if _, err := sup.Schedule(testReq(slot)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sleeper: behaves through shadow validation (8 recorded replays), turns
+	// hostile afterwards.
+	sleeper := &fakeSched{name: "sleeper", script: func(call int, _ *sched.Request) error {
+		if call > 10 {
+			return errTrap()
+		}
+		return nil
+	}}
+	rep, err := sup.Swap(sleeper)
+	if err != nil || !rep.Promoted {
+		t.Fatalf("promotion failed: %v / %+v", err, rep)
+	}
+	if sup.Active() != sched.IntraSlice(sleeper) {
+		t.Fatal("candidate not active after promotion")
+	}
+
+	// Serve slots until the sleeper trips the breaker inside probation.
+	for slot := uint64(100); slot < 130; slot++ {
+		if _, err := sup.Schedule(testReq(slot)); err != nil {
+			t.Fatal(err)
+		}
+		if sup.Stats().Rollbacks > 0 {
+			break
+		}
+	}
+	st := sup.Stats()
+	if st.Rollbacks != 1 {
+		t.Fatalf("rollbacks = %d, want 1", st.Rollbacks)
+	}
+	if sup.Active() != sched.IntraSlice(good) {
+		t.Fatalf("active = %s, want rollback to last-known-good", sup.Active().Name())
+	}
+	// The rollback resets the breaker, so the restored scheduler serves.
+	before := good.Calls()
+	if _, err := sup.Schedule(testReq(999)); err != nil {
+		t.Fatal(err)
+	}
+	if good.Calls() != before+1 {
+		t.Fatal("restored scheduler not serving after rollback")
+	}
+}
+
+// TestSwapDuringOpenBreakerTargetsCandidate is the satellite edge case: a
+// hot-swap while the incumbent is quarantined promotes the candidate and
+// must NOT retain the quarantined incumbent as a rollback target.
+func TestSwapDuringOpenBreakerTargetsCandidate(t *testing.T) {
+	clock := newVclock()
+	hostile := &fakeSched{name: "hostile", script: alwaysFail(errTrap())}
+	cfg := guard.Config{Breaker: breakerCfg(clock), ProbationCalls: 64}
+	sup := guard.New("s1", hostile, sched.RoundRobin{}, cfg)
+	for slot := uint64(0); slot < 20; slot++ {
+		if _, err := sup.Schedule(testReq(slot)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sup.Breaker().State() != guard.Open {
+		t.Fatal("breaker did not open")
+	}
+
+	// Candidate that later turns hostile too: the post-promotion trip must
+	// degrade to fallback, not roll back to the quarantined incumbent.
+	sleeper := &fakeSched{name: "sleeper", script: func(call int, _ *sched.Request) error {
+		if call > 25 {
+			return errTrap()
+		}
+		return nil
+	}}
+	rep, err := sup.Swap(sleeper)
+	if err != nil || !rep.Promoted {
+		t.Fatalf("swap during open breaker failed: %v / %+v", err, rep)
+	}
+	if sup.Active() != sched.IntraSlice(sleeper) {
+		t.Fatal("candidate not active")
+	}
+	hostileCalls := hostile.Calls()
+
+	for slot := uint64(100); slot < 160; slot++ {
+		if _, err := sup.Schedule(testReq(slot)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sup.Stats().Rollbacks != 0 {
+		t.Fatal("rolled back to a quarantined incumbent")
+	}
+	if sup.Active() != sched.IntraSlice(sleeper) {
+		t.Fatalf("active = %s, want candidate (fallback-degraded)", sup.Active().Name())
+	}
+	if hostile.Calls() != hostileCalls {
+		t.Fatal("quarantined incumbent was called after replacement")
+	}
+}
+
+func TestSwapEnforcesLatencyBudget(t *testing.T) {
+	clock := newVclock()
+	good := &fakeSched{name: "good"}
+	cfg := guard.Config{Breaker: breakerCfg(clock), ShadowLatencyBudget: time.Millisecond}
+	sup := guard.New("s1", good, sched.RoundRobin{}, cfg)
+	for slot := uint64(0); slot < 4; slot++ {
+		if _, err := sup.Schedule(testReq(slot)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slow := &fakeSched{name: "slow", script: func(int, *sched.Request) error {
+		time.Sleep(3 * time.Millisecond)
+		return nil
+	}}
+	if _, err := sup.Swap(slow); err == nil {
+		t.Fatal("candidate blowing the shadow latency budget promoted")
+	}
+	if sup.Active() != sched.IntraSlice(good) {
+		t.Fatal("incumbent displaced")
+	}
+}

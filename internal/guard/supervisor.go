@@ -1,0 +1,373 @@
+package guard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"waran/internal/obs"
+	"waran/internal/sched"
+	"waran/internal/wabi"
+)
+
+// Config tunes a Supervisor. The zero value gets defaults: a 32-request
+// shadow-replay ring, a 750 µs per-call shadow latency budget, a 3× slowdown
+// bound against the incumbent, and a 256-call post-promotion probation
+// window.
+type Config struct {
+	// Breaker configures the plugin's circuit breaker.
+	Breaker BreakerConfig
+	// RecordedInputs is how many recent slot requests are retained for
+	// shadow validation of hot-swap candidates (default 32).
+	RecordedInputs int
+	// ShadowLatencyBudget is the per-replay wall-clock cap a candidate must
+	// meet during shadow validation (default 750 µs — a decision that slow
+	// cannot fit the 1 ms slot alongside the rest of the loop).
+	ShadowLatencyBudget time.Duration
+	// ShadowSlowdown bounds the candidate's mean shadow latency to this
+	// multiple of the incumbent's observed mean (default 3). Only enforced
+	// while the incumbent is healthy — a quarantined incumbent is no
+	// baseline worth defending.
+	ShadowSlowdown float64
+	// ProbationCalls is the post-promotion window during which a breaker
+	// trip rolls back to the last-known-good scheduler (default 256).
+	ProbationCalls int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RecordedInputs <= 0 {
+		c.RecordedInputs = 32
+	}
+	if c.ShadowLatencyBudget <= 0 {
+		c.ShadowLatencyBudget = 750 * time.Microsecond
+	}
+	if c.ShadowSlowdown <= 0 {
+		c.ShadowSlowdown = 3
+	}
+	if c.ProbationCalls <= 0 {
+		c.ProbationCalls = 256
+	}
+	return c
+}
+
+// Supervisor wraps one plugin-backed intra-slice scheduler with the full
+// lifecycle: per-class failure metering through a circuit breaker, automatic
+// degradation to a native fallback while the breaker is open, half-open
+// recovery probes, canary hot-swap with shadow validation against recorded
+// slot inputs, and rollback to the last-known-good scheduler if a promoted
+// candidate trips the breaker during probation.
+//
+// Supervisor implements sched.IntraSlice and is safe for concurrent use, so
+// parallel cells sharing one plugin share one supervisor — and one breaker,
+// so a failure observed by any cell counts exactly once.
+type Supervisor struct {
+	name     string
+	fallback sched.IntraSlice
+	cfg      Config
+	br       *Breaker
+
+	mu        sync.Mutex
+	active    sched.IntraSlice
+	lastGood  sched.IntraSlice
+	recorded  []*sched.Request // ring of deep-copied recent requests
+	recHead   int
+	recCount  int
+	probation int     // remaining probation calls; 0 = out of probation
+	latEWMA   float64 // incumbent mean decision latency, µs
+
+	calls         uint64
+	successes     uint64
+	fallbackSlots uint64
+	promotions    uint64
+	rollbacks     uint64
+	shadowPass    uint64
+	shadowFail    uint64
+}
+
+// New supervises active, degrading to fallback whenever the breaker rejects
+// or the active scheduler fails. fallback must be infallible (a native
+// scheduler); its errors are not metered.
+func New(name string, active, fallback sched.IntraSlice, cfg Config) *Supervisor {
+	cfg = cfg.withDefaults()
+	return &Supervisor{
+		name:     name,
+		fallback: fallback,
+		cfg:      cfg,
+		br:       NewBreaker(cfg.Breaker),
+		active:   active,
+		recorded: make([]*sched.Request, cfg.RecordedInputs),
+	}
+}
+
+// Name implements sched.IntraSlice.
+func (s *Supervisor) Name() string { return "guard:" + s.name }
+
+// Breaker exposes the circuit breaker for inspection.
+func (s *Supervisor) Breaker() *Breaker { return s.br }
+
+// Active returns the currently promoted scheduler.
+func (s *Supervisor) Active() sched.IntraSlice {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// Schedule implements sched.IntraSlice. The request is recorded for future
+// shadow validation, the breaker is consulted, and on any rejection or
+// failure the native fallback decides the slot — the slice always gets an
+// allocation within native cost.
+func (s *Supervisor) Schedule(req *sched.Request) (*sched.Response, error) {
+	s.mu.Lock()
+	s.calls++
+	s.record(req)
+	active := s.active
+	s.mu.Unlock()
+
+	if s.br.Allow() {
+		start := time.Now()
+		resp, err := active.Schedule(req)
+		s.br.Record(wabi.ClassOf(err))
+		if err == nil {
+			s.mu.Lock()
+			s.successes++
+			lat := float64(time.Since(start).Nanoseconds()) / 1e3
+			if s.latEWMA == 0 {
+				s.latEWMA = lat
+			} else {
+				s.latEWMA = 0.9*s.latEWMA + 0.1*lat
+			}
+			if s.probation > 0 {
+				s.probation--
+			}
+			s.mu.Unlock()
+			return resp, nil
+		}
+		s.maybeRollback()
+	}
+
+	s.mu.Lock()
+	s.fallbackSlots++
+	s.mu.Unlock()
+	return s.fallback.Schedule(req)
+}
+
+// record stores a deep copy of req in the replay ring; callers hold mu. The
+// copy matters: the slot engine reuses request backing arrays across slots.
+func (s *Supervisor) record(req *sched.Request) {
+	cp := *req
+	cp.UEs = append([]sched.UEInfo(nil), req.UEs...)
+	s.recorded[s.recHead] = &cp
+	s.recHead = (s.recHead + 1) % len(s.recorded)
+	if s.recCount < len(s.recorded) {
+		s.recCount++
+	}
+}
+
+// maybeRollback reverts to the last-known-good scheduler when a promoted
+// candidate has tripped the breaker inside its probation window.
+func (s *Supervisor) maybeRollback() {
+	if s.br.State() != Open {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.probation == 0 || s.lastGood == nil {
+		return
+	}
+	s.active = s.lastGood
+	s.lastGood = nil
+	s.probation = 0
+	s.rollbacks++
+	s.br.Reset()
+}
+
+// ShadowReport describes one shadow-validation run of a hot-swap candidate.
+type ShadowReport struct {
+	Runs           int     `json:"runs"`
+	Failures       int     `json:"failures"`
+	Promoted       bool    `json:"promoted"`
+	Reason         string  `json:"reason,omitempty"`
+	CandidateAvgUs float64 `json:"candidate_avg_us"`
+	IncumbentAvgUs float64 `json:"incumbent_avg_us"`
+}
+
+// Swap shadow-validates candidate against the recorded slot inputs and, on
+// pass, promotes it under a fresh breaker and a probation window. The
+// incumbent is retained as last-known-good only if it was healthy (closed
+// breaker) at swap time — a hot-swap during an open breaker replaces the
+// quarantined incumbent, which must never become a rollback target. On
+// shadow failure the incumbent stays active and an error is returned.
+func (s *Supervisor) Swap(candidate sched.IntraSlice) (*ShadowReport, error) {
+	s.mu.Lock()
+	inputs := make([]*sched.Request, 0, s.recCount)
+	// Oldest-first walk of the ring.
+	for i := 0; i < s.recCount; i++ {
+		idx := (s.recHead - s.recCount + i + len(s.recorded)) % len(s.recorded)
+		inputs = append(inputs, s.recorded[idx])
+	}
+	incumbentAvg := s.latEWMA
+	s.mu.Unlock()
+
+	rep := &ShadowReport{Runs: len(inputs), IncumbentAvgUs: incumbentAvg}
+	healthy := s.br.State() == Closed
+
+	var total time.Duration
+	for _, req := range inputs {
+		start := time.Now()
+		_, err := candidate.Schedule(req)
+		d := time.Since(start)
+		total += d
+		if err != nil {
+			rep.Failures++
+			if rep.Reason == "" {
+				rep.Reason = fmt.Sprintf("slot %d: %v", req.Slot, err)
+			}
+			continue
+		}
+		if d > s.cfg.ShadowLatencyBudget {
+			rep.Failures++
+			if rep.Reason == "" {
+				rep.Reason = fmt.Sprintf("slot %d: %v exceeds shadow budget %v", req.Slot, d, s.cfg.ShadowLatencyBudget)
+			}
+		}
+	}
+	if len(inputs) > 0 {
+		rep.CandidateAvgUs = float64(total.Nanoseconds()) / 1e3 / float64(len(inputs))
+	}
+	if rep.Failures > 0 {
+		s.recordShadow(false)
+		return rep, fmt.Errorf("guard: %s: shadow validation failed %d/%d replays: %s",
+			s.name, rep.Failures, rep.Runs, rep.Reason)
+	}
+	// Enforce the slowdown bound only against a healthy incumbent: if the
+	// breaker is open the slice is running on fallback and any correct
+	// candidate beats it.
+	if healthy && incumbentAvg > 0 && rep.CandidateAvgUs > s.cfg.ShadowSlowdown*incumbentAvg {
+		s.recordShadow(false)
+		rep.Reason = fmt.Sprintf("candidate mean %.1fµs exceeds %.1f× incumbent mean %.1fµs",
+			rep.CandidateAvgUs, s.cfg.ShadowSlowdown, incumbentAvg)
+		return rep, fmt.Errorf("guard: %s: %s", s.name, rep.Reason)
+	}
+
+	s.mu.Lock()
+	if healthy {
+		s.lastGood = s.active
+	}
+	s.active = candidate
+	s.probation = s.cfg.ProbationCalls
+	s.latEWMA = rep.CandidateAvgUs
+	s.promotions++
+	s.shadowPass++
+	s.mu.Unlock()
+	s.br.Reset()
+	rep.Promoted = true
+	return rep, nil
+}
+
+func (s *Supervisor) recordShadow(pass bool) {
+	s.mu.Lock()
+	if pass {
+		s.shadowPass++
+	} else {
+		s.shadowFail++
+	}
+	s.mu.Unlock()
+}
+
+// LastFuelUsed implements sched.FuelReporter by forwarding to the active
+// scheduler when it can report fuel.
+func (s *Supervisor) LastFuelUsed() int64 {
+	s.mu.Lock()
+	active := s.active
+	s.mu.Unlock()
+	if fr, ok := active.(sched.FuelReporter); ok {
+		return fr.LastFuelUsed()
+	}
+	return 0
+}
+
+// SupervisorStats is the flat snapshot of a Supervisor.
+type SupervisorStats struct {
+	Name          string       `json:"name"`
+	Active        string       `json:"active"`
+	Calls         uint64       `json:"calls"`
+	Successes     uint64       `json:"successes"`
+	FallbackSlots uint64       `json:"fallback_slots"`
+	Promotions    uint64       `json:"promotions"`
+	Rollbacks     uint64       `json:"rollbacks"`
+	ShadowPass    uint64       `json:"shadow_pass"`
+	ShadowFail    uint64       `json:"shadow_fail"`
+	Probation     int          `json:"probation"`
+	MeanLatencyUs float64      `json:"mean_latency_us"`
+	Breaker       BreakerStats `json:"breaker"`
+}
+
+// Stats returns current supervisor accounting.
+func (s *Supervisor) Stats() SupervisorStats {
+	s.mu.Lock()
+	st := SupervisorStats{
+		Name:          s.name,
+		Active:        s.active.Name(),
+		Calls:         s.calls,
+		Successes:     s.successes,
+		FallbackSlots: s.fallbackSlots,
+		Promotions:    s.promotions,
+		Rollbacks:     s.rollbacks,
+		ShadowPass:    s.shadowPass,
+		ShadowFail:    s.shadowFail,
+		Probation:     s.probation,
+		MeanLatencyUs: s.latEWMA,
+	}
+	s.mu.Unlock()
+	st.Breaker = s.br.Stats()
+	return st
+}
+
+// stateValue maps breaker states onto a gauge: 0 closed, 0.5 half-open,
+// 1 open — "how quarantined is this plugin".
+func stateValue(state string) float64 {
+	switch state {
+	case "open":
+		return 1
+	case "half-open":
+		return 0.5
+	default:
+		return 0
+	}
+}
+
+// Register exposes the supervisor on reg under waran_guard_* with the given
+// labels (typically the slice the supervisor protects).
+func (s *Supervisor) Register(reg *obs.Registry, labels ...obs.Label) {
+	reg.MustRegister("waran_guard", "plugin lifecycle supervisor: breaker state, per-class failures, swaps and rollbacks", obs.Func{
+		Kind: obs.KindUntyped,
+		Collect: func() []obs.Sample {
+			st := s.Stats()
+			samples := []obs.Sample{
+				{Suffix: "_breaker_state", Value: stateValue(st.Breaker.State)},
+				{Suffix: "_health", Value: st.Breaker.Health},
+				{Suffix: "_calls_total", Value: float64(st.Calls)},
+				{Suffix: "_successes_total", Value: float64(st.Successes)},
+				{Suffix: "_fallback_slots_total", Value: float64(st.FallbackSlots)},
+				{Suffix: "_opens_total", Value: float64(st.Breaker.Opens)},
+				{Suffix: "_reopens_total", Value: float64(st.Breaker.Reopens)},
+				{Suffix: "_probes_total", Value: float64(st.Breaker.Probes)},
+				{Suffix: "_probe_fails_total", Value: float64(st.Breaker.ProbeFails)},
+				{Suffix: "_promotions_total", Value: float64(st.Promotions)},
+				{Suffix: "_rollbacks_total", Value: float64(st.Rollbacks)},
+				{Suffix: "_shadow_pass_total", Value: float64(st.ShadowPass)},
+				{Suffix: "_shadow_fail_total", Value: float64(st.ShadowFail)},
+				{Suffix: "_probation_calls", Value: float64(st.Probation)},
+			}
+			for _, c := range wabi.FailureClasses() {
+				samples = append(samples, obs.Sample{
+					Suffix: "_failures_total",
+					Labels: []obs.Label{obs.L("class", c.String())},
+					Value:  float64(s.br.FailureCount(c)),
+				})
+			}
+			return samples
+		},
+		JSON: func() any { return s.Stats() },
+	}, labels...)
+}

@@ -107,20 +107,35 @@ func (BinaryCodec) EncodeResponse(resp *Response) []byte {
 	return b
 }
 
-// DecodeResponse implements Codec.
+// DecodeResponse implements Codec. The response bytes come from an
+// untrusted plugin, so every structural failure is a typed *BadOutputError:
+// a count prefix pointing past the payload (out-of-bounds region), trailing
+// bytes the count does not claim, an absurd count, or two grants naming the
+// same UE (overlapping result regions). Arithmetic is done in int64 so a
+// hostile count cannot overflow the expected-length computation.
 func (BinaryCodec) DecodeResponse(b []byte) (*Response, error) {
 	if len(b) < 4 {
-		return nil, fmt.Errorf("sched: binary response too short (%d bytes)", len(b))
+		return nil, badOutputf("sched: binary response too short (%d bytes)", len(b))
 	}
 	le := binary.LittleEndian
-	n := int(le.Uint32(b[0:]))
-	if len(b) != 4+n*binRespAllocLen {
-		return nil, fmt.Errorf("sched: binary response length %d does not match %d allocations", len(b), n)
+	n := le.Uint32(b[0:])
+	if n > maxRespAllocs {
+		return nil, badOutputf("sched: binary response claims %d allocations (max %d)", n, maxRespAllocs)
+	}
+	if want := 4 + int64(n)*binRespAllocLen; int64(len(b)) != want {
+		return nil, badOutputf("sched: binary response length %d does not match %d allocations (want %d): allocation region out of bounds",
+			len(b), n, want)
 	}
 	resp := &Response{Allocs: make([]Allocation, n)}
+	seen := make(map[uint32]int, n)
 	off := 4
-	for i := 0; i < n; i++ {
-		resp.Allocs[i] = Allocation{UEID: le.Uint32(b[off:]), PRBs: le.Uint32(b[off+4:])}
+	for i := 0; i < int(n); i++ {
+		a := Allocation{UEID: le.Uint32(b[off:]), PRBs: le.Uint32(b[off+4:])}
+		if j, dup := seen[a.UEID]; dup {
+			return nil, badOutputf("sched: binary response allocations %d and %d overlap on UE %d", j, i, a.UEID)
+		}
+		seen[a.UEID] = i
+		resp.Allocs[i] = a
 		off += binRespAllocLen
 	}
 	return resp, nil
@@ -189,14 +204,24 @@ func (JSONCodec) EncodeResponse(resp *Response) []byte {
 	return b
 }
 
-// DecodeResponse implements Codec.
+// DecodeResponse implements Codec. Mirrors the binary decoder's hostile-
+// input posture: malformed JSON, an absurd allocation count, or overlapping
+// grants are typed *BadOutputError.
 func (JSONCodec) DecodeResponse(b []byte) (*Response, error) {
 	var jr jsonResponse
 	if err := json.Unmarshal(b, &jr); err != nil {
-		return nil, fmt.Errorf("sched: decode json response: %w", err)
+		return nil, badOutputf("sched: decode json response: %w", err)
+	}
+	if len(jr.Allocs) > maxRespAllocs {
+		return nil, badOutputf("sched: json response claims %d allocations (max %d)", len(jr.Allocs), maxRespAllocs)
 	}
 	resp := &Response{}
-	for _, a := range jr.Allocs {
+	seen := make(map[uint32]int, len(jr.Allocs))
+	for i, a := range jr.Allocs {
+		if j, dup := seen[a.UEID]; dup {
+			return nil, badOutputf("sched: json response allocations %d and %d overlap on UE %d", j, i, a.UEID)
+		}
+		seen[a.UEID] = i
 		resp.Allocs = append(resp.Allocs, Allocation(a))
 	}
 	return resp, nil

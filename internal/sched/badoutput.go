@@ -1,0 +1,37 @@
+package sched
+
+import (
+	"fmt"
+
+	"waran/internal/wabi"
+)
+
+// maxRespAllocs bounds the allocation count a response may claim. The
+// tightest real bound is the UE count of the request, but the decoder does
+// not see the request; this cap only has to stop a hostile length prefix
+// from driving a giant allocation before the length check.
+const maxRespAllocs = 1 << 20
+
+// BadOutputError marks a structurally complete plugin call whose result the
+// host rejected: malformed response bytes, out-of-bounds or overlapping
+// result regions, grants that fail semantic validation. It implements
+// wabi.ClassedError so supervisors meter it as FailBadOutput, distinct from
+// sandbox traps — the plugin ran fine and lied.
+type BadOutputError struct {
+	Err error
+}
+
+// Error implements the error interface.
+func (e *BadOutputError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying cause (ErrInvalidResponse stays reachable
+// through errors.Is for callers that predate the taxonomy).
+func (e *BadOutputError) Unwrap() error { return e.Err }
+
+// FailureClass implements wabi.ClassedError.
+func (e *BadOutputError) FailureClass() wabi.FailureClass { return wabi.FailBadOutput }
+
+// badOutputf builds a BadOutputError like fmt.Errorf (with %w support).
+func badOutputf(format string, args ...any) *BadOutputError {
+	return &BadOutputError{Err: fmt.Errorf(format, args...)}
+}

@@ -96,7 +96,9 @@ func (p *PluginScheduler) Schedule(req *Request) (*Response, error) {
 	}
 	if err := resp.Validate(req); err != nil {
 		p.faults++
-		return nil, fmt.Errorf("sched: plugin %q: %w", p.name, err)
+		// Semantic rejection of a decoded response is still bad output for
+		// the failure taxonomy: the sandbox completed and the result lied.
+		return nil, fmt.Errorf("sched: plugin %q: %w", p.name, &BadOutputError{Err: err})
 	}
 	return resp, nil
 }

@@ -113,7 +113,9 @@ func (p *PoolScheduler) Schedule(req *Request) (*Response, error) {
 	}
 	if err := resp.Validate(req); err != nil {
 		p.recordCall(time.Since(start), pl.LastFuelUsed(), true)
-		return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, err)
+		// Semantic rejection of a decoded response is still bad output for
+		// the failure taxonomy: the sandbox completed and the result lied.
+		return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, &BadOutputError{Err: err})
 	}
 	p.recordCall(time.Since(start), pl.LastFuelUsed(), false)
 	return resp, nil

@@ -27,6 +27,7 @@ type Pool struct {
 	gets        uint64
 	waits       uint64
 	createFails uint64
+	discards    uint64
 
 	// newFn creates one instance; overridable in tests to exercise
 	// creation-failure orderings deterministically.
@@ -91,9 +92,27 @@ func (p *Pool) Get() (*Plugin, error) {
 	}
 }
 
-// Put returns an instance to the pool.
+// Put returns an instance to the pool. Instances whose last call aborted
+// mid-execution (trap, fuel exhaustion, deadline) are discarded instead of
+// recycled: their linear memory is in an unknown intermediate state and must
+// never be handed to the next caller. The creation slot is released so a
+// future Get instantiates a fresh, zeroed replacement.
 func (p *Pool) Put(pl *Plugin) {
 	if pl == nil {
+		return
+	}
+	if pl.Poisoned() {
+		p.mu.Lock()
+		p.created--
+		p.discards++
+		// A waiter may be parked; wake one with nil so it retries the freed
+		// creation slot instead of waiting for a Put that never comes.
+		if len(p.waiters) > 0 {
+			ch := p.waiters[0]
+			p.waiters = p.waiters[1:]
+			ch <- nil
+		}
+		p.mu.Unlock()
 		return
 	}
 	p.mu.Lock()
@@ -127,6 +146,7 @@ type PoolStats struct {
 	Gets        uint64 `json:"gets"`
 	Waits       uint64 `json:"waits"`
 	CreateFails uint64 `json:"create_fails"`
+	Discards    uint64 `json:"discards"`
 }
 
 // Stats returns current pool accounting.
@@ -140,6 +160,7 @@ func (p *Pool) Stats() PoolStats {
 		Gets:        p.gets,
 		Waits:       p.waits,
 		CreateFails: p.createFails,
+		Discards:    p.discards,
 	}
 }
 
@@ -157,6 +178,7 @@ func (p *Pool) Register(reg *obs.Registry, labels ...obs.Label) {
 				{Suffix: "_gets_total", Value: float64(s.Gets)},
 				{Suffix: "_waits_total", Value: float64(s.Waits)},
 				{Suffix: "_create_fails_total", Value: float64(s.CreateFails)},
+				{Suffix: "_discards_total", Value: float64(s.Discards)},
 			}
 		},
 		JSON: func() any { return p.Stats() },

@@ -87,6 +87,11 @@ type Env struct {
 	HostFuncs wasm.Imports
 	// OnLog receives guest log lines, if set.
 	OnLog func(msg string)
+	// Chaos, when non-nil, injects seeded faults into every call made by
+	// plugins sharing this Env — the wasm-layer counterpart of
+	// e2.FaultConn, for supervisor and containment testing. Production
+	// environments leave it nil.
+	Chaos *Chaos
 }
 
 // Module is compiled plugin code, instantiable many times.
@@ -95,14 +100,16 @@ type Module struct {
 }
 
 // CompileWasm compiles plugin bytecode (decode + validate + flatten).
+// Failures are *InstantiateError: the bytecode can never become a runnable
+// instance.
 func CompileWasm(bin []byte) (*Module, error) {
 	m, err := wasm.Decode(bin)
 	if err != nil {
-		return nil, err
+		return nil, &InstantiateError{Err: err}
 	}
 	cm, err := wasm.Compile(m)
 	if err != nil {
-		return nil, err
+		return nil, &InstantiateError{Err: err}
 	}
 	return &Module{cm: cm}, nil
 }
@@ -111,11 +118,11 @@ func CompileWasm(bin []byte) (*Module, error) {
 func CompileWAT(src string) (*Module, error) {
 	m, err := wat.Compile(src)
 	if err != nil {
-		return nil, err
+		return nil, &InstantiateError{Err: err}
 	}
 	cm, err := wasm.Compile(m)
 	if err != nil {
-		return nil, err
+		return nil, &InstantiateError{Err: err}
 	}
 	return &Module{cm: cm}, nil
 }
@@ -169,6 +176,7 @@ type Plugin struct {
 	faults    uint64
 	lastFuel  int64
 	totalFuel int64
+	lastClass FailureClass
 }
 
 // PluginStats is the flat snapshot of a Plugin's per-call accounting.
@@ -199,12 +207,30 @@ func (p *Plugin) Stats() PluginStats {
 // call, or 0 when fuel metering is disabled.
 func (p *Plugin) LastFuelUsed() int64 { return p.lastFuel }
 
+// LastFailureClass reports the classification of the most recent call's
+// outcome (FailNone after a successful call or before any call).
+func (p *Plugin) LastFailureClass() FailureClass { return p.lastClass }
+
+// Poisoned reports whether the last call aborted mid-execution — a trap,
+// fuel exhaustion or deadline overrun — leaving the linear memory in an
+// unknown intermediate state. Poisoned instances must not be handed to
+// another caller; Pool.Put discards them.
+func (p *Plugin) Poisoned() bool {
+	switch p.lastClass {
+	case FailTrap, FailFuel, FailDeadline:
+		return true
+	default:
+		return false
+	}
+}
+
 // NewPlugin instantiates mod under the given policy and environment.
+// Failures are *InstantiateError.
 func NewPlugin(mod *Module, policy Policy, env Env) (*Plugin, error) {
 	p := &Plugin{mod: mod, policy: policy.withDefaults(), env: env}
 	inst, err := p.instantiate()
 	if err != nil {
-		return nil, err
+		return nil, &InstantiateError{Err: err}
 	}
 	p.inst = inst
 	return p, nil
@@ -340,15 +366,51 @@ func (p *Plugin) Call(entry string, input []byte) ([]byte, error) {
 	if p.policy.FreshInstance {
 		inst, err := p.instantiate()
 		if err != nil {
-			return nil, err
+			p.lastClass = FailInstantiate
+			return nil, &InstantiateError{Err: err}
 		}
 		p.inst = inst
 	}
 	p.input = input
 	p.output = nil
 	p.guestErr = ""
+	p.lastClass = FailNone
+
+	// Chaos injection point: a forced trap or stall replaces the guest call
+	// entirely; fuel theft and output corruption pass through it.
+	var act chaosAction
+	var stall time.Duration
+	if p.env.Chaos != nil {
+		act, stall = p.env.Chaos.decide()
+	}
+	switch act {
+	case chaosForceTrap:
+		p.calls++
+		p.faults++
+		p.lastClass = FailTrap
+		return nil, &CallError{Entry: entry, Trap: &wasm.Trap{Code: wasm.TrapUnreachable}}
+	case chaosStallCall:
+		time.Sleep(stall)
+		p.calls++
+		p.faults++
+		p.lastClass = FailDeadline
+		return nil, &CallError{Entry: entry, Trap: &wasm.Trap{Code: wasm.TrapDeadlineExceeded}}
+	}
+
+	fuel := p.policy.Fuel
+	if act == chaosStealFuel {
+		if fuel > stolenFuelBudget {
+			fuel = stolenFuelBudget
+		} else if fuel == 0 {
+			// Metering is off; the theft degenerates to a forced fuel trap.
+			p.calls++
+			p.faults++
+			p.lastClass = FailFuel
+			return nil, &CallError{Entry: entry, Trap: &wasm.Trap{Code: wasm.TrapFuelExhausted}}
+		}
+	}
 	if p.policy.Fuel > 0 {
-		p.inst.SetFuel(p.policy.Fuel)
+		p.inst.SetFuel(fuel)
 		if p.policy.CallTimeout > 0 {
 			p.inst.SetDeadline(time.Now().Add(p.policy.CallTimeout))
 		}
@@ -360,7 +422,7 @@ func (p *Plugin) Call(entry string, input []byte) ([]byte, error) {
 	p.totalDur += p.lastDur
 	p.calls++
 	if p.policy.Fuel > 0 {
-		p.lastFuel = p.policy.Fuel - p.inst.Fuel()
+		p.lastFuel = fuel - p.inst.Fuel()
 		p.totalFuel += p.lastFuel
 	}
 
@@ -368,13 +430,20 @@ func (p *Plugin) Call(entry string, input []byte) ([]byte, error) {
 		p.faults++
 		var trap *wasm.Trap
 		if errors.As(err, &trap) {
-			return nil, &CallError{Entry: entry, Trap: trap, Message: p.guestErr}
+			ce := &CallError{Entry: entry, Trap: trap, Message: p.guestErr}
+			p.lastClass = ce.FailureClass()
+			return nil, ce
 		}
+		p.lastClass = FailUnknown
 		return nil, err
 	}
 	if code := int32(uint32(res[0])); code != 0 {
 		p.faults++
+		p.lastClass = FailGuestError
 		return nil, &CallError{Entry: entry, Code: code, Message: p.guestErr}
+	}
+	if act == chaosCorruptOutput {
+		p.output = corruptOutput(p.output)
 	}
 	return p.output, nil
 }
