@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check check-e2 check-obs check-guard lint-metrics bench fuzz
+.PHONY: build test check check-e2 check-obs check-guard check-trace lint-metrics bench fuzz
 
 ## build: compile every package.
 build:
@@ -13,7 +13,7 @@ test: build
 ## check: the deeper tier — vet, the full suite under the race detector,
 ## the association-resilience suite, and a 10 s fuzz smoke of the wasm
 ## decode/compile/execute gauntlet.
-check: build check-e2 check-obs check-guard lint-metrics
+check: build check-e2 check-obs check-guard check-trace lint-metrics
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^FuzzDecode$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/wasm
@@ -39,6 +39,14 @@ check-guard:
 	$(GO) test -race -count=1 ./internal/guard ./internal/wabi ./internal/sched
 	$(GO) test -run '^FuzzClassify$$' -fuzz '^FuzzClassify$$' -fuzztime 10s ./internal/wabi
 
+## check-trace: control-loop tracing gate — race-enabled tests over the
+## span tracer, the trace-aware HTTP surface, and the wasm fuel profiler,
+## plus a 10 s fuzz smoke of the E2 trace-trailer compatibility contract
+## (untraced frames stay byte-identical; traced frames round-trip).
+check-trace:
+	$(GO) test -race -count=1 ./internal/obs/trace ./internal/obs ./internal/wasm ./internal/e2
+	$(GO) test -run '^FuzzMessageHeaderRoundTrip$$' -fuzz '^FuzzMessageHeaderRoundTrip$$' -fuzztime 10s ./internal/e2
+
 ## lint-metrics: telemetry must go through internal/obs — fail on raw
 ## atomic.Uint64 counter fields outside internal/obs and internal/metrics.
 ## Deliberate non-metric uses carry a "metric-exempt:" comment.
@@ -48,6 +56,14 @@ lint-metrics:
 	if [ -n "$$bad" ]; then \
 		echo "lint-metrics: raw atomic.Uint64 counters outside internal/obs|internal/metrics"; \
 		echo "(register an obs.Counter instead, or annotate the line with 'metric-exempt: <why>'):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi; \
+	bad=$$(grep -rn --include='*.go' 'Span[A-Za-z]* = "' internal cmd examples \
+		| grep -v '^internal/obs/trace/spans\.go:' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-metrics: span name constants must live in internal/obs/trace/spans.go"; \
+		echo "(add the hop there and to its SpanNames table so HopStats and the lint see it):"; \
 		echo "$$bad"; \
 		exit 1; \
 	fi; \

@@ -31,11 +31,13 @@ import (
 	"waran/internal/e2"
 	"waran/internal/metrics"
 	"waran/internal/obs"
+	"waran/internal/obs/trace"
 	"waran/internal/plugins"
 	"waran/internal/ran"
 	"waran/internal/ric"
 	"waran/internal/sched"
 	"waran/internal/wabi"
+	"waran/internal/wasm"
 )
 
 func main() {
@@ -50,6 +52,7 @@ func main() {
 	flag.DurationVar(&cfg.liveness, "e2-liveness", 500*time.Millisecond, "declare the RIC dead after this much E2 silence (0 disables)")
 	flag.BoolVar(&cfg.realtime, "realtime", false, "pace slots at wall-clock slot duration")
 	flag.StringVar(&cfg.httpAddr, "http", "", "serve /metrics, /debug/slots and pprof on this address (empty = off)")
+	flag.BoolVar(&cfg.traceOn, "trace", false, "enable control-loop span tracing and the wasm fuel profiler (served at /debug/trace and /debug/wasm/profile)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -71,6 +74,7 @@ type gnbConfig struct {
 	liveness    time.Duration
 	realtime    bool
 	httpAddr    string
+	traceOn     bool
 
 	// onReady (tests) fires once the HTTP listener is serving, with its
 	// resolved address. afterRun (tests) fires after the slot loop and
@@ -81,6 +85,9 @@ type gnbConfig struct {
 
 // traceDepth is how many slot events the live /debug/slots ring keeps.
 const traceDepth = 512
+
+// spanDepth is each plane's span-ring capacity when -trace is on.
+const spanDepth = 8192
 
 func run(cfg gnbConfig) error {
 	if cfg.cells <= 0 {
@@ -98,6 +105,15 @@ func run(cfg gnbConfig) error {
 	// one compiled module, up to one sandbox instance per cell.
 	reg := obs.NewRegistry()
 	ring := obs.NewTraceRing(traceDepth)
+	var tracer *trace.Tracer
+	var profile *wasm.Profile
+	if cfg.traceOn {
+		tracer = trace.NewTracer(spanDepth)
+		profile = wasm.NewProfile()
+		// The profiler must be in the group env before any scheduler pool
+		// is built below.
+		cg.PluginEnv = wabi.Env{Profile: profile}
+	}
 	meters := map[uint32]*metrics.RateMeter{}
 	for i, part := range strings.Split(cfg.sliceSpec, ",") {
 		name, rate, err := parseSlice(part)
@@ -132,6 +148,10 @@ func run(cfg gnbConfig) error {
 			id, name, rate/1e6, cfg.uesPerSlice)
 	}
 	cg.EnableObservability(reg, ring)
+	if tracer != nil {
+		cg.EnableTracing(tracer)
+		fmt.Println("tracing: control-loop spans + wasm fuel profiler enabled")
+	}
 
 	// The E2 side runs under a supervisor: if the RIC is unreachable or
 	// the association dies mid-run, the gNB keeps scheduling on its native
@@ -151,6 +171,7 @@ func run(cfg gnbConfig) error {
 			Cell:            1,
 			LivenessTimeout: cfg.liveness,
 			Metrics:         assoc,
+			Tracer:          tracer,
 		}
 		sess.Start()
 		defer sess.Stop()
@@ -163,10 +184,17 @@ func run(cfg gnbConfig) error {
 		if err != nil {
 			return err
 		}
-		srv := &http.Server{Handler: obs.NewMux(reg, ring)}
+		var opts []obs.MuxOption
+		if tracer != nil {
+			opts = append(opts, obs.WithTracer(tracer), obs.WithWasmProfile(profile))
+		}
+		srv := &http.Server{Handler: obs.NewMux(reg, ring, opts...)}
 		go srv.Serve(lis)
 		defer srv.Close()
 		fmt.Printf("observability: http://%s/metrics /debug/slots /debug/pprof\n", lis.Addr())
+		if tracer != nil {
+			fmt.Printf("tracing: http://%s/debug/trace /debug/wasm/profile\n", lis.Addr())
+		}
 		if cfg.onReady != nil {
 			cfg.onReady(lis.Addr().String())
 		}

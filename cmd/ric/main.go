@@ -18,9 +18,11 @@ import (
 
 	"waran/internal/e2"
 	"waran/internal/obs"
+	"waran/internal/obs/trace"
 	"waran/internal/plugins"
 	"waran/internal/ric"
 	"waran/internal/wabi"
+	"waran/internal/wasm"
 )
 
 func main() {
@@ -33,9 +35,10 @@ func main() {
 	once := flag.Bool("once", false, "exit after the first association ends")
 	nonRT := flag.Bool("nonrt", false, "run the non-RT RIC (SLA-tuner rApp) over the KPM history")
 	httpAddr := flag.String("http", "", "serve /metrics and pprof on this address (empty = off)")
+	traceOn := flag.Bool("trace", false, "enable control-loop span tracing and the xApp fuel profiler (served at /debug/trace and /debug/wasm/profile)")
 	flag.Parse()
 
-	if err := run(*listen, *xapps, *codecName, *shim, uint32(*period), *hb, *once, *nonRT, *httpAddr); err != nil {
+	if err := run(*listen, *xapps, *codecName, *shim, uint32(*period), *hb, *once, *nonRT, *httpAddr, *traceOn); err != nil {
 		fmt.Fprintln(os.Stderr, "ric:", err)
 		os.Exit(1)
 	}
@@ -48,12 +51,22 @@ var xappSources = map[string]string{
 	"pong":  plugins.PongXAppWAT,
 }
 
-func run(listen, xapps, codecName string, shim bool, period uint32, hb time.Duration, once, nonRT bool, httpAddr string) error {
+func run(listen, xapps, codecName string, shim bool, period uint32, hb time.Duration, once, nonRT bool, httpAddr string, traceOn bool) error {
 	r := ric.New()
 	r.ReportPeriodMs = period
 	r.HeartbeatInterval = hb
 	assoc := &ric.AssocMetrics{}
 	r.Assoc = assoc
+	var tracer *trace.Tracer
+	var profile *wasm.Profile
+	if traceOn {
+		tracer = trace.NewTracer(8192)
+		profile = wasm.NewProfile()
+		// Set before the xApps install so their envs pick the profiler up.
+		r.Tracer = tracer
+		r.Profile = profile
+		fmt.Println("tracing: control-loop spans + xApp fuel profiler enabled")
+	}
 	r.OnFault = func(xapp string, err error) {
 		fmt.Printf("xApp %s fault (contained): %v\n", xapp, err)
 	}
@@ -102,10 +115,17 @@ func run(listen, xapps, codecName string, shim bool, period uint32, hb time.Dura
 		if err != nil {
 			return err
 		}
-		srv := &http.Server{Handler: obs.NewMux(reg, nil)}
+		var opts []obs.MuxOption
+		if tracer != nil {
+			opts = append(opts, obs.WithTracer(tracer), obs.WithWasmProfile(profile))
+		}
+		srv := &http.Server{Handler: obs.NewMux(reg, nil, opts...)}
 		go srv.Serve(hlis)
 		defer srv.Close()
 		fmt.Printf("observability: http://%s/metrics /debug/pprof\n", hlis.Addr())
+		if tracer != nil {
+			fmt.Printf("tracing: http://%s/debug/trace /debug/wasm/profile\n", hlis.Addr())
+		}
 	}
 
 	// onAssociation wires the per-association extras (the non-RT RIC's

@@ -11,6 +11,7 @@
 //	waranbench -fig 5a|5b|5c|5d|safety|upload|all [-duration 10s]
 //	waranbench -fig multicell [-cells 8] [-slots 2000] [-par 0]   (JSON output)
 //	waranbench -fig e2faults [-e2f-slots 2000] [-e2f-drop 0.05] [-e2f-reset 25] [-e2f-seed 1]   (JSON output)
+//	waranbench -fig tracelat [-tl-cells 4] [-tl-slots 1200] [-tl-seed 1]   (JSON output)
 package main
 
 import (
@@ -38,6 +39,10 @@ var (
 	e2fReset = flag.Int("e2f-reset", 25, "e2faults: forced reset after N writes on the lossy connection")
 	e2fSeed  = flag.Int64("e2f-seed", 1, "e2faults: fault schedule seed")
 	e2fHB    = flag.Duration("e2f-hb", 5*time.Millisecond, "e2faults: RIC heartbeat interval")
+
+	tlCells = flag.Int("tl-cells", 4, "tracelat: number of gNB cells")
+	tlSlots = flag.Int("tl-slots", 1200, "tracelat: MAC slots to run")
+	tlSeed  = flag.Int64("tl-seed", 1, "tracelat: jitter schedule seed")
 )
 
 func main() {
@@ -84,6 +89,10 @@ func configFor(name string, duration time.Duration) core.ExpConfig {
 		cfg.ResetAfterWrites = *e2fReset
 		cfg.Seed = *e2fSeed
 		cfg.Heartbeat = *e2fHB
+	case "tracelat":
+		cfg.Cells = *tlCells
+		cfg.Slots = *tlSlots
+		cfg.Seed = *tlSeed
 	}
 	return cfg
 }

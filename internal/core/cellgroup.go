@@ -9,6 +9,7 @@ import (
 	"waran/internal/guard"
 	"waran/internal/metrics"
 	"waran/internal/obs"
+	"waran/internal/obs/trace"
 	"waran/internal/plugins"
 	"waran/internal/ran"
 	"waran/internal/sched"
@@ -68,6 +69,12 @@ type CellGroup struct {
 	// shared across all cells having the slice). Populated by
 	// InstallSupervisedScheduler; nil when supervision is unused.
 	sups map[uint32]*guard.Supervisor
+
+	// PluginEnv is merged into the environment of every pool the group
+	// builds (InstallPooledScheduler / UploadSchedulerAll): the injection
+	// point for the wasm profiler and other host extensions. Set before
+	// installing schedulers.
+	PluginEnv wabi.Env
 }
 
 // NewCellGroup creates cfg.Cells identical cells (defaults applied). The
@@ -215,6 +222,19 @@ func (cg *CellGroup) EnableObservability(reg *obs.Registry, ring *obs.TraceRing)
 	cg.registerSupervisors(reg)
 }
 
+// EnableTracing attaches the causal tracing layer to every cell (labeled by
+// cell index) and to every registered supervisor, so traced RIC controls
+// record gnb.apply, swap.canary and slot.effect spans. A nil tracer turns
+// tracing back off.
+func (cg *CellGroup) EnableTracing(tr *trace.Tracer) {
+	for i, g := range cg.cells {
+		g.EnableTracing(tr, uint32(i))
+	}
+	for _, sup := range cg.sups {
+		sup.SetTracer(tr)
+	}
+}
+
 // WatchdogStats snapshots every cell's deadline accounting.
 func (cg *CellGroup) WatchdogStats() []metrics.DeadlineStats {
 	out := make([]metrics.DeadlineStats, len(cg.watch))
@@ -267,7 +287,11 @@ func (cg *CellGroup) installPool(sliceID uint32, name string, mod *wabi.Module, 
 	if policy.Fuel == 0 {
 		policy.Fuel = 10_000_000
 	}
-	pool := wabi.NewPool(mod, policy, wabi.Env{}, poolMax)
+	env := cg.PluginEnv
+	if env.ProfileTag == "" && env.Profile != nil {
+		env.ProfileTag = name
+	}
+	pool := wabi.NewPool(mod, policy, env, poolMax)
 	ps, err := sched.NewPoolScheduler(name, pool, nil)
 	if err != nil {
 		return nil, err

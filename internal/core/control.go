@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"waran/internal/e2"
 	"waran/internal/guard"
+	"waran/internal/obs/trace"
 	"waran/internal/sched"
 	"waran/internal/wabi"
 )
@@ -44,6 +46,42 @@ func (g *GNB) Snapshot(cell uint32) *e2.Indication {
 func (g *GNB) Apply(c *e2.ControlRequest) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	return g.applyLocked(c, trace.Context{})
+}
+
+// ApplyTraced is Apply carrying the control's causal trace context (it
+// implements ric.TracedRANControl). With tracing enabled it records a
+// gnb.apply span parented to ctx, parents any supervised swap.canary span
+// under it, and arms the slot.effect span that Step closes at the end of the
+// first slot the decision affects.
+func (g *GNB) ApplyTraced(c *e2.ControlRequest, ctx trace.Context) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.tracer == nil || !ctx.Valid() {
+		return g.applyLocked(c, trace.Context{})
+	}
+	// The apply span's ID is allocated up front so child spans recorded
+	// inside the apply (swap.canary) parent to it.
+	child := trace.Context{TraceID: ctx.TraceID, SpanID: trace.NewSpanID()}
+	start := time.Now()
+	err := g.applyLocked(c, child)
+	sp := &trace.Span{
+		TraceID: ctx.TraceID, SpanID: child.SpanID, Parent: ctx.SpanID,
+		Name: trace.SpanGNBApply, Plane: trace.PlaneGNB,
+		Slot: g.slot, Cell: g.traceCell,
+		StartNs: start.UnixNano(), DurNs: int64(time.Since(start)),
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	g.tracer.Record(sp)
+	if err == nil {
+		g.effect = &effectArm{ctx: child, startNs: sp.StartNs}
+	}
+	return err
+}
+
+func (g *GNB) applyLocked(c *e2.ControlRequest, ctx trace.Context) error {
 	switch c.Action {
 	case e2.ActionSetSliceTarget:
 		s, ok := g.Slices.Slice(c.SliceID)
@@ -70,7 +108,7 @@ func (g *GNB) Apply(c *e2.ControlRequest) error {
 		if err != nil {
 			return fmt.Errorf("core: control: %w", err)
 		}
-		return g.installScheduler(c.SliceID, plugin)
+		return g.installScheduler(c.SliceID, plugin, ctx)
 	case e2.ActionUploadScheduler:
 		// The paper's Fig. 1 path: compiled Wasm bytecode is pushed into
 		// the RAN over the wire and becomes the slice's scheduler, after
@@ -103,7 +141,7 @@ func (g *GNB) Apply(c *e2.ControlRequest) error {
 		if err != nil {
 			return fmt.Errorf("core: control: uploaded plugin: %w", err)
 		}
-		return g.installScheduler(c.SliceID, ps)
+		return g.installScheduler(c.SliceID, ps, ctx)
 	case e2.ActionHandover:
 		// In a multi-cell deployment the UE context would transfer to
 		// c.Text's cell; in the single-cell model the UE leaves this gNB.
@@ -118,10 +156,10 @@ func (g *GNB) Apply(c *e2.ControlRequest) error {
 // supervisor's shadow validation and, on pass, replaces whatever the
 // supervisor currently runs — including a quarantined incumbent, which stays
 // out of the rollback chain. Unsupervised slices keep the direct swap.
-func (g *GNB) installScheduler(sliceID uint32, candidate sched.IntraSlice) error {
+func (g *GNB) installScheduler(sliceID uint32, candidate sched.IntraSlice, ctx trace.Context) error {
 	if s, ok := g.Slices.Slice(sliceID); ok {
 		if sup, ok := s.Scheduler().(*guard.Supervisor); ok {
-			if _, err := sup.Swap(candidate); err != nil {
+			if _, err := sup.SwapTraced(candidate, ctx); err != nil {
 				return fmt.Errorf("core: control: %w", err)
 			}
 			return nil

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"waran/internal/obs"
+	"waran/internal/obs/trace"
 	"waran/internal/plugins"
 	"waran/internal/ran"
 	"waran/internal/sched"
@@ -38,6 +39,22 @@ type GNB struct {
 	slot      uint64
 	sliceRate map[uint32]float64 // served-rate EWMA per slice, for E2 KPM
 	obsv      *gnbObs            // set by EnableObservability, nil otherwise
+
+	// Causal tracing (EnableTracing). effect is the armed slot.effect span:
+	// set when a traced control is applied, closed at the end of the next
+	// slot — the first one the reconfigured scheduler serves. Both Apply and
+	// Step hold mu, so no extra synchronization is needed, and the disabled
+	// path costs Step a single nil check.
+	tracer    *trace.Tracer
+	traceCell uint32
+	effect    *effectArm
+}
+
+// effectArm is a pending slot.effect span: the decision it closes and when
+// that decision was applied.
+type effectArm struct {
+	ctx     trace.Context
+	startNs int64
 }
 
 // sliceRateAlpha is the EWMA weight for per-slice served rate reporting.
@@ -295,8 +312,32 @@ func (g *GNB) Step() SlotResult {
 	if o != nil {
 		o.finishSlot(ev, g.slot, time.Since(slotStart))
 	}
+	if g.effect != nil {
+		// First slot served after a traced control decision: close the loop.
+		now := time.Now().UnixNano()
+		g.tracer.Record(&trace.Span{
+			TraceID: g.effect.ctx.TraceID, SpanID: trace.NewSpanID(), Parent: g.effect.ctx.SpanID,
+			Name: trace.SpanSlotEffect, Plane: trace.PlaneGNB,
+			Slot: g.slot, Cell: g.traceCell,
+			StartNs: g.effect.startNs, DurNs: now - g.effect.startNs,
+		})
+		g.effect = nil
+	}
 	g.slot++
 	return res
+}
+
+// EnableTracing attaches the causal tracing layer: traced control requests
+// (ApplyTraced) record gnb.apply, swap.canary and slot.effect spans on the
+// gNB plane, labeled with this cell. A nil tracer disables tracing.
+func (g *GNB) EnableTracing(tr *trace.Tracer, cell uint32) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tracer = tr
+	g.traceCell = cell
+	if tr == nil {
+		g.effect = nil
+	}
 }
 
 // RunSlots advances n slots, invoking observe (if non-nil) per slot.

@@ -78,13 +78,22 @@ func (cg *CellGroup) UploadSupervisedAll(sliceID uint32, name string, bin []byte
 }
 
 // buildPool applies the group's default sandbox policy and wraps mod in a
-// pool-backed scheduler.
+// pool-backed scheduler. The group's PluginEnv profiler is inherited unless
+// the caller's env brings its own, so supervised and candidate pools are
+// profiled alongside the plain pooled ones.
 func (cg *CellGroup) buildPool(name string, mod *wabi.Module, policy wabi.Policy, env wabi.Env, poolMax int) (*sched.PoolScheduler, error) {
 	if policy.MaxMemoryPages == 0 {
 		policy.MaxMemoryPages = 256
 	}
 	if policy.Fuel == 0 {
 		policy.Fuel = 10_000_000
+	}
+	if env.Profile == nil && cg.PluginEnv.Profile != nil {
+		env.Profile = cg.PluginEnv.Profile
+		env.ProfileTag = cg.PluginEnv.ProfileTag
+	}
+	if env.Profile != nil && env.ProfileTag == "" {
+		env.ProfileTag = name
 	}
 	pool := wabi.NewPool(mod, policy, env, poolMax)
 	return sched.NewPoolScheduler(name, pool, nil)

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"waran/internal/e2"
+	"waran/internal/obs/trace"
+	"waran/internal/ran"
+	"waran/internal/sched"
+)
+
+func tracedTestGNB(t *testing.T) (*GNB, *trace.Tracer) {
+	t.Helper()
+	gnb := newTestGNB(t)
+	ue := ran.NewUE(1, 1, 20)
+	ue.Traffic = ran.NewCBR(5e6)
+	if err := gnb.AttachUE(ue); err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.NewTracer(64)
+	gnb.EnableTracing(tr, 3)
+	return gnb, tr
+}
+
+func TestApplyTracedRecordsApplyAndSlotEffect(t *testing.T) {
+	gnb, tr := tracedTestGNB(t)
+	ctx := trace.NewContext()
+	ctrl := &e2.ControlRequest{Action: e2.ActionSetSliceTarget, SliceID: 1, Value: 7e6}
+	if err := gnb.ApplyTraced(ctrl, ctx); err != nil {
+		t.Fatal(err)
+	}
+	gnb.Step() // closes the armed slot.effect span
+
+	byName := map[string]*trace.Span{}
+	for _, sp := range tr.Snapshot() {
+		byName[sp.Name] = sp
+	}
+	apply, ok := byName[trace.SpanGNBApply]
+	if !ok {
+		t.Fatal("no gnb.apply span recorded")
+	}
+	if apply.TraceID != ctx.TraceID || apply.Parent != ctx.SpanID || apply.Cell != 3 {
+		t.Fatalf("apply span miswired: %+v (ctx %+v)", apply, ctx)
+	}
+	effect, ok := byName[trace.SpanSlotEffect]
+	if !ok {
+		t.Fatal("no slot.effect span recorded")
+	}
+	if effect.TraceID != ctx.TraceID || effect.Parent != apply.SpanID {
+		t.Fatalf("slot.effect not parented to gnb.apply: %+v", effect)
+	}
+	if effect.DurNs <= 0 {
+		t.Fatalf("slot.effect duration %d", effect.DurNs)
+	}
+
+	// A second step must not re-record the effect (one decision, one span).
+	gnb.Step()
+	n := 0
+	for _, sp := range tr.Snapshot() {
+		if sp.Name == trace.SpanSlotEffect {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("slot.effect recorded %d times, want 1", n)
+	}
+}
+
+func TestApplyTracedFailureSkipsSlotEffect(t *testing.T) {
+	gnb, tr := tracedTestGNB(t)
+	ctrl := &e2.ControlRequest{Action: e2.ActionSetSliceTarget, SliceID: 99, Value: 1}
+	if err := gnb.ApplyTraced(ctrl, trace.NewContext()); err == nil {
+		t.Fatal("unknown slice accepted")
+	}
+	gnb.Step()
+	for _, sp := range tr.Snapshot() {
+		if sp.Name == trace.SpanSlotEffect {
+			t.Fatal("failed apply armed a slot.effect span")
+		}
+		if sp.Name == trace.SpanGNBApply && sp.Err == "" {
+			t.Fatal("failed apply span has no error")
+		}
+	}
+}
+
+func TestApplyTracedWithoutTracerFallsBack(t *testing.T) {
+	gnb := newTestGNB(t)
+	ctrl := &e2.ControlRequest{Action: e2.ActionSetSliceTarget, SliceID: 1, Value: 7e6}
+	if err := gnb.ApplyTraced(ctrl, trace.NewContext()); err != nil {
+		t.Fatal(err)
+	}
+	// Disabling after enabling must also clear any armed span.
+	gnb.EnableTracing(trace.NewTracer(8), 0)
+	if err := gnb.ApplyTraced(ctrl, trace.NewContext()); err != nil {
+		t.Fatal(err)
+	}
+	gnb.EnableTracing(nil, 0)
+	gnb.Step()
+}
+
+// BenchmarkGNBStepTracing quantifies the slot hot path with the tracing
+// layer off versus armed: the off path's cost is one nil check in Step and
+// must not add allocations over a gNB that never saw a tracer.
+func BenchmarkGNBStepTracing(b *testing.B) {
+	build := func(b *testing.B, tr *trace.Tracer) *GNB {
+		b.Helper()
+		gnb, err := NewGNB(ran.CellConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := gnb.Slices.AddSlice(1, "s1", 10e6, sched.RoundRobin{}, nil); err != nil {
+			b.Fatal(err)
+		}
+		ue := ran.NewUE(1, 1, 20)
+		ue.Traffic = ran.NewCBR(5e6)
+		if err := gnb.AttachUE(ue); err != nil {
+			b.Fatal(err)
+		}
+		if tr != nil {
+			gnb.EnableTracing(tr, 0)
+		}
+		return gnb
+	}
+	b.Run("off", func(b *testing.B) {
+		gnb := build(b, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			gnb.Step()
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		gnb := build(b, trace.NewTracer(1024))
+		ctx := trace.NewContext()
+		ctrl := &e2.ControlRequest{Action: e2.ActionSetSliceTarget, SliceID: 1, Value: 7e6}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := gnb.ApplyTraced(ctrl, ctx); err != nil {
+				b.Fatal(err)
+			}
+			gnb.Step()
+		}
+	})
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+
+	"waran/internal/obs/trace"
 )
 
 // Codec serializes E2-lite messages to wire payloads. The choice of codec
@@ -136,6 +138,7 @@ func (BinaryCodec) Encode(m *Message) ([]byte, error) {
 		w.str(m.Error.Reason)
 	case TypeHeartbeat:
 	}
+	w.b = appendTraceTrailer(w.b, m.Trace)
 	return w.b, nil
 }
 
@@ -211,7 +214,15 @@ func (BinaryCodec) Decode(b []byte) (*Message, error) {
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}
-	if r.left() != 0 {
+	switch r.left() {
+	case 0: // untraced peer — the pre-trace wire format
+	case traceTrailerLen:
+		tc, ok := parseTraceTrailer(r.b[r.pos:])
+		if !ok {
+			return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, r.left())
+		}
+		m.Trace = tc
+	default:
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, r.left())
 	}
 	return m, nil
@@ -237,12 +248,15 @@ type jsonMessage struct {
 	Type        uint8                 `json:"type"`
 	RequestID   uint32                `json:"request_id"`
 	RANFunction uint32                `json:"ran_function"`
-	Sub         *SubscriptionRequest  `json:"subscription,omitempty"`
-	SubResp     *SubscriptionResponse `json:"subscription_response,omitempty"`
-	Ind         *Indication           `json:"indication,omitempty"`
-	Ctrl        *ControlRequest       `json:"control,omitempty"`
-	Ack         *ControlAck           `json:"control_ack,omitempty"`
-	Err         *ErrorBody            `json:"error,omitempty"`
+	// Trace is the JSON form of the trace context; old decoders built on
+	// encoding/json skip the unknown field by construction.
+	Trace   *trace.Context        `json:"trace,omitempty"`
+	Sub     *SubscriptionRequest  `json:"subscription,omitempty"`
+	SubResp *SubscriptionResponse `json:"subscription_response,omitempty"`
+	Ind     *Indication           `json:"indication,omitempty"`
+	Ctrl    *ControlRequest       `json:"control,omitempty"`
+	Ack     *ControlAck           `json:"control_ack,omitempty"`
+	Err     *ErrorBody            `json:"error,omitempty"`
 }
 
 // Encode implements Codec.
@@ -250,11 +264,16 @@ func (JSONCodec) Encode(m *Message) ([]byte, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	return json.Marshal(jsonMessage{
+	jm := jsonMessage{
 		Type: uint8(m.Type), RequestID: m.RequestID, RANFunction: m.RANFunction,
 		Sub: m.Subscription, SubResp: m.SubscriptionResp, Ind: m.Indication,
 		Ctrl: m.Control, Ack: m.ControlAck, Err: m.Error,
-	})
+	}
+	if m.Trace.Valid() {
+		tc := m.Trace
+		jm.Trace = &tc
+	}
+	return json.Marshal(jm)
 }
 
 // Decode implements Codec.
@@ -267,6 +286,9 @@ func (JSONCodec) Decode(b []byte) (*Message, error) {
 		Type: MessageType(jm.Type), RequestID: jm.RequestID, RANFunction: jm.RANFunction,
 		Subscription: jm.Sub, SubscriptionResp: jm.SubResp, Indication: jm.Ind,
 		Control: jm.Ctrl, ControlAck: jm.Ack, Error: jm.Err,
+	}
+	if jm.Trace != nil {
+		m.Trace = *jm.Trace
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -383,6 +405,7 @@ func (VarintCodec) Encode(m *Message) ([]byte, error) {
 		w.str(m.Error.Reason)
 	case TypeHeartbeat:
 	}
+	w.b = appendTraceTrailer(w.b, m.Trace)
 	return w.b, nil
 }
 
@@ -544,7 +567,15 @@ func (VarintCodec) Decode(b []byte) (*Message, error) {
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}
-	if r.pos != len(r.b) {
+	switch len(r.b) - r.pos {
+	case 0: // untraced peer — the pre-trace wire format
+	case traceTrailerLen:
+		tc, ok := parseTraceTrailer(r.b[r.pos:])
+		if !ok {
+			return nil, fmt.Errorf("%w: trailing bytes", ErrMalformed)
+		}
+		m.Trace = tc
+	default:
 		return nil, fmt.Errorf("%w: trailing bytes", ErrMalformed)
 	}
 	return m, nil

@@ -14,6 +14,8 @@ package e2
 import (
 	"errors"
 	"fmt"
+
+	"waran/internal/obs/trace"
 )
 
 // MessageType discriminates E2-lite messages.
@@ -74,6 +76,10 @@ type Message struct {
 	Type        MessageType
 	RequestID   uint32
 	RANFunction uint32
+
+	// Trace carries the causal tracing context (see tracehdr.go for the
+	// wire format). The zero value means untraced and encodes to nothing.
+	Trace trace.Context
 
 	Subscription     *SubscriptionRequest
 	SubscriptionResp *SubscriptionResponse

@@ -1,0 +1,73 @@
+package e2
+
+import (
+	"encoding/binary"
+
+	"waran/internal/obs/trace"
+)
+
+// Trace-context propagation on the E2 wire.
+//
+// A traced message carries a 17-byte trailer after its body:
+//
+//	+--------+-------------------+-------------------+
+//	| 0x54   | TraceID (u64 LE)  | SpanID (u64 LE)   |
+//	+--------+-------------------+-------------------+
+//
+// The trailer rides after the body (never inside it) for both the binary and
+// varint codecs, so the byte stream of an untraced message is bit-identical
+// to what pre-trace encoders produced. Decoders in this version consume the
+// body exactly as before and then accept either zero remaining bytes
+// (untraced peer) or exactly one trailer; anything else is still
+// ErrMalformed. The JSON codec instead adds a "trace" object field, which
+// old encoding/json-based decoders skip by construction.
+//
+// Old binary/varint decoders reject trailing bytes outright, so a new
+// endpoint must never send the trailer to an old peer. That is negotiated in
+// package ric: the RIC advertises trace support by setting
+// TraceCapabilityBit in its SubscriptionRequest's RANFunction (a field old
+// agents echo without interpreting), and a trace-capable agent answers with
+// TraceCapabilityToken in the SubscriptionResponse Reason (a field old RICs
+// ignore on acceptance). Each side stamps the trailer only after seeing the
+// other's advertisement, so a mixed-version association simply runs
+// untraced.
+const (
+	// traceMarker is the first trailer byte, 'T'.
+	traceMarker byte = 0x54
+	// traceTrailerLen is the full trailer size: marker + TraceID + SpanID.
+	traceTrailerLen = 1 + 8 + 8
+)
+
+// TraceCapabilityBit is OR-ed into SubscriptionRequest.RANFunction by a
+// trace-capable RIC. Old agents echo the field untouched; new agents mask it
+// out before interpreting the RAN function.
+const TraceCapabilityBit uint32 = 1 << 31
+
+// TraceCapabilityToken is placed in SubscriptionResponse.Reason by a
+// trace-capable agent answering a trace-capable RIC. Old RICs only read
+// Reason on rejection, so the token is invisible to them.
+const TraceCapabilityToken = "trace-v1"
+
+// appendTraceTrailer appends the wire trailer for c; a zero context appends
+// nothing, keeping untraced output byte-identical to pre-trace encoders.
+func appendTraceTrailer(b []byte, c trace.Context) []byte {
+	if !c.Valid() {
+		return b
+	}
+	b = append(b, traceMarker)
+	b = binary.LittleEndian.AppendUint64(b, c.TraceID)
+	b = binary.LittleEndian.AppendUint64(b, c.SpanID)
+	return b
+}
+
+// parseTraceTrailer decodes a trailer from exactly traceTrailerLen bytes.
+func parseTraceTrailer(b []byte) (trace.Context, bool) {
+	if len(b) != traceTrailerLen || b[0] != traceMarker {
+		return trace.Context{}, false
+	}
+	c := trace.Context{
+		TraceID: binary.LittleEndian.Uint64(b[1:]),
+		SpanID:  binary.LittleEndian.Uint64(b[9:]),
+	}
+	return c, c.Valid()
+}

@@ -43,6 +43,12 @@ type Conn struct {
 	bytesSent      obs.Counter
 	bytesReceived  obs.Counter
 	lastRecv       atomic.Int64 // unix nanos of the last complete frame
+
+	// Codec timing for the tracing layer: how long the last Send spent in
+	// Encode and the last Recv in Decode, so transport spans can separate
+	// wire time from codec time.
+	lastEncNs atomic.Int64
+	lastDecNs atomic.Int64
 }
 
 // NewConn wraps an established net.Conn.
@@ -65,7 +71,9 @@ func Dial(addr string, codec Codec) (*Conn, error) {
 
 // Send encodes and writes one message.
 func (c *Conn) Send(m *Message) error {
+	encStart := time.Now()
 	payload, err := c.codec.Encode(m)
+	c.lastEncNs.Store(int64(time.Since(encStart)))
 	if err != nil {
 		return err
 	}
@@ -101,7 +109,9 @@ func (c *Conn) Recv() (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
+	decStart := time.Now()
 	m, err := c.codec.Decode(payload)
+	c.lastDecNs.Store(int64(time.Since(decStart)))
 	if err != nil {
 		return nil, err
 	}
@@ -151,6 +161,12 @@ func readPayload(r io.Reader, n int) ([]byte, error) {
 func (c *Conn) LastRecv() time.Time {
 	return time.Unix(0, c.lastRecv.Load())
 }
+
+// LastEncodeDur reports how long the most recent Send spent encoding.
+func (c *Conn) LastEncodeDur() time.Duration { return time.Duration(c.lastEncNs.Load()) }
+
+// LastDecodeDur reports how long the most recent Recv spent decoding.
+func (c *Conn) LastDecodeDur() time.Duration { return time.Duration(c.lastDecNs.Load()) }
 
 // SetDeadline applies to both reads and writes.
 func (c *Conn) SetDeadline(t time.Time) error { return c.c.SetDeadline(t) }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"waran/internal/obs"
+	"waran/internal/obs/trace"
 	"waran/internal/sched"
 	"waran/internal/wabi"
 )
@@ -65,6 +66,7 @@ type Supervisor struct {
 	fallback sched.IntraSlice
 	cfg      Config
 	br       *Breaker
+	tracer   *trace.Tracer // nil = canary swaps are untraced
 
 	mu        sync.Mutex
 	active    sched.IntraSlice
@@ -104,6 +106,14 @@ func (s *Supervisor) Name() string { return "guard:" + s.name }
 
 // Breaker exposes the circuit breaker for inspection.
 func (s *Supervisor) Breaker() *Breaker { return s.br }
+
+// SetTracer attaches the causal tracing layer: subsequent SwapTraced calls
+// record a swap.canary span on the gNB plane. Safe to leave nil.
+func (s *Supervisor) SetTracer(t *trace.Tracer) {
+	s.mu.Lock()
+	s.tracer = t
+	s.mu.Unlock()
+}
 
 // Active returns the currently promoted scheduler.
 func (s *Supervisor) Active() sched.IntraSlice {
@@ -198,6 +208,35 @@ type ShadowReport struct {
 // quarantined incumbent, which must never become a rollback target. On
 // shadow failure the incumbent stays active and an error is returned.
 func (s *Supervisor) Swap(candidate sched.IntraSlice) (*ShadowReport, error) {
+	return s.SwapTraced(candidate, trace.Context{})
+}
+
+// SwapTraced is Swap carrying a causal trace context: when a tracer is
+// attached and ctx belongs to a live trace (a swap ordered by a traced RIC
+// control), the whole shadow-replay-and-promote step is recorded as one
+// swap.canary span, with rejections captured in the span error.
+func (s *Supervisor) SwapTraced(candidate sched.IntraSlice, ctx trace.Context) (rep *ShadowReport, err error) {
+	s.mu.Lock()
+	tr := s.tracer
+	s.mu.Unlock()
+	if tr.Enabled() && ctx.Valid() {
+		start := time.Now()
+		defer func() {
+			sp := &trace.Span{
+				TraceID: ctx.TraceID, SpanID: trace.NewSpanID(), Parent: ctx.SpanID,
+				Name: trace.SpanSwapCanary, Plane: trace.PlaneGNB,
+				StartNs: start.UnixNano(), DurNs: int64(time.Since(start)),
+			}
+			if err != nil {
+				sp.Err = err.Error()
+			}
+			tr.Record(sp)
+		}()
+	}
+	return s.swap(candidate)
+}
+
+func (s *Supervisor) swap(candidate sched.IntraSlice) (*ShadowReport, error) {
 	s.mu.Lock()
 	inputs := make([]*sched.Request, 0, s.recCount)
 	// Oldest-first walk of the ring.

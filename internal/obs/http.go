@@ -5,24 +5,69 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+
+	"waran/internal/obs/trace"
 )
+
+// MaxSlotsQuery is the hard upper bound on the ?n= parameter of
+// /debug/slots: scrapes cannot ask for more events than this regardless of
+// ring size, so a fat-fingered query cannot turn into a giant allocation.
+const MaxSlotsQuery = 4096
+
+// MuxOption extends the exposition mux with optional debug surfaces.
+type MuxOption func(*http.ServeMux)
+
+// WithTracer mounts the causal span tree at /debug/trace (Chrome
+// trace-viewer JSON; see trace.Handler for the query parameters). A nil
+// tracer serves empty traces rather than 404s, so dashboards can probe
+// unconditionally.
+func WithTracer(t *trace.Tracer) MuxOption {
+	return func(mux *http.ServeMux) {
+		mux.Handle("/debug/trace", trace.Handler(t))
+	}
+}
+
+// WasmProfileSource is the slice of the wasm profiler the mux needs —
+// satisfied by *wasm.Profile — kept as an interface so obs stays free of a
+// wasm dependency.
+type WasmProfileSource interface {
+	// ProfileJSON returns the JSON-marshalable profile snapshot.
+	ProfileJSON() any
+	// Folded returns flamegraph.pl-compatible folded stacks.
+	Folded() string
+}
+
+// WithWasmProfile mounts the per-function wasm fuel profile at
+// /debug/wasm/profile: JSON by default, folded stacks (feed straight into
+// flamegraph.pl) with ?format=folded.
+func WithWasmProfile(src WasmProfileSource) MuxOption {
+	return func(mux *http.ServeMux) {
+		mux.Handle("/debug/wasm/profile", WasmProfileHandler(src))
+	}
+}
 
 // NewMux builds the exposition mux served by cmd/gnb and cmd/ric:
 //
-//	/metrics      Prometheus text exposition of reg
-//	/debug/slots  last N slot traces as JSON (?n=, default 64)
-//	/debug/pprof  stdlib profiling endpoints
+//	/metrics             Prometheus text exposition of reg
+//	/debug/metrics.json  the same registry as structured JSON
+//	/debug/slots         last N slot traces as JSON (?n=, ?cell=)
+//	/debug/pprof         stdlib profiling endpoints
 //
+// plus whatever the options mount (/debug/trace, /debug/wasm/profile).
 // ring may be nil, in which case /debug/slots serves an empty list.
-func NewMux(reg *Registry, ring *TraceRing) *http.ServeMux {
+func NewMux(reg *Registry, ring *TraceRing, opts ...MuxOption) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.Handle("/debug/metrics.json", MetricsJSONHandler(reg))
 	mux.Handle("/debug/slots", SlotsHandler(ring))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, opt := range opts {
+		opt(mux)
+	}
 	return mux
 }
 
@@ -34,6 +79,41 @@ func MetricsHandler(reg *Registry) http.Handler {
 	})
 }
 
+// MetricsJSONHandler serves reg.Snapshot() as indented JSON — the same
+// series the Prometheus endpoint exposes, but structured (histograms keep
+// their buckets, JSON-capable instruments their native shape) for tooling
+// that would otherwise re-parse the text format.
+func MetricsJSONHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+}
+
+// WasmProfileHandler serves a wasm fuel profile: JSON by default, folded
+// stacks as text with ?format=folded. A nil src serves an empty profile.
+func WasmProfileHandler(src WasmProfileSource) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "folded" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if src != nil {
+				_, _ = w.Write([]byte(src.Folded()))
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if src == nil {
+			_ = enc.Encode(struct{}{})
+			return
+		}
+		_ = enc.Encode(src.ProfileJSON())
+	})
+}
+
 // slotsResponse is the /debug/slots payload.
 type slotsResponse struct {
 	Count int         `json:"count"`
@@ -41,7 +121,8 @@ type slotsResponse struct {
 }
 
 // SlotsHandler serves the last N events of ring as JSON. N comes from the
-// ?n= query parameter (default 64, capped by ring size).
+// ?n= query parameter (default 64, hard-capped at MaxSlotsQuery); ?cell=
+// restricts the result to one cell's events (the N most recent matches).
 func SlotsHandler(ring *TraceRing) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		n := 64
@@ -51,11 +132,38 @@ func SlotsHandler(ring *TraceRing) http.Handler {
 				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
 				return
 			}
+			if v > MaxSlotsQuery {
+				v = MaxSlotsQuery
+			}
 			n = v
+		}
+		cell := -1
+		if q := req.URL.Query().Get("cell"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "cell must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			cell = v
 		}
 		var events []SlotEvent
 		if ring != nil {
-			events = ring.Last(n)
+			if cell < 0 {
+				events = ring.Last(n)
+			} else {
+				// Filter over the whole ring, then keep the n most recent
+				// matches: a busy 64-cell group must not starve one cell's
+				// view just because other cells dominate the tail.
+				all := ring.Last(0)
+				for _, ev := range all {
+					if ev.Cell == cell {
+						events = append(events, ev)
+					}
+				}
+				if len(events) > n {
+					events = events[len(events)-n:]
+				}
+			}
 		}
 		if events == nil {
 			events = []SlotEvent{}

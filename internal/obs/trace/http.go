@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// chromeEvent is one complete ("ph":"X") event in the Chrome trace-viewer
+// JSON Array/Object format understood by chrome://tracing and Perfetto.
+// Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TsUs float64        `json:"ts"`
+	DurU float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace-viewer object.
+type chromeTrace struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	Metadata    map[string]any `json:"metadata,omitempty"`
+}
+
+// ChromeTrace renders a span set as Chrome trace-viewer JSON. Planes become
+// pids (process lanes); each trace becomes a tid within its plane, so one
+// control decision reads as one row. Timestamps are rebased to the earliest
+// span so the view opens at t=0.
+func ChromeTrace(spans []*Span, planeOrder []string) *chromeTrace {
+	planePID := make(map[string]int, len(planeOrder))
+	for i, p := range planeOrder {
+		planePID[p] = i + 1
+	}
+	var base int64
+	for _, sp := range spans {
+		if base == 0 || sp.StartNs < base {
+			base = sp.StartNs
+		}
+	}
+	traceTID := make(map[uint64]int)
+	evs := make([]chromeEvent, 0, len(spans))
+	for _, sp := range spans {
+		pid, ok := planePID[sp.Plane]
+		if !ok {
+			pid = len(planePID) + 1
+			planePID[sp.Plane] = pid
+			planeOrder = append(planeOrder, sp.Plane)
+		}
+		tid, ok := traceTID[sp.TraceID]
+		if !ok {
+			tid = len(traceTID) + 1
+			traceTID[sp.TraceID] = tid
+		}
+		args := map[string]any{
+			"trace_id": fmt.Sprintf("%016x", sp.TraceID),
+			"span_id":  fmt.Sprintf("%016x", sp.SpanID),
+		}
+		if sp.Parent != 0 {
+			args["parent_id"] = fmt.Sprintf("%016x", sp.Parent)
+		}
+		if sp.Slot != 0 {
+			args["slot"] = sp.Slot
+		}
+		if sp.Cell != 0 {
+			args["cell"] = sp.Cell
+		}
+		if sp.Err != "" {
+			args["err"] = sp.Err
+		}
+		evs = append(evs, chromeEvent{
+			Name: sp.Name,
+			Cat:  sp.Plane,
+			Ph:   "X",
+			TsUs: float64(sp.StartNs-base) / 1e3,
+			DurU: float64(sp.DurNs) / 1e3,
+			PID:  pid,
+			TID:  tid,
+			Args: args,
+		})
+	}
+	md := map[string]any{"planes": planeOrder, "spans": len(spans)}
+	return &chromeTrace{TraceEvents: evs, Metadata: md}
+}
+
+// Handler serves the tracer's current spans as Chrome trace-viewer JSON.
+//
+//	GET /debug/trace              — every plane
+//	GET /debug/trace?plane=gnb    — one plane
+//	GET /debug/trace?trace=<hex>  — one decision's span tree
+//
+// Load the payload via chrome://tracing or ui.perfetto.dev.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		spans := t.Snapshot()
+		if plane := req.URL.Query().Get("plane"); plane != "" {
+			kept := spans[:0]
+			for _, sp := range spans {
+				if sp.Plane == plane {
+					kept = append(kept, sp)
+				}
+			}
+			spans = kept
+		}
+		if traceHex := req.URL.Query().Get("trace"); traceHex != "" {
+			id, err := strconv.ParseUint(traceHex, 16, 64)
+			if err != nil {
+				http.Error(w, "trace: bad ?trace= id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			kept := spans[:0]
+			for _, sp := range spans {
+				if sp.TraceID == id {
+					kept = append(kept, sp)
+				}
+			}
+			spans = kept
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ChromeTrace(spans, t.Planes()))
+	})
+}

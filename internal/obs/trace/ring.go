@@ -1,0 +1,67 @@
+package trace
+
+import "sync/atomic"
+
+// SpanRing is a fixed-capacity, lock-free ring of completed spans. Writers
+// from any goroutine claim a slot with one atomic add and publish the span
+// with one atomic pointer store; readers snapshot whatever is published.
+// Overwrite-on-wrap loses the oldest spans, never blocks the writer — the
+// same discipline as obs.TraceRing, but without its mutex, because spans are
+// recorded on latency-sensitive paths (slot loop, E2 receive loops).
+type SpanRing struct {
+	slots []atomic.Pointer[Span]
+	mask  uint64
+	next  atomic.Uint64 // metric-exempt: ring write cursor, not telemetry
+}
+
+// NewSpanRing returns a ring holding the most recent n spans; n is rounded
+// up to a power of two (minimum 2) so slot claiming is a mask, not a modulo.
+func NewSpanRing(n int) *SpanRing {
+	capPow := 2
+	for capPow < n {
+		capPow <<= 1
+	}
+	return &SpanRing{slots: make([]atomic.Pointer[Span], capPow), mask: uint64(capPow - 1)}
+}
+
+// Add publishes a completed span. The span must not be mutated afterwards.
+func (r *SpanRing) Add(sp *Span) {
+	if r == nil || sp == nil {
+		return
+	}
+	i := r.next.Add(1) - 1
+	r.slots[i&r.mask].Store(sp)
+}
+
+// Len reports how many spans are currently readable.
+func (r *SpanRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Snapshot copies out every published span, oldest first. Under concurrent
+// writes the copy is a consistent set of fully published spans (each slot is
+// read with one atomic load); ordering across a wrap boundary is best-effort.
+func (r *SpanRing) Snapshot() []*Span {
+	if r == nil {
+		return nil
+	}
+	n := r.next.Load()
+	start := uint64(0)
+	if n > uint64(len(r.slots)) {
+		start = n - uint64(len(r.slots))
+	}
+	out := make([]*Span, 0, n-start)
+	for i := start; i < n; i++ {
+		if sp := r.slots[i&r.mask].Load(); sp != nil {
+			out = append(out, sp)
+		}
+	}
+	return out
+}

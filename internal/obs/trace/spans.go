@@ -1,0 +1,62 @@
+package trace
+
+// Span name constants — the complete hop taxonomy of one control decision.
+//
+// This file is the single source of truth for span names: `make lint-metrics`
+// fails the build if a `Span… = "…"` constant is declared anywhere else, or
+// if a constant declared here is missing from the SpanNames table below.
+// Keeping the taxonomy closed is what makes per-hop p50/p99 breakdowns
+// comparable across experiments.
+const (
+	// SpanIndicationEncode: gNB plane — building the KPM indication
+	// (measurement snapshot under the gNB lock) plus codec encode time.
+	SpanIndicationEncode = "indication.encode"
+
+	// SpanTransport: either plane — the E2 frame on the wire, i.e. send
+	// latency minus the encode time already attributed to its own span.
+	SpanTransport = "transport"
+
+	// SpanRICDecode: RIC plane — codec decode of an inbound indication.
+	SpanRICDecode = "ric.decode"
+
+	// SpanXAppInvoke: RIC plane — dispatching the indication payload
+	// through every subscribed xApp's wasm entry point.
+	SpanXAppInvoke = "xapp.invoke"
+
+	// SpanControlEncode: RIC plane — encoding one resulting ControlRequest.
+	SpanControlEncode = "control.encode"
+
+	// SpanGNBApply: gNB plane — applying a received ControlRequest under
+	// the gNB lock (slice retarget, scheduler upload, handover, …).
+	SpanGNBApply = "gnb.apply"
+
+	// SpanSwapCanary: gNB plane — the guard.Supervisor canary swap: shadow
+	// replay of recorded slot inputs plus promote/reject of the candidate.
+	SpanSwapCanary = "swap.canary"
+
+	// SpanSlotEffect: gNB plane — from the decision being applied to the
+	// end of the first slot the reconfigured scheduler actually serves;
+	// closes the control loop.
+	SpanSlotEffect = "slot.effect"
+)
+
+// SpanNames enumerates every span name in canonical hop order. Experiments
+// and the /debug/trace handler iterate this table; lint-metrics checks that
+// it and the constants above never drift apart.
+var SpanNames = []string{
+	SpanIndicationEncode,
+	SpanTransport,
+	SpanRICDecode,
+	SpanXAppInvoke,
+	SpanControlEncode,
+	SpanGNBApply,
+	SpanSwapCanary,
+	SpanSlotEffect,
+}
+
+// Plane labels: the two process halves of the control loop. A plane is a
+// SpanRing key and becomes the "process" lane in the Chrome trace view.
+const (
+	PlaneGNB = "gnb"
+	PlaneRIC = "ric"
+)

@@ -1,0 +1,100 @@
+package trace
+
+import "sort"
+
+// HopStat is the latency distribution of one span name across a span set.
+type HopStat struct {
+	Name  string  `json:"name"`
+	Count int     `json:"count"`
+	P50Us float64 `json:"p50_us"`
+	P99Us float64 `json:"p99_us"`
+	MaxUs float64 `json:"max_us"`
+}
+
+// HopStats groups spans by name and reports per-hop p50/p99/max in
+// microseconds, ordered by the canonical SpanNames table (unknown names, if
+// any, follow alphabetically). Percentiles are exact (sort-based): span sets
+// come from bounded rings, so the input is small.
+func HopStats(spans []*Span) []HopStat {
+	byName := make(map[string][]float64)
+	for _, sp := range spans {
+		byName[sp.Name] = append(byName[sp.Name], float64(sp.DurNs)/1e3)
+	}
+	names := make([]string, 0, len(byName))
+	seen := make(map[string]bool, len(byName))
+	for _, n := range SpanNames {
+		if _, ok := byName[n]; ok {
+			names = append(names, n)
+			seen[n] = true
+		}
+	}
+	var extra []string
+	for n := range byName {
+		if !seen[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	names = append(names, extra...)
+
+	out := make([]HopStat, 0, len(names))
+	for _, n := range names {
+		ds := byName[n]
+		sort.Float64s(ds)
+		out = append(out, HopStat{
+			Name:  n,
+			Count: len(ds),
+			P50Us: percentile(ds, 0.50),
+			P99Us: percentile(ds, 0.99),
+			MaxUs: ds[len(ds)-1],
+		})
+	}
+	return out
+}
+
+// percentile reads the q-quantile from an ascending-sorted sample set using
+// the nearest-rank method.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}
+
+// DistinctHopKinds counts the distinct span names in a span set.
+func DistinctHopKinds(spans []*Span) int {
+	seen := make(map[string]bool)
+	for _, sp := range spans {
+		seen[sp.Name] = true
+	}
+	return len(seen)
+}
+
+// MaxTraceHopKinds returns, over every TraceID in the span set, the largest
+// number of distinct span names within a single trace — "how many hop kinds
+// did the deepest control decision traverse".
+func MaxTraceHopKinds(spans []*Span) int {
+	byTrace := make(map[uint64]map[string]bool)
+	for _, sp := range spans {
+		m := byTrace[sp.TraceID]
+		if m == nil {
+			m = make(map[string]bool)
+			byTrace[sp.TraceID] = m
+		}
+		m[sp.Name] = true
+	}
+	best := 0
+	for _, m := range byTrace {
+		if len(m) > best {
+			best = len(m)
+		}
+	}
+	return best
+}

@@ -1,0 +1,70 @@
+package trace
+
+import "sort"
+
+// Tracer owns one SpanRing per plane. A nil *Tracer is the disabled tracer:
+// Enabled() is false, Record is a no-op, Snapshot returns nothing — so every
+// instrumentation site can hold a possibly-nil Tracer and pay only a pointer
+// comparison when tracing is off.
+type Tracer struct {
+	planes map[string]*SpanRing
+	order  []string
+}
+
+// NewTracer builds a tracer with one ring of perPlaneCap spans for each
+// named plane. Unknown planes recorded later are dropped (closed taxonomy).
+func NewTracer(perPlaneCap int, planes ...string) *Tracer {
+	if len(planes) == 0 {
+		planes = []string{PlaneGNB, PlaneRIC}
+	}
+	t := &Tracer{planes: make(map[string]*SpanRing, len(planes))}
+	for _, p := range planes {
+		if _, dup := t.planes[p]; dup {
+			continue
+		}
+		t.planes[p] = NewSpanRing(perPlaneCap)
+		t.order = append(t.order, p)
+	}
+	return t
+}
+
+// Enabled reports whether spans recorded on t go anywhere.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Record publishes sp to its plane's ring. Safe on a nil tracer.
+func (t *Tracer) Record(sp *Span) {
+	if t == nil || sp == nil {
+		return
+	}
+	t.planes[sp.Plane].Add(sp) // nil ring (unknown plane) drops the span
+}
+
+// Ring returns the ring for one plane, or nil.
+func (t *Tracer) Ring(plane string) *SpanRing {
+	if t == nil {
+		return nil
+	}
+	return t.planes[plane]
+}
+
+// Planes lists the configured planes in registration order.
+func (t *Tracer) Planes() []string {
+	if t == nil {
+		return nil
+	}
+	return t.order
+}
+
+// Snapshot returns every readable span across all planes, sorted by start
+// time, so consumers see one coherent timeline.
+func (t *Tracer) Snapshot() []*Span {
+	if t == nil {
+		return nil
+	}
+	var out []*Span
+	for _, p := range t.order {
+		out = append(out, t.planes[p].Snapshot()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartNs < out[j].StartNs })
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"waran/internal/e2"
+	"waran/internal/obs/trace"
 )
 
 // RANControl is the control surface an E2 node exposes to its agent — the
@@ -19,6 +20,15 @@ type RANControl interface {
 	Snapshot(cell uint32) *e2.Indication
 	// Apply executes one control action.
 	Apply(c *e2.ControlRequest) error
+}
+
+// TracedRANControl is optionally implemented by RANControl targets (core.GNB
+// does) to receive the causal trace context of a control action, so the
+// apply, any supervised canary swap, and the first affected slot join the
+// decision's span tree. Agents fall back to Apply when the target doesn't
+// implement it or the control is untraced.
+type TracedRANControl interface {
+	ApplyTraced(c *e2.ControlRequest, ctx trace.Context) error
 }
 
 // Agent is the gNB-side endpoint of the E2-lite association: it answers the
@@ -39,9 +49,15 @@ type Agent struct {
 	// liveness tracking (the pre-resilience behaviour).
 	LivenessTimeout time.Duration
 
+	// Tracer, when non-nil, lets the agent negotiate trace propagation
+	// with the RIC and record indication.encode/transport spans on the gNB
+	// plane. Set before Start.
+	Tracer *trace.Tracer
+
 	subscribed  atomic.Bool
 	periodSlots atomic.Uint64 // metric-exempt: subscription cadence, not telemetry
 	dead        atomic.Bool
+	peerTraced  atomic.Bool // RIC advertised e2.TraceCapabilityBit and we accepted
 
 	mu           sync.Mutex
 	sliceFilter  []uint32
@@ -113,6 +129,17 @@ func (a *Agent) applySubscription(m *e2.Message) error {
 		RANFunction:      m.RANFunction,
 		SubscriptionResp: &e2.SubscriptionResponse{Accepted: true},
 	}
+	// Trace capability negotiation: a trace-capable RIC sets the reserved
+	// bit in RANFunction (old agents echo it untouched); a trace-capable
+	// agent answers with the token in Reason (old RICs only read Reason on
+	// rejection). Indications get trace trailers only after both halves
+	// advertised, so untraced peers never see unexpected bytes.
+	if m.RANFunction&e2.TraceCapabilityBit != 0 && a.Tracer.Enabled() {
+		ack.SubscriptionResp.Reason = e2.TraceCapabilityToken
+		a.peerTraced.Store(true)
+	} else {
+		a.peerTraced.Store(false)
+	}
 	if err := a.conn.Send(ack); err != nil {
 		return err
 	}
@@ -158,7 +185,7 @@ func (a *Agent) recvLoop() error {
 		}
 		switch m.Type {
 		case e2.TypeControlRequest:
-			applyErr := a.ran.Apply(m.Control)
+			applyErr := a.applyControl(m)
 			ack := &e2.Message{
 				Type:        e2.TypeControlAck,
 				RequestID:   m.RequestID,
@@ -206,6 +233,18 @@ func (a *Agent) recvLoop() error {
 	}
 }
 
+// applyControl routes a control request into the RAN, through the traced
+// path when the request carries a live trace context and the target
+// understands it.
+func (a *Agent) applyControl(m *e2.Message) error {
+	if m.Trace.Valid() {
+		if tc, ok := a.ran.(TracedRANControl); ok {
+			return tc.ApplyTraced(m.Control, m.Trace)
+		}
+	}
+	return a.ran.Apply(m.Control)
+}
+
 // Tick is called by the owner after each MAC slot; at the subscribed
 // cadence it snapshots KPM state and sends an indication.
 func (a *Agent) Tick(slot uint64) error {
@@ -216,6 +255,11 @@ func (a *Agent) Tick(slot uint64) error {
 	if period == 0 || slot%period != 0 {
 		return nil
 	}
+	tracing := a.Tracer.Enabled() && a.peerTraced.Load()
+	var buildStart time.Time
+	if tracing {
+		buildStart = time.Now()
+	}
 	ind := a.ran.Snapshot(a.Cell)
 	a.mu.Lock()
 	filter := a.sliceFilter
@@ -224,11 +268,44 @@ func (a *Agent) Tick(slot uint64) error {
 	if len(filter) > 0 {
 		ind = filterIndication(ind, filter)
 	}
-	return a.conn.Send(&e2.Message{
+	msg := &e2.Message{
 		Type:        e2.TypeIndication,
 		RANFunction: e2.RANFunctionKPM,
 		Indication:  ind,
+	}
+	if !tracing {
+		return a.conn.Send(msg)
+	}
+
+	// Root the decision's trace here: the indication that will provoke it.
+	// The wire carries the transport span's ID so the RIC's decode span
+	// parents to it.
+	ctx := trace.NewContext()
+	transportID := trace.NewSpanID()
+	msg.Trace = trace.Context{TraceID: ctx.TraceID, SpanID: transportID}
+	sendStart := time.Now()
+	err := a.conn.Send(msg)
+	sendDur := time.Since(sendStart)
+	encDur := a.conn.LastEncodeDur()
+	a.Tracer.Record(&trace.Span{
+		TraceID: ctx.TraceID, SpanID: ctx.SpanID,
+		Name: trace.SpanIndicationEncode, Plane: trace.PlaneGNB,
+		Slot: slot, Cell: a.Cell,
+		StartNs: buildStart.UnixNano(),
+		DurNs:   int64(sendStart.Sub(buildStart) + encDur),
 	})
+	sp := &trace.Span{
+		TraceID: ctx.TraceID, SpanID: transportID, Parent: ctx.SpanID,
+		Name: trace.SpanTransport, Plane: trace.PlaneGNB,
+		Slot: slot, Cell: a.Cell,
+		StartNs: sendStart.Add(encDur).UnixNano(),
+		DurNs:   int64(sendDur - encDur),
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	a.Tracer.Record(sp)
+	return err
 }
 
 // Period returns the subscribed indication cadence in slots (0 before the

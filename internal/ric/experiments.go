@@ -14,6 +14,20 @@ func init() {
 	core.RegisterExperimentFunc("e2faults",
 		"association resilience under transport faults: drop, reset, half-open (JSON)",
 		runE2FaultsExperiment)
+	core.RegisterExperimentFunc("tracelat",
+		"end-to-end control-loop tracing: per-hop latency + hottest plugin functions (JSON)",
+		runTraceLatExperiment)
+}
+
+// runTraceLatExperiment maps the shared knob set onto the tracing
+// experiment's config.
+func runTraceLatExperiment(cfg core.ExpConfig) (any, error) {
+	return RunTraceLat(TraceLatConfig{
+		Cells: cfg.Cells,
+		Slots: cfg.Slots,
+		Seed:  cfg.Seed,
+		Obs:   cfg.Obs,
+	})
 }
 
 // runE2FaultsExperiment builds the experiment's standard gNB — one tenant

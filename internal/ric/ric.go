@@ -10,6 +10,7 @@ import (
 
 	"waran/internal/e2"
 	"waran/internal/obs"
+	"waran/internal/obs/trace"
 	"waran/internal/wabi"
 	"waran/internal/wasm"
 )
@@ -48,6 +49,19 @@ type RIC struct {
 	// same bytes under several names (or re-installing after a remove)
 	// compiles once.
 	Modules *wabi.ModuleCache
+
+	// Tracer, when non-nil, makes ServeConn negotiate trace propagation
+	// with the agent and record ric.decode / xapp.invoke / control.encode /
+	// transport spans on the RIC plane. Set before serving.
+	Tracer *trace.Tracer
+	// Profile, when non-nil, attaches the per-function wasm profiler to
+	// every xApp installed afterwards (tagged with the xApp name).
+	Profile *wasm.Profile
+
+	// lastTraced remembers the most recent traced indication's xapp.invoke
+	// context, so out-of-band controls (operator-initiated uploads) can
+	// join the decision tree that provoked them.
+	lastTraced atomic.Pointer[trace.Context]
 
 	// Counters.
 	indications uint64
@@ -106,6 +120,10 @@ func (r *RIC) AddXApp(name string, mod *wabi.Module, policy wabi.Policy) (*XApp,
 	if r.OnLog != nil {
 		env.OnLog = func(msg string) { r.OnLog(name, msg) }
 	}
+	if r.Profile != nil {
+		env.Profile = r.Profile
+		env.ProfileTag = name
+	}
 	plugin, err := wabi.NewPlugin(mod, policy, env)
 	if err != nil {
 		return nil, fmt.Errorf("ric: instantiate xApp %q: %w", name, err)
@@ -158,6 +176,32 @@ func (r *RIC) RemoveXApp(name string) error {
 // contained (counted, possibly quarantining the xApp) and do not fail the
 // dispatch.
 func (r *RIC) HandleIndication(ind *e2.Indication) []e2.ControlRequest {
+	out, _ := r.HandleIndicationTraced(ind, trace.Context{})
+	return out
+}
+
+// HandleIndicationTraced is HandleIndication carrying the indication's trace
+// context: with tracing on, the whole xApp dispatch is recorded as one
+// xapp.invoke span and the returned context names that span, so the caller
+// parents the resulting control sends to it. With a zero ctx (or no tracer)
+// it behaves exactly like HandleIndication and echoes ctx back.
+func (r *RIC) HandleIndicationTraced(ind *e2.Indication, ctx trace.Context) ([]e2.ControlRequest, trace.Context) {
+	tracing := r.Tracer.Enabled() && ctx.Valid()
+	var start time.Time
+	if tracing {
+		start = time.Now()
+		c := trace.Context{TraceID: ctx.TraceID, SpanID: trace.NewSpanID()}
+		r.lastTraced.Store(&c)
+		defer func() {
+			r.Tracer.Record(&trace.Span{
+				TraceID: c.TraceID, SpanID: c.SpanID, Parent: ctx.SpanID,
+				Name: trace.SpanXAppInvoke, Plane: trace.PlaneRIC,
+				Slot: ind.Slot, Cell: ind.Cell,
+				StartNs: start.UnixNano(), DurNs: int64(time.Since(start)),
+			})
+		}()
+		ctx = c
+	}
 	if r.KPM != nil {
 		r.KPM.Record(time.Now(), ind)
 	}
@@ -174,7 +218,56 @@ func (r *RIC) HandleIndication(ind *e2.Indication) []e2.ControlRequest {
 	r.indications++
 	r.controls += uint64(len(out))
 	r.mu.Unlock()
-	return out
+	return out, ctx
+}
+
+// LastIndicationTrace returns the xapp.invoke context of the most recent
+// traced indication (zero if none yet) — the natural parent for controls
+// injected outside the indication loop.
+func (r *RIC) LastIndicationTrace() trace.Context {
+	if c := r.lastTraced.Load(); c != nil {
+		return *c
+	}
+	return trace.Context{}
+}
+
+// SendControl sends one control request on conn. When parent belongs to a
+// live trace (and a tracer is attached) the message carries the trace
+// trailer and the send is recorded as control.encode + transport spans.
+// Callers must only pass a live parent on associations whose agent
+// negotiated trace capability — old decoders reject unexpected trailers.
+func (r *RIC) SendControl(conn *e2.Conn, reqID uint32, c *e2.ControlRequest, parent trace.Context) error {
+	cm := &e2.Message{
+		Type:        e2.TypeControlRequest,
+		RequestID:   reqID,
+		RANFunction: e2.RANFunctionRC,
+		Control:     c,
+	}
+	if !r.Tracer.Enabled() || !parent.Valid() {
+		return conn.Send(cm)
+	}
+	encodeID := trace.NewSpanID()
+	transportID := trace.NewSpanID()
+	cm.Trace = trace.Context{TraceID: parent.TraceID, SpanID: transportID}
+	sendStart := time.Now()
+	err := conn.Send(cm)
+	sendDur := time.Since(sendStart)
+	encDur := conn.LastEncodeDur()
+	r.Tracer.Record(&trace.Span{
+		TraceID: parent.TraceID, SpanID: encodeID, Parent: parent.SpanID,
+		Name: trace.SpanControlEncode, Plane: trace.PlaneRIC,
+		StartNs: sendStart.UnixNano(), DurNs: int64(encDur),
+	})
+	sp := &trace.Span{
+		TraceID: parent.TraceID, SpanID: transportID, Parent: encodeID,
+		Name: trace.SpanTransport, Plane: trace.PlaneRIC,
+		StartNs: sendStart.Add(encDur).UnixNano(), DurNs: int64(sendDur - encDur),
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	r.Tracer.Record(sp)
+	return err
 }
 
 // Counters reports processed indication and emitted control counts.
@@ -256,6 +349,11 @@ func (r *RIC) ServeConn(conn *e2.Conn, stop <-chan struct{}) error {
 		RANFunction:  e2.RANFunctionKPM,
 		Subscription: &e2.SubscriptionRequest{ReportPeriodMs: r.ReportPeriodMs},
 	}
+	if r.Tracer.Enabled() {
+		// Advertise trace capability in the reserved RANFunction bit; old
+		// agents echo it back untouched and keep sending untraced frames.
+		sub.RANFunction |= e2.TraceCapabilityBit
+	}
 	if err := conn.Send(sub); err != nil {
 		return err
 	}
@@ -270,6 +368,7 @@ func (r *RIC) ServeConn(conn *e2.Conn, stop <-chan struct{}) error {
 	defer func() { close(recvDone); <-superviseDone }()
 
 	reqID := uint32(100)
+	assocTraced := false // agent answered with e2.TraceCapabilityToken
 	for {
 		m, err := conn.Recv()
 		if err != nil {
@@ -288,17 +387,30 @@ func (r *RIC) ServeConn(conn *e2.Conn, stop <-chan struct{}) error {
 			if !m.SubscriptionResp.Accepted {
 				return fmt.Errorf("ric: subscription refused: %s", m.SubscriptionResp.Reason)
 			}
+			// The echoed RANFunction bit must NOT signal agent capability —
+			// an old agent echoes it untouched. Only the explicit token does.
+			assocTraced = r.Tracer.Enabled() &&
+				m.SubscriptionResp.Reason == e2.TraceCapabilityToken
 		case e2.TypeIndication:
-			controls := r.HandleIndication(m.Indication)
+			ctx := trace.Context{}
+			if assocTraced && m.Trace.Valid() {
+				// The wire context names the agent's transport span; the
+				// decode span parents to it and everything downstream
+				// parents to the decode.
+				decDur := conn.LastDecodeDur()
+				decID := trace.NewSpanID()
+				r.Tracer.Record(&trace.Span{
+					TraceID: m.Trace.TraceID, SpanID: decID, Parent: m.Trace.SpanID,
+					Name: trace.SpanRICDecode, Plane: trace.PlaneRIC,
+					Slot: m.Indication.Slot, Cell: m.Indication.Cell,
+					StartNs: time.Now().Add(-decDur).UnixNano(), DurNs: int64(decDur),
+				})
+				ctx = trace.Context{TraceID: m.Trace.TraceID, SpanID: decID}
+			}
+			controls, cctx := r.HandleIndicationTraced(m.Indication, ctx)
 			for i := range controls {
 				reqID++
-				cm := &e2.Message{
-					Type:        e2.TypeControlRequest,
-					RequestID:   reqID,
-					RANFunction: e2.RANFunctionRC,
-					Control:     &controls[i],
-				}
-				if err := conn.Send(cm); err != nil {
+				if err := r.SendControl(conn, reqID, &controls[i], cctx); err != nil {
 					return err
 				}
 			}

@@ -10,6 +10,7 @@ import (
 	"waran/internal/e2"
 	"waran/internal/metrics"
 	"waran/internal/obs"
+	"waran/internal/obs/trace"
 )
 
 // Backoff is an exponential-backoff-with-jitter schedule for reconnect
@@ -240,6 +241,9 @@ type AgentSession struct {
 	Metrics *AssocMetrics
 	// Seed selects the jitter schedule (0 behaves as 1).
 	Seed int64
+	// Tracer is handed to each Agent the session runs (see Agent.Tracer);
+	// trace capability is re-negotiated on every reconnect.
+	Tracer *trace.Tracer
 
 	mu           sync.Mutex
 	agent        *Agent   // live agent, nil while degraded
@@ -312,6 +316,7 @@ func (s *AgentSession) run() {
 
 		agent := NewAgent(conn, s.RAN, s.Cell)
 		agent.LivenessTimeout = s.LivenessTimeout
+		agent.Tracer = s.Tracer
 		recvErr, err := agent.Start()
 		if err != nil {
 			conn.Close()

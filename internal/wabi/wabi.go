@@ -92,6 +92,13 @@ type Env struct {
 	// e2.FaultConn, for supervisor and containment testing. Production
 	// environments leave it nil.
 	Chaos *Chaos
+	// Profile, when non-nil, attaches the per-function fuel/wall-time
+	// profiler to every instance created under this Env (including pool
+	// refills, resets and fresh-instance calls). ProfileTag prefixes the
+	// recorded function names ("sla:on_indication") so one collector can
+	// aggregate scheduler plugins and xApps side by side.
+	Profile    *wasm.Profile
+	ProfileTag string
 }
 
 // Module is compiled plugin code, instantiable many times.
@@ -255,6 +262,9 @@ func (p *Plugin) instantiate() (*wasm.Instance, error) {
 		return nil, errors.New("wabi: plugin must define a linear memory")
 	}
 	inst.HostData = p
+	if p.env.Profile != nil {
+		inst.SetProfile(p.env.Profile, p.env.ProfileTag)
+	}
 	return inst, nil
 }
 

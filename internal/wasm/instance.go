@@ -126,6 +126,10 @@ type Instance struct {
 	// HostData lets embedding layers attach per-instance state reachable
 	// from host functions via CallContext.
 	HostData any
+
+	// prof, when non-nil, routes every call through the shadow-stack
+	// profiler (see profile.go). Nil costs one pointer check per call.
+	prof *instProf
 }
 
 // Instantiate links the compiled module against imports, initializes memory,
@@ -335,6 +339,14 @@ func (in *Instance) call(funcIdx uint32, args []uint64) (res []uint64, err error
 
 // invoke dispatches to a host or guest function; panics with *Trap on fault.
 func (in *Instance) invoke(funcIdx uint32, args []uint64) []uint64 {
+	if in.prof != nil {
+		return in.invokeProfiled(funcIdx, args)
+	}
+	return in.dispatch(funcIdx, args)
+}
+
+// dispatch is the unprofiled call path.
+func (in *Instance) dispatch(funcIdx uint32, args []uint64) []uint64 {
 	if in.depth >= in.maxDepth {
 		panic(newTrap(TrapCallStackExhausted))
 	}

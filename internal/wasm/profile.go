@@ -1,0 +1,265 @@
+package wasm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Profile aggregates per-function execution cost across any number of
+// instances (and modules — scheduler plugins and RIC xApps can share one
+// collector, disambiguated by instance tags). Two units are attributed on
+// every call return:
+//
+//   - fuel: executed instruction count, read from the interpreter's
+//     InstrCount delta, so attribution is deterministic and exact when fuel
+//     metering is on (host functions burn no fuel and show wall time only);
+//   - wall time: nanoseconds between call entry and return.
+//
+// Both come in "self" (this function minus its callees) and "total"
+// (inclusive) flavors, maintained by a per-instance shadow stack hooked into
+// the interpreter's call dispatch. The shadow stack also maintains the
+// current call path, so Folded() can emit flamegraph.pl-compatible
+// folded-stack lines.
+//
+// Profiling is opt-in per instance via SetProfile. When no profile is
+// attached the interpreter's only extra cost is one nil check per call —
+// measured at 0 allocs/op in TestProfilerDisabledZeroAlloc.
+type Profile struct {
+	mu    sync.Mutex
+	funcs map[string]*FuncProfile
+	paths map[string]*pathCell
+}
+
+// FuncProfile is the aggregated cost of one function.
+type FuncProfile struct {
+	Name      string `json:"name"`
+	Calls     uint64 `json:"calls"`
+	SelfFuel  uint64 `json:"self_fuel"`
+	TotalFuel uint64 `json:"total_fuel"`
+	SelfNs    int64  `json:"self_ns"`
+	TotalNs   int64  `json:"total_ns"`
+}
+
+// pathCell is the aggregated self cost of one distinct call path.
+type pathCell struct {
+	selfFuel uint64
+	selfNs   int64
+	calls    uint64
+}
+
+// NewProfile returns an empty collector safe for concurrent use by many
+// instances.
+func NewProfile() *Profile {
+	return &Profile{funcs: make(map[string]*FuncProfile), paths: make(map[string]*pathCell)}
+}
+
+// record folds one returned call into the aggregates.
+func (p *Profile) record(path, name string, selfFuel, totalFuel uint64, selfNs, totalNs int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := p.funcs[name]
+	if f == nil {
+		f = &FuncProfile{Name: name}
+		p.funcs[name] = f
+	}
+	f.Calls++
+	f.SelfFuel += selfFuel
+	f.TotalFuel += totalFuel
+	f.SelfNs += selfNs
+	f.TotalNs += totalNs
+	c := p.paths[path]
+	if c == nil {
+		c = &pathCell{}
+		p.paths[path] = c
+	}
+	c.calls++
+	c.selfFuel += selfFuel
+	c.selfNs += selfNs
+}
+
+// Top returns the n hottest functions by self fuel (wall-time tiebreak),
+// the profiler's headline "where did the budget go" view.
+func (p *Profile) Top(n int) []FuncProfile {
+	p.mu.Lock()
+	out := make([]FuncProfile, 0, len(p.funcs))
+	for _, f := range p.funcs {
+		out = append(out, *f)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SelfFuel != out[j].SelfFuel {
+			return out[i].SelfFuel > out[j].SelfFuel
+		}
+		if out[i].SelfNs != out[j].SelfNs {
+			return out[i].SelfNs > out[j].SelfNs
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ProfileSnapshot is the JSON-marshalable state of a Profile.
+type ProfileSnapshot struct {
+	Functions []FuncProfile `json:"functions"`
+	PathCount int           `json:"path_count"`
+}
+
+// Snapshot returns every function's aggregate, hottest first.
+func (p *Profile) Snapshot() ProfileSnapshot {
+	fs := p.Top(0)
+	p.mu.Lock()
+	n := len(p.paths)
+	p.mu.Unlock()
+	return ProfileSnapshot{Functions: fs, PathCount: n}
+}
+
+// ProfileJSON implements the obs mux's profile-source interface.
+func (p *Profile) ProfileJSON() any { return p.Snapshot() }
+
+// Folded renders the collected call paths as flamegraph.pl input: one
+// "root;...;leaf weight" line per distinct path. The weight is self fuel;
+// for paths that burned none (host functions, unmetered instances) it falls
+// back to self microseconds so they still show up.
+func (p *Profile) Folded() string {
+	p.mu.Lock()
+	lines := make([]string, 0, len(p.paths))
+	for path, c := range p.paths {
+		w := c.selfFuel
+		if w == 0 {
+			w = uint64(c.selfNs / 1e3)
+		}
+		lines = append(lines, fmt.Sprintf("%s %d", path, w))
+	}
+	p.mu.Unlock()
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// Reset clears all aggregates.
+func (p *Profile) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.funcs = make(map[string]*FuncProfile)
+	p.paths = make(map[string]*pathCell)
+}
+
+// ---------------------------------------------------------------------------
+// Per-instance shadow stack.
+
+// profFrame is one live call on the shadow stack.
+type profFrame struct {
+	name       string
+	startNs    int64
+	startInstr uint64
+	childFuel  uint64
+	childNs    int64
+	pathLen    int
+}
+
+// instProf is an instance's profiling state: the shared collector, the
+// shadow stack, the current folded path, and a lazily filled name cache so
+// function-index resolution costs one slice load after the first call.
+type instProf struct {
+	p     *Profile
+	tag   string
+	names []string
+	stack []profFrame
+	path  []byte
+}
+
+// SetProfile attaches (or, with nil, detaches) a profile collector. tag, if
+// non-empty, prefixes every function name ("sla:on_indication"), letting one
+// collector tell scheduler plugins and xApps apart. Instances are
+// single-threaded, so this must not race with a running call.
+func (in *Instance) SetProfile(p *Profile, tag string) {
+	if p == nil {
+		in.prof = nil
+		return
+	}
+	in.prof = &instProf{p: p, tag: tag}
+}
+
+// funcName resolves and caches the display name for a function index.
+func (ip *instProf) funcName(in *Instance, funcIdx uint32) string {
+	if int(funcIdx) < len(ip.names) && ip.names[funcIdx] != "" {
+		return ip.names[funcIdx]
+	}
+	name := in.cm.FuncName(funcIdx)
+	if ip.tag != "" {
+		name = ip.tag + ":" + name
+	}
+	for int(funcIdx) >= len(ip.names) {
+		ip.names = append(ip.names, "")
+	}
+	ip.names[funcIdx] = name
+	return name
+}
+
+// FuncName returns a human-readable name for a function-space index: the
+// import's "module.field" for imported functions, the export name when the
+// function is exported, or "func[N]".
+func (cm *CompiledModule) FuncName(funcIdx uint32) string {
+	m := cm.m
+	if int(funcIdx) < m.numImportedFuncs {
+		n := 0
+		for _, im := range m.Imports {
+			if im.Kind != ExternFunc {
+				continue
+			}
+			if n == int(funcIdx) {
+				return im.Module + "." + im.Name
+			}
+			n++
+		}
+	}
+	for _, e := range m.Exports {
+		if e.Kind == ExternFunc && e.Index == funcIdx {
+			return e.Name
+		}
+	}
+	return fmt.Sprintf("func[%d]", funcIdx)
+}
+
+// invokeProfiled wraps dispatch with shadow-stack bookkeeping. The pop runs
+// in a defer so traps unwinding through panic still record every live frame
+// (with the cost accumulated up to the fault).
+func (in *Instance) invokeProfiled(funcIdx uint32, args []uint64) []uint64 {
+	ip := in.prof
+	name := ip.funcName(in, funcIdx)
+	if len(ip.path) > 0 {
+		ip.path = append(ip.path, ';')
+	}
+	ip.path = append(ip.path, name...)
+	ip.stack = append(ip.stack, profFrame{
+		name:       name,
+		startNs:    time.Now().UnixNano(),
+		startInstr: in.InstrCount,
+		pathLen:    len(ip.path),
+	})
+	defer func() {
+		top := len(ip.stack) - 1
+		fr := ip.stack[top]
+		ip.stack = ip.stack[:top]
+		totalNs := time.Now().UnixNano() - fr.startNs
+		totalFuel := in.InstrCount - fr.startInstr
+		ip.p.record(string(ip.path[:fr.pathLen]), fr.name,
+			totalFuel-fr.childFuel, totalFuel, totalNs-fr.childNs, totalNs)
+		if top > 0 {
+			ip.stack[top-1].childFuel += totalFuel
+			ip.stack[top-1].childNs += totalNs
+		}
+		// Truncate back to the parent's path (drop ";name" or "name").
+		cut := fr.pathLen - len(fr.name)
+		if cut > 0 {
+			cut-- // the joining ';'
+		}
+		ip.path = ip.path[:cut]
+	}()
+	return in.dispatch(funcIdx, args)
+}

@@ -1,0 +1,243 @@
+package wasm_test
+
+import (
+	"strings"
+	"testing"
+
+	"waran/internal/wasm"
+	"waran/internal/wat"
+)
+
+func profiledInstance(t *testing.T, src string, p *wasm.Profile, tag string) *wasm.Instance {
+	t.Helper()
+	bin, err := wat.CompileToBinary(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := wasm.Decode(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := wasm.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := cm.Instantiate(nil, wasm.Config{MeterFuel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetFuel(1 << 30)
+	if p != nil {
+		in.SetProfile(p, tag)
+	}
+	return in
+}
+
+const callTreeWAT = `(module
+  (func $leaf (export "leaf") (result i32)
+    i32.const 1 i32.const 2 i32.add)
+  (func $mid (export "mid") (result i32)
+    call $leaf call $leaf i32.add)
+  (func (export "root") (result i32)
+    call $mid
+    call $leaf
+    i32.add)
+  (func (export "tick")))`
+
+func TestProfileAttributesSelfAndTotalFuel(t *testing.T) {
+	p := wasm.NewProfile()
+	in := profiledInstance(t, callTreeWAT, p, "")
+	if _, err := in.Call("root"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := p.Snapshot()
+	byName := map[string]wasm.FuncProfile{}
+	for _, f := range snap.Functions {
+		byName[f.Name] = f
+	}
+	leaf, mid, root := byName["leaf"], byName["mid"], byName["root"]
+	if leaf.Calls != 3 || mid.Calls != 1 || root.Calls != 1 {
+		t.Fatalf("calls leaf=%d mid=%d root=%d, want 3/1/1", leaf.Calls, mid.Calls, root.Calls)
+	}
+	// A leaf has no children: self == total. Parents carry their children
+	// in total but not in self.
+	if leaf.SelfFuel == 0 || leaf.SelfFuel != leaf.TotalFuel {
+		t.Fatalf("leaf fuel self=%d total=%d", leaf.SelfFuel, leaf.TotalFuel)
+	}
+	if mid.TotalFuel <= mid.SelfFuel {
+		t.Fatalf("mid fuel self=%d total=%d: children not attributed", mid.SelfFuel, mid.TotalFuel)
+	}
+	// root's total covers everything the call executed; the tree's self
+	// fuels must add up to it exactly (fuel is conserved).
+	sum := leaf.SelfFuel + mid.SelfFuel + root.SelfFuel
+	if root.TotalFuel != sum {
+		t.Fatalf("root total %d != sum of selves %d", root.TotalFuel, sum)
+	}
+	if len(p.Top(2)) != 2 {
+		t.Fatalf("Top(2) returned %d entries", len(p.Top(2)))
+	}
+}
+
+func TestProfileFoldedStacksAndTags(t *testing.T) {
+	p := wasm.NewProfile()
+	in := profiledInstance(t, callTreeWAT, p, "rr")
+	if _, err := in.Call("root"); err != nil {
+		t.Fatal(err)
+	}
+	folded := p.Folded()
+	for _, want := range []string{"rr:root ", "rr:root;rr:mid ", "rr:root;rr:mid;rr:leaf "} {
+		if !strings.Contains(folded, want) {
+			t.Errorf("folded output missing %q:\n%s", want, folded)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(folded), "\n") {
+		if line == "" {
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i < 0 {
+			t.Errorf("folded line without weight: %q", line)
+		}
+	}
+}
+
+func TestProfileRecordsThroughTraps(t *testing.T) {
+	src := `(module
+	  (func $boom (export "boom") unreachable)
+	  (func (export "root") call $boom))`
+	p := wasm.NewProfile()
+	in := profiledInstance(t, src, p, "")
+	if _, err := in.Call("root"); err == nil {
+		t.Fatal("trap did not error")
+	}
+	snap := p.Snapshot()
+	calls := map[string]uint64{}
+	for _, f := range snap.Functions {
+		calls[f.Name] = f.Calls
+	}
+	if calls["root"] != 1 || calls["boom"] != 1 {
+		t.Fatalf("trap unwound without recording: %+v", calls)
+	}
+}
+
+func TestProfileResetAndSnapshotIsolation(t *testing.T) {
+	p := wasm.NewProfile()
+	in := profiledInstance(t, callTreeWAT, p, "")
+	if _, err := in.Call("leaf"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Snapshot(); len(got.Functions) != 1 {
+		t.Fatalf("%d functions, want 1", len(got.Functions))
+	}
+	p.Reset()
+	if got := p.Snapshot(); len(got.Functions) != 0 {
+		t.Fatalf("reset left %d functions", len(got.Functions))
+	}
+}
+
+func TestFuncNameResolution(t *testing.T) {
+	src := `(module
+	  (import "env" "host" (func $h))
+	  (func (export "visible") call $h)
+	  (func $hidden nop)
+	  (func (export "use") call $hidden))`
+	bin, err := wat.CompileToBinary(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := wasm.Decode(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := wasm.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cm.FuncName(0); got != "env.host" {
+		t.Errorf("import name %q", got)
+	}
+	if got := cm.FuncName(1); got != "visible" {
+		t.Errorf("export name %q", got)
+	}
+	if got := cm.FuncName(2); got != "func[2]" {
+		t.Errorf("anonymous name %q", got)
+	}
+}
+
+// TestDisabledProfilerAddsZeroAllocs pins the hot-path contract: with no
+// profile attached, invoking a plugin function allocates exactly what it
+// did before the profiler existed — the added cost is one nil check.
+func TestDisabledProfilerAddsZeroAllocs(t *testing.T) {
+	never := profiledInstance(t, callTreeWAT, nil, "")
+	detached := profiledInstance(t, callTreeWAT, wasm.NewProfile(), "")
+	detached.SetProfile(nil, "") // explicitly disabled again
+	if _, err := never.Call("tick"); err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := testing.AllocsPerRun(200, func() {
+		if _, err := never.Call("tick"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	disabled := testing.AllocsPerRun(200, func() {
+		if _, err := detached.Call("tick"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if disabled != baseline {
+		t.Fatalf("disabled profiler changes allocs/op: baseline %.1f, disabled %.1f", baseline, disabled)
+	}
+	if baseline != 0 {
+		t.Fatalf("void export call allocates %.1f/op, want 0", baseline)
+	}
+}
+
+// BenchmarkCallProfiler quantifies both sides of the switch for the docs:
+// the disabled path must show 0 B/op.
+func BenchmarkCallProfiler(b *testing.B) {
+	build := func(b *testing.B, p *wasm.Profile) *wasm.Instance {
+		b.Helper()
+		bin, err := wat.CompileToBinary(callTreeWAT)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := wasm.Decode(bin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cm, err := wasm.Compile(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in, err := cm.Instantiate(nil, wasm.Config{MeterFuel: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		in.SetFuel(1 << 40)
+		if p != nil {
+			in.SetProfile(p, "rr")
+		}
+		return in
+	}
+	b.Run("disabled", func(b *testing.B) {
+		in := build(b, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := in.Call("tick"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		in := build(b, wasm.NewProfile())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := in.Call("tick"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
