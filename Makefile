@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check check-e2 check-obs check-guard check-trace lint-metrics bench fuzz
+.PHONY: build test check check-e2 check-obs check-guard check-trace check-abi lint-metrics bench fuzz
 
 ## build: compile every package.
 build:
@@ -13,7 +13,7 @@ test: build
 ## check: the deeper tier — vet, the full suite under the race detector,
 ## the association-resilience suite, and a 10 s fuzz smoke of the wasm
 ## decode/compile/execute gauntlet.
-check: build check-e2 check-obs check-guard check-trace lint-metrics
+check: build check-e2 check-obs check-guard check-trace check-abi lint-metrics
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^FuzzDecode$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/wasm
@@ -46,6 +46,15 @@ check-guard:
 check-trace:
 	$(GO) test -race -count=1 ./internal/obs/trace ./internal/obs ./internal/wasm ./internal/e2
 	$(GO) test -run '^FuzzMessageHeaderRoundTrip$$' -fuzz '^FuzzMessageHeaderRoundTrip$$' -fuzztime 10s ./internal/e2
+
+## check-abi: zero-copy plugin ABI gate — race-enabled differential suites
+## (region negotiation/lifecycle in wabi, delta writer + response reader in
+## sched, codec-vs-zerocopy bit-identity over real guests in plugins), plus
+## a 10 s fuzz smoke of the request/response byte-equivalence contract
+## between the zero-copy regions and the serializing binary codec.
+check-abi:
+	$(GO) test -race -count=1 -run 'ZeroCopy|ZC|Region|Differential|ABI' ./internal/wabi ./internal/sched ./internal/plugins
+	$(GO) test -run '^FuzzABIDifferential$$' -fuzz '^FuzzABIDifferential$$' -fuzztime 10s ./internal/sched
 
 ## lint-metrics: telemetry must go through internal/obs — fail on raw
 ## atomic.Uint64 counter fields outside internal/obs and internal/metrics.

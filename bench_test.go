@@ -503,13 +503,15 @@ func BenchmarkBytecodeUploadPath(b *testing.B) {
 
 // buildCellGroup assembles a group of Fig. 5a-shaped cells whose slices
 // share pool-backed plugin schedulers, so concurrent cells fan intra-slice
-// decisions across parallel sandboxes of one compiled module.
-func buildCellGroup(b *testing.B, cells, par int) *core.CellGroup {
+// decisions across parallel sandboxes of one compiled module. abi selects
+// the plugin call path for every installed scheduler.
+func buildCellGroup(b *testing.B, cells, par int, abi sched.ABIMode) *core.CellGroup {
 	b.Helper()
 	cg, err := core.NewCellGroup(ran.CellConfig{}, core.CellGroupConfig{Cells: cells, Parallelism: par})
 	if err != nil {
 		b.Fatal(err)
 	}
+	cg.PluginABI = abi
 	specs := core.DefaultFig5aSpecs()
 	for c := 0; c < cells; c++ {
 		gnb := cg.Cell(c)
@@ -538,8 +540,10 @@ func buildCellGroup(b *testing.B, cells, par int) *core.CellGroup {
 
 // BenchmarkMultiCellSlots measures one group slot (all cells stepped) for
 // an 8-cell deployment at parallelism 1 vs GOMAXPROCS, against the
-// single-cell baseline. The scaling claim: at GOMAXPROCS >= 4 the 8-cell
-// group steps in well under 8x the single-cell ns/op.
+// single-cell baseline, for both plugin call paths. The scaling claim: at
+// GOMAXPROCS >= 4 the 8-cell group steps in well under 8x the single-cell
+// ns/op; the codec-vs-zerocopy split isolates the serialization share of
+// the slot from the scheduling logic itself.
 func BenchmarkMultiCellSlots(b *testing.B) {
 	b.Run("1cell", func(b *testing.B) {
 		gnb := buildFig5aGNB(b)
@@ -551,12 +555,15 @@ func BenchmarkMultiCellSlots(b *testing.B) {
 	for _, cfg := range []struct {
 		name string
 		par  int
+		abi  sched.ABIMode
 	}{
-		{"8cell/par=1", 1},
-		{"8cell/par=max", 0}, // 0 = GOMAXPROCS
+		{"8cell/par=1/codec", 1, sched.ABICodec},
+		{"8cell/par=1/zerocopy", 1, sched.ABIZeroCopy},
+		{"8cell/par=max/codec", 0, sched.ABICodec}, // par 0 = GOMAXPROCS
+		{"8cell/par=max/zerocopy", 0, sched.ABIZeroCopy},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
-			cg := buildCellGroup(b, 8, cfg.par)
+			cg := buildCellGroup(b, 8, cfg.par, cfg.abi)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				cg.StepAll()
@@ -569,6 +576,48 @@ func BenchmarkMultiCellSlots(b *testing.B) {
 			}
 			b.ReportMetric(float64(overruns)/float64(b.N*8), "overruns/slot")
 		})
+	}
+}
+
+// BenchmarkABIPath isolates the host-side call path itself: one plugin
+// scheduler forced onto the serializing codec vs the zero-copy regions, at
+// realistic UE counts. "zerocopy" pays the delta diff against the shadow
+// buffer; "zerocopy-cold" mutates every record each slot so nothing is
+// skippable, bounding the worst case.
+func BenchmarkABIPath(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		abi  sched.ABIMode
+		cold bool
+	}{
+		{"codec", sched.ABICodec, false},
+		{"zerocopy", sched.ABIZeroCopy, false},
+		{"zerocopy-cold", sched.ABIZeroCopy, true},
+	} {
+		for _, nUE := range []int{10, 64, 256} {
+			b.Run(fmt.Sprintf("%s/%dUE", mode.name, nUE), func(b *testing.B) {
+				ps, err := core.NewPluginScheduler("pf", wabi.Policy{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ps.SetABIMode(mode.abi); err != nil {
+					b.Fatal(err)
+				}
+				req := benchRequest(nUE)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					req.Slot = uint64(i)
+					if mode.cold {
+						for u := range req.UEs {
+							req.UEs[u].BufferBytes = uint32(50_000 + i + u)
+						}
+					}
+					if _, err := ps.Schedule(req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -75,6 +75,14 @@ type CellGroup struct {
 	// point for the wasm profiler and other host extensions. Set before
 	// installing schedulers.
 	PluginEnv wabi.Env
+
+	// PluginABI selects the request/response path for every scheduler the
+	// group installs: sched.ABIAuto (default) negotiates zero-copy regions
+	// with capable guests and falls back to the serializing codec,
+	// sched.ABICodec forces the codec (ablation baseline), sched.ABIZeroCopy
+	// refuses guests without the region ABI. Set before installing
+	// schedulers.
+	PluginABI sched.ABIMode
 }
 
 // NewCellGroup creates cfg.Cells identical cells (defaults applied). The
@@ -295,6 +303,11 @@ func (cg *CellGroup) installPool(sliceID uint32, name string, mod *wabi.Module, 
 	ps, err := sched.NewPoolScheduler(name, pool, nil)
 	if err != nil {
 		return nil, err
+	}
+	if cg.PluginABI != sched.ABIAuto {
+		if err := ps.SetABIMode(cg.PluginABI); err != nil {
+			return nil, err
+		}
 	}
 	swapped := 0
 	for _, g := range cg.cells {

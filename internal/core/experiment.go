@@ -39,6 +39,9 @@ type ExpConfig struct {
 	// paper's 1 ms; tests raise it so shared-machine jitter cannot register
 	// as a missed deadline.
 	SlotDeadline time.Duration
+	// ABI selects the plugin call path in experiments that install wasm
+	// schedulers: "auto" (default), "codec" or "zerocopy" (sched.ParseABIMode).
+	ABI string
 	// Obs, when non-nil, is the metric registry the experiment should wire
 	// its subsystems into; experiments that support it embed
 	// Obs.Snapshot() in their result. Nil disables instrumentation.

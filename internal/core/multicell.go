@@ -2,6 +2,7 @@ package core
 
 import (
 	"runtime"
+	"strings"
 	"time"
 
 	"waran/internal/e2"
@@ -34,6 +35,23 @@ type MulticellResult struct {
 	CacheHits           uint64  `json:"cache_hits"`
 	CacheMisses         uint64  `json:"cache_misses"`
 
+	// Plugin ABI accounting for the parallel run: which call path the
+	// schedulers used, the host-side cost per decision, and — over zero-copy
+	// — how effective the delta writer was (dirty records as a percentage of
+	// records carried; 100 means every record was rewritten every call).
+	ABI              string  `json:"abi"`
+	SchedCalls       uint64  `json:"sched_calls"`
+	SchedNsPerCall   float64 `json:"sched_ns_per_call"`
+	SchedFuelPerCall float64 `json:"sched_fuel_per_call"`
+	ZCCalls          uint64  `json:"zc_calls"`
+	ZCDirtyRecordPct float64 `json:"zc_dirty_record_pct"`
+	// ABIWallSharePct is the share of in-sandbox wall time spent inside the
+	// "waran.*" ABI import functions (input_read, output_write, ...),
+	// measured by the wasm profiler over a short instrumented pass. The
+	// zero-copy path never calls them, so this is the serialization overhead
+	// the region ABI removes from the sandbox.
+	ABIWallSharePct float64 `json:"abi_wall_share_pct"`
+
 	Obs map[string]any `json:"obs,omitempty"`
 }
 
@@ -41,34 +59,48 @@ type MulticellResult struct {
 // slices share pool-backed built-in schedulers: the deployment the
 // multicell experiment (and cmd/gnb's multi-cell mode) steps.
 func BuildMulticellGroup(cells, par int) (*CellGroup, error) {
+	cg, _, err := BuildMulticellGroupABI(cells, par, sched.ABIAuto, wabi.Env{})
+	return cg, err
+}
+
+// BuildMulticellGroupABI is BuildMulticellGroup with the plugin ABI forced
+// and an environment (profiler, chaos) merged into every pool. It also
+// returns the installed pool schedulers so callers can read per-path call
+// accounting after the run.
+func BuildMulticellGroupABI(cells, par int, abi sched.ABIMode, env wabi.Env) (*CellGroup, []*sched.PoolScheduler, error) {
 	cg, err := NewCellGroup(ran.CellConfig{}, CellGroupConfig{Cells: cells, Parallelism: par})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	cg.PluginABI = abi
+	cg.PluginEnv = env
 	specs := DefaultFig5aSpecs()
 	for c := 0; c < cells; c++ {
 		gnb := cg.Cell(c)
 		ueID := uint32(1)
 		for _, sp := range specs {
 			if _, err := gnb.Slices.AddSlice(sp.ID, sp.Name, sp.TargetBps, sched.RoundRobin{}, nil); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			for k := 0; k < sp.NumUEs; k++ {
 				ue := ran.NewUE(ueID, sp.ID, 22+2*k)
 				ue.Traffic = ran.NewCBR(1.4 * sp.TargetBps / float64(sp.NumUEs))
 				if err := gnb.AttachUE(ue); err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				ueID++
 			}
 		}
 	}
+	var scheds []*sched.PoolScheduler
 	for _, sp := range specs {
-		if _, err := cg.InstallPooledScheduler(sp.ID, sp.Scheduler, wabi.Policy{}, cells); err != nil {
-			return nil, err
+		ps, err := cg.InstallPooledScheduler(sp.ID, sp.Scheduler, wabi.Policy{}, cells)
+		if err != nil {
+			return nil, nil, err
 		}
+		scheds = append(scheds, ps)
 	}
-	return cg, nil
+	return cg, scheds, nil
 }
 
 // RunMulticell steps a cell group serially and with the worker pool, then
@@ -89,17 +121,22 @@ func RunMulticell(cfg ExpConfig) (*MulticellResult, error) {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	abi, err := sched.ParseABIMode(cfg.ABI)
+	if err != nil {
+		return nil, err
+	}
 	rep := &MulticellResult{
 		Cells:       cells,
 		Slots:       slots,
 		Parallelism: par,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		ABI:         abi.String(),
 	}
 
-	timeRun := func(parallelism int, reg bool) (float64, *CellGroup, error) {
-		cg, err := BuildMulticellGroup(cells, parallelism)
+	timeRun := func(parallelism int, reg bool) (float64, *CellGroup, []*sched.PoolScheduler, error) {
+		cg, scheds, err := BuildMulticellGroupABI(cells, parallelism, abi, wabi.Env{})
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 		if reg && cfg.Obs != nil {
 			cg.EnableObservability(cfg.Obs, cfg.Trace)
@@ -107,19 +144,41 @@ func RunMulticell(cfg ExpConfig) (*MulticellResult, error) {
 		start := time.Now()
 		cg.RunSlots(slots, nil)
 		elapsed := time.Since(start)
-		return float64(slots) / elapsed.Seconds(), cg, nil
+		return float64(slots) / elapsed.Seconds(), cg, scheds, nil
 	}
 
-	var err error
-	if rep.SerialSlotsPerSec, _, err = timeRun(1, false); err != nil {
+	if rep.SerialSlotsPerSec, _, _, err = timeRun(1, false); err != nil {
 		return nil, err
 	}
-	parRate, cg, err := timeRun(par, true)
+	parRate, cg, scheds, err := timeRun(par, true)
 	if err != nil {
 		return nil, err
 	}
 	rep.ParallelSlotsPerSec = parRate
 	rep.Speedup = rep.ParallelSlotsPerSec / rep.SerialSlotsPerSec
+
+	var totalNs, totalFuel int64
+	var dirty, records uint64
+	for _, ps := range scheds {
+		st := ps.Stats()
+		rep.SchedCalls += st.Calls
+		rep.ZCCalls += st.ZCCalls
+		totalNs += st.TotalTime.Nanoseconds()
+		totalFuel += st.TotalFuel
+		dirty += st.ZCDirtyRecords
+		records += st.ZCRecords
+	}
+	if rep.SchedCalls > 0 {
+		rep.SchedNsPerCall = float64(totalNs) / float64(rep.SchedCalls)
+		rep.SchedFuelPerCall = float64(totalFuel) / float64(rep.SchedCalls)
+	}
+	if records > 0 {
+		rep.ZCDirtyRecordPct = 100 * float64(dirty) / float64(records)
+	}
+	rep.ABIWallSharePct, err = measureABIWallShare(abi)
+	if err != nil {
+		return nil, err
+	}
 
 	for _, st := range cg.WatchdogStats() {
 		rep.DeadlineUs = float64(st.Deadline.Microseconds())
@@ -158,4 +217,31 @@ func RunMulticell(cfg ExpConfig) (*MulticellResult, error) {
 		rep.Obs = cfg.Obs.Snapshot()
 	}
 	return rep, nil
+}
+
+// measureABIWallShare runs a short profiled pass of a small cell group and
+// returns the percentage of in-sandbox wall time spent inside the "waran.*"
+// ABI import functions — the serialization plumbing the zero-copy path
+// bypasses. Profiling distorts absolute timings, so this runs apart from
+// the timed passes and only the ratio is reported. Function names carry a
+// per-scheduler tag prefix ("rr:waran.input_read"), hence the substring
+// match.
+func measureABIWallShare(abi sched.ABIMode) (float64, error) {
+	prof := wasm.NewProfile()
+	cg, _, err := BuildMulticellGroupABI(2, 1, abi, wabi.Env{Profile: prof})
+	if err != nil {
+		return 0, err
+	}
+	cg.RunSlots(256, nil)
+	var abiNs, allNs int64
+	for _, f := range prof.Snapshot().Functions {
+		allNs += f.SelfNs
+		if strings.Contains(f.Name, "waran.") {
+			abiNs += f.SelfNs
+		}
+	}
+	if allNs == 0 {
+		return 0, nil
+	}
+	return 100 * float64(abiNs) / float64(allNs), nil
 }

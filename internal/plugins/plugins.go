@@ -26,6 +26,14 @@ import (
 //	32768 .. 34815  grant array   (u32 per active UE, RR only)
 //	36864 .. 38911  need array    (u32 per active UE, RR only)
 //	40960 .. 45059  response buffer
+//
+// The request and response buffers double as the zero-copy regions
+// (zc_req_region/zc_resp_region): the serializing path copies the request
+// into the same buffer via input_read that the zero-copy host writes
+// directly, so every field accessor below serves both ABIs unchanged. Each
+// scheduler's decision logic lives in a $core function that reads the
+// request buffer and seals the response count in place; "schedule" wraps it
+// with the input_read/output_write copy plumbing, "schedule_zc" skips both.
 const watPrelude = `
   (import "waran" "input_length" (func $input_length (result i32)))
   (import "waran" "input_read"   (func $input_read (param i32 i32 i32) (result i32)))
@@ -107,12 +115,21 @@ const watPrelude = `
     (i32.store offset=4 (local.get $p) (local.get $prbs))
     (global.set $outn (i32.add (global.get $outn) (i32.const 1))))
 
-  ;; flush finalizes and publishes the response.
-  (func $flush
-    (i32.store (i32.const 40960) (global.get $outn))
+  ;; seal finalizes the response in place: the count word makes the
+  ;; allocation table valid for a host reading the response region directly.
+  (func $seal
+    (i32.store (i32.const 40960) (global.get $outn)))
+
+  ;; publish copies the sealed response out through the serializing ABI.
+  (func $publish
     (call $output_write
       (i32.const 40960)
-      (i32.add (i32.const 4) (i32.mul (global.get $outn) (i32.const 8)))))
+      (i32.add (i32.const 4) (i32.mul (i32.load (i32.const 40960)) (i32.const 8)))))
+
+  ;; Zero-copy region negotiation: the request buffer and response buffer
+  ;; are the shared-memory windows.
+  (func (export "zc_req_region") (result i32) (i32.const 1024))
+  (func (export "zc_resp_region") (result i32) (i32.const 40960))
 
   ;; fill grants each UE in order-array sequence its full need until the
   ;; budget runs out (the greedy tail shared by MT and PF).
@@ -173,14 +190,21 @@ var MaxThroughputWAT = "(module " + watPrelude + `
         (then (i32.lt_u (call $ue_id (local.get $a)) (call $ue_id (local.get $b))))
         (else (i32.const 0))))))
 ` + watSort("$mt_sort", "$mt_less") + `
-  (func (export "schedule") (result i32)
-    (local $n i32) (local $m i32)
+  (func $core (param $n i32)
+    (local $m i32)
     (global.set $outn (i32.const 0))
-    (local.set $n (call $load_input))
     (local.set $m (call $collect_active (local.get $n)))
     (call $mt_sort (local.get $m))
     (call $fill (local.get $m) (call $budget))
-    (call $flush)
+    (call $seal))
+
+  (func (export "schedule") (result i32)
+    (call $core (call $load_input))
+    (call $publish)
+    (i32.const 0))
+
+  (func (export "schedule_zc") (result i32)
+    (call $core (i32.load (i32.const 1040)))
     (i32.const 0))
 )`
 
@@ -219,15 +243,22 @@ var ProportionalFairWAT = "(module " + watPrelude + `
         (then (i32.lt_u (call $ue_id (local.get $a)) (call $ue_id (local.get $b))))
         (else (i32.const 0))))))
 ` + watSort("$pf_sort", "$pf_less") + `
-  (func (export "schedule") (result i32)
-    (local $n i32) (local $m i32)
+  (func $core (param $n i32)
+    (local $m i32)
     (global.set $outn (i32.const 0))
-    (local.set $n (call $load_input))
     (call $compute_metrics (local.get $n))
     (local.set $m (call $collect_active (local.get $n)))
     (call $pf_sort (local.get $m))
     (call $fill (local.get $m) (call $budget))
-    (call $flush)
+    (call $seal))
+
+  (func (export "schedule") (result i32)
+    (call $core (call $load_input))
+    (call $publish)
+    (i32.const 0))
+
+  (func (export "schedule_zc") (result i32)
+    (call $core (i32.load (i32.const 1040)))
     (i32.const 0))
 )`
 
@@ -243,17 +274,16 @@ var RoundRobinWAT = "(module " + watPrelude + `
   (func $need_set (param $k i32) (param $v i32)
     (i32.store (i32.add (i32.const 36864) (i32.shl (local.get $k) (i32.const 2))) (local.get $v)))
 
-  (func (export "schedule") (result i32)
-    (local $n i32) (local $m i32) (local $budget i32) (local $start i32)
+  (func $core (param $n i32)
+    (local $m i32) (local $budget i32) (local $start i32)
     (local $i i32) (local $ix i32) (local $progressed i32)
     (global.set $outn (i32.const 0))
-    (local.set $n (call $load_input))
     (local.set $m (call $collect_active (local.get $n)))
     (local.set $budget (call $budget))
     (if (i32.or (i32.eqz (local.get $m)) (i32.eqz (local.get $budget)))
       (then
-        (call $flush)
-        (return (i32.const 0))))
+        (call $seal)
+        (return)))
 
     ;; Cache per-position need, zero grants.
     (local.set $i (i32.const 0))
@@ -302,7 +332,15 @@ var RoundRobinWAT = "(module " + watPrelude + `
             (call $grant_get (local.get $i)))))
         (local.set $i (i32.add (local.get $i) (i32.const 1)))
         (br $emitl)))
-    (call $flush)
+    (call $seal))
+
+  (func (export "schedule") (result i32)
+    (call $core (call $load_input))
+    (call $publish)
+    (i32.const 0))
+
+  (func (export "schedule_zc") (result i32)
+    (call $core (i32.load (i32.const 1040)))
     (i32.const 0))
 )`
 

@@ -120,10 +120,10 @@ func (BinaryCodec) DecodeResponse(b []byte) (*Response, error) {
 	le := binary.LittleEndian
 	n := le.Uint32(b[0:])
 	if n > maxRespAllocs {
-		return nil, badOutputf("sched: binary response claims %d allocations (max %d)", n, maxRespAllocs)
+		return nil, badOutputKind(BadOutputOOB, "sched: binary response claims %d allocations (max %d)", n, maxRespAllocs)
 	}
 	if want := 4 + int64(n)*binRespAllocLen; int64(len(b)) != want {
-		return nil, badOutputf("sched: binary response length %d does not match %d allocations (want %d): allocation region out of bounds",
+		return nil, badOutputKind(BadOutputOOB, "sched: binary response length %d does not match %d allocations (want %d): allocation region out of bounds",
 			len(b), n, want)
 	}
 	resp := &Response{Allocs: make([]Allocation, n)}
@@ -132,7 +132,7 @@ func (BinaryCodec) DecodeResponse(b []byte) (*Response, error) {
 	for i := 0; i < int(n); i++ {
 		a := Allocation{UEID: le.Uint32(b[off:]), PRBs: le.Uint32(b[off+4:])}
 		if j, dup := seen[a.UEID]; dup {
-			return nil, badOutputf("sched: binary response allocations %d and %d overlap on UE %d", j, i, a.UEID)
+			return nil, badOutputKind(BadOutputOverlap, "sched: binary response allocations %d and %d overlap on UE %d", j, i, a.UEID)
 		}
 		seen[a.UEID] = i
 		resp.Allocs[i] = a
@@ -213,13 +213,13 @@ func (JSONCodec) DecodeResponse(b []byte) (*Response, error) {
 		return nil, badOutputf("sched: decode json response: %w", err)
 	}
 	if len(jr.Allocs) > maxRespAllocs {
-		return nil, badOutputf("sched: json response claims %d allocations (max %d)", len(jr.Allocs), maxRespAllocs)
+		return nil, badOutputKind(BadOutputOOB, "sched: json response claims %d allocations (max %d)", len(jr.Allocs), maxRespAllocs)
 	}
 	resp := &Response{}
 	seen := make(map[uint32]int, len(jr.Allocs))
 	for i, a := range jr.Allocs {
 		if j, dup := seen[a.UEID]; dup {
-			return nil, badOutputf("sched: json response allocations %d and %d overlap on UE %d", j, i, a.UEID)
+			return nil, badOutputKind(BadOutputOverlap, "sched: json response allocations %d and %d overlap on UE %d", j, i, a.UEID)
 		}
 		seen[a.UEID] = i
 		resp.Allocs = append(resp.Allocs, Allocation(a))

@@ -25,6 +25,9 @@ type PoolScheduler struct {
 	pool  *wabi.Pool
 	codec Codec
 
+	abi      ABIMode
+	zeroCopy bool
+
 	mu        sync.Mutex
 	calls     uint64
 	faults    uint64
@@ -32,11 +35,17 @@ type PoolScheduler struct {
 	lastTime  time.Duration
 	lastFuel  int64
 	totalFuel int64
+	zcCalls   uint64
+	zcDirty   uint64
+	zcRecords uint64
 }
 
 // NewPoolScheduler wraps an instance pool. codec nil means the binary
-// codec. One instance is created eagerly to verify the module exports the
-// scheduling entry point; it is returned to the pool warm.
+// codec. One instance is created eagerly to resolve the call path (every
+// instance is the same compiled module, so its exports speak for the whole
+// pool); it is returned to the pool warm. The path defaults to ABIAuto:
+// zero-copy when the guest negotiates it, codec otherwise; force either
+// with SetABIMode.
 func NewPoolScheduler(name string, pool *wabi.Pool, codec Codec) (*PoolScheduler, error) {
 	if codec == nil {
 		codec = BinaryCodec{}
@@ -45,12 +54,45 @@ func NewPoolScheduler(name string, pool *wabi.Pool, codec Codec) (*PoolScheduler
 	if err != nil {
 		return nil, fmt.Errorf("sched: pool plugin %q: %w", name, err)
 	}
-	ok := pl.HasEntry(EntryPoint)
+	zc, err := resolveABI(name, pl, ABIAuto)
 	pool.Put(pl)
-	if !ok {
-		return nil, fmt.Errorf("sched: plugin %q does not export %q with signature () -> i32", name, EntryPoint)
+	if err != nil {
+		return nil, err
 	}
-	return &PoolScheduler{name: name, pool: pool, codec: codec}, nil
+	return &PoolScheduler{name: name, pool: pool, codec: codec, zeroCopy: zc}, nil
+}
+
+// SetABIMode forces the call path. ABIZeroCopy fails for guests without the
+// region ABI; ABICodec fails for zero-copy-only guests.
+func (p *PoolScheduler) SetABIMode(mode ABIMode) error {
+	pl, err := p.pool.Get()
+	if err != nil {
+		return fmt.Errorf("sched: pool plugin %q: %w", p.name, err)
+	}
+	zc, err := resolveABI(p.name, pl, mode)
+	p.pool.Put(pl)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.abi = mode
+	p.zeroCopy = zc
+	p.mu.Unlock()
+	return nil
+}
+
+// ABI reports the requested ABI mode (ABIAuto unless forced).
+func (p *PoolScheduler) ABI() ABIMode {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.abi
+}
+
+// ZeroCopy reports whether calls go over the zero-copy path.
+func (p *PoolScheduler) ZeroCopy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.zeroCopy
 }
 
 // Name implements IntraSlice.
@@ -64,12 +106,15 @@ func (p *PoolScheduler) Stats() SchedStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return SchedStats{
-		Calls:     p.calls,
-		Faults:    p.faults,
-		TotalTime: p.totalTime,
-		LastTime:  p.lastTime,
-		LastFuel:  p.lastFuel,
-		TotalFuel: p.totalFuel,
+		Calls:          p.calls,
+		Faults:         p.faults,
+		TotalTime:      p.totalTime,
+		LastTime:       p.lastTime,
+		LastFuel:       p.lastFuel,
+		TotalFuel:      p.totalFuel,
+		ZCCalls:        p.zcCalls,
+		ZCDirtyRecords: p.zcDirty,
+		ZCRecords:      p.zcRecords,
 	}
 }
 
@@ -88,40 +133,67 @@ func (p *PoolScheduler) Register(reg *obs.Registry, labels ...obs.Label) {
 
 // Schedule implements IntraSlice: check out an instance, run the decision,
 // return the instance. The measured span matches PluginScheduler (encode +
-// sandbox execution + decode), excluding time spent waiting for a free
+// sandbox execution + decode, or delta-write + sandbox execution + region
+// validation over zero-copy), excluding time spent waiting for a free
 // instance so pool-exhaustion stalls are visible as wall-clock, not
 // mistaken for plugin cost.
+//
+// Each pooled instance keeps its own request-region shadow, so the delta
+// writer's hit rate depends on instance affinity: a pool of one behaves
+// like PluginScheduler, while round-robining instances across cells pays a
+// fuller write per checkout. The ZCDirtyRecords/ZCRecords ratio in Stats
+// makes that cost visible.
 func (p *PoolScheduler) Schedule(req *Request) (*Response, error) {
+	p.mu.Lock()
+	zeroCopy := p.zeroCopy
+	p.mu.Unlock()
+
 	pl, err := p.pool.Get()
 	if err != nil {
-		p.recordCall(0, 0, true)
+		p.recordCall(0, 0, true, zcStats{}, false)
 		return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, err)
 	}
 	defer p.pool.Put(pl)
 
 	start := time.Now()
+	var resp *Response
+	if zeroCopy {
+		var st zcStats
+		resp, st, err = zcCall(pl, req)
+		if err != nil {
+			p.recordCall(time.Since(start), pl.LastFuelUsed(), true, st, true)
+			return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, err)
+		}
+		if err := resp.Validate(req); err != nil {
+			p.recordCall(time.Since(start), pl.LastFuelUsed(), true, st, true)
+			return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, &BadOutputError{Kind: BadOutputSemantic, Err: err})
+		}
+		p.recordCall(time.Since(start), pl.LastFuelUsed(), false, st, true)
+		return resp, nil
+	}
+
 	in := p.codec.EncodeRequest(req)
 	out, err := pl.Call(EntryPoint, in)
 	if err != nil {
-		p.recordCall(time.Since(start), pl.LastFuelUsed(), true)
+		p.recordCall(time.Since(start), pl.LastFuelUsed(), true, zcStats{}, false)
 		return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, err)
 	}
-	resp, err := p.codec.DecodeResponse(out)
+	resp, err = p.codec.DecodeResponse(out)
 	if err != nil {
-		p.recordCall(time.Since(start), pl.LastFuelUsed(), true)
+		p.recordCall(time.Since(start), pl.LastFuelUsed(), true, zcStats{}, false)
 		return nil, fmt.Errorf("sched: pool plugin %q returned malformed response: %w", p.name, err)
 	}
 	if err := resp.Validate(req); err != nil {
-		p.recordCall(time.Since(start), pl.LastFuelUsed(), true)
+		p.recordCall(time.Since(start), pl.LastFuelUsed(), true, zcStats{}, false)
 		// Semantic rejection of a decoded response is still bad output for
 		// the failure taxonomy: the sandbox completed and the result lied.
-		return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, &BadOutputError{Err: err})
+		return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, &BadOutputError{Kind: BadOutputSemantic, Err: err})
 	}
-	p.recordCall(time.Since(start), pl.LastFuelUsed(), false)
+	p.recordCall(time.Since(start), pl.LastFuelUsed(), false, zcStats{}, false)
 	return resp, nil
 }
 
-func (p *PoolScheduler) recordCall(d time.Duration, fuel int64, fault bool) {
+func (p *PoolScheduler) recordCall(d time.Duration, fuel int64, fault bool, st zcStats, zc bool) {
 	p.mu.Lock()
 	p.calls++
 	p.lastTime = d
@@ -130,6 +202,11 @@ func (p *PoolScheduler) recordCall(d time.Duration, fuel int64, fault bool) {
 	p.totalFuel += fuel
 	if fault {
 		p.faults++
+	}
+	if zc {
+		p.zcCalls++
+		p.zcDirty += uint64(st.dirty)
+		p.zcRecords += uint64(st.total)
 	}
 	p.mu.Unlock()
 }

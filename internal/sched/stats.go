@@ -16,6 +16,13 @@ type SchedStats struct {
 	LastTime  time.Duration `json:"last_time_ns"`
 	LastFuel  int64         `json:"last_fuel"`
 	TotalFuel int64         `json:"total_fuel"`
+	// Zero-copy path accounting: calls served over the region ABI, UE
+	// records delta-written vs. UE records carried. DirtyRecords/Records is
+	// the delta writer's effectiveness — 1.0 means every record was
+	// rewritten every slot (no better than a full encode).
+	ZCCalls        uint64 `json:"zc_calls,omitempty"`
+	ZCDirtyRecords uint64 `json:"zc_dirty_records,omitempty"`
+	ZCRecords      uint64 `json:"zc_records,omitempty"`
 }
 
 // FuelReporter is implemented by schedulers that can report the fuel
@@ -39,6 +46,9 @@ func registerSched(reg *obs.Registry, stats func() SchedStats, labels []obs.Labe
 				{Suffix: "_last_time_us", Value: float64(s.LastTime.Nanoseconds()) / 1e3},
 				{Suffix: "_last_fuel", Value: float64(s.LastFuel)},
 				{Suffix: "_total_fuel", Value: float64(s.TotalFuel)},
+				{Suffix: "_zc_calls_total", Value: float64(s.ZCCalls)},
+				{Suffix: "_zc_dirty_records_total", Value: float64(s.ZCDirtyRecords)},
+				{Suffix: "_zc_records_total", Value: float64(s.ZCRecords)},
 			}
 		},
 		JSON: func() any { return stats() },

@@ -1,0 +1,264 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"waran/internal/wabi"
+	"waran/internal/wasm"
+)
+
+// Zero-copy scheduling ABI (the dApp-style real-time path).
+//
+// The serializing codecs pay an encode → input_read copy → guest copy →
+// output_write copy → decode round trip on every intra-slice decision —
+// per slice, per slot, per cell. The zero-copy ABI replaces it with two
+// shared-memory windows negotiated once per sandbox instance
+// (wabi.Plugin.Regions):
+//
+//   - the request region holds the slot context in the *same layout as the
+//     binary codec* — a 20-byte header (sliceID u32 | slot u64 | prbBudget
+//     u32 | nUE u32) followed by fixed-stride 24-byte UE records (id u32 |
+//     mcs u32 | bitsPerPRB u32 | bufferBytes u32 | avgTput f64). The host
+//     writes it in place and delta-updates only the records that changed
+//     since the previous slot served by that instance;
+//
+//   - the response region holds the allocation table (count u32, then
+//     ueID u32 | prbs u32 records) which the guest writes in place.
+//
+// Sharing the binary layout means any guest's view of a request is
+// bit-identical across both paths, which is what the differential harness
+// (FuzzABIDifferential, TestDifferentialCorpus) pins down.
+//
+// The response region is untrusted: the host re-validates it with the same
+// hardened rules as the serializing decode (absurd or out-of-region counts,
+// overlapping allocations → typed *BadOutputError with the same kinds), and
+// the allocation count word is poisoned before every call so a guest that
+// never writes its table can only produce a structural rejection, never a
+// stale decision.
+const (
+	// ZCEntryPoint is the entry a zero-copy-capable scheduler exports next
+	// to (or instead of) the classic EntryPoint. Signature () -> i32; the
+	// request is already in the request region when it runs, and the host
+	// reads the response region when it returns 0.
+	ZCEntryPoint = "schedule_zc"
+
+	// ZCMaxUEs bounds the UE records the request region can hold — the same
+	// 512-UE ceiling the built-in guests reserve buffer space for.
+	ZCMaxUEs = 512
+	// ZCMaxAllocs bounds the allocation table; one grant per UE is the most
+	// a sane scheduler emits.
+	ZCMaxAllocs = 512
+)
+
+// Region sizes derived from the shared binary layout.
+const (
+	// ZCRequestRegionLen = header + ZCMaxUEs fixed-stride records.
+	ZCRequestRegionLen = uint32(binReqHeaderLen + ZCMaxUEs*binReqUELen)
+	// ZCResponseRegionLen = count word + ZCMaxAllocs allocation records.
+	ZCResponseRegionLen = uint32(4 + ZCMaxAllocs*binRespAllocLen)
+
+	// zcRespPoison is written over the allocation count before every call.
+	// It exceeds ZCMaxAllocs, so if the guest never seals its response the
+	// host reads a guaranteed out-of-bounds claim instead of a stale table.
+	zcRespPoison = 0xdead_beef
+)
+
+// ABIMode selects how a plugin scheduler exchanges requests and responses
+// with its sandbox.
+type ABIMode int
+
+const (
+	// ABIAuto uses the zero-copy path when the guest negotiates it and
+	// falls back to the serializing codec for legacy guests.
+	ABIAuto ABIMode = iota
+	// ABICodec forces the serializing codec path (ablation baseline).
+	ABICodec
+	// ABIZeroCopy requires the zero-copy path; construction fails if the
+	// guest cannot negotiate it.
+	ABIZeroCopy
+)
+
+// String implements fmt.Stringer.
+func (m ABIMode) String() string {
+	switch m {
+	case ABICodec:
+		return "codec"
+	case ABIZeroCopy:
+		return "zerocopy"
+	default:
+		return "auto"
+	}
+}
+
+// ParseABIMode parses the -abi flag values "auto", "codec" and "zerocopy".
+func ParseABIMode(s string) (ABIMode, error) {
+	switch s {
+	case "", "auto":
+		return ABIAuto, nil
+	case "codec", "binary":
+		return ABICodec, nil
+	case "zerocopy", "zero-copy", "zc":
+		return ABIZeroCopy, nil
+	default:
+		return ABIAuto, fmt.Errorf("sched: unknown ABI mode %q (want auto, codec or zerocopy)", s)
+	}
+}
+
+// zcStats is one zero-copy call's delta-update accounting.
+type zcStats struct {
+	dirty int // UE records actually written
+	total int // UE records in the request
+}
+
+// zeroCopyEligible reports whether pl can serve the zero-copy path: the
+// region exports plus the dedicated entry point.
+func zeroCopyEligible(pl *wabi.Plugin) bool {
+	return pl.ZeroCopyCapable() && pl.HasEntry(ZCEntryPoint)
+}
+
+// resolveABI picks the call path for a plugin under the requested mode.
+func resolveABI(name string, pl *wabi.Plugin, mode ABIMode) (zeroCopy bool, err error) {
+	hasClassic := pl.HasEntry(EntryPoint)
+	hasZC := zeroCopyEligible(pl)
+	switch mode {
+	case ABICodec:
+		if !hasClassic {
+			return false, fmt.Errorf("sched: plugin %q does not export %q with signature () -> i32", name, EntryPoint)
+		}
+		return false, nil
+	case ABIZeroCopy:
+		if !hasZC {
+			return false, fmt.Errorf("sched: plugin %q is not zero-copy capable (needs %q, %q and %q exports)",
+				name, ZCEntryPoint, wabi.RegionRequestExport, wabi.RegionResponseExport)
+		}
+		return true, nil
+	default:
+		if hasZC {
+			return true, nil
+		}
+		if !hasClassic {
+			return false, fmt.Errorf("sched: plugin %q does not export %q with signature () -> i32", name, EntryPoint)
+		}
+		return false, nil
+	}
+}
+
+// zcWriteRequest delta-updates the request region of one instance: the
+// header and every UE record are encoded into a scratch stride and written
+// to guest memory only where they differ from the host's shadow of what the
+// region already holds. A fresh instance (empty shadow) gets a full write.
+func zcWriteRequest(mem *wasm.Memory, rg *wabi.Regions, req *Request) (zcStats, error) {
+	var st zcStats
+	if len(req.UEs) > ZCMaxUEs {
+		return st, fmt.Errorf("sched: zero-copy request with %d UEs exceeds region capacity %d", len(req.UEs), ZCMaxUEs)
+	}
+	if rg.Shadow == nil {
+		rg.Shadow = make([]byte, ZCRequestRegionLen)
+		rg.ShadowLen = 0
+	}
+	le := binary.LittleEndian
+	base := rg.Layout.ReqPtr
+
+	var hdr [binReqHeaderLen]byte
+	le.PutUint32(hdr[0:], req.SliceID)
+	le.PutUint64(hdr[4:], req.Slot)
+	le.PutUint32(hdr[12:], req.PRBBudget)
+	le.PutUint32(hdr[16:], uint32(len(req.UEs)))
+	if rg.ShadowLen < binReqHeaderLen || !bytes.Equal(hdr[:], rg.Shadow[:binReqHeaderLen]) {
+		if err := mem.Write(base, hdr[:]); err != nil {
+			return st, fmt.Errorf("sched: zero-copy request header write: %w", err)
+		}
+		copy(rg.Shadow, hdr[:])
+	}
+
+	var rec [binReqUELen]byte
+	off := binReqHeaderLen
+	for i := range req.UEs {
+		u := &req.UEs[i]
+		le.PutUint32(rec[0:], u.ID)
+		le.PutUint32(rec[4:], uint32(u.MCS))
+		le.PutUint32(rec[8:], u.BitsPerPRB)
+		le.PutUint32(rec[12:], u.BufferBytes)
+		le.PutUint64(rec[16:], math.Float64bits(u.AvgTputBps))
+		st.total++
+		if rg.ShadowLen < off+binReqUELen || !bytes.Equal(rec[:], rg.Shadow[off:off+binReqUELen]) {
+			if err := mem.Write(base+uint32(off), rec[:]); err != nil {
+				return st, fmt.Errorf("sched: zero-copy UE record %d write: %w", i, err)
+			}
+			copy(rg.Shadow[off:], rec[:])
+			st.dirty++
+		}
+		off += binReqUELen
+	}
+	// The shadow stays valid for records beyond this request's UE count:
+	// neither the host nor a well-behaved guest touched them, and the
+	// header's nUE keeps the guest from reading them. ShadowLen only grows.
+	if off > rg.ShadowLen {
+		rg.ShadowLen = off
+	}
+	return st, nil
+}
+
+// zcReadResponse validates and decodes the untrusted response region,
+// mirroring BinaryCodec.DecodeResponse's hostile-input posture: an
+// allocation count past the region bound is BadOutputOOB, two grants naming
+// the same UE are BadOutputOverlap. Arithmetic is done in uint64 so a
+// hostile count cannot overflow the bound computation.
+func zcReadResponse(mem *wasm.Memory, lay wabi.RegionLayout) (*Response, error) {
+	n, err := mem.ReadUint32(lay.RespPtr)
+	if err != nil {
+		return nil, badOutputKind(BadOutputOOB, "sched: zero-copy response region unreadable: %v", err)
+	}
+	if n > ZCMaxAllocs || 4+uint64(n)*binRespAllocLen > uint64(lay.RespLen) {
+		return nil, badOutputKind(BadOutputOOB,
+			"sched: zero-copy response claims %d allocations: allocation table out of bounds (region %d bytes, max %d allocations)",
+			n, lay.RespLen, ZCMaxAllocs)
+	}
+	resp := &Response{Allocs: make([]Allocation, n)}
+	seen := make(map[uint32]int, n)
+	off := lay.RespPtr + 4
+	for i := 0; i < int(n); i++ {
+		id, err1 := mem.ReadUint32(off)
+		prbs, err2 := mem.ReadUint32(off + 4)
+		if err1 != nil || err2 != nil {
+			return nil, badOutputKind(BadOutputOOB, "sched: zero-copy response record %d unreadable", i)
+		}
+		if j, dup := seen[id]; dup {
+			return nil, badOutputKind(BadOutputOverlap, "sched: zero-copy response allocations %d and %d overlap on UE %d", j, i, id)
+		}
+		seen[id] = i
+		resp.Allocs[i] = Allocation{UEID: id, PRBs: prbs}
+		off += binRespAllocLen
+	}
+	return resp, nil
+}
+
+// zcCall runs one scheduling decision over the zero-copy path: negotiate
+// (or reuse) the instance's regions, delta-write the request, poison the
+// response count, invoke the entry, and validate + decode the response
+// region in place.
+func zcCall(pl *wabi.Plugin, req *Request) (*Response, zcStats, error) {
+	rg, err := pl.Regions(ZCRequestRegionLen, ZCResponseRegionLen)
+	if err != nil {
+		return nil, zcStats{}, err
+	}
+	mem := pl.Instance().Memory()
+	st, err := zcWriteRequest(mem, rg, req)
+	if err != nil {
+		return nil, st, err
+	}
+	if err := mem.WriteUint32(rg.Layout.RespPtr, zcRespPoison); err != nil {
+		return nil, st, fmt.Errorf("sched: zero-copy response poison write: %w", err)
+	}
+	if _, err := pl.Call(ZCEntryPoint, nil); err != nil {
+		return nil, st, err
+	}
+	resp, err := zcReadResponse(mem, rg.Layout)
+	if err != nil {
+		return nil, st, err
+	}
+	return resp, st, nil
+}

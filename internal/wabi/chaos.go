@@ -97,6 +97,19 @@ func NewChaos(cfg ChaosConfig) *Chaos {
 	return &Chaos{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
 }
 
+// SetConfig replaces the fault schedule in place; counters and PRNG state
+// are kept. This lets a test disarm or re-arm an injector already shared by
+// live plugins — e.g. trap exactly once, then verify the replacement
+// instance recovers cleanly.
+func (c *Chaos) SetConfig(cfg ChaosConfig) {
+	if cfg.Stall == 0 {
+		cfg.Stall = 2 * time.Millisecond
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg = cfg
+}
+
 // Stats returns the injected-fault counters so far.
 func (c *Chaos) Stats() ChaosStats {
 	c.mu.Lock()

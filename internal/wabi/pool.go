@@ -96,12 +96,17 @@ func (p *Pool) Get() (*Plugin, error) {
 // mid-execution (trap, fuel exhaustion, deadline) are discarded instead of
 // recycled: their linear memory is in an unknown intermediate state and must
 // never be handed to the next caller. The creation slot is released so a
-// future Get instantiates a fresh, zeroed replacement.
+// future Get instantiates a fresh, zeroed replacement. The discarded
+// wrapper's cached zero-copy region layout is invalidated with it — a fresh
+// instance's heap starts over, so its region pointers must be re-negotiated
+// rather than inherited from the poisoned predecessor (regression:
+// TestPoolZeroCopyTrapThenReuse).
 func (p *Pool) Put(pl *Plugin) {
 	if pl == nil {
 		return
 	}
 	if pl.Poisoned() {
+		pl.invalidateRegions()
 		p.mu.Lock()
 		p.created--
 		p.discards++

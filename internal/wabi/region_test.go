@@ -1,0 +1,356 @@
+package wabi
+
+import (
+	"strings"
+	"testing"
+
+	"waran/internal/wasm"
+)
+
+// zcEchoWAT is a minimal zero-copy-capable guest with statically placed
+// regions: it copies the first 4 bytes of its request region into its
+// response region when "poke" runs.
+const zcEchoWAT = `(module
+  (import "waran" "output_write" (func $output_write (param i32 i32)))
+  (memory (export "memory") 1)
+  (func (export "zc_req_region") (result i32) (i32.const 1024))
+  (func (export "zc_resp_region") (result i32) (i32.const 4096))
+  (func (export "poke") (result i32)
+    (i32.store (i32.const 4096) (i32.load (i32.const 1024)))
+    (i32.const 0))
+)`
+
+// zcGrowWAT negotiates regions from memory grown on first use, the way an
+// allocator-backed guest would. A fresh instance starts back at one page,
+// so any cached layout from a previous instance points past the end of the
+// replacement's memory.
+const zcGrowWAT = `(module
+  (import "waran" "output_write" (func $output_write (param i32 i32)))
+  (memory (export "memory") 1 4)
+  (global $base (mut i32) (i32.const 0))
+  (func $alloc (result i32)
+    (if (i32.eqz (global.get $base))
+      (then
+        (global.set $base
+          (i32.mul (memory.grow (i32.const 1)) (i32.const 65536)))))
+    (global.get $base))
+  (func (export "zc_req_region") (result i32) (call $alloc))
+  (func (export "zc_resp_region") (result i32)
+    (i32.add (call $alloc) (i32.const 4096)))
+  (func (export "poke") (result i32)
+    (i32.store (i32.add (call $alloc) (i32.const 4096))
+      (i32.load (call $alloc)))
+    (i32.const 0))
+)`
+
+// zcOverlapWAT returns regions that alias each other.
+const zcOverlapWAT = `(module
+  (import "waran" "output_write" (func $output_write (param i32 i32)))
+  (memory (export "memory") 1)
+  (func (export "zc_req_region") (result i32) (i32.const 1024))
+  (func (export "zc_resp_region") (result i32) (i32.const 1040))
+)`
+
+// zcTrapWAT traps during negotiation itself.
+const zcTrapWAT = `(module
+  (import "waran" "output_write" (func $output_write (param i32 i32)))
+  (memory (export "memory") 1)
+  (func (export "zc_req_region") (result i32) (unreachable))
+  (func (export "zc_resp_region") (result i32) (i32.const 4096))
+)`
+
+func TestZeroCopyCapable(t *testing.T) {
+	if p := mustPlugin(t, zcEchoWAT, Policy{}, Env{}); !p.ZeroCopyCapable() {
+		t.Fatal("guest with both region exports not reported capable")
+	}
+	if p := mustPlugin(t, echoWAT, Policy{}, Env{}); p.ZeroCopyCapable() {
+		t.Fatal("legacy guest without region exports reported capable")
+	}
+	// Wrong signature must not count: a region export taking a parameter.
+	src := `(module
+	  (import "waran" "output_write" (func $output_write (param i32 i32)))
+	  (memory (export "memory") 1)
+	  (func (export "zc_req_region") (param i32) (result i32) (i32.const 1024))
+	  (func (export "zc_resp_region") (result i32) (i32.const 4096))
+	)`
+	if p := mustPlugin(t, src, Policy{}, Env{}); p.ZeroCopyCapable() {
+		t.Fatal("guest with mis-typed region export reported capable")
+	}
+}
+
+func TestRegionNegotiationCachesLayout(t *testing.T) {
+	p := mustPlugin(t, zcEchoWAT, Policy{Fuel: 1_000_000}, Env{})
+	rg, err := p.Regions(256, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RegionLayout{ReqPtr: 1024, ReqLen: 256, RespPtr: 4096, RespLen: 128}
+	if rg.Layout != want {
+		t.Fatalf("layout = %+v, want %+v", rg.Layout, want)
+	}
+	again, err := p.Regions(256, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != rg {
+		t.Fatal("second Regions call did not return the cached state")
+	}
+	if n := p.RegionNegotiations(); n != 1 {
+		t.Fatalf("negotiations = %d, want 1", n)
+	}
+	// A caller demanding different window sizes must not silently reuse the
+	// old negotiation.
+	if _, err := p.Regions(512, 128); err == nil {
+		t.Fatal("size mismatch against cached layout accepted")
+	}
+}
+
+func TestRegionNegotiationRejectsBadLayouts(t *testing.T) {
+	t.Run("overlap", func(t *testing.T) {
+		p := mustPlugin(t, zcOverlapWAT, Policy{}, Env{})
+		if _, err := p.Regions(256, 128); err == nil || !strings.Contains(err.Error(), "overlap") {
+			t.Fatalf("overlapping regions accepted (err=%v)", err)
+		}
+	})
+	t.Run("out of bounds", func(t *testing.T) {
+		p := mustPlugin(t, zcEchoWAT, Policy{}, Env{})
+		// One page of memory: a request window of 64 KiB starting at 1024
+		// runs past the end.
+		if _, err := p.Regions(65536, 128); err == nil || !strings.Contains(err.Error(), "exceeds memory") {
+			t.Fatalf("out-of-bounds request region accepted (err=%v)", err)
+		}
+	})
+	t.Run("missing export", func(t *testing.T) {
+		p := mustPlugin(t, echoWAT, Policy{}, Env{})
+		if _, err := p.Regions(256, 128); err == nil {
+			t.Fatal("negotiation with a legacy guest succeeded")
+		}
+	})
+}
+
+func TestRegionNegotiationTrapPoisons(t *testing.T) {
+	p := mustPlugin(t, zcTrapWAT, Policy{Fuel: 1_000_000}, Env{})
+	if _, err := p.Regions(256, 128); err == nil {
+		t.Fatal("negotiation with a trapping guest succeeded")
+	}
+	if !p.Poisoned() {
+		t.Fatal("trap during negotiation did not poison the instance")
+	}
+}
+
+func TestValidateRegionLayoutUnits(t *testing.T) {
+	mem := wasm.NewMemory(1, 1) // 65536 bytes
+	cases := []struct {
+		name string
+		lay  RegionLayout
+		ok   bool
+	}{
+		{"disjoint", RegionLayout{ReqPtr: 0, ReqLen: 100, RespPtr: 200, RespLen: 100}, true},
+		{"adjacent", RegionLayout{ReqPtr: 0, ReqLen: 100, RespPtr: 100, RespLen: 100}, true},
+		{"resp before req", RegionLayout{ReqPtr: 1000, ReqLen: 100, RespPtr: 0, RespLen: 100}, true},
+		{"overlap head", RegionLayout{ReqPtr: 0, ReqLen: 101, RespPtr: 100, RespLen: 100}, false},
+		{"resp inside req", RegionLayout{ReqPtr: 0, ReqLen: 1000, RespPtr: 10, RespLen: 10}, false},
+		{"req oob", RegionLayout{ReqPtr: 65500, ReqLen: 100, RespPtr: 0, RespLen: 100}, false},
+		{"resp oob", RegionLayout{ReqPtr: 0, ReqLen: 100, RespPtr: 65535, RespLen: 2}, false},
+		{"oob via overflow", RegionLayout{ReqPtr: 0xffff_ff00, ReqLen: 0x200, RespPtr: 0, RespLen: 100}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateRegionLayout(tc.lay, mem)
+			if (err == nil) != tc.ok {
+				t.Fatalf("validate(%+v) err = %v, want ok=%v", tc.lay, err, tc.ok)
+			}
+		})
+	}
+}
+
+// TestResetRenegotiatesGrownRegions pins the stale-layout hazard: a guest
+// that carves its regions from grown memory negotiates pointers past the
+// first page; after Reset the fresh instance is back to one page, so
+// reusing the cached layout would address unmapped memory. Reset must force
+// a renegotiation (which grows the fresh instance again).
+func TestResetRenegotiatesGrownRegions(t *testing.T) {
+	p := mustPlugin(t, zcGrowWAT, Policy{Fuel: 1_000_000}, Env{})
+	rg, err := p.Regions(256, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.Layout.ReqPtr != 65536 {
+		t.Fatalf("grown request region at %d, want 65536", rg.Layout.ReqPtr)
+	}
+	if err := p.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	// The fresh instance has one page again: the old layout is unmappable.
+	if got := p.MemoryBytes(); got != 65536 {
+		t.Fatalf("fresh instance memory = %d, want 65536", got)
+	}
+	rg2, err := p.Regions(256, 128)
+	if err != nil {
+		t.Fatalf("renegotiation after Reset: %v", err)
+	}
+	if p.RegionNegotiations() != 2 {
+		t.Fatalf("negotiations = %d, want 2", p.RegionNegotiations())
+	}
+	// The regrown layout must be valid against the new memory.
+	if err := validateRegionLayout(rg2.Layout, p.Instance().Memory()); err != nil {
+		t.Fatal(err)
+	}
+	// And usable: write through it, run the guest, read back.
+	mem := p.Instance().Memory()
+	if err := mem.WriteUint32(rg2.Layout.ReqPtr, 0xc0ffee); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Call("poke", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Call on a non-FreshInstance policy keeps the instance; the response
+	// region now holds the echoed word.
+	got, err := p.Instance().Memory().ReadUint32(p.zc.Layout.RespPtr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xc0ffee {
+		t.Fatalf("guest echoed %#x through regions, want 0xc0ffee", got)
+	}
+}
+
+// TestFreshInstancePolicyInvalidatesRegions: with FreshInstance, every call
+// replaces the instance, so a layout negotiated before the call is dead
+// after it.
+func TestFreshInstancePolicyInvalidatesRegions(t *testing.T) {
+	p := mustPlugin(t, zcGrowWAT, Policy{FreshInstance: true, Fuel: 1_000_000}, Env{})
+	if _, err := p.Regions(256, 128); err != nil {
+		t.Fatal(err)
+	}
+	// poke runs on a brand-new instance ($base back to 0) and succeeds; the
+	// point is the layout negotiated against the previous instance must be
+	// gone afterwards.
+	if _, err := p.Call("poke", nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.zc != nil {
+		t.Fatal("FreshInstance call left a cached region layout behind")
+	}
+	if _, err := p.Regions(256, 128); err != nil {
+		t.Fatalf("renegotiation after fresh-instance call: %v", err)
+	}
+	if p.RegionNegotiations() != 2 {
+		t.Fatalf("negotiations = %d, want 2", p.RegionNegotiations())
+	}
+}
+
+// TestPoolZeroCopyTrapThenReuse is the pool-level regression for the
+// stale-layout hazard: instance serves zero-copy traffic, traps, is
+// discarded by Put, and the replacement instance must renegotiate its
+// regions from scratch rather than inherit the poisoned predecessor's
+// layout. With a grow-based guest the stale layout would not even be
+// mappable on the one-page replacement.
+func TestPoolZeroCopyTrapThenReuse(t *testing.T) {
+	mod, err := CompileWAT(zcGrowWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := NewChaos(ChaosConfig{TrapProb: 1, ActivateAfter: 1, Seed: 7})
+	pool := NewPool(mod, Policy{Fuel: 1_000_000}, Env{Chaos: ch}, 1)
+
+	zcRound := func(pl *Plugin, wantWord uint32) error {
+		rg, err := pl.Regions(256, 128)
+		if err != nil {
+			return err
+		}
+		mem := pl.Instance().Memory()
+		if err := mem.WriteUint32(rg.Layout.ReqPtr, wantWord); err != nil {
+			return err
+		}
+		if _, err := pl.Call("poke", nil); err != nil {
+			return err
+		}
+		got, err := mem.ReadUint32(rg.Layout.RespPtr)
+		if err != nil {
+			return err
+		}
+		if got != wantWord {
+			t.Fatalf("guest echoed %#x, want %#x", got, wantWord)
+		}
+		return nil
+	}
+
+	// Call 1: clean (chaos activates after 1 call).
+	pl, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zcRound(pl, 0x1111); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(pl)
+
+	// Call 2: same recycled instance, chaos forces a trap mid-call.
+	pl, err = pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.RegionNegotiations() != 1 {
+		t.Fatalf("recycled instance renegotiated (%d), want cached layout", pl.RegionNegotiations())
+	}
+	if err := zcRound(pl, 0x2222); err == nil {
+		t.Fatal("chaos-armed call did not trap")
+	}
+	if !pl.Poisoned() {
+		t.Fatal("trapped instance not poisoned")
+	}
+	pool.Put(pl) // discards, invalidates regions
+	if d := pool.Stats().Discards; d != 1 {
+		t.Fatalf("discards = %d, want 1", d)
+	}
+	if pl.zc != nil {
+		t.Fatal("poisoned discard left a cached region layout on the wrapper")
+	}
+
+	// Call 3: replacement instance. Must renegotiate (grow again) and serve
+	// a correct decision; stale 65536-based pointers on the fresh one-page
+	// memory would make zcRound's writes fail.
+	ch.SetConfig(ChaosConfig{}) // stop injecting
+	pl, err = pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.RegionNegotiations() != 0 {
+		t.Fatalf("fresh wrapper carries %d negotiations", pl.RegionNegotiations())
+	}
+	if err := zcRound(pl, 0x3333); err != nil {
+		t.Fatalf("replacement instance zero-copy round: %v", err)
+	}
+	if pl.RegionNegotiations() != 1 {
+		t.Fatalf("replacement negotiations = %d, want 1", pl.RegionNegotiations())
+	}
+	pool.Put(pl)
+}
+
+// TestChaosScribbleLeavesPoisonDetectable: a forced trap on a zero-copy
+// plugin scribbles the response region; whatever the host might read there
+// must look like garbage (the scribble pattern), not a valid table.
+func TestChaosScribbleCoversResponseRegion(t *testing.T) {
+	ch := NewChaos(ChaosConfig{TrapProb: 1, ActivateAfter: 1, Seed: 3})
+	p := mustPlugin(t, zcEchoWAT, Policy{Fuel: 1_000_000}, Env{Chaos: ch})
+	rg, err := p.Regions(256, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Call("poke", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Call("poke", nil); err == nil {
+		t.Fatal("chaos-armed call did not trap")
+	}
+	head, err := p.Instance().Memory().Read(rg.Layout.RespPtr, rg.Layout.RespLen/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range head {
+		if b != 0xa5 {
+			t.Fatalf("response region byte %d = %#x, want scribble 0xa5", i, b)
+		}
+	}
+}

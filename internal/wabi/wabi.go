@@ -175,6 +175,13 @@ type Plugin struct {
 	output   []byte
 	guestErr string
 
+	// zc is the negotiated zero-copy region state for the current instance,
+	// nil until the first Regions call and invalidated whenever the instance
+	// is replaced or discarded. zcNegotiations counts negotiations across
+	// the Plugin's lifetime.
+	zc             *Regions
+	zcNegotiations uint64
+
 	// Per-call accounting, read through Stats(). Unsynchronized like the
 	// rest of the Plugin: one goroutine at a time.
 	calls     uint64
@@ -380,6 +387,9 @@ func (p *Plugin) Call(entry string, input []byte) ([]byte, error) {
 			return nil, &InstantiateError{Err: err}
 		}
 		p.inst = inst
+		// The fresh instance's memory starts over; any region layout and
+		// request shadow negotiated against the old one is stale.
+		p.invalidateRegions()
 	}
 	p.input = input
 	p.output = nil
@@ -398,6 +408,11 @@ func (p *Plugin) Call(entry string, input []byte) ([]byte, error) {
 		p.calls++
 		p.faults++
 		p.lastClass = FailTrap
+		// For zero-copy plugins the forced trap models a guest dying midway
+		// through writing its response region: scribble garbage over it so
+		// a host that (wrongly) read the region anyway could never mistake
+		// the half-written table for a decision.
+		p.chaosScribbleRegions()
 		return nil, &CallError{Entry: entry, Trap: &wasm.Trap{Code: wasm.TrapUnreachable}}
 	case chaosStallCall:
 		time.Sleep(stall)
@@ -454,17 +469,21 @@ func (p *Plugin) Call(entry string, input []byte) ([]byte, error) {
 	}
 	if act == chaosCorruptOutput {
 		p.output = corruptOutput(p.output)
+		p.chaosCorruptRegions()
 	}
 	return p.output, nil
 }
 
 // Reset discards the current instance and creates a fresh one, wiping all
-// guest state. Used when quarantining plugins after faults.
+// guest state. Used when quarantining plugins after faults. Any negotiated
+// zero-copy region layout dies with the old instance: the fresh memory may
+// lay its heap out differently, so the next zero-copy call re-negotiates.
 func (p *Plugin) Reset() error {
 	inst, err := p.instantiate()
 	if err != nil {
 		return err
 	}
 	p.inst = inst
+	p.invalidateRegions()
 	return nil
 }
