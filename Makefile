@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check check-e2 check-obs check-guard check-trace check-abi lint-metrics bench fuzz
+.PHONY: build test check check-e2 check-obs check-guard check-trace check-abi check-tier lint-metrics bench fuzz
 
 ## build: compile every package.
 build:
@@ -13,7 +13,7 @@ test: build
 ## check: the deeper tier — vet, the full suite under the race detector,
 ## the association-resilience suite, and a 10 s fuzz smoke of the wasm
 ## decode/compile/execute gauntlet.
-check: build check-e2 check-obs check-guard check-trace check-abi lint-metrics
+check: build check-e2 check-obs check-guard check-trace check-abi check-tier lint-metrics
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^FuzzDecode$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/wasm
@@ -56,6 +56,15 @@ check-abi:
 	$(GO) test -race -count=1 -run 'ZeroCopy|ZC|Region|Differential|ABI' ./internal/wabi ./internal/sched ./internal/plugins
 	$(GO) test -run '^FuzzABIDifferential$$' -fuzz '^FuzzABIDifferential$$' -fuzztime 10s ./internal/sched
 
+## check-tier: tiered-execution gate — race-enabled tier suites (wasm tier
+## equivalence / fuel sweep / deadline back-edge polling, wabi promotion
+## policy, sched/core per-tier call accounting, interp-vs-fused-vs-closure
+## differential over the real scheduler guests), plus a 10 s fuzz smoke of
+## the cross-tier bit-identity contract (results, trap classes, fuel).
+check-tier:
+	$(GO) test -race -count=1 -run 'Tier|MemoryGrowOverflow|Deadline' ./internal/wasm ./internal/wabi ./internal/sched ./internal/core ./internal/plugins
+	$(GO) test -run '^FuzzTierDifferential$$' -fuzz '^FuzzTierDifferential$$' -fuzztime 10s ./internal/plugins
+
 ## lint-metrics: telemetry must go through internal/obs — fail on raw
 ## atomic.Uint64 counter fields outside internal/obs and internal/metrics.
 ## Deliberate non-metric uses carry a "metric-exempt:" comment.
@@ -65,6 +74,17 @@ lint-metrics:
 	if [ -n "$$bad" ]; then \
 		echo "lint-metrics: raw atomic.Uint64 counters outside internal/obs|internal/metrics"; \
 		echo "(register an obs.Counter instead, or annotate the line with 'metric-exempt: <why>'):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi; \
+	bad=$$(grep -rn --include='*.go' 'Tier[A-Za-z]*Calls  *uint64\|TierPromotions  *uint64' internal cmd examples 2>/dev/null \
+		| grep -v 'metric-exempt' | cut -d: -f1 | sort -u \
+		| while read -r f; do \
+			grep -qr --include='*.go' '_tier_[a-z_]*_total' "$$(dirname $$f)" || echo "$$f"; \
+		done); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-metrics: tier counters must be exposed through internal/obs"; \
+		echo "(packages declaring Tier*Calls/TierPromotions fields must register matching _tier_*_total samples):"; \
 		echo "$$bad"; \
 		exit 1; \
 	fi; \

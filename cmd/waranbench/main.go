@@ -9,7 +9,7 @@
 //
 //	waranbench -list
 //	waranbench -fig 5a|5b|5c|5d|safety|upload|all [-duration 10s]
-//	waranbench -fig multicell [-cells 8] [-slots 2000] [-par 0] [-abi auto|codec|zerocopy]   (JSON output)
+//	waranbench -fig multicell [-cells 8] [-slots 2000] [-par 0] [-abi auto|codec|zerocopy] [-tier auto|interp|fused|closure]   (JSON output)
 //	waranbench -fig e2faults [-e2f-slots 2000] [-e2f-drop 0.05] [-e2f-reset 25] [-e2f-seed 1]   (JSON output)
 //	waranbench -fig tracelat [-tl-cells 4] [-tl-slots 1200] [-tl-seed 1]   (JSON output)
 package main
@@ -34,6 +34,7 @@ var (
 	mcSlots = flag.Int("slots", 2000, "multicell: slots to step")
 	mcPar   = flag.Int("par", 0, "multicell: worker parallelism (0 = GOMAXPROCS)")
 	mcABI   = flag.String("abi", "auto", "multicell: plugin call path (auto, codec, zerocopy)")
+	mcTier  = flag.String("tier", "auto", "multicell: wasm execution tier (auto, interp, fused, closure)")
 
 	e2fSlots = flag.Int("e2f-slots", 2000, "e2faults: MAC slots to run")
 	e2fDrop  = flag.Float64("e2f-drop", 0.05, "e2faults: drop probability on the lossy connection")
@@ -85,6 +86,7 @@ func configFor(name string, duration time.Duration) core.ExpConfig {
 		cfg.Slots = *mcSlots
 		cfg.Parallelism = *mcPar
 		cfg.ABI = *mcABI
+		cfg.Tier = *mcTier
 	case "e2faults":
 		cfg.Slots = *e2fSlots
 		cfg.Drop = *e2fDrop

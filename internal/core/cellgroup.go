@@ -14,6 +14,8 @@ import (
 	"waran/internal/ran"
 	"waran/internal/sched"
 	"waran/internal/wabi"
+	"waran/internal/wasm"
+	"waran/internal/wat"
 )
 
 // CellGroupConfig shapes a multi-cell slot engine.
@@ -83,6 +85,18 @@ type CellGroup struct {
 	// refuses guests without the region ABI. Set before installing
 	// schedulers.
 	PluginABI sched.ABIMode
+
+	// PluginTier pins every scheduler the group installs to one wasm
+	// execution tier. TierAuto (default) leaves tier selection to the
+	// profile-guided promotion machinery. Set before installing schedulers.
+	PluginTier wasm.Tier
+
+	// TierPromoteFuel sets the cumulative-fuel threshold at which an
+	// installed scheduler's module is promoted off the interpreter. Zero
+	// keeps wabi's default behavior (promotion armed only where a policy
+	// arms it); negative disables promotion. Set before installing
+	// schedulers.
+	TierPromoteFuel int64
 }
 
 // NewCellGroup creates cfg.Cells identical cells (defaults applied). The
@@ -267,9 +281,21 @@ func (cg *CellGroup) ReleaseCell(i int) {
 // InstallPooledScheduler compiles the named built-in scheduler ("rr", "pf",
 // "mt") once and installs one shared pool-backed IntraSlice across every
 // cell that registered sliceID: N cells scheduling concurrently draw from
-// up to poolMax parallel sandboxes of a single compiled module.
+// up to poolMax parallel sandboxes of a single compiled module. The module
+// is resolved through the group's content-addressed cache, so the cache's
+// tier policy (pinning, fuel-profiled promotion and its promotion counter)
+// governs preinstalled pools exactly like uploaded ones, and a later upload
+// of identical bytes is a cache hit rather than a recompile.
 func (cg *CellGroup) InstallPooledScheduler(sliceID uint32, name string, policy wabi.Policy, poolMax int) (*sched.PoolScheduler, error) {
-	mod, err := plugins.CompileScheduler(name)
+	src, ok := plugins.SchedulerWAT(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown built-in scheduler %q", name)
+	}
+	bin, err := wat.CompileToBinary(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: assemble built-in scheduler %q: %w", name, err)
+	}
+	mod, err := cg.Modules.Load(bin)
 	if err != nil {
 		return nil, err
 	}
@@ -294,6 +320,12 @@ func (cg *CellGroup) installPool(sliceID uint32, name string, mod *wabi.Module, 
 	}
 	if policy.Fuel == 0 {
 		policy.Fuel = 10_000_000
+	}
+	if policy.Tier == wasm.TierAuto {
+		policy.Tier = cg.PluginTier
+	}
+	if policy.TierPromoteFuel == 0 {
+		policy.TierPromoteFuel = cg.TierPromoteFuel
 	}
 	env := cg.PluginEnv
 	if env.ProfileTag == "" && env.Profile != nil {

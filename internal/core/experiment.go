@@ -42,6 +42,10 @@ type ExpConfig struct {
 	// ABI selects the plugin call path in experiments that install wasm
 	// schedulers: "auto" (default), "codec" or "zerocopy" (sched.ParseABIMode).
 	ABI string
+	// Tier pins the wasm execution tier for experiments that install wasm
+	// schedulers: "auto" (default, profile-guided promotion), "interp",
+	// "fused" or "closure" (wasm.ParseTier).
+	Tier string
 	// Obs, when non-nil, is the metric registry the experiment should wire
 	// its subsystems into; experiments that support it embed
 	// Obs.Snapshot() in their result. Nil disables instrumentation.

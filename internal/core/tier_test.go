@@ -1,0 +1,91 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"waran/internal/sched"
+	"waran/internal/wabi"
+	"waran/internal/wasm"
+)
+
+// tierGroupStats sums the scheduler accounting across a group's pools.
+func tierGroupStats(scheds []*sched.PoolScheduler) sched.SchedStats {
+	var total sched.SchedStats
+	for _, ps := range scheds {
+		st := ps.Stats()
+		total.Calls += st.Calls
+		total.TierInterpCalls += st.TierInterpCalls
+		total.TierFusedCalls += st.TierFusedCalls
+		total.TierClosureCalls += st.TierClosureCalls
+	}
+	return total
+}
+
+// TestMulticellTierDecisionsIdentical is the system-level half of the tier
+// bit-identity contract: the same deterministic cell group stepped with the
+// scheduler sandboxes pinned to each tier must emit identical per-cell
+// SlotResult sequences, and the tier counters must attribute every sandbox
+// call to the pinned tier.
+func TestMulticellTierDecisionsIdentical(t *testing.T) {
+	const cells, slots = 2, 120
+	run := func(tier wasm.Tier) ([][]SlotResult, sched.SchedStats) {
+		cg, scheds, err := BuildMulticellGroupTiered(cells, 1, sched.ABIAuto, tier, 0, wabi.Env{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seq [][]SlotResult
+		for i := 0; i < slots; i++ {
+			seq = append(seq, cg.StepAll())
+		}
+		return seq, tierGroupStats(scheds)
+	}
+
+	base, baseStats := run(wasm.TierInterp)
+	if baseStats.Calls == 0 || baseStats.TierInterpCalls != baseStats.Calls {
+		t.Fatalf("interp pin: %d of %d calls on interpreter", baseStats.TierInterpCalls, baseStats.Calls)
+	}
+	for _, tier := range []wasm.Tier{wasm.TierFused, wasm.TierClosure} {
+		seq, st := run(tier)
+		if !reflect.DeepEqual(seq, base) {
+			t.Fatalf("tier %v: slot results diverged from interpreter run", tier)
+		}
+		want := st.Calls
+		var got uint64
+		if tier == wasm.TierFused {
+			got = st.TierFusedCalls
+		} else {
+			got = st.TierClosureCalls
+		}
+		if want == 0 || got != want {
+			t.Fatalf("tier %v: %d of %d calls attributed to the pinned tier", tier, got, want)
+		}
+	}
+}
+
+// TestMulticellTierPromotion drives a TierAuto group until the fuel profile
+// promotes the scheduler modules: early calls run on the interpreter, later
+// calls on the closure tier, and the cache counts the promotions.
+func TestMulticellTierPromotion(t *testing.T) {
+	const cells = 2
+	// A few thousand fuel per decision: a tiny threshold promotes within the
+	// first few slots.
+	cg, scheds, err := BuildMulticellGroupTiered(cells, 1, sched.ABIAuto, wasm.TierAuto, 5000, wabi.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		cg.StepAll()
+	}
+	st := tierGroupStats(scheds)
+	if st.TierInterpCalls == 0 {
+		t.Fatal("no calls ran on the interpreter before promotion")
+	}
+	if st.TierClosureCalls == 0 {
+		t.Fatal("promotion never moved calls to the closure tier")
+	}
+	if st.TierInterpCalls+st.TierFusedCalls+st.TierClosureCalls != st.Calls {
+		t.Fatalf("tier counters (%d+%d+%d) do not cover %d calls",
+			st.TierInterpCalls, st.TierFusedCalls, st.TierClosureCalls, st.Calls)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"waran/internal/obs"
 	"waran/internal/wabi"
+	"waran/internal/wasm"
 )
 
 // EntryPoint is the exported function name intra-slice scheduler plugins
@@ -37,6 +38,7 @@ type PluginScheduler struct {
 	zcCalls   uint64
 	zcDirty   uint64
 	zcRecords uint64
+	tierCalls [wasm.NumTiers + 1]uint64 // indexed by wasm.Tier
 }
 
 // NewPluginScheduler wraps an instantiated plugin. codec nil means the
@@ -83,15 +85,18 @@ func (p *PluginScheduler) Plugin() *wabi.Plugin { return p.plugin }
 func (p *PluginScheduler) Stats() SchedStats {
 	ps := p.plugin.Stats()
 	return SchedStats{
-		Calls:          p.calls,
-		Faults:         p.faults,
-		TotalTime:      p.totalTime,
-		LastTime:       p.lastTime,
-		LastFuel:       ps.LastFuel,
-		TotalFuel:      ps.TotalFuel,
-		ZCCalls:        p.zcCalls,
-		ZCDirtyRecords: p.zcDirty,
-		ZCRecords:      p.zcRecords,
+		Calls:            p.calls,
+		Faults:           p.faults,
+		TotalTime:        p.totalTime,
+		LastTime:         p.lastTime,
+		LastFuel:         ps.LastFuel,
+		TotalFuel:        ps.TotalFuel,
+		ZCCalls:          p.zcCalls,
+		ZCDirtyRecords:   p.zcDirty,
+		ZCRecords:        p.zcRecords,
+		TierInterpCalls:  p.tierCalls[wasm.TierInterp],
+		TierFusedCalls:   p.tierCalls[wasm.TierFused],
+		TierClosureCalls: p.tierCalls[wasm.TierClosure],
 	}
 }
 
@@ -114,6 +119,11 @@ func (p *PluginScheduler) Schedule(req *Request) (*Response, error) {
 		p.lastTime = time.Since(start)
 		p.totalTime += p.lastTime
 		p.calls++
+		// TierAuto means the sandbox never actually ran (e.g. a chaos-forced
+		// fault short-circuited the call), so no tier is charged.
+		if t := p.plugin.LastTier(); t != wasm.TierAuto {
+			p.tierCalls[t]++
+		}
 	}()
 
 	var resp *Response

@@ -7,6 +7,7 @@ import (
 
 	"waran/internal/obs"
 	"waran/internal/wabi"
+	"waran/internal/wasm"
 )
 
 // PoolScheduler adapts a pool of sandbox instances of one compiled plugin
@@ -38,6 +39,7 @@ type PoolScheduler struct {
 	zcCalls   uint64
 	zcDirty   uint64
 	zcRecords uint64
+	tierCalls [wasm.NumTiers + 1]uint64 // indexed by wasm.Tier
 }
 
 // NewPoolScheduler wraps an instance pool. codec nil means the binary
@@ -106,15 +108,18 @@ func (p *PoolScheduler) Stats() SchedStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return SchedStats{
-		Calls:          p.calls,
-		Faults:         p.faults,
-		TotalTime:      p.totalTime,
-		LastTime:       p.lastTime,
-		LastFuel:       p.lastFuel,
-		TotalFuel:      p.totalFuel,
-		ZCCalls:        p.zcCalls,
-		ZCDirtyRecords: p.zcDirty,
-		ZCRecords:      p.zcRecords,
+		Calls:            p.calls,
+		Faults:           p.faults,
+		TotalTime:        p.totalTime,
+		LastTime:         p.lastTime,
+		LastFuel:         p.lastFuel,
+		TotalFuel:        p.totalFuel,
+		ZCCalls:          p.zcCalls,
+		ZCDirtyRecords:   p.zcDirty,
+		ZCRecords:        p.zcRecords,
+		TierInterpCalls:  p.tierCalls[wasm.TierInterp],
+		TierFusedCalls:   p.tierCalls[wasm.TierFused],
+		TierClosureCalls: p.tierCalls[wasm.TierClosure],
 	}
 }
 
@@ -150,7 +155,7 @@ func (p *PoolScheduler) Schedule(req *Request) (*Response, error) {
 
 	pl, err := p.pool.Get()
 	if err != nil {
-		p.recordCall(0, 0, true, zcStats{}, false)
+		p.recordCall(0, 0, wasm.TierAuto, true, zcStats{}, false)
 		return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, err)
 	}
 	defer p.pool.Put(pl)
@@ -161,41 +166,46 @@ func (p *PoolScheduler) Schedule(req *Request) (*Response, error) {
 		var st zcStats
 		resp, st, err = zcCall(pl, req)
 		if err != nil {
-			p.recordCall(time.Since(start), pl.LastFuelUsed(), true, st, true)
+			p.recordCall(time.Since(start), pl.LastFuelUsed(), pl.LastTier(), true, st, true)
 			return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, err)
 		}
 		if err := resp.Validate(req); err != nil {
-			p.recordCall(time.Since(start), pl.LastFuelUsed(), true, st, true)
+			p.recordCall(time.Since(start), pl.LastFuelUsed(), pl.LastTier(), true, st, true)
 			return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, &BadOutputError{Kind: BadOutputSemantic, Err: err})
 		}
-		p.recordCall(time.Since(start), pl.LastFuelUsed(), false, st, true)
+		p.recordCall(time.Since(start), pl.LastFuelUsed(), pl.LastTier(), false, st, true)
 		return resp, nil
 	}
 
 	in := p.codec.EncodeRequest(req)
 	out, err := pl.Call(EntryPoint, in)
 	if err != nil {
-		p.recordCall(time.Since(start), pl.LastFuelUsed(), true, zcStats{}, false)
+		p.recordCall(time.Since(start), pl.LastFuelUsed(), pl.LastTier(), true, zcStats{}, false)
 		return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, err)
 	}
 	resp, err = p.codec.DecodeResponse(out)
 	if err != nil {
-		p.recordCall(time.Since(start), pl.LastFuelUsed(), true, zcStats{}, false)
+		p.recordCall(time.Since(start), pl.LastFuelUsed(), pl.LastTier(), true, zcStats{}, false)
 		return nil, fmt.Errorf("sched: pool plugin %q returned malformed response: %w", p.name, err)
 	}
 	if err := resp.Validate(req); err != nil {
-		p.recordCall(time.Since(start), pl.LastFuelUsed(), true, zcStats{}, false)
+		p.recordCall(time.Since(start), pl.LastFuelUsed(), pl.LastTier(), true, zcStats{}, false)
 		// Semantic rejection of a decoded response is still bad output for
 		// the failure taxonomy: the sandbox completed and the result lied.
 		return nil, fmt.Errorf("sched: pool plugin %q: %w", p.name, &BadOutputError{Kind: BadOutputSemantic, Err: err})
 	}
-	p.recordCall(time.Since(start), pl.LastFuelUsed(), false, zcStats{}, false)
+	p.recordCall(time.Since(start), pl.LastFuelUsed(), pl.LastTier(), false, zcStats{}, false)
 	return resp, nil
 }
 
-func (p *PoolScheduler) recordCall(d time.Duration, fuel int64, fault bool, st zcStats, zc bool) {
+func (p *PoolScheduler) recordCall(d time.Duration, fuel int64, tier wasm.Tier, fault bool, st zcStats, zc bool) {
 	p.mu.Lock()
 	p.calls++
+	// TierAuto means no sandbox ran for this call (pool exhaustion or a
+	// chaos-forced fault), so no execution tier is charged.
+	if tier != wasm.TierAuto {
+		p.tierCalls[tier]++
+	}
 	p.lastTime = d
 	p.totalTime += d
 	p.lastFuel = fuel

@@ -23,6 +23,12 @@ type SchedStats struct {
 	ZCCalls        uint64 `json:"zc_calls,omitempty"`
 	ZCDirtyRecords uint64 `json:"zc_dirty_records,omitempty"`
 	ZCRecords      uint64 `json:"zc_records,omitempty"`
+	// Execution-tier accounting: sandbox calls served by each wasm tier.
+	// Watching interp calls migrate to closure calls is how an operator sees
+	// the fuel-profile promotion happen in production.
+	TierInterpCalls  uint64 `json:"tier_interp_calls,omitempty"`
+	TierFusedCalls   uint64 `json:"tier_fused_calls,omitempty"`
+	TierClosureCalls uint64 `json:"tier_closure_calls,omitempty"`
 }
 
 // FuelReporter is implemented by schedulers that can report the fuel
@@ -49,6 +55,9 @@ func registerSched(reg *obs.Registry, stats func() SchedStats, labels []obs.Labe
 				{Suffix: "_zc_calls_total", Value: float64(s.ZCCalls)},
 				{Suffix: "_zc_dirty_records_total", Value: float64(s.ZCDirtyRecords)},
 				{Suffix: "_zc_records_total", Value: float64(s.ZCRecords)},
+				{Suffix: "_tier_interp_calls_total", Value: float64(s.TierInterpCalls)},
+				{Suffix: "_tier_fused_calls_total", Value: float64(s.TierFusedCalls)},
+				{Suffix: "_tier_closure_calls_total", Value: float64(s.TierClosureCalls)},
 			}
 		},
 		JSON: func() any { return stats() },

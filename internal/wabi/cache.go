@@ -23,6 +23,12 @@ type ModuleCache struct {
 	entries map[[sha256.Size]byte]*cacheEntry
 	hits    uint64
 	misses  uint64
+
+	// tierPolicy, when set, is applied to every module the cache hands out;
+	// tierPromotions counts modules the fuel profile has promoted off the
+	// interpreter (see tier.go).
+	tierPolicy     *TierPolicy
+	tierPromotions uint64
 }
 
 type cacheEntry struct {
@@ -57,6 +63,14 @@ func (c *ModuleCache) Load(bin []byte) (*Module, error) {
 	c.mu.Unlock()
 
 	e.mod, e.err = CompileWasm(bin)
+	if e.err == nil {
+		c.mu.Lock()
+		tp := c.tierPolicy
+		c.mu.Unlock()
+		if tp != nil {
+			c.applyTierPolicy(e.mod, *tp)
+		}
+	}
 	close(e.done)
 	if e.err != nil {
 		// Drop the failed entry so the error is not cached; identical bad
@@ -98,13 +112,21 @@ type CacheStats struct {
 	Modules int    `json:"modules"`
 	Hits    uint64 `json:"hits"`
 	Misses  uint64 `json:"misses"`
+	// TierPromotions counts cached modules whose fuel profile crossed the
+	// promotion threshold and moved them to the closure tier.
+	TierPromotions uint64 `json:"tier_promotions"`
 }
 
 // Stats returns cache occupancy plus hits and misses since creation.
 func (c *ModuleCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Modules: len(c.entries), Hits: c.hits, Misses: c.misses}
+	return CacheStats{
+		Modules:        len(c.entries),
+		Hits:           c.hits,
+		Misses:         c.misses,
+		TierPromotions: c.tierPromotions,
+	}
 }
 
 // Register exposes the cache on reg under waran_wabi_module_cache_*.
@@ -117,6 +139,7 @@ func (c *ModuleCache) Register(reg *obs.Registry, labels ...obs.Label) {
 				{Suffix: "_modules", Value: float64(s.Modules)},
 				{Suffix: "_hits_total", Value: float64(s.Hits)},
 				{Suffix: "_misses_total", Value: float64(s.Misses)},
+				{Suffix: "_tier_promotions_total", Value: float64(s.TierPromotions)},
 			}
 		},
 		JSON: func() any { return c.Stats() },

@@ -1,0 +1,117 @@
+package wabi
+
+import (
+	"sync/atomic"
+
+	"waran/internal/wasm"
+)
+
+// DefaultTierPromoteFuel is the cumulative fuel a module must burn before
+// the cache promotes it off the interpreter. Roughly 200 scheduler calls at
+// the 10k-instruction scale: long enough that one-shot plugins never pay
+// compilation, short enough that a per-slot scheduler promotes within its
+// first frame.
+const DefaultTierPromoteFuel = 2_000_000
+
+// TierPolicy configures how a ModuleCache assigns execution tiers to the
+// modules it compiles.
+type TierPolicy struct {
+	// Pin, when not TierAuto, becomes every loaded module's default tier
+	// immediately — no profiling, no promotion.
+	Pin wasm.Tier
+	// PromoteFuel arms fuel-profiled promotion: once a module's plugins have
+	// burned this much cumulative fuel, its default tier moves to the
+	// closure tier and all TierAuto instances follow. Zero means
+	// DefaultTierPromoteFuel; negative disables promotion.
+	PromoteFuel int64
+}
+
+// tierState is the per-Module promotion accumulator. It lives on Module so
+// that every Plugin sharing the compiled code (across cells, pools and
+// fresh-instance calls) contributes to one profile.
+type tierState struct {
+	promoteFuel atomic.Int64 // threshold; <= 0 means promotion disarmed
+	spentFuel   atomic.Int64
+	promoted    atomic.Bool
+	onPromote   atomic.Pointer[func()]
+}
+
+// SetTierPromotion arms (or, with threshold <= 0, disarms) fuel-profiled
+// promotion for this module. Safe to call concurrently with plugin calls.
+func (m *Module) SetTierPromotion(threshold int64) {
+	m.tier.promoteFuel.Store(threshold)
+}
+
+// TierPromoted reports whether this module has been promoted off the
+// interpreter by the fuel profile.
+func (m *Module) TierPromoted() bool { return m.tier.promoted.Load() }
+
+// DefaultTier exposes the compiled module's current default execution tier.
+func (m *Module) DefaultTier() wasm.Tier { return m.cm.DefaultTier() }
+
+// SetDefaultTier pins the module's default execution tier directly,
+// bypassing the fuel profile. TierAuto resolves to the interpreter.
+func (m *Module) SetDefaultTier(t wasm.Tier) { m.cm.SetDefaultTier(t) }
+
+// observeFuel feeds one call's fuel burn into the promotion profile.
+func (m *Module) observeFuel(fuel int64) {
+	if fuel <= 0 || m.tier.promoted.Load() {
+		return
+	}
+	threshold := m.tier.promoteFuel.Load()
+	if threshold <= 0 {
+		return
+	}
+	if m.tier.spentFuel.Add(fuel) < threshold {
+		return
+	}
+	if !m.tier.promoted.CompareAndSwap(false, true) {
+		return // another caller won the race
+	}
+	m.cm.SetDefaultTier(wasm.TierClosure)
+	if fn := m.tier.onPromote.Load(); fn != nil {
+		(*fn)()
+	}
+}
+
+// LastTier reports the execution tier used by the plugin's most recent call
+// (TierAuto before any call).
+func (p *Plugin) LastTier() wasm.Tier { return p.inst.EffectiveTier() }
+
+// SetTierPolicy applies tp to every module this cache has already compiled
+// and to all future loads. Passing the zero TierPolicy arms promotion at
+// DefaultTierPromoteFuel, which is the intended production setting.
+func (c *ModuleCache) SetTierPolicy(tp TierPolicy) {
+	if tp.PromoteFuel == 0 {
+		tp.PromoteFuel = DefaultTierPromoteFuel
+	}
+	c.mu.Lock()
+	c.tierPolicy = &tp
+	entries := make([]*cacheEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		entries = append(entries, e)
+	}
+	c.mu.Unlock()
+	for _, e := range entries {
+		<-e.done
+		if e.err == nil {
+			c.applyTierPolicy(e.mod, tp)
+		}
+	}
+}
+
+// applyTierPolicy wires one module into the cache's tier policy.
+func (c *ModuleCache) applyTierPolicy(m *Module, tp TierPolicy) {
+	if tp.Pin != wasm.TierAuto {
+		m.cm.SetDefaultTier(tp.Pin)
+		m.SetTierPromotion(-1)
+		return
+	}
+	bump := func() {
+		c.mu.Lock()
+		c.tierPromotions++
+		c.mu.Unlock()
+	}
+	m.tier.onPromote.Store(&bump)
+	m.SetTierPromotion(tp.PromoteFuel)
+}

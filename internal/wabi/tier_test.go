@@ -1,0 +1,223 @@
+package wabi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"waran/internal/wasm"
+	"waran/internal/wat"
+)
+
+// watBin compiles WAT source to the binary form ModuleCache.Load expects.
+func watBin(t *testing.T, src string) []byte {
+	t.Helper()
+	bin, err := wat.CompileToBinary(src)
+	if err != nil {
+		t.Fatalf("wat: %v", err)
+	}
+	return bin
+}
+
+// spinWAT burns a deterministic ~600 instructions per call: enough to drive
+// the promotion profile with small thresholds.
+const spinWAT = `(module
+  (memory (export "memory") 1)
+  (func (export "run") (result i32)
+    (local $i i32)
+    (block $done
+      (loop $l
+        (br_if $done (i32.ge_u (local.get $i) (i32.const 100)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $l)))
+    (i32.const 0)))`
+
+func TestPluginTierPin(t *testing.T) {
+	for _, tier := range []wasm.Tier{wasm.TierInterp, wasm.TierFused, wasm.TierClosure} {
+		p := mustPlugin(t, spinWAT, Policy{Fuel: 100_000, Tier: tier}, Env{})
+		if _, err := p.Call("run", nil); err != nil {
+			t.Fatalf("tier %v: %v", tier, err)
+		}
+		if got := p.LastTier(); got != tier {
+			t.Fatalf("LastTier = %v, want %v", got, tier)
+		}
+	}
+}
+
+// TestTierFuelIdenticalAcrossTiers checks the wabi-visible half of the
+// bit-identity contract: LastFuelUsed must not depend on the tier.
+func TestTierFuelIdenticalAcrossTiers(t *testing.T) {
+	fuelOn := func(tier wasm.Tier) int64 {
+		p := mustPlugin(t, spinWAT, Policy{Fuel: 100_000, Tier: tier}, Env{})
+		if _, err := p.Call("run", nil); err != nil {
+			t.Fatalf("tier %v: %v", tier, err)
+		}
+		return p.LastFuelUsed()
+	}
+	interp := fuelOn(wasm.TierInterp)
+	if interp == 0 {
+		t.Fatal("no fuel recorded")
+	}
+	if fused := fuelOn(wasm.TierFused); fused != interp {
+		t.Fatalf("fused tier burned %d fuel, interpreter %d", fused, interp)
+	}
+	if clos := fuelOn(wasm.TierClosure); clos != interp {
+		t.Fatalf("closure tier burned %d fuel, interpreter %d", clos, interp)
+	}
+}
+
+func TestModuleTierPromotion(t *testing.T) {
+	mod, err := CompileWAT(spinWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold of ~2 calls' worth of fuel.
+	p, err := NewPlugin(mod, Policy{Fuel: 100_000, TierPromoteFuel: 1000}, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Call("run", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LastTier(); got != wasm.TierInterp {
+		t.Fatalf("first call ran on %v, want interpreter", got)
+	}
+	for i := 0; i < 4 && !mod.TierPromoted(); i++ {
+		if _, err := p.Call("run", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !mod.TierPromoted() {
+		t.Fatal("module never promoted")
+	}
+	if got := mod.DefaultTier(); got != wasm.TierClosure {
+		t.Fatalf("promoted default tier = %v", got)
+	}
+	// The existing TierAuto instance follows the module default on its next
+	// top-level call — promotion needs no re-instantiation.
+	if _, err := p.Call("run", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LastTier(); got != wasm.TierClosure {
+		t.Fatalf("post-promotion call ran on %v, want closure", got)
+	}
+}
+
+func TestModulePromotionDisarmed(t *testing.T) {
+	mod, err := CompileWAT(spinWAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlugin(mod, Policy{Fuel: 100_000, TierPromoteFuel: -1}, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := p.Call("run", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mod.TierPromoted() {
+		t.Fatal("disarmed module promoted anyway")
+	}
+	if got := p.LastTier(); got != wasm.TierInterp {
+		t.Fatalf("tier = %v, want interpreter", got)
+	}
+}
+
+func TestCacheTierPolicyPromotes(t *testing.T) {
+	c := NewModuleCache()
+	bin := watBin(t, spinWAT)
+	// Policy installed before the load: promotion must arm at Load time.
+	c.SetTierPolicy(TierPolicy{PromoteFuel: 1000})
+	mod, err := c.Load(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlugin(mod, Policy{Fuel: 100_000}, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5 && !mod.TierPromoted(); i++ {
+		if _, err := p.Call("run", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !mod.TierPromoted() {
+		t.Fatal("cache-armed module never promoted")
+	}
+	if got := c.Stats().TierPromotions; got != 1 {
+		t.Fatalf("TierPromotions = %d, want 1", got)
+	}
+	// Re-promotion of the same module must not double count.
+	for i := 0; i < 3; i++ {
+		if _, err := p.Call("run", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Stats().TierPromotions; got != 1 {
+		t.Fatalf("TierPromotions after more calls = %d, want 1", got)
+	}
+}
+
+func TestCacheTierPolicyRetroactive(t *testing.T) {
+	c := NewModuleCache()
+	mod, err := c.Load(watBin(t, spinWAT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin applied after the module is already cached.
+	c.SetTierPolicy(TierPolicy{Pin: wasm.TierFused})
+	if got := mod.DefaultTier(); got != wasm.TierFused {
+		t.Fatalf("retroactive pin: default tier = %v", got)
+	}
+	p, err := NewPlugin(mod, Policy{Fuel: 100_000}, Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Call("run", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LastTier(); got != wasm.TierFused {
+		t.Fatalf("pinned module ran on %v", got)
+	}
+}
+
+// TestSlowHostFunctionDeadline is the regression test for the deadline
+// escape at call boundaries: a guest that executes only a handful of
+// instructions — far under the 64 Ki periodic check — but blocks in a slow
+// host function must still trap once the host call returns past the
+// deadline. Before the call-boundary check, this call succeeded.
+func TestSlowHostFunctionDeadline(t *testing.T) {
+	src := `(module
+	  (import "test" "slow" (func $slow))
+	  (memory (export "memory") 1)
+	  (func (export "run") (result i32)
+	    (call $slow)
+	    (i32.const 0)))`
+	hostDelay := 30 * time.Millisecond
+	env := Env{HostFuncs: wasm.Imports{"test": {
+		"slow": &wasm.HostFunc{
+			Name: "slow",
+			Type: wasm.FuncType{},
+			Fn: func(ctx *wasm.CallContext, args []uint64) ([]uint64, error) {
+				time.Sleep(hostDelay)
+				return nil, nil
+			},
+		},
+	}}}
+	for _, tier := range []wasm.Tier{wasm.TierInterp, wasm.TierFused, wasm.TierClosure} {
+		p := mustPlugin(t, src, Policy{Fuel: 10_000, CallTimeout: time.Millisecond, Tier: tier}, Env{HostFuncs: env.HostFuncs})
+		_, err := p.Call("run", nil)
+		var ce *CallError
+		if !errors.As(err, &ce) || ce.Trap == nil || ce.Trap.Code != wasm.TrapDeadlineExceeded {
+			t.Fatalf("tier %v: slow host call returned %v, want deadline trap", tier, err)
+		}
+		if got := p.LastFailureClass(); got != FailDeadline {
+			t.Fatalf("tier %v: failure class %v, want FailDeadline", tier, got)
+		}
+		if !p.Poisoned() {
+			t.Fatalf("tier %v: deadline overrun did not poison the instance", tier)
+		}
+	}
+}

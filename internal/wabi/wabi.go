@@ -65,6 +65,15 @@ type Policy struct {
 	// maximum isolation between invocations at extra cost (ablation:
 	// BenchmarkAblationInstanceReuse).
 	FreshInstance bool
+	// Tier pins every call by this plugin to one wasm execution tier.
+	// TierAuto (the zero value) follows the module's default tier, which
+	// starts at the interpreter and may be promoted by the fuel profile.
+	Tier wasm.Tier
+	// TierPromoteFuel, when non-zero, arms fuel-profiled tier promotion on
+	// the plugin's module at this cumulative-fuel threshold (negative
+	// disarms it). Zero leaves the module's existing promotion setting —
+	// typically the one installed by ModuleCache.SetTierPolicy — untouched.
+	TierPromoteFuel int64
 }
 
 func (p Policy) withDefaults() Policy {
@@ -104,6 +113,10 @@ type Env struct {
 // Module is compiled plugin code, instantiable many times.
 type Module struct {
 	cm *wasm.CompiledModule
+
+	// tier accumulates the fuel profile that drives interpreter-to-closure
+	// promotion; shared by every Plugin instantiated from this Module.
+	tier tierState
 }
 
 // CompileWasm compiles plugin bytecode (decode + validate + flatten).
@@ -242,6 +255,9 @@ func (p *Plugin) Poisoned() bool {
 // Failures are *InstantiateError.
 func NewPlugin(mod *Module, policy Policy, env Env) (*Plugin, error) {
 	p := &Plugin{mod: mod, policy: policy.withDefaults(), env: env}
+	if p.policy.TierPromoteFuel != 0 {
+		mod.SetTierPromotion(p.policy.TierPromoteFuel)
+	}
 	inst, err := p.instantiate()
 	if err != nil {
 		return nil, &InstantiateError{Err: err}
@@ -261,6 +277,7 @@ func (p *Plugin) instantiate() (*wasm.Instance, error) {
 	inst, err := p.mod.cm.Instantiate(imports, wasm.Config{
 		MaxMemoryPages: p.policy.MaxMemoryPages,
 		MeterFuel:      p.policy.Fuel > 0,
+		Tier:           p.policy.Tier,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("wabi: instantiate plugin: %w", err)
@@ -449,6 +466,7 @@ func (p *Plugin) Call(entry string, input []byte) ([]byte, error) {
 	if p.policy.Fuel > 0 {
 		p.lastFuel = fuel - p.inst.Fuel()
 		p.totalFuel += p.lastFuel
+		p.mod.observeFuel(p.lastFuel)
 	}
 
 	if err != nil {

@@ -26,10 +26,13 @@ type branchTarget struct {
 
 // instr is one flattened instruction. Interpretation of the fields depends
 // on op: a holds indices (locals, globals, functions, types) or the return
-// arity; imm holds constants and memory offsets.
+// arity; imm holds constants and memory offsets; b is a second operand slot
+// used only by fused superinstructions (second local index or embedded
+// selector opcode — see fuse.go).
 type instr struct {
 	op      uint16
 	a       uint32
+	b       uint32
 	imm     uint64
 	targets []branchTarget
 }
@@ -42,6 +45,13 @@ type compiledFunc struct {
 	code      []instr
 	maxStack  int    // operand-stack high-water mark (capacity hint)
 	idx       uint32 // index in the module's function space
+
+	// Tiered forms, built once per module by CompiledModule.ensureTier:
+	// fused is the superinstruction stream (nil until the fused tier is
+	// requested); clos is the closure-compiled body (nil until the closure
+	// tier is requested). Both execute bit-identically to code.
+	fused []instr
+	clos  *closFunc
 }
 
 // compFrame tracks one structured-control-flow nesting level during

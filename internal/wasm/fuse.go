@@ -1,0 +1,331 @@
+package wasm
+
+// Superinstruction fusion: a peephole pass over the flattened code that
+// collapses hot multi-instruction sequences into single fused opcodes, so
+// the interpreter pays one dispatch (and often zero operand-stack traffic)
+// where it paid two to four. The fused stream is a second, independent code
+// stream per function — the original stays untouched for the baseline tier —
+// and is itself the input to the closure tier, so both fast tiers compound.
+//
+// Correctness rules the pass must respect:
+//
+//   - A fused window may not contain a branch-target pc anywhere but its
+//     first instruction ("leaders" stay instruction starts), and all branch
+//     targets are remapped into the fused stream afterwards.
+//   - Fuel/InstrCount accounting must be bit-identical to executing the
+//     window's instructions one by one. Windows whose only trapping
+//     operation is last can pre-charge their full width; windows with an
+//     earlier trapping operation (fLoadEqzBr's load) split the charge
+//     around it. fusedPreCharge encodes that per opcode.
+//   - Branch-carrying fused ops clone their target slices before remapping,
+//     so the interpreter stream's targets are never aliased.
+
+// Fused opcodes live above the 0x100/0x200 internal ranges. Field use is
+// per-op (a/b hold local indices or selector opcodes, imm holds constants,
+// memory offsets or the embedded numeric opcode).
+const (
+	fGetGet          uint16 = 0x300 + iota // local.get a; local.get b
+	fGetConst                              // local.get a; const imm (any const type)
+	fGetLoad32                             // local.get a; i32.load imm
+	fGetStore32                            // local.get a (value); i32.store imm (addr below)
+	fGetBin32                              // local.get a; i32 binop imm (lhs below)
+	fGetGetBin32                           // local.get a; local.get b; i32 binop imm
+	fGetGetCmp32                           // local.get a; local.get b; i32 compare imm
+	fGetConstBin32                         // local.get a; i32.const imm; i32 binop b
+	fGetConstCmp32                         // local.get a; i32.const imm; i32 compare b
+	fGetGetStore32                         // local.get a (addr); local.get b (value); i32.store imm
+	fConstAddStore32                       // i32.const a; i32.add; i32.store imm (addr below)
+	fGetGetCmpBr                           // local.get a; local.get b; i32 compare imm; br_if
+	fGetConstCmpBr                         // local.get a; i32.const imm; i32 compare b; br_if
+	fGetConstAddSet                        // local.get a; i32.const imm; i32.add; local.set b
+	fLoadEqzBr                             // i32.load imm; i32.eqz; br_if
+	fEqzBr                                 // i32.eqz; br_if
+	fCmpBr                                 // i32 compare imm; br_if
+)
+
+// fusedWidth is the number of original instructions a fused op stands for
+// (1 for everything that is not a fused op), i.e. the fuel it must charge.
+func fusedWidth(op uint16) uint32 {
+	switch op {
+	case fGetGet, fGetConst, fGetLoad32, fGetStore32, fGetBin32, fEqzBr, fCmpBr:
+		return 2
+	case fGetGetBin32, fGetGetCmp32, fGetConstBin32, fGetConstCmp32,
+		fGetGetStore32, fConstAddStore32, fLoadEqzBr:
+		return 3
+	case fGetGetCmpBr, fGetConstCmpBr, fGetConstAddSet:
+		return 4
+	}
+	return 1
+}
+
+// fusedPreCharge is how much of the width may be charged before the op's
+// body runs while staying bit-identical to sequential execution: the full
+// width when the only trapping operation is last, 1 when a trapping
+// operation comes earlier (the body charges the remainder after it).
+func fusedPreCharge(op uint16) uint32 {
+	if op == fLoadEqzBr {
+		return 1 // the load traps first; charge the eqz+br_if after it
+	}
+	return fusedWidth(op)
+}
+
+// fusedName names a fused opcode for diagnostics.
+func fusedName(op uint16) string {
+	switch op {
+	case fGetGet:
+		return "fused.get_get"
+	case fGetConst:
+		return "fused.get_const"
+	case fGetLoad32:
+		return "fused.get_load32"
+	case fGetStore32:
+		return "fused.get_store32"
+	case fGetBin32:
+		return "fused.get_bin32"
+	case fGetGetBin32:
+		return "fused.get_get_bin32"
+	case fGetGetCmp32:
+		return "fused.get_get_cmp32"
+	case fGetConstBin32:
+		return "fused.get_const_bin32"
+	case fGetConstCmp32:
+		return "fused.get_const_cmp32"
+	case fGetGetStore32:
+		return "fused.get_get_store32"
+	case fConstAddStore32:
+		return "fused.const_add_store32"
+	case fGetGetCmpBr:
+		return "fused.get_get_cmp_br"
+	case fGetConstCmpBr:
+		return "fused.get_const_cmp_br"
+	case fGetConstAddSet:
+		return "fused.get_const_add_set"
+	case fLoadEqzBr:
+		return "fused.load_eqz_br"
+	case fEqzBr:
+		return "fused.eqz_br"
+	case fCmpBr:
+		return "fused.cmp_br"
+	}
+	return "fused.unknown"
+}
+
+// isI32Bin reports whether op is a two-operand i32 numeric instruction
+// (including the trapping div/rem family — they trap last in every fused
+// window, so pre-charging stays exact).
+func isI32Bin(op uint16) bool {
+	return op >= uint16(OpI32Add) && op <= uint16(OpI32Rotr)
+}
+
+// isI32Cmp reports whether op is a two-operand i32 comparison.
+func isI32Cmp(op uint16) bool {
+	return op >= uint16(OpI32Eq) && op <= uint16(OpI32GeU)
+}
+
+// i32bin applies a two-operand i32 numeric opcode. Shared by the fused
+// interpreter cases and the closure tier so trap behaviour has one home.
+func i32bin(op uint16, x, y uint32) uint32 {
+	switch op {
+	case uint16(OpI32Add):
+		return x + y
+	case uint16(OpI32Sub):
+		return x - y
+	case uint16(OpI32Mul):
+		return x * y
+	case uint16(OpI32DivS):
+		if y == 0 {
+			panic(newTrap(TrapIntegerDivideByZero))
+		}
+		if int32(x) == -2147483648 && int32(y) == -1 {
+			panic(newTrap(TrapIntegerOverflow))
+		}
+		return uint32(int32(x) / int32(y))
+	case uint16(OpI32DivU):
+		if y == 0 {
+			panic(newTrap(TrapIntegerDivideByZero))
+		}
+		return x / y
+	case uint16(OpI32RemS):
+		if y == 0 {
+			panic(newTrap(TrapIntegerDivideByZero))
+		}
+		if int32(x) == -2147483648 && int32(y) == -1 {
+			return 0
+		}
+		return uint32(int32(x) % int32(y))
+	case uint16(OpI32RemU):
+		if y == 0 {
+			panic(newTrap(TrapIntegerDivideByZero))
+		}
+		return x % y
+	case uint16(OpI32And):
+		return x & y
+	case uint16(OpI32Or):
+		return x | y
+	case uint16(OpI32Xor):
+		return x ^ y
+	case uint16(OpI32Shl):
+		return x << (y & 31)
+	case uint16(OpI32ShrS):
+		return uint32(int32(x) >> (y & 31))
+	case uint16(OpI32ShrU):
+		return x >> (y & 31)
+	case uint16(OpI32Rotl):
+		return x<<(y&31) | x>>(32-y&31)
+	case uint16(OpI32Rotr):
+		return x>>(y&31) | x<<(32-y&31)
+	}
+	panic(&Trap{Code: TrapHostError, Wrapped: errUnknownInstr(op)})
+}
+
+// i32cmp applies a two-operand i32 comparison opcode.
+func i32cmp(op uint16, x, y uint32) bool {
+	switch op {
+	case uint16(OpI32Eq):
+		return x == y
+	case uint16(OpI32Ne):
+		return x != y
+	case uint16(OpI32LtS):
+		return int32(x) < int32(y)
+	case uint16(OpI32LtU):
+		return x < y
+	case uint16(OpI32GtS):
+		return int32(x) > int32(y)
+	case uint16(OpI32GtU):
+		return x > y
+	case uint16(OpI32LeS):
+		return int32(x) <= int32(y)
+	case uint16(OpI32LeU):
+		return x <= y
+	case uint16(OpI32GeS):
+		return int32(x) >= int32(y)
+	case uint16(OpI32GeU):
+		return x >= y
+	}
+	panic(&Trap{Code: TrapHostError, Wrapped: errUnknownInstr(op)})
+}
+
+// fuseCode builds the superinstruction stream for one function body. The
+// input stream is never modified; branch targets in the output are deep
+// copies remapped to fused pcs.
+func fuseCode(code []instr) []instr {
+	// Leaders: every branch-target pc must remain the start of an
+	// instruction in the fused stream.
+	leader := make([]bool, len(code)+1)
+	for i := range code {
+		for _, t := range code[i].targets {
+			leader[t.pc] = true
+		}
+	}
+
+	fused := make([]instr, 0, len(code))
+	newPC := make([]uint32, len(code)+1)
+	for pc := 0; pc < len(code); {
+		newPC[pc] = uint32(len(fused))
+		w, ins := fuseAt(code, pc, leader)
+		for j := 1; j < w; j++ {
+			// Swallowed pcs are never leaders; map them to the fused op so a
+			// (hypothetical) stale reference still lands on an instruction.
+			newPC[pc+j] = uint32(len(fused))
+		}
+		fused = append(fused, ins)
+		pc += w
+	}
+	newPC[len(code)] = uint32(len(fused))
+
+	for i := range fused {
+		if len(fused[i].targets) == 0 {
+			continue
+		}
+		ts := make([]branchTarget, len(fused[i].targets))
+		copy(ts, fused[i].targets)
+		for j := range ts {
+			ts[j].pc = newPC[ts[j].pc]
+		}
+		fused[i].targets = ts
+	}
+	return fused
+}
+
+// fuseAt matches the longest fusable pattern starting at pc and returns its
+// width plus the (single) instruction standing in for it. Width 1 returns
+// the original instruction unchanged.
+func fuseAt(code []instr, pc int, leader []bool) (int, instr) {
+	win := func(w int) bool {
+		if pc+w > len(code) {
+			return false
+		}
+		for j := pc + 1; j < pc+w; j++ {
+			if leader[j] {
+				return false
+			}
+		}
+		return true
+	}
+	i0 := code[pc]
+
+	if win(4) && i0.op == uint16(OpLocalGet) {
+		i1, i2, i3 := &code[pc+1], &code[pc+2], &code[pc+3]
+		switch {
+		case i1.op == uint16(OpLocalGet) && isI32Cmp(i2.op) && i3.op == uint16(OpBrIf):
+			return 4, instr{op: fGetGetCmpBr, a: i0.a, b: i1.a, imm: uint64(i2.op), targets: i3.targets}
+		case i1.op == uint16(OpI32Const) && isI32Cmp(i2.op) && i3.op == uint16(OpBrIf):
+			return 4, instr{op: fGetConstCmpBr, a: i0.a, b: uint32(i2.op), imm: i1.imm, targets: i3.targets}
+		case i1.op == uint16(OpI32Const) && i2.op == uint16(OpI32Add) && i3.op == uint16(OpLocalSet):
+			return 4, instr{op: fGetConstAddSet, a: i0.a, b: i3.a, imm: i1.imm}
+		}
+	}
+
+	if win(3) {
+		i1, i2 := &code[pc+1], &code[pc+2]
+		switch {
+		case i0.op == uint16(OpLocalGet) && i1.op == uint16(OpLocalGet):
+			if isI32Bin(i2.op) {
+				return 3, instr{op: fGetGetBin32, a: i0.a, b: i1.a, imm: uint64(i2.op)}
+			}
+			if isI32Cmp(i2.op) {
+				return 3, instr{op: fGetGetCmp32, a: i0.a, b: i1.a, imm: uint64(i2.op)}
+			}
+			if i2.op == uint16(OpI32Store) {
+				return 3, instr{op: fGetGetStore32, a: i0.a, b: i1.a, imm: i2.imm}
+			}
+		case i0.op == uint16(OpLocalGet) && i1.op == uint16(OpI32Const):
+			if isI32Bin(i2.op) {
+				return 3, instr{op: fGetConstBin32, a: i0.a, b: uint32(i2.op), imm: i1.imm}
+			}
+			if isI32Cmp(i2.op) {
+				return 3, instr{op: fGetConstCmp32, a: i0.a, b: uint32(i2.op), imm: i1.imm}
+			}
+		case i0.op == uint16(OpI32Const) && i1.op == uint16(OpI32Add) && i2.op == uint16(OpI32Store):
+			return 3, instr{op: fConstAddStore32, a: uint32(i0.imm), imm: i2.imm}
+		case i0.op == uint16(OpI32Load) && i1.op == uint16(OpI32Eqz) && i2.op == uint16(OpBrIf):
+			return 3, instr{op: fLoadEqzBr, imm: i0.imm, targets: i2.targets}
+		}
+	}
+
+	if win(2) {
+		i1 := &code[pc+1]
+		switch {
+		case i0.op == uint16(OpLocalGet):
+			switch {
+			case i1.op == uint16(OpLocalGet):
+				return 2, instr{op: fGetGet, a: i0.a, b: i1.a}
+			case i1.op == uint16(OpI32Const) || i1.op == uint16(OpI64Const) ||
+				i1.op == uint16(OpF32Const) || i1.op == uint16(OpF64Const):
+				return 2, instr{op: fGetConst, a: i0.a, imm: i1.imm}
+			case i1.op == uint16(OpI32Load):
+				return 2, instr{op: fGetLoad32, a: i0.a, imm: i1.imm}
+			case i1.op == uint16(OpI32Store):
+				return 2, instr{op: fGetStore32, a: i0.a, imm: i1.imm}
+			case isI32Bin(i1.op):
+				return 2, instr{op: fGetBin32, a: i0.a, imm: uint64(i1.op)}
+			}
+		case i0.op == uint16(OpI32Eqz) && i1.op == uint16(OpBrIf):
+			return 2, instr{op: fEqzBr, targets: i1.targets}
+		case isI32Cmp(i0.op) && i1.op == uint16(OpBrIf):
+			return 2, instr{op: fCmpBr, imm: uint64(i0.op), targets: i1.targets}
+		}
+	}
+
+	return 1, i0
+}

@@ -2,6 +2,7 @@ package wasm
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -19,6 +20,9 @@ type frameBuf struct {
 	locals []uint64
 	stack  []uint64
 	res    []uint64
+	// env is the closure tier's per-depth environment, allocated lazily on
+	// the first closure-tier call at this depth and reused afterwards.
+	env *closEnv
 }
 
 // CallContext is passed to host functions and exposes the calling instance.
@@ -42,6 +46,10 @@ type Config struct {
 	// MeterFuel enables instruction counting: each executed instruction
 	// consumes one unit of the budget set via Instance.SetFuel.
 	MeterFuel bool
+	// Tier pins the instance to one execution tier. The zero value
+	// (TierAuto) follows the module's default tier, so profile-guided
+	// promotion can retier the instance between calls.
+	Tier Tier
 }
 
 const defaultMaxCallDepth = 1000
@@ -52,6 +60,12 @@ type CompiledModule struct {
 	m     *Module
 	funcs []*compiledFunc // local functions only
 	types []FuncType      // signature per function-space index
+
+	// Tier state: the default tier new outermost calls resolve to, and the
+	// once-guards for the lazily built fused/closure code (see tier.go).
+	defaultTier atomic.Int32
+	fusedOnce   sync.Once
+	closOnce    sync.Once
 }
 
 // compileCount counts Compile invocations process-wide. The module cache's
@@ -110,9 +124,19 @@ type Instance struct {
 
 	fuel        int64
 	fuelEnabled bool
-	deadline    int64 // unix nanos; 0 = none (checked every 64 Ki instructions)
+	deadline    int64 // unix nanos; 0 = none (see pollDeadline in tier.go)
 	depth       int
 	maxDepth    int
+
+	// tierPin is the instance-level tier override (TierAuto = follow the
+	// module default); tier is the tier resolved for the current outermost
+	// call; tierCalls counts outermost calls served per tier (surfaced as
+	// obs counters by the scheduler layer); deadlineEvents rate-limits
+	// wall-clock sampling on back-edge/call-boundary deadline polls.
+	tierPin        Tier
+	tier           Tier
+	tierCalls      [NumTiers + 1]uint64
+	deadlineEvents uint32
 
 	// frameBufs reuses locals/stack buffers per call depth. Instances are
 	// single-threaded, and depth uniquely identifies the live frame even
@@ -141,6 +165,7 @@ func (cm *CompiledModule) Instantiate(imports Imports, cfg Config) (*Instance, e
 	}
 	in := &Instance{cm: cm, cfg: cfg, maxDepth: cfg.MaxCallDepth, fuel: -1}
 	in.fuelEnabled = cfg.MeterFuel
+	in.tierPin = cfg.Tier
 
 	// Resolve imports. Only function imports are supported: plugin modules
 	// own their memory and table, which keeps the sandbox boundary crisp.
@@ -328,6 +353,15 @@ func (in *Instance) call(funcIdx uint32, args []uint64) (res []uint64, err error
 			panic(r)
 		}
 	}()
+	if in.depth == 0 {
+		// Resolve the execution tier once per outermost call: re-entrant
+		// calls from host functions inherit it, and promotion (a module
+		// default change) applies from the next outermost call.
+		t := in.resolveTier()
+		in.cm.ensureTier(t)
+		in.tier = t
+		in.tierCalls[t]++
+	}
 	out := in.invoke(funcIdx, args)
 	// Internal result buffers are pooled per depth; hand external callers a
 	// copy they may retain across later calls.
@@ -353,6 +387,13 @@ func (in *Instance) dispatch(funcIdx uint32, args []uint64) []uint64 {
 	in.depth++
 	defer func() { in.depth-- }()
 
+	// Call boundaries are deadline poll points: short guests never reach
+	// the interpreter's periodic 64 Ki-instruction check, but any guest
+	// that keeps running must either loop (back-edge polls) or call.
+	if in.deadline != 0 {
+		in.pollDeadline()
+	}
+
 	nImp := in.cm.m.numImportedFuncs
 	if int(funcIdx) < nImp {
 		hf := in.hostFuncs[funcIdx]
@@ -366,7 +407,24 @@ func (in *Instance) dispatch(funcIdx uint32, args []uint64) []uint64 {
 		if len(res) != len(hf.Type.Results) {
 			panic(&Trap{Code: TrapHostError, Wrapped: fmt.Errorf("host function %q returned %d values, want %d", hf.Name, len(res), len(hf.Type.Results))})
 		}
+		// A stalled host call must surface the deadline immediately on
+		// return — the call itself dwarfs the unconditional clock read.
+		if in.deadline != 0 {
+			in.checkDeadlineNow()
+		}
 		return res
 	}
-	return in.exec(in.cm.funcs[int(funcIdx)-nImp], args)
+
+	f := in.cm.funcs[int(funcIdx)-nImp]
+	switch in.tier {
+	case TierClosure:
+		if f.clos != nil {
+			return in.execClosures(f.clos, args)
+		}
+	case TierFused:
+		if f.fused != nil {
+			return in.exec(f, f.fused, args)
+		}
+	}
+	return in.exec(f, f.code, args)
 }

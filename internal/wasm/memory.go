@@ -3,6 +3,7 @@ package wasm
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 )
 
 // Memory is a sandboxed linear memory. Every guest access is bounds checked;
@@ -36,17 +37,24 @@ func (m *Memory) Len() int { return len(m.data) }
 func (m *Memory) MaxPages() uint32 { return m.maxPages }
 
 // Grow extends the memory by delta pages, returning the previous size in
-// pages and whether the growth succeeded.
+// pages and whether the growth succeeded. All size arithmetic stays in
+// 64 bits end-to-end: a hostile delta near 2^32 must neither wrap the page
+// count past maxPages nor overflow the byte length handed to make on
+// 32-bit hosts.
 func (m *Memory) Grow(delta uint32) (uint32, bool) {
 	prev := m.Size()
 	if delta == 0 {
 		return prev, true
 	}
-	newPages := uint64(prev) + uint64(delta)
+	newPages := uint64(prev) + uint64(delta) // cannot wrap in uint64
 	if newPages > uint64(m.maxPages) {
 		return prev, false
 	}
-	grown := make([]byte, int(newPages)*PageSize)
+	newBytes := newPages * uint64(PageSize)
+	if newBytes > uint64(math.MaxInt) {
+		return prev, false
+	}
+	grown := make([]byte, int(newBytes))
 	copy(grown, m.data)
 	m.data = grown
 	return prev, true

@@ -1,0 +1,198 @@
+package wasm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Tier selects how compiled function bodies execute. All tiers are
+// bit-identical on results, trap classes and fuel/InstrCount accounting
+// (pinned by TestTierEquivalence and FuzzTierDifferential); they differ only
+// in dispatch cost:
+//
+//   - TierInterp: the baseline flattening interpreter (one switch per
+//     instruction).
+//   - TierFused: the same interpreter loop over a superinstruction stream —
+//     hot multi-op sequences (const+add+store, load+compare+br,
+//     local.get×2+binop, ...) are fused into single dispatches.
+//   - TierClosure: an AOT "compile to closures" tier — each (fused)
+//     instruction is lowered at promotion time to a Go closure with its
+//     immediates and successor pc captured as constants, executed by a
+//     register-caching dispatch loop with no per-instruction switch.
+//
+// The zero value TierAuto means "follow the module default", which starts at
+// the interpreter and is raised by profile-guided promotion (see
+// wabi.ModuleCache).
+type Tier int32
+
+const (
+	TierAuto    Tier = iota // follow the module's default tier
+	TierInterp              // flattening interpreter (baseline)
+	TierFused               // superinstruction-fused interpreter
+	TierClosure             // AOT closure-compiled dispatch loop
+)
+
+// NumTiers is the number of concrete execution tiers (TierAuto excluded).
+const NumTiers = 3
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierAuto:
+		return "auto"
+	case TierInterp:
+		return "interp"
+	case TierFused:
+		return "fused"
+	case TierClosure:
+		return "closure"
+	}
+	return fmt.Sprintf("tier(%d)", int32(t))
+}
+
+// ParseTier parses a tier name as accepted by `waranbench -tier`. The empty
+// string parses as TierAuto.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "", "auto":
+		return TierAuto, nil
+	case "interp", "interpreter":
+		return TierInterp, nil
+	case "fused":
+		return TierFused, nil
+	case "closure", "aot":
+		return TierClosure, nil
+	}
+	return TierAuto, fmt.Errorf("wasm: unknown execution tier %q (want auto, interp, fused or closure)", s)
+}
+
+// SetDefaultTier sets the tier used by instances that do not pin one
+// themselves (Config.Tier / SetTier left at TierAuto). Safe to call
+// concurrently with running instances: each outermost call re-reads the
+// default, so promotion applies from the next call. TierAuto resets to the
+// interpreter.
+func (cm *CompiledModule) SetDefaultTier(t Tier) {
+	if t == TierAuto {
+		t = TierInterp
+	}
+	cm.ensureTier(t)
+	cm.defaultTier.Store(int32(t))
+}
+
+// DefaultTier reports the module's current default execution tier.
+func (cm *CompiledModule) DefaultTier() Tier {
+	if t := Tier(cm.defaultTier.Load()); t != TierAuto {
+		return t
+	}
+	return TierInterp
+}
+
+// ensureTier lazily builds the executable form a tier needs, once per
+// module. The closure tier compounds on the fused stream, so it builds both.
+func (cm *CompiledModule) ensureTier(t Tier) {
+	switch t {
+	case TierFused:
+		cm.fusedOnce.Do(cm.buildFused)
+	case TierClosure:
+		cm.fusedOnce.Do(cm.buildFused)
+		cm.closOnce.Do(cm.buildClosures)
+	}
+}
+
+func (cm *CompiledModule) buildFused() {
+	for _, f := range cm.funcs {
+		f.fused = fuseCode(f.code)
+	}
+}
+
+func (cm *CompiledModule) buildClosures() {
+	for _, f := range cm.funcs {
+		f.clos = compileClosures(cm, f)
+	}
+}
+
+// SetTier pins the instance to one execution tier; TierAuto (the default)
+// follows the module's default, so profile-guided promotion can retier the
+// instance between calls. Like the rest of the Instance API this must not
+// race with a running call.
+func (in *Instance) SetTier(t Tier) { in.tierPin = t }
+
+// EffectiveTier reports the tier resolved for the most recent outermost call
+// (TierInterp before any call).
+func (in *Instance) EffectiveTier() Tier {
+	if in.tier == TierAuto {
+		return TierInterp
+	}
+	return in.tier
+}
+
+// TierCalls reports how many outermost calls each tier served.
+func (in *Instance) TierCalls() (interp, fused, closure uint64) {
+	return in.tierCalls[TierInterp], in.tierCalls[TierFused], in.tierCalls[TierClosure]
+}
+
+// resolveTier computes the tier for the next outermost call: the instance
+// pin when set, else the module default.
+func (in *Instance) resolveTier() Tier {
+	t := in.tierPin
+	if t == TierAuto {
+		t = Tier(in.cm.defaultTier.Load())
+	}
+	if t == TierAuto {
+		t = TierInterp
+	}
+	return t
+}
+
+// chargeFuel consumes k fuel units exactly as k sequential per-instruction
+// charges would: InstrCount advances only by the units actually paid for,
+// and exhaustion traps at the precise instruction boundary, so fused
+// superinstructions and closure-tier dispatch stay bit-identical to the
+// interpreter's accounting. The deadline test fires when the charge crosses
+// a 64 Ki-instruction boundary, mirroring the interpreter's periodic check.
+func (in *Instance) chargeFuel(k uint32) {
+	if !in.fuelEnabled || k == 0 {
+		return
+	}
+	f := in.fuel
+	switch {
+	case f < 0: // metering on, exhaustion disabled
+		in.InstrCount += uint64(k)
+	case f >= int64(k):
+		in.fuel = f - int64(k)
+		in.InstrCount += uint64(k)
+	default:
+		in.InstrCount += uint64(f)
+		in.fuel = 0
+		panic(newTrap(TrapFuelExhausted))
+	}
+	if in.deadline != 0 && in.InstrCount>>16 != (in.InstrCount-uint64(k))>>16 &&
+		time.Now().UnixNano() > in.deadline {
+		panic(newTrap(TrapDeadlineExceeded))
+	}
+}
+
+// pollDeadline is called on loop back-edges and call boundaries while a
+// deadline is armed. The interpreter's periodic check only fires every
+// 64 Ki instructions, which a short stalling call never reaches; polling
+// the two control-flow events that every non-terminating guest must repeat
+// closes that escape. The wall clock is sampled every 64th event to keep
+// armed-deadline overhead off the hot path.
+func (in *Instance) pollDeadline() {
+	in.deadlineEvents++
+	if in.deadlineEvents&63 != 0 {
+		return
+	}
+	if time.Now().UnixNano() > in.deadline {
+		panic(newTrap(TrapDeadlineExceeded))
+	}
+}
+
+// checkDeadlineNow samples the wall clock unconditionally — used after host
+// function returns, where a stalled host call must surface immediately and
+// the call itself dwarfs the clock read.
+func (in *Instance) checkDeadlineNow() {
+	if time.Now().UnixNano() > in.deadline {
+		panic(newTrap(TrapDeadlineExceeded))
+	}
+}
