@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check check-e2 check-obs check-guard check-trace check-abi check-tier lint-metrics bench fuzz
+.PHONY: build test check check-e2 check-obs check-guard check-trace check-abi check-tier check-scale lint-metrics bench fuzz
 
 ## build: compile every package.
 build:
@@ -13,7 +13,7 @@ test: build
 ## check: the deeper tier — vet, the full suite under the race detector,
 ## the association-resilience suite, and a 10 s fuzz smoke of the wasm
 ## decode/compile/execute gauntlet.
-check: build check-e2 check-obs check-guard check-trace check-abi check-tier lint-metrics
+check: build check-e2 check-obs check-guard check-trace check-abi check-tier check-scale lint-metrics
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^FuzzDecode$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/wasm
@@ -64,6 +64,15 @@ check-abi:
 check-tier:
 	$(GO) test -race -count=1 -run 'Tier|MemoryGrowOverflow|Deadline' ./internal/wasm ./internal/wabi ./internal/sched ./internal/core ./internal/plugins
 	$(GO) test -run '^FuzzTierDifferential$$' -fuzz '^FuzzTierDifferential$$' -fuzztime 10s ./internal/plugins
+
+## check-scale: city-scale gate — race-enabled sharded-association and
+## windowed-batching suites (batch framing + capability negotiation in e2,
+## batched-vs-unbatched bit-identity at the xApp boundary + shard fan-in in
+## ric, the UE fleet aggregate in ran, the sharded fleet driver in core),
+## plus a 10 s fuzz smoke of the batch frame round-trip across codecs.
+check-scale:
+	$(GO) test -race -count=1 -run 'Batch|Shard|Fleet|Capability' ./internal/e2 ./internal/ric ./internal/ran ./internal/core
+	$(GO) test -run '^FuzzIndicationBatchRoundTrip$$' -fuzz '^FuzzIndicationBatchRoundTrip$$' -fuzztime 10s ./internal/e2
 
 ## lint-metrics: telemetry must go through internal/obs — fail on raw
 ## atomic.Uint64 counter fields outside internal/obs and internal/metrics.

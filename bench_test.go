@@ -434,7 +434,7 @@ func BenchmarkE2PluginCodec(b *testing.B) {
 // BenchmarkXAppDispatch measures a full RIC indication dispatch across both
 // evaluation xApps.
 func BenchmarkXAppDispatch(b *testing.B) {
-	r := ric.New()
+	r := ric.MustNew(ric.Config{})
 	if _, err := r.AddXAppWAT("steer", plugins.TrafficSteerXAppWAT, wabi.Policy{}); err != nil {
 		b.Fatal(err)
 	}

@@ -165,13 +165,14 @@ func run(cfg gnbConfig) error {
 		}
 		assoc = &ric.AssocMetrics{}
 		assoc.Register(reg)
-		sess = &ric.AgentSession{
-			Dial:            func() (*e2.Conn, error) { return e2.Dial(cfg.e2Addr, codec) },
-			RAN:             gnb,
-			Cell:            1,
-			LivenessTimeout: cfg.liveness,
-			Metrics:         assoc,
-			Tracer:          tracer,
+		sess, err = ric.NewAgentSession(ric.AgentSessionConfig{
+			Dial:    func() (*e2.Conn, error) { return e2.Dial(cfg.e2Addr, codec) },
+			RAN:     gnb,
+			Agent:   ric.AgentConfig{Cell: 1, LivenessTimeout: cfg.liveness, Tracer: tracer},
+			Metrics: assoc,
+		})
+		if err != nil {
+			return err
 		}
 		sess.Start()
 		defer sess.Stop()

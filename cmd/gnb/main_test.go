@@ -93,8 +93,7 @@ func TestStandaloneRunSmoke(t *testing.T) {
 // pool, module cache, deadline watchdog, and E2 association counters.
 func TestServeObservabilityE2E(t *testing.T) {
 	// In-process near-RT RIC on a loopback listener.
-	r := ric.New()
-	r.ReportPeriodMs = 10
+	r := ric.MustNew(ric.Config{ReportPeriodMs: 10})
 	if _, err := r.AddXAppWAT("sla", plugins.SLAAssureXAppWAT, wabi.Policy{}); err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +103,10 @@ func TestServeObservabilityE2E(t *testing.T) {
 	}
 	stop := make(chan struct{})
 	ricDone := make(chan struct{})
-	ricSess := &ric.Session{RIC: r, Connect: lis.Accept}
+	ricSess, err := ric.NewSession(ric.SessionConfig{RIC: r, Connect: lis.Accept})
+	if err != nil {
+		t.Fatal(err)
+	}
 	go func() {
 		defer close(ricDone)
 		ricSess.Run(stop)

@@ -36,12 +36,27 @@ func main() {
 	nonRT := flag.Bool("nonrt", false, "run the non-RT RIC (SLA-tuner rApp) over the KPM history")
 	httpAddr := flag.String("http", "", "serve /metrics and pprof on this address (empty = off)")
 	traceOn := flag.Bool("trace", false, "enable control-loop span tracing and the xApp fuel profiler (served at /debug/trace and /debug/wasm/profile)")
+	shards := flag.Int("shards", 0, "association shard count (0 = default)")
+	noBatch := flag.Bool("nobatch", false, "do not advertise windowed indication batching to agents")
 	flag.Parse()
 
-	if err := run(*listen, *xapps, *codecName, *shim, uint32(*period), *hb, *once, *nonRT, *httpAddr, *traceOn); err != nil {
+	if err := run(runOpts{
+		listen: *listen, xapps: *xapps, codecName: *codecName, shim: *shim,
+		period: uint32(*period), hb: *hb, once: *once, nonRT: *nonRT,
+		httpAddr: *httpAddr, traceOn: *traceOn, shards: *shards, noBatch: *noBatch,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ric:", err)
 		os.Exit(1)
 	}
+}
+
+type runOpts struct {
+	listen, xapps, codecName, httpAddr string
+	shim, once, nonRT, traceOn         bool
+	period                             uint32
+	hb                                 time.Duration
+	shards                             int
+	noBatch                            bool
 }
 
 var xappSources = map[string]string{
@@ -51,29 +66,34 @@ var xappSources = map[string]string{
 	"pong":  plugins.PongXAppWAT,
 }
 
-func run(listen, xapps, codecName string, shim bool, period uint32, hb time.Duration, once, nonRT bool, httpAddr string, traceOn bool) error {
-	r := ric.New()
-	r.ReportPeriodMs = period
-	r.HeartbeatInterval = hb
-	assoc := &ric.AssocMetrics{}
-	r.Assoc = assoc
+func run(o runOpts) error {
 	var tracer *trace.Tracer
 	var profile *wasm.Profile
-	if traceOn {
+	if o.traceOn {
 		tracer = trace.NewTracer(8192)
 		profile = wasm.NewProfile()
-		// Set before the xApps install so their envs pick the profiler up.
-		r.Tracer = tracer
-		r.Profile = profile
 		fmt.Println("tracing: control-loop spans + xApp fuel profiler enabled")
 	}
-	r.OnFault = func(xapp string, err error) {
-		fmt.Printf("xApp %s fault (contained): %v\n", xapp, err)
+	assoc := &ric.AssocMetrics{}
+	r, err := ric.New(ric.Config{
+		ReportPeriodMs:    o.period,
+		HeartbeatInterval: o.hb,
+		Shards:            o.shards,
+		DisableBatching:   o.noBatch,
+		Assoc:             assoc,
+		Tracer:            tracer,
+		Profile:           profile,
+		OnFault: func(xapp string, err error) {
+			fmt.Printf("xApp %s fault (contained): %v\n", xapp, err)
+		},
+		OnLog: func(xapp, msg string) {
+			fmt.Printf("xApp %s: %s\n", xapp, msg)
+		},
+	})
+	if err != nil {
+		return err
 	}
-	r.OnLog = func(xapp, msg string) {
-		fmt.Printf("xApp %s: %s\n", xapp, msg)
-	}
-	for _, name := range strings.Split(xapps, ",") {
+	for _, name := range strings.Split(o.xapps, ",") {
 		name = strings.TrimSpace(name)
 		src, ok := xappSources[name]
 		if !ok {
@@ -85,12 +105,12 @@ func run(listen, xapps, codecName string, shim bool, period uint32, hb time.Dura
 		fmt.Printf("installed xApp %q (Wasm plugin)\n", name)
 	}
 
-	codec, ok := e2.CodecByName(codecName)
+	codec, ok := e2.CodecByName(o.codecName)
 	if !ok {
-		return fmt.Errorf("unknown codec %q", codecName)
+		return fmt.Errorf("unknown codec %q", o.codecName)
 	}
 	wireCodec := e2.Codec(codec)
-	if shim {
+	if o.shim {
 		// Associations are served one at a time, so a single shim plugin
 		// instance suffices.
 		pc, err := ric.NewPluginCodecWAT("widen8to12", plugins.Widen8To12CommWAT, codec)
@@ -100,18 +120,18 @@ func run(listen, xapps, codecName string, shim bool, period uint32, hb time.Dura
 		wireCodec = pc
 	}
 
-	lis, err := e2.Listen(listen, wireCodec)
+	lis, err := e2.Listen(o.listen, wireCodec)
 	if err != nil {
 		return err
 	}
 	defer lis.Close()
-	fmt.Printf("near-RT RIC listening on %s (codec %s, report period %d ms, heartbeat %v)\n",
-		lis.Addr(), wireCodec.Name(), period, hb)
+	fmt.Printf("near-RT RIC listening on %s (codec %s, report period %d ms, heartbeat %v, %d shards)\n",
+		lis.Addr(), wireCodec.Name(), o.period, o.hb, r.Config().Shards)
 
-	if httpAddr != "" {
+	if o.httpAddr != "" {
 		reg := obs.NewRegistry()
 		r.Register(reg)
-		hlis, err := net.Listen("tcp", httpAddr)
+		hlis, err := net.Listen("tcp", o.httpAddr)
 		if err != nil {
 			return err
 		}
@@ -132,7 +152,7 @@ func run(listen, xapps, codecName string, shim bool, period uint32, hb time.Dura
 	// guidance loop) and returns their teardown.
 	onAssociation := func(conn *e2.Conn) func() {
 		fmt.Println("E2 association accepted")
-		if !nonRT {
+		if !o.nonRT {
 			return nil
 		}
 		// Guidance from the slow loop flows back over the same E2
@@ -164,7 +184,7 @@ func run(listen, xapps, codecName string, shim bool, period uint32, hb time.Dura
 			ind, controls, snap.Reconnects, snap.MissedHeartbeats)
 	}
 
-	if once {
+	if o.once {
 		conn, err := lis.Accept()
 		if err != nil {
 			return err
@@ -181,12 +201,15 @@ func run(listen, xapps, codecName string, shim bool, period uint32, hb time.Dura
 
 	// The session supervises associations forever: a gNB that reconnects
 	// after a fault is re-subscribed and served by the same xApp state.
-	sess := &ric.Session{
+	sess, err := ric.NewSession(ric.SessionConfig{
 		RIC:           r,
 		Connect:       lis.Accept,
 		Metrics:       assoc,
 		OnAssociation: onAssociation,
 		OnEnd:         onEnd,
+	})
+	if err != nil {
+		return err
 	}
 	sess.Run(make(chan struct{}))
 	return nil

@@ -1,17 +1,19 @@
 // Command waranbench regenerates the paper's evaluation (§5): every figure
 // and the memory-safety matrix. Experiments self-register with
-// internal/core's registry; figures print as text tables with the paper's
-// qualitative expectation alongside the measured outcome, while multi-cell
-// and fault experiments emit JSON (with an embedded metric-registry
+// internal/core's registry — including their own knobs, which this binary
+// exposes as namespaced flags (-<experiment>.<knob>) with no
+// experiment-specific globals. Figures print as text tables with the paper's
+// qualitative expectation alongside the measured outcome, while multi-cell,
+// fault and scale experiments emit JSON (with an embedded metric-registry
 // snapshot under "obs").
 //
 // Usage:
 //
-//	waranbench -list
+//	waranbench -list                  # experiments and their knobs
 //	waranbench -fig 5a|5b|5c|5d|safety|upload|all [-duration 10s]
-//	waranbench -fig multicell [-cells 8] [-slots 2000] [-par 0] [-abi auto|codec|zerocopy] [-tier auto|interp|fused|closure]   (JSON output)
-//	waranbench -fig e2faults [-e2f-slots 2000] [-e2f-drop 0.05] [-e2f-reset 25] [-e2f-seed 1]   (JSON output)
-//	waranbench -fig tracelat [-tl-cells 4] [-tl-slots 1200] [-tl-seed 1]   (JSON output)
+//	waranbench -fig multicell -multicell.cells 8 -multicell.abi zerocopy
+//	waranbench -fig e2faults -e2faults.drop 0.05 -e2faults.seed 1
+//	waranbench -fig citysim -citysim.cells 256 -citysim.ues 4096
 package main
 
 import (
@@ -25,44 +27,51 @@ import (
 	"waran/internal/core"
 	"waran/internal/obs"
 
-	// Blank import: ric-coupled experiments (e2faults) register themselves.
+	// Blank import: ric-coupled experiments (e2faults, tracelat, citysim)
+	// register themselves.
 	_ "waran/internal/ric"
 )
 
-var (
-	mcCells = flag.Int("cells", 8, "multicell: number of cells in the group")
-	mcSlots = flag.Int("slots", 2000, "multicell: slots to step")
-	mcPar   = flag.Int("par", 0, "multicell: worker parallelism (0 = GOMAXPROCS)")
-	mcABI   = flag.String("abi", "auto", "multicell: plugin call path (auto, codec, zerocopy)")
-	mcTier  = flag.String("tier", "auto", "multicell: wasm execution tier (auto, interp, fused, closure)")
-
-	e2fSlots = flag.Int("e2f-slots", 2000, "e2faults: MAC slots to run")
-	e2fDrop  = flag.Float64("e2f-drop", 0.05, "e2faults: drop probability on the lossy connection")
-	e2fReset = flag.Int("e2f-reset", 25, "e2faults: forced reset after N writes on the lossy connection")
-	e2fSeed  = flag.Int64("e2f-seed", 1, "e2faults: fault schedule seed")
-	e2fHB    = flag.Duration("e2f-hb", 5*time.Millisecond, "e2faults: RIC heartbeat interval")
-
-	tlCells = flag.Int("tl-cells", 4, "tracelat: number of gNB cells")
-	tlSlots = flag.Int("tl-slots", 1200, "tracelat: MAC slots to run")
-	tlSeed  = flag.Int64("tl-seed", 1, "tracelat: jitter schedule seed")
-)
+// boundFlag is one experiment knob bound to a parsed command-line value.
+type boundFlag struct {
+	exp  string
+	f    core.ExpFlag
+	text *string
+}
 
 func main() {
 	fig := flag.String("fig", "all", "which experiment to run (see -list), or all")
 	duration := flag.Duration("duration", 0, "override experiment duration (0 = per-figure default)")
-	list := flag.Bool("list", false, "list registered experiments and exit")
+	list := flag.Bool("list", false, "list registered experiments and their knobs, then exit")
+
+	// Every experiment's declared knobs become -<experiment>.<knob> flags;
+	// this binary owns none of them.
+	var bounds []boundFlag
+	for _, e := range core.Experiments() {
+		for _, f := range core.ExperimentFlags(e) {
+			name := e.Name() + "." + f.Name
+			bounds = append(bounds, boundFlag{
+				exp:  e.Name(),
+				f:    f,
+				text: flag.String(name, f.Default, "["+e.Name()+"] "+f.Usage),
+			})
+		}
+	}
 	flag.Parse()
 
 	if *list {
 		for _, e := range core.Experiments() {
-			fmt.Printf("%-10s %s\n", e.Name(), e.Describe())
+			fmt.Printf("%-12s %s\n", e.Name(), e.Describe())
+			for _, f := range core.ExperimentFlags(e) {
+				fmt.Printf("    -%s.%s (default %s)  %s\n", e.Name(), f.Name, f.Default, f.Usage)
+			}
 		}
 		return
 	}
 
 	if *fig == "all" {
 		for _, e := range core.Experiments() {
-			runExperiment(e, *duration)
+			runExperiment(e, bounds, *duration)
 		}
 		return
 	}
@@ -72,41 +81,35 @@ func main() {
 			*fig, strings.Join(core.ExperimentNames(), ", "))
 		os.Exit(2)
 	}
-	runExperiment(e, *duration)
+	runExperiment(e, bounds, *duration)
 }
 
-// configFor builds one experiment's knob set from the command line. Every
-// experiment gets a fresh metric registry so instrumented runs embed an
-// isolated snapshot.
-func configFor(name string, duration time.Duration) core.ExpConfig {
+// configFor builds one experiment's knob set by applying its bound flags.
+// Every experiment gets a fresh metric registry so instrumented runs embed
+// an isolated snapshot.
+func configFor(name string, bounds []boundFlag, duration time.Duration) (core.ExpConfig, error) {
 	cfg := core.ExpConfig{Duration: duration, Obs: obs.NewRegistry()}
-	switch name {
-	case "multicell":
-		cfg.Cells = *mcCells
-		cfg.Slots = *mcSlots
-		cfg.Parallelism = *mcPar
-		cfg.ABI = *mcABI
-		cfg.Tier = *mcTier
-	case "e2faults":
-		cfg.Slots = *e2fSlots
-		cfg.Drop = *e2fDrop
-		cfg.ResetAfterWrites = *e2fReset
-		cfg.Seed = *e2fSeed
-		cfg.Heartbeat = *e2fHB
-	case "tracelat":
-		cfg.Cells = *tlCells
-		cfg.Slots = *tlSlots
-		cfg.Seed = *tlSeed
+	for _, b := range bounds {
+		if b.exp != name {
+			continue
+		}
+		if err := b.f.Set(&cfg, *b.text); err != nil {
+			return cfg, fmt.Errorf("-%s.%s: %w", b.exp, b.f.Name, err)
+		}
 	}
-	return cfg
+	return cfg, nil
 }
 
 // runExperiment executes one registered experiment and presents the result:
 // text for results that render themselves, indented JSON otherwise.
-func runExperiment(e core.Experiment, duration time.Duration) {
-	res, err := e.Run(configFor(e.Name(), duration))
+func runExperiment(e core.Experiment, bounds []boundFlag, duration time.Duration) {
+	cfg, err := configFor(e.Name(), bounds, duration)
 	if err == nil {
-		err = present(res)
+		var res any
+		res, err = e.Run(cfg)
+		if err == nil {
+			err = present(res)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "waranbench: %s: %v\n", e.Name(), err)

@@ -55,9 +55,13 @@ func run() error {
 	}
 
 	// --- RIC side ---------------------------------------------------------
-	r := ric.New()
-	r.ReportPeriodMs = 25
-	r.OnLog = func(xapp, msg string) { fmt.Printf("  [xApp %s] %s\n", xapp, msg) }
+	r, err := ric.New(ric.Config{
+		ReportPeriodMs: 25,
+		OnLog:          func(xapp, msg string) { fmt.Printf("  [xApp %s] %s\n", xapp, msg) },
+	})
+	if err != nil {
+		return err
+	}
 	for name, src := range map[string]string{
 		"steer": plugins.TrafficSteerXAppWAT,
 		"sla":   plugins.SLAAssureXAppWAT,
@@ -99,7 +103,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	agent := ric.NewAgent(conn, gnb, 1)
+	agent, err := ric.NewAgent(conn, gnb, ric.AgentConfig{Cell: 1})
+	if err != nil {
+		return err
+	}
 	agentDone, err := agent.Start()
 	if err != nil {
 		return err

@@ -7,6 +7,7 @@ import (
 	"waran/internal/e2"
 	"waran/internal/guard"
 	"waran/internal/obs/trace"
+	"waran/internal/ran"
 	"waran/internal/sched"
 	"waran/internal/wabi"
 )
@@ -21,14 +22,20 @@ func (g *GNB) Snapshot(cell uint32) *e2.Indication {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	ind := &e2.Indication{Slot: g.slot, Cell: cell}
-	for _, u := range g.ues {
-		ind.UEs = append(ind.UEs, e2.UEMeasurement{
-			UEID:        u.ID,
-			SliceID:     u.SliceID,
-			MCS:         int32(u.MCS),
-			BufferBytes: u.BufferBytes(),
-			TputBps:     u.AvgTputBps,
-		})
+	// Per-UE rows cover explicit UEs plus the fleet's materialized window,
+	// so the report stays bounded (O(attached + ActiveK)) no matter how
+	// large the modeled population is; the slice rows below aggregate
+	// everything the cell served, fleet included.
+	for _, pool := range [2][]*ran.UE{g.ues, g.fleetWin} {
+		for _, u := range pool {
+			ind.UEs = append(ind.UEs, e2.UEMeasurement{
+				UEID:        u.ID,
+				SliceID:     u.SliceID,
+				MCS:         int32(u.MCS),
+				BufferBytes: u.BufferBytes(),
+				TputBps:     u.AvgTputBps,
+			})
+		}
 	}
 	for _, s := range g.Slices.Slices() {
 		ind.Slices = append(ind.Slices, e2.SliceMeasurement{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -46,6 +47,13 @@ type ExpConfig struct {
 	// schedulers: "auto" (default, profile-guided promotion), "interp",
 	// "fused" or "closure" (wasm.ParseTier).
 	Tier string
+	// UEsPerCell / Sectors / Shards / BatchWindow shape the city-scale
+	// experiment (citysim): modeled UEs per cell, E2 associations per cell,
+	// RIC association shards, and the KPM batching window in report periods.
+	UEsPerCell  int
+	Sectors     int
+	Shards      int
+	BatchWindow int
 	// Obs, when non-nil, is the metric registry the experiment should wire
 	// its subsystems into; experiments that support it embed
 	// Obs.Snapshot() in their result. Nil disables instrumentation.
@@ -74,14 +82,110 @@ type TextRenderer interface {
 	RenderText(w io.Writer) error
 }
 
+// ExpFlag declares one experiment-owned command-line knob. Binaries expose
+// it under the experiment's namespace (waranbench: -<experiment>.<name>) and
+// apply the parsed value onto that experiment's ExpConfig just before Run —
+// so every figure declares its own parameters here and no binary grows
+// experiment-specific globals.
+type ExpFlag struct {
+	// Name is the knob's short name within the experiment ("cells").
+	Name string
+	// Default is the value used when the flag is not given, in the same
+	// textual form the command line would use.
+	Default string
+	// Usage is the one-line help string.
+	Usage string
+	// Set parses value and applies it onto cfg.
+	Set func(cfg *ExpConfig, value string) error
+}
+
+// IntExpFlag binds an integer knob onto an ExpConfig field.
+func IntExpFlag(name string, def int, usage string, set func(*ExpConfig, int)) ExpFlag {
+	return ExpFlag{Name: name, Default: strconv.Itoa(def), Usage: usage,
+		Set: func(cfg *ExpConfig, v string) error {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			set(cfg, n)
+			return nil
+		}}
+}
+
+// Int64ExpFlag binds a 64-bit integer knob (seeds) onto an ExpConfig field.
+func Int64ExpFlag(name string, def int64, usage string, set func(*ExpConfig, int64)) ExpFlag {
+	return ExpFlag{Name: name, Default: strconv.FormatInt(def, 10), Usage: usage,
+		Set: func(cfg *ExpConfig, v string) error {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			set(cfg, n)
+			return nil
+		}}
+}
+
+// FloatExpFlag binds a float knob onto an ExpConfig field.
+func FloatExpFlag(name string, def float64, usage string, set func(*ExpConfig, float64)) ExpFlag {
+	return ExpFlag{Name: name, Default: strconv.FormatFloat(def, 'g', -1, 64), Usage: usage,
+		Set: func(cfg *ExpConfig, v string) error {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			set(cfg, f)
+			return nil
+		}}
+}
+
+// DurationExpFlag binds a time.Duration knob onto an ExpConfig field.
+func DurationExpFlag(name string, def time.Duration, usage string, set func(*ExpConfig, time.Duration)) ExpFlag {
+	return ExpFlag{Name: name, Default: def.String(), Usage: usage,
+		Set: func(cfg *ExpConfig, v string) error {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			set(cfg, d)
+			return nil
+		}}
+}
+
+// StringExpFlag binds a string knob onto an ExpConfig field.
+func StringExpFlag(name, def, usage string, set func(*ExpConfig, string)) ExpFlag {
+	return ExpFlag{Name: name, Default: def, Usage: usage,
+		Set: func(cfg *ExpConfig, v string) error {
+			set(cfg, v)
+			return nil
+		}}
+}
+
+// FlaggedExperiment is implemented by experiments that declare their own
+// command-line knobs.
+type FlaggedExperiment interface {
+	Experiment
+	Flags() []ExpFlag
+}
+
+// ExperimentFlags returns e's declared knobs (nil for experiments without
+// any).
+func ExperimentFlags(e Experiment) []ExpFlag {
+	if fe, ok := e.(FlaggedExperiment); ok {
+		return fe.Flags()
+	}
+	return nil
+}
+
 // expFunc adapts a plain function to Experiment.
 type expFunc struct {
 	name, desc string
+	flags      []ExpFlag
 	run        func(ExpConfig) (any, error)
 }
 
 func (e expFunc) Name() string                   { return e.name }
 func (e expFunc) Describe() string               { return e.desc }
+func (e expFunc) Flags() []ExpFlag               { return e.flags }
 func (e expFunc) Run(cfg ExpConfig) (any, error) { return e.run(cfg) }
 
 var (
@@ -106,6 +210,12 @@ func RegisterExperiment(e Experiment) {
 // RegisterExperimentFunc registers a function-backed experiment.
 func RegisterExperimentFunc(name, desc string, run func(ExpConfig) (any, error)) {
 	RegisterExperiment(expFunc{name: name, desc: desc, run: run})
+}
+
+// RegisterExperimentWithFlags registers a function-backed experiment that
+// declares its own command-line knobs.
+func RegisterExperimentWithFlags(name, desc string, flags []ExpFlag, run func(ExpConfig) (any, error)) {
+	RegisterExperiment(expFunc{name: name, desc: desc, flags: flags, run: run})
 }
 
 // LookupExperiment resolves a registered experiment by name.

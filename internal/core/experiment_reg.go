@@ -22,7 +22,14 @@ func init() {
 		})
 	RegisterExperimentFunc("upload", "Fig. 1 flow: push scheduler bytecode into a running gNB",
 		func(cfg ExpConfig) (any, error) { return RunUploadDemo() })
-	RegisterExperimentFunc("multicell", "multi-cell scaling, watchdog and fleet-wide hot swap (JSON)",
+	RegisterExperimentWithFlags("multicell", "multi-cell scaling, watchdog and fleet-wide hot swap (JSON)",
+		[]ExpFlag{
+			IntExpFlag("cells", 8, "number of cells in the group", func(c *ExpConfig, v int) { c.Cells = v }),
+			IntExpFlag("slots", 2000, "slots to step", func(c *ExpConfig, v int) { c.Slots = v }),
+			IntExpFlag("par", 0, "worker parallelism (0 = GOMAXPROCS)", func(c *ExpConfig, v int) { c.Parallelism = v }),
+			StringExpFlag("abi", "auto", "plugin call path (auto, codec, zerocopy)", func(c *ExpConfig, v string) { c.ABI = v }),
+			StringExpFlag("tier", "auto", "wasm execution tier (auto, interp, fused, closure)", func(c *ExpConfig, v string) { c.Tier = v }),
+		},
 		func(cfg ExpConfig) (any, error) { return RunMulticell(cfg) })
 	RegisterExperimentFunc("pluginfaults", "plugin fault storm: breaker quarantine, shadow-validated recovery, sleeper rollback (JSON)",
 		func(cfg ExpConfig) (any, error) { return RunPluginFaults(cfg) })

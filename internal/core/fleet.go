@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"waran/internal/metrics"
+	"waran/internal/ran"
+	"waran/internal/wabi"
+)
+
+// FleetDriverConfig shapes a city-scale cell fleet.
+type FleetDriverConfig struct {
+	// Cells is the total cell count across the fleet (at least 1).
+	Cells int
+	// Shards is how many worker shards the cells are divided across; each
+	// shard steps its cells serially on its own goroutine, so Shards is
+	// also the fleet's slot-loop parallelism. 0 means min(GOMAXPROCS,
+	// Cells).
+	Shards int
+	// SlotDeadline is the wall-clock budget each shard has to step all its
+	// cells in one slot. 0 means the cell's slot duration (the fleet is
+	// real-time only if every shard finishes its whole stripe within one
+	// slot).
+	SlotDeadline time.Duration
+}
+
+// MaxFleetShards bounds the fleet's worker count.
+const MaxFleetShards = 1024
+
+// Fleet steps hundreds of cells per slot by sharding them across persistent
+// worker goroutines: cell i lives on shard i%Shards, each shard steps its
+// stripe serially, and a per-shard deadline watchdog times the stripe
+// against the slot budget — the aggregate telling an operator not "did one
+// cell overrun" (CellGroup's per-cell meters still answer that) but "does
+// this worker layout keep up with the slot clock".
+//
+// Every shard is an ordinary CellGroup, so the whole PR 1-7 surface
+// (pooled schedulers, supervised swaps, observability, tracing) applies
+// per shard unchanged; the fleet shares one content-addressed module cache
+// across shards so a fleet-wide bytecode upload compiles exactly once.
+type Fleet struct {
+	cfg    FleetDriverConfig
+	shards []*CellGroup
+	watch  []*metrics.DeadlineMeter
+	// Modules is the fleet-wide shared compiled-module cache.
+	Modules *wabi.ModuleCache
+
+	slot uint64
+
+	startOnce sync.Once
+	work      []chan uint64 // per-shard slot kick
+	done      chan int      // shard completion fan-in
+	stop      chan struct{}
+}
+
+// NewFleet creates a fleet of cfg.Cells identical cells divided across
+// cfg.Shards worker shards. Populate cells via Cell(i)/Shard(s) before
+// stepping.
+func NewFleet(cell ran.CellConfig, cfg FleetDriverConfig) (*Fleet, error) {
+	if cfg.Cells < 1 {
+		return nil, fmt.Errorf("core: fleet needs at least 1 cell, got %d", cfg.Cells)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards > cfg.Cells {
+		cfg.Shards = cfg.Cells
+	}
+	if cfg.Shards < 0 || cfg.Shards > MaxFleetShards {
+		return nil, fmt.Errorf("core: fleet shard count %d outside [1, %d]", cfg.Shards, MaxFleetShards)
+	}
+	cell = cell.WithDefaults()
+	if cfg.SlotDeadline == 0 {
+		cfg.SlotDeadline = cell.SlotDuration
+	}
+	f := &Fleet{
+		cfg:     cfg,
+		shards:  make([]*CellGroup, cfg.Shards),
+		watch:   make([]*metrics.DeadlineMeter, cfg.Shards),
+		Modules: wabi.NewModuleCache(),
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		// Cells are dealt round-robin: shard s owns cells s, s+Shards, ...
+		n := (cfg.Cells - s + cfg.Shards - 1) / cfg.Shards
+		cg, err := NewCellGroup(cell, CellGroupConfig{
+			Cells:       n,
+			Parallelism: 1, // serial stripe; parallelism is across shards
+		})
+		if err != nil {
+			return nil, err
+		}
+		// One fleet-wide cache: rebind the group and its cells.
+		cg.Modules = f.Modules
+		for i := 0; i < cg.NumCells(); i++ {
+			cg.Cell(i).Modules = f.Modules
+		}
+		f.shards[s] = cg
+		f.watch[s] = metrics.NewDeadlineMeter(cfg.SlotDeadline)
+	}
+	return f, nil
+}
+
+// NumCells returns the fleet-wide cell count.
+func (f *Fleet) NumCells() int { return f.cfg.Cells }
+
+// NumShards returns the worker shard count.
+func (f *Fleet) NumShards() int { return len(f.shards) }
+
+// Shard returns worker shard s as its CellGroup (for installing schedulers,
+// observability, tracing).
+func (f *Fleet) Shard(s int) *CellGroup { return f.shards[s] }
+
+// Cell returns the fleet-wide cell i (round-robin: shard i%Shards).
+func (f *Fleet) Cell(i int) *GNB {
+	return f.shards[i%len(f.shards)].Cell(i / len(f.shards))
+}
+
+// Slot returns the fleet slot counter (slots completed by StepAll).
+func (f *Fleet) Slot() uint64 { return f.slot }
+
+// startWorkers launches one persistent goroutine per shard; each steps its
+// whole stripe when kicked and reports back through done.
+func (f *Fleet) startWorkers() {
+	f.work = make([]chan uint64, len(f.shards))
+	f.done = make(chan int, len(f.shards))
+	f.stop = make(chan struct{})
+	for s := range f.shards {
+		f.work[s] = make(chan uint64)
+		go func(s int) {
+			for {
+				select {
+				case <-f.stop:
+					return
+				case <-f.work[s]:
+					start := time.Now()
+					f.shards[s].StepAll()
+					f.watch[s].Observe(time.Since(start))
+					f.done <- s
+				}
+			}
+		}(s)
+	}
+}
+
+// StepAll advances every cell in the fleet by one slot, all shards
+// concurrently, and blocks until the slowest shard finishes its stripe.
+func (f *Fleet) StepAll() {
+	f.startOnce.Do(f.startWorkers)
+	for s := range f.work {
+		f.work[s] <- f.slot
+	}
+	for range f.work {
+		<-f.done
+	}
+	f.slot++
+}
+
+// Close stops the fleet's worker goroutines. The fleet must not be stepped
+// afterwards.
+func (f *Fleet) Close() {
+	if f.stop != nil {
+		close(f.stop)
+	}
+}
+
+// WatchdogStats snapshots every shard's stripe-deadline accounting.
+func (f *Fleet) WatchdogStats() []metrics.DeadlineStats {
+	out := make([]metrics.DeadlineStats, len(f.watch))
+	for s, w := range f.watch {
+		out[s] = w.Stats()
+	}
+	return out
+}

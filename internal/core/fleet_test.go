@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"waran/internal/ran"
+	"waran/internal/sched"
+)
+
+func TestFleetDriverShardsAndSteps(t *testing.T) {
+	const cells, shards = 8, 3
+	f, err := NewFleet(ran.CellConfig{}, FleetDriverConfig{Cells: cells, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.NumShards() != shards || f.NumCells() != cells {
+		t.Fatalf("fleet shape %d shards x %d cells", f.NumShards(), f.NumCells())
+	}
+	// Every global index maps to a distinct cell and the shard stripes
+	// cover the fleet exactly.
+	seen := map[*GNB]bool{}
+	for i := 0; i < cells; i++ {
+		g := f.Cell(i)
+		if seen[g] {
+			t.Fatalf("cell index %d aliases another cell", i)
+		}
+		seen[g] = true
+		if _, err := g.Slices.AddSlice(1, "t", 10e6, sched.RoundRobin{}, nil); err != nil {
+			t.Fatal(err)
+		}
+		fl, err := ran.NewUEFleet(ran.FleetConfig{UEs: 512, ActiveK: 8, SliceIDs: []uint32{1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AttachFleet(fl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for s := 0; s < shards; s++ {
+		total += f.Shard(s).NumCells()
+	}
+	if total != cells {
+		t.Fatalf("stripes cover %d cells, want %d", total, cells)
+	}
+
+	const slots = 50
+	for i := 0; i < slots; i++ {
+		f.StepAll()
+	}
+	if f.Slot() != slots {
+		t.Fatalf("fleet slot %d, want %d", f.Slot(), slots)
+	}
+	for s, ws := range f.WatchdogStats() {
+		if ws.Slots != slots {
+			t.Fatalf("shard %d watchdog observed %d slots, want %d", s, ws.Slots, slots)
+		}
+	}
+	// Every cell advanced in lockstep and its fleet served traffic.
+	for i := 0; i < cells; i++ {
+		if got := f.Cell(i).Slot(); got != slots {
+			t.Fatalf("cell %d at slot %d, want %d", i, got, slots)
+		}
+		if st := f.Cell(i).Fleet().Stats(); st.DeliveredBits == 0 {
+			t.Fatalf("cell %d fleet delivered nothing", i)
+		}
+	}
+	// The fleet shares one module cache across shards.
+	for s := 0; s < shards; s++ {
+		if f.Shard(s).Modules != f.Modules {
+			t.Fatalf("shard %d has a private module cache", s)
+		}
+	}
+}
+
+func TestGNBFleetScheduling(t *testing.T) {
+	g, err := NewGNB(ran.CellConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Slices.AddSlice(1, "iot", 10e6, sched.RoundRobin{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Slices.AddSlice(2, "mbb", 20e6, sched.RoundRobin{}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fleet on an unknown slice is refused at admission.
+	bad, err := ran.NewUEFleet(ran.FleetConfig{UEs: 10, SliceIDs: []uint32{9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AttachFleet(bad); err == nil {
+		t.Fatal("fleet on unregistered slice admitted")
+	}
+
+	fleet, err := ran.NewUEFleet(ran.FleetConfig{
+		UEs: 4096, ActiveK: 32, SliceIDs: []uint32{1, 2}, MeanRateBps: 256e3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AttachFleet(fleet); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AttachFleet(fleet); err == nil {
+		t.Fatal("second fleet admitted")
+	}
+	// An explicit UE coexists with the fleet.
+	ue := ran.NewUE(1, 1, 20)
+	ue.Traffic = ran.NewCBR(1e6)
+	if err := g.AttachUE(ue); err != nil {
+		t.Fatal(err)
+	}
+
+	var fleetBits int64
+	for i := 0; i < 256; i++ {
+		res := g.Step()
+		for id, gr := range res.PerUE {
+			if id >= 1<<20 { // fleet BaseID default
+				fleetBits += gr.Bits
+			}
+		}
+	}
+	if fleetBits == 0 {
+		t.Fatal("no fleet UE was ever granted")
+	}
+	st := fleet.Stats()
+	if st.DeliveredBits == 0 {
+		t.Fatal("fleet accounting saw no delivered bits")
+	}
+
+	// The KPM snapshot stays bounded: explicit UEs + the active window,
+	// never the full modeled population.
+	ind := g.Snapshot(1)
+	if got, limit := len(ind.UEs), 1+fleet.ActiveK(); got > limit {
+		t.Fatalf("snapshot carries %d UE rows, want <= %d", got, limit)
+	}
+	if len(ind.UEs) < 2 {
+		t.Fatalf("snapshot missing fleet window rows: %d", len(ind.UEs))
+	}
+	if len(ind.Slices) != 2 {
+		t.Fatalf("snapshot slice rows %d, want 2", len(ind.Slices))
+	}
+}

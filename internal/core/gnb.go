@@ -36,6 +36,9 @@ type GNB struct {
 	mu        sync.Mutex
 	ues       []*ran.UE
 	byID      map[uint32]*ran.UE
+	fleet     *ran.UEFleet       // aggregate population, nil unless AttachFleet
+	fleetWin  []*ran.UE          // fleet UEs materialized for the current slot
+	fleetByID map[uint32]*ran.UE // grant lookup for the materialized window
 	slot      uint64
 	sliceRate map[uint32]float64 // served-rate EWMA per slice, for E2 KPM
 	obsv      *gnbObs            // set by EnableObservability, nil otherwise
@@ -102,6 +105,34 @@ func (g *GNB) AttachUE(ue *ran.UE) error {
 	g.ues = append(g.ues, ue)
 	g.byID[ue.ID] = ue
 	return nil
+}
+
+// AttachFleet admits an aggregate modeled population (ran.UEFleet) to the
+// cell. Every slice the fleet subscribes to must already be registered, like
+// AttachUE's admission check. Each slot, the fleet's rotating active window
+// competes for PRBs alongside explicitly attached UEs; the rest of the
+// population accrues traffic lazily. One fleet per cell.
+func (g *GNB) AttachFleet(f *ran.UEFleet) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.fleet != nil {
+		return fmt.Errorf("core: cell already has a fleet of %d UEs", g.fleet.Size())
+	}
+	for _, id := range f.SliceIDs() {
+		if _, ok := g.Slices.Slice(id); !ok {
+			return fmt.Errorf("core: fleet subscribes to unknown slice %d", id)
+		}
+	}
+	g.fleet = f
+	g.fleetByID = make(map[uint32]*ran.UE, f.ActiveK())
+	return nil
+}
+
+// Fleet returns the attached aggregate population, if any.
+func (g *GNB) Fleet() *ran.UEFleet {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.fleet
 }
 
 // DetachUE removes a UE from the cell.
@@ -176,7 +207,7 @@ func (g *GNB) Step() SlotResult {
 	defer g.mu.Unlock()
 	res := SlotResult{
 		Slot:     g.slot,
-		PerUE:    make(map[uint32]UEGrant, len(g.ues)),
+		PerUE:    make(map[uint32]UEGrant, len(g.ues)+len(g.fleetWin)),
 		PerSlice: make(map[uint32]SliceSlot),
 	}
 
@@ -190,9 +221,17 @@ func (g *GNB) Step() SlotResult {
 		}
 	}
 
-	// 1. Evolve traffic and channels.
+	// 1. Evolve traffic and channels; materialize this slot's fleet window
+	// (its arrivals since last touch are accrued lazily inside Advance).
 	for _, u := range g.ues {
 		u.StepSlot(g.slot, g.Cell.SlotDuration)
+	}
+	if g.fleet != nil {
+		g.fleetWin = g.fleet.Advance(g.slot, g.Cell.SlotDuration)
+		clear(g.fleetByID)
+		for _, u := range g.fleetWin {
+			g.fleetByID[u.ID] = u
+		}
 	}
 
 	// 2. Build per-slice UE views and demands.
@@ -202,21 +241,23 @@ func (g *GNB) Step() SlotResult {
 	for _, s := range slices {
 		var view []sched.UEInfo
 		var demandPRBs uint64
-		for _, u := range g.ues {
-			if u.SliceID != s.ID {
-				continue
-			}
-			per := uint32(g.Cell.BitsPerPRB(u.MCS))
-			info := sched.UEInfo{
-				ID:          u.ID,
-				MCS:         int32(u.MCS),
-				BitsPerPRB:  per,
-				BufferBytes: u.BufferBytes(),
-				AvgTputBps:  u.AvgTputBps,
-			}
-			view = append(view, info)
-			if per > 0 && u.BufferBits > 0 {
-				demandPRBs += (uint64(u.BufferBits) + uint64(per) - 1) / uint64(per)
+		for _, pool := range [2][]*ran.UE{g.ues, g.fleetWin} {
+			for _, u := range pool {
+				if u.SliceID != s.ID {
+					continue
+				}
+				per := uint32(g.Cell.BitsPerPRB(u.MCS))
+				info := sched.UEInfo{
+					ID:          u.ID,
+					MCS:         int32(u.MCS),
+					BitsPerPRB:  per,
+					BufferBytes: u.BufferBytes(),
+					AvgTputBps:  u.AvgTputBps,
+				}
+				view = append(view, info)
+				if per > 0 && u.BufferBits > 0 {
+					demandPRBs += (uint64(u.BufferBits) + uint64(per) - 1) / uint64(per)
+				}
 			}
 		}
 		ueViews[s.ID] = view
@@ -269,6 +310,9 @@ func (g *GNB) Step() SlotResult {
 		for _, a := range resp.Allocs {
 			u, ok := g.byID[a.UEID]
 			if !ok {
+				u, ok = g.fleetByID[a.UEID]
+			}
+			if !ok {
 				continue
 			}
 			tbs := int64(g.Cell.TransportBlockBits(u.MCS, int(a.PRBs)))
@@ -296,10 +340,17 @@ func (g *GNB) Step() SlotResult {
 	}
 
 	// UEs with no grant still update their PF average (toward zero).
-	for _, u := range g.ues {
-		if _, granted := res.PerUE[u.ID]; !granted {
-			u.RecordService(0, g.Cell.SlotDuration, g.PFTimeConstant)
+	for _, pool := range [2][]*ran.UE{g.ues, g.fleetWin} {
+		for _, u := range pool {
+			if _, granted := res.PerUE[u.ID]; !granted {
+				u.RecordService(0, g.Cell.SlotDuration, g.PFTimeConstant)
+			}
 		}
+	}
+	// Fold the window's outcomes back into the fleet's compact arrays and
+	// rotate, so the next slot materializes a fresh cohort.
+	if g.fleet != nil {
+		g.fleet.Absorb(g.slot)
 	}
 
 	// Track served-rate EWMA per slice for E2 KPM reporting.

@@ -142,6 +142,11 @@ func RunPluginFaults(cfg ExpConfig) (*PluginFaultsResult, error) {
 		},
 		RecordedInputs: 32,
 		ProbationCalls: 256,
+		// Both swaps in this storyline are built to pass shadow validation;
+		// the latency budget only guards against a stalling candidate, and
+		// the guard default (750 µs) is a per-call wall-clock bound a loaded
+		// single-CPU box under the race detector blows spuriously mid-replay.
+		ShadowLatencyBudget: 10 * time.Millisecond,
 	}
 	cg, err := BuildSupervisedGroup(cells, par, hostileSlice, hostileChaos, gcfg, cfg.SlotDeadline)
 	if err != nil {

@@ -20,6 +20,15 @@ type Codec interface {
 	Decode(b []byte) (*Message, error)
 }
 
+// AppendEncoder is the optional allocation-free encoding fast path: codecs
+// that implement it encode into the caller's buffer instead of allocating a
+// fresh payload per message. Conn.Send uses it to reuse one frame buffer
+// per association, which keeps per-indication allocations flat when
+// thousands of associations stream KPM reports.
+type AppendEncoder interface {
+	AppendEncode(dst []byte, m *Message) ([]byte, error)
+}
+
 // ---------------------------------------------------------------------------
 // BinaryCodec: fixed little-endian layout ("ASN.1-lite" in spirit: compact,
 // position-based).
@@ -109,11 +118,15 @@ func (r *breader) str() (string, error) {
 }
 
 // Encode implements Codec.
-func (BinaryCodec) Encode(m *Message) ([]byte, error) {
+func (c BinaryCodec) Encode(m *Message) ([]byte, error) { return c.AppendEncode(nil, m) }
+
+// AppendEncode implements AppendEncoder: it encodes into dst's spare
+// capacity so the transport can reuse one send buffer per association.
+func (BinaryCodec) AppendEncode(dst []byte, m *Message) ([]byte, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	w := &bwriter{}
+	w := &bwriter{b: dst}
 	w.u8(uint8(m.Type))
 	w.u32(m.RequestID)
 	w.u32(m.RANFunction)
@@ -129,6 +142,8 @@ func (BinaryCodec) Encode(m *Message) ([]byte, error) {
 		w.str(m.SubscriptionResp.Reason)
 	case TypeIndication:
 		w.b = AppendIndicationBody(w.b, m.Indication)
+	case TypeIndicationBatch:
+		w.b = appendBatchBody(w.b, m.Batch)
 	case TypeControlRequest:
 		w.b = AppendControlBody(w.b, m.Control)
 	case TypeControlAck:
@@ -187,6 +202,10 @@ func (BinaryCodec) Decode(b []byte) (*Message, error) {
 		m.SubscriptionResp = resp
 	case TypeIndication:
 		if m.Indication, err = readIndicationBody(r); err != nil {
+			return nil, err
+		}
+	case TypeIndicationBatch:
+		if m.Batch, err = readBatchBody(r); err != nil {
 			return nil, err
 		}
 	case TypeControlRequest:
@@ -254,6 +273,7 @@ type jsonMessage struct {
 	Sub     *SubscriptionRequest  `json:"subscription,omitempty"`
 	SubResp *SubscriptionResponse `json:"subscription_response,omitempty"`
 	Ind     *Indication           `json:"indication,omitempty"`
+	Batch   *IndicationBatch      `json:"indication_batch,omitempty"`
 	Ctrl    *ControlRequest       `json:"control,omitempty"`
 	Ack     *ControlAck           `json:"control_ack,omitempty"`
 	Err     *ErrorBody            `json:"error,omitempty"`
@@ -267,7 +287,7 @@ func (JSONCodec) Encode(m *Message) ([]byte, error) {
 	jm := jsonMessage{
 		Type: uint8(m.Type), RequestID: m.RequestID, RANFunction: m.RANFunction,
 		Sub: m.Subscription, SubResp: m.SubscriptionResp, Ind: m.Indication,
-		Ctrl: m.Control, Ack: m.ControlAck, Err: m.Error,
+		Batch: m.Batch, Ctrl: m.Control, Ack: m.ControlAck, Err: m.Error,
 	}
 	if m.Trace.Valid() {
 		tc := m.Trace
@@ -285,7 +305,7 @@ func (JSONCodec) Decode(b []byte) (*Message, error) {
 	m := &Message{
 		Type: MessageType(jm.Type), RequestID: jm.RequestID, RANFunction: jm.RANFunction,
 		Subscription: jm.Sub, SubscriptionResp: jm.SubResp, Indication: jm.Ind,
-		Control: jm.Ctrl, ControlAck: jm.Ack, Error: jm.Err,
+		Batch: jm.Batch, Control: jm.Ctrl, ControlAck: jm.Ack, Error: jm.Err,
 	}
 	if jm.Trace != nil {
 		m.Trace = *jm.Trace
@@ -352,11 +372,15 @@ func (r *vreader) str() (string, error) {
 }
 
 // Encode implements Codec.
-func (VarintCodec) Encode(m *Message) ([]byte, error) {
+func (c VarintCodec) Encode(m *Message) ([]byte, error) { return c.AppendEncode(nil, m) }
+
+// AppendEncode implements AppendEncoder: it encodes into dst's spare
+// capacity so the transport can reuse one send buffer per association.
+func (VarintCodec) AppendEncode(dst []byte, m *Message) ([]byte, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	w := &vwriter{}
+	w := &vwriter{b: dst}
 	w.uv(uint64(m.Type))
 	w.uv(uint64(m.RequestID))
 	w.uv(uint64(m.RANFunction))
@@ -371,23 +395,11 @@ func (VarintCodec) Encode(m *Message) ([]byte, error) {
 		w.uv(uint64(boolByte(m.SubscriptionResp.Accepted)))
 		w.str(m.SubscriptionResp.Reason)
 	case TypeIndication:
-		ind := m.Indication
-		w.uv(ind.Slot)
-		w.uv(uint64(ind.Cell))
-		w.uv(uint64(len(ind.UEs)))
-		for _, u := range ind.UEs {
-			w.uv(uint64(u.UEID))
-			w.uv(uint64(u.SliceID))
-			w.uv(uint64(uint32(u.MCS)))
-			w.uv(uint64(u.BufferBytes))
-			w.f64(u.TputBps)
-		}
-		w.uv(uint64(len(ind.Slices)))
-		for _, s := range ind.Slices {
-			w.uv(uint64(s.SliceID))
-			w.f64(s.TargetBps)
-			w.f64(s.ServedBps)
-			w.uv(uint64(s.UsedPRBs))
+		writeVarintIndication(w, m.Indication)
+	case TypeIndicationBatch:
+		w.uv(uint64(len(m.Batch.Indications)))
+		for i := range m.Batch.Indications {
+			writeVarintIndication(w, &m.Batch.Indications[i])
 		}
 	case TypeControlRequest:
 		c := m.Control
@@ -461,59 +473,26 @@ func (VarintCodec) Decode(b []byte) (*Message, error) {
 		}
 		m.SubscriptionResp = resp
 	case TypeIndication:
-		ind := &Indication{}
-		if ind.Slot, err = r.uv(); err != nil {
+		if m.Indication, err = readVarintIndication(r); err != nil {
 			return nil, err
 		}
-		if ind.Cell, err = uvU32(); err != nil {
-			return nil, err
-		}
-		nUE, err := r.uv()
+	case TypeIndicationBatch:
+		n, err := r.uv()
 		if err != nil {
 			return nil, err
 		}
-		for i := uint64(0); i < nUE; i++ {
-			var u UEMeasurement
-			if u.UEID, err = uvU32(); err != nil {
-				return nil, err
-			}
-			if u.SliceID, err = uvU32(); err != nil {
-				return nil, err
-			}
-			mcs, err := uvU32()
+		if n > MaxBatchIndications {
+			return nil, fmt.Errorf("%w: batch of %d indications exceeds limit", ErrMalformed, n)
+		}
+		batch := &IndicationBatch{}
+		for i := uint64(0); i < n; i++ {
+			ind, err := readVarintIndication(r)
 			if err != nil {
 				return nil, err
 			}
-			u.MCS = int32(mcs)
-			if u.BufferBytes, err = uvU32(); err != nil {
-				return nil, err
-			}
-			if u.TputBps, err = r.f64(); err != nil {
-				return nil, err
-			}
-			ind.UEs = append(ind.UEs, u)
+			batch.Indications = append(batch.Indications, *ind)
 		}
-		nSl, err := r.uv()
-		if err != nil {
-			return nil, err
-		}
-		for i := uint64(0); i < nSl; i++ {
-			var s SliceMeasurement
-			if s.SliceID, err = uvU32(); err != nil {
-				return nil, err
-			}
-			if s.TargetBps, err = r.f64(); err != nil {
-				return nil, err
-			}
-			if s.ServedBps, err = r.f64(); err != nil {
-				return nil, err
-			}
-			if s.UsedPRBs, err = uvU32(); err != nil {
-				return nil, err
-			}
-			ind.Slices = append(ind.Slices, s)
-		}
-		m.Indication = ind
+		m.Batch = batch
 	case TypeControlRequest:
 		c := &ControlRequest{}
 		a, err := r.uv()
@@ -579,6 +558,89 @@ func (VarintCodec) Decode(b []byte) (*Message, error) {
 		return nil, fmt.Errorf("%w: trailing bytes", ErrMalformed)
 	}
 	return m, nil
+}
+
+// writeVarintIndication appends one indication body in the varint layout.
+func writeVarintIndication(w *vwriter, ind *Indication) {
+	w.uv(ind.Slot)
+	w.uv(uint64(ind.Cell))
+	w.uv(uint64(len(ind.UEs)))
+	for _, u := range ind.UEs {
+		w.uv(uint64(u.UEID))
+		w.uv(uint64(u.SliceID))
+		w.uv(uint64(uint32(u.MCS)))
+		w.uv(uint64(u.BufferBytes))
+		w.f64(u.TputBps)
+	}
+	w.uv(uint64(len(ind.Slices)))
+	for _, s := range ind.Slices {
+		w.uv(uint64(s.SliceID))
+		w.f64(s.TargetBps)
+		w.f64(s.ServedBps)
+		w.uv(uint64(s.UsedPRBs))
+	}
+}
+
+// readVarintIndication parses one indication body in the varint layout.
+func readVarintIndication(r *vreader) (*Indication, error) {
+	uvU32 := func() (uint32, error) {
+		v, err := r.uv()
+		return uint32(v), err
+	}
+	ind := &Indication{}
+	var err error
+	if ind.Slot, err = r.uv(); err != nil {
+		return nil, err
+	}
+	if ind.Cell, err = uvU32(); err != nil {
+		return nil, err
+	}
+	nUE, err := r.uv()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nUE; i++ {
+		var u UEMeasurement
+		if u.UEID, err = uvU32(); err != nil {
+			return nil, err
+		}
+		if u.SliceID, err = uvU32(); err != nil {
+			return nil, err
+		}
+		mcs, err := uvU32()
+		if err != nil {
+			return nil, err
+		}
+		u.MCS = int32(mcs)
+		if u.BufferBytes, err = uvU32(); err != nil {
+			return nil, err
+		}
+		if u.TputBps, err = r.f64(); err != nil {
+			return nil, err
+		}
+		ind.UEs = append(ind.UEs, u)
+	}
+	nSl, err := r.uv()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nSl; i++ {
+		var s SliceMeasurement
+		if s.SliceID, err = uvU32(); err != nil {
+			return nil, err
+		}
+		if s.TargetBps, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if s.ServedBps, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if s.UsedPRBs, err = uvU32(); err != nil {
+			return nil, err
+		}
+		ind.Slices = append(ind.Slices, s)
+	}
+	return ind, nil
 }
 
 // CodecByName looks up a codec by its Name.

@@ -60,6 +60,30 @@ func sampleMessages() []*Message {
 		{
 			Type: TypeError, Error: &ErrorBody{Reason: "protocol violation"},
 		},
+		{
+			Type: TypeIndicationBatch, RequestID: 9, RANFunction: RANFunctionKPM,
+			Batch: &IndicationBatch{Indications: []Indication{
+				{
+					Slot: 100, Cell: 7,
+					UEs: []UEMeasurement{
+						{UEID: 1, SliceID: 2, MCS: 28, BufferBytes: 4096, TputBps: 21.5e6},
+					},
+					Slices: []SliceMeasurement{
+						{SliceID: 2, TargetBps: 12e6, ServedBps: 11.8e6, UsedPRBs: 30},
+					},
+				},
+				{
+					Slot: 101, Cell: 7,
+					UEs: []UEMeasurement{
+						{UEID: 1, SliceID: 2, MCS: 27, BufferBytes: 1024, TputBps: 20.1e6},
+						{UEID: 2, SliceID: 2, MCS: 4, BufferBytes: 0, TputBps: 0},
+					},
+					Slices: []SliceMeasurement{
+						{SliceID: 2, TargetBps: 12e6, ServedBps: 12.0e6, UsedPRBs: 28},
+					},
+				},
+			}},
+		},
 	}
 }
 

@@ -37,6 +37,10 @@ const (
 	TypeHeartbeat
 	// TypeError reports a protocol-level failure.
 	TypeError
+	// TypeIndicationBatch carries one reporting window's per-slot KPM
+	// indications coalesced into a single frame (see batch.go). Only sent
+	// after capability negotiation, so old peers never see it.
+	TypeIndicationBatch
 )
 
 // String returns the message type name.
@@ -56,6 +60,8 @@ func (t MessageType) String() string {
 		return "heartbeat"
 	case TypeError:
 		return "error"
+	case TypeIndicationBatch:
+		return "indication-batch"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -84,6 +90,7 @@ type Message struct {
 	Subscription     *SubscriptionRequest
 	SubscriptionResp *SubscriptionResponse
 	Indication       *Indication
+	Batch            *IndicationBatch
 	Control          *ControlRequest
 	ControlAck       *ControlAck
 	Error            *ErrorBody
@@ -210,6 +217,9 @@ func (m *Message) Validate() error {
 	if m.Indication != nil {
 		bodySet++
 	}
+	if m.Batch != nil {
+		bodySet++
+	}
 	if m.Control != nil {
 		bodySet++
 	}
@@ -236,6 +246,13 @@ func (m *Message) Validate() error {
 	case TypeIndication:
 		if m.Indication == nil || bodySet != 1 {
 			return fmt.Errorf("%w: indication body mismatch", ErrMalformed)
+		}
+	case TypeIndicationBatch:
+		if m.Batch == nil || bodySet != 1 {
+			return fmt.Errorf("%w: indication-batch body mismatch", ErrMalformed)
+		}
+		if err := validateBatch(m.Batch); err != nil {
+			return err
 		}
 	case TypeControlRequest:
 		if m.Control == nil || bodySet != 1 {

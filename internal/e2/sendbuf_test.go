@@ -1,0 +1,111 @@
+package e2
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// nullConn is a net.Conn whose writes vanish: Send cost without a peer.
+type nullConn struct{}
+
+func (nullConn) Read(b []byte) (int, error)         { return 0, io.EOF }
+func (nullConn) Write(b []byte) (int, error)        { return len(b), nil }
+func (nullConn) Close() error                       { return nil }
+func (nullConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (nullConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (nullConn) SetDeadline(t time.Time) error      { return nil }
+func (nullConn) SetReadDeadline(t time.Time) error  { return nil }
+func (nullConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func sendBenchMessage() *Message {
+	return &Message{
+		Type: TypeIndication, RequestID: 9, RANFunction: RANFunctionKPM,
+		Indication: &Indication{
+			Slot: 123456, Cell: 3,
+			UEs: []UEMeasurement{
+				{UEID: 1, SliceID: 1, MCS: 22, BufferBytes: 9000, TputBps: 1.1e7},
+				{UEID: 2, SliceID: 1, MCS: 16, BufferBytes: 0, TputBps: 2.5e6},
+				{UEID: 3, SliceID: 2, MCS: 28, BufferBytes: 512, TputBps: 9.9e7},
+			},
+			Slices: []SliceMeasurement{
+				{SliceID: 1, TargetBps: 2e7, ServedBps: 1.35e7, UsedPRBs: 40},
+				{SliceID: 2, TargetBps: 8e7, ServedBps: 9.9e7, UsedPRBs: 60},
+			},
+		},
+	}
+}
+
+// TestSendAllocsPinned pins the bugfix for per-indication allocations: with
+// an append-capable codec, a steady-state Send must not allocate at all —
+// the frame buffer is reused across calls. At 1000+ associations streaming
+// KPM this is the difference between flat memory and the GC dominating.
+func TestSendAllocsPinned(t *testing.T) {
+	for _, codec := range []Codec{BinaryCodec{}, VarintCodec{}} {
+		conn := NewConn(nullConn{}, codec)
+		m := sendBenchMessage()
+		batch := &Message{
+			Type: TypeIndicationBatch, RequestID: 9, RANFunction: RANFunctionKPM,
+			Batch: sampleBatch(8, 3, 2, 1),
+		}
+		// Warm up so the retained buffer reaches steady-state capacity.
+		for i := 0; i < 4; i++ {
+			if err := conn.Send(m); err != nil {
+				t.Fatalf("%s: warm-up send: %v", codec.Name(), err)
+			}
+			if err := conn.Send(batch); err != nil {
+				t.Fatalf("%s: warm-up batch send: %v", codec.Name(), err)
+			}
+		}
+		if allocs := testing.AllocsPerRun(100, func() {
+			if err := conn.Send(m); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: Send allocates %.1f objects per indication, want 0", codec.Name(), allocs)
+		}
+		if allocs := testing.AllocsPerRun(100, func() {
+			if err := conn.Send(batch); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: Send allocates %.1f objects per batch, want 0", codec.Name(), allocs)
+		}
+	}
+}
+
+// TestSendBufBounded pins the retention cap: a one-off giant frame must not
+// pin its buffer on the association forever.
+func TestSendBufBounded(t *testing.T) {
+	conn := NewConn(nullConn{}, BinaryCodec{})
+	big := &Message{
+		Type: TypeControlRequest, RequestID: 1, RANFunction: RANFunctionRC,
+		Control: &ControlRequest{
+			Action: ActionUploadScheduler, SliceID: 1, Text: "blob",
+			Blob: make([]byte, 2<<20),
+		},
+	}
+	if err := conn.Send(big); err != nil {
+		t.Fatal(err)
+	}
+	if cap(conn.sendBuf) > maxRetainedSendBuf {
+		t.Fatalf("retained %d-byte send buffer, cap is %d", cap(conn.sendBuf), maxRetainedSendBuf)
+	}
+}
+
+func BenchmarkConnSend(b *testing.B) {
+	for _, codec := range []Codec{BinaryCodec{}, VarintCodec{}, JSONCodec{}} {
+		b.Run(codec.Name(), func(b *testing.B) {
+			conn := NewConn(nullConn{}, codec)
+			m := sendBenchMessage()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := conn.Send(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -23,6 +23,11 @@ const MaxFrameBytes = 4 << 20
 // MaxFrameBytes with a 4-byte header.
 const recvChunkBytes = 64 << 10
 
+// maxRetainedSendBuf caps the encode buffer kept between Sends: a one-off
+// giant frame (scheduler blob upload) must not pin megabytes per
+// association for the rest of its life.
+const maxRetainedSendBuf = 1 << 20
+
 // ErrAssociationDead reports that a peer was declared dead by heartbeat
 // liveness tracking (no inbound traffic for the configured number of
 // heartbeat intervals) and the association was torn down locally.
@@ -36,6 +41,10 @@ type Conn struct {
 	codec  Codec
 	br     *bufio.Reader
 	sendMu sync.Mutex
+	// sendBuf is the frame buffer reused across Sends (guarded by sendMu):
+	// 4-byte length header followed by the encoded payload, written in one
+	// Write call.
+	sendBuf []byte
 
 	// Counters (obs.Counter is atomic: Stats may be read while Send/Recv
 	// run, or scraped through a registry).
@@ -69,29 +78,43 @@ func Dial(addr string, codec Codec) (*Conn, error) {
 	return NewConn(c, codec), nil
 }
 
-// Send encodes and writes one message.
+// Send encodes and writes one message. Codecs implementing AppendEncoder
+// encode straight into a per-association buffer reused across calls, so a
+// steady indication stream allocates nothing; other codecs fall back to a
+// fresh payload copied into the same buffer. Header and payload go out in
+// one Write.
 func (c *Conn) Send(m *Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	buf := append(c.sendBuf[:0], 0, 0, 0, 0) // length header, patched below
 	encStart := time.Now()
-	payload, err := c.codec.Encode(m)
+	var err error
+	if ae, ok := c.codec.(AppendEncoder); ok {
+		buf, err = ae.AppendEncode(buf, m)
+	} else {
+		var payload []byte
+		payload, err = c.codec.Encode(m)
+		buf = append(buf, payload...)
+	}
 	c.lastEncNs.Store(int64(time.Since(encStart)))
 	if err != nil {
 		return err
 	}
-	if len(payload) > MaxFrameBytes {
-		return fmt.Errorf("e2: frame of %d bytes exceeds limit", len(payload))
+	n := len(buf) - 4
+	if n > MaxFrameBytes {
+		return fmt.Errorf("e2: frame of %d bytes exceeds limit", n)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	c.sendMu.Lock()
-	defer c.sendMu.Unlock()
-	if _, err := c.c.Write(hdr[:]); err != nil {
-		return fmt.Errorf("e2: send: %w", err)
+	binary.BigEndian.PutUint32(buf[:4], uint32(n))
+	if cap(buf) <= maxRetainedSendBuf {
+		c.sendBuf = buf
+	} else {
+		c.sendBuf = nil
 	}
-	if _, err := c.c.Write(payload); err != nil {
+	if _, err := c.c.Write(buf); err != nil {
 		return fmt.Errorf("e2: send: %w", err)
 	}
 	c.sent.Inc()
-	c.bytesSent.Add(uint64(len(payload)) + 4)
+	c.bytesSent.Add(uint64(n) + 4)
 	return nil
 }
 
@@ -179,6 +202,10 @@ func (c *Conn) SetWriteDeadline(t time.Time) error { return c.c.SetWriteDeadline
 
 // Close terminates the association.
 func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr returns the peer's address (nil when the underlying transport
+// has none). The RIC hashes it to pick an association shard.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
 
 // ConnStats is the flat snapshot of an association's frame and byte
 // counters.

@@ -31,16 +31,12 @@ type TracedRANControl interface {
 	ApplyTraced(c *e2.ControlRequest, ctx trace.Context) error
 }
 
-// Agent is the gNB-side endpoint of the E2-lite association: it answers the
-// RIC's subscription (including mid-association re-subscriptions), streams
-// indications at the subscribed cadence (driven by Tick from the MAC slot
-// loop), applies incoming control actions, and echoes heartbeats so the
-// RIC can track liveness.
-type Agent struct {
-	conn *e2.Conn
-	ran  RANControl
+// AgentConfig is the validated construction surface of an Agent — nothing
+// is poked post-construction. The zero value is a working default
+// (untraced, unbatched, no liveness bound).
+type AgentConfig struct {
+	// Cell identifies which cell this agent reports.
 	Cell uint32
-
 	// LivenessTimeout, when > 0, bounds the silence tolerated from the
 	// RIC: if no frame (heartbeats included) arrives for this long, the
 	// agent declares the association dead, closes the conn, and the
@@ -48,29 +44,76 @@ type Agent struct {
 	// few multiples of the RIC's heartbeat interval. Zero disables
 	// liveness tracking (the pre-resilience behaviour).
 	LivenessTimeout time.Duration
-
 	// Tracer, when non-nil, lets the agent negotiate trace propagation
 	// with the RIC and record indication.encode/transport spans on the gNB
-	// plane. Set before Start.
+	// plane.
 	Tracer *trace.Tracer
+	// Batch configures windowed indication batching. It only takes effect
+	// on associations whose RIC advertised e2.BatchCapabilityBit; against
+	// older peers the agent keeps sending per-slot indications.
+	Batch BatchConfig
+}
+
+// Validate checks the configuration.
+func (c AgentConfig) Validate() error {
+	if c.LivenessTimeout < 0 {
+		return fmt.Errorf("ric: negative liveness timeout %v", c.LivenessTimeout)
+	}
+	return c.Batch.Validate()
+}
+
+// Agent is the gNB-side endpoint of the E2-lite association: it answers the
+// RIC's subscription (including mid-association re-subscriptions), streams
+// indications at the subscribed cadence (driven by Tick from the MAC slot
+// loop), applies incoming control actions, and echoes heartbeats so the
+// RIC can track liveness.
+//
+// With batching configured and negotiated, due-slot indications coalesce
+// into one e2.IndicationBatch frame per window; a partial window is flushed
+// once its oldest entry has waited Batch.FlushInterval (checked from Tick,
+// so flush latency is quantized to the slot cadence) or when Flush is
+// called at teardown.
+type Agent struct {
+	conn *e2.Conn
+	ran  RANControl
+	cfg  AgentConfig
 
 	subscribed  atomic.Bool
 	periodSlots atomic.Uint64 // metric-exempt: subscription cadence, not telemetry
 	dead        atomic.Bool
 	peerTraced  atomic.Bool // RIC advertised e2.TraceCapabilityBit and we accepted
+	peerBatched atomic.Bool // both sides advertised batch capability
+
+	// batchMu guards the pending window: Tick appends from the slot loop
+	// while a re-subscription on the receive loop may renegotiate
+	// capability mid-window.
+	batchMu       sync.Mutex
+	pending       []e2.Indication
+	pendingSince  time.Time // when the oldest pending indication was buffered
+	pendingBuild  time.Time // buildStart of the first pending indication (traced)
+	pendingTraced bool
 
 	mu           sync.Mutex
 	sliceFilter  []uint32
 	indications  uint64
+	batchFrames  uint64
 	controlsOK   uint64
 	controlsFail uint64
 	resubscribes uint64
 }
 
-// NewAgent creates an agent for one association.
-func NewAgent(conn *e2.Conn, ran RANControl, cell uint32) *Agent {
-	return &Agent{conn: conn, ran: ran, Cell: cell}
+// NewAgent creates an agent for one association from a validated
+// configuration.
+func NewAgent(conn *e2.Conn, ran RANControl, cfg AgentConfig) (*Agent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Batch = cfg.Batch.withDefaults()
+	return &Agent{conn: conn, ran: ran, cfg: cfg}, nil
 }
+
+// Cell returns the cell this agent reports.
+func (a *Agent) Cell() uint32 { return a.cfg.Cell }
 
 // Start blocks until the RIC's subscription request arrives, acknowledges
 // it, and spawns the control-receive loop (plus the liveness watchdog when
@@ -78,16 +121,16 @@ func NewAgent(conn *e2.Conn, ran RANControl, cell uint32) *Agent {
 // of the receive loop (nil on clean shutdown, e2.ErrAssociationDead when
 // liveness failed).
 func (a *Agent) Start() (<-chan error, error) {
-	if a.LivenessTimeout > 0 {
+	if a.cfg.LivenessTimeout > 0 {
 		// A RIC that never subscribes is as dead as one that stops
 		// heartbeating: bound the subscription wait too.
-		_ = a.conn.SetReadDeadline(time.Now().Add(2 * a.LivenessTimeout))
+		_ = a.conn.SetReadDeadline(time.Now().Add(2 * a.cfg.LivenessTimeout))
 	}
 	m, err := a.conn.Recv()
 	if err != nil {
 		return nil, fmt.Errorf("ric: agent: waiting for subscription: %w", err)
 	}
-	if a.LivenessTimeout > 0 {
+	if a.cfg.LivenessTimeout > 0 {
 		_ = a.conn.SetReadDeadline(time.Time{})
 	}
 	if m.Type != e2.TypeSubscriptionRequest {
@@ -106,7 +149,7 @@ func (a *Agent) Start() (<-chan error, error) {
 		close(recvDone)
 		done <- err
 	}()
-	if a.LivenessTimeout > 0 {
+	if a.cfg.LivenessTimeout > 0 {
 		go a.watchdog(recvDone)
 	}
 	return done, nil
@@ -129,17 +172,28 @@ func (a *Agent) applySubscription(m *e2.Message) error {
 		RANFunction:      m.RANFunction,
 		SubscriptionResp: &e2.SubscriptionResponse{Accepted: true},
 	}
-	// Trace capability negotiation: a trace-capable RIC sets the reserved
-	// bit in RANFunction (old agents echo it untouched); a trace-capable
-	// agent answers with the token in Reason (old RICs only read Reason on
-	// rejection). Indications get trace trailers only after both halves
-	// advertised, so untraced peers never see unexpected bytes.
-	if m.RANFunction&e2.TraceCapabilityBit != 0 && a.Tracer.Enabled() {
-		ack.SubscriptionResp.Reason = e2.TraceCapabilityToken
+	// Capability negotiation: a capable RIC sets reserved bits in
+	// RANFunction (old agents echo them untouched); a capable agent
+	// answers with the matching tokens in Reason (old RICs only read
+	// Reason on rejection, and the trace-only RIC of the previous protocol
+	// generation compares Reason against exactly the trace token — so the
+	// batch token is appended only when the RIC advertised batching, which
+	// that generation never does). Indications get trace trailers or
+	// batched framing only after both halves advertised.
+	reason := ""
+	if m.RANFunction&e2.TraceCapabilityBit != 0 && a.cfg.Tracer.Enabled() {
+		reason = e2.AppendCapabilityToken(reason, e2.TraceCapabilityToken)
 		a.peerTraced.Store(true)
 	} else {
 		a.peerTraced.Store(false)
 	}
+	if m.RANFunction&e2.BatchCapabilityBit != 0 && a.cfg.Batch.enabled() {
+		reason = e2.AppendCapabilityToken(reason, e2.BatchCapabilityToken)
+		a.peerBatched.Store(true)
+	} else {
+		a.peerBatched.Store(false)
+	}
+	ack.SubscriptionResp.Reason = reason
 	if err := a.conn.Send(ack); err != nil {
 		return err
 	}
@@ -151,7 +205,7 @@ func (a *Agent) applySubscription(m *e2.Message) error {
 // LivenessTimeout, closing the conn so the blocked recvLoop returns
 // promptly instead of hanging on a half-open TCP stream.
 func (a *Agent) watchdog(recvDone <-chan struct{}) {
-	interval := a.LivenessTimeout / 4
+	interval := a.cfg.LivenessTimeout / 4
 	if interval < time.Millisecond {
 		interval = time.Millisecond
 	}
@@ -162,7 +216,7 @@ func (a *Agent) watchdog(recvDone <-chan struct{}) {
 		case <-recvDone:
 			return
 		case <-ticker.C:
-			if time.Since(a.conn.LastRecv()) > a.LivenessTimeout {
+			if time.Since(a.conn.LastRecv()) > a.cfg.LivenessTimeout {
 				a.dead.Store(true)
 				a.conn.Close()
 				return
@@ -246,27 +300,32 @@ func (a *Agent) applyControl(m *e2.Message) error {
 }
 
 // Tick is called by the owner after each MAC slot; at the subscribed
-// cadence it snapshots KPM state and sends an indication.
+// cadence it snapshots KPM state and sends (or, on a batched association,
+// buffers) an indication. On every slot — due or not — it checks the
+// pending window's flush deadline.
 func (a *Agent) Tick(slot uint64) error {
 	if !a.subscribed.Load() {
 		return nil
 	}
 	period := a.periodSlots.Load()
 	if period == 0 || slot%period != 0 {
-		return nil
+		return a.flushIfOverdue()
 	}
-	tracing := a.Tracer.Enabled() && a.peerTraced.Load()
+	tracing := a.cfg.Tracer.Enabled() && a.peerTraced.Load()
 	var buildStart time.Time
 	if tracing {
 		buildStart = time.Now()
 	}
-	ind := a.ran.Snapshot(a.Cell)
+	ind := a.ran.Snapshot(a.cfg.Cell)
 	a.mu.Lock()
 	filter := a.sliceFilter
 	a.indications++
 	a.mu.Unlock()
 	if len(filter) > 0 {
 		ind = filterIndication(ind, filter)
+	}
+	if a.peerBatched.Load() && a.cfg.Batch.enabled() {
+		return a.bufferIndication(ind, tracing, buildStart)
 	}
 	msg := &e2.Message{
 		Type:        e2.TypeIndication,
@@ -276,10 +335,14 @@ func (a *Agent) Tick(slot uint64) error {
 	if !tracing {
 		return a.conn.Send(msg)
 	}
+	return a.sendTraced(msg, slot, buildStart)
+}
 
-	// Root the decision's trace here: the indication that will provoke it.
-	// The wire carries the transport span's ID so the RIC's decode span
-	// parents to it.
+// sendTraced sends msg carrying a fresh trace context and records the
+// indication.encode + transport spans. The wire carries the transport
+// span's ID so the RIC's decode span parents to it; buildStart anchors the
+// encode span at the moment KPM state was snapshotted.
+func (a *Agent) sendTraced(msg *e2.Message, slot uint64, buildStart time.Time) error {
 	ctx := trace.NewContext()
 	transportID := trace.NewSpanID()
 	msg.Trace = trace.Context{TraceID: ctx.TraceID, SpanID: transportID}
@@ -287,26 +350,107 @@ func (a *Agent) Tick(slot uint64) error {
 	err := a.conn.Send(msg)
 	sendDur := time.Since(sendStart)
 	encDur := a.conn.LastEncodeDur()
-	a.Tracer.Record(&trace.Span{
+	a.cfg.Tracer.Record(&trace.Span{
 		TraceID: ctx.TraceID, SpanID: ctx.SpanID,
 		Name: trace.SpanIndicationEncode, Plane: trace.PlaneGNB,
-		Slot: slot, Cell: a.Cell,
+		Slot: slot, Cell: a.cfg.Cell,
 		StartNs: buildStart.UnixNano(),
 		DurNs:   int64(sendStart.Sub(buildStart) + encDur),
 	})
 	sp := &trace.Span{
 		TraceID: ctx.TraceID, SpanID: transportID, Parent: ctx.SpanID,
 		Name: trace.SpanTransport, Plane: trace.PlaneGNB,
-		Slot: slot, Cell: a.Cell,
+		Slot: slot, Cell: a.cfg.Cell,
 		StartNs: sendStart.Add(encDur).UnixNano(),
 		DurNs:   int64(sendDur - encDur),
 	}
 	if err != nil {
 		sp.Err = err.Error()
 	}
-	a.Tracer.Record(sp)
+	a.cfg.Tracer.Record(sp)
 	return err
 }
+
+// bufferIndication appends one due-slot indication to the pending window,
+// flushing when the window fills.
+func (a *Agent) bufferIndication(ind *e2.Indication, tracing bool, buildStart time.Time) error {
+	a.batchMu.Lock()
+	if len(a.pending) == 0 {
+		a.pendingSince = time.Now()
+		a.pendingBuild = buildStart
+		a.pendingTraced = tracing
+	}
+	a.pending = append(a.pending, *ind)
+	full := len(a.pending) >= a.cfg.Batch.Window
+	a.batchMu.Unlock()
+	if full {
+		return a.Flush()
+	}
+	return nil
+}
+
+// flushIfOverdue flushes a partial window whose oldest indication has
+// waited past the flush interval.
+func (a *Agent) flushIfOverdue() error {
+	a.batchMu.Lock()
+	overdue := len(a.pending) > 0 && time.Since(a.pendingSince) >= a.cfg.Batch.FlushInterval
+	a.batchMu.Unlock()
+	if !overdue {
+		return nil
+	}
+	return a.Flush()
+}
+
+// Flush sends the pending indication window immediately (a no-op when
+// nothing is buffered). Owners call it at teardown so buffered indications
+// are not lost with the association.
+func (a *Agent) Flush() error {
+	a.batchMu.Lock()
+	pending := a.pending
+	buildStart := a.pendingBuild
+	tracing := a.pendingTraced
+	a.pending = nil
+	a.batchMu.Unlock()
+	if len(pending) == 0 {
+		return nil
+	}
+	if !a.peerBatched.Load() {
+		// The peer renegotiated away from batching mid-window (RIC restart
+		// re-subscribed without the capability): deliver the buffered
+		// indications individually rather than sending a frame it no
+		// longer expects.
+		for i := range pending {
+			msg := &e2.Message{Type: e2.TypeIndication, RANFunction: e2.RANFunctionKPM, Indication: &pending[i]}
+			if err := a.conn.Send(msg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	a.mu.Lock()
+	a.batchFrames++
+	a.mu.Unlock()
+	msg := &e2.Message{
+		Type:        e2.TypeIndicationBatch,
+		RANFunction: e2.RANFunctionKPM,
+		Batch:       &e2.IndicationBatch{Indications: pending},
+	}
+	if !tracing || !a.peerTraced.Load() {
+		return a.conn.Send(msg)
+	}
+	return a.sendTraced(msg, pending[0].Slot, buildStart)
+}
+
+// PendingBatched reports how many indications are buffered awaiting a
+// window flush.
+func (a *Agent) PendingBatched() int {
+	a.batchMu.Lock()
+	defer a.batchMu.Unlock()
+	return len(a.pending)
+}
+
+// Batched reports whether batching was negotiated on this association.
+func (a *Agent) Batched() bool { return a.peerBatched.Load() }
 
 // Period returns the subscribed indication cadence in slots (0 before the
 // first subscription).
@@ -317,6 +461,13 @@ func (a *Agent) Counters() (indications, controlsOK, controlsFail uint64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.indications, a.controlsOK, a.controlsFail
+}
+
+// BatchFrames reports how many batched indication frames were sent.
+func (a *Agent) BatchFrames() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.batchFrames
 }
 
 // Resubscribes reports how many mid-association re-subscriptions were

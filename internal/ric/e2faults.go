@@ -124,11 +124,15 @@ type E2FaultsResult struct {
 func RunE2Faults(cfg E2FaultsConfig, ran RANControl, step func(slot uint64)) (*E2FaultsResult, error) {
 	cfg = cfg.withDefaults()
 
-	r := New()
-	r.ReportPeriodMs = cfg.ReportPeriodMs
-	r.HeartbeatInterval = cfg.Heartbeat
 	shared := &AssocMetrics{}
-	r.Assoc = shared
+	r, err := New(Config{
+		ReportPeriodMs:    cfg.ReportPeriodMs,
+		HeartbeatInterval: cfg.Heartbeat,
+		Assoc:             shared,
+	})
+	if err != nil {
+		return nil, err
+	}
 	if cfg.Obs != nil {
 		r.Register(cfg.Obs)
 	}
@@ -143,10 +147,13 @@ func RunE2Faults(cfg E2FaultsConfig, ran RANControl, step func(slot uint64)) (*E
 	defer lis.Close()
 
 	stop := make(chan struct{})
-	ricSess := &Session{
+	ricSess, err := NewSession(SessionConfig{
 		RIC:     r,
 		Connect: lis.Accept,
 		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
 	}
 	ricDone := make(chan struct{})
 	go func() {
@@ -184,14 +191,16 @@ func RunE2Faults(cfg E2FaultsConfig, ran RANControl, step func(slot uint64)) (*E
 		return e2.NewConn(raw, e2.BinaryCodec{}), nil
 	}
 
-	sess := &AgentSession{
-		Dial:            dial,
-		RAN:             ran,
-		Cell:            1,
-		Backoff:         Backoff{Initial: 2 * time.Millisecond, Max: 20 * time.Millisecond},
-		LivenessTimeout: cfg.LivenessTimeout,
-		Metrics:         shared,
-		Seed:            cfg.Seed,
+	sess, err := NewAgentSession(AgentSessionConfig{
+		Dial:    dial,
+		RAN:     ran,
+		Agent:   AgentConfig{Cell: 1, LivenessTimeout: cfg.LivenessTimeout},
+		Backoff: Backoff{Initial: 2 * time.Millisecond, Max: 20 * time.Millisecond},
+		Metrics: shared,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
 	}
 	sess.Start()
 

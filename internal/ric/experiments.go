@@ -1,6 +1,8 @@
 package ric
 
 import (
+	"time"
+
 	"waran/internal/core"
 	"waran/internal/ran"
 	"waran/internal/wabi"
@@ -11,12 +13,51 @@ import (
 // dependency, and any binary that links ric (cmd/waranbench does, blank
 // import) sees "e2faults" in the experiment registry.
 func init() {
-	core.RegisterExperimentFunc("e2faults",
+	core.RegisterExperimentWithFlags("e2faults",
 		"association resilience under transport faults: drop, reset, half-open (JSON)",
+		[]core.ExpFlag{
+			core.IntExpFlag("slots", 2000, "MAC slots to run", func(c *core.ExpConfig, v int) { c.Slots = v }),
+			core.FloatExpFlag("drop", 0.05, "drop probability on the lossy connection", func(c *core.ExpConfig, v float64) { c.Drop = v }),
+			core.IntExpFlag("reset", 25, "forced reset after N writes on the lossy connection", func(c *core.ExpConfig, v int) { c.ResetAfterWrites = v }),
+			core.Int64ExpFlag("seed", 1, "fault schedule seed", func(c *core.ExpConfig, v int64) { c.Seed = v }),
+			core.DurationExpFlag("hb", 5*time.Millisecond, "RIC heartbeat interval", func(c *core.ExpConfig, v time.Duration) { c.Heartbeat = v }),
+		},
 		runE2FaultsExperiment)
-	core.RegisterExperimentFunc("tracelat",
+	core.RegisterExperimentWithFlags("citysim",
+		"city-scale: 1000+ batched E2 associations into a sharded RIC over a 1M-UE cell fleet (JSON)",
+		[]core.ExpFlag{
+			core.IntExpFlag("cells", 256, "cells in the fleet", func(c *core.ExpConfig, v int) { c.Cells = v }),
+			core.IntExpFlag("ues", 4096, "modeled UEs per cell", func(c *core.ExpConfig, v int) { c.UEsPerCell = v }),
+			core.IntExpFlag("sectors", 4, "E2 associations per cell", func(c *core.ExpConfig, v int) { c.Sectors = v }),
+			core.IntExpFlag("slots", 1500, "MAC slots to run", func(c *core.ExpConfig, v int) { c.Slots = v }),
+			core.IntExpFlag("shards", 16, "RIC association shards", func(c *core.ExpConfig, v int) { c.Shards = v }),
+			core.IntExpFlag("window", 8, "KPM batching window in report periods (1 disables)", func(c *core.ExpConfig, v int) { c.BatchWindow = v }),
+			core.Int64ExpFlag("seed", 1, "per-cell population seed", func(c *core.ExpConfig, v int64) { c.Seed = v }),
+		},
+		runCitySimExperiment)
+	core.RegisterExperimentWithFlags("tracelat",
 		"end-to-end control-loop tracing: per-hop latency + hottest plugin functions (JSON)",
+		[]core.ExpFlag{
+			core.IntExpFlag("cells", 4, "number of gNB cells", func(c *core.ExpConfig, v int) { c.Cells = v }),
+			core.IntExpFlag("slots", 1200, "MAC slots to run", func(c *core.ExpConfig, v int) { c.Slots = v }),
+			core.Int64ExpFlag("seed", 1, "jitter schedule seed", func(c *core.ExpConfig, v int64) { c.Seed = v }),
+		},
 		runTraceLatExperiment)
+}
+
+// runCitySimExperiment maps the shared knob set onto the city-scale
+// experiment's config.
+func runCitySimExperiment(cfg core.ExpConfig) (any, error) {
+	return RunCitySim(CitySimConfig{
+		Cells:       cfg.Cells,
+		UEsPerCell:  cfg.UEsPerCell,
+		Sectors:     cfg.Sectors,
+		Slots:       cfg.Slots,
+		RICShards:   cfg.Shards,
+		BatchWindow: cfg.BatchWindow,
+		Seed:        cfg.Seed,
+		Obs:         cfg.Obs,
+	})
 }
 
 // runTraceLatExperiment maps the shared knob set onto the tracing

@@ -84,7 +84,7 @@ func TestKPMSLACompliance(t *testing.T) {
 }
 
 func TestRICRecordsIntoKPM(t *testing.T) {
-	r := New()
+	r := MustNew(Config{})
 	r.HandleIndication(mkInd(3, 42, 1e6, 8e6))
 	latest, ok := r.KPM.Latest(3)
 	if !ok || latest.Indication.Slot != 42 {
@@ -99,9 +99,8 @@ const faultyXAppWAT = `(module
   (func (export "on_indication") (result i32) unreachable))`
 
 func TestXAppQuarantineAfterFaults(t *testing.T) {
-	r := New()
 	var faults int
-	r.OnFault = func(string, error) { faults++ }
+	r := MustNew(Config{OnFault: func(string, error) { faults++ }})
 	x, err := r.AddXAppWAT("bad", faultyXAppWAT, wabi.Policy{})
 	if err != nil {
 		t.Fatal(err)
@@ -129,7 +128,7 @@ func TestXAppQuarantineAfterFaults(t *testing.T) {
 }
 
 func TestRemoveXApp(t *testing.T) {
-	r := New()
+	r := MustNew(Config{})
 	if _, err := r.AddXAppWAT("a", plugins.SLAAssureXAppWAT, wabi.Policy{}); err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +147,7 @@ func TestRemoveXApp(t *testing.T) {
 }
 
 func TestAddXAppRejectsMissingEntry(t *testing.T) {
-	r := New()
+	r := MustNew(Config{})
 	src := `(module (memory (export "memory") 1) (func (export "wrong") (result i32) i32.const 0))`
 	if _, err := r.AddXAppWAT("x", src, wabi.Policy{}); err == nil {
 		t.Fatal("xApp without on_indication accepted")

@@ -16,8 +16,7 @@ import (
 // the multivendor scenario the paper motivates: the same xApp bytecode
 // controls both cells regardless of whose equipment they are.
 func TestOneRICManyGNBs(t *testing.T) {
-	r := New()
-	r.ReportPeriodMs = 10
+	r := MustNew(Config{ReportPeriodMs: 10})
 	if _, err := r.AddXAppWAT("sla", plugins.SLAAssureXAppWAT, wabi.Policy{}); err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +72,10 @@ func TestOneRICManyGNBs(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { conn.Close() })
-		agent := NewAgent(conn, gnb, cellID)
+		agent, err := NewAgent(conn, gnb, AgentConfig{Cell: cellID})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if _, err := agent.Start(); err != nil {
 			t.Fatal(err)
 		}

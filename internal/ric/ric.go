@@ -3,12 +3,14 @@ package ric
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"waran/internal/e2"
+	"waran/internal/metrics"
 	"waran/internal/obs"
 	"waran/internal/obs/trace"
 	"waran/internal/wabi"
@@ -17,66 +19,97 @@ import (
 
 // RIC is the near-RT RIC host: it owns the xApp registry, dispatches
 // indications to every enabled xApp, aggregates their control actions, and
-// drives the E2-lite association with a gNB.
+// drives E2-lite associations with a fleet of gNBs. Construct it with New
+// (or MustNew) from a Config; nothing is poked post-construction.
+//
+// Associations hash onto shards (Config.Shards): each shard carries its own
+// goroutine budget, counters, and obs instruments, and the xApp registry is
+// a copy-on-write snapshot, so indication fan-in from concurrent
+// associations never serializes on a global lock.
 type RIC struct {
-	mu     sync.Mutex
-	xapps  []*XApp
-	byName map[string]*XApp
+	cfg Config
 
-	// ReportPeriodMs is the indication cadence requested at subscription
-	// (default 100 ms).
-	ReportPeriodMs uint32
-	// HeartbeatInterval, when > 0, makes ServeConn send heartbeats at
-	// this cadence and track liveness: after MissedHeartbeatLimit
-	// intervals with no inbound frame the association is declared dead,
-	// the conn closed, and ServeConn returns e2.ErrAssociationDead. Zero
-	// disables heartbeats (the pre-resilience behaviour).
-	HeartbeatInterval time.Duration
-	// MissedHeartbeatLimit is how many silent heartbeat intervals kill
-	// the association (default DefaultMissedHeartbeatLimit).
-	MissedHeartbeatLimit int
-	// Assoc, when set, receives association-resilience counters (missed
-	// heartbeats, dead associations) from every ServeConn.
-	Assoc *AssocMetrics
-	// OnFault observes xApp failures.
-	OnFault func(xapp string, err error)
-	// OnLog receives xApp log lines.
-	OnLog func(xapp, msg string)
+	// instMu guards xApp install/remove; readers go through the
+	// copy-on-write snapshots below and never take it.
+	instMu sync.Mutex
+	xapps  atomic.Pointer[[]*XApp]
+	byName atomic.Pointer[map[string]*XApp]
 
-	// KPM stores the indication history for analytics and tests.
+	// KPM stores the indication history for analytics and tests (nil when
+	// Config.KPMHistory is NoKPMHistory).
 	KPM *KPMStore
 	// Modules content-addresses uploaded xApp bytecode: installing the
 	// same bytes under several names (or re-installing after a remove)
 	// compiles once.
 	Modules *wabi.ModuleCache
 
-	// Tracer, when non-nil, makes ServeConn negotiate trace propagation
-	// with the agent and record ric.decode / xapp.invoke / control.encode /
-	// transport spans on the RIC plane. Set before serving.
-	Tracer *trace.Tracer
-	// Profile, when non-nil, attaches the per-function wasm profiler to
-	// every xApp installed afterwards (tagged with the xApp name).
-	Profile *wasm.Profile
-
 	// lastTraced remembers the most recent traced indication's xapp.invoke
 	// context, so out-of-band controls (operator-initiated uploads) can
 	// join the decision tree that provoked them.
 	lastTraced atomic.Pointer[trace.Context]
 
-	// Counters.
-	indications uint64
-	controls    uint64
+	shards    []*shard
+	nextShard atomic.Uint64 // metric-exempt: round-robin tiebreak, not telemetry
 }
 
-// New creates an empty RIC.
-func New() *RIC {
-	return &RIC{
-		byName:         make(map[string]*XApp),
-		ReportPeriodMs: 100,
-		KPM:            NewKPMStore(0),
-		Modules:        wabi.NewModuleCache(),
+// shard is one association domain: associations hash here and every
+// hot-path counter lives here, padded apart from its siblings so fan-in
+// from one shard never bounces a cache line another shard writes.
+type shard struct {
+	id  int
+	sem chan struct{} // association goroutine budget
+
+	indications metrics.Counter
+	controls    metrics.Counter
+	batchFrames metrics.Counter
+	assocTotal  metrics.Counter
+	refused     metrics.Counter
+	live        atomic.Int64 // metric-exempt: gauge (needs decrement), snapshot via Stats
+	_           [64]byte     // keep the next shard's counters off this cache line
+}
+
+func newShard(id, budget int) *shard {
+	return &shard{id: id, sem: make(chan struct{}, budget)}
+}
+
+// ShardStats is the flat snapshot of one association shard.
+type ShardStats struct {
+	Shard            int    `json:"shard"`
+	LiveAssociations int64  `json:"live_associations"`
+	Associations     uint64 `json:"associations"`
+	Refused          uint64 `json:"refused"`
+	Indications      uint64 `json:"indications"`
+	BatchFrames      uint64 `json:"batch_frames"`
+	Controls         uint64 `json:"controls"`
+}
+
+func (s *shard) stats() ShardStats {
+	return ShardStats{
+		Shard:            s.id,
+		LiveAssociations: s.live.Load(),
+		Associations:     s.assocTotal.Value(),
+		Refused:          s.refused.Value(),
+		Indications:      s.indications.Value(),
+		BatchFrames:      s.batchFrames.Value(),
+		Controls:         s.controls.Value(),
 	}
 }
+
+// storeXApps publishes a new registry snapshot (callers hold instMu, or are
+// the constructor).
+func (r *RIC) storeXApps(list []*XApp, byName map[string]*XApp) {
+	r.xapps.Store(&list)
+	r.byName.Store(&byName)
+}
+
+func (r *RIC) xappSnapshot() []*XApp { return *r.xapps.Load() }
+
+// Config returns the configuration the RIC was built from (defaults
+// applied).
+func (r *RIC) Config() Config { return r.cfg }
+
+// Tracer returns the tracer the RIC records spans on (nil when untraced).
+func (r *RIC) Tracer() *trace.Tracer { return r.cfg.Tracer }
 
 // AddXAppWAT compiles WAT source and installs it as an xApp. The plugin
 // gets the RIC host functions under module "ric" plus the standard wabi
@@ -102,9 +135,10 @@ func (r *RIC) AddXAppBytecode(name string, bin []byte, policy wabi.Policy) (*XAp
 
 // AddXApp installs a compiled module as an xApp.
 func (r *RIC) AddXApp(name string, mod *wabi.Module, policy wabi.Policy) (*XApp, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, dup := r.byName[name]; dup {
+	r.instMu.Lock()
+	defer r.instMu.Unlock()
+	byName := *r.byName.Load()
+	if _, dup := byName[name]; dup {
 		return nil, fmt.Errorf("ric: xApp %q already installed", name)
 	}
 	if policy.MaxMemoryPages == 0 {
@@ -117,11 +151,11 @@ func (r *RIC) AddXApp(name string, mod *wabi.Module, policy wabi.Policy) (*XApp,
 	env := wabi.Env{
 		HostFuncs: wasm.Imports{"ric": r.hostFuncs(x)},
 	}
-	if r.OnLog != nil {
-		env.OnLog = func(msg string) { r.OnLog(name, msg) }
+	if r.cfg.OnLog != nil {
+		env.OnLog = func(msg string) { r.cfg.OnLog(name, msg) }
 	}
-	if r.Profile != nil {
-		env.Profile = r.Profile
+	if r.cfg.Profile != nil {
+		env.Profile = r.cfg.Profile
 		env.ProfileTag = name
 	}
 	plugin, err := wabi.NewPlugin(mod, policy, env)
@@ -132,42 +166,50 @@ func (r *RIC) AddXApp(name string, mod *wabi.Module, policy wabi.Policy) (*XApp,
 		return nil, fmt.Errorf("ric: xApp %q does not export %q with signature () -> i32", name, XAppEntry)
 	}
 	x.plugin = plugin
-	r.xapps = append(r.xapps, x)
-	r.byName[name] = x
+	list := append(append([]*XApp(nil), r.xappSnapshot()...), x)
+	next := make(map[string]*XApp, len(byName)+1)
+	for k, v := range byName {
+		next[k] = v
+	}
+	next[name] = x
+	r.storeXApps(list, next)
 	return x, nil
 }
 
 // XApp looks up an installed xApp by name.
 func (r *RIC) XApp(name string) (*XApp, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	x, ok := r.byName[name]
+	x, ok := (*r.byName.Load())[name]
 	return x, ok
 }
 
 // XApps returns installed xApps in installation order.
 func (r *RIC) XApps() []*XApp {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return append([]*XApp(nil), r.xapps...)
+	return append([]*XApp(nil), r.xappSnapshot()...)
 }
 
 // RemoveXApp uninstalls an xApp — like slice plugins, xApps come and go
 // without restarting the RIC.
 func (r *RIC) RemoveXApp(name string) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	x, ok := r.byName[name]
+	r.instMu.Lock()
+	defer r.instMu.Unlock()
+	byName := *r.byName.Load()
+	x, ok := byName[name]
 	if !ok {
 		return fmt.Errorf("ric: no xApp %q", name)
 	}
-	delete(r.byName, name)
-	for i, v := range r.xapps {
-		if v == x {
-			r.xapps = append(r.xapps[:i], r.xapps[i+1:]...)
-			break
+	var list []*XApp
+	for _, v := range r.xappSnapshot() {
+		if v != x {
+			list = append(list, v)
 		}
 	}
+	next := make(map[string]*XApp, len(byName))
+	for k, v := range byName {
+		if k != name {
+			next[k] = v
+		}
+	}
+	r.storeXApps(list, next)
 	return nil
 }
 
@@ -185,15 +227,22 @@ func (r *RIC) HandleIndication(ind *e2.Indication) []e2.ControlRequest {
 // xapp.invoke span and the returned context names that span, so the caller
 // parents the resulting control sends to it. With a zero ctx (or no tracer)
 // it behaves exactly like HandleIndication and echoes ctx back.
+//
+// Direct calls account on shard 0; associations served by ServeConn account
+// on their own shard.
 func (r *RIC) HandleIndicationTraced(ind *e2.Indication, ctx trace.Context) ([]e2.ControlRequest, trace.Context) {
-	tracing := r.Tracer.Enabled() && ctx.Valid()
+	return r.handleIndicationOn(r.shards[0], ind, ctx)
+}
+
+func (r *RIC) handleIndicationOn(sh *shard, ind *e2.Indication, ctx trace.Context) ([]e2.ControlRequest, trace.Context) {
+	tracing := r.cfg.Tracer.Enabled() && ctx.Valid()
 	var start time.Time
 	if tracing {
 		start = time.Now()
 		c := trace.Context{TraceID: ctx.TraceID, SpanID: trace.NewSpanID()}
 		r.lastTraced.Store(&c)
 		defer func() {
-			r.Tracer.Record(&trace.Span{
+			r.cfg.Tracer.Record(&trace.Span{
 				TraceID: c.TraceID, SpanID: c.SpanID, Parent: ctx.SpanID,
 				Name: trace.SpanXAppInvoke, Plane: trace.PlaneRIC,
 				Slot: ind.Slot, Cell: ind.Cell,
@@ -207,17 +256,17 @@ func (r *RIC) HandleIndicationTraced(ind *e2.Indication, ctx trace.Context) ([]e
 	}
 	payload := e2.AppendIndicationBody(nil, ind)
 	var out []e2.ControlRequest
-	for _, x := range r.XApps() {
+	for _, x := range r.xappSnapshot() {
 		list, err := x.invoke(r, payload)
 		if err != nil {
 			continue // fault already recorded
 		}
 		out = append(out, list...)
 	}
-	r.mu.Lock()
-	r.indications++
-	r.controls += uint64(len(out))
-	r.mu.Unlock()
+	sh.indications.Inc()
+	if len(out) > 0 {
+		sh.controls.Add(uint64(len(out)))
+	}
 	return out, ctx
 }
 
@@ -243,7 +292,7 @@ func (r *RIC) SendControl(conn *e2.Conn, reqID uint32, c *e2.ControlRequest, par
 		RANFunction: e2.RANFunctionRC,
 		Control:     c,
 	}
-	if !r.Tracer.Enabled() || !parent.Valid() {
+	if !r.cfg.Tracer.Enabled() || !parent.Valid() {
 		return conn.Send(cm)
 	}
 	encodeID := trace.NewSpanID()
@@ -253,7 +302,7 @@ func (r *RIC) SendControl(conn *e2.Conn, reqID uint32, c *e2.ControlRequest, par
 	err := conn.Send(cm)
 	sendDur := time.Since(sendStart)
 	encDur := conn.LastEncodeDur()
-	r.Tracer.Record(&trace.Span{
+	r.cfg.Tracer.Record(&trace.Span{
 		TraceID: parent.TraceID, SpanID: encodeID, Parent: parent.SpanID,
 		Name: trace.SpanControlEncode, Plane: trace.PlaneRIC,
 		StartNs: sendStart.UnixNano(), DurNs: int64(encDur),
@@ -266,32 +315,57 @@ func (r *RIC) SendControl(conn *e2.Conn, reqID uint32, c *e2.ControlRequest, par
 	if err != nil {
 		sp.Err = err.Error()
 	}
-	r.Tracer.Record(sp)
+	r.cfg.Tracer.Record(sp)
 	return err
 }
 
-// Counters reports processed indication and emitted control counts.
+// Counters reports processed indication and emitted control counts summed
+// across shards.
 func (r *RIC) Counters() (indications, controls uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.indications, r.controls
+	for _, sh := range r.shards {
+		indications += sh.indications.Value()
+		controls += sh.controls.Value()
+	}
+	return indications, controls
 }
 
 // RICStats is the flat snapshot of the RIC's dispatch accounting.
 type RICStats struct {
 	Indications uint64 `json:"indications"`
 	Controls    uint64 `json:"controls"`
+	BatchFrames uint64 `json:"batch_frames"`
+	// LiveAssociations is the number of associations currently served.
+	LiveAssociations int64 `json:"live_associations"`
+	// RefusedAssociations counts associations turned away by full shard
+	// budgets.
+	RefusedAssociations uint64 `json:"refused_associations"`
 }
 
-// Stats returns processed indication and emitted control counts.
+// Stats returns dispatch and association totals summed across shards.
 func (r *RIC) Stats() RICStats {
-	ind, ctl := r.Counters()
-	return RICStats{Indications: ind, Controls: ctl}
+	var s RICStats
+	for _, sh := range r.shards {
+		s.Indications += sh.indications.Value()
+		s.Controls += sh.controls.Value()
+		s.BatchFrames += sh.batchFrames.Value()
+		s.LiveAssociations += sh.live.Load()
+		s.RefusedAssociations += sh.refused.Value()
+	}
+	return s
 }
 
-// Register exposes the RIC on reg: dispatch counters, per-xApp invocation
-// accounting (one labelled series per installed xApp, tracking installs and
-// removals at scrape time), the xApp module cache, and — when Assoc is set —
+// ShardStats returns per-shard association and dispatch counters.
+func (r *RIC) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(r.shards))
+	for i, sh := range r.shards {
+		out[i] = sh.stats()
+	}
+	return out
+}
+
+// Register exposes the RIC on reg: dispatch counters, per-shard
+// association fan-in instruments (one labelled series per shard), per-xApp
+// invocation accounting, the xApp module cache, and — when Assoc is set —
 // the association-resilience counters.
 func (r *RIC) Register(reg *obs.Registry, labels ...obs.Label) {
 	reg.MustRegister("waran_ric", "near-RT RIC indication/control dispatch counters", obs.Func{
@@ -301,9 +375,31 @@ func (r *RIC) Register(reg *obs.Registry, labels ...obs.Label) {
 			return []obs.Sample{
 				{Suffix: "_indications_total", Value: float64(s.Indications)},
 				{Suffix: "_controls_total", Value: float64(s.Controls)},
+				{Suffix: "_batch_frames_total", Value: float64(s.BatchFrames)},
+				{Suffix: "_live_associations", Value: float64(s.LiveAssociations)},
+				{Suffix: "_refused_associations_total", Value: float64(s.RefusedAssociations)},
 			}
 		},
 		JSON: func() any { return r.Stats() },
+	}, labels...)
+	reg.MustRegister("waran_ric_shard", "per-shard association fan-in counters", obs.Func{
+		Kind: obs.KindUntyped,
+		Collect: func() []obs.Sample {
+			var out []obs.Sample
+			for _, sh := range r.shards {
+				s := sh.stats()
+				lbl := []obs.Label{obs.L("shard", fmt.Sprint(s.Shard))}
+				out = append(out,
+					obs.Sample{Suffix: "_live_associations", Labels: lbl, Value: float64(s.LiveAssociations)},
+					obs.Sample{Suffix: "_associations_total", Labels: lbl, Value: float64(s.Associations)},
+					obs.Sample{Suffix: "_indications_total", Labels: lbl, Value: float64(s.Indications)},
+					obs.Sample{Suffix: "_batch_frames_total", Labels: lbl, Value: float64(s.BatchFrames)},
+					obs.Sample{Suffix: "_controls_total", Labels: lbl, Value: float64(s.Controls)},
+				)
+			}
+			return out
+		},
+		JSON: func() any { return r.ShardStats() },
 	}, labels...)
 	reg.MustRegister("waran_ric_xapp", "per-xApp invocation and fault counters", obs.Func{
 		Kind: obs.KindUntyped,
@@ -328,8 +424,8 @@ func (r *RIC) Register(reg *obs.Registry, labels ...obs.Label) {
 		},
 	}, labels...)
 	r.Modules.Register(reg, labels...)
-	if r.Assoc != nil {
-		r.Assoc.Register(reg, labels...)
+	if r.cfg.Assoc != nil {
+		r.cfg.Assoc.Register(reg, labels...)
 	}
 }
 
@@ -337,22 +433,92 @@ func (r *RIC) Register(reg *obs.Registry, labels ...obs.Label) {
 // intervals declare an association dead when the RIC does not override it.
 const DefaultMissedHeartbeatLimit = 3
 
+// shardFor hashes an association onto a shard by its remote address;
+// connections without a usable address spread round-robin.
+func (r *RIC) shardFor(conn *e2.Conn) *shard {
+	if addr := conn.RemoteAddr(); addr != nil {
+		if s := addr.String(); s != "" {
+			h := fnv.New32a()
+			_, _ = io.WriteString(h, s)
+			return r.shards[h.Sum32()%uint32(len(r.shards))]
+		}
+	}
+	return r.shards[r.nextShard.Add(1)%uint64(len(r.shards))]
+}
+
+// Serve accepts associations on lis until stop closes, spawning one
+// ServeConn goroutine per association (subject to the shard budgets) and
+// waiting for them to finish. Closing stop closes the listener to unblock
+// Accept; the caller keeps ownership of lis.
+func (r *RIC) Serve(lis *e2.Listener, stop <-chan struct{}) error {
+	closed := make(chan struct{})
+	go func() {
+		defer close(closed)
+		<-stop
+		lis.Close()
+	}()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			select {
+			case <-stop:
+				return nil
+			default:
+				return err
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = r.ServeConn(conn, stop)
+			conn.Close()
+		}()
+	}
+}
+
 // ServeConn drives one E2-lite association from the RIC side: subscribe,
-// then consume indications and push control actions until the peer closes,
-// stop is closed, or (with HeartbeatInterval set) liveness fails. Control
-// acks and heartbeat echoes are consumed and counted. Closing stop closes
-// the conn so a Recv blocked on a silent peer returns promptly.
+// then consume indications (unbatching windowed frames into their per-slot
+// indications) and push control actions until the peer closes, stop is
+// closed, or (with HeartbeatInterval set) liveness fails. Control acks and
+// heartbeat echoes are consumed and counted. Closing stop closes the conn
+// so a Recv blocked on a silent peer returns promptly. The association
+// occupies one slot of its shard's goroutine budget; a full shard refuses
+// the association with an e2 error frame.
 func (r *RIC) ServeConn(conn *e2.Conn, stop <-chan struct{}) error {
+	sh := r.shardFor(conn)
+	select {
+	case sh.sem <- struct{}{}:
+	default:
+		sh.refused.Inc()
+		_ = conn.Send(&e2.Message{Type: e2.TypeError, Error: &e2.ErrorBody{
+			Reason: fmt.Sprintf("ric: shard %d association budget exhausted", sh.id),
+		}})
+		conn.Close()
+		return fmt.Errorf("ric: shard %d association budget (%d) exhausted", sh.id, cap(sh.sem))
+	}
+	defer func() { <-sh.sem }()
+	sh.assocTotal.Inc()
+	sh.live.Add(1)
+	defer sh.live.Add(-1)
+	return r.serveConn(sh, conn, stop)
+}
+
+func (r *RIC) serveConn(sh *shard, conn *e2.Conn, stop <-chan struct{}) error {
 	sub := &e2.Message{
 		Type:         e2.TypeSubscriptionRequest,
 		RequestID:    1,
 		RANFunction:  e2.RANFunctionKPM,
-		Subscription: &e2.SubscriptionRequest{ReportPeriodMs: r.ReportPeriodMs},
+		Subscription: &e2.SubscriptionRequest{ReportPeriodMs: r.cfg.ReportPeriodMs},
 	}
-	if r.Tracer.Enabled() {
+	if r.cfg.Tracer.Enabled() {
 		// Advertise trace capability in the reserved RANFunction bit; old
 		// agents echo it back untouched and keep sending untraced frames.
 		sub.RANFunction |= e2.TraceCapabilityBit
+	}
+	if !r.cfg.DisableBatching {
+		sub.RANFunction |= e2.BatchCapabilityBit
 	}
 	if err := conn.Send(sub); err != nil {
 		return err
@@ -388,29 +554,26 @@ func (r *RIC) ServeConn(conn *e2.Conn, stop <-chan struct{}) error {
 				return fmt.Errorf("ric: subscription refused: %s", m.SubscriptionResp.Reason)
 			}
 			// The echoed RANFunction bit must NOT signal agent capability —
-			// an old agent echoes it untouched. Only the explicit token does.
-			assocTraced = r.Tracer.Enabled() &&
-				m.SubscriptionResp.Reason == e2.TraceCapabilityToken
+			// an old agent echoes it untouched. Only the explicit token
+			// (inside the Reason's capability token list) does.
+			assocTraced = r.cfg.Tracer.Enabled() &&
+				e2.HasCapabilityToken(m.SubscriptionResp.Reason, e2.TraceCapabilityToken)
 		case e2.TypeIndication:
-			ctx := trace.Context{}
-			if assocTraced && m.Trace.Valid() {
-				// The wire context names the agent's transport span; the
-				// decode span parents to it and everything downstream
-				// parents to the decode.
-				decDur := conn.LastDecodeDur()
-				decID := trace.NewSpanID()
-				r.Tracer.Record(&trace.Span{
-					TraceID: m.Trace.TraceID, SpanID: decID, Parent: m.Trace.SpanID,
-					Name: trace.SpanRICDecode, Plane: trace.PlaneRIC,
-					Slot: m.Indication.Slot, Cell: m.Indication.Cell,
-					StartNs: time.Now().Add(-decDur).UnixNano(), DurNs: int64(decDur),
-				})
-				ctx = trace.Context{TraceID: m.Trace.TraceID, SpanID: decID}
+			ctx := r.decodeCtx(conn, m.Trace, assocTraced, m.Indication.Slot, m.Indication.Cell)
+			if err := r.deliver(sh, conn, m.Indication, ctx, &reqID); err != nil {
+				return err
 			}
-			controls, cctx := r.HandleIndicationTraced(m.Indication, ctx)
-			for i := range controls {
-				reqID++
-				if err := r.SendControl(conn, reqID, &controls[i], cctx); err != nil {
+		case e2.TypeIndicationBatch:
+			// Unbatch in arrival order through the exact per-indication
+			// path, so batched delivery is indistinguishable to xApps.
+			sh.batchFrames.Inc()
+			inds := m.Batch.Indications
+			ctx := trace.Context{}
+			if len(inds) > 0 {
+				ctx = r.decodeCtx(conn, m.Trace, assocTraced, inds[0].Slot, inds[0].Cell)
+			}
+			for i := range inds {
+				if err := r.deliver(sh, conn, &inds[i], ctx, &reqID); err != nil {
 					return err
 				}
 			}
@@ -422,6 +585,39 @@ func (r *RIC) ServeConn(conn *e2.Conn, stop <-chan struct{}) error {
 	}
 }
 
+// decodeCtx records the ric.decode span for one received indication frame
+// (single or batched) and returns the context downstream dispatch parents
+// to; untraced frames return a zero context.
+func (r *RIC) decodeCtx(conn *e2.Conn, wire trace.Context, assocTraced bool, slot uint64, cell uint32) trace.Context {
+	if !assocTraced || !wire.Valid() {
+		return trace.Context{}
+	}
+	// The wire context names the agent's transport span; the decode span
+	// parents to it and everything downstream parents to the decode.
+	decDur := conn.LastDecodeDur()
+	decID := trace.NewSpanID()
+	r.cfg.Tracer.Record(&trace.Span{
+		TraceID: wire.TraceID, SpanID: decID, Parent: wire.SpanID,
+		Name: trace.SpanRICDecode, Plane: trace.PlaneRIC,
+		Slot: slot, Cell: cell,
+		StartNs: time.Now().Add(-decDur).UnixNano(), DurNs: int64(decDur),
+	})
+	return trace.Context{TraceID: wire.TraceID, SpanID: decID}
+}
+
+// deliver dispatches one per-slot indication to the xApps and sends the
+// resulting controls back on the association.
+func (r *RIC) deliver(sh *shard, conn *e2.Conn, ind *e2.Indication, ctx trace.Context, reqID *uint32) error {
+	controls, cctx := r.handleIndicationOn(sh, ind, ctx)
+	for i := range controls {
+		*reqID++
+		if err := r.SendControl(conn, *reqID, &controls[i], cctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // supervise watches one association from the side: it closes the conn when
 // stop fires (prompt shutdown even with a silent peer), and when
 // heartbeats are enabled it sends the probe at every interval and declares
@@ -430,12 +626,12 @@ func (r *RIC) supervise(conn *e2.Conn, stop <-chan struct{}, recvDone <-chan str
 	done chan<- struct{}, stopped, dead *atomic.Bool) {
 	defer close(done)
 	var tick <-chan time.Time
-	if r.HeartbeatInterval > 0 {
-		ticker := time.NewTicker(r.HeartbeatInterval)
+	if r.cfg.HeartbeatInterval > 0 {
+		ticker := time.NewTicker(r.cfg.HeartbeatInterval)
 		defer ticker.Stop()
 		tick = ticker.C
 	}
-	limit := r.MissedHeartbeatLimit
+	limit := r.cfg.MissedHeartbeatLimit
 	if limit <= 0 {
 		limit = DefaultMissedHeartbeatLimit
 	}
@@ -452,15 +648,15 @@ func (r *RIC) supervise(conn *e2.Conn, stop <-chan struct{}, recvDone <-chan str
 			// A healthy peer's echo keeps the age right around one
 			// interval, so allow half an interval of scheduling slack
 			// before calling it a miss.
-			if time.Since(conn.LastRecv()) > r.HeartbeatInterval*3/2 {
+			if time.Since(conn.LastRecv()) > r.cfg.HeartbeatInterval*3/2 {
 				misses++
-				if r.Assoc != nil {
-					r.Assoc.MissedHeartbeats.Inc()
+				if r.cfg.Assoc != nil {
+					r.cfg.Assoc.MissedHeartbeats.Inc()
 				}
 				if misses >= limit {
 					dead.Store(true)
-					if r.Assoc != nil {
-						r.Assoc.DeadAssociations.Inc()
+					if r.cfg.Assoc != nil {
+						r.cfg.Assoc.DeadAssociations.Inc()
 					}
 					conn.Close()
 					return

@@ -60,8 +60,7 @@ func TestEndToEndRICControlsGNB(t *testing.T) {
 	}
 
 	// RIC with both xApps, listening on loopback.
-	r := New()
-	r.ReportPeriodMs = 20
+	r := MustNew(Config{ReportPeriodMs: 20})
 	if _, err := r.AddXAppWAT("steer", plugins.TrafficSteerXAppWAT, wabi.Policy{}); err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +90,10 @@ func TestEndToEndRICControlsGNB(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	agent := NewAgent(conn, gnb, 7)
+	agent, err := NewAgent(conn, gnb, AgentConfig{Cell: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
 	agentDone, err := agent.Start()
 	if err != nil {
 		t.Fatal(err)
@@ -135,7 +137,7 @@ func TestEndToEndRICControlsGNB(t *testing.T) {
 // TestInterXAppMessaging exercises the ric host functions: the ping xApp
 // posts a counter to the pong xApp's mailbox on every indication.
 func TestInterXAppMessaging(t *testing.T) {
-	r := New()
+	r := MustNew(Config{})
 	if _, err := r.AddXAppWAT("ping", plugins.PingXAppWAT, wabi.Policy{}); err != nil {
 		t.Fatal(err)
 	}

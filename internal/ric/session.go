@@ -10,7 +10,6 @@ import (
 	"waran/internal/e2"
 	"waran/internal/metrics"
 	"waran/internal/obs"
-	"waran/internal/obs/trace"
 )
 
 // Backoff is an exponential-backoff-with-jitter schedule for reconnect
@@ -154,13 +153,8 @@ func sleepOrStop(d time.Duration, stop <-chan struct{}) bool {
 	}
 }
 
-// Session supervises the RIC side of an association: it obtains connections
-// from Connect (an accept or a dial), serves each until it dies, and goes
-// back for the next one with exponential backoff on Connect failures. The
-// RIC's xApp state persists across associations, so a reconnecting gNB is
-// re-subscribed and controlled by the same policies without operator
-// action.
-type Session struct {
+// SessionConfig is the validated construction surface of a Session.
+type SessionConfig struct {
 	RIC *RIC
 	// Connect obtains the next association — typically a Listener's Accept
 	// or an e2.Dial closure. Run returns when stop is closed; a blocked
@@ -168,7 +162,7 @@ type Session struct {
 	Connect func() (*e2.Conn, error)
 	Backoff Backoff
 	// Metrics, when set, receives the reconnect counter. Share it with
-	// RIC.Assoc to aggregate both sides' observations in one place.
+	// Config.Assoc to aggregate both sides' observations in one place.
 	Metrics *AssocMetrics
 	// Seed selects the jitter schedule (0 behaves as 1).
 	Seed int64
@@ -179,9 +173,38 @@ type Session struct {
 	OnEnd func(err error)
 }
 
+// Validate checks the configuration.
+func (c SessionConfig) Validate() error {
+	if c.RIC == nil {
+		return errors.New("ric: session needs a RIC")
+	}
+	if c.Connect == nil {
+		return errors.New("ric: session needs a Connect function")
+	}
+	return nil
+}
+
+// Session supervises the RIC side of an association: it obtains connections
+// from Connect (an accept or a dial), serves each until it dies, and goes
+// back for the next one with exponential backoff on Connect failures. The
+// RIC's xApp state persists across associations, so a reconnecting gNB is
+// re-subscribed and controlled by the same policies without operator
+// action.
+type Session struct {
+	cfg SessionConfig
+}
+
+// NewSession creates a session supervisor from a validated configuration.
+func NewSession(cfg SessionConfig) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Session{cfg: cfg}, nil
+}
+
 // Run supervises associations until stop closes.
 func (s *Session) Run(stop <-chan struct{}) {
-	seed := s.Seed
+	seed := s.cfg.Seed
 	if seed == 0 {
 		seed = 1
 	}
@@ -194,9 +217,9 @@ func (s *Session) Run(stop <-chan struct{}) {
 			return
 		default:
 		}
-		conn, err := s.Connect()
+		conn, err := s.cfg.Connect()
 		if err != nil {
-			if !sleepOrStop(s.Backoff.Delay(attempt, rng), stop) {
+			if !sleepOrStop(s.cfg.Backoff.Delay(attempt, rng), stop) {
 				return
 			}
 			attempt++
@@ -204,22 +227,50 @@ func (s *Session) Run(stop <-chan struct{}) {
 		}
 		attempt = 0
 		associations++
-		if associations > 1 && s.Metrics != nil {
-			s.Metrics.Reconnects.Inc()
+		if associations > 1 && s.cfg.Metrics != nil {
+			s.cfg.Metrics.Reconnects.Inc()
 		}
 		var teardown func()
-		if s.OnAssociation != nil {
-			teardown = s.OnAssociation(conn)
+		if s.cfg.OnAssociation != nil {
+			teardown = s.cfg.OnAssociation(conn)
 		}
-		err = s.RIC.ServeConn(conn, stop)
+		err = s.cfg.RIC.ServeConn(conn, stop)
 		conn.Close()
 		if teardown != nil {
 			teardown()
 		}
-		if s.OnEnd != nil {
-			s.OnEnd(err)
+		if s.cfg.OnEnd != nil {
+			s.cfg.OnEnd(err)
 		}
 	}
+}
+
+// AgentSessionConfig is the validated construction surface of an
+// AgentSession.
+type AgentSessionConfig struct {
+	// Dial obtains the next connection, e.g. an e2.Dial closure.
+	Dial func() (*e2.Conn, error)
+	RAN  RANControl
+	// Agent configures each Agent the session runs (cell, liveness bound,
+	// tracer, batching); capabilities are re-negotiated on every reconnect.
+	Agent AgentConfig
+	// Backoff schedules reconnect attempts.
+	Backoff Backoff
+	// Metrics, when set, receives reconnect/drop/degraded-time counters.
+	Metrics *AssocMetrics
+	// Seed selects the jitter schedule (0 behaves as 1).
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c AgentSessionConfig) Validate() error {
+	if c.Dial == nil {
+		return errors.New("ric: agent session needs a Dial function")
+	}
+	if c.RAN == nil {
+		return errors.New("ric: agent session needs a RAN control surface")
+	}
+	return c.Agent.Validate()
 }
 
 // AgentSession supervises the gNB side of an association: it dials with
@@ -229,21 +280,7 @@ func (s *Session) Run(stop <-chan struct{}) {
 // continues on the gNB's native inter-slice configuration instead of
 // stalling, the same escape hatch the slice-plugin quarantine uses.
 type AgentSession struct {
-	// Dial obtains the next connection, e.g. an e2.Dial closure.
-	Dial func() (*e2.Conn, error)
-	RAN  RANControl
-	Cell uint32
-	// Backoff schedules reconnect attempts.
-	Backoff Backoff
-	// LivenessTimeout is handed to each Agent (see Agent.LivenessTimeout).
-	LivenessTimeout time.Duration
-	// Metrics, when set, receives reconnect/drop/degraded-time counters.
-	Metrics *AssocMetrics
-	// Seed selects the jitter schedule (0 behaves as 1).
-	Seed int64
-	// Tracer is handed to each Agent the session runs (see Agent.Tracer);
-	// trace capability is re-negotiated on every reconnect.
-	Tracer *trace.Tracer
+	cfg AgentSessionConfig
 
 	mu           sync.Mutex
 	agent        *Agent   // live agent, nil while degraded
@@ -256,6 +293,15 @@ type AgentSession struct {
 
 	stop chan struct{}
 	done chan struct{}
+}
+
+// NewAgentSession creates an agent-side association supervisor from a
+// validated configuration.
+func NewAgentSession(cfg AgentSessionConfig) (*AgentSession, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &AgentSession{cfg: cfg}, nil
 }
 
 // Start launches the supervisor. Call Stop to shut it down.
@@ -280,7 +326,7 @@ func (s *AgentSession) Stop() {
 
 func (s *AgentSession) run() {
 	defer close(s.done)
-	seed := s.Seed
+	seed := s.cfg.Seed
 	if seed == 0 {
 		seed = 1
 	}
@@ -292,9 +338,9 @@ func (s *AgentSession) run() {
 			return
 		default:
 		}
-		conn, err := s.Dial()
+		conn, err := s.cfg.Dial()
 		if err != nil {
-			if !sleepOrStop(s.Backoff.Delay(attempt, rng), s.stop) {
+			if !sleepOrStop(s.cfg.Backoff.Delay(attempt, rng), s.stop) {
 				return
 			}
 			attempt++
@@ -314,53 +360,56 @@ func (s *AgentSession) run() {
 		default:
 		}
 
-		agent := NewAgent(conn, s.RAN, s.Cell)
-		agent.LivenessTimeout = s.LivenessTimeout
-		agent.Tracer = s.Tracer
-		recvErr, err := agent.Start()
-		if err != nil {
-			conn.Close()
-			s.clearConn()
-			if !sleepOrStop(s.Backoff.Delay(attempt, rng), s.stop) {
-				return
-			}
-			attempt++
-			continue
-		}
+		// The config was validated at construction, so NewAgent cannot
+		// fail here; guard anyway so a future invariant change degrades
+		// into backoff instead of a panic.
+		agent, err := NewAgent(conn, s.cfg.RAN, s.cfg.Agent)
+		if err == nil {
+			var recvErr <-chan error
+			recvErr, err = agent.Start()
+			if err == nil {
+				// Association established and subscribed.
+				attempt = 0
+				s.mu.Lock()
+				s.associations++
+				reconnect := s.associations > 1
+				s.agent = agent
+				if !s.degradedAt.IsZero() {
+					if s.cfg.Metrics != nil {
+						s.cfg.Metrics.AddDegraded(time.Since(s.degradedAt))
+					}
+					s.degradedAt = time.Time{}
+				}
+				s.mu.Unlock()
+				if reconnect && s.cfg.Metrics != nil {
+					s.cfg.Metrics.Reconnects.Inc()
+				}
 
-		// Association established and subscribed.
-		attempt = 0
-		s.mu.Lock()
-		s.associations++
-		reconnect := s.associations > 1
-		s.agent = agent
-		if !s.degradedAt.IsZero() {
-			if s.Metrics != nil {
-				s.Metrics.AddDegraded(time.Since(s.degradedAt))
+				var termErr error
+				stopping := false
+				select {
+				case termErr = <-recvErr:
+				case <-s.stop:
+					conn.Close()
+					termErr = <-recvErr
+					stopping = true
+				}
+				if errors.Is(termErr, e2.ErrAssociationDead) && s.cfg.Metrics != nil {
+					s.cfg.Metrics.DeadAssociations.Inc()
+				}
+				s.teardown(agent, conn)
+				if stopping {
+					return
+				}
+				continue
 			}
-			s.degradedAt = time.Time{}
 		}
-		s.mu.Unlock()
-		if reconnect && s.Metrics != nil {
-			s.Metrics.Reconnects.Inc()
-		}
-
-		var termErr error
-		stopping := false
-		select {
-		case termErr = <-recvErr:
-		case <-s.stop:
-			conn.Close()
-			termErr = <-recvErr
-			stopping = true
-		}
-		if errors.Is(termErr, e2.ErrAssociationDead) && s.Metrics != nil {
-			s.Metrics.DeadAssociations.Inc()
-		}
-		s.teardown(agent, conn)
-		if stopping {
+		conn.Close()
+		s.clearConn()
+		if !sleepOrStop(s.cfg.Backoff.Delay(attempt, rng), s.stop) {
 			return
 		}
+		attempt++
 	}
 }
 
@@ -373,6 +422,7 @@ func (s *AgentSession) clearConn() {
 // teardown folds a finished agent's counters into the session totals and
 // marks the session degraded.
 func (s *AgentSession) teardown(agent *Agent, conn *e2.Conn) {
+	_ = agent.Flush() // don't strand a partial batch window with the conn
 	conn.Close()
 	ind, ok, fail := agent.Counters()
 	rs := agent.Resubscribes()
@@ -400,14 +450,14 @@ func (s *AgentSession) Tick(slot uint64) {
 	period := s.lastPeriod
 	s.mu.Unlock()
 	if agent != nil {
-		if err := agent.Tick(slot); err != nil && s.Metrics != nil {
+		if err := agent.Tick(slot); err != nil && s.cfg.Metrics != nil {
 			// The conn died mid-send; the supervisor reconnects shortly.
-			s.Metrics.DroppedIndications.Inc()
+			s.cfg.Metrics.DroppedIndications.Inc()
 		}
 		return
 	}
-	if period > 0 && slot%period == 0 && s.Metrics != nil {
-		s.Metrics.DroppedIndications.Inc()
+	if period > 0 && slot%period == 0 && s.cfg.Metrics != nil {
+		s.cfg.Metrics.DroppedIndications.Inc()
 	}
 }
 

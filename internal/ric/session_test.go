@@ -38,8 +38,9 @@ func (f *fakeRAN) Apply(c *e2.ControlRequest) error {
 	return nil
 }
 
-// agentPair connects a fake RIC end (returned raw) to an Agent.
-func agentPair(t *testing.T) (ricEnd *e2.Conn, agent *Agent, ran *fakeRAN) {
+// agentPair connects a fake RIC end (returned raw) to an Agent; an
+// optional config overrides the default (cell 1, no liveness bound).
+func agentPair(t *testing.T, cfg ...AgentConfig) (ricEnd *e2.Conn, agent *Agent, ran *fakeRAN) {
 	t.Helper()
 	lis, err := e2.Listen("127.0.0.1:0", e2.BinaryCodec{})
 	if err != nil {
@@ -69,7 +70,15 @@ func agentPair(t *testing.T) (ricEnd *e2.Conn, agent *Agent, ran *fakeRAN) {
 		}
 	})
 	ran = &fakeRAN{}
-	return ricEnd, NewAgent(client, ran, 1), ran
+	ac := AgentConfig{Cell: 1}
+	if len(cfg) > 0 {
+		ac = cfg[0]
+	}
+	agent, err = NewAgent(client, ran, ac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ricEnd, agent, ran
 }
 
 func subscribe(t *testing.T, ricEnd *e2.Conn, reqID uint32, periodMs uint32, slices []uint32) {
@@ -123,7 +132,7 @@ func TestServeConnStopReturnsPromptly(t *testing.T) {
 
 	stop := make(chan struct{})
 	done := make(chan error, 1)
-	go func() { done <- New().ServeConn(server, stop) }()
+	go func() { done <- MustNew(Config{}).ServeConn(server, stop) }()
 	// Consume the subscription so ServeConn is provably blocked in Recv,
 	// then go silent.
 	if _, err := client.Recv(); err != nil {
@@ -165,9 +174,8 @@ func TestRICHeartbeatLivenessDeclaresDead(t *testing.T) {
 	defer client.Close()
 	server := <-accepted
 
-	r := New()
-	r.HeartbeatInterval = 2 * time.Millisecond
-	r.Assoc = &AssocMetrics{}
+	assoc := &AssocMetrics{}
+	r := MustNew(Config{HeartbeatInterval: 2 * time.Millisecond, Assoc: assoc})
 	stop := make(chan struct{})
 	defer close(stop)
 	done := make(chan error, 1)
@@ -184,10 +192,10 @@ func TestRICHeartbeatLivenessDeclaresDead(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("silent peer was never declared dead")
 	}
-	if got := r.Assoc.MissedHeartbeats.Value(); got < DefaultMissedHeartbeatLimit {
+	if got := assoc.MissedHeartbeats.Value(); got < DefaultMissedHeartbeatLimit {
 		t.Fatalf("MissedHeartbeats = %d, want >= %d", got, DefaultMissedHeartbeatLimit)
 	}
-	if got := r.Assoc.DeadAssociations.Value(); got != 1 {
+	if got := assoc.DeadAssociations.Value(); got != 1 {
 		t.Fatalf("DeadAssociations = %d, want 1", got)
 	}
 }
@@ -265,8 +273,7 @@ func TestAgentRepliesErrorToUnknownType(t *testing.T) {
 // TestAgentLivenessDeclaresDead verifies the agent-side watchdog tears the
 // association down when the RIC goes silent.
 func TestAgentLivenessDeclaresDead(t *testing.T) {
-	ricEnd, agent, _ := agentPair(t)
-	agent.LivenessTimeout = 10 * time.Millisecond
+	ricEnd, agent, _ := agentPair(t, AgentConfig{Cell: 1, LivenessTimeout: 10 * time.Millisecond})
 	subscribe(t, ricEnd, 1, 10, nil)
 	done, err := agent.Start()
 	if err != nil {
@@ -356,11 +363,14 @@ func TestBackoffDelay(t *testing.T) {
 // when no RIC is reachable: Tick returns immediately while the supervisor
 // keeps retrying in the background.
 func TestAgentSessionDegradesWithoutRIC(t *testing.T) {
-	sess := &AgentSession{
+	sess, err := NewAgentSession(AgentSessionConfig{
 		Dial:    func() (*e2.Conn, error) { return nil, errors.New("no ric anywhere") },
 		RAN:     &fakeRAN{},
-		Cell:    1,
+		Agent:   AgentConfig{Cell: 1},
 		Backoff: Backoff{Initial: time.Millisecond, Max: 4 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 	sess.Start()
 	defer sess.Stop()

@@ -142,10 +142,14 @@ func RunTraceLat(cfg TraceLatConfig) (*TraceLatResult, error) {
 	}
 
 	// The RIC side: tracer + shared profiler, SLA xApp.
-	r := New()
-	r.ReportPeriodMs = cfg.ReportPeriodMs
-	r.Tracer = tracer
-	r.Profile = profile
+	r, err := New(Config{
+		ReportPeriodMs: cfg.ReportPeriodMs,
+		Tracer:         tracer,
+		Profile:        profile,
+	})
+	if err != nil {
+		return nil, err
+	}
 	if cfg.Obs != nil {
 		// The cell group registered its module cache already; the plane
 		// label keeps the RIC's series distinct.
@@ -198,13 +202,15 @@ func RunTraceLat(cfg TraceLatConfig) (*TraceLatResult, error) {
 	}
 	sessions := make([]*AgentSession, cfg.Cells)
 	for i := range sessions {
-		sessions[i] = &AgentSession{
+		sessions[i], err = NewAgentSession(AgentSessionConfig{
 			Dial:    dial,
 			RAN:     cg.Cell(i),
-			Cell:    uint32(i),
+			Agent:   AgentConfig{Cell: uint32(i), Tracer: tracer},
 			Backoff: Backoff{Initial: 2 * time.Millisecond, Max: 20 * time.Millisecond},
 			Seed:    cfg.Seed + int64(i),
-			Tracer:  tracer,
+		})
+		if err != nil {
+			return nil, err
 		}
 		sessions[i].Start()
 	}

@@ -113,7 +113,10 @@ func TestBytecodeUploadOverE2(t *testing.T) {
 	wg.Wait()
 	defer serverConn.Close()
 
-	agent := NewAgent(gnbConn, gnb, 1)
+	agent, err := NewAgent(gnbConn, gnb, AgentConfig{Cell: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// "RIC side": subscribe so the agent enters its control loop.
 	if err := serverConn.Send(&e2.Message{
 		Type: e2.TypeSubscriptionRequest, RequestID: 1,
@@ -231,7 +234,7 @@ func TestControlBlobRoundTripsAllCodecs(t *testing.T) {
 // installing the same blob under many names compiles it once — and bad
 // bytecode is rejected without poisoning the cache.
 func TestAddXAppBytecodeUsesModuleCache(t *testing.T) {
-	r := New()
+	r := MustNew(Config{})
 	blob, err := wat.CompileToBinary(plugins.TrafficSteerXAppWAT)
 	if err != nil {
 		t.Fatal(err)

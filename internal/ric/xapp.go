@@ -163,8 +163,8 @@ func (x *XApp) invoke(r *RIC, indication []byte) ([]e2.ControlRequest, error) {
 		x.disabled = true
 	}
 	x.mu.Unlock()
-	if r.OnFault != nil {
-		r.OnFault(x.Name, err)
+	if r.cfg.OnFault != nil {
+		r.cfg.OnFault(x.Name, err)
 	}
 	return nil, fmt.Errorf("ric: xApp %q: %w", x.Name, err)
 }
