@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check check-e2 check-obs check-guard check-trace check-abi check-tier check-scale lint-metrics bench fuzz
+.PHONY: build test check check-e2 check-obs check-guard check-trace check-abi check-tier check-scale check-overload lint-metrics bench fuzz
 
 ## build: compile every package.
 build:
@@ -13,7 +13,7 @@ test: build
 ## check: the deeper tier — vet, the full suite under the race detector,
 ## the association-resilience suite, and a 10 s fuzz smoke of the wasm
 ## decode/compile/execute gauntlet.
-check: build check-e2 check-obs check-guard check-trace check-abi check-tier check-scale lint-metrics
+check: build check-e2 check-obs check-guard check-trace check-abi check-tier check-scale check-overload lint-metrics
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^FuzzDecode$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/wasm
@@ -74,6 +74,14 @@ check-scale:
 	$(GO) test -race -count=1 -run 'Batch|Shard|Fleet|Capability' ./internal/e2 ./internal/ric ./internal/ran ./internal/core
 	$(GO) test -run '^FuzzIndicationBatchRoundTrip$$' -fuzz '^FuzzIndicationBatchRoundTrip$$' -fuzztime 10s ./internal/e2
 
+## check-overload: overload-control gate — race-enabled admission / busy-frame
+## / brownout / shed-ledger / shard-spill / reconnect-jitter suites across the
+## E2 frame layer and the RIC (the small-scale chaos experiment included),
+## plus a 10 s fuzz smoke of the TypeBusy round-trip across all three codecs.
+check-overload:
+	$(GO) test -race -count=1 -run 'Overload|Busy|Brownout|Shed|Spill|Jitter|Renegotiation|SlowXApp|Admit' ./internal/e2 ./internal/ric
+	$(GO) test -run '^FuzzBusyRoundTrip$$' -fuzz '^FuzzBusyRoundTrip$$' -fuzztime 10s ./internal/e2
+
 ## lint-metrics: telemetry must go through internal/obs — fail on raw
 ## atomic.Uint64 counter fields outside internal/obs and internal/metrics.
 ## Deliberate non-metric uses carry a "metric-exempt:" comment.
@@ -94,6 +102,17 @@ lint-metrics:
 	if [ -n "$$bad" ]; then \
 		echo "lint-metrics: tier counters must be exposed through internal/obs"; \
 		echo "(packages declaring Tier*Calls/TierPromotions fields must register matching _tier_*_total samples):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi; \
+	bad=$$(grep -rn --include='*.go' 'Shed[A-Za-z]*  *uint64\|BrownoutTransitions  *uint64' internal cmd examples 2>/dev/null \
+		| grep -v 'metric-exempt' | cut -d: -f1 | sort -u \
+		| while read -r f; do \
+			grep -qr --include='*.go' '_shed_[a-z_]*_total' "$$(dirname $$f)" || echo "$$f"; \
+		done); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-metrics: shed/brownout counters must be exposed through internal/obs"; \
+		echo "(packages declaring Shed*/BrownoutTransitions fields must register matching _shed_*_total samples):"; \
 		echo "$$bad"; \
 		exit 1; \
 	fi; \

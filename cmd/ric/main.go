@@ -38,12 +38,14 @@ func main() {
 	traceOn := flag.Bool("trace", false, "enable control-loop span tracing and the xApp fuel profiler (served at /debug/trace and /debug/wasm/profile)")
 	shards := flag.Int("shards", 0, "association shard count (0 = default)")
 	noBatch := flag.Bool("nobatch", false, "do not advertise windowed indication batching to agents")
+	overload := flag.Bool("overload", false, "arm the overload guard: token-bucket admission, bounded queues + shed policy, brownout, per-xApp breakers (DESIGN.md 17)")
 	flag.Parse()
 
 	if err := run(runOpts{
 		listen: *listen, xapps: *xapps, codecName: *codecName, shim: *shim,
 		period: uint32(*period), hb: *hb, once: *once, nonRT: *nonRT,
 		httpAddr: *httpAddr, traceOn: *traceOn, shards: *shards, noBatch: *noBatch,
+		overload: *overload,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ric:", err)
 		os.Exit(1)
@@ -57,6 +59,7 @@ type runOpts struct {
 	hb                                 time.Duration
 	shards                             int
 	noBatch                            bool
+	overload                           bool
 }
 
 var xappSources = map[string]string{
@@ -75,11 +78,17 @@ func run(o runOpts) error {
 		fmt.Println("tracing: control-loop spans + xApp fuel profiler enabled")
 	}
 	assoc := &ric.AssocMetrics{}
+	var ov *ric.OverloadConfig
+	if o.overload {
+		ov = &ric.OverloadConfig{}
+		fmt.Println("overload guard: admission + bounded queues + brownout + xApp breakers armed")
+	}
 	r, err := ric.New(ric.Config{
 		ReportPeriodMs:    o.period,
 		HeartbeatInterval: o.hb,
 		Shards:            o.shards,
 		DisableBatching:   o.noBatch,
+		Overload:          ov,
 		Assoc:             assoc,
 		Tracer:            tracer,
 		Profile:           profile,

@@ -54,6 +54,19 @@ type ExpConfig struct {
 	Sectors     int
 	Shards      int
 	BatchWindow int
+	// Agents / AdmitRate / AdmitBurst / Outage / Dwell / StallIters shape
+	// the overload chaos experiment: reconnect-storm fleet size, per-shard
+	// admission rate and burst, RIC downtime before the restart, the
+	// slow-xApp measurement window, and the stalling xApp's spin length.
+	Agents     int
+	AdmitRate  float64
+	AdmitBurst int
+	Outage     time.Duration
+	Dwell      time.Duration
+	StallIters int
+	// Overload, when nonzero, enables the RIC overload guard in experiments
+	// that support it as an optional arm (citysim).
+	Overload int
 	// Obs, when non-nil, is the metric registry the experiment should wire
 	// its subsystems into; experiments that support it embed
 	// Obs.Snapshot() in their result. Nil disables instrumentation.

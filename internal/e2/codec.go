@@ -151,6 +151,9 @@ func (BinaryCodec) AppendEncode(dst []byte, m *Message) ([]byte, error) {
 		w.str(m.ControlAck.Reason)
 	case TypeError:
 		w.str(m.Error.Reason)
+	case TypeBusy:
+		w.u32(m.Busy.RetryAfterMs)
+		w.str(m.Busy.Reason)
 	case TypeHeartbeat:
 	}
 	w.b = appendTraceTrailer(w.b, m.Trace)
@@ -229,6 +232,15 @@ func (BinaryCodec) Decode(b []byte) (*Message, error) {
 			return nil, err
 		}
 		m.Error = e
+	case TypeBusy:
+		busy := &BusyBody{}
+		if busy.RetryAfterMs, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if busy.Reason, err = r.str(); err != nil {
+			return nil, err
+		}
+		m.Busy = busy
 	case TypeHeartbeat:
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
@@ -264,9 +276,9 @@ type JSONCodec struct{}
 func (JSONCodec) Name() string { return "json" }
 
 type jsonMessage struct {
-	Type        uint8                 `json:"type"`
-	RequestID   uint32                `json:"request_id"`
-	RANFunction uint32                `json:"ran_function"`
+	Type        uint8  `json:"type"`
+	RequestID   uint32 `json:"request_id"`
+	RANFunction uint32 `json:"ran_function"`
 	// Trace is the JSON form of the trace context; old decoders built on
 	// encoding/json skip the unknown field by construction.
 	Trace   *trace.Context        `json:"trace,omitempty"`
@@ -277,6 +289,7 @@ type jsonMessage struct {
 	Ctrl    *ControlRequest       `json:"control,omitempty"`
 	Ack     *ControlAck           `json:"control_ack,omitempty"`
 	Err     *ErrorBody            `json:"error,omitempty"`
+	Busy    *BusyBody             `json:"busy,omitempty"`
 }
 
 // Encode implements Codec.
@@ -288,6 +301,7 @@ func (JSONCodec) Encode(m *Message) ([]byte, error) {
 		Type: uint8(m.Type), RequestID: m.RequestID, RANFunction: m.RANFunction,
 		Sub: m.Subscription, SubResp: m.SubscriptionResp, Ind: m.Indication,
 		Batch: m.Batch, Ctrl: m.Control, Ack: m.ControlAck, Err: m.Error,
+		Busy: m.Busy,
 	}
 	if m.Trace.Valid() {
 		tc := m.Trace
@@ -306,6 +320,7 @@ func (JSONCodec) Decode(b []byte) (*Message, error) {
 		Type: MessageType(jm.Type), RequestID: jm.RequestID, RANFunction: jm.RANFunction,
 		Subscription: jm.Sub, SubscriptionResp: jm.SubResp, Indication: jm.Ind,
 		Batch: jm.Batch, Control: jm.Ctrl, ControlAck: jm.Ack, Error: jm.Err,
+		Busy: jm.Busy,
 	}
 	if jm.Trace != nil {
 		m.Trace = *jm.Trace
@@ -415,6 +430,9 @@ func (VarintCodec) AppendEncode(dst []byte, m *Message) ([]byte, error) {
 		w.str(m.ControlAck.Reason)
 	case TypeError:
 		w.str(m.Error.Reason)
+	case TypeBusy:
+		w.uv(uint64(m.Busy.RetryAfterMs))
+		w.str(m.Busy.Reason)
 	case TypeHeartbeat:
 	}
 	w.b = appendTraceTrailer(w.b, m.Trace)
@@ -542,6 +560,15 @@ func (VarintCodec) Decode(b []byte) (*Message, error) {
 			return nil, err
 		}
 		m.Error = e
+	case TypeBusy:
+		busy := &BusyBody{}
+		if busy.RetryAfterMs, err = uvU32(); err != nil {
+			return nil, err
+		}
+		if busy.Reason, err = r.str(); err != nil {
+			return nil, err
+		}
+		m.Busy = busy
 	case TypeHeartbeat:
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)

@@ -41,6 +41,11 @@ const (
 	// indications coalesced into a single frame (see batch.go). Only sent
 	// after capability negotiation, so old peers never see it.
 	TypeIndicationBatch
+	// TypeBusy tells the peer the receiver is overloaded and carries a
+	// retry-after hint (see busy.go). Sent at admission (a refused
+	// association should redial after the hint) or mid-association as
+	// backpressure toward peers that negotiated OverloadCapabilityToken.
+	TypeBusy
 )
 
 // String returns the message type name.
@@ -62,6 +67,8 @@ func (t MessageType) String() string {
 		return "error"
 	case TypeIndicationBatch:
 		return "indication-batch"
+	case TypeBusy:
+		return "busy"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -94,6 +101,7 @@ type Message struct {
 	Control          *ControlRequest
 	ControlAck       *ControlAck
 	Error            *ErrorBody
+	Busy             *BusyBody
 }
 
 // SubscriptionRequest asks for periodic indications.
@@ -229,6 +237,9 @@ func (m *Message) Validate() error {
 	if m.Error != nil {
 		bodySet++
 	}
+	if m.Busy != nil {
+		bodySet++
+	}
 	switch m.Type {
 	case TypeHeartbeat:
 		if bodySet != 0 {
@@ -265,6 +276,10 @@ func (m *Message) Validate() error {
 	case TypeError:
 		if m.Error == nil || bodySet != 1 {
 			return fmt.Errorf("%w: error body mismatch", ErrMalformed)
+		}
+	case TypeBusy:
+		if m.Busy == nil || bodySet != 1 {
+			return fmt.Errorf("%w: busy body mismatch", ErrMalformed)
 		}
 	default:
 		return fmt.Errorf("%w: %d", ErrUnknownType, m.Type)

@@ -38,6 +38,15 @@ const (
 	// end of the first slot the reconfigured scheduler actually serves;
 	// closes the control loop.
 	SpanSlotEffect = "slot.effect"
+
+	// SpanShed: RIC plane — one queued KPM indication leaving the dispatch
+	// path without being served (overflow eviction, stale shed, teardown
+	// drain, late refusal); Err names the shed reason, DurNs is queue dwell.
+	SpanShed = "ric.shed"
+
+	// SpanBrownoutShift: RIC plane — one brownout state-machine transition;
+	// Err names the edge ("normal->degraded").
+	SpanBrownoutShift = "brownout.shift"
 )
 
 // SpanNames enumerates every span name in canonical hop order. Experiments
@@ -52,6 +61,8 @@ var SpanNames = []string{
 	SpanGNBApply,
 	SpanSwapCanary,
 	SpanSlotEffect,
+	SpanShed,
+	SpanBrownoutShift,
 }
 
 // Plane labels: the two process halves of the control loop. A plane is a

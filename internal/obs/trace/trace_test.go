@@ -144,6 +144,7 @@ func TestSpanNamesTableCoversConstants(t *testing.T) {
 	want := []string{
 		SpanIndicationEncode, SpanTransport, SpanRICDecode, SpanXAppInvoke,
 		SpanControlEncode, SpanGNBApply, SpanSwapCanary, SpanSlotEffect,
+		SpanShed, SpanBrownoutShift,
 	}
 	if len(SpanNames) != len(want) {
 		t.Fatalf("SpanNames has %d entries, want %d", len(SpanNames), len(want))

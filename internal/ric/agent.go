@@ -83,6 +83,11 @@ type Agent struct {
 	dead        atomic.Bool
 	peerTraced  atomic.Bool // RIC advertised e2.TraceCapabilityBit and we accepted
 	peerBatched atomic.Bool // both sides advertised batch capability
+	peerBusy    atomic.Bool // RIC advertised e2.BusyCapabilityBit and we accepted
+
+	// pausedUntilNs, when in the future, is a busy-frame backpressure pause:
+	// due-slot indications are shed at the source until it passes.
+	pausedUntilNs atomic.Int64 // metric-exempt: pause deadline, not telemetry
 
 	// batchMu guards the pending window: Tick appends from the slot loop
 	// while a re-subscription on the receive loop may renegotiate
@@ -100,6 +105,9 @@ type Agent struct {
 	controlsOK   uint64
 	controlsFail uint64
 	resubscribes uint64
+	busyFrames   uint64 // TypeBusy backpressure frames received mid-association
+	pausedSheds  uint64 // due-slot indications shed at the source while paused
+	lostInFlush  uint64 // window remainder lost when a Flush send died mid-loop
 }
 
 // NewAgent creates an agent for one association from a validated
@@ -132,6 +140,12 @@ func (a *Agent) Start() (<-chan error, error) {
 	}
 	if a.cfg.LivenessTimeout > 0 {
 		_ = a.conn.SetReadDeadline(time.Time{})
+	}
+	if m.Type == e2.TypeBusy {
+		// Admission refusal: the RIC is overloaded and never subscribed.
+		// Surface the typed error so the supervisor can honor the
+		// retry-after hint instead of hammering the plain backoff schedule.
+		return nil, &e2.BusyError{RetryAfter: m.Busy.RetryAfter(), Reason: m.Busy.Reason}
 	}
 	if m.Type != e2.TypeSubscriptionRequest {
 		refusal := &e2.Message{Type: e2.TypeError, Error: &e2.ErrorBody{Reason: "expected subscription-request"}}
@@ -192,6 +206,12 @@ func (a *Agent) applySubscription(m *e2.Message) error {
 		a.peerBatched.Store(true)
 	} else {
 		a.peerBatched.Store(false)
+	}
+	if m.RANFunction&e2.BusyCapabilityBit != 0 {
+		reason = e2.AppendCapabilityToken(reason, e2.OverloadCapabilityToken)
+		a.peerBusy.Store(true)
+	} else {
+		a.peerBusy.Store(false)
 	}
 	ack.SubscriptionResp.Reason = reason
 	if err := a.conn.Send(ack); err != nil {
@@ -262,6 +282,15 @@ func (a *Agent) recvLoop() error {
 			if err := a.conn.Send(&e2.Message{Type: e2.TypeHeartbeat}); err != nil {
 				return err
 			}
+		case e2.TypeBusy:
+			// Mid-association backpressure: the RIC is in brownout and asks
+			// us to pause KPM generation. Due-slot indications during the
+			// pause are shed at the source — the cheapest possible shed,
+			// nothing is encoded or sent — and counted for the ledger.
+			a.pausedUntilNs.Store(time.Now().Add(m.Busy.RetryAfter()).UnixNano())
+			a.mu.Lock()
+			a.busyFrames++
+			a.mu.Unlock()
 		case e2.TypeSubscriptionRequest:
 			// Mid-association re-subscription: the RIC adjusts cadence or
 			// slice filter (or re-asserts after its own restart). Apply
@@ -308,6 +337,17 @@ func (a *Agent) Tick(slot uint64) error {
 		return nil
 	}
 	period := a.periodSlots.Load()
+	if paused := a.paused(); paused {
+		// Busy-frame pause: shed due-slot indications at the source and
+		// hold partial windows too — flushing mid-pause would defeat the
+		// backpressure the RIC asked for.
+		if period != 0 && slot%period == 0 {
+			a.mu.Lock()
+			a.pausedSheds++
+			a.mu.Unlock()
+		}
+		return nil
+	}
 	if period == 0 || slot%period != 0 {
 		return a.flushIfOverdue()
 	}
@@ -422,6 +462,12 @@ func (a *Agent) Flush() error {
 		for i := range pending {
 			msg := &e2.Message{Type: e2.TypeIndication, RANFunction: e2.RANFunctionKPM, Indication: &pending[i]}
 			if err := a.conn.Send(msg); err != nil {
+				// The conn died mid-loop: the rest of the window dies with
+				// it. Account for every undelivered indication (including
+				// the one that failed) instead of silently forgetting them.
+				a.mu.Lock()
+				a.lostInFlush += uint64(len(pending) - i)
+				a.mu.Unlock()
 				return err
 			}
 		}
@@ -439,6 +485,25 @@ func (a *Agent) Flush() error {
 		return a.conn.Send(msg)
 	}
 	return a.sendTraced(msg, pending[0].Slot, buildStart)
+}
+
+// paused reports whether a busy-frame backpressure pause is in effect.
+func (a *Agent) paused() bool {
+	u := a.pausedUntilNs.Load()
+	return u != 0 && time.Now().UnixNano() < u
+}
+
+// Paused reports whether the agent is currently shedding at the source
+// because of a busy-frame backpressure pause.
+func (a *Agent) Paused() bool { return a.paused() }
+
+// OverloadCounters reports agent-side overload accounting: busy frames
+// received mid-association, due-slot indications shed at the source while
+// paused, and indications lost when a Flush send died mid-window.
+func (a *Agent) OverloadCounters() (busyFrames, pausedSheds, lostInFlush uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.busyFrames, a.pausedSheds, a.lostInFlush
 }
 
 // PendingBatched reports how many indications are buffered awaiting a

@@ -1,6 +1,7 @@
 package ric
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -52,6 +53,10 @@ type CitySimConfig struct {
 	Pacing time.Duration
 	// SpanCap is each plane's span-ring capacity (default 32768).
 	SpanCap int
+	// Overload, when non-nil, enables the RIC's overload-control layer
+	// (admission gate, bounded queued dispatch, brownout state machine) for
+	// the run — the happy-path no-regression arm of the overload work.
+	Overload *OverloadConfig
 	// Obs, when non-nil, receives the RIC's instruments (per-shard series
 	// included) and the result embeds its snapshot.
 	Obs *obs.Registry
@@ -114,12 +119,12 @@ type CitySimResult struct {
 	SlotsPerSec     float64 `json:"slots_per_sec"`
 	CellSlotsPerSec float64 `json:"cell_slots_per_sec"`
 
-	Indications        uint64  `json:"indications_processed"`
-	IndicationsPerSec  float64 `json:"indications_per_sec"`
-	BatchFrames        uint64  `json:"batch_frames"`
+	Indications         uint64  `json:"indications_processed"`
+	IndicationsPerSec   float64 `json:"indications_per_sec"`
+	BatchFrames         uint64  `json:"batch_frames"`
 	IndicationsPerBatch float64 `json:"indications_per_batch"`
-	Controls           uint64  `json:"controls_emitted"`
-	Refused            uint64  `json:"associations_refused"`
+	Controls            uint64  `json:"controls_emitted"`
+	Refused             uint64  `json:"associations_refused"`
 
 	// ShardSpreadMin/Max are the smallest and largest per-RIC-shard
 	// association counts — the hash spreading the fan-in.
@@ -147,6 +152,10 @@ type CitySimResult struct {
 	CompleteLoops int     `json:"complete_loops"`
 	// Hops is the per-hop latency distribution across all spans retained.
 	Hops []trace.HopStat `json:"hops"`
+
+	// Overload is the RIC's shed ledger and brownout accounting when the
+	// overload guard was enabled for the run (nil otherwise).
+	Overload *OverloadStats `json:"overload,omitempty"`
 
 	Obs map[string]any `json:"obs,omitempty"`
 }
@@ -209,6 +218,7 @@ func RunCitySim(cfg CitySimConfig) (*CitySimResult, error) {
 		Shards:         cfg.RICShards,
 		KPMHistory:     NoKPMHistory,
 		Tracer:         tracer,
+		Overload:       cfg.Overload,
 	})
 	if err != nil {
 		return nil, err
@@ -237,23 +247,38 @@ func RunCitySim(cfg CitySimConfig) (*CitySimResult, error) {
 	batch := BatchConfig{Window: cfg.BatchWindow, FlushInterval: cfg.FlushInterval}
 	for c := 0; c < cfg.Cells; c++ {
 		for s := 0; s < cfg.Sectors; s++ {
-			raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
-			if err != nil {
+			var agent *Agent
+			var conn *e2.Conn
+			// With the overload guard on, the fleet bring-up itself runs
+			// through the admission gate: a TypeBusy refusal is honored by
+			// sleeping out the retry-after hint, exactly as a supervised
+			// agent session would, so the 1024-association dial burst enters
+			// as a ramp instead of failing the run.
+			for attempt := 0; ; attempt++ {
+				raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
+				if err != nil {
+					return nil, fmt.Errorf("ric: citysim: association %d: %w", len(agents), err)
+				}
+				conn = e2.NewConn(raw, e2.BinaryCodec{})
+				agent, err = NewAgent(conn, fleet.Cell(c), AgentConfig{
+					Cell:   uint32(c*cfg.Sectors + s),
+					Tracer: tracer,
+					Batch:  batch,
+				})
+				if err != nil {
+					conn.Close()
+					return nil, err
+				}
+				if _, err = agent.Start(); err == nil {
+					break
+				}
+				conn.Close()
+				var busy *e2.BusyError
+				if errors.As(err, &busy) && attempt < 60 {
+					time.Sleep(busy.RetryAfter)
+					continue
+				}
 				return nil, fmt.Errorf("ric: citysim: association %d: %w", len(agents), err)
-			}
-			conn := e2.NewConn(raw, e2.BinaryCodec{})
-			agent, err := NewAgent(conn, fleet.Cell(c), AgentConfig{
-				Cell:   uint32(c*cfg.Sectors + s),
-				Tracer: tracer,
-				Batch:  batch,
-			})
-			if err != nil {
-				conn.Close()
-				return nil, err
-			}
-			if _, err := agent.Start(); err != nil {
-				conn.Close()
-				return nil, err
 			}
 			agents = append(agents, agent)
 			conns = append(conns, conn)
@@ -353,6 +378,9 @@ func RunCitySim(cfg CitySimConfig) (*CitySimResult, error) {
 			res.StripeP99Us = ws.P99us
 		}
 		res.StripeOverruns += ws.Overruns
+	}
+	if ov, ok := r.OverloadStats(); ok {
+		res.Overload = &ov
 	}
 	spans := tracer.Snapshot()
 	res.Hops = trace.HopStats(spans)

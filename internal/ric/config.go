@@ -98,6 +98,12 @@ type Config struct {
 	// KPMHistory sizes the per-cell KPM ring (0 = DefaultKPMHistory,
 	// NoKPMHistory = no store at all).
 	KPMHistory int
+	// Overload, when non-nil, enables the overload-control layer (see
+	// overload.go): admission token buckets with TypeBusy refusals, bounded
+	// per-association indication queues with drop-oldest shedding, the
+	// brownout state machine, shard spill-over, and per-xApp breakers plus
+	// dispatch deadlines. Nil keeps the pre-overload synchronous RIC.
+	Overload *OverloadConfig
 
 	// Assoc, when set, receives association-resilience counters.
 	Assoc *AssocMetrics
@@ -128,6 +134,11 @@ func (c Config) Validate() error {
 	}
 	if c.KPMHistory < NoKPMHistory {
 		return fmt.Errorf("ric: KPM history %d (use %d to disable)", c.KPMHistory, NoKPMHistory)
+	}
+	if c.Overload != nil {
+		if err := c.Overload.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -165,6 +176,11 @@ func New(cfg Config) (*RIC, error) {
 	r.shards = make([]*shard, cfg.Shards)
 	for i := range r.shards {
 		r.shards[i] = newShard(i, cfg.MaxAssocPerShard)
+	}
+	if cfg.Overload != nil {
+		ov := cfg.Overload.withDefaults()
+		r.cfg.Overload = &ov
+		r.ov = newOverload(ov, cfg.Shards, cfg.Tracer)
 	}
 	return r, nil
 }

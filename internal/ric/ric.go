@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"waran/internal/e2"
+	"waran/internal/guard"
 	"waran/internal/metrics"
 	"waran/internal/obs"
 	"waran/internal/obs/trace"
@@ -50,6 +51,10 @@ type RIC struct {
 
 	shards    []*shard
 	nextShard atomic.Uint64 // metric-exempt: round-robin tiebreak, not telemetry
+
+	// ov is the overload-control state (nil when Config.Overload is nil):
+	// admission gates, shed ledger, brownout level. See overload.go.
+	ov *overload
 }
 
 // shard is one association domain: associations hash here and every
@@ -148,6 +153,15 @@ func (r *RIC) AddXApp(name string, mod *wabi.Module, policy wabi.Policy) (*XApp,
 		policy.Fuel = 10_000_000
 	}
 	x := &XApp{Name: name}
+	if ov := r.cfg.Overload; ov != nil {
+		// Slow-xApp isolation: bound every dispatch by a wall-clock deadline
+		// (a stalled guest traps with wabi.FailDeadline) and meter outcomes
+		// through a guard breaker so a persistently bad xApp is skipped.
+		if policy.CallTimeout == 0 && ov.XAppDeadline > 0 {
+			policy.CallTimeout = ov.XAppDeadline
+		}
+		x.breaker = guard.NewBreaker(ov.Breaker)
+	}
 	env := wabi.Env{
 		HostFuncs: wasm.Imports{"ric": r.hostFuncs(x)},
 	}
@@ -423,6 +437,30 @@ func (r *RIC) Register(reg *obs.Registry, labels ...obs.Label) {
 			return out
 		},
 	}, labels...)
+	if r.ov != nil {
+		reg.MustRegister("waran_ric_overload", "overload-control shed ledger and brownout counters", obs.Func{
+			Kind: obs.KindUntyped,
+			Collect: func() []obs.Sample {
+				s, _ := r.OverloadStats()
+				return []obs.Sample{
+					{Suffix: "_offered_total", Value: float64(s.Offered)},
+					{Suffix: "_delivered_total", Value: float64(s.Delivered)},
+					{Suffix: "_shed_overflow_total", Value: float64(s.ShedOverflow)},
+					{Suffix: "_shed_stale_total", Value: float64(s.ShedStale)},
+					{Suffix: "_shed_teardown_total", Value: float64(s.ShedTeardown)},
+					{Suffix: "_refused_late_total", Value: float64(s.RefusedLate)},
+					{Suffix: "_busy_admission_refusals_total", Value: float64(s.BusyAdmission)},
+					{Suffix: "_refused_subscriptions_total", Value: float64(s.RefusedSubscriptions)},
+					{Suffix: "_busy_backpressure_frames_total", Value: float64(s.BusyBackpressure)},
+					{Suffix: "_shard_spills_total", Value: float64(s.Spills)},
+					{Suffix: "_brownout_transitions_total", Value: float64(s.BrownoutTransitions)},
+					{Suffix: "_brownout_level", Value: float64(r.ov.level.Load())},
+					{Suffix: "_dispatch_p99_ms", Value: s.DispatchP99Ms},
+				}
+			},
+			JSON: func() any { s, _ := r.OverloadStats(); return s },
+		}, labels...)
+	}
 	r.Modules.Register(reg, labels...)
 	if r.cfg.Assoc != nil {
 		r.cfg.Assoc.Register(reg, labels...)
@@ -485,18 +523,44 @@ func (r *RIC) Serve(lis *e2.Listener, stop <-chan struct{}) error {
 // heartbeat echoes are consumed and counted. Closing stop closes the conn
 // so a Recv blocked on a silent peer returns promptly. The association
 // occupies one slot of its shard's goroutine budget; a full shard refuses
-// the association with an e2 error frame.
+// the association — with an e2 error frame, or, when overload control is
+// enabled and every shard is full, with a TypeBusy retry-after hint.
+//
+// With overload control enabled, admission additionally passes the shard's
+// token bucket (refusals carry a retry-after hint sized to the bucket's
+// refill) and a critically browned-out RIC refuses the association outright,
+// so a reconnect stampede after a RIC restart ramps at AdmitRate per shard.
 func (r *RIC) ServeConn(conn *e2.Conn, stop <-chan struct{}) error {
-	sh := r.shardFor(conn)
-	select {
-	case sh.sem <- struct{}{}:
-	default:
-		sh.refused.Inc()
-		_ = conn.Send(&e2.Message{Type: e2.TypeError, Error: &e2.ErrorBody{
-			Reason: fmt.Sprintf("ric: shard %d association budget exhausted", sh.id),
-		}})
+	hashed := r.shardFor(conn)
+	if r.ov != nil {
+		if lvl := r.ov.Level(); lvl >= BrownoutCritical {
+			hashed.refused.Inc()
+			r.ov.refusedSubs.Inc()
+			_ = conn.Send(e2.NewBusyMessage(r.ov.cfg.RetryAfter, "ric: brownout critical, refusing new subscriptions"))
+			conn.Close()
+			return fmt.Errorf("ric: refusing association at brownout %s", lvl)
+		}
+		if ok, retryAfter := r.ov.admitAssoc(hashed.id, time.Now()); !ok {
+			hashed.refused.Inc()
+			r.ov.busyAdmission.Inc()
+			_ = conn.Send(e2.NewBusyMessage(retryAfter, fmt.Sprintf("ric: shard %d admission", hashed.id)))
+			conn.Close()
+			return fmt.Errorf("ric: shard %d admission gate closed (retry in %v)", hashed.id, retryAfter)
+		}
+	}
+	sh, ok := r.acquireShard(hashed)
+	if !ok {
+		hashed.refused.Inc()
+		if r.ov != nil {
+			r.ov.busyAdmission.Inc()
+			_ = conn.Send(e2.NewBusyMessage(r.ov.cfg.RetryAfter, fmt.Sprintf("ric: shard %d association budget exhausted", hashed.id)))
+		} else {
+			_ = conn.Send(&e2.Message{Type: e2.TypeError, Error: &e2.ErrorBody{
+				Reason: fmt.Sprintf("ric: shard %d association budget exhausted", hashed.id),
+			}})
+		}
 		conn.Close()
-		return fmt.Errorf("ric: shard %d association budget (%d) exhausted", sh.id, cap(sh.sem))
+		return fmt.Errorf("ric: shard %d association budget (%d) exhausted", hashed.id, cap(hashed.sem))
 	}
 	defer func() { <-sh.sem }()
 	sh.assocTotal.Inc()
@@ -505,12 +569,16 @@ func (r *RIC) ServeConn(conn *e2.Conn, stop <-chan struct{}) error {
 	return r.serveConn(sh, conn, stop)
 }
 
-func (r *RIC) serveConn(sh *shard, conn *e2.Conn, stop <-chan struct{}) error {
+// subscriptionMsg builds the RIC's subscription request at the given report
+// period, advertising every capability the configuration enables — shared by
+// the association handshake and brownout-driven mid-association
+// re-subscriptions, so the agent renegotiates identical capabilities.
+func (r *RIC) subscriptionMsg(reportPeriodMs uint32) *e2.Message {
 	sub := &e2.Message{
 		Type:         e2.TypeSubscriptionRequest,
 		RequestID:    1,
 		RANFunction:  e2.RANFunctionKPM,
-		Subscription: &e2.SubscriptionRequest{ReportPeriodMs: r.cfg.ReportPeriodMs},
+		Subscription: &e2.SubscriptionRequest{ReportPeriodMs: reportPeriodMs},
 	}
 	if r.cfg.Tracer.Enabled() {
 		// Advertise trace capability in the reserved RANFunction bit; old
@@ -520,7 +588,14 @@ func (r *RIC) serveConn(sh *shard, conn *e2.Conn, stop <-chan struct{}) error {
 	if !r.cfg.DisableBatching {
 		sub.RANFunction |= e2.BatchCapabilityBit
 	}
-	if err := conn.Send(sub); err != nil {
+	if r.ov != nil {
+		sub.RANFunction |= e2.BusyCapabilityBit
+	}
+	return sub
+}
+
+func (r *RIC) serveConn(sh *shard, conn *e2.Conn, stop <-chan struct{}) error {
+	if err := conn.Send(r.subscriptionMsg(r.cfg.ReportPeriodMs)); err != nil {
 		return err
 	}
 
@@ -532,6 +607,19 @@ func (r *RIC) serveConn(sh *shard, conn *e2.Conn, stop <-chan struct{}) error {
 	superviseDone := make(chan struct{})
 	go r.supervise(conn, stop, recvDone, superviseDone, &stopped, &dead)
 	defer func() { close(recvDone); <-superviseDone }()
+
+	// With overload control enabled, KPM indications take the queued path:
+	// the receive loop only enqueues (so a slow dispatch can never back the
+	// TCP stream up into the agent) and the dispatcher drains through the
+	// same deliver path, shedding by policy. Control acks, heartbeats and
+	// errors are still handled inline — they are never queued, never shed.
+	var q *assocQueue
+	var busyCapable atomic.Bool
+	if r.ov != nil {
+		q = newAssocQueue(r.ov.cfg.QueueDepth)
+		go r.dispatchLoop(sh, conn, q, &busyCapable)
+		defer func() { close(q.quit); <-q.done }()
+	}
 
 	reqID := uint32(100)
 	assocTraced := false // agent answered with e2.TraceCapabilityToken
@@ -558,8 +646,13 @@ func (r *RIC) serveConn(sh *shard, conn *e2.Conn, stop <-chan struct{}) error {
 			// (inside the Reason's capability token list) does.
 			assocTraced = r.cfg.Tracer.Enabled() &&
 				e2.HasCapabilityToken(m.SubscriptionResp.Reason, e2.TraceCapabilityToken)
+			busyCapable.Store(e2.HasCapabilityToken(m.SubscriptionResp.Reason, e2.OverloadCapabilityToken))
 		case e2.TypeIndication:
 			ctx := r.decodeCtx(conn, m.Trace, assocTraced, m.Indication.Slot, m.Indication.Cell)
+			if q != nil {
+				r.enqueueIndication(q, queuedInd{ind: m.Indication, ctx: ctx, enq: time.Now()})
+				continue
+			}
 			if err := r.deliver(sh, conn, m.Indication, ctx, &reqID); err != nil {
 				return err
 			}
@@ -571,6 +664,13 @@ func (r *RIC) serveConn(sh *shard, conn *e2.Conn, stop <-chan struct{}) error {
 			ctx := trace.Context{}
 			if len(inds) > 0 {
 				ctx = r.decodeCtx(conn, m.Trace, assocTraced, inds[0].Slot, inds[0].Cell)
+			}
+			if q != nil {
+				now := time.Now()
+				for i := range inds {
+					r.enqueueIndication(q, queuedInd{ind: &inds[i], ctx: ctx, enq: now})
+				}
+				continue
 			}
 			for i := range inds {
 				if err := r.deliver(sh, conn, &inds[i], ctx, &reqID); err != nil {

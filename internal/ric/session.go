@@ -26,6 +26,13 @@ type Backoff struct {
 	// negative to disable) so a fleet of agents does not thundering-herd
 	// a restarted RIC.
 	Jitter float64
+	// FullJitter, when true, draws each delay uniformly from
+	// [0, ceiling) (the AWS full-jitter scheme) instead of ±Jitter around
+	// the exponential ceiling. ±20% still concentrates a synchronized
+	// 1024-agent reconnect storm into a 40%-wide window per round;
+	// full jitter spreads every round across the whole ceiling, which is
+	// what turns a storm into a ramp.
+	FullJitter bool
 }
 
 func (b Backoff) withDefaults() Backoff {
@@ -67,6 +74,49 @@ func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
 	return time.Duration(d)
 }
 
+// FullJitterDelay returns the wait before retry number attempt (0-based)
+// drawn uniformly from [0, ceiling), where ceiling is the un-jittered
+// exponential delay. With rng nil it returns the ceiling itself.
+func (b Backoff) FullJitterDelay(attempt int, rng *rand.Rand) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Initial)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			break
+		}
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if rng == nil {
+		return time.Duration(d)
+	}
+	return time.Duration(rng.Float64() * d)
+}
+
+// delay dispatches to the configured jitter scheme.
+func (b Backoff) delay(attempt int, rng *rand.Rand) time.Duration {
+	if b.FullJitter {
+		return b.FullJitterDelay(attempt, rng)
+	}
+	return b.Delay(attempt, rng)
+}
+
+// sessionSeq desynchronizes zero-seeded sessions. Seed==0 used to collapse
+// onto schedule 1, so a fleet of default-configured agents drew *identical*
+// jitter and retried in lock-step — the exact thundering herd jitter exists
+// to prevent. Each zero-seeded session now derives a unique seed instead.
+var sessionSeq atomic.Int64 // metric-exempt: seed derivation, not telemetry
+
+func deriveSeed(seed int64) int64 {
+	if seed != 0 {
+		return seed
+	}
+	seq := uint64(sessionSeq.Add(1))
+	return int64(uint64(time.Now().UnixNano()) ^ (seq * 0x9E3779B97F4A7C15))
+}
+
 // AssocMetrics aggregates association-resilience counters. All methods and
 // fields are safe for concurrent use; one instance may be shared by a
 // RIC-side Session and the RIC itself (each side increments the events it
@@ -81,6 +131,14 @@ type AssocMetrics struct {
 	// DroppedIndications counts indications not delivered because the
 	// association was down or the send failed mid-flight.
 	DroppedIndications metrics.Counter
+	// BusyRefusals counts connect attempts the RIC refused with a busy
+	// frame (admission control or brownout-critical subscription refusal).
+	BusyRefusals metrics.Counter
+	// BusyBackpressure counts mid-association busy frames received.
+	BusyBackpressure metrics.Counter
+	// ShedPaused counts due-slot indications shed at the source while a
+	// busy-frame backpressure pause was in effect.
+	ShedPaused metrics.Counter
 
 	degradedNs atomic.Int64
 }
@@ -99,6 +157,9 @@ type AssocStats struct {
 	MissedHeartbeats   uint64  `json:"missed_heartbeats"`
 	DeadAssociations   uint64  `json:"dead_associations"`
 	DroppedIndications uint64  `json:"dropped_indications"`
+	BusyRefusals       uint64  `json:"busy_refusals"`
+	BusyBackpressure   uint64  `json:"busy_backpressure"`
+	ShedPaused         uint64  `json:"shed_paused"`
 	DegradedMs         float64 `json:"degraded_ms"`
 }
 
@@ -109,6 +170,9 @@ func (m *AssocMetrics) Stats() AssocStats {
 		MissedHeartbeats:   m.MissedHeartbeats.Value(),
 		DeadAssociations:   m.DeadAssociations.Value(),
 		DroppedIndications: m.DroppedIndications.Value(),
+		BusyRefusals:       m.BusyRefusals.Value(),
+		BusyBackpressure:   m.BusyBackpressure.Value(),
+		ShedPaused:         m.ShedPaused.Value(),
 		DegradedMs:         float64(m.Degraded().Nanoseconds()) / 1e6,
 	}
 }
@@ -125,6 +189,9 @@ func (m *AssocMetrics) Register(reg *obs.Registry, labels ...obs.Label) {
 				{Suffix: "_missed_heartbeats_total", Value: float64(s.MissedHeartbeats)},
 				{Suffix: "_dead_associations_total", Value: float64(s.DeadAssociations)},
 				{Suffix: "_dropped_indications_total", Value: float64(s.DroppedIndications)},
+				{Suffix: "_busy_refusals_total", Value: float64(s.BusyRefusals)},
+				{Suffix: "_busy_backpressure_total", Value: float64(s.BusyBackpressure)},
+				{Suffix: "_shed_paused_total", Value: float64(s.ShedPaused)},
 				{Suffix: "_degraded_ms", Value: s.DegradedMs},
 			}
 		},
@@ -164,7 +231,7 @@ type SessionConfig struct {
 	// Metrics, when set, receives the reconnect counter. Share it with
 	// Config.Assoc to aggregate both sides' observations in one place.
 	Metrics *AssocMetrics
-	// Seed selects the jitter schedule (0 behaves as 1).
+	// Seed selects the jitter schedule (0 derives a unique per-session seed).
 	Seed int64
 	// OnAssociation, when set, observes each established association and
 	// may return a teardown hook run after it ends (either may be nil).
@@ -204,11 +271,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 
 // Run supervises associations until stop closes.
 func (s *Session) Run(stop <-chan struct{}) {
-	seed := s.cfg.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(deriveSeed(s.cfg.Seed)))
 	attempt := 0
 	associations := 0
 	for {
@@ -219,7 +282,7 @@ func (s *Session) Run(stop <-chan struct{}) {
 		}
 		conn, err := s.cfg.Connect()
 		if err != nil {
-			if !sleepOrStop(s.cfg.Backoff.Delay(attempt, rng), stop) {
+			if !sleepOrStop(s.cfg.Backoff.delay(attempt, rng), stop) {
 				return
 			}
 			attempt++
@@ -258,7 +321,7 @@ type AgentSessionConfig struct {
 	Backoff Backoff
 	// Metrics, when set, receives reconnect/drop/degraded-time counters.
 	Metrics *AssocMetrics
-	// Seed selects the jitter schedule (0 behaves as 1).
+	// Seed selects the jitter schedule (0 derives a unique per-session seed).
 	Seed int64
 }
 
@@ -326,11 +389,7 @@ func (s *AgentSession) Stop() {
 
 func (s *AgentSession) run() {
 	defer close(s.done)
-	seed := s.cfg.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(deriveSeed(s.cfg.Seed)))
 	attempt := 0
 	for {
 		select {
@@ -340,7 +399,7 @@ func (s *AgentSession) run() {
 		}
 		conn, err := s.cfg.Dial()
 		if err != nil {
-			if !sleepOrStop(s.cfg.Backoff.Delay(attempt, rng), s.stop) {
+			if !sleepOrStop(s.cfg.Backoff.delay(attempt, rng), s.stop) {
 				return
 			}
 			attempt++
@@ -406,7 +465,25 @@ func (s *AgentSession) run() {
 		}
 		conn.Close()
 		s.clearConn()
-		if !sleepOrStop(s.cfg.Backoff.Delay(attempt, rng), s.stop) {
+		wait := s.cfg.Backoff.delay(attempt, rng)
+		var busy *e2.BusyError
+		if errors.As(err, &busy) {
+			// The RIC refused us with a retry-after hint: honor it, but
+			// jittered — uniform in [hint/2, hint*1.5) — so a refused cohort
+			// ramps back instead of re-arriving as one synchronized wave. The
+			// hint replaces the backoff wait only when it is longer.
+			if s.cfg.Metrics != nil {
+				s.cfg.Metrics.BusyRefusals.Inc()
+			}
+			hinted := busy.RetryAfter
+			if hinted > 0 {
+				hinted = hinted/2 + time.Duration(rng.Float64()*float64(hinted))
+			}
+			if hinted > wait {
+				wait = hinted
+			}
+		}
+		if !sleepOrStop(wait, s.stop) {
 			return
 		}
 		attempt++
@@ -426,6 +503,15 @@ func (s *AgentSession) teardown(agent *Agent, conn *e2.Conn) {
 	conn.Close()
 	ind, ok, fail := agent.Counters()
 	rs := agent.Resubscribes()
+	if s.cfg.Metrics != nil {
+		// Fold the dead agent's overload accounting into the shared ledger:
+		// source-shed indications keep their own counter; a window remainder
+		// lost with the conn is a drop like any other mid-flight drop.
+		bf, ps, lf := agent.OverloadCounters()
+		s.cfg.Metrics.BusyBackpressure.Add(bf)
+		s.cfg.Metrics.ShedPaused.Add(ps)
+		s.cfg.Metrics.DroppedIndications.Add(lf)
+	}
 	s.mu.Lock()
 	s.indications += ind
 	s.controlsOK += ok

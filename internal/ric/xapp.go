@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"waran/internal/e2"
+	"waran/internal/guard"
 	"waran/internal/wabi"
 	"waran/internal/wasm"
 )
@@ -27,6 +28,12 @@ type XApp struct {
 	Name   string
 	plugin *wabi.Plugin
 
+	// breaker, when non-nil (overload control enabled), is the xApp's
+	// guard-style circuit: a stalling or faulting xApp trips it open and is
+	// skipped (at zero dispatch cost) until its probes succeed again, so
+	// one bad xApp cannot back up a shard's fan-in.
+	breaker *guard.Breaker
+
 	// callMu serializes sandbox invocations: one RIC may serve several E2
 	// associations concurrently, but a plugin instance is single-threaded.
 	callMu            sync.Mutex
@@ -36,6 +43,7 @@ type XApp struct {
 	totalFaults       uint64
 	disabled          bool
 	invocations       uint64
+	skipped           uint64
 }
 
 // Disabled reports whether the xApp has been quarantined after faults.
@@ -49,15 +57,27 @@ func (x *XApp) Disabled() bool {
 type XAppStats struct {
 	Invocations uint64 `json:"invocations"`
 	Faults      uint64 `json:"faults"`
-	Disabled    bool   `json:"disabled"`
+	// Skipped counts dispatches bypassed while the xApp's breaker was open.
+	Skipped  uint64 `json:"skipped"`
+	Disabled bool   `json:"disabled"`
+	// BreakerState is the guard breaker state label ("" without a breaker).
+	BreakerState string `json:"breaker_state,omitempty"`
 }
 
 // Stats returns invocation and fault counters.
 func (x *XApp) Stats() XAppStats {
 	x.mu.Lock()
-	defer x.mu.Unlock()
-	return XAppStats{Invocations: x.invocations, Faults: x.totalFaults, Disabled: x.disabled}
+	s := XAppStats{Invocations: x.invocations, Faults: x.totalFaults, Skipped: x.skipped, Disabled: x.disabled}
+	x.mu.Unlock()
+	if x.breaker != nil {
+		s.BreakerState = x.breaker.State().String()
+	}
+	return s
 }
+
+// Breaker exposes the xApp's circuit breaker (nil when overload control is
+// disabled).
+func (x *XApp) Breaker() *guard.Breaker { return x.breaker }
 
 // Plugin exposes the underlying sandbox.
 func (x *XApp) Plugin() *wabi.Plugin { return x.plugin }
@@ -140,6 +160,13 @@ func (x *XApp) invoke(r *RIC, indication []byte) ([]e2.ControlRequest, error) {
 		x.mu.Unlock()
 		return nil, nil
 	}
+	// An open breaker skips the dispatch outright: the stalled xApp costs
+	// the fan-in nothing until a half-open probe proves it healthy again.
+	if x.breaker != nil && !x.breaker.Allow() {
+		x.skipped++
+		x.mu.Unlock()
+		return nil, nil
+	}
 	x.invocations++
 	x.mu.Unlock()
 
@@ -150,11 +177,17 @@ func (x *XApp) invoke(r *RIC, indication []byte) ([]e2.ControlRequest, error) {
 		var list []e2.ControlRequest
 		list, err = e2.DecodeControlList(out)
 		if err == nil {
+			if x.breaker != nil {
+				x.breaker.Record(wabi.FailNone)
+			}
 			x.mu.Lock()
 			x.consecutiveFaults = 0
 			x.mu.Unlock()
 			return list, nil
 		}
+	}
+	if x.breaker != nil {
+		x.breaker.Record(wabi.ClassOf(err))
 	}
 	x.mu.Lock()
 	x.totalFaults++
