@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check check-e2 check-obs check-guard check-trace check-abi check-tier check-scale check-overload lint-metrics bench fuzz
+.PHONY: build test check check-e2 check-obs check-guard check-trace check-abi check-tier check-scale check-overload check-flight lint-metrics bench fuzz
 
 ## build: compile every package.
 build:
@@ -13,7 +13,7 @@ test: build
 ## check: the deeper tier — vet, the full suite under the race detector,
 ## the association-resilience suite, and a 10 s fuzz smoke of the wasm
 ## decode/compile/execute gauntlet.
-check: build check-e2 check-obs check-guard check-trace check-abi check-tier check-scale check-overload lint-metrics
+check: build check-e2 check-obs check-guard check-trace check-abi check-tier check-scale check-overload check-flight lint-metrics
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^FuzzDecode$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/wasm
@@ -82,6 +82,16 @@ check-overload:
 	$(GO) test -race -count=1 -run 'Overload|Busy|Brownout|Shed|Spill|Jitter|Renegotiation|SlowXApp|Admit' ./internal/e2 ./internal/ric
 	$(GO) test -run '^FuzzBusyRoundTrip$$' -fuzz '^FuzzBusyRoundTrip$$' -fuzztime 10s ./internal/e2
 
+## check-flight: flight-recorder gate — race-enabled journal / detector /
+## bundle suites plus every plane's journaling wiring (slot watchdog in
+## core, supervisor lifecycle in guard, association lifecycle in e2, the
+## overload sites and the flightrec causal-chain experiment in ric), plus a
+## 10 s fuzz smoke of the journal's binary event codec round-trip.
+check-flight:
+	$(GO) test -race -count=1 ./internal/obs/flight
+	$(GO) test -race -count=1 -run 'Flight|Journal|Detector|Bundle|Summarize|TransitionHook|SnapshotSince|SnapshotHeader' ./internal/core ./internal/guard ./internal/e2 ./internal/ric ./internal/obs ./internal/obs/trace
+	$(GO) test -run '^FuzzEventCodec$$' -fuzz '^FuzzEventCodec$$' -fuzztime 10s ./internal/obs/flight
+
 ## lint-metrics: telemetry must go through internal/obs — fail on raw
 ## atomic.Uint64 counter fields outside internal/obs and internal/metrics.
 ## Deliberate non-metric uses carry a "metric-exempt:" comment.
@@ -113,6 +123,14 @@ lint-metrics:
 	if [ -n "$$bad" ]; then \
 		echo "lint-metrics: shed/brownout counters must be exposed through internal/obs"; \
 		echo "(packages declaring Shed*/BrownoutTransitions fields must register matching _shed_*_total samples):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi; \
+	bad=$$(grep -rn --include='*.go' 'waran_flight_' internal cmd examples \
+		| grep -v '^internal/obs/flight/' | grep -v '_test\.go:' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-metrics: waran_flight_* series must originate in internal/obs/flight"; \
+		echo "(journal through a flight.Recorder and let its Register expose the counts):"; \
 		echo "$$bad"; \
 		exit 1; \
 	fi; \

@@ -25,12 +25,14 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"waran/internal/core"
 	"waran/internal/e2"
 	"waran/internal/metrics"
 	"waran/internal/obs"
+	"waran/internal/obs/flight"
 	"waran/internal/obs/trace"
 	"waran/internal/plugins"
 	"waran/internal/ran"
@@ -55,6 +57,8 @@ func main() {
 	flag.BoolVar(&cfg.traceOn, "trace", false, "enable control-loop span tracing and the wasm fuel profiler (served at /debug/trace and /debug/wasm/profile)")
 	flag.BoolVar(&cfg.fullJitter, "e2-fulljitter", false, "draw reconnect delays uniformly from [0, ceiling) instead of +/-20% jitter (spreads fleet-wide reconnect storms, DESIGN.md 17)")
 	flag.Int64Var(&cfg.e2Seed, "e2-seed", 0, "reconnect jitter schedule seed (0 = unique per process)")
+	flag.BoolVar(&cfg.flightOn, "flight", false, "arm the flight recorder: always-on incident journal, SLO burn-rate detectors, anomaly-triggered diagnostic bundles (served at /debug/flight, DESIGN.md 18)")
+	flag.StringVar(&cfg.flightDir, "flight-dir", "flight-bundles", "directory anomaly-triggered diagnostic bundles are written into")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -79,6 +83,8 @@ type gnbConfig struct {
 	traceOn     bool
 	fullJitter  bool
 	e2Seed      int64
+	flightOn    bool
+	flightDir   string
 
 	// onReady (tests) fires once the HTTP listener is serving, with its
 	// resolved address. afterRun (tests) fires after the slot loop and
@@ -92,6 +98,15 @@ const traceDepth = 512
 
 // spanDepth is each plane's span-ring capacity when -trace is on.
 const spanDepth = 8192
+
+// flightDepth is the flight recorder's journal ring capacity when -flight
+// is on: deep enough to hold minutes of rare-edge events, fixed so the
+// recorder's memory never grows with incident length.
+const flightDepth = 4096
+
+// slotMissObjective is the gNB's slot deadline-miss SLO: at most 1% of
+// slots may overrun their budget before the burn-rate detector pages.
+const slotMissObjective = 0.01
 
 func run(cfg gnbConfig) error {
 	if cfg.cells <= 0 {
@@ -118,6 +133,43 @@ func run(cfg gnbConfig) error {
 		// is built below.
 		cg.PluginEnv = wabi.Env{Profile: profile}
 	}
+	// The flight recorder journals slot deadline misses and fallback pins
+	// from the hot loop (rare edges only: a clean slot records nothing),
+	// feeds the slot-miss SLO's burn-rate detector, and captures a
+	// diagnostic bundle when a detector fires or a fallback pins.
+	var frec *flight.Recorder
+	var fdet *flight.DetectorSet
+	var fcap *flight.Capturer
+	var slotsStepped atomic.Uint64 // metric-exempt: SLO source, scraped via the detector
+	if cfg.flightOn {
+		frec = flight.NewRecorder(flightDepth)
+		cg.SetFlightRecorder(frec)
+		frec.Register(reg)
+		fdet = flight.NewDetectorSet(frec)
+		fdet.MustAdd(flight.SLO{
+			Name:      "slot-deadline-miss",
+			Objective: slotMissObjective,
+			Bad:       func() uint64 { return frec.Count(flight.EvSlotDeadlineMiss) },
+			Total:     slotsStepped.Load,
+		}, flight.DetectorConfig{})
+		frec.SetTriggers(flight.EvDetectorFire, flight.EvFallbackPin, flight.EvRollback, flight.EvBreakerOpen)
+		ccfg := flight.CapturerConfig{Dir: cfg.flightDir, Registry: reg, Detectors: fdet, Tracer: tracer}
+		if profile != nil {
+			ccfg.Profile = profile
+		}
+		var err error
+		fcap, err = flight.NewCapturer(frec, ccfg)
+		if err != nil {
+			return err
+		}
+		flightStop := make(chan struct{})
+		defer close(flightStop)
+		go fcap.Run(flightStop)
+		go fdet.Run(flightStop, time.Second)
+		fmt.Printf("flight recorder: %d-event journal, slot-miss SLO %.1f%%, bundles -> %s\n",
+			frec.Cap(), slotMissObjective*100, cfg.flightDir)
+	}
+
 	meters := map[uint32]*metrics.RateMeter{}
 	for i, part := range strings.Split(cfg.sliceSpec, ",") {
 		name, rate, err := parseSlice(part)
@@ -195,12 +247,18 @@ func run(cfg gnbConfig) error {
 		if tracer != nil {
 			opts = append(opts, obs.WithTracer(tracer), obs.WithWasmProfile(profile))
 		}
+		if frec != nil {
+			opts = append(opts, flight.MuxOption(frec, fdet, fcap))
+		}
 		srv := &http.Server{Handler: obs.NewMux(reg, ring, opts...)}
 		go srv.Serve(lis)
 		defer srv.Close()
 		fmt.Printf("observability: http://%s/metrics /debug/slots /debug/pprof\n", lis.Addr())
 		if tracer != nil {
 			fmt.Printf("tracing: http://%s/debug/trace /debug/wasm/profile\n", lis.Addr())
+		}
+		if frec != nil {
+			fmt.Printf("flight: http://%s/debug/flight /debug/flight/journal /debug/flight/bundle\n", lis.Addr())
 		}
 		if cfg.onReady != nil {
 			cfg.onReady(lis.Addr().String())
@@ -211,6 +269,7 @@ func run(cfg gnbConfig) error {
 	start := time.Now()
 	for slot := 0; slot < slots; slot++ {
 		results := cg.StepAll()
+		slotsStepped.Add(1)
 		for id, ss := range results[0].PerSlice {
 			meters[id].AddSlot(ss.Bits)
 		}
@@ -243,6 +302,10 @@ func run(cfg gnbConfig) error {
 		snap := assoc.Stats()
 		fmt.Printf("e2: %d associations, %d reconnects, %d dropped indications, degraded %.1f ms\n",
 			sess.Associations(), snap.Reconnects, snap.DroppedIndications, snap.DegradedMs)
+	}
+	if frec != nil {
+		fmt.Printf("flight: %d events journaled, %d diagnostic bundles in %s\n",
+			frec.Seq(), len(fcap.Index()), cfg.flightDir)
 	}
 	if cfg.afterRun != nil {
 		cfg.afterRun()

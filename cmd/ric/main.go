@@ -18,6 +18,7 @@ import (
 
 	"waran/internal/e2"
 	"waran/internal/obs"
+	"waran/internal/obs/flight"
 	"waran/internal/obs/trace"
 	"waran/internal/plugins"
 	"waran/internal/ric"
@@ -39,13 +40,15 @@ func main() {
 	shards := flag.Int("shards", 0, "association shard count (0 = default)")
 	noBatch := flag.Bool("nobatch", false, "do not advertise windowed indication batching to agents")
 	overload := flag.Bool("overload", false, "arm the overload guard: token-bucket admission, bounded queues + shed policy, brownout, per-xApp breakers (DESIGN.md 17)")
+	flightOn := flag.Bool("flight", false, "arm the flight recorder: always-on incident journal, SLO burn-rate detectors, anomaly-triggered diagnostic bundles (served at /debug/flight, DESIGN.md 18)")
+	flightDir := flag.String("flight-dir", "flight-bundles", "directory anomaly-triggered diagnostic bundles are written into")
 	flag.Parse()
 
 	if err := run(runOpts{
 		listen: *listen, xapps: *xapps, codecName: *codecName, shim: *shim,
 		period: uint32(*period), hb: *hb, once: *once, nonRT: *nonRT,
 		httpAddr: *httpAddr, traceOn: *traceOn, shards: *shards, noBatch: *noBatch,
-		overload: *overload,
+		overload: *overload, flightOn: *flightOn, flightDir: *flightDir,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ric:", err)
 		os.Exit(1)
@@ -60,7 +63,17 @@ type runOpts struct {
 	shards                             int
 	noBatch                            bool
 	overload                           bool
+	flightOn                           bool
+	flightDir                          string
 }
+
+// flightDepth is the flight recorder's journal ring capacity when -flight
+// is on.
+const flightDepth = 4096
+
+// shedObjective is the RIC's shed-ratio SLO: at most 1% of offered
+// indications may shed before the burn-rate detector pages.
+const shedObjective = 0.01
 
 var xappSources = map[string]string{
 	"steer": plugins.TrafficSteerXAppWAT,
@@ -83,6 +96,10 @@ func run(o runOpts) error {
 		ov = &ric.OverloadConfig{}
 		fmt.Println("overload guard: admission + bounded queues + brownout + xApp breakers armed")
 	}
+	var frec *flight.Recorder
+	if o.flightOn {
+		frec = flight.NewRecorder(flightDepth)
+	}
 	r, err := ric.New(ric.Config{
 		ReportPeriodMs:    o.period,
 		HeartbeatInterval: o.hb,
@@ -91,6 +108,7 @@ func run(o runOpts) error {
 		Overload:          ov,
 		Assoc:             assoc,
 		Tracer:            tracer,
+		Flight:            frec,
 		Profile:           profile,
 		OnFault: func(xapp string, err error) {
 			fmt.Printf("xApp %s fault (contained): %v\n", xapp, err)
@@ -134,12 +152,65 @@ func run(o runOpts) error {
 		return err
 	}
 	defer lis.Close()
+	lis.SetFlightRecorder(frec)
 	fmt.Printf("near-RT RIC listening on %s (codec %s, report period %d ms, heartbeat %v, %d shards)\n",
 		lis.Addr(), wireCodec.Name(), o.period, o.hb, r.Config().Shards)
 
+	reg := obs.NewRegistry()
+	r.Register(reg)
+
+	// The flight recorder journals RIC-plane transitions (brownout shifts,
+	// sheds, admission refusals, per-xApp breaker trips, association
+	// lifecycle), burns the shed-ratio and dispatch-p99 SLOs through
+	// multi-window detectors, and captures a diagnostic bundle when a
+	// detector fires, the brownout shifts, or a breaker opens.
+	var fdet *flight.DetectorSet
+	var fcap *flight.Capturer
+	if frec != nil {
+		frec.Register(reg)
+		fdet = flight.NewDetectorSet(frec)
+		if oc := r.Config().Overload; oc != nil {
+			fdet.MustAdd(flight.SLO{
+				Name:      "shed-ratio",
+				Objective: shedObjective,
+				Bad: func() uint64 {
+					s, _ := r.OverloadStats()
+					return s.ShedOverflow + s.ShedStale + s.ShedTeardown + s.RefusedLate
+				},
+				Total: func() uint64 {
+					s, _ := r.OverloadStats()
+					return s.Offered
+				},
+			}, flight.DetectorConfig{})
+			if oc.LoopP99Budget > 0 {
+				fdet.MustAdd(flight.SLO{
+					Name: "dispatch-p99",
+					Value: func() float64 {
+						s, _ := r.OverloadStats()
+						return s.DispatchP99Ms
+					},
+					Budget: float64(oc.LoopP99Budget) / float64(time.Millisecond),
+				}, flight.DetectorConfig{})
+			}
+		}
+		frec.SetTriggers(flight.EvDetectorFire, flight.EvBrownoutShift, flight.EvBreakerOpen)
+		ccfg := flight.CapturerConfig{Dir: o.flightDir, Registry: reg, Detectors: fdet, Tracer: tracer}
+		if profile != nil {
+			ccfg.Profile = profile
+		}
+		fcap, err = flight.NewCapturer(frec, ccfg)
+		if err != nil {
+			return err
+		}
+		flightStop := make(chan struct{})
+		defer close(flightStop)
+		go fcap.Run(flightStop)
+		go fdet.Run(flightStop, time.Second)
+		fmt.Printf("flight recorder: %d-event journal, shed SLO %.1f%%, bundles -> %s\n",
+			frec.Cap(), shedObjective*100, o.flightDir)
+	}
+
 	if o.httpAddr != "" {
-		reg := obs.NewRegistry()
-		r.Register(reg)
 		hlis, err := net.Listen("tcp", o.httpAddr)
 		if err != nil {
 			return err
@@ -148,12 +219,18 @@ func run(o runOpts) error {
 		if tracer != nil {
 			opts = append(opts, obs.WithTracer(tracer), obs.WithWasmProfile(profile))
 		}
+		if frec != nil {
+			opts = append(opts, flight.MuxOption(frec, fdet, fcap))
+		}
 		srv := &http.Server{Handler: obs.NewMux(reg, nil, opts...)}
 		go srv.Serve(hlis)
 		defer srv.Close()
 		fmt.Printf("observability: http://%s/metrics /debug/pprof\n", hlis.Addr())
 		if tracer != nil {
 			fmt.Printf("tracing: http://%s/debug/trace /debug/wasm/profile\n", hlis.Addr())
+		}
+		if frec != nil {
+			fmt.Printf("flight: http://%s/debug/flight /debug/flight/journal /debug/flight/bundle\n", hlis.Addr())
 		}
 	}
 

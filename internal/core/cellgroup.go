@@ -9,6 +9,7 @@ import (
 	"waran/internal/guard"
 	"waran/internal/metrics"
 	"waran/internal/obs"
+	"waran/internal/obs/flight"
 	"waran/internal/obs/trace"
 	"waran/internal/plugins"
 	"waran/internal/ran"
@@ -66,6 +67,11 @@ type CellGroup struct {
 	consecOver []int
 	pinned     []bool
 	slot       uint64
+
+	// flight is the incident journal (nil = off). Set via SetFlightRecorder
+	// before the slot loop starts; stepCell reads it without synchronization
+	// on the same set-before-run contract as PluginEnv.
+	flight *flight.Recorder
 
 	// sups maps supervised slice IDs to their lifecycle supervisors (one
 	// shared across all cells having the slice). Populated by
@@ -200,7 +206,18 @@ func (cg *CellGroup) StepAll() []SlotResult {
 func (cg *CellGroup) stepCell(i int, results []SlotResult) {
 	start := time.Now()
 	results[i] = cg.cells[i].Step()
-	overrun := cg.watch[i].Observe(time.Since(start))
+	dur := time.Since(start)
+	overrun := cg.watch[i].Observe(dur)
+	if overrun {
+		// Journal the miss on the rare edge only; the common in-budget slot
+		// never touches the recorder (nil recorder adds 0 allocs, pinned by
+		// TestDisabledFlightRecorderAddsZeroAllocs).
+		cg.flight.Record(flight.Event{
+			Class: flight.EvSlotDeadlineMiss, Plane: flight.PlaneGNB,
+			Cell: uint32(i), Slot: cg.slot,
+			Value: float64(dur.Nanoseconds()),
+		})
+	}
 
 	if !cg.cfg.FallbackOnOverrun {
 		return
@@ -210,6 +227,11 @@ func (cg *CellGroup) stepCell(i int, results []SlotResult) {
 		if !cg.pinned[i] && cg.consecOver[i] >= cg.cfg.OverrunThreshold {
 			cg.pinned[i] = true
 			cg.cells[i].Slices.SetForceFallback(true)
+			cg.flight.Record(flight.Event{
+				Class: flight.EvFallbackPin, Plane: flight.PlaneGNB,
+				Cell: uint32(i), Slot: cg.slot,
+				Value: float64(cg.consecOver[i]),
+			})
 		}
 	} else {
 		cg.consecOver[i] = 0
@@ -276,7 +298,26 @@ func (cg *CellGroup) ReleaseCell(i int) {
 	cg.pinned[i] = false
 	cg.consecOver[i] = 0
 	cg.cells[i].Slices.SetForceFallback(false)
+	cg.flight.Record(flight.Event{
+		Class: flight.EvFallbackRelease, Plane: flight.PlaneGNB,
+		Cell: uint32(i), Slot: cg.slot,
+	})
 }
+
+// SetFlightRecorder attaches the incident journal to the group: slot
+// deadline misses, fallback pins/releases and every installed supervisor's
+// lifecycle transitions are journaled into rec. Call before the slot loop
+// starts (the same contract as PluginEnv); nil detaches. Supervisors
+// installed later inherit the recorder.
+func (cg *CellGroup) SetFlightRecorder(rec *flight.Recorder) {
+	cg.flight = rec
+	for _, sup := range cg.sups {
+		sup.SetFlightRecorder(rec)
+	}
+}
+
+// FlightRecorder returns the attached incident journal (nil = off).
+func (cg *CellGroup) FlightRecorder() *flight.Recorder { return cg.flight }
 
 // InstallPooledScheduler compiles the named built-in scheduler ("rr", "pf",
 // "mt") once and installs one shared pool-backed IntraSlice across every

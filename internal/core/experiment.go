@@ -67,6 +67,15 @@ type ExpConfig struct {
 	// Overload, when nonzero, enables the RIC overload guard in experiments
 	// that support it as an optional arm (citysim).
 	Overload int
+	// Flight, when nonzero, arms the flight recorder in experiments that
+	// support it (overload, pluginfaults; flightrec is always armed): state
+	// transitions are journaled and anomaly triggers capture diagnostic
+	// bundles, and the run fails if the storm's expected trigger classes
+	// produced no bundle.
+	Flight int
+	// FlightDir is where flight-armed experiments write diagnostic bundles
+	// (empty = a fresh temporary directory).
+	FlightDir string
 	// Obs, when non-nil, is the metric registry the experiment should wire
 	// its subsystems into; experiments that support it embed
 	// Obs.Snapshot() in their result. Nil disables instrumentation.

@@ -31,6 +31,13 @@ func init() {
 			StringExpFlag("tier", "auto", "wasm execution tier (auto, interp, fused, closure)", func(c *ExpConfig, v string) { c.Tier = v }),
 		},
 		func(cfg ExpConfig) (any, error) { return RunMulticell(cfg) })
-	RegisterExperimentFunc("pluginfaults", "plugin fault storm: breaker quarantine, shadow-validated recovery, sleeper rollback (JSON)",
+	RegisterExperimentWithFlags("pluginfaults", "plugin fault storm: breaker quarantine, shadow-validated recovery, sleeper rollback (JSON)",
+		[]ExpFlag{
+			IntExpFlag("cells", 4, "number of cells in the group", func(c *ExpConfig, v int) { c.Cells = v }),
+			IntExpFlag("par", 0, "worker parallelism (0 = cells)", func(c *ExpConfig, v int) { c.Parallelism = v }),
+			Int64ExpFlag("seed", 7, "chaos schedule seed", func(c *ExpConfig, v int64) { c.Seed = v }),
+			IntExpFlag("flight", 0, "arm the flight recorder; fail unless the breaker trip and rollback reach a diagnostic bundle", func(c *ExpConfig, v int) { c.Flight = v }),
+			StringExpFlag("flightdir", "", "diagnostic bundle directory (empty = temp dir)", func(c *ExpConfig, v string) { c.FlightDir = v }),
+		},
 		func(cfg ExpConfig) (any, error) { return RunPluginFaults(cfg) })
 }

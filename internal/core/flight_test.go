@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"waran/internal/obs/flight"
+	"waran/internal/ran"
+	"waran/internal/sched"
+)
+
+// flightTestGroup builds a minimal group: one cell, one native-scheduled
+// slice, no UEs — the slot path with nothing anomalous to journal.
+func flightTestGroup(t testing.TB, cfg CellGroupConfig) *CellGroup {
+	t.Helper()
+	if cfg.Cells == 0 {
+		cfg.Cells = 1
+	}
+	cg, err := NewCellGroup(ran.CellConfig{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cg.Cell(0).Slices.AddSlice(1, "tenant", 10e6, sched.RoundRobin{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	return cg
+}
+
+// TestDisabledFlightRecorderAddsZeroAllocs pins the nil-is-off contract on
+// the hot slot path: a group with a nil recorder attached allocates exactly
+// as much per slot as one the recorder wiring never touched. The journal
+// sites are a pointer compare when disabled — cellgroup.go relies on this
+// test by name.
+func TestDisabledFlightRecorderAddsZeroAllocs(t *testing.T) {
+	base := flightTestGroup(t, CellGroupConfig{})
+	wired := flightTestGroup(t, CellGroupConfig{})
+	wired.SetFlightRecorder(nil)
+	for i := 0; i < 50; i++ { // warm both groups past first-slot setup
+		base.StepAll()
+		wired.StepAll()
+	}
+	baseAllocs := testing.AllocsPerRun(200, func() { base.StepAll() })
+	wiredAllocs := testing.AllocsPerRun(200, func() { wired.StepAll() })
+	if wiredAllocs > baseAllocs {
+		t.Fatalf("nil flight recorder adds allocs to the slot path: %.1f/slot wired vs %.1f/slot bare",
+			wiredAllocs, baseAllocs)
+	}
+}
+
+// TestCellGroupJournalsMissAndPin drives every slot past an impossible
+// deadline and checks the gNB plane journals both edges: the per-slot
+// deadline miss and the fallback pin once the overrun streak crosses the
+// threshold.
+func TestCellGroupJournalsMissAndPin(t *testing.T) {
+	cg := flightTestGroup(t, CellGroupConfig{
+		SlotDeadline:      time.Nanosecond, // everything overruns
+		FallbackOnOverrun: true,
+		OverrunThreshold:  2,
+	})
+	rec := flight.NewRecorder(64)
+	cg.SetFlightRecorder(rec)
+	cg.RunSlots(5, nil)
+
+	if n := rec.Count(flight.EvSlotDeadlineMiss); n != 5 {
+		t.Fatalf("slot deadline misses journaled = %d, want 5", n)
+	}
+	if n := rec.Count(flight.EvFallbackPin); n != 1 {
+		t.Fatalf("fallback pins journaled = %d, want 1", n)
+	}
+	for _, ev := range rec.Tail(16) {
+		if ev.Plane != flight.PlaneGNB {
+			t.Fatalf("event %v journaled on plane %v, want gnb", ev.Class, ev.Plane)
+		}
+	}
+	// Releasing journals the release; re-pinning journals a fresh pin.
+	cg.ReleaseCell(0)
+	if n := rec.Count(flight.EvFallbackRelease); n != 1 {
+		t.Fatalf("fallback releases journaled = %d, want 1", n)
+	}
+	cg.RunSlots(2, nil)
+	if n := rec.Count(flight.EvFallbackPin); n != 2 {
+		t.Fatalf("fallback pins after release+re-pin = %d, want 2", n)
+	}
+}

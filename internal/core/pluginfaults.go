@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"sync/atomic"
 	"time"
 
 	"waran/internal/guard"
+	"waran/internal/obs/flight"
 	"waran/internal/plugins"
 	"waran/internal/ran"
 	"waran/internal/sched"
@@ -61,7 +63,20 @@ type PluginFaultsResult struct {
 	FaultClassesMatch bool   `json:"fault_classes_match"`
 	ActiveScheduler   string `json:"active_scheduler"`
 
+	// Flight is the incident-journal digest when the experiment ran with
+	// the flight recorder armed (ExpConfig.Flight).
+	Flight *flight.Summary `json:"flight,omitempty"`
+
 	Obs map[string]any `json:"obs,omitempty"`
+}
+
+// flightBundleDir resolves an experiment's bundle directory, creating a
+// temporary one when the caller did not pick a location.
+func flightBundleDir(dir string) (string, error) {
+	if dir != "" {
+		return dir, nil
+	}
+	return os.MkdirTemp("", "waran-flight-")
 }
 
 // BuildSupervisedGroup assembles the Fig. 5a multi-cell deployment with a
@@ -158,6 +173,31 @@ func RunPluginFaults(cfg ExpConfig) (*PluginFaultsResult, error) {
 	sup := cg.Supervisor(hostileSlice)
 	rep := &PluginFaultsResult{Cells: cells, Parallelism: par, Seed: seed}
 
+	// With the flight knob armed the whole storm is journaled, and the
+	// breaker trip and sleeper rollback must each trigger (or be swept into)
+	// a diagnostic bundle — the run fails otherwise.
+	var frec *flight.Recorder
+	var fcap *flight.Capturer
+	if cfg.Flight != 0 {
+		frec = flight.NewRecorder(4096)
+		cg.SetFlightRecorder(frec)
+		frec.SetTriggers(flight.EvBreakerOpen, flight.EvRollback)
+		dir, err := flightBundleDir(cfg.FlightDir)
+		if err != nil {
+			return nil, err
+		}
+		fcap, err = flight.NewCapturer(frec, flight.CapturerConfig{
+			Dir: dir, Debounce: 50 * time.Millisecond, GoroutineDump: -1,
+			Registry: cfg.Obs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fstop := make(chan struct{})
+		defer close(fstop)
+		go fcap.Run(fstop)
+	}
+
 	runSlots := func(n int) {
 		for i := 0; i < n; i++ {
 			cg.StepAll()
@@ -248,6 +288,23 @@ func RunPluginFaults(cfg ExpConfig) (*PluginFaultsResult, error) {
 		br.FailureCount(wabi.FailFuel) == rep.HostileChaos.FuelThefts+rep.LiarChaos.FuelThefts &&
 		br.FailureCount(wabi.FailBadOutput) == rep.HostileChaos.Corruptions+rep.LiarChaos.Corruptions &&
 		br.FailureCount(wabi.FailDeadline) == rep.HostileChaos.Stalls+rep.LiarChaos.Stalls
+
+	if fcap != nil {
+		// Sweep the journal tail (rollback events may have landed inside the
+		// debounce window) and verify the storm's evidence reached disk.
+		if _, err := fcap.CaptureNow("pluginfaults-final"); err != nil {
+			return nil, err
+		}
+		sum, ok, err := flight.Summarize(frec, fcap, flight.EvBreakerOpen, flight.EvRollback)
+		if err != nil {
+			return nil, err
+		}
+		rep.Flight = sum
+		if !ok {
+			return rep, fmt.Errorf("core: pluginfaults: flight recorder produced no bundle covering %s and %s",
+				flight.EvBreakerOpen, flight.EvRollback)
+		}
+	}
 
 	if cfg.Obs != nil {
 		rep.Obs = cfg.Obs.Snapshot()

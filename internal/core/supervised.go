@@ -33,6 +33,9 @@ func (cg *CellGroup) InstallSupervisedScheduler(sliceID uint32, name string, pol
 		return nil, err
 	}
 	sup := guard.New(name, ps, sched.RoundRobin{}, gcfg)
+	if cg.flight != nil {
+		sup.SetFlightRecorder(cg.flight)
+	}
 	if err := cg.hotSwapAll(sliceID, sup); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,73 @@
+package e2
+
+import (
+	"sync"
+	"testing"
+
+	"waran/internal/obs/flight"
+)
+
+// TestListenerJournalsAssociationLifecycle checks the transport is the single
+// source of association events: accepting a connection journals e2.assoc_up,
+// closing it journals e2.assoc_down exactly once (idempotent Close included),
+// both on the E2 plane with the peer address in the detail.
+func TestListenerJournalsAssociationLifecycle(t *testing.T) {
+	rec := flight.NewRecorder(16)
+	lis, err := Listen("127.0.0.1:0", BinaryCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	lis.SetFlightRecorder(rec)
+
+	var wg sync.WaitGroup
+	var server *Conn
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := lis.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		server = c
+	}()
+	client, err := Dial(lis.Addr().String(), BinaryCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	wg.Wait()
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+
+	if n := rec.Count(flight.EvAssocUp); n != 1 {
+		t.Fatalf("assoc_up events = %d, want 1", n)
+	}
+	if n := rec.Count(flight.EvAssocDown); n != 0 {
+		t.Fatalf("assoc_down before close = %d, want 0", n)
+	}
+
+	server.Close()
+	server.Close() // idempotent: the down event must not double-count
+	if n := rec.Count(flight.EvAssocDown); n != 1 {
+		t.Fatalf("assoc_down events = %d, want 1", n)
+	}
+
+	for _, ev := range rec.Tail(4) {
+		if ev.Plane != flight.PlaneE2 {
+			t.Fatalf("%v journaled on plane %v, want e2", ev.Class, ev.Plane)
+		}
+		if ev.Detail == "" {
+			t.Fatalf("%v missing peer address detail", ev.Class)
+		}
+	}
+
+	// A dialed (client-side) conn has no recorder: closing it journals
+	// nothing, and the nil path must not panic.
+	client.Close()
+	if n := rec.Count(flight.EvAssocDown); n != 1 {
+		t.Fatalf("client close journaled on the server recorder: %d down events", n)
+	}
+}

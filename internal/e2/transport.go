@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"waran/internal/obs"
+	"waran/internal/obs/flight"
 )
 
 // MaxFrameBytes bounds a single E2-lite frame on the wire; oversized frames
@@ -58,6 +59,13 @@ type Conn struct {
 	// wire time from codec time.
 	lastEncNs atomic.Int64
 	lastDecNs atomic.Int64
+
+	// flight, when set, journals the association's teardown. Written once
+	// before the Conn is shared (Accept, or SetFlightRecorder right after
+	// Dial) and read on Close; closeOnce keeps a double Close from
+	// journaling two EvAssocDown events for one association.
+	flight    *flight.Recorder
+	closeOnce sync.Once
 }
 
 // NewConn wraps an established net.Conn.
@@ -200,8 +208,35 @@ func (c *Conn) SetReadDeadline(t time.Time) error { return c.c.SetReadDeadline(t
 // SetWriteDeadline bounds blocking Send calls.
 func (c *Conn) SetWriteDeadline(t time.Time) error { return c.c.SetWriteDeadline(t) }
 
+// SetFlightRecorder journals this association's teardown into rec as an
+// EvAssocDown event (nil leaves the journal off). Call before sharing the
+// Conn across goroutines; Accept does this automatically when the Listener
+// carries a recorder.
+func (c *Conn) SetFlightRecorder(rec *flight.Recorder) { c.flight = rec }
+
 // Close terminates the association.
-func (c *Conn) Close() error { return c.c.Close() }
+func (c *Conn) Close() error {
+	err := c.c.Close()
+	c.closeOnce.Do(func() {
+		if rec := c.flight; rec.Enabled() {
+			rec.Record(flight.Event{
+				Class: flight.EvAssocDown, Plane: flight.PlaneE2,
+				Detail: addrString(c.RemoteAddr()),
+				Value:  float64(c.received.Value()),
+			})
+		}
+	})
+	return err
+}
+
+// addrString formats a peer address for journal details, tolerating the
+// nil addresses synthetic transports report.
+func addrString(a net.Addr) string {
+	if a == nil {
+		return ""
+	}
+	return a.String()
+}
 
 // RemoteAddr returns the peer's address (nil when the underlying transport
 // has none). The RIC hashes it to pick an association shard.
@@ -247,6 +282,11 @@ func (c *Conn) Register(reg *obs.Registry, labels ...obs.Label) {
 type Listener struct {
 	l     net.Listener
 	codec Codec
+
+	// flight, when set, journals association establishment (EvAssocUp on
+	// Accept) and is inherited by each accepted Conn for teardown events.
+	// Set it before the accept loop starts.
+	flight *flight.Recorder
 }
 
 // Listen starts accepting on addr ("host:port", empty host for all).
@@ -258,13 +298,26 @@ func Listen(addr string, codec Codec) (*Listener, error) {
 	return &Listener{l: l, codec: codec}, nil
 }
 
+// SetFlightRecorder journals association lifecycle (EvAssocUp on Accept,
+// EvAssocDown on each accepted Conn's Close) into rec. Call before the
+// accept loop starts; nil leaves the journal off.
+func (l *Listener) SetFlightRecorder(rec *flight.Recorder) { l.flight = rec }
+
 // Accept waits for the next association.
 func (l *Listener) Accept() (*Conn, error) {
 	c, err := l.l.Accept()
 	if err != nil {
 		return nil, err
 	}
-	return NewConn(c, l.codec), nil
+	conn := NewConn(c, l.codec)
+	if rec := l.flight; rec.Enabled() {
+		conn.SetFlightRecorder(rec)
+		rec.Record(flight.Event{
+			Class: flight.EvAssocUp, Plane: flight.PlaneE2,
+			Detail: addrString(conn.RemoteAddr()),
+		})
+	}
+	return conn, nil
 }
 
 // Addr returns the bound address (useful with port 0).

@@ -118,6 +118,12 @@ type Breaker struct {
 	probeFails uint64
 	rejects    uint64
 	byClass    map[wabi.FailureClass]uint64
+
+	// onTransition, when set, observes every state change. It is invoked
+	// with the breaker lock held: implementations must be non-blocking and
+	// must not call back into the breaker (the flight recorder's lock-free
+	// Record satisfies both).
+	onTransition func(from, to State)
 }
 
 // NewBreaker creates a closed breaker.
@@ -128,6 +134,24 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 		window:  make([]wabi.FailureClass, cfg.Window),
 		backoff: cfg.Backoff,
 		byClass: make(map[wabi.FailureClass]uint64),
+	}
+}
+
+// SetTransitionHook installs fn to observe every state change (nil removes
+// it). fn runs with the breaker lock held: it must be non-blocking and must
+// not call back into the breaker.
+func (b *Breaker) SetTransitionHook(fn func(from, to State)) {
+	b.mu.Lock()
+	b.onTransition = fn
+	b.mu.Unlock()
+}
+
+// shift moves the breaker to state to, notifying the hook; callers hold mu.
+func (b *Breaker) shift(to State) {
+	from := b.state
+	b.state = to
+	if b.onTransition != nil && from != to {
+		b.onTransition(from, to)
 	}
 }
 
@@ -153,7 +177,7 @@ func (b *Breaker) Allow() bool {
 			b.rejects++
 			return false
 		}
-		b.state = HalfOpen
+		b.shift(HalfOpen)
 		b.probing = true
 		b.probeOK = 0
 		b.probes++
@@ -195,12 +219,12 @@ func (b *Breaker) Record(class wabi.FailureClass) {
 		if b.backoff > b.cfg.MaxBackoff {
 			b.backoff = b.cfg.MaxBackoff
 		}
-		b.state = Open
+		b.shift(Open)
 		b.openedAt = b.cfg.Now()
 	case Closed:
 		b.push(class)
 		if b.count >= b.cfg.MinSamples && b.failureRate() >= b.cfg.FailureRate {
-			b.state = Open
+			b.shift(Open)
 			b.opens++
 			b.openedAt = b.cfg.Now()
 		}
@@ -234,7 +258,7 @@ func (b *Breaker) failureRate() float64 {
 
 // close resets to a healthy closed state; callers hold mu.
 func (b *Breaker) close() {
-	b.state = Closed
+	b.shift(Closed)
 	b.probing = false
 	b.probeOK = 0
 	b.backoff = b.cfg.Backoff

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"waran/internal/obs"
+	"waran/internal/obs/flight"
 	"waran/internal/obs/trace"
 	"waran/internal/sched"
 	"waran/internal/wabi"
@@ -66,7 +67,8 @@ type Supervisor struct {
 	fallback sched.IntraSlice
 	cfg      Config
 	br       *Breaker
-	tracer   *trace.Tracer // nil = canary swaps are untraced
+	tracer   *trace.Tracer    // nil = canary swaps are untraced
+	flight   *flight.Recorder // nil = lifecycle transitions are unjournaled
 
 	mu        sync.Mutex
 	active    sched.IntraSlice
@@ -115,6 +117,40 @@ func (s *Supervisor) SetTracer(t *trace.Tracer) {
 	s.mu.Unlock()
 }
 
+// SetFlightRecorder journals the supervisor's lifecycle into rec: breaker
+// state transitions (EvBreakerOpen/HalfOpen/Close), sandbox failures by
+// class, promoted canary swaps and probation rollbacks. A nil rec detaches.
+func (s *Supervisor) SetFlightRecorder(rec *flight.Recorder) {
+	s.mu.Lock()
+	s.flight = rec
+	s.mu.Unlock()
+	if rec == nil {
+		s.br.SetTransitionHook(nil)
+		return
+	}
+	s.br.SetTransitionHook(func(from, to State) {
+		class := flight.EvBreakerClose
+		switch to {
+		case Open:
+			class = flight.EvBreakerOpen
+		case HalfOpen:
+			class = flight.EvBreakerHalfOpen
+		}
+		rec.Record(flight.Event{
+			Class: class, Plane: flight.PlaneGNB,
+			Detail: s.name + ": " + from.String() + "->" + to.String(),
+		})
+	})
+}
+
+// flightRec returns the attached recorder (possibly nil) without holding mu
+// across the caller's work.
+func (s *Supervisor) flightRec() *flight.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flight
+}
+
 // Active returns the currently promoted scheduler.
 func (s *Supervisor) Active() sched.IntraSlice {
 	s.mu.Lock()
@@ -137,6 +173,14 @@ func (s *Supervisor) Schedule(req *sched.Request) (*sched.Response, error) {
 		start := time.Now()
 		resp, err := active.Schedule(req)
 		s.br.Record(wabi.ClassOf(err))
+		if err != nil {
+			if rec := s.flightRec(); rec.Enabled() {
+				rec.Record(flight.Event{
+					Class: flight.EvSandboxFault, Plane: flight.PlaneWasm, Slot: req.Slot,
+					Detail: s.name + ": " + wabi.ClassOf(err).String(),
+				})
+			}
+		}
 		if err == nil {
 			s.mu.Lock()
 			s.successes++
@@ -188,6 +232,10 @@ func (s *Supervisor) maybeRollback() {
 	s.lastGood = nil
 	s.probation = 0
 	s.rollbacks++
+	s.flight.Record(flight.Event{
+		Class: flight.EvRollback, Plane: flight.PlaneGNB,
+		Detail: s.name + ": probation breaker trip, reverted to last-good",
+	})
 	s.br.Reset()
 }
 
@@ -297,7 +345,15 @@ func (s *Supervisor) swap(candidate sched.IntraSlice) (*ShadowReport, error) {
 	s.latEWMA = rep.CandidateAvgUs
 	s.promotions++
 	s.shadowPass++
+	rec := s.flight
 	s.mu.Unlock()
+	if rec.Enabled() {
+		rec.Record(flight.Event{
+			Class: flight.EvCanarySwap, Plane: flight.PlaneGNB,
+			Detail: fmt.Sprintf("%s: promoted after %d shadow replays", s.name, rep.Runs),
+			Value:  rep.CandidateAvgUs,
+		})
+	}
 	s.br.Reset()
 	rep.Promoted = true
 	return rep, nil

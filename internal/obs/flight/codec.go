@@ -1,0 +1,159 @@
+package flight
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"unicode/utf8"
+)
+
+// The journal wire codec: a compact, length-delimited binary form of Event
+// used by /debug/flight/journal?format=binary so operators can stream large
+// journal windows without JSON overhead. The format is append-only versioned
+// by the class numbering (see Class): every field is a uvarint except the
+// class byte and the two strings, which are uvarint-length-prefixed bytes.
+//
+// Per event:
+//
+//	uvarint seq
+//	uvarint time_ns   (unix nanos, always positive in practice)
+//	byte    class
+//	uvarint len(plane)  || plane bytes
+//	uint32  cell (uvarint)
+//	uvarint slot
+//	uvarint len(detail) || detail bytes
+//	uint64  value (IEEE-754 bits, uvarint)
+//
+// Decoding is hardened against malformed input (fuzzed by FuzzEventCodec):
+// string lengths are bounded, the class range is validated, and every read
+// checks the remaining buffer.
+
+// maxCodecString bounds decoded string lengths so a corrupt length prefix
+// cannot become a giant allocation.
+const maxCodecString = 1 << 12
+
+// ErrCodecTruncated reports a buffer that ended mid-event.
+var ErrCodecTruncated = errors.New("flight: truncated event")
+
+// AppendEvent appends the binary form of ev to dst and returns the extended
+// slice.
+func AppendEvent(dst []byte, ev *Event) []byte {
+	dst = binary.AppendUvarint(dst, ev.Seq)
+	dst = binary.AppendUvarint(dst, uint64(ev.TimeNs))
+	dst = append(dst, byte(ev.Class))
+	dst = binary.AppendUvarint(dst, uint64(len(ev.Plane)))
+	dst = append(dst, ev.Plane...)
+	dst = binary.AppendUvarint(dst, uint64(ev.Cell))
+	dst = binary.AppendUvarint(dst, ev.Slot)
+	dst = binary.AppendUvarint(dst, uint64(len(ev.Detail)))
+	dst = append(dst, ev.Detail...)
+	dst = binary.AppendUvarint(dst, math.Float64bits(ev.Value))
+	return dst
+}
+
+// DecodeEvent decodes one event from the front of b, returning the event
+// and the number of bytes consumed.
+func DecodeEvent(b []byte) (Event, int, error) {
+	var ev Event
+	off := 0
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return 0, ErrCodecTruncated
+		}
+		off += n
+		return v, nil
+	}
+	str := func() (string, error) {
+		ln, err := next()
+		if err != nil {
+			return "", err
+		}
+		if ln > maxCodecString {
+			return "", fmt.Errorf("flight: string length %d exceeds codec bound", ln)
+		}
+		if uint64(len(b)-off) < ln {
+			return "", ErrCodecTruncated
+		}
+		s := string(b[off : off+int(ln)])
+		off += int(ln)
+		if !utf8.ValidString(s) {
+			return "", fmt.Errorf("flight: string is not valid UTF-8")
+		}
+		return s, nil
+	}
+
+	seq, err := next()
+	if err != nil {
+		return ev, 0, err
+	}
+	tns, err := next()
+	if err != nil {
+		return ev, 0, err
+	}
+	if tns > math.MaxInt64 {
+		return ev, 0, fmt.Errorf("flight: timestamp overflows int64")
+	}
+	if off >= len(b) {
+		return ev, 0, ErrCodecTruncated
+	}
+	class := Class(b[off])
+	off++
+	if class >= numClasses {
+		return ev, 0, fmt.Errorf("flight: event class %d out of range", class)
+	}
+	plane, err := str()
+	if err != nil {
+		return ev, 0, err
+	}
+	cell, err := next()
+	if err != nil {
+		return ev, 0, err
+	}
+	if cell > math.MaxUint32 {
+		return ev, 0, fmt.Errorf("flight: cell %d overflows uint32", cell)
+	}
+	slot, err := next()
+	if err != nil {
+		return ev, 0, err
+	}
+	detail, err := str()
+	if err != nil {
+		return ev, 0, err
+	}
+	bits, err := next()
+	if err != nil {
+		return ev, 0, err
+	}
+	ev = Event{
+		Seq: seq, TimeNs: int64(tns), Class: class, Plane: plane,
+		Cell: uint32(cell), Slot: slot, Detail: detail,
+		Value: math.Float64frombits(bits),
+	}
+	return ev, off, nil
+}
+
+// EncodeJournal serializes events back-to-back in the binary codec.
+func EncodeJournal(events []Event) []byte {
+	var dst []byte
+	for i := range events {
+		dst = AppendEvent(dst, &events[i])
+	}
+	return dst
+}
+
+// DecodeJournal decodes a back-to-back event stream produced by
+// EncodeJournal, stopping at the first malformed event.
+func DecodeJournal(b []byte) ([]Event, error) {
+	var out []Event
+	for len(b) > 0 {
+		ev, n, err := DecodeEvent(b)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+		b = b[n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package flight
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	events := []Event{
+		{Seq: 1, TimeNs: 1234, Class: EvShed, Plane: PlaneRIC, Detail: "overflow", Value: 3.5},
+		{Seq: 2, TimeNs: 5678, Class: EvBreakerOpen, Plane: PlaneGNB, Cell: 7, Slot: 99, Detail: "xapp=slow"},
+		{Seq: 3, TimeNs: 1, Class: EvBrownoutShift, Plane: PlaneRIC, Detail: "normal->degraded"},
+		{Seq: 1 << 60, TimeNs: 1 << 62, Class: EvBundleCaptured, Value: -1.25},
+	}
+	buf := EncodeJournal(events)
+	got, err := DecodeJournal(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestDecodeEventRejectsMalformed(t *testing.T) {
+	ev := Event{Seq: 1, TimeNs: 2, Class: EvShed, Plane: PlaneRIC, Detail: "x"}
+	full := AppendEvent(nil, &ev)
+	// Every truncation must fail cleanly, never panic.
+	for i := 0; i < len(full); i++ {
+		if _, _, err := DecodeEvent(full[:i]); err == nil {
+			t.Fatalf("truncated at %d decoded without error", i)
+		}
+	}
+	// Out-of-range class byte.
+	bad := AppendEvent(nil, &Event{Seq: 1, TimeNs: 2, Class: EvShed})
+	// seq=1 (1 byte), time=2 (1 byte), class at offset 2
+	bad[2] = 0xff
+	if _, _, err := DecodeEvent(bad); err == nil {
+		t.Fatal("out-of-range class decoded without error")
+	}
+	// Oversized string length prefix.
+	huge := []byte{1, 1, byte(EvShed), 0xff, 0xff, 0xff, 0x7f}
+	if _, _, err := DecodeEvent(huge); err == nil {
+		t.Fatal("oversized string length decoded without error")
+	}
+}
+
+// FuzzEventCodec fuzzes both directions: arbitrary bytes must decode
+// without panicking, and every event the encoder can produce must round
+// trip exactly.
+func FuzzEventCodec(f *testing.F) {
+	f.Add([]byte{}, uint64(1), int64(5), uint8(EvShed), "ric", uint32(1), uint64(2), "overflow", 1.5)
+	f.Add([]byte{0xff, 0x00, 0x01}, uint64(0), int64(0), uint8(0), "", uint32(0), uint64(0), "", 0.0)
+	f.Fuzz(func(t *testing.T, raw []byte, seq uint64, tns int64, class uint8, plane string, cell uint32, slot uint64, detail string, value float64) {
+		// Direction 1: hostile bytes never panic the decoder.
+		if evs, err := DecodeJournal(raw); err == nil {
+			// Whatever decoded must re-encode and decode to the same thing.
+			again, err := DecodeJournal(EncodeJournal(evs))
+			if err != nil {
+				t.Fatalf("re-decode of valid journal failed: %v", err)
+			}
+			if len(again) != len(evs) {
+				t.Fatalf("re-decode length %d != %d", len(again), len(evs))
+			}
+			for i := range evs {
+				if again[i] != evs[i] {
+					t.Fatalf("re-decode event %d mismatch", i)
+				}
+			}
+		}
+
+		// Direction 2: structured round trip for encodable events.
+		if Class(class) >= numClasses || tns < 0 {
+			return
+		}
+		if !utf8.ValidString(plane) || !utf8.ValidString(detail) {
+			return
+		}
+		if len(plane) > maxCodecString || len(detail) > maxCodecString {
+			return
+		}
+		if value != value { // NaN payload bits may not round trip ==
+			return
+		}
+		ev := Event{Seq: seq, TimeNs: tns, Class: Class(class), Plane: plane, Cell: cell, Slot: slot, Detail: detail, Value: value}
+		got, n, err := DecodeEvent(AppendEvent(nil, &ev))
+		if err != nil {
+			t.Fatalf("round trip decode: %v (%+v)", err, ev)
+		}
+		if n != len(AppendEvent(nil, &ev)) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(AppendEvent(nil, &ev)))
+		}
+		if got != ev {
+			t.Fatalf("round trip: got %+v, want %+v", got, ev)
+		}
+	})
+}

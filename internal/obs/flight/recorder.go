@@ -1,0 +1,224 @@
+package flight
+
+import (
+	"sync/atomic"
+	"time"
+
+	"waran/internal/obs"
+)
+
+// Recorder is the fixed-memory journal: a lock-free ring of the most recent
+// events, written from any goroutine with one atomic add and one atomic
+// pointer store — the same discipline as trace.SpanRing, because events are
+// recorded from latency-sensitive paths (slot loop, dispatch loops).
+// Overwrite-on-wrap loses the oldest events and never blocks a writer.
+//
+// A nil *Recorder is fully disabled: Record is a pointer comparison, zero
+// allocations (pinned by test). Instrumentation sites that must build an
+// allocating Detail string guard with Enabled() first.
+type Recorder struct {
+	slots []atomic.Pointer[Event]
+	mask  uint64
+	next  atomic.Uint64 // metric-exempt: ring cursor doubles as the event seq, not telemetry
+
+	// triggers is a bitmask over Class: recording an event of a set class
+	// pokes the trigger channel. Classes are < 64 by construction
+	// (numClasses is checked at init).
+	triggers atomic.Uint64 // metric-exempt: trigger class bitmask, not telemetry
+	notify   chan Class
+
+	// classCounts feeds the waran_flight_* exposition; counts survive ring
+	// overwrites so rates stay computable from bundle-to-bundle diffs.
+	classCounts [numClasses]atomic.Uint64 // metric-exempt: exposed via Register as waran_flight_events_total
+}
+
+func init() {
+	if numClasses > 64 {
+		panic("flight: event classes exceed trigger bitmask width")
+	}
+}
+
+// NewRecorder returns a recorder journaling the most recent n events; n is
+// rounded up to a power of two (minimum 2).
+func NewRecorder(n int) *Recorder {
+	capPow := 2
+	for capPow < n {
+		capPow <<= 1
+	}
+	return &Recorder{
+		slots:  make([]atomic.Pointer[Event], capPow),
+		mask:   uint64(capPow - 1),
+		notify: make(chan Class, 16),
+	}
+}
+
+// Enabled reports whether recording is on. Sites that must allocate to
+// build an event (fmt.Sprintf details) guard with this; sites recording
+// constant-shaped events call Record unconditionally.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Cap reports the ring capacity.
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Record journals one event. Seq is assigned by the recorder; a zero TimeNs
+// is stamped with the current wall clock. Safe from any goroutine; a nil
+// recorder is a no-op.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	if ev.TimeNs == 0 {
+		ev.TimeNs = time.Now().UnixNano()
+	}
+	p := new(Event)
+	*p = ev
+	seq := r.next.Add(1)
+	p.Seq = seq
+	r.slots[(seq-1)&r.mask].Store(p)
+	if ev.Class < numClasses {
+		r.classCounts[ev.Class].Add(1)
+	}
+	if r.triggers.Load()&(1<<ev.Class) != 0 {
+		select {
+		case r.notify <- ev.Class:
+		default: // capturer is behind; it will fold this into the next bundle
+		}
+	}
+}
+
+// Seq reports the sequence number of the most recent event (0 when empty).
+func (r *Recorder) Seq() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// Count reports the cumulative number of events journaled for class —
+// overwrite-proof, unlike the ring contents.
+func (r *Recorder) Count(c Class) uint64 {
+	if r == nil || c >= numClasses {
+		return 0
+	}
+	return r.classCounts[c].Load()
+}
+
+// SetTriggers installs the set of classes whose events poke the capture
+// pipeline, replacing any previous set.
+func (r *Recorder) SetTriggers(classes ...Class) {
+	if r == nil {
+		return
+	}
+	var mask uint64
+	for _, c := range classes {
+		if c < numClasses {
+			mask |= 1 << c
+		}
+	}
+	r.triggers.Store(mask)
+}
+
+// TriggerC is the channel poked when a trigger-class event is recorded.
+// Sends are non-blocking: a slow consumer coalesces pokes.
+func (r *Recorder) TriggerC() <-chan Class {
+	if r == nil {
+		return nil
+	}
+	return r.notify
+}
+
+// emptyEvents is the shared result for empty snapshots, mirroring the
+// trace.SpanRing discipline: scrape loops polling an idle recorder must not
+// allocate per poll.
+var emptyEvents = []Event{}
+
+// Tail returns the newest n events, oldest first (all published events when
+// n <= 0 or n exceeds the readable count). Events are copied out by value.
+func (r *Recorder) Tail(n int) []Event {
+	if r == nil {
+		return emptyEvents
+	}
+	seq := r.next.Load()
+	start := uint64(0)
+	if seq > uint64(len(r.slots)) {
+		start = seq - uint64(len(r.slots))
+	}
+	if n > 0 && seq-start > uint64(n) {
+		start = seq - uint64(n)
+	}
+	return r.copyRange(start, seq)
+}
+
+// SnapshotSince returns every event with Seq > since, oldest first — the
+// incremental read the bundle writer uses so consecutive bundles do not
+// re-serialize the same journal window. Events older than the ring capacity
+// are gone; the caller detects the gap when the first returned Seq is not
+// since+1.
+func (r *Recorder) SnapshotSince(since uint64) []Event {
+	if r == nil {
+		return emptyEvents
+	}
+	seq := r.next.Load()
+	start := uint64(0)
+	if seq > uint64(len(r.slots)) {
+		start = seq - uint64(len(r.slots))
+	}
+	if since > start {
+		start = since
+	}
+	return r.copyRange(start, seq)
+}
+
+// copyRange copies published events with start < Seq <= end, oldest first.
+// Under concurrent writes each slot is read with one atomic load; a slot
+// overwritten mid-copy yields the newer event, filtered by the Seq bounds.
+func (r *Recorder) copyRange(start, end uint64) []Event {
+	if end <= start {
+		return emptyEvents
+	}
+	out := make([]Event, 0, end-start)
+	for i := start; i < end; i++ {
+		if p := r.slots[i&r.mask].Load(); p != nil && p.Seq > start && p.Seq <= end {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// Register exposes the recorder on reg: waran_flight_events_total (overall
+// and per class) plus the ring capacity. The flight package is the only
+// place waran_flight_* series may originate (enforced by lint-metrics).
+func (r *Recorder) Register(reg *obs.Registry, labels ...obs.Label) {
+	reg.MustRegister("waran_flight_events", "flight recorder journal events by class (cumulative, overwrite-proof)", obs.Func{
+		Kind: obs.KindUntyped,
+		Collect: func() []obs.Sample {
+			samples := make([]obs.Sample, 0, int(numClasses)+1)
+			for _, c := range Classes() {
+				samples = append(samples, obs.Sample{
+					Suffix: "_total",
+					Labels: []obs.Label{obs.L("class", c.String())},
+					Value:  float64(r.Count(c)),
+				})
+			}
+			samples = append(samples,
+				obs.Sample{Suffix: "_seq", Value: float64(r.Seq())},
+				obs.Sample{Suffix: "_ring_cap", Value: float64(r.Cap())},
+			)
+			return samples
+		},
+		JSON: func() any {
+			out := map[string]any{"seq": r.Seq(), "ring_cap": r.Cap()}
+			for _, c := range Classes() {
+				if n := r.Count(c); n > 0 {
+					out[c.String()] = n
+				}
+			}
+			return out
+		},
+	}, labels...)
+}

@@ -1,0 +1,316 @@
+package flight
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SLO defines one service-level objective over cumulative or instantaneous
+// sources. Two kinds:
+//
+//   - Ratio: Bad and Total are cumulative counters (shed indications vs
+//     offered, slot overruns vs slots). Objective is the allowed bad
+//     fraction; the burn rate over a window is (Δbad/Δtotal)/Objective, so
+//     burn 1.0 consumes exactly the error budget and burn 10 means the
+//     budget burns 10× too fast.
+//
+//   - Value: Value samples an instantaneous quantity (RIC-loop p99 in µs)
+//     and Budget is its objective; the burn rate over a window is the
+//     window-average value divided by Budget.
+//
+// One SLO feeds one Detector; the detector does the windowing.
+type SLO struct {
+	// Name identifies the SLO in detector states, events and bundles.
+	Name string
+	// Objective is the allowed bad fraction for ratio SLOs (e.g. 0.001 =
+	// 0.1% of indications may shed).
+	Objective float64
+	// Bad and Total are the cumulative sources of a ratio SLO. Both must
+	// be monotonic.
+	Bad, Total func() uint64
+	// Value is the instantaneous source of a value SLO.
+	Value func() float64
+	// Budget is the objective for a value SLO, in Value's unit.
+	Budget float64
+}
+
+func (s SLO) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("flight: SLO name must not be empty")
+	}
+	ratio := s.Bad != nil || s.Total != nil
+	value := s.Value != nil
+	switch {
+	case ratio && value:
+		return fmt.Errorf("flight: SLO %s mixes ratio and value sources", s.Name)
+	case ratio:
+		if s.Bad == nil || s.Total == nil {
+			return fmt.Errorf("flight: ratio SLO %s needs both Bad and Total", s.Name)
+		}
+		if s.Objective <= 0 || s.Objective > 1 {
+			return fmt.Errorf("flight: ratio SLO %s objective must be in (0,1]", s.Name)
+		}
+	case value:
+		if s.Budget <= 0 {
+			return fmt.Errorf("flight: value SLO %s budget must be positive", s.Name)
+		}
+	default:
+		return fmt.Errorf("flight: SLO %s has no source", s.Name)
+	}
+	return nil
+}
+
+// DetectorConfig tunes one multi-window burn-rate detector. The detector
+// fires only when BOTH windows exceed Burn: the short window makes it
+// respond fast, the long window keeps a brief spike from paging. Clearing
+// uses hysteresis: both windows must drop below ClearBurn.
+type DetectorConfig struct {
+	// Short and Long are the two look-back windows. Defaults: 5s / 30s.
+	Short, Long time.Duration
+	// Burn is the firing threshold (default 10: the error budget is
+	// burning 10× too fast).
+	Burn float64
+	// ClearBurn is the hysteresis clear threshold (default Burn/2).
+	ClearBurn float64
+}
+
+func (c *DetectorConfig) withDefaults() {
+	if c.Short <= 0 {
+		c.Short = 5 * time.Second
+	}
+	if c.Long <= 0 {
+		c.Long = 30 * time.Second
+	}
+	if c.Long < c.Short {
+		c.Long = c.Short
+	}
+	if c.Burn <= 0 {
+		c.Burn = 10
+	}
+	if c.ClearBurn <= 0 || c.ClearBurn > c.Burn {
+		c.ClearBurn = c.Burn / 2
+	}
+}
+
+// detectorSample is one Eval observation of the SLO's sources.
+type detectorSample struct {
+	at    time.Time
+	bad   uint64  // ratio kind: cumulative bad
+	total uint64  // ratio kind: cumulative total
+	value float64 // value kind: instantaneous value
+}
+
+// detectorSamples bounds each detector's memory: at the default 1 s Eval
+// cadence this covers windows beyond four minutes.
+const detectorSamples = 256
+
+// Detector is one SLO's multi-window burn-rate evaluator. It keeps a
+// bounded ring of source samples appended by Eval and derives the two
+// window burn rates by scanning back to each window's horizon.
+type Detector struct {
+	slo SLO
+	cfg DetectorConfig
+
+	mu      sync.Mutex
+	ring    [detectorSamples]detectorSample
+	n       int // total samples ever appended
+	firing  bool
+	fires   uint64
+	burnS   float64
+	burnL   float64
+	shiftNs int64 // last fire/clear transition
+}
+
+// DetectorState is one detector's externally visible state, served by
+// /debug/flight and embedded in bundles.
+type DetectorState struct {
+	Name      string  `json:"name"`
+	Firing    bool    `json:"firing"`
+	BurnShort float64 `json:"burn_short"`
+	BurnLong  float64 `json:"burn_long"`
+	Threshold float64 `json:"threshold"`
+	Fires     uint64  `json:"fires"`
+	// LastShiftNs is the unix-nanos of the last fire or clear transition
+	// (0 = never fired).
+	LastShiftNs int64 `json:"last_shift_ns,omitempty"`
+}
+
+// State returns the detector's current state.
+func (d *Detector) State() DetectorState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DetectorState{
+		Name: d.slo.Name, Firing: d.firing,
+		BurnShort: d.burnS, BurnLong: d.burnL,
+		Threshold: d.cfg.Burn, Fires: d.fires, LastShiftNs: d.shiftNs,
+	}
+}
+
+// sample appends one observation of the SLO's sources.
+func (d *Detector) sample(now time.Time) {
+	s := detectorSample{at: now}
+	if d.slo.Bad != nil {
+		s.bad, s.total = d.slo.Bad(), d.slo.Total()
+	} else {
+		s.value = d.slo.Value()
+	}
+	d.ring[d.n%detectorSamples] = s
+	d.n++
+}
+
+// burn computes the burn rate over the window ending at the newest sample.
+func (d *Detector) burn(window time.Duration) float64 {
+	if d.n == 0 {
+		return 0
+	}
+	newest := d.ring[(d.n-1)%detectorSamples]
+	horizon := newest.at.Add(-window)
+	// Walk back to the oldest retained sample at or after the horizon,
+	// accumulating the window sum for value SLOs along the way.
+	oldest := newest
+	limit := d.n - detectorSamples
+	if limit < 0 {
+		limit = 0
+	}
+	count := 1
+	sum := newest.value
+	for i := d.n - 2; i >= limit; i-- {
+		s := d.ring[i%detectorSamples]
+		if s.at.Before(horizon) {
+			break
+		}
+		oldest = s
+		count++
+		sum += s.value
+	}
+	if d.slo.Bad != nil {
+		dBad := newest.bad - oldest.bad
+		dTotal := newest.total - oldest.total
+		if dTotal == 0 {
+			return 0
+		}
+		return (float64(dBad) / float64(dTotal)) / d.slo.Objective
+	}
+	// Value kind: window-average value against the budget.
+	return (sum / float64(count)) / d.slo.Budget
+}
+
+// eval appends a sample, recomputes both windows and returns the
+// fired/cleared edge (0 = no transition, +1 = fired, -1 = cleared).
+func (d *Detector) eval(now time.Time) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sample(now)
+	d.burnS = d.burn(d.cfg.Short)
+	d.burnL = d.burn(d.cfg.Long)
+	switch {
+	case !d.firing && d.burnS >= d.cfg.Burn && d.burnL >= d.cfg.Burn:
+		d.firing = true
+		d.fires++
+		d.shiftNs = now.UnixNano()
+		return +1
+	case d.firing && d.burnS < d.cfg.ClearBurn && d.burnL < d.cfg.ClearBurn:
+		d.firing = false
+		d.shiftNs = now.UnixNano()
+		return -1
+	}
+	return 0
+}
+
+// DetectorSet owns a process's detectors and journals their transitions
+// into the recorder (EvDetectorFire is typically a trigger class, so a fire
+// kicks off a bundle capture).
+type DetectorSet struct {
+	rec *Recorder
+
+	mu sync.Mutex
+	ds []*Detector
+}
+
+// NewDetectorSet returns an empty set journaling into rec (which may be
+// nil: detectors still evaluate, transitions just go unjournaled).
+func NewDetectorSet(rec *Recorder) *DetectorSet {
+	return &DetectorSet{rec: rec}
+}
+
+// Add registers one SLO with its detector config and returns the detector.
+func (s *DetectorSet) Add(slo SLO, cfg DetectorConfig) (*Detector, error) {
+	if err := slo.validate(); err != nil {
+		return nil, err
+	}
+	cfg.withDefaults()
+	d := &Detector{slo: slo, cfg: cfg}
+	s.mu.Lock()
+	s.ds = append(s.ds, d)
+	s.mu.Unlock()
+	return d, nil
+}
+
+// MustAdd is Add, panicking on error — a bad SLO definition is a wiring
+// bug.
+func (s *DetectorSet) MustAdd(slo SLO, cfg DetectorConfig) *Detector {
+	d, err := s.Add(slo, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// detectors snapshots the detector list without holding the lock during
+// evaluation.
+func (s *DetectorSet) detectors() []*Detector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Detector(nil), s.ds...)
+}
+
+// Eval samples every detector at now, journaling fire/clear transitions.
+// Callers drive the cadence: experiments call it from their tick loop (so
+// detector behavior is deterministic under a virtual clock), binaries from
+// Run's ticker.
+func (s *DetectorSet) Eval(now time.Time) {
+	for _, d := range s.detectors() {
+		switch d.eval(now) {
+		case +1:
+			st := d.State()
+			s.rec.Record(Event{
+				Class: EvDetectorFire, Plane: PlaneFlight, TimeNs: now.UnixNano(),
+				Detail: d.slo.Name, Value: st.BurnShort,
+			})
+		case -1:
+			s.rec.Record(Event{
+				Class: EvDetectorClear, Plane: PlaneFlight, TimeNs: now.UnixNano(),
+				Detail: d.slo.Name,
+			})
+		}
+	}
+}
+
+// States returns every detector's current state, in Add order.
+func (s *DetectorSet) States() []DetectorState {
+	ds := s.detectors()
+	out := make([]DetectorState, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, d.State())
+	}
+	return out
+}
+
+// Run evaluates the set every interval until stop closes. Binaries use
+// this; experiments call Eval from their own loop instead.
+func (s *DetectorSet) Run(stop <-chan struct{}, every time.Duration) {
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			s.Eval(now)
+		}
+	}
+}

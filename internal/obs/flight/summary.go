@@ -1,0 +1,62 @@
+package flight
+
+import "fmt"
+
+// Summary is the experiment-facing digest of a recorder + capturer pair:
+// what the journal saw, what landed on disk, and whether the classes an
+// experiment expected to trigger actually appear in the captured bundles.
+// Experiments embed it in their JSON results so a chaos run's flight
+// evidence rides along with its metrics.
+type Summary struct {
+	// Events is the journal's total event count (Recorder.Seq).
+	Events uint64 `json:"events"`
+	// Classes counts journaled events per class name, omitting zeroes.
+	Classes map[string]uint64 `json:"classes,omitempty"`
+	// Bundles is the capturer's on-disk index in capture order.
+	Bundles []BundleInfo `json:"bundles"`
+	// Coverage counts, per wanted class name, the events of that class
+	// found across every captured bundle's journal window.
+	Coverage map[string]int `json:"coverage,omitempty"`
+}
+
+// Summarize digests rec and cap for an experiment result and verifies
+// bundle coverage: ok is true when at least one bundle was captured and
+// every wanted class appears in at least one bundle's journal window.
+// Experiments armed with a flight knob fail their run when ok is false —
+// the storm they injected should have left exactly this evidence.
+func Summarize(rec *Recorder, cap *Capturer, wanted ...Class) (*Summary, bool, error) {
+	s := &Summary{}
+	if rec.Enabled() {
+		s.Events = rec.Seq()
+		s.Classes = make(map[string]uint64)
+		for _, cl := range Classes() {
+			if n := rec.Count(cl); n > 0 {
+				s.Classes[cl.String()] = n
+			}
+		}
+	}
+	if cap == nil {
+		return s, false, nil
+	}
+	s.Bundles = cap.Index()
+	s.Coverage = make(map[string]int, len(wanted))
+	for _, cl := range wanted {
+		s.Coverage[cl.String()] = 0
+	}
+	for _, info := range s.Bundles {
+		b, err := ReadBundle(info.File)
+		if err != nil {
+			return s, false, fmt.Errorf("flight: summarize bundle %s: %w", info.File, err)
+		}
+		for cl, evs := range b.FindClasses(wanted...) {
+			s.Coverage[cl.String()] += len(evs)
+		}
+	}
+	ok := len(s.Bundles) > 0
+	for _, n := range s.Coverage {
+		if n == 0 {
+			ok = false
+		}
+	}
+	return s, ok, nil
+}

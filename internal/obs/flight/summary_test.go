@@ -1,0 +1,65 @@
+package flight
+
+import (
+	"testing"
+)
+
+// TestSummarize pins the experiment-facing digest: ok demands at least one
+// bundle AND every wanted class present somewhere across the bundles;
+// coverage counts union across bundles, not per bundle.
+func TestSummarize(t *testing.T) {
+	rec := NewRecorder(64)
+	cap := testCapturer(t, rec, nil)
+
+	// No bundles yet: not ok, regardless of journal content.
+	rec.Record(Event{Class: EvShed, Plane: PlaneRIC, Detail: "overflow"})
+	sum, ok, err := Summarize(rec, cap, EvShed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("ok with zero bundles")
+	}
+	if sum.Events != 1 || sum.Classes[EvShed.String()] != 1 {
+		t.Fatalf("journal digest = %+v", sum)
+	}
+
+	// One bundle carrying the shed, a later one carrying the breaker trip:
+	// the union covers both wanted classes.
+	if _, err := cap.CaptureNow("first"); err != nil {
+		t.Fatal(err)
+	}
+	rec.Record(Event{Class: EvBreakerOpen, Plane: PlaneRIC, Detail: "x: closed->open"})
+	if _, err := cap.CaptureNow("second"); err != nil {
+		t.Fatal(err)
+	}
+
+	sum, ok, err = Summarize(rec, cap, EvShed, EvBreakerOpen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("not ok with union coverage: %+v", sum.Coverage)
+	}
+	if len(sum.Bundles) != 2 {
+		t.Fatalf("bundles = %+v", sum.Bundles)
+	}
+	if sum.Coverage[EvShed.String()] != 1 || sum.Coverage[EvBreakerOpen.String()] != 1 {
+		t.Fatalf("coverage = %+v", sum.Coverage)
+	}
+
+	// A wanted class that never reached any bundle keeps ok false even
+	// though bundles exist.
+	if _, ok, err = Summarize(rec, cap, EvShed, EvRollback); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Fatal("ok despite a wanted class missing from every bundle")
+	}
+
+	// No wanted classes: any bundle satisfies the digest.
+	if _, ok, err = Summarize(rec, cap); err != nil {
+		t.Fatal(err)
+	} else if !ok {
+		t.Fatal("not ok with bundles and no wanted classes")
+	}
+}

@@ -281,3 +281,44 @@ func TestGaugeAddNaNSafety(t *testing.T) {
 		t.Fatalf("gauge = %v", g.Value())
 	}
 }
+
+// TestRegistrySnapshotHeader checks the reserved _snapshot entry: present in
+// every Snapshot with a plausible timestamp, a per-registry monotonic
+// sequence, and zero effect on the Prometheus exposition (byte-identical
+// across snapshots, no reserved key leaking into it).
+func TestRegistrySnapshotHeader(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("waran_events_total", "events").Add(3)
+
+	before := reg.PrometheusText()
+	s1 := reg.Snapshot()
+	s2 := reg.Snapshot()
+	after := reg.PrometheusText()
+
+	h1, ok := s1[SnapshotHeaderKey].(SnapshotHeader)
+	if !ok {
+		t.Fatalf("snapshot missing %s header: %T", SnapshotHeaderKey, s1[SnapshotHeaderKey])
+	}
+	h2 := s2[SnapshotHeaderKey].(SnapshotHeader)
+	if h1.UnixNanos <= 0 || h2.UnixNanos < h1.UnixNanos {
+		t.Fatalf("header timestamps not plausible: %d then %d", h1.UnixNanos, h2.UnixNanos)
+	}
+	if h2.Seq != h1.Seq+1 {
+		t.Fatalf("header seq not monotonic: %d then %d", h1.Seq, h2.Seq)
+	}
+	if before != after {
+		t.Fatalf("taking snapshots changed the Prometheus exposition:\n%s\nvs\n%s", before, after)
+	}
+	if strings.Contains(after, SnapshotHeaderKey) {
+		t.Fatalf("reserved snapshot key leaked into the exposition:\n%s", after)
+	}
+
+	// The header must serialize alongside the series.
+	raw, err := json.Marshal(s1)
+	if err != nil {
+		t.Fatalf("snapshot not JSON-marshalable: %v", err)
+	}
+	if !strings.Contains(string(raw), `"unix_nanos"`) || !strings.Contains(string(raw), `"seq"`) {
+		t.Fatalf("marshaled snapshot missing header fields: %s", raw)
+	}
+}

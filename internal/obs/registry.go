@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Registry is a concurrency-safe collection of named instruments. Names
@@ -18,6 +20,7 @@ type Registry struct {
 	mu      sync.Mutex
 	entries []*entry
 	byKey   map[string]*entry
+	snapSeq atomic.Uint64 // metric-exempt: snapshot-header sequence, not telemetry
 }
 
 type entry struct {
@@ -141,11 +144,31 @@ func (r *Registry) snapshotEntries() []*entry {
 	return append([]*entry(nil), r.entries...)
 }
 
+// SnapshotHeaderKey is the reserved Snapshot key carrying the snapshot
+// header. It starts with "_" so it can never collide with a series key
+// (instrument names follow Prometheus conventions, waran_*).
+const SnapshotHeaderKey = "_snapshot"
+
+// SnapshotHeader stamps one Snapshot call: wall-clock time plus a
+// per-registry monotonic sequence, so two snapshots embedded in a
+// diagnostic bundle can be ordered, diffed and rate-computed even when the
+// wall clock steps.
+type SnapshotHeader struct {
+	UnixNanos int64  `json:"unix_nanos"`
+	Seq       uint64 `json:"seq"`
+}
+
 // Snapshot returns every series' flat JSON value keyed by its full series
-// name (labels included), ready to embed in experiment output.
+// name (labels included), ready to embed in experiment output, plus a
+// SnapshotHeader under SnapshotHeaderKey. The header never appears in
+// Prometheus exposition (WritePrometheus does not consume Snapshot).
 func (r *Registry) Snapshot() map[string]any {
 	entries := r.snapshotEntries()
-	out := make(map[string]any, len(entries))
+	out := make(map[string]any, len(entries)+1)
+	out[SnapshotHeaderKey] = SnapshotHeader{
+		UnixNanos: time.Now().UnixNano(),
+		Seq:       r.snapSeq.Add(1),
+	}
 	for _, e := range entries {
 		out[seriesKey(e.name, e.labels)] = e.inst.JSONValue()
 	}

@@ -45,22 +45,55 @@ func (r *SpanRing) Len() int {
 	return int(n)
 }
 
+// emptySpans is the shared result for empty snapshots: scrape loops and
+// bundle writers polling an idle ring must not allocate a fresh slice per
+// poll.
+var emptySpans = []*Span{}
+
 // Snapshot copies out every published span, oldest first. Under concurrent
 // writes the copy is a consistent set of fully published spans (each slot is
 // read with one atomic load); ordering across a wrap boundary is best-effort.
+// An empty or nil ring returns a shared empty slice — callers must not
+// append to the result in place.
 func (r *SpanRing) Snapshot() []*Span {
+	return r.SnapshotSince(0)
+}
+
+// SnapshotSince is the incremental variant the bundle writer uses to avoid
+// re-serializing old spans: it returns only the spans published after the
+// span with ID sinceSpanID was published, oldest first. A zero or unknown
+// sinceSpanID (e.g. the span has since been overwritten) returns the full
+// snapshot. The caller chains calls by passing the last returned span's
+// SpanID.
+func (r *SpanRing) SnapshotSince(sinceSpanID uint64) []*Span {
 	if r == nil {
-		return nil
+		return emptySpans
 	}
 	n := r.next.Load()
 	start := uint64(0)
 	if n > uint64(len(r.slots)) {
 		start = n - uint64(len(r.slots))
 	}
+	if n == start {
+		return emptySpans
+	}
 	out := make([]*Span, 0, n-start)
 	for i := start; i < n; i++ {
 		if sp := r.slots[i&r.mask].Load(); sp != nil {
 			out = append(out, sp)
+		}
+	}
+	if sinceSpanID != 0 {
+		// Keep only the suffix after the last occurrence of the cursor
+		// span; if it rolled off the ring the full window is new.
+		for i := len(out) - 1; i >= 0; i-- {
+			if out[i].SpanID == sinceSpanID {
+				out = out[i+1:]
+				break
+			}
+		}
+		if len(out) == 0 {
+			return emptySpans
 		}
 	}
 	return out

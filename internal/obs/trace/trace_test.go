@@ -201,3 +201,43 @@ func TestHandlerServesChromeTrace(t *testing.T) {
 		t.Fatalf("nil tracer: status %d", rec.Code)
 	}
 }
+
+// TestSpanRingSnapshotSince covers the incremental cursor the bundle writer
+// chains: only spans published after the cursor span come back, a rolled-off
+// cursor degrades to the full window, and empty results share one slice.
+func TestSpanRingSnapshotSince(t *testing.T) {
+	r := NewSpanRing(8)
+	for i := 1; i <= 5; i++ {
+		r.Add(&Span{SpanID: uint64(i), Slot: uint64(i)})
+	}
+
+	inc := r.SnapshotSince(3)
+	if len(inc) != 2 || inc[0].SpanID != 4 || inc[1].SpanID != 5 {
+		t.Fatalf("SnapshotSince(3) = %v spans, want [4 5]", len(inc))
+	}
+
+	// Cursor at the newest span: nothing new, and the empty result must be
+	// the shared slice (len 0 cap 0), not a fresh allocation per poll.
+	none := r.SnapshotSince(5)
+	if len(none) != 0 || cap(none) != 0 {
+		t.Fatalf("SnapshotSince(tip) = len %d cap %d, want the shared empty slice", len(none), cap(none))
+	}
+
+	// Unknown / rolled-off cursor: full window.
+	for i := 6; i <= 14; i++ { // overwrite span 3 entirely
+		r.Add(&Span{SpanID: uint64(i), Slot: uint64(i)})
+	}
+	full := r.SnapshotSince(3)
+	if len(full) != 8 || full[0].SpanID != 7 {
+		t.Fatalf("rolled-off cursor: got %d spans starting at %d, want full window of 8 starting at 7", len(full), full[0].SpanID)
+	}
+
+	// Nil and empty rings return the shared empty slice too.
+	var nilRing *SpanRing
+	if s := nilRing.SnapshotSince(0); len(s) != 0 || cap(s) != 0 {
+		t.Fatal("nil ring must return the shared empty slice")
+	}
+	if s := NewSpanRing(4).Snapshot(); len(s) != 0 || cap(s) != 0 {
+		t.Fatal("empty ring must return the shared empty slice")
+	}
+}

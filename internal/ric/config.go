@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"waran/internal/e2"
+	"waran/internal/obs/flight"
 	"waran/internal/obs/trace"
 	"waran/internal/wabi"
 	"waran/internal/wasm"
@@ -113,6 +114,11 @@ type Config struct {
 	OnLog func(xapp, msg string)
 	// Tracer, when non-nil, enables trace negotiation and RIC-plane spans.
 	Tracer *trace.Tracer
+	// Flight, when non-nil, journals RIC-plane state transitions — brownout
+	// shifts, shed decisions, admission refusals, per-xApp breaker trips —
+	// into the flight recorder's incident journal. Nil keeps every journal
+	// site a single pointer compare.
+	Flight *flight.Recorder
 	// Profile, when non-nil, attaches the per-function wasm profiler to
 	// every xApp installed afterwards.
 	Profile *wasm.Profile
@@ -180,7 +186,7 @@ func New(cfg Config) (*RIC, error) {
 	if cfg.Overload != nil {
 		ov := cfg.Overload.withDefaults()
 		r.cfg.Overload = &ov
-		r.ov = newOverload(ov, cfg.Shards, cfg.Tracer)
+		r.ov = newOverload(ov, cfg.Shards, cfg.Tracer, cfg.Flight)
 	}
 	return r, nil
 }

@@ -47,8 +47,21 @@ func init() {
 			core.DurationExpFlag("dwell", 3*time.Second, "slow-xApp measurement window per arm", func(c *core.ExpConfig, v time.Duration) { c.Dwell = v }),
 			core.IntExpFlag("stalliters", 1_000_000, "slow xApp spin iterations per dispatch", func(c *core.ExpConfig, v int) { c.StallIters = v }),
 			core.Int64ExpFlag("seed", 1, "session jitter schedule seed", func(c *core.ExpConfig, v int64) { c.Seed = v }),
+			core.IntExpFlag("flight", 0, "arm the flight recorder; fail unless admission refusals and the breaker trip reach a diagnostic bundle", func(c *core.ExpConfig, v int) { c.Flight = v }),
+			core.StringExpFlag("flightdir", "", "diagnostic bundle directory (empty = temp dir)", func(c *core.ExpConfig, v string) { c.FlightDir = v }),
 		},
 		runOverloadExperiment)
+	core.RegisterExperimentWithFlags("flightrec",
+		"flight recorder: seeded overload storm must leave its causal chain (brownout, sheds, breaker trip) in anomaly-triggered bundles, idle journal within noise (JSON)",
+		[]core.ExpFlag{
+			core.IntExpFlag("agents", 16, "reporting fleet size", func(c *core.ExpConfig, v int) { c.Agents = v }),
+			core.IntExpFlag("stalliters", 400_000, "slow xApp spin iterations per dispatch", func(c *core.ExpConfig, v int) { c.StallIters = v }),
+			core.DurationExpFlag("dwell", 1500*time.Millisecond, "storm window", func(c *core.ExpConfig, v time.Duration) { c.Dwell = v }),
+			core.IntExpFlag("slots", 2000, "slots per journal-overhead measurement arm", func(c *core.ExpConfig, v int) { c.Slots = v }),
+			core.Int64ExpFlag("seed", 1, "storm schedule seed", func(c *core.ExpConfig, v int64) { c.Seed = v }),
+			core.StringExpFlag("flightdir", "", "diagnostic bundle directory (empty = temp dir)", func(c *core.ExpConfig, v string) { c.FlightDir = v }),
+		},
+		runFlightRecExperiment)
 	core.RegisterExperimentWithFlags("tracelat",
 		"end-to-end control-loop tracing: per-hop latency + hottest plugin functions (JSON)",
 		[]core.ExpFlag{
@@ -91,6 +104,22 @@ func runOverloadExperiment(cfg core.ExpConfig) (any, error) {
 		StallIters: cfg.StallIters,
 		Seed:       cfg.Seed,
 		Obs:        cfg.Obs,
+		Flight:     cfg.Flight != 0,
+		FlightDir:  cfg.FlightDir,
+	})
+}
+
+// runFlightRecExperiment maps the shared knob set onto the flight-recorder
+// experiment's config.
+func runFlightRecExperiment(cfg core.ExpConfig) (any, error) {
+	return RunFlightRec(FlightRecConfig{
+		Agents:        cfg.Agents,
+		StallIters:    cfg.StallIters,
+		Dwell:         cfg.Dwell,
+		OverheadSlots: cfg.Slots,
+		Seed:          cfg.Seed,
+		Dir:           cfg.FlightDir,
+		Obs:           cfg.Obs,
 	})
 }
 

@@ -20,6 +20,7 @@ import (
 	"waran/internal/e2"
 	"waran/internal/guard"
 	"waran/internal/metrics"
+	"waran/internal/obs/flight"
 	"waran/internal/obs/trace"
 )
 
@@ -211,6 +212,7 @@ func (c OverloadConfig) withDefaults() OverloadConfig {
 type overload struct {
 	cfg    OverloadConfig
 	tracer *trace.Tracer
+	flight *flight.Recorder // nil-is-off incident journal (Config.Flight)
 
 	gateMu sync.Mutex
 	tokens []float64 // per-shard admission tokens
@@ -231,16 +233,17 @@ type overload struct {
 	level      atomic.Int32
 	maxFill    atomic.Int64 // metric-exempt: eval-window queue high-water, reset each poll
 	lastEval   atomic.Int64 // metric-exempt: unix-nano CAS guard for maybeEval, not telemetry
-	downStreak int32        // consecutive below-threshold evals (eval-goroutine only)
+	downStreak atomic.Int32 // metric-exempt: consecutive below-threshold evals; CAS winners alternate, so it needs visibility, not contention safety
 
 	p99Mu   sync.Mutex
 	dispP99 *metrics.P2 // dispatch latency (ns)
 }
 
-func newOverload(cfg OverloadConfig, shards int, tracer *trace.Tracer) *overload {
+func newOverload(cfg OverloadConfig, shards int, tracer *trace.Tracer, rec *flight.Recorder) *overload {
 	o := &overload{
 		cfg:     cfg,
 		tracer:  tracer,
+		flight:  rec,
 		tokens:  make([]float64, shards),
 		last:    make([]time.Time, shards),
 		dispP99: metrics.NewP2(0.99),
@@ -336,21 +339,27 @@ func (o *overload) maybeEval(now time.Time) {
 	}
 	cur := o.Level()
 	if target == cur {
-		o.downStreak = 0
+		o.downStreak.Store(0)
 		return
 	}
 	if target < cur {
 		// De-escalate only after two consecutive calm evals, so the level
 		// does not flap at the threshold.
-		o.downStreak++
-		if o.downStreak < 2 {
+		if o.downStreak.Add(1) < 2 {
 			return
 		}
 		target = cur - 1 // step down one level at a time
 	}
-	o.downStreak = 0
+	o.downStreak.Store(0)
 	o.level.Store(int32(target))
 	o.transitions.Inc()
+	if rec := o.flight; rec.Enabled() {
+		rec.Record(flight.Event{
+			Class: flight.EvBrownoutShift, Plane: flight.PlaneRIC,
+			Detail: cur.String() + "->" + target.String(),
+			Value:  float64(target),
+		})
+	}
 	if o.tracer.Enabled() {
 		c := trace.NewContext()
 		o.tracer.Record(&trace.Span{
@@ -420,8 +429,15 @@ func (r *RIC) enqueueIndication(q *assocQueue, it queuedInd) {
 }
 
 // recordShed spans one shed/refusal decision on the tracer, parented to the
-// indication's own trace when it has one.
+// indication's own trace when it has one, and journals it into the flight
+// recorder so a diagnostic bundle carries the shed ledger's causal detail.
 func (r *RIC) recordShed(it queuedInd, reason string) {
+	if rec := r.ov.flight; rec.Enabled() {
+		rec.Record(flight.Event{
+			Class: flight.EvShed, Plane: flight.PlaneRIC,
+			Cell: it.ind.Cell, Slot: it.ind.Slot, Detail: reason,
+		})
+	}
 	if !r.cfg.Tracer.Enabled() {
 		return
 	}

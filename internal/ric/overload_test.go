@@ -78,7 +78,7 @@ func TestOverloadConfigValidate(t *testing.T) {
 // refill at AdmitRate.
 func TestAdmitAssocTokenBucket(t *testing.T) {
 	cfg := OverloadConfig{AdmitRate: 2, AdmitBurst: 2, RetryAfter: 100 * time.Millisecond}.withDefaults()
-	o := newOverload(cfg, 1, nil)
+	o := newOverload(cfg, 1, nil, nil)
 	now := time.Now()
 	for i := 0; i < 2; i++ {
 		if ok, _ := o.admitAssoc(0, now); !ok {
@@ -97,7 +97,7 @@ func TestAdmitAssocTokenBucket(t *testing.T) {
 		t.Fatal("admission refused after refill")
 	}
 	// A disabled gate admits everything.
-	od := newOverload(OverloadConfig{AdmitRate: -1}.withDefaults(), 1, nil)
+	od := newOverload(OverloadConfig{AdmitRate: -1}.withDefaults(), 1, nil, nil)
 	for i := 0; i < 1000; i++ {
 		if ok, _ := od.admitAssoc(0, now); !ok {
 			t.Fatal("disabled admission gate refused")
@@ -232,7 +232,7 @@ func TestSpillEventualPlacement(t *testing.T) {
 // evals and steps one level at a time.
 func TestBrownoutStateMachine(t *testing.T) {
 	cfg := OverloadConfig{QueueDepth: 100, Poll: time.Millisecond, LoopP99Budget: -1}.withDefaults()
-	o := newOverload(cfg, 1, nil)
+	o := newOverload(cfg, 1, nil, nil)
 	base := time.Now()
 	at := func(i int) time.Time { return base.Add(time.Duration(i) * 2 * time.Millisecond) }
 
@@ -277,7 +277,7 @@ func TestBrownoutStateMachine(t *testing.T) {
 // is backlogged.
 func TestBrownoutLatencyTrigger(t *testing.T) {
 	cfg := OverloadConfig{QueueDepth: 100, Poll: time.Millisecond, LoopP99Budget: time.Millisecond}.withDefaults()
-	o := newOverload(cfg, 1, nil)
+	o := newOverload(cfg, 1, nil, nil)
 	for i := 0; i < 20; i++ {
 		o.observeDispatch(5 * time.Millisecond) // p99 ~5ms > 2x budget
 	}

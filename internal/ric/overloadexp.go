@@ -18,6 +18,7 @@ package ric
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"waran/internal/guard"
 	"waran/internal/metrics"
 	"waran/internal/obs"
+	"waran/internal/obs/flight"
 	"waran/internal/plugins"
 	"waran/internal/wabi"
 )
@@ -95,6 +97,12 @@ type OverloadExpConfig struct {
 	// Obs, when non-nil, receives the restarted RIC's instruments and the
 	// result embeds its snapshot.
 	Obs *obs.Registry
+	// Flight arms the flight recorder across every arm: the storm's
+	// admission refusals and the guarded dwell's breaker trip are journaled
+	// and must reach a diagnostic bundle, or the run fails.
+	Flight bool
+	// FlightDir is where diagnostic bundles land (empty = temp dir).
+	FlightDir string
 }
 
 func (c OverloadExpConfig) withDefaults() OverloadExpConfig {
@@ -200,6 +208,10 @@ type OverloadResult struct {
 	GuardOn  OverloadDwell `json:"guard_on"`
 	GuardOff OverloadDwell `json:"guard_off"`
 
+	// Flight is the incident-journal digest when the experiment ran with
+	// the flight recorder armed.
+	Flight *flight.Summary `json:"flight,omitempty"`
+
 	Obs map[string]any `json:"obs,omitempty"`
 }
 
@@ -253,16 +265,60 @@ func RunOverload(cfg OverloadExpConfig) (*OverloadResult, error) {
 		WaveBucketMs: 100,
 	}
 
-	if err := runOverloadStorm(cfg, res); err != nil {
+	// With the flight knob armed, one recorder journals every arm (the
+	// restarted storm RIC and both dwell RICs share it) and anomaly
+	// triggers capture bundles along the way; the run fails unless the
+	// storm's admission refusals and the guarded dwell's breaker trip are
+	// both covered by a bundle.
+	var frec *flight.Recorder
+	var fcap *flight.Capturer
+	if cfg.Flight {
+		frec = flight.NewRecorder(8192)
+		frec.SetTriggers(flight.EvBreakerOpen, flight.EvBrownoutShift, flight.EvAdmissionRefused)
+		dir := cfg.FlightDir
+		if dir == "" {
+			var err error
+			if dir, err = os.MkdirTemp("", "waran-flight-"); err != nil {
+				return res, err
+			}
+		}
+		var err error
+		fcap, err = flight.NewCapturer(frec, flight.CapturerConfig{
+			Dir: dir, Debounce: 200 * time.Millisecond, GoroutineDump: -1,
+			Registry: cfg.Obs,
+		})
+		if err != nil {
+			return res, err
+		}
+		fstop := make(chan struct{})
+		defer close(fstop)
+		go fcap.Run(fstop)
+	}
+
+	if err := runOverloadStorm(cfg, res, frec); err != nil {
 		return res, err
 	}
 
 	var err error
-	if res.GuardOn, err = runOverloadDwell(cfg, true); err != nil {
+	if res.GuardOn, err = runOverloadDwell(cfg, true, frec); err != nil {
 		return res, err
 	}
-	if res.GuardOff, err = runOverloadDwell(cfg, false); err != nil {
+	if res.GuardOff, err = runOverloadDwell(cfg, false, frec); err != nil {
 		return res, err
+	}
+	if fcap != nil {
+		if _, err := fcap.CaptureNow("overload-final"); err != nil {
+			return res, err
+		}
+		sum, ok, serr := flight.Summarize(frec, fcap, flight.EvAdmissionRefused, flight.EvBreakerOpen)
+		if serr != nil {
+			return res, serr
+		}
+		res.Flight = sum
+		if !ok {
+			return res, fmt.Errorf("ric: overload: flight recorder produced no bundle covering %s and %s",
+				flight.EvAdmissionRefused, flight.EvBreakerOpen)
+		}
 	}
 	if cfg.Obs != nil {
 		res.Obs = cfg.Obs.Snapshot()
@@ -273,7 +329,7 @@ func RunOverload(cfg OverloadExpConfig) (*OverloadResult, error) {
 // runOverloadStorm is the kill/restart arm: warm the fleet up against one
 // overloaded-guarded RIC, kill it, restart on the same address, and measure
 // how the stampede re-admits.
-func runOverloadStorm(cfg OverloadExpConfig, res *OverloadResult) error {
+func runOverloadStorm(cfg OverloadExpConfig, res *OverloadResult, frec *flight.Recorder) error {
 	ran := &overloadRAN{}
 	ovCfg := &OverloadConfig{
 		AdmitRate:  cfg.AdmitRate,
@@ -286,6 +342,7 @@ func runOverloadStorm(cfg OverloadExpConfig, res *OverloadResult) error {
 			Shards:         cfg.Shards,
 			KPMHistory:     NoKPMHistory,
 			Overload:       ovCfg,
+			Flight:         frec,
 		})
 	}
 
@@ -492,7 +549,7 @@ func runOverloadStorm(cfg OverloadExpConfig, res *OverloadResult) error {
 // runOverloadDwell runs one slow-xApp isolation arm: DwellAgents agents
 // report every slot into a RIC hosting a stalling xApp ahead of the SLA
 // xApp, with the overload guard on or off.
-func runOverloadDwell(cfg OverloadExpConfig, guarded bool) (OverloadDwell, error) {
+func runOverloadDwell(cfg OverloadExpConfig, guarded bool, frec *flight.Recorder) (OverloadDwell, error) {
 	dw := OverloadDwell{Guard: guarded}
 	ran := &overloadRAN{}
 
@@ -517,6 +574,7 @@ func runOverloadDwell(cfg OverloadExpConfig, guarded bool) (OverloadDwell, error
 		Shards:         4,
 		KPMHistory:     NoKPMHistory,
 		Overload:       ov,
+		Flight:         frec,
 	})
 	if err != nil {
 		return dw, err

@@ -13,6 +13,7 @@ import (
 	"waran/internal/guard"
 	"waran/internal/metrics"
 	"waran/internal/obs"
+	"waran/internal/obs/flight"
 	"waran/internal/obs/trace"
 	"waran/internal/wabi"
 	"waran/internal/wasm"
@@ -161,6 +162,25 @@ func (r *RIC) AddXApp(name string, mod *wabi.Module, policy wabi.Policy) (*XApp,
 			policy.CallTimeout = ov.XAppDeadline
 		}
 		x.breaker = guard.NewBreaker(ov.Breaker)
+		if rec := r.cfg.Flight; rec.Enabled() {
+			// Journal every breaker transition so a diagnostic bundle shows
+			// which xApp tripped, and when, relative to the brownout shifts
+			// and sheds around it.
+			xname := name
+			x.breaker.SetTransitionHook(func(from, to guard.State) {
+				cls := flight.EvBreakerClose
+				switch to {
+				case guard.Open:
+					cls = flight.EvBreakerOpen
+				case guard.HalfOpen:
+					cls = flight.EvBreakerHalfOpen
+				}
+				rec.Record(flight.Event{
+					Class: cls, Plane: flight.PlaneRIC,
+					Detail: xname + ": " + from.String() + "->" + to.String(),
+				})
+			})
+		}
 	}
 	env := wabi.Env{
 		HostFuncs: wasm.Imports{"ric": r.hostFuncs(x)},
@@ -536,6 +556,7 @@ func (r *RIC) ServeConn(conn *e2.Conn, stop <-chan struct{}) error {
 		if lvl := r.ov.Level(); lvl >= BrownoutCritical {
 			hashed.refused.Inc()
 			r.ov.refusedSubs.Inc()
+			r.recordAdmissionRefused("brownout-critical")
 			_ = conn.Send(e2.NewBusyMessage(r.ov.cfg.RetryAfter, "ric: brownout critical, refusing new subscriptions"))
 			conn.Close()
 			return fmt.Errorf("ric: refusing association at brownout %s", lvl)
@@ -543,6 +564,7 @@ func (r *RIC) ServeConn(conn *e2.Conn, stop <-chan struct{}) error {
 		if ok, retryAfter := r.ov.admitAssoc(hashed.id, time.Now()); !ok {
 			hashed.refused.Inc()
 			r.ov.busyAdmission.Inc()
+			r.recordAdmissionRefused("token-bucket")
 			_ = conn.Send(e2.NewBusyMessage(retryAfter, fmt.Sprintf("ric: shard %d admission", hashed.id)))
 			conn.Close()
 			return fmt.Errorf("ric: shard %d admission gate closed (retry in %v)", hashed.id, retryAfter)
@@ -553,6 +575,7 @@ func (r *RIC) ServeConn(conn *e2.Conn, stop <-chan struct{}) error {
 		hashed.refused.Inc()
 		if r.ov != nil {
 			r.ov.busyAdmission.Inc()
+			r.recordAdmissionRefused("budget-exhausted")
 			_ = conn.Send(e2.NewBusyMessage(r.ov.cfg.RetryAfter, fmt.Sprintf("ric: shard %d association budget exhausted", hashed.id)))
 		} else {
 			_ = conn.Send(&e2.Message{Type: e2.TypeError, Error: &e2.ErrorBody{
@@ -567,6 +590,17 @@ func (r *RIC) ServeConn(conn *e2.Conn, stop <-chan struct{}) error {
 	sh.live.Add(1)
 	defer sh.live.Add(-1)
 	return r.serveConn(sh, conn, stop)
+}
+
+// recordAdmissionRefused journals one refused association with the gate that
+// refused it, so a reconnect stampede is legible in a diagnostic bundle.
+func (r *RIC) recordAdmissionRefused(gate string) {
+	if rec := r.cfg.Flight; rec.Enabled() {
+		rec.Record(flight.Event{
+			Class: flight.EvAdmissionRefused, Plane: flight.PlaneRIC,
+			Detail: gate,
+		})
+	}
 }
 
 // subscriptionMsg builds the RIC's subscription request at the given report

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"waran/internal/obs"
+	"waran/internal/obs/flight"
 )
 
 // ModuleCache is a content-addressed cache of compiled plugin modules:
@@ -29,6 +30,9 @@ type ModuleCache struct {
 	// interpreter (see tier.go).
 	tierPolicy     *TierPolicy
 	tierPromotions uint64
+
+	// flightRec, when set, journals tier promotions (see tier.go).
+	flightRec *flight.Recorder
 }
 
 type cacheEntry struct {

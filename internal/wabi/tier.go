@@ -3,6 +3,7 @@ package wabi
 import (
 	"sync/atomic"
 
+	"waran/internal/obs/flight"
 	"waran/internal/wasm"
 )
 
@@ -100,6 +101,15 @@ func (c *ModuleCache) SetTierPolicy(tp TierPolicy) {
 	}
 }
 
+// SetFlightRecorder journals every fuel-profiled tier promotion into rec
+// as an EvTierPromotion event (nil detaches). Promotions are rare edges —
+// once per module lifetime — so the journal write is off the call path.
+func (c *ModuleCache) SetFlightRecorder(rec *flight.Recorder) {
+	c.mu.Lock()
+	c.flightRec = rec
+	c.mu.Unlock()
+}
+
 // applyTierPolicy wires one module into the cache's tier policy.
 func (c *ModuleCache) applyTierPolicy(m *Module, tp TierPolicy) {
 	if tp.Pin != wasm.TierAuto {
@@ -110,7 +120,14 @@ func (c *ModuleCache) applyTierPolicy(m *Module, tp TierPolicy) {
 	bump := func() {
 		c.mu.Lock()
 		c.tierPromotions++
+		n := c.tierPromotions
+		rec := c.flightRec
 		c.mu.Unlock()
+		rec.Record(flight.Event{
+			Class: flight.EvTierPromotion, Plane: flight.PlaneWasm,
+			Detail: "fuel-profiled promotion to closure tier",
+			Value:  float64(n),
+		})
 	}
 	m.tier.onPromote.Store(&bump)
 	m.SetTierPromotion(tp.PromoteFuel)
